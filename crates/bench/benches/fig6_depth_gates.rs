@@ -1,0 +1,51 @@
+//! Criterion benchmark behind Figure 6: per-sample cost of producing the
+//! hardware-ready circuit (whose depth/gate metrics the figure reports) for
+//! the Baseline and for EnQode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enq_bench::context::DatasetContext;
+use enq_bench::experiment::ExperimentConfig;
+use enq_data::DatasetKind;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig6(c: &mut Criterion) {
+    let config = ExperimentConfig::tiny();
+    let ctx = DatasetContext::build(DatasetKind::MnistLike, &config)
+        .expect("dataset preparation succeeds");
+    let sample = ctx.features.sample(0).to_vec();
+    let label = ctx.features.labels()[0];
+
+    // Report the figure's headline numbers once so `cargo bench` output also
+    // carries the depth/gate comparison.
+    let baseline_metrics = ctx
+        .transpiler
+        .transpile(&ctx.baseline.embed(&sample).unwrap().circuit)
+        .unwrap()
+        .metrics;
+    let enqode_metrics = ctx
+        .transpiler
+        .transpile(&ctx.model_for(label).embed(&sample).unwrap().circuit)
+        .unwrap()
+        .metrics;
+    eprintln!("fig6 sample metrics — baseline: {baseline_metrics}; enqode: {enqode_metrics}");
+
+    let mut group = c.benchmark_group("fig6_depth_gates");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("baseline_synthesize_and_transpile", |b| {
+        b.iter(|| {
+            let circuit = ctx.baseline.embed(black_box(&sample)).unwrap().circuit;
+            black_box(ctx.transpiler.transpile(&circuit).unwrap().metrics)
+        })
+    });
+    group.bench_function("enqode_embed_and_transpile", |b| {
+        b.iter(|| {
+            let circuit = ctx.model_for(label).embed(black_box(&sample)).unwrap().circuit;
+            black_box(ctx.transpiler.transpile(&circuit).unwrap().metrics)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

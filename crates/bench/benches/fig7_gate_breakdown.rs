@@ -1,0 +1,48 @@
+//! Criterion benchmark behind Figure 7: the physical one-/two-qubit gate
+//! breakdown of Baseline vs EnQode circuits, and the cost of the transpiler
+//! passes that produce it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enq_bench::context::DatasetContext;
+use enq_bench::experiment::ExperimentConfig;
+use enq_circuit::{translate_to_native, CircuitMetrics};
+use enq_data::DatasetKind;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig7(c: &mut Criterion) {
+    let config = ExperimentConfig::tiny();
+    let ctx = DatasetContext::build(DatasetKind::FashionMnistLike, &config)
+        .expect("dataset preparation succeeds");
+    let sample = ctx.features.sample(0).to_vec();
+    let label = ctx.features.labels()[0];
+
+    let baseline_circuit = ctx.baseline.embed(&sample).unwrap().circuit;
+    let enqode_circuit = ctx.model_for(label).embed(&sample).unwrap().circuit;
+    let baseline_routed = ctx.transpiler.transpile(&baseline_circuit).unwrap().circuit;
+    let enqode_routed = ctx.transpiler.transpile(&enqode_circuit).unwrap().circuit;
+    eprintln!(
+        "fig7 sample gate breakdown — baseline: {}; enqode: {}",
+        CircuitMetrics::of(&baseline_routed),
+        CircuitMetrics::of(&enqode_routed)
+    );
+
+    let mut group = c.benchmark_group("fig7_gate_breakdown");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("baseline_basis_translation", |b| {
+        b.iter(|| black_box(translate_to_native(black_box(&baseline_circuit)).unwrap()))
+    });
+    group.bench_function("enqode_basis_translation", |b| {
+        b.iter(|| black_box(translate_to_native(black_box(&enqode_circuit)).unwrap()))
+    });
+    group.bench_function("baseline_metric_extraction", |b| {
+        b.iter(|| black_box(CircuitMetrics::of(black_box(&baseline_routed))))
+    });
+    group.bench_function("enqode_metric_extraction", |b| {
+        b.iter(|| black_box(CircuitMetrics::of(black_box(&enqode_routed))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmark behind Figure 8: ideal (statevector) and noisy
+//! (density-matrix) simulation of Baseline and EnQode embedding circuits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enq_bench::context::DatasetContext;
+use enq_bench::experiment::ExperimentConfig;
+use enq_data::DatasetKind;
+use enq_qsim::{DeviceNoiseModel, NoisySimulator, Statevector};
+use enqode::target_state;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig8(c: &mut Criterion) {
+    let config = ExperimentConfig::tiny();
+    let ctx = DatasetContext::build(DatasetKind::CifarLike, &config)
+        .expect("dataset preparation succeeds");
+    let sample = ctx.features.sample(0).to_vec();
+    let label = ctx.features.labels()[0];
+
+    let baseline = ctx
+        .transpiler
+        .transpile(&ctx.baseline.embed(&sample).unwrap().circuit)
+        .unwrap()
+        .circuit;
+    let enqode = ctx
+        .transpiler
+        .transpile(&ctx.model_for(label).embed(&sample).unwrap().circuit)
+        .unwrap()
+        .circuit;
+    let target = target_state(&sample).unwrap();
+    let noisy = NoisySimulator::new(DeviceNoiseModel::ibm_brisbane_like());
+
+    let ideal_baseline = Statevector::from_circuit(&baseline)
+        .unwrap()
+        .to_cvector()
+        .overlap_fidelity(&target)
+        .unwrap();
+    eprintln!("fig8 sanity — baseline ideal fidelity on this sample: {ideal_baseline:.4}");
+
+    let mut group = c.benchmark_group("fig8_fidelity");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("ideal_simulation_baseline", |b| {
+        b.iter(|| black_box(Statevector::from_circuit(black_box(&baseline)).unwrap()))
+    });
+    group.bench_function("ideal_simulation_enqode", |b| {
+        b.iter(|| black_box(Statevector::from_circuit(black_box(&enqode)).unwrap()))
+    });
+    group.bench_function("noisy_simulation_enqode", |b| {
+        b.iter(|| black_box(noisy.run(black_box(&enqode)).unwrap()))
+    });
+    group.bench_function("noisy_simulation_baseline", |b| {
+        b.iter(|| black_box(noisy.run(black_box(&baseline)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

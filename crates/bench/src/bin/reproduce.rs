@@ -1,0 +1,128 @@
+//! Regenerates the paper's figures from the command line.
+//!
+//! ```text
+//! cargo run --release -p enq-bench --bin reproduce -- [fig6|fig7|fig8|fig9|ablation|all] [--quick|--full]
+//! ```
+//!
+//! `--quick` (default) uses a reduced sample budget with the paper's 8-qubit,
+//! 8-layer configuration; `--full` mirrors the paper's 5 classes × 500
+//! samples per dataset.
+
+use enq_bench::context::build_contexts;
+use enq_bench::experiment::ExperimentConfig;
+use enq_bench::{ablation, fig67, fig8, fig9};
+use enq_data::DatasetKind;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target = "all".to_string();
+    let mut config = ExperimentConfig::quick();
+    for arg in &args {
+        match arg.as_str() {
+            "--quick" => config = ExperimentConfig::quick(),
+            "--full" => config = ExperimentConfig::full(),
+            "--tiny" => config = ExperimentConfig::tiny(),
+            "fig6" | "fig7" | "fig67" | "fig8" | "fig9" | "ablation" | "all" => {
+                target = arg.clone();
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!(
+        "EnQode reproduction harness — target: {target}, qubits: {}, layers: {}, \
+         classes: {}, samples/class: {}, eval samples: {}, noisy samples: {}",
+        config.num_qubits,
+        config.num_layers,
+        config.classes,
+        config.samples_per_class,
+        config.eval_samples,
+        config.noisy_samples
+    );
+
+    let start = Instant::now();
+    let kinds = DatasetKind::all();
+    println!("preparing datasets and training EnQode models (offline phase)…");
+    let contexts = match build_contexts(&kinds, &config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to prepare datasets: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for ctx in &contexts {
+        println!(
+            "  {}: {} samples, {} clusters across {} classes, offline {:.2} s",
+            ctx.kind,
+            ctx.features.len(),
+            ctx.total_clusters(),
+            ctx.class_models.len(),
+            ctx.offline_seconds
+        );
+    }
+
+    let result = run_target(&target, &contexts, &config);
+    match result {
+        Ok(()) => {
+            println!("total wall-clock: {:.1} s", start.elapsed().as_secs_f64());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_target(
+    target: &str,
+    contexts: &[enq_bench::context::DatasetContext],
+    config: &ExperimentConfig,
+) -> Result<(), enqode::EnqodeError> {
+    match target {
+        "fig6" | "fig7" | "fig67" => {
+            let result = fig67::run(contexts, config)?;
+            println!("{result}");
+        }
+        "fig8" => {
+            let result = fig8::run(contexts, config)?;
+            println!("{result}");
+        }
+        "fig9" => {
+            let result = fig9::run(contexts, config)?;
+            println!("{result}");
+        }
+        "ablation" => {
+            let result = ablation::run(contexts, config)?;
+            println!("{result}");
+        }
+        _ => {
+            let f67 = fig67::run(contexts, config)?;
+            println!("{f67}");
+            let f8 = fig8::run(contexts, config)?;
+            println!("{f8}");
+            let f9 = fig9::run(contexts, config)?;
+            println!("{f9}");
+            let ab = ablation::run(contexts, config)?;
+            println!("{ab}");
+        }
+    }
+    Ok(())
+}
+
+fn print_usage() {
+    println!(
+        "usage: reproduce [fig6|fig7|fig8|fig9|ablation|all] [--quick|--full|--tiny]\n\
+         regenerates the corresponding figure(s) of the EnQode paper"
+    );
+}

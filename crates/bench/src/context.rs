@@ -1,0 +1,114 @@
+//! Per-dataset evaluation context shared by all figures: prepared features,
+//! trained per-class EnQode models, the Baseline embedder, and the device
+//! transpiler.
+
+use crate::experiment::{evaluation_indices, prepare_dataset, ExperimentConfig};
+use enq_circuit::{Topology, Transpiler};
+use enq_data::{Dataset, DatasetKind};
+use enqode::{BaselineEmbedder, EnqodeError, EnqodeModel};
+
+/// Everything needed to evaluate one dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetContext {
+    /// The dataset surrogate being evaluated.
+    pub kind: DatasetKind,
+    /// PCA-reduced, normalised feature vectors with labels.
+    pub features: Dataset,
+    /// One trained EnQode model per class, keyed by label.
+    pub class_models: Vec<(usize, EnqodeModel)>,
+    /// Transpiler targeting the linear section of the heavy-hex device.
+    pub transpiler: Transpiler,
+    /// The exact-embedding Baseline.
+    pub baseline: BaselineEmbedder,
+    /// Total offline (clustering + per-cluster training) time in seconds.
+    pub offline_seconds: f64,
+}
+
+impl DatasetContext {
+    /// Prepares the dataset and trains all per-class models.
+    ///
+    /// # Errors
+    ///
+    /// Propagates data-preparation and training errors.
+    pub fn build(kind: DatasetKind, config: &ExperimentConfig) -> Result<Self, EnqodeError> {
+        let prepared = prepare_dataset(kind, config)?;
+        let enqode_config = config.enqode_config();
+        let mut class_models = Vec::new();
+        let mut offline_seconds = 0.0;
+        for label in prepared.features.classes() {
+            let class_data = prepared.features.class_subset(label)?;
+            let model = EnqodeModel::fit(class_data.samples(), enqode_config.clone())?;
+            offline_seconds += model.offline_duration().as_secs_f64();
+            class_models.push((label, model));
+        }
+        Ok(Self {
+            kind,
+            features: prepared.features,
+            class_models,
+            transpiler: Transpiler::new(Topology::linear(config.num_qubits)),
+            baseline: BaselineEmbedder::new(config.num_qubits),
+            offline_seconds,
+        })
+    }
+
+    /// Returns the trained model of a class label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was not part of the dataset (callers iterate the
+    /// dataset's own labels).
+    pub fn model_for(&self, label: usize) -> &EnqodeModel {
+        &self
+            .class_models
+            .iter()
+            .find(|(l, _)| *l == label)
+            .expect("label comes from the dataset")
+            .1
+    }
+
+    /// Returns the total number of trained clusters across classes.
+    pub fn total_clusters(&self) -> usize {
+        self.class_models
+            .iter()
+            .map(|(_, m)| m.num_clusters())
+            .sum()
+    }
+
+    /// Returns up to `limit` sample indices used for evaluation.
+    pub fn eval_indices(&self, limit: usize) -> Vec<usize> {
+        evaluation_indices(&self.features, limit)
+    }
+}
+
+/// Builds the contexts for every requested dataset.
+///
+/// # Errors
+///
+/// Propagates per-dataset errors.
+pub fn build_contexts(
+    kinds: &[DatasetKind],
+    config: &ExperimentConfig,
+) -> Result<Vec<DatasetContext>, EnqodeError> {
+    kinds.iter().map(|&k| DatasetContext::build(k, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_and_trains() {
+        let cfg = ExperimentConfig::tiny();
+        let ctx = DatasetContext::build(DatasetKind::MnistLike, &cfg).unwrap();
+        assert_eq!(ctx.class_models.len(), 2);
+        assert!(ctx.total_clusters() >= 2);
+        assert!(ctx.offline_seconds > 0.0);
+        assert_eq!(ctx.baseline.num_qubits(), cfg.num_qubits);
+        let idx = ctx.eval_indices(4);
+        assert_eq!(idx.len(), 4);
+        // model_for works for every label in the dataset.
+        for &label in &ctx.features.classes() {
+            assert!(ctx.model_for(label).num_clusters() >= 1);
+        }
+    }
+}

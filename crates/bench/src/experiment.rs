@@ -1,0 +1,185 @@
+//! Shared experiment configuration and dataset preparation.
+
+use enq_data::{generate_synthetic, Dataset, DatasetKind, FeaturePipeline, SyntheticConfig};
+use enqode::{AnsatzConfig, EnqodeConfig, EnqodeError, EntanglerKind};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a full evaluation run (all figures share it).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of classes sampled per dataset (the paper uses 5).
+    pub classes: usize,
+    /// Number of samples generated per class (the paper uses 500).
+    pub samples_per_class: usize,
+    /// Number of samples per dataset evaluated for circuit metrics, ideal
+    /// fidelity, and compile time.
+    pub eval_samples: usize,
+    /// Number of samples per dataset evaluated under the noisy simulator
+    /// (density-matrix simulation of the Baseline is expensive).
+    pub noisy_samples: usize,
+    /// Number of qubits (2^n features after PCA); the paper uses 8.
+    pub num_qubits: usize,
+    /// Ansatz layers; the paper uses 8.
+    pub num_layers: usize,
+    /// Clusters stop growing once every sample reaches this fidelity to its
+    /// nearest cluster mean.
+    pub fidelity_threshold: f64,
+    /// Maximum clusters per class.
+    pub max_clusters: usize,
+    /// RNG seed for data generation, clustering, and initialisation.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A configuration sized for quick runs (CI, laptops): fewer samples and
+    /// a smaller noisy-simulation budget, same qubit/layer counts as the
+    /// paper.
+    pub fn quick() -> Self {
+        Self {
+            classes: 3,
+            samples_per_class: 60,
+            eval_samples: 24,
+            noisy_samples: 4,
+            num_qubits: 8,
+            num_layers: 8,
+            fidelity_threshold: 0.95,
+            max_clusters: 24,
+            seed: 7,
+        }
+    }
+
+    /// The full-scale configuration mirroring the paper's methodology
+    /// (5 classes × 500 samples per dataset, 8 qubits, 8 layers).
+    pub fn full() -> Self {
+        Self {
+            classes: 5,
+            samples_per_class: 500,
+            eval_samples: 100,
+            noisy_samples: 10,
+            num_qubits: 8,
+            num_layers: 8,
+            fidelity_threshold: 0.95,
+            max_clusters: 64,
+            seed: 7,
+        }
+    }
+
+    /// A tiny configuration used by integration tests and criterion benches
+    /// that must run in debug builds.
+    pub fn tiny() -> Self {
+        Self {
+            classes: 2,
+            samples_per_class: 12,
+            eval_samples: 6,
+            noisy_samples: 2,
+            num_qubits: 4,
+            num_layers: 6,
+            fidelity_threshold: 0.9,
+            max_clusters: 8,
+            seed: 7,
+        }
+    }
+
+    /// Returns the [`EnqodeConfig`] derived from this experiment
+    /// configuration.
+    pub fn enqode_config(&self) -> EnqodeConfig {
+        EnqodeConfig {
+            ansatz: AnsatzConfig {
+                num_qubits: self.num_qubits,
+                num_layers: self.num_layers,
+                entangler: EntanglerKind::Cy,
+            },
+            fidelity_threshold: self.fidelity_threshold,
+            max_clusters: self.max_clusters,
+            offline_max_iterations: 400,
+            offline_restarts: 4,
+            online_max_iterations: 40,
+            seed: self.seed,
+        }
+    }
+
+    /// Number of PCA features (`2^num_qubits`).
+    pub fn num_features(&self) -> usize {
+        1usize << self.num_qubits
+    }
+}
+
+/// A dataset prepared for embedding: PCA-reduced, L2-normalised features.
+#[derive(Debug, Clone)]
+pub struct PreparedDataset {
+    /// Which surrogate dataset this is.
+    pub kind: DatasetKind,
+    /// The normalised feature vectors with class labels.
+    pub features: Dataset,
+}
+
+/// Generates the synthetic surrogate for `kind` and runs the PCA +
+/// normalisation pipeline of the paper.
+///
+/// # Errors
+///
+/// Propagates data-generation and PCA errors.
+pub fn prepare_dataset(
+    kind: DatasetKind,
+    config: &ExperimentConfig,
+) -> Result<PreparedDataset, EnqodeError> {
+    let raw = generate_synthetic(
+        kind,
+        &SyntheticConfig {
+            classes: config.classes,
+            samples_per_class: config.samples_per_class,
+            seed: config.seed,
+        },
+    )?;
+    let pipeline = FeaturePipeline::fit(&raw, config.num_features())?;
+    let features = pipeline.apply_dataset(&raw)?;
+    Ok(PreparedDataset { kind, features })
+}
+
+/// Selects up to `limit` evaluation sample indices spread across the dataset.
+pub fn evaluation_indices(dataset: &Dataset, limit: usize) -> Vec<usize> {
+    let n = dataset.len();
+    if n <= limit {
+        return (0..n).collect();
+    }
+    let stride = n as f64 / limit as f64;
+    (0..limit).map(|i| (i as f64 * stride) as usize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_have_sensible_defaults() {
+        let quick = ExperimentConfig::quick();
+        assert_eq!(quick.num_qubits, 8);
+        assert_eq!(quick.num_features(), 256);
+        let full = ExperimentConfig::full();
+        assert_eq!(full.classes, 5);
+        assert_eq!(full.samples_per_class, 500);
+        let enq = full.enqode_config();
+        assert_eq!(enq.ansatz.num_parameters(), 64);
+    }
+
+    #[test]
+    fn prepare_dataset_produces_normalized_features() {
+        let cfg = ExperimentConfig::tiny();
+        let prepared = prepare_dataset(DatasetKind::MnistLike, &cfg).unwrap();
+        assert_eq!(prepared.features.feature_dim(), 16);
+        assert_eq!(prepared.features.len(), 24);
+        let norm: f64 = prepared.features.sample(0).iter().map(|v| v * v).sum();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_indices_are_spread_and_bounded() {
+        let cfg = ExperimentConfig::tiny();
+        let prepared = prepare_dataset(DatasetKind::FashionMnistLike, &cfg).unwrap();
+        let idx = evaluation_indices(&prepared.features, 5);
+        assert_eq!(idx.len(), 5);
+        assert!(idx.iter().all(|&i| i < prepared.features.len()));
+        let all = evaluation_indices(&prepared.features, 10_000);
+        assert_eq!(all.len(), prepared.features.len());
+    }
+}

@@ -1,0 +1,199 @@
+//! Figures 6 and 7: circuit depth, total gate count, and physical one-/two-
+//! qubit gate counts of the Baseline vs EnQode, per dataset (mean ± σ over
+//! samples).
+
+use crate::context::DatasetContext;
+use crate::experiment::ExperimentConfig;
+use crate::report::{cell, improvement_ratio, markdown_table};
+use enq_circuit::{CircuitMetrics, MetricsSummary};
+use enqode::EnqodeError;
+use std::fmt;
+
+/// The per-dataset rows of Figures 6 and 7.
+#[derive(Debug, Clone)]
+pub struct Fig67Row {
+    /// Dataset display name ("MNIST", "F-MNIST", "CIFAR").
+    pub dataset: String,
+    /// Baseline circuit-metric statistics across samples.
+    pub baseline: MetricsSummary,
+    /// EnQode circuit-metric statistics across samples.
+    pub enqode: MetricsSummary,
+}
+
+/// The full result of the Fig. 6 / Fig. 7 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig67Result {
+    /// One row per dataset.
+    pub rows: Vec<Fig67Row>,
+}
+
+impl Fig67Result {
+    /// Average depth reduction factor (Baseline / EnQode) across datasets.
+    pub fn mean_depth_reduction(&self) -> f64 {
+        mean(self
+            .rows
+            .iter()
+            .map(|r| improvement_ratio(&r.baseline.depth, &r.enqode.depth)))
+    }
+
+    /// Average total-gate reduction factor across datasets.
+    pub fn mean_gate_reduction(&self) -> f64 {
+        mean(self
+            .rows
+            .iter()
+            .map(|r| improvement_ratio(&r.baseline.total_gates, &r.enqode.total_gates)))
+    }
+
+    /// Average one-qubit-gate reduction factor across datasets.
+    pub fn mean_one_qubit_reduction(&self) -> f64 {
+        mean(self.rows.iter().map(|r| {
+            improvement_ratio(&r.baseline.one_qubit_gates, &r.enqode.one_qubit_gates)
+        }))
+    }
+
+    /// Average two-qubit-gate reduction factor across datasets.
+    pub fn mean_two_qubit_reduction(&self) -> f64 {
+        mean(self.rows.iter().map(|r| {
+            improvement_ratio(&r.baseline.two_qubit_gates, &r.enqode.two_qubit_gates)
+        }))
+    }
+
+    /// Renders the Fig. 6 table (depth and total gates).
+    pub fn figure6_markdown(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    cell(&r.baseline.depth),
+                    cell(&r.enqode.depth),
+                    cell(&r.baseline.total_gates),
+                    cell(&r.enqode.total_gates),
+                ]
+            })
+            .collect();
+        markdown_table(
+            &[
+                "dataset",
+                "baseline depth",
+                "enqode depth",
+                "baseline total gates",
+                "enqode total gates",
+            ],
+            &rows,
+        )
+    }
+
+    /// Renders the Fig. 7 table (physical 1q and 2q gates).
+    pub fn figure7_markdown(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    cell(&r.baseline.one_qubit_gates),
+                    cell(&r.enqode.one_qubit_gates),
+                    cell(&r.baseline.two_qubit_gates),
+                    cell(&r.enqode.two_qubit_gates),
+                ]
+            })
+            .collect();
+        markdown_table(
+            &[
+                "dataset",
+                "baseline 1q gates",
+                "enqode 1q gates",
+                "baseline 2q gates",
+                "enqode 2q gates",
+            ],
+            &rows,
+        )
+    }
+}
+
+impl fmt::Display for Fig67Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Figure 6: circuit depth & total gate count ==")?;
+        writeln!(f, "{}", self.figure6_markdown())?;
+        writeln!(f, "== Figure 7: physical 1-qubit & 2-qubit gate count ==")?;
+        writeln!(f, "{}", self.figure7_markdown())?;
+        writeln!(
+            f,
+            "reduction factors (baseline / enqode): depth {:.1}x, total gates {:.1}x, 1q {:.1}x, 2q {:.1}x",
+            self.mean_depth_reduction(),
+            self.mean_gate_reduction(),
+            self.mean_one_qubit_reduction(),
+            self.mean_two_qubit_reduction()
+        )
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Runs the Fig. 6 / Fig. 7 experiment over the prepared dataset contexts.
+///
+/// # Errors
+///
+/// Propagates embedding and transpilation errors.
+pub fn run(contexts: &[DatasetContext], config: &ExperimentConfig) -> Result<Fig67Result, EnqodeError> {
+    let mut rows = Vec::with_capacity(contexts.len());
+    for ctx in contexts {
+        let indices = ctx.eval_indices(config.eval_samples);
+        let mut baseline_metrics: Vec<CircuitMetrics> = Vec::with_capacity(indices.len());
+        let mut enqode_metrics: Vec<CircuitMetrics> = Vec::with_capacity(indices.len());
+        for &i in &indices {
+            let sample = ctx.features.sample(i);
+            let label = ctx.features.labels()[i];
+
+            let baseline_circuit = ctx.baseline.embed(sample)?.circuit;
+            let transpiled = ctx.transpiler.transpile(&baseline_circuit)?;
+            baseline_metrics.push(transpiled.metrics);
+
+            let embedding = ctx.model_for(label).embed(sample)?;
+            let transpiled = ctx.transpiler.transpile(&embedding.circuit)?;
+            enqode_metrics.push(transpiled.metrics);
+        }
+        rows.push(Fig67Row {
+            dataset: ctx.kind.name().to_string(),
+            baseline: MetricsSummary::from_metrics(&baseline_metrics),
+            enqode: MetricsSummary::from_metrics(&enqode_metrics),
+        });
+    }
+    Ok(Fig67Result { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::build_contexts;
+    use enq_data::DatasetKind;
+
+    #[test]
+    fn enqode_metrics_have_zero_variance_and_beat_baseline() {
+        let cfg = ExperimentConfig::tiny();
+        let contexts = build_contexts(&[DatasetKind::MnistLike], &cfg).unwrap();
+        let result = run(&contexts, &cfg).unwrap();
+        assert_eq!(result.rows.len(), 1);
+        let row = &result.rows[0];
+        // EnQode's fixed ansatz ⇒ zero variability.
+        assert!(row.enqode.depth.std_dev.abs() < 1e-12);
+        assert!(row.enqode.total_gates.std_dev.abs() < 1e-12);
+        // Baseline is deeper and uses more two-qubit gates.
+        assert!(row.baseline.depth.mean > row.enqode.depth.mean);
+        assert!(row.baseline.two_qubit_gates.mean > row.enqode.two_qubit_gates.mean);
+        assert!(result.mean_depth_reduction() > 1.0);
+        // Tables render.
+        let text = result.to_string();
+        assert!(text.contains("Figure 6"));
+        assert!(text.contains("MNIST"));
+    }
+}

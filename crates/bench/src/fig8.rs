@@ -1,0 +1,168 @@
+//! Figure 8: state fidelity of the Baseline and EnQode under (a) ideal and
+//! (b) noisy simulation, per dataset.
+
+use crate::context::DatasetContext;
+use crate::experiment::ExperimentConfig;
+use crate::report::{cell, markdown_table};
+use enq_circuit::MetricStats;
+use enq_qsim::{DeviceNoiseModel, NoisySimulator};
+use enqode::{evaluate_baseline_sample, evaluate_enqode_sample, EnqodeError};
+use std::fmt;
+
+/// Per-dataset fidelity statistics.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Dataset display name.
+    pub dataset: String,
+    /// Baseline fidelity in ideal simulation (should be ≈ 1).
+    pub baseline_ideal: MetricStats,
+    /// EnQode fidelity in ideal simulation (the approximation quality).
+    pub enqode_ideal: MetricStats,
+    /// Baseline fidelity under the `ibm_brisbane`-like noise model.
+    pub baseline_noisy: MetricStats,
+    /// EnQode fidelity under the same noise model.
+    pub enqode_noisy: MetricStats,
+}
+
+/// The result of the Fig. 8 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig8Result {
+    /// One row per dataset.
+    pub rows: Vec<Fig8Row>,
+}
+
+impl Fig8Result {
+    /// Average noisy-fidelity improvement factor (EnQode / Baseline).
+    pub fn mean_noisy_improvement(&self) -> f64 {
+        let ratios: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.baseline_noisy.mean > 1e-12)
+            .map(|r| r.enqode_noisy.mean / r.baseline_noisy.mean)
+            .collect();
+        if ratios.is_empty() {
+            0.0
+        } else {
+            ratios.iter().sum::<f64>() / ratios.len() as f64
+        }
+    }
+
+    /// Average EnQode ideal-simulation fidelity across datasets.
+    pub fn mean_enqode_ideal(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.enqode_ideal.mean).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Renders the combined Fig. 8a/8b table.
+    pub fn to_markdown(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    cell(&r.baseline_ideal),
+                    cell(&r.enqode_ideal),
+                    cell(&r.baseline_noisy),
+                    cell(&r.enqode_noisy),
+                ]
+            })
+            .collect();
+        markdown_table(
+            &[
+                "dataset",
+                "baseline ideal",
+                "enqode ideal",
+                "baseline noisy",
+                "enqode noisy",
+            ],
+            &rows,
+        )
+    }
+}
+
+impl fmt::Display for Fig8Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Figure 8: state fidelity (ideal / noisy simulation) ==")?;
+        writeln!(f, "{}", self.to_markdown())?;
+        writeln!(
+            f,
+            "mean enqode ideal fidelity {:.3}; noisy-fidelity improvement (enqode / baseline) {:.1}x",
+            self.mean_enqode_ideal(),
+            self.mean_noisy_improvement()
+        )
+    }
+}
+
+/// Runs the Fig. 8 experiment: ideal fidelity on `eval_samples` samples and
+/// noisy fidelity on `noisy_samples` samples per dataset.
+///
+/// # Errors
+///
+/// Propagates embedding, transpilation, and simulation errors.
+pub fn run(contexts: &[DatasetContext], config: &ExperimentConfig) -> Result<Fig8Result, EnqodeError> {
+    let noisy = NoisySimulator::new(DeviceNoiseModel::ibm_brisbane_like());
+    let mut rows = Vec::with_capacity(contexts.len());
+    for ctx in contexts {
+        let indices = ctx.eval_indices(config.eval_samples);
+        let noisy_limit = config.noisy_samples.min(indices.len());
+
+        let mut baseline_ideal = Vec::new();
+        let mut enqode_ideal = Vec::new();
+        let mut baseline_noisy = Vec::new();
+        let mut enqode_noisy = Vec::new();
+
+        for (pos, &i) in indices.iter().enumerate() {
+            let sample = ctx.features.sample(i);
+            let label = ctx.features.labels()[i];
+            let with_noise = pos < noisy_limit;
+            let noise_ref = if with_noise { Some(&noisy) } else { None };
+
+            let b = evaluate_baseline_sample(&ctx.baseline, sample, &ctx.transpiler, noise_ref)?;
+            baseline_ideal.push(b.ideal_fidelity);
+            if let Some(f) = b.noisy_fidelity {
+                baseline_noisy.push(f);
+            }
+
+            let e = evaluate_enqode_sample(ctx.model_for(label), sample, &ctx.transpiler, noise_ref)?;
+            enqode_ideal.push(e.ideal_fidelity);
+            if let Some(f) = e.noisy_fidelity {
+                enqode_noisy.push(f);
+            }
+        }
+
+        rows.push(Fig8Row {
+            dataset: ctx.kind.name().to_string(),
+            baseline_ideal: MetricStats::from_values(&baseline_ideal),
+            enqode_ideal: MetricStats::from_values(&enqode_ideal),
+            baseline_noisy: MetricStats::from_values(&baseline_noisy),
+            enqode_noisy: MetricStats::from_values(&enqode_noisy),
+        });
+    }
+    Ok(Fig8Result { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::build_contexts;
+    use enq_data::DatasetKind;
+
+    #[test]
+    fn fidelity_relationships_hold_on_tiny_config() {
+        let cfg = ExperimentConfig::tiny();
+        let contexts = build_contexts(&[DatasetKind::MnistLike], &cfg).unwrap();
+        let result = run(&contexts, &cfg).unwrap();
+        let row = &result.rows[0];
+        // Baseline is exact in ideal simulation.
+        assert!(row.baseline_ideal.mean > 0.999);
+        // EnQode is approximate but decent.
+        assert!(row.enqode_ideal.mean > 0.6);
+        // Under noise, the deep Baseline circuits lose much more fidelity.
+        assert!(row.enqode_noisy.mean > row.baseline_noisy.mean);
+        assert!(result.mean_noisy_improvement() > 1.0);
+        assert!(result.to_string().contains("Figure 8"));
+    }
+}

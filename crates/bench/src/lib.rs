@@ -1,0 +1,35 @@
+//! # enq-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! EnQode evaluation:
+//!
+//! * [`fig67`] — circuit depth, total gates, and physical 1q/2q gate counts
+//!   (Fig. 6 and Fig. 7),
+//! * [`fig8`] — ideal- and noisy-simulation state fidelity (Fig. 8a/8b),
+//! * [`fig9`] — online/offline compilation times (Fig. 9a/9b),
+//! * [`ablation`] — entangler, layer-count, optimiser, and transfer-learning
+//!   ablations for the design choices of Sec. III.
+//!
+//! The `reproduce` binary drives these modules from the command line;
+//! `cargo bench` runs criterion timing benchmarks over the same code paths.
+//!
+//! ```no_run
+//! use enq_bench::{context::build_contexts, experiment::ExperimentConfig, fig67};
+//! use enq_data::DatasetKind;
+//!
+//! let config = ExperimentConfig::quick();
+//! let contexts = build_contexts(&DatasetKind::all(), &config)?;
+//! let result = fig67::run(&contexts, &config)?;
+//! println!("{result}");
+//! # Ok::<(), enqode::EnqodeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod context;
+pub mod experiment;
+pub mod fig67;
+pub mod fig8;
+pub mod fig9;
+pub mod report;

@@ -1,0 +1,86 @@
+//! Plain-text/markdown table rendering of experiment results.
+
+use enq_circuit::MetricStats;
+use std::fmt::Write as _;
+
+/// Formats a mean ± standard-deviation cell.
+pub fn cell(stats: &MetricStats) -> String {
+    if stats.mean.abs() >= 100.0 {
+        format!("{:.1} ± {:.1}", stats.mean, stats.std_dev)
+    } else if stats.mean.abs() >= 1.0 {
+        format!("{:.2} ± {:.2}", stats.mean, stats.std_dev)
+    } else {
+        format!("{:.4} ± {:.4}", stats.mean, stats.std_dev)
+    }
+}
+
+/// Renders a markdown table from a header row and data rows.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", header.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Computes the ratio `a.mean / b.mean`, guarding against division by zero.
+pub fn improvement_ratio(a: &MetricStats, b: &MetricStats) -> f64 {
+    if b.mean.abs() < 1e-12 {
+        f64::INFINITY
+    } else {
+        a.mean / b.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_formats_by_magnitude() {
+        let big = MetricStats {
+            mean: 1234.5,
+            std_dev: 10.0,
+            min: 0.0,
+            max: 0.0,
+        };
+        assert!(cell(&big).starts_with("1234.5"));
+        let small = MetricStats {
+            mean: 0.123456,
+            std_dev: 0.01,
+            min: 0.0,
+            max: 0.0,
+        };
+        assert!(cell(&small).starts_with("0.1235"));
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert_eq!(t.lines().count(), 4);
+        assert!(t.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let a = MetricStats {
+            mean: 10.0,
+            ..Default::default()
+        };
+        let b = MetricStats {
+            mean: 2.0,
+            ..Default::default()
+        };
+        assert!((improvement_ratio(&a, &b) - 5.0).abs() < 1e-12);
+        assert!(improvement_ratio(&a, &MetricStats::default()).is_infinite());
+    }
+}

@@ -1,0 +1,565 @@
+//! The quantum-circuit intermediate representation.
+
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use crate::param::Angle;
+use enq_linalg::{C64, CMatrix};
+use std::fmt;
+
+/// A single gate application to specific qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// The gate being applied.
+    pub gate: Gate,
+    /// The qubit operands, in gate-operand order (controls first).
+    pub qubits: Vec<usize>,
+}
+
+impl Instruction {
+    /// Creates a new instruction.
+    pub fn new(gate: Gate, qubits: Vec<usize>) -> Self {
+        Self { gate, qubits }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:?}", self.gate, self.qubits)
+    }
+}
+
+/// A gate-list quantum circuit on a fixed-size qubit register.
+///
+/// # Examples
+///
+/// ```
+/// use enq_circuit::QuantumCircuit;
+///
+/// let mut qc = QuantumCircuit::new(2);
+/// qc.h(0);
+/// qc.cx(0, 1);
+/// assert_eq!(qc.len(), 2);
+/// assert!(qc.unitary()?.is_unitary(1e-12));
+/// # Ok::<(), enq_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QuantumCircuit {
+    num_qubits: usize,
+    instructions: Vec<Instruction>,
+}
+
+impl QuantumCircuit {
+    /// Creates an empty circuit on `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Self {
+            num_qubits,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Returns the number of qubits in the register.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Returns the number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Returns `true` if the circuit contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Returns the instruction list.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Returns an iterator over the instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instructions.iter()
+    }
+
+    /// Appends a gate after validating its operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] or
+    /// [`CircuitError::DuplicateQubit`] for invalid operands, and an error if
+    /// the operand count does not match the gate arity.
+    pub fn try_append(&mut self, gate: Gate, qubits: &[usize]) -> Result<(), CircuitError> {
+        if qubits.len() != gate.num_qubits() {
+            return Err(CircuitError::UnsupportedGate(format!(
+                "{} expects {} qubits, got {}",
+                gate.name(),
+                gate.num_qubits(),
+                qubits.len()
+            )));
+        }
+        for (i, &q) in qubits.iter().enumerate() {
+            if q >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+            if qubits[..i].contains(&q) {
+                return Err(CircuitError::DuplicateQubit { qubit: q });
+            }
+        }
+        self.instructions.push(Instruction::new(gate, qubits.to_vec()));
+        Ok(())
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are invalid; use [`QuantumCircuit::try_append`]
+    /// for a fallible version.
+    pub fn append(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
+        self.try_append(gate, qubits)
+            .unwrap_or_else(|e| panic!("invalid gate application: {e}"));
+        self
+    }
+
+    /// Applies a Pauli-X gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range (same for all builder methods below).
+    pub fn x(&mut self, qubit: usize) -> &mut Self {
+        self.append(Gate::X, &[qubit])
+    }
+
+    /// Applies a Pauli-Y gate.
+    pub fn y(&mut self, qubit: usize) -> &mut Self {
+        self.append(Gate::Y, &[qubit])
+    }
+
+    /// Applies a Pauli-Z gate.
+    pub fn z(&mut self, qubit: usize) -> &mut Self {
+        self.append(Gate::Z, &[qubit])
+    }
+
+    /// Applies a Hadamard gate.
+    pub fn h(&mut self, qubit: usize) -> &mut Self {
+        self.append(Gate::H, &[qubit])
+    }
+
+    /// Applies an S gate.
+    pub fn s(&mut self, qubit: usize) -> &mut Self {
+        self.append(Gate::S, &[qubit])
+    }
+
+    /// Applies an S† gate.
+    pub fn sdg(&mut self, qubit: usize) -> &mut Self {
+        self.append(Gate::Sdg, &[qubit])
+    }
+
+    /// Applies a √X gate.
+    pub fn sx(&mut self, qubit: usize) -> &mut Self {
+        self.append(Gate::Sx, &[qubit])
+    }
+
+    /// Applies an Rx rotation.
+    pub fn rx(&mut self, angle: impl Into<Angle>, qubit: usize) -> &mut Self {
+        self.append(Gate::Rx(angle.into()), &[qubit])
+    }
+
+    /// Applies an Ry rotation.
+    pub fn ry(&mut self, angle: impl Into<Angle>, qubit: usize) -> &mut Self {
+        self.append(Gate::Ry(angle.into()), &[qubit])
+    }
+
+    /// Applies an Rz rotation.
+    pub fn rz(&mut self, angle: impl Into<Angle>, qubit: usize) -> &mut Self {
+        self.append(Gate::Rz(angle.into()), &[qubit])
+    }
+
+    /// Applies a phase rotation `diag(1, e^{iλ})`.
+    pub fn p(&mut self, angle: impl Into<Angle>, qubit: usize) -> &mut Self {
+        self.append(Gate::Phase(angle.into()), &[qubit])
+    }
+
+    /// Applies a CX (CNOT) gate.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.append(Gate::Cx, &[control, target])
+    }
+
+    /// Applies a CY gate.
+    pub fn cy(&mut self, control: usize, target: usize) -> &mut Self {
+        self.append(Gate::Cy, &[control, target])
+    }
+
+    /// Applies a CZ gate.
+    pub fn cz(&mut self, control: usize, target: usize) -> &mut Self {
+        self.append(Gate::Cz, &[control, target])
+    }
+
+    /// Applies a SWAP gate.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.append(Gate::Swap, &[a, b])
+    }
+
+    /// Appends all instructions of `other` to this circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DeviceTooSmall`] if `other` uses more qubits
+    /// than this circuit has.
+    pub fn compose(&mut self, other: &QuantumCircuit) -> Result<(), CircuitError> {
+        if other.num_qubits > self.num_qubits {
+            return Err(CircuitError::DeviceTooSmall {
+                required: other.num_qubits,
+                available: self.num_qubits,
+            });
+        }
+        for inst in &other.instructions {
+            self.try_append(inst.gate, &inst.qubits)?;
+        }
+        Ok(())
+    }
+
+    /// Returns the adjoint circuit (reversed instruction order, each gate
+    /// inverted).
+    pub fn inverse(&self) -> QuantumCircuit {
+        let mut out = QuantumCircuit::new(self.num_qubits);
+        for inst in self.instructions.iter().rev() {
+            out.instructions
+                .push(Instruction::new(inst.gate.adjoint(), inst.qubits.clone()));
+        }
+        out
+    }
+
+    /// Returns the number of trainable parameters (1 + the highest parameter
+    /// index referenced), or 0 if fully bound.
+    pub fn num_parameters(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter_map(|inst| inst.gate.parameter_index())
+            .map(|i| i + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` if any gate still has a symbolic angle.
+    pub fn is_parameterized(&self) -> bool {
+        self.instructions.iter().any(|inst| inst.gate.is_parameterized())
+    }
+
+    /// Returns a copy of the circuit with all symbolic angles bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::ParameterCountMismatch`] if fewer values are
+    /// supplied than the circuit references.
+    pub fn bind_parameters(&self, values: &[f64]) -> Result<QuantumCircuit, CircuitError> {
+        let needed = self.num_parameters();
+        if values.len() < needed {
+            return Err(CircuitError::ParameterCountMismatch {
+                expected: needed,
+                found: values.len(),
+            });
+        }
+        let mut out = QuantumCircuit::new(self.num_qubits);
+        for inst in &self.instructions {
+            out.instructions
+                .push(Instruction::new(inst.gate.bind(values)?, inst.qubits.clone()));
+        }
+        Ok(out)
+    }
+
+    /// Returns the circuit depth counting every gate (including virtual ones).
+    pub fn depth(&self) -> usize {
+        self.depth_filtered(|_| true)
+    }
+
+    /// Returns the circuit depth counting only instructions accepted by
+    /// `filter`.
+    pub fn depth_filtered(&self, filter: impl Fn(&Instruction) -> bool) -> usize {
+        let mut per_qubit = vec![0usize; self.num_qubits];
+        let mut max_depth = 0;
+        for inst in &self.instructions {
+            if !filter(inst) {
+                continue;
+            }
+            let level = inst
+                .qubits
+                .iter()
+                .map(|&q| per_qubit[q])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for &q in &inst.qubits {
+                per_qubit[q] = level;
+            }
+            max_depth = max_depth.max(level);
+        }
+        max_depth
+    }
+
+    /// Counts instructions accepted by `filter`.
+    pub fn count_filtered(&self, filter: impl Fn(&Instruction) -> bool) -> usize {
+        self.instructions.iter().filter(|inst| filter(inst)).count()
+    }
+
+    /// Builds the full `2^n × 2^n` unitary of the circuit.
+    ///
+    /// Intended for verification on small registers; the cost is
+    /// `O(len · 4^n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit still has unbound parameters.
+    pub fn unitary(&self) -> Result<CMatrix, CircuitError> {
+        let dim = 1usize << self.num_qubits;
+        let mut u = CMatrix::identity(dim);
+        for inst in &self.instructions {
+            let g = expand_gate(&inst.gate.matrix()?, &inst.qubits, self.num_qubits);
+            u = g.matmul(&u);
+        }
+        Ok(u)
+    }
+
+    /// Applies the circuit to `|0…0⟩` and returns the resulting statevector.
+    ///
+    /// This is a convenience for tests and examples; the simulators in
+    /// `enq-qsim` are the fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit still has unbound parameters.
+    pub fn statevector_from_zero(&self) -> Result<enq_linalg::CVector, CircuitError> {
+        let dim = 1usize << self.num_qubits;
+        let mut state = vec![C64::ZERO; dim];
+        state[0] = C64::ONE;
+        for inst in &self.instructions {
+            apply_gate_to_state(&mut state, &inst.gate.matrix()?, &inst.qubits);
+        }
+        Ok(enq_linalg::CVector::new(state))
+    }
+}
+
+/// Expands a 1- or 2-qubit gate matrix to the full register dimension.
+///
+/// The operand list is little-endian: the first operand supplies the least
+/// significant bit of the gate-local index.
+pub(crate) fn expand_gate(gate: &CMatrix, qubits: &[usize], num_qubits: usize) -> CMatrix {
+    let dim = 1usize << num_qubits;
+    let k = qubits.len();
+    let sub_dim = 1usize << k;
+    let mut out = CMatrix::zeros(dim, dim);
+    for col in 0..dim {
+        // Extract the gate-local index bits of this column.
+        let mut sub_col = 0usize;
+        for (pos, &q) in qubits.iter().enumerate() {
+            sub_col |= ((col >> q) & 1) << pos;
+        }
+        // The bits outside the gate stay fixed.
+        for sub_row in 0..sub_dim {
+            let amp = gate[(sub_row, sub_col)];
+            if amp == C64::ZERO {
+                continue;
+            }
+            let mut row = col;
+            for (pos, &q) in qubits.iter().enumerate() {
+                let bit = (sub_row >> pos) & 1;
+                row = (row & !(1usize << q)) | (bit << q);
+            }
+            out[(row, col)] += amp;
+        }
+    }
+    out
+}
+
+/// Applies a gate matrix to a statevector in place (little-endian operands).
+pub(crate) fn apply_gate_to_state(state: &mut [C64], gate: &CMatrix, qubits: &[usize]) {
+    let n_amp = state.len();
+    let k = qubits.len();
+    let sub_dim = 1usize << k;
+    // Iterate over all amplitude groups that share the non-operand bits.
+    let mut visited = vec![false; n_amp];
+    let mut scratch = vec![C64::ZERO; sub_dim];
+    for base in 0..n_amp {
+        if visited[base] {
+            continue;
+        }
+        // Only handle the representative with all operand bits clear.
+        if qubits.iter().any(|&q| (base >> q) & 1 == 1) {
+            continue;
+        }
+        // Gather the group indices.
+        let mut indices = vec![0usize; sub_dim];
+        for (sub, index) in indices.iter_mut().enumerate() {
+            let mut idx = base;
+            for (pos, &q) in qubits.iter().enumerate() {
+                if (sub >> pos) & 1 == 1 {
+                    idx |= 1usize << q;
+                }
+            }
+            *index = idx;
+            visited[idx] = true;
+        }
+        for (sub_row, s) in scratch.iter_mut().enumerate() {
+            let mut acc = C64::ZERO;
+            for sub_col in 0..sub_dim {
+                let g = gate[(sub_row, sub_col)];
+                if g != C64::ZERO {
+                    acc += g * state[indices[sub_col]];
+                }
+            }
+            *s = acc;
+        }
+        for (sub, &idx) in indices.iter().enumerate() {
+            state[idx] = scratch[sub];
+        }
+    }
+}
+
+impl fmt::Display for QuantumCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit on {} qubits:", self.num_qubits)?;
+        for inst in &self.instructions {
+            writeln!(f, "  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a QuantumCircuit {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.instructions.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enq_linalg::CVector;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn bell_state_construction() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).cx(0, 1);
+        let sv = qc.statevector_from_zero().unwrap();
+        let expected = CVector::from_real(&[1.0 / 2f64.sqrt(), 0.0, 0.0, 1.0 / 2f64.sqrt()]);
+        assert!(sv.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn unitary_matches_statevector() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).cx(0, 1).ry(0.7, 2).cz(1, 2).rz(0.3, 0);
+        let u = qc.unitary().unwrap();
+        assert!(u.is_unitary(1e-10));
+        let from_u = u.matvec(&CVector::basis_state(8, 0));
+        let sv = qc.statevector_from_zero().unwrap();
+        assert!(from_u.approx_eq(&sv, 1e-10));
+    }
+
+    #[test]
+    fn append_validates_operands() {
+        let mut qc = QuantumCircuit::new(2);
+        assert!(qc.try_append(Gate::X, &[5]).is_err());
+        assert!(qc.try_append(Gate::Cx, &[0, 0]).is_err());
+        assert!(qc.try_append(Gate::Cx, &[0]).is_err());
+        assert!(qc.try_append(Gate::Cx, &[0, 1]).is_ok());
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).cy(0, 1).rx(0.4, 1).rz(-1.2, 0).cx(1, 0);
+        let mut total = qc.clone();
+        total.compose(&qc.inverse()).unwrap();
+        let u = total.unitary().unwrap();
+        assert!(u.approx_eq(&CMatrix::identity(4), 1e-10));
+    }
+
+    #[test]
+    fn depth_counts_parallel_gates_once() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).h(1).h(2); // one layer
+        qc.cx(0, 1); // second layer
+        qc.x(2); // also second layer (disjoint qubit)
+        assert_eq!(qc.depth(), 2);
+    }
+
+    #[test]
+    fn depth_filtered_excludes_virtual() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.rz(0.1, 0).rz(0.2, 0).sx(0).rz(0.3, 0);
+        assert_eq!(qc.depth(), 4);
+        assert_eq!(qc.depth_filtered(|i| !i.gate.is_virtual()), 1);
+    }
+
+    #[test]
+    fn parameter_binding_roundtrip() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.rz(Angle::parameter(0), 0)
+            .rz(Angle::parameter(1), 1)
+            .cx(0, 1)
+            .rz(Angle::parameter(2), 1);
+        assert!(qc.is_parameterized());
+        assert_eq!(qc.num_parameters(), 3);
+        let bound = qc.bind_parameters(&[0.1, 0.2, 0.3]).unwrap();
+        assert!(!bound.is_parameterized());
+        assert!(bound.unitary().is_ok());
+        assert!(qc.bind_parameters(&[0.1]).is_err());
+    }
+
+    #[test]
+    fn compose_rejects_larger_circuit() {
+        let mut small = QuantumCircuit::new(1);
+        let big = QuantumCircuit::new(3);
+        assert!(small.compose(&big).is_err());
+    }
+
+    #[test]
+    fn two_qubit_gate_operand_order_matters() {
+        // CX with control 1, target 0 acting on |01⟩ (q0=1): control q1=0, so no flip.
+        let mut qc = QuantumCircuit::new(2);
+        qc.x(0).cx(1, 0);
+        let sv = qc.statevector_from_zero().unwrap();
+        assert!(sv.approx_eq(&CVector::basis_state(4, 1), 1e-12));
+
+        // Control 0, target 1: |01⟩ → |11⟩.
+        let mut qc2 = QuantumCircuit::new(2);
+        qc2.x(0).cx(0, 1);
+        let sv2 = qc2.statevector_from_zero().unwrap();
+        assert!(sv2.approx_eq(&CVector::basis_state(4, 3), 1e-12));
+    }
+
+    #[test]
+    fn expand_gate_on_non_adjacent_qubits() {
+        // CX control q0, target q2 in a 3-qubit register.
+        let mut qc = QuantumCircuit::new(3);
+        qc.x(0).cx(0, 2);
+        let sv = qc.statevector_from_zero().unwrap();
+        // Expect |101⟩ = index 5.
+        assert!(sv.approx_eq(&CVector::basis_state(8, 5), 1e-12));
+    }
+
+    #[test]
+    fn rx_rotation_statevector() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.rx(PI, 0);
+        let sv = qc.statevector_from_zero().unwrap();
+        // Rx(π)|0⟩ = -i|1⟩.
+        assert!(sv[1].approx_eq(-C64::I, 1e-12));
+    }
+
+    #[test]
+    fn swap_via_builder() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.x(0).swap(0, 1);
+        let sv = qc.statevector_from_zero().unwrap();
+        assert!(sv.approx_eq(&CVector::basis_state(4, 2), 1e-12));
+    }
+}

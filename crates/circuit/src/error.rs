@@ -1,0 +1,102 @@
+//! Error types for circuit construction and transpilation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by circuit construction, routing, and transpilation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A qubit index was outside the circuit's register.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// Number of qubits in the circuit.
+        num_qubits: usize,
+    },
+    /// A gate was applied to a repeated qubit (e.g. `cx q0, q0`).
+    DuplicateQubit {
+        /// The repeated qubit index.
+        qubit: usize,
+    },
+    /// A parameterised angle was used where a bound value was required.
+    UnboundParameter {
+        /// The parameter index that was still symbolic.
+        index: usize,
+    },
+    /// The number of supplied parameter values did not match the circuit.
+    ParameterCountMismatch {
+        /// Number of parameters the circuit declares.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// The requested pair of qubits is not connected on the device topology.
+    NotConnected {
+        /// First physical qubit.
+        a: usize,
+        /// Second physical qubit.
+        b: usize,
+    },
+    /// The circuit does not fit on the device.
+    DeviceTooSmall {
+        /// Qubits required by the circuit.
+        required: usize,
+        /// Qubits available on the device.
+        available: usize,
+    },
+    /// A gate is unsupported by the requested transformation.
+    UnsupportedGate(String),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+            }
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "gate applied twice to qubit {qubit}")
+            }
+            CircuitError::UnboundParameter { index } => {
+                write!(f, "parameter {index} is unbound")
+            }
+            CircuitError::ParameterCountMismatch { expected, found } => {
+                write!(f, "expected {expected} parameter values, found {found}")
+            }
+            CircuitError::NotConnected { a, b } => {
+                write!(f, "physical qubits {a} and {b} are not connected")
+            }
+            CircuitError::DeviceTooSmall { required, available } => {
+                write!(f, "circuit needs {required} qubits but device has {available}")
+            }
+            CircuitError::UnsupportedGate(name) => write!(f, "unsupported gate: {name}"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CircuitError::QubitOutOfRange {
+            qubit: 9,
+            num_qubits: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+        assert!(CircuitError::UnsupportedGate("foo".into())
+            .to_string()
+            .contains("foo"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

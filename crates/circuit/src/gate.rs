@@ -1,0 +1,422 @@
+//! The gate set.
+//!
+//! Includes the textbook single- and two-qubit gates, the IBM native basis
+//! (`Rz`, `SX`, `X`, plus the entangler), and the `CY` gate that EnQode's
+//! ansatz uses for entanglement.
+//!
+//! ## Matrix convention
+//!
+//! Two-qubit gate matrices are indexed little-endian over the gate's operand
+//! list: for a gate applied to `[a, b]`, basis index `i = (bit_b << 1) | bit_a`.
+//! The first operand of a controlled gate is the control. This matches the
+//! convention used by qiskit and by the simulators in `enq-qsim`.
+
+use crate::error::CircuitError;
+use crate::param::Angle;
+use enq_linalg::{C64, CMatrix};
+use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_4};
+use std::fmt;
+
+/// A quantum gate, possibly with symbolic rotation angles.
+///
+/// # Examples
+///
+/// ```
+/// use enq_circuit::Gate;
+///
+/// let g = Gate::Cx;
+/// assert_eq!(g.num_qubits(), 2);
+/// assert!(g.matrix().unwrap().is_unitary(1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Gate {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate `S = diag(1, i)`.
+    S,
+    /// Inverse phase gate.
+    Sdg,
+    /// T gate `diag(1, e^{iπ/4})`.
+    T,
+    /// Inverse T gate.
+    Tdg,
+    /// Square-root of X (IBM native).
+    Sx,
+    /// Inverse square-root of X.
+    Sxdg,
+    /// Rotation about the X axis.
+    Rx(Angle),
+    /// Rotation about the Y axis.
+    Ry(Angle),
+    /// Rotation about the Z axis (virtual on IBM hardware).
+    Rz(Angle),
+    /// Phase rotation `diag(1, e^{iλ})` (virtual on IBM hardware).
+    Phase(Angle),
+    /// Controlled-X. First operand is the control.
+    Cx,
+    /// Controlled-Y. First operand is the control.
+    Cy,
+    /// Controlled-Z.
+    Cz,
+    /// SWAP gate.
+    Swap,
+    /// Echoed cross-resonance gate (IBM native entangler), locally equivalent
+    /// to `Cx`.
+    Ecr,
+}
+
+impl Gate {
+    /// Returns the number of qubits the gate acts on.
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            Gate::Cx | Gate::Cy | Gate::Cz | Gate::Swap | Gate::Ecr => 2,
+            _ => 1,
+        }
+    }
+
+    /// Returns `true` for two-qubit gates.
+    pub fn is_two_qubit(&self) -> bool {
+        self.num_qubits() == 2
+    }
+
+    /// Returns the lowercase gate name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::I => "id",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::H => "h",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::Sx => "sx",
+            Gate::Sxdg => "sxdg",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::Rz(_) => "rz",
+            Gate::Phase(_) => "p",
+            Gate::Cx => "cx",
+            Gate::Cy => "cy",
+            Gate::Cz => "cz",
+            Gate::Swap => "swap",
+            Gate::Ecr => "ecr",
+        }
+    }
+
+    /// Returns `true` if the gate is implemented virtually (as a software
+    /// frame change) on IBM hardware, and therefore contributes neither error
+    /// nor depth. These gates are excluded from the paper's circuit metrics.
+    pub fn is_virtual(&self) -> bool {
+        matches!(
+            self,
+            Gate::I | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::Phase(_)
+        )
+    }
+
+    /// Returns `true` if any angle of the gate is still symbolic.
+    pub fn is_parameterized(&self) -> bool {
+        match self {
+            Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) | Gate::Phase(a) => a.is_parameterized(),
+            _ => false,
+        }
+    }
+
+    /// Returns the trainable-parameter index used by the gate, if any.
+    pub fn parameter_index(&self) -> Option<usize> {
+        match self {
+            Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) | Gate::Phase(a) => a.parameter_index(),
+            _ => None,
+        }
+    }
+
+    /// Binds any symbolic angle against the supplied parameter vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnboundParameter`] if a referenced parameter is
+    /// missing from `values`.
+    pub fn bind(&self, values: &[f64]) -> Result<Gate, CircuitError> {
+        Ok(match self {
+            Gate::Rx(a) => Gate::Rx(Angle::fixed(a.bind(values)?)),
+            Gate::Ry(a) => Gate::Ry(Angle::fixed(a.bind(values)?)),
+            Gate::Rz(a) => Gate::Rz(Angle::fixed(a.bind(values)?)),
+            Gate::Phase(a) => Gate::Phase(Angle::fixed(a.bind(values)?)),
+            other => *other,
+        })
+    }
+
+    /// Returns the adjoint (inverse) gate.
+    pub fn adjoint(&self) -> Gate {
+        match *self {
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::Sx => Gate::Sxdg,
+            Gate::Sxdg => Gate::Sx,
+            Gate::Rx(a) => Gate::Rx(negate_angle(a)),
+            Gate::Ry(a) => Gate::Ry(negate_angle(a)),
+            Gate::Rz(a) => Gate::Rz(negate_angle(a)),
+            Gate::Phase(a) => Gate::Phase(negate_angle(a)),
+            other => other,
+        }
+    }
+
+    /// Returns the gate's unitary matrix.
+    ///
+    /// Two-qubit matrices follow the little-endian operand convention
+    /// described at the [module level](self).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnboundParameter`] if the gate still has a
+    /// symbolic angle.
+    pub fn matrix(&self) -> Result<CMatrix, CircuitError> {
+        let z = C64::ZERO;
+        let one = C64::ONE;
+        let i = C64::I;
+        let m = match self {
+            Gate::I => CMatrix::identity(2),
+            Gate::X => CMatrix::from_rows(&[&[z, one], &[one, z]]),
+            Gate::Y => CMatrix::from_rows(&[&[z, -i], &[i, z]]),
+            Gate::Z => CMatrix::from_rows(&[&[one, z], &[z, -one]]),
+            Gate::H => CMatrix::from_rows(&[&[one, one], &[one, -one]]).scale(C64::real(FRAC_1_SQRT_2)),
+            Gate::S => CMatrix::from_diagonal(&[one, i]),
+            Gate::Sdg => CMatrix::from_diagonal(&[one, -i]),
+            Gate::T => CMatrix::from_diagonal(&[one, C64::cis(FRAC_PI_4)]),
+            Gate::Tdg => CMatrix::from_diagonal(&[one, C64::cis(-FRAC_PI_4)]),
+            Gate::Sx => CMatrix::from_rows(&[
+                &[C64::new(0.5, 0.5), C64::new(0.5, -0.5)],
+                &[C64::new(0.5, -0.5), C64::new(0.5, 0.5)],
+            ]),
+            Gate::Sxdg => CMatrix::from_rows(&[
+                &[C64::new(0.5, -0.5), C64::new(0.5, 0.5)],
+                &[C64::new(0.5, 0.5), C64::new(0.5, -0.5)],
+            ]),
+            Gate::Rx(a) => {
+                let t = a.bind(&[]).map_err(|_| unbound(a))?;
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                CMatrix::from_rows(&[
+                    &[C64::real(c), C64::new(0.0, -s)],
+                    &[C64::new(0.0, -s), C64::real(c)],
+                ])
+            }
+            Gate::Ry(a) => {
+                let t = a.bind(&[]).map_err(|_| unbound(a))?;
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                CMatrix::from_rows(&[&[C64::real(c), C64::real(-s)], &[C64::real(s), C64::real(c)]])
+            }
+            Gate::Rz(a) => {
+                let t = a.bind(&[]).map_err(|_| unbound(a))?;
+                CMatrix::from_diagonal(&[C64::cis(-t / 2.0), C64::cis(t / 2.0)])
+            }
+            Gate::Phase(a) => {
+                let t = a.bind(&[]).map_err(|_| unbound(a))?;
+                CMatrix::from_diagonal(&[one, C64::cis(t)])
+            }
+            Gate::Cx => CMatrix::from_rows(&[
+                &[one, z, z, z],
+                &[z, z, z, one],
+                &[z, z, one, z],
+                &[z, one, z, z],
+            ]),
+            Gate::Cy => CMatrix::from_rows(&[
+                &[one, z, z, z],
+                &[z, z, z, -i],
+                &[z, z, one, z],
+                &[z, i, z, z],
+            ]),
+            Gate::Cz => CMatrix::from_diagonal(&[one, one, one, -one]),
+            Gate::Swap => CMatrix::from_rows(&[
+                &[one, z, z, z],
+                &[z, z, one, z],
+                &[z, one, z, z],
+                &[z, z, z, one],
+            ]),
+            Gate::Ecr => CMatrix::from_rows(&[
+                &[z, one, z, i],
+                &[one, z, -i, z],
+                &[z, i, z, one],
+                &[-i, z, one, z],
+            ])
+            .scale(C64::real(FRAC_1_SQRT_2)),
+        };
+        Ok(m)
+    }
+}
+
+/// Negates an angle expression (used for gate adjoints).
+fn negate_angle(a: Angle) -> Angle {
+    match a {
+        Angle::Fixed(v) => Angle::Fixed(-v),
+        Angle::Expr { index, sign, offset } => Angle::Expr {
+            index,
+            sign: -sign,
+            offset: -offset,
+        },
+    }
+}
+
+fn unbound(a: &Angle) -> CircuitError {
+    CircuitError::UnboundParameter {
+        index: a.parameter_index().unwrap_or(usize::MAX),
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) | Gate::Phase(a) => {
+                write!(f, "{}({})", self.name(), a)
+            }
+            _ => write!(f, "{}", self.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn all_fixed_gates() -> Vec<Gate> {
+        vec![
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Sx,
+            Gate::Sxdg,
+            Gate::Rx(Angle::fixed(0.3)),
+            Gate::Ry(Angle::fixed(-1.1)),
+            Gate::Rz(Angle::fixed(2.2)),
+            Gate::Phase(Angle::fixed(0.7)),
+            Gate::Cx,
+            Gate::Cy,
+            Gate::Cz,
+            Gate::Swap,
+            Gate::Ecr,
+        ]
+    }
+
+    #[test]
+    fn all_gate_matrices_are_unitary() {
+        for g in all_fixed_gates() {
+            let m = g.matrix().unwrap();
+            assert!(m.is_unitary(1e-10), "{} is not unitary", g.name());
+            assert_eq!(m.nrows(), 1 << g.num_qubits());
+        }
+    }
+
+    #[test]
+    fn adjoint_matrices_invert() {
+        for g in all_fixed_gates() {
+            let m = g.matrix().unwrap();
+            let md = g.adjoint().matrix().unwrap();
+            let id = CMatrix::identity(m.nrows());
+            assert!(
+                m.matmul(&md).approx_eq(&id, 1e-10),
+                "{} adjoint is not its inverse",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sx_squares_to_x() {
+        let sx = Gate::Sx.matrix().unwrap();
+        let x = Gate::X.matrix().unwrap();
+        assert!(sx.matmul(&sx).approx_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn rz_is_virtual_but_sx_is_not() {
+        assert!(Gate::Rz(Angle::fixed(1.0)).is_virtual());
+        assert!(Gate::Z.is_virtual());
+        assert!(Gate::S.is_virtual());
+        assert!(!Gate::Sx.is_virtual());
+        assert!(!Gate::X.is_virtual());
+        assert!(!Gate::Cx.is_virtual());
+    }
+
+    #[test]
+    fn cy_acts_correctly_on_basis_states() {
+        // CY with control = operand 0 (LSB). Index 1 = control set, target 0.
+        let cy = Gate::Cy.matrix().unwrap();
+        // |c=1,t=0⟩ (index 1) → i|c=1,t=1⟩ (index 3)
+        assert!(cy[(3, 1)].approx_eq(C64::I, 1e-12));
+        // |c=1,t=1⟩ (index 3) → -i|c=1,t=0⟩ (index 1)
+        assert!(cy[(1, 3)].approx_eq(-C64::I, 1e-12));
+        // control clear: identity
+        assert!(cy[(0, 0)].approx_eq(C64::ONE, 1e-12));
+        assert!(cy[(2, 2)].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn cy_equals_s_conjugated_cx() {
+        // CY = (I⊗S) CX (I⊗S†) with S on the target (operand 1, high bit).
+        let s_t = Gate::S.matrix().unwrap().kron(&CMatrix::identity(2));
+        let sdg_t = Gate::Sdg.matrix().unwrap().kron(&CMatrix::identity(2));
+        let cx = Gate::Cx.matrix().unwrap();
+        let cy = Gate::Cy.matrix().unwrap();
+        assert!(s_t.matmul(&cx).matmul(&sdg_t).approx_eq(&cy, 1e-12));
+    }
+
+    #[test]
+    fn rotation_composition() {
+        let a = Gate::Rz(Angle::fixed(0.4)).matrix().unwrap();
+        let b = Gate::Rz(Angle::fixed(0.6)).matrix().unwrap();
+        let ab = Gate::Rz(Angle::fixed(1.0)).matrix().unwrap();
+        assert!(a.matmul(&b).approx_eq(&ab, 1e-12));
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        let rx = Gate::Rx(Angle::fixed(PI)).matrix().unwrap();
+        let x = Gate::X.matrix().unwrap().scale(-C64::I);
+        assert!(rx.approx_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn parameterized_gate_reports_and_binds() {
+        let g = Gate::Rz(Angle::parameter(2));
+        assert!(g.is_parameterized());
+        assert_eq!(g.parameter_index(), Some(2));
+        assert!(g.matrix().is_err());
+        let bound = g.bind(&[0.0, 0.0, 1.5]).unwrap();
+        assert!(!bound.is_parameterized());
+        assert!(bound.matrix().is_ok());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Gate::Cx.name(), "cx");
+        assert_eq!(Gate::Rz(Angle::fixed(0.0)).name(), "rz");
+        assert_eq!(Gate::Ecr.name(), "ecr");
+        assert_eq!(format!("{}", Gate::Cy), "cy");
+    }
+
+    #[test]
+    fn swap_matrix_swaps() {
+        let sw = Gate::Swap.matrix().unwrap();
+        // |01⟩ (index 1: q0=1,q1=0) → |10⟩ (index 2)
+        assert!(sw[(2, 1)].approx_eq(C64::ONE, 1e-12));
+        assert!(sw[(1, 2)].approx_eq(C64::ONE, 1e-12));
+    }
+}

@@ -1,0 +1,163 @@
+//! Logical-to-physical qubit layouts.
+
+use crate::error::CircuitError;
+
+/// A bijective mapping from logical circuit qubits to physical device qubits.
+///
+/// # Examples
+///
+/// ```
+/// use enq_circuit::Layout;
+///
+/// let layout = Layout::from_physical(&[5, 6, 7], 10)?;
+/// assert_eq!(layout.physical(1), 6);
+/// assert_eq!(layout.logical(7), Some(2));
+/// # Ok::<(), enq_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// `logical_to_physical[l]` is the physical qubit hosting logical qubit `l`.
+    logical_to_physical: Vec<usize>,
+    /// `physical_to_logical[p]` is the logical qubit on physical qubit `p`, if any.
+    physical_to_logical: Vec<Option<usize>>,
+}
+
+impl Layout {
+    /// Creates the trivial layout `l ↦ l` on a device of `device_size` qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DeviceTooSmall`] if the device has fewer than
+    /// `num_logical` qubits.
+    pub fn trivial(num_logical: usize, device_size: usize) -> Result<Self, CircuitError> {
+        let assignment: Vec<usize> = (0..num_logical).collect();
+        Self::from_physical(&assignment, device_size)
+    }
+
+    /// Creates a layout from an explicit list of physical qubits, one per
+    /// logical qubit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DeviceTooSmall`] if the device cannot host the
+    /// logical register and [`CircuitError::QubitOutOfRange`] or
+    /// [`CircuitError::DuplicateQubit`] for invalid assignments.
+    pub fn from_physical(assignment: &[usize], device_size: usize) -> Result<Self, CircuitError> {
+        if assignment.len() > device_size {
+            return Err(CircuitError::DeviceTooSmall {
+                required: assignment.len(),
+                available: device_size,
+            });
+        }
+        let mut physical_to_logical = vec![None; device_size];
+        for (logical, &physical) in assignment.iter().enumerate() {
+            if physical >= device_size {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: physical,
+                    num_qubits: device_size,
+                });
+            }
+            if physical_to_logical[physical].is_some() {
+                return Err(CircuitError::DuplicateQubit { qubit: physical });
+            }
+            physical_to_logical[physical] = Some(logical);
+        }
+        Ok(Self {
+            logical_to_physical: assignment.to_vec(),
+            physical_to_logical,
+        })
+    }
+
+    /// Returns the number of logical qubits.
+    pub fn num_logical(&self) -> usize {
+        self.logical_to_physical.len()
+    }
+
+    /// Returns the number of physical qubits on the device.
+    pub fn device_size(&self) -> usize {
+        self.physical_to_logical.len()
+    }
+
+    /// Returns the physical qubit hosting logical qubit `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not a valid logical qubit.
+    pub fn physical(&self, l: usize) -> usize {
+        self.logical_to_physical[l]
+    }
+
+    /// Returns the logical qubit on physical qubit `p`, if occupied.
+    pub fn logical(&self, p: usize) -> Option<usize> {
+        self.physical_to_logical.get(p).copied().flatten()
+    }
+
+    /// Returns the full logical-to-physical assignment.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.logical_to_physical
+    }
+
+    /// Swaps whatever occupies physical qubits `a` and `b` (used when a SWAP
+    /// gate is routed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either physical qubit is out of range.
+    pub fn swap_physical(&mut self, a: usize, b: usize) {
+        let la = self.physical_to_logical[a];
+        let lb = self.physical_to_logical[b];
+        self.physical_to_logical[a] = lb;
+        self.physical_to_logical[b] = la;
+        if let Some(l) = la {
+            self.logical_to_physical[l] = b;
+        }
+        if let Some(l) = lb {
+            self.logical_to_physical[l] = a;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_layout_is_identity() {
+        let l = Layout::trivial(3, 5).unwrap();
+        assert_eq!(l.physical(0), 0);
+        assert_eq!(l.physical(2), 2);
+        assert_eq!(l.logical(2), Some(2));
+        assert_eq!(l.logical(4), None);
+        assert_eq!(l.num_logical(), 3);
+        assert_eq!(l.device_size(), 5);
+    }
+
+    #[test]
+    fn custom_layout_maps_both_ways() {
+        let l = Layout::from_physical(&[4, 2, 0], 5).unwrap();
+        assert_eq!(l.physical(0), 4);
+        assert_eq!(l.logical(4), Some(0));
+        assert_eq!(l.logical(2), Some(1));
+        assert_eq!(l.logical(1), None);
+    }
+
+    #[test]
+    fn invalid_layouts_rejected() {
+        assert!(Layout::from_physical(&[0, 0], 4).is_err());
+        assert!(Layout::from_physical(&[9], 4).is_err());
+        assert!(Layout::trivial(5, 3).is_err());
+    }
+
+    #[test]
+    fn swap_physical_updates_both_maps() {
+        let mut l = Layout::from_physical(&[0, 1], 3).unwrap();
+        l.swap_physical(1, 2);
+        assert_eq!(l.physical(1), 2);
+        assert_eq!(l.logical(2), Some(1));
+        assert_eq!(l.logical(1), None);
+        // Swapping two empty/occupied mixes still consistent.
+        l.swap_physical(0, 1);
+        assert_eq!(l.physical(0), 1);
+        assert_eq!(l.logical(0), None);
+    }
+}

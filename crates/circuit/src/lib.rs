@@ -1,0 +1,160 @@
+//! # enq-circuit
+//!
+//! Quantum-circuit intermediate representation, device topologies, SWAP
+//! routing, and IBM-native-basis transpilation for the EnQode reproduction.
+//!
+//! The crate provides everything the paper's methodology needs on the circuit
+//! side:
+//!
+//! * a gate set including the IBM basis (`Rz`, `SX`, `X`, entangler) and the
+//!   `CY` gate used by EnQode's ansatz ([`Gate`]),
+//! * a circuit builder with parameterised rotations ([`QuantumCircuit`],
+//!   [`Angle`]),
+//! * heavy-hexagonal and linear device topologies ([`Topology`]),
+//! * a "level 0" transpiler: SWAP routing plus native-basis translation
+//!   ([`Transpiler`]),
+//! * the circuit cost metrics the paper reports (depth and physical gate
+//!   counts excluding virtual `Rz`, [`CircuitMetrics`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use enq_circuit::{QuantumCircuit, Topology, Transpiler};
+//!
+//! // Build a small entangling circuit and transpile it onto an
+//! // ibm_brisbane-like heavy-hex device.
+//! let mut qc = QuantumCircuit::new(4);
+//! qc.rx(-std::f64::consts::FRAC_PI_2, 0);
+//! qc.cy(0, 1).cy(2, 3).cy(1, 2);
+//! let out = Transpiler::new(Topology::ibm_brisbane_like()).transpile(&qc)?;
+//! assert_eq!(out.metrics.two_qubit_gates, 3);
+//! # Ok::<(), enq_circuit::CircuitError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod basis;
+mod circuit;
+mod error;
+mod gate;
+mod layout;
+mod metrics;
+mod param;
+mod routing;
+mod topology;
+mod transpile;
+
+pub use basis::{decompose_1q, is_native, translate_to_native, zyz_angles, ZyzAngles};
+pub use circuit::{Instruction, QuantumCircuit};
+pub use error::CircuitError;
+pub use gate::Gate;
+pub use layout::Layout;
+pub use metrics::{CircuitMetrics, MetricStats, MetricsSummary};
+pub use param::Angle;
+pub use routing::{route, RoutedCircuit};
+pub use topology::Topology;
+pub use transpile::{TranspileOptions, TranspiledCircuit, Transpiler};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy producing a random small circuit on `n` qubits.
+    fn arb_circuit(n: usize, max_len: usize) -> impl Strategy<Value = QuantumCircuit> {
+        let gate_choice = 0..8u8;
+        proptest::collection::vec((gate_choice, 0..n, 0..n, -3.0..3.0f64), 1..max_len).prop_map(
+            move |ops| {
+                let mut qc = QuantumCircuit::new(n);
+                for (kind, a, b, angle) in ops {
+                    let b = if a == b { (b + 1) % n } else { b };
+                    match kind {
+                        0 => {
+                            qc.h(a);
+                        }
+                        1 => {
+                            qc.x(a);
+                        }
+                        2 => {
+                            qc.rz(angle, a);
+                        }
+                        3 => {
+                            qc.ry(angle, a);
+                        }
+                        4 => {
+                            qc.cx(a, b);
+                        }
+                        5 => {
+                            qc.cy(a, b);
+                        }
+                        6 => {
+                            qc.cz(a, b);
+                        }
+                        _ => {
+                            qc.rx(angle, a);
+                        }
+                    }
+                }
+                qc
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn circuit_unitary_is_always_unitary(qc in arb_circuit(3, 12)) {
+            let u = qc.unitary().unwrap();
+            prop_assert!(u.is_unitary(1e-8));
+        }
+
+        #[test]
+        fn inverse_restores_identity(qc in arb_circuit(3, 10)) {
+            let mut total = qc.clone();
+            total.compose(&qc.inverse()).unwrap();
+            let u = total.unitary().unwrap();
+            prop_assert!(u.approx_eq(&enq_linalg::CMatrix::identity(8), 1e-8));
+        }
+
+        #[test]
+        fn native_translation_preserves_state(qc in arb_circuit(3, 10)) {
+            let native = translate_to_native(&qc).unwrap();
+            prop_assert!(is_native(&native));
+            let a = qc.statevector_from_zero().unwrap();
+            let b = native.statevector_from_zero().unwrap();
+            prop_assert!(a.approx_eq_up_to_phase(&b, 1e-7));
+        }
+
+        #[test]
+        fn routing_never_reduces_two_qubit_gate_count(qc in arb_circuit(4, 12)) {
+            let topo = Topology::linear(4);
+            let routed = route(&qc, &topo, Layout::trivial(4, 4).unwrap()).unwrap();
+            let before = qc.count_filtered(|i| i.gate.is_two_qubit());
+            let after = routed.circuit.count_filtered(|i| i.gate.is_two_qubit());
+            prop_assert!(after >= before);
+            prop_assert_eq!(after - before, routed.swap_count);
+        }
+
+        #[test]
+        fn transpiled_circuits_are_native_and_routed(qc in arb_circuit(4, 10)) {
+            let topo = Topology::linear(6);
+            let t = Transpiler::new(topo.clone());
+            let out = t.transpile(&qc).unwrap();
+            prop_assert!(is_native(&out.circuit));
+            for inst in out.circuit.iter() {
+                if inst.gate.is_two_qubit() {
+                    prop_assert!(topo.are_connected(inst.qubits[0], inst.qubits[1]));
+                }
+            }
+        }
+
+        #[test]
+        fn depth_monotone_under_composition(qc in arb_circuit(3, 8)) {
+            let mut doubled = qc.clone();
+            doubled.compose(&qc).unwrap();
+            prop_assert!(doubled.depth() >= qc.depth());
+            prop_assert_eq!(doubled.len(), qc.len() * 2);
+        }
+    }
+}

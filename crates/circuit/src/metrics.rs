@@ -1,0 +1,218 @@
+//! Circuit cost metrics as reported in the paper's evaluation.
+//!
+//! All figures in the paper exclude `Rz` gates (and other virtual frame
+//! changes) because they contribute neither error nor duration on IBM
+//! hardware. [`CircuitMetrics`] applies the same convention.
+
+use crate::circuit::QuantumCircuit;
+use crate::gate::Gate;
+use std::fmt;
+
+/// Per-circuit cost metrics (virtual gates excluded unless stated otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CircuitMetrics {
+    /// Circuit depth over physical (non-virtual) gates.
+    pub depth: usize,
+    /// Total number of physical gates.
+    pub total_gates: usize,
+    /// Number of physical single-qubit gates (`SX`, `X`, …).
+    pub one_qubit_gates: usize,
+    /// Number of two-qubit gates (`CX`, `CY`, `ECR`, `SWAP`, …).
+    pub two_qubit_gates: usize,
+    /// Number of explicit `SWAP` gates (before basis translation).
+    pub swap_gates: usize,
+    /// Number of virtual gates (`Rz`, phases) that were excluded.
+    pub virtual_gates: usize,
+    /// Total instruction count including virtual gates.
+    pub total_instructions: usize,
+}
+
+impl CircuitMetrics {
+    /// Computes the metrics of a circuit.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use enq_circuit::{CircuitMetrics, QuantumCircuit};
+    ///
+    /// let mut qc = QuantumCircuit::new(2);
+    /// qc.sx(0).rz(0.3, 0).cx(0, 1);
+    /// let m = CircuitMetrics::of(&qc);
+    /// assert_eq!(m.total_gates, 2);
+    /// assert_eq!(m.virtual_gates, 1);
+    /// assert_eq!(m.depth, 2);
+    /// ```
+    pub fn of(circuit: &QuantumCircuit) -> Self {
+        let physical = |inst: &crate::circuit::Instruction| !inst.gate.is_virtual();
+        let depth = circuit.depth_filtered(physical);
+        let total_gates = circuit.count_filtered(physical);
+        let two_qubit_gates = circuit.count_filtered(|i| i.gate.is_two_qubit());
+        let one_qubit_gates = circuit.count_filtered(|i| !i.gate.is_virtual() && !i.gate.is_two_qubit());
+        let swap_gates = circuit.count_filtered(|i| matches!(i.gate, Gate::Swap));
+        let virtual_gates = circuit.count_filtered(|i| i.gate.is_virtual());
+        Self {
+            depth,
+            total_gates,
+            one_qubit_gates,
+            two_qubit_gates,
+            swap_gates,
+            virtual_gates,
+            total_instructions: circuit.len(),
+        }
+    }
+}
+
+impl fmt::Display for CircuitMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "depth={} gates={} (1q={}, 2q={}, swap={}, virtual={})",
+            self.depth,
+            self.total_gates,
+            self.one_qubit_gates,
+            self.two_qubit_gates,
+            self.swap_gates,
+            self.virtual_gates
+        )
+    }
+}
+
+/// Mean / standard-deviation summary of a metric over a set of circuits.
+///
+/// Fig. 6 and Fig. 7 of the paper report exactly these aggregate statistics
+/// across dataset samples.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MetricStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+}
+
+impl MetricStats {
+    /// Computes summary statistics of a sequence of values.
+    ///
+    /// Returns all-zero statistics for an empty input.
+    pub fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+impl fmt::Display for MetricStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean, self.std_dev)
+    }
+}
+
+/// Aggregated [`CircuitMetrics`] statistics over a collection of circuits.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSummary {
+    /// Depth statistics.
+    pub depth: MetricStats,
+    /// Total physical gate count statistics.
+    pub total_gates: MetricStats,
+    /// Physical single-qubit gate count statistics.
+    pub one_qubit_gates: MetricStats,
+    /// Two-qubit gate count statistics.
+    pub two_qubit_gates: MetricStats,
+    /// SWAP count statistics.
+    pub swap_gates: MetricStats,
+    /// Number of circuits summarised.
+    pub count: usize,
+}
+
+impl MetricsSummary {
+    /// Summarises a slice of per-circuit metrics.
+    pub fn from_metrics(metrics: &[CircuitMetrics]) -> Self {
+        let collect = |f: &dyn Fn(&CircuitMetrics) -> f64| {
+            MetricStats::from_values(&metrics.iter().map(f).collect::<Vec<_>>())
+        };
+        Self {
+            depth: collect(&|m| m.depth as f64),
+            total_gates: collect(&|m| m.total_gates as f64),
+            one_qubit_gates: collect(&|m| m.one_qubit_gates as f64),
+            two_qubit_gates: collect(&|m| m.two_qubit_gates as f64),
+            swap_gates: collect(&|m| m.swap_gates as f64),
+            count: metrics.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_exclude_virtual_gates() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.rz(0.1, 0).rz(0.2, 1).sx(0).x(1).cx(0, 1).rz(0.3, 1);
+        let m = CircuitMetrics::of(&qc);
+        assert_eq!(m.virtual_gates, 3);
+        assert_eq!(m.one_qubit_gates, 2);
+        assert_eq!(m.two_qubit_gates, 1);
+        assert_eq!(m.total_gates, 3);
+        assert_eq!(m.total_instructions, 6);
+        // sx(0) and x(1) are parallel, then cx: physical depth 2.
+        assert_eq!(m.depth, 2);
+    }
+
+    #[test]
+    fn swap_counted_as_two_qubit() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.swap(0, 1);
+        let m = CircuitMetrics::of(&qc);
+        assert_eq!(m.swap_gates, 1);
+        assert_eq!(m.two_qubit_gates, 1);
+    }
+
+    #[test]
+    fn empty_circuit_has_zero_metrics() {
+        let qc = QuantumCircuit::new(3);
+        let m = CircuitMetrics::of(&qc);
+        assert_eq!(m, CircuitMetrics::default());
+    }
+
+    #[test]
+    fn metric_stats_mean_and_std() {
+        let s = MetricStats::from_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn metric_stats_empty_is_zero() {
+        let s = MetricStats::from_values(&[]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn summary_over_identical_circuits_has_zero_std() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.sx(0).cx(0, 1);
+        let m = CircuitMetrics::of(&qc);
+        let summary = MetricsSummary::from_metrics(&[m, m, m]);
+        assert_eq!(summary.count, 3);
+        assert!(summary.depth.std_dev.abs() < 1e-12);
+        assert!((summary.total_gates.mean - 2.0).abs() < 1e-12);
+    }
+}

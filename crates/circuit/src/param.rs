@@ -1,0 +1,160 @@
+//! Symbolic rotation angles.
+//!
+//! EnQode's ansatz is a parameterised circuit: the `Rz` rotation angles stay
+//! symbolic until a particular sample (or cluster mean) has been optimised.
+//! [`Angle`] is the small expression type used for those rotation parameters —
+//! either a fixed value or a reference to the `i`-th trainable parameter,
+//! optionally negated or offset, which is all the EnQode ansatz and the
+//! Baseline need.
+
+use crate::error::CircuitError;
+use std::fmt;
+
+/// A rotation angle that is either bound to a value or refers to a trainable
+/// parameter `θ_i` via an affine expression `sign·θ_i + offset`.
+///
+/// # Examples
+///
+/// ```
+/// use enq_circuit::Angle;
+///
+/// let a = Angle::parameter(2);
+/// assert_eq!(a.bind(&[0.0, 0.0, 1.5]).unwrap(), 1.5);
+/// let b = Angle::fixed(0.25);
+/// assert_eq!(b.bind(&[]).unwrap(), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Angle {
+    /// A concrete angle in radians.
+    Fixed(f64),
+    /// An affine function of one trainable parameter: `sign·θ[index] + offset`.
+    Expr {
+        /// Index into the parameter vector.
+        index: usize,
+        /// Multiplier, typically `±1`.
+        sign: f64,
+        /// Constant offset in radians.
+        offset: f64,
+    },
+}
+
+impl Angle {
+    /// Creates a fixed angle.
+    pub fn fixed(value: f64) -> Self {
+        Angle::Fixed(value)
+    }
+
+    /// Creates an angle bound to trainable parameter `index`.
+    pub fn parameter(index: usize) -> Self {
+        Angle::Expr {
+            index,
+            sign: 1.0,
+            offset: 0.0,
+        }
+    }
+
+    /// Creates an affine angle `sign·θ[index] + offset`.
+    pub fn affine(index: usize, sign: f64, offset: f64) -> Self {
+        Angle::Expr { index, sign, offset }
+    }
+
+    /// Returns `true` if the angle still references a parameter.
+    pub fn is_parameterized(&self) -> bool {
+        matches!(self, Angle::Expr { .. })
+    }
+
+    /// Returns the parameter index if the angle is symbolic.
+    pub fn parameter_index(&self) -> Option<usize> {
+        match self {
+            Angle::Fixed(_) => None,
+            Angle::Expr { index, .. } => Some(*index),
+        }
+    }
+
+    /// Evaluates the angle against a parameter vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnboundParameter`] if the referenced parameter
+    /// index is out of range of `values`.
+    pub fn bind(&self, values: &[f64]) -> Result<f64, CircuitError> {
+        match *self {
+            Angle::Fixed(v) => Ok(v),
+            Angle::Expr { index, sign, offset } => values
+                .get(index)
+                .map(|&v| sign * v + offset)
+                .ok_or(CircuitError::UnboundParameter { index }),
+        }
+    }
+
+    /// Returns the fixed value, if bound.
+    pub fn as_fixed(&self) -> Option<f64> {
+        match self {
+            Angle::Fixed(v) => Some(*v),
+            Angle::Expr { .. } => None,
+        }
+    }
+}
+
+impl From<f64> for Angle {
+    fn from(value: f64) -> Self {
+        Angle::Fixed(value)
+    }
+}
+
+impl fmt::Display for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Angle::Fixed(v) => write!(f, "{v:.6}"),
+            Angle::Expr { index, sign, offset } => {
+                if *sign == 1.0 && *offset == 0.0 {
+                    write!(f, "θ[{index}]")
+                } else {
+                    write!(f, "{sign}·θ[{index}]+{offset}")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_binds_to_itself() {
+        assert_eq!(Angle::fixed(1.25).bind(&[]).unwrap(), 1.25);
+        assert!(!Angle::fixed(1.25).is_parameterized());
+        assert_eq!(Angle::from(2.0).as_fixed(), Some(2.0));
+    }
+
+    #[test]
+    fn parameter_binds_from_vector() {
+        let a = Angle::parameter(1);
+        assert!(a.is_parameterized());
+        assert_eq!(a.parameter_index(), Some(1));
+        assert_eq!(a.bind(&[0.5, 2.5]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn affine_expression_applies_sign_and_offset() {
+        let a = Angle::affine(0, -1.0, std::f64::consts::PI);
+        let v = a.bind(&[0.5]).unwrap();
+        assert!((v - (std::f64::consts::PI - 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_parameter_errors() {
+        let a = Angle::parameter(3);
+        assert!(matches!(
+            a.bind(&[1.0]),
+            Err(CircuitError::UnboundParameter { index: 3 })
+        ));
+    }
+
+    #[test]
+    fn display_mentions_parameter() {
+        assert_eq!(Angle::parameter(4).to_string(), "θ[4]");
+        assert!(Angle::fixed(0.5).to_string().starts_with("0.5"));
+    }
+}

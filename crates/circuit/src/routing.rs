@@ -1,0 +1,222 @@
+//! SWAP-insertion routing onto a device topology.
+//!
+//! The router mirrors what a "transpilation optimisation level 0" pass does:
+//! it keeps the initial layout, and whenever a two-qubit gate acts on
+//! physical qubits that are not adjacent it walks one operand along the
+//! shortest path with SWAP gates. No re-synthesis or commutation analysis is
+//! performed, exactly as in the paper's methodology (which disables such
+//! optimisations to avoid confounding factors).
+
+use crate::circuit::{Instruction, QuantumCircuit};
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use crate::layout::Layout;
+use crate::topology::Topology;
+
+/// The result of routing a logical circuit onto a device.
+#[derive(Debug, Clone)]
+pub struct RoutedCircuit {
+    /// The routed circuit, expressed on physical qubits.
+    pub circuit: QuantumCircuit,
+    /// The layout after all routing SWAPs have been applied.
+    pub final_layout: Layout,
+    /// Number of SWAP gates inserted.
+    pub swap_count: usize,
+}
+
+/// Routes `circuit` onto `topology`, starting from `initial_layout`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::DeviceTooSmall`] if the device cannot host the
+/// circuit, and [`CircuitError::NotConnected`] if two operands of a gate lie
+/// in different connected components of the topology.
+///
+/// # Examples
+///
+/// ```
+/// use enq_circuit::{route, Layout, QuantumCircuit, Topology};
+///
+/// let mut qc = QuantumCircuit::new(3);
+/// qc.cx(0, 2); // not adjacent on a line
+/// let topo = Topology::linear(3);
+/// let layout = Layout::trivial(3, 3)?;
+/// let routed = route(&qc, &topo, layout)?;
+/// assert_eq!(routed.swap_count, 1);
+/// # Ok::<(), enq_circuit::CircuitError>(())
+/// ```
+pub fn route(
+    circuit: &QuantumCircuit,
+    topology: &Topology,
+    initial_layout: Layout,
+) -> Result<RoutedCircuit, CircuitError> {
+    if circuit.num_qubits() > topology.num_qubits() {
+        return Err(CircuitError::DeviceTooSmall {
+            required: circuit.num_qubits(),
+            available: topology.num_qubits(),
+        });
+    }
+    if initial_layout.num_logical() < circuit.num_qubits() {
+        return Err(CircuitError::DeviceTooSmall {
+            required: circuit.num_qubits(),
+            available: initial_layout.num_logical(),
+        });
+    }
+
+    let mut layout = initial_layout;
+    let mut routed = QuantumCircuit::new(topology.num_qubits());
+    let mut swap_count = 0usize;
+
+    for Instruction { gate, qubits } in circuit.iter() {
+        match qubits.len() {
+            1 => {
+                let p = layout.physical(qubits[0]);
+                routed
+                    .try_append(*gate, &[p])
+                    .expect("validated physical qubit");
+            }
+            2 => {
+                let mut pa = layout.physical(qubits[0]);
+                let pb = layout.physical(qubits[1]);
+                if !topology.are_connected(pa, pb) {
+                    let path = topology
+                        .shortest_path(pa, pb)
+                        .ok_or(CircuitError::NotConnected { a: pa, b: pb })?;
+                    // Walk the first operand along the path until adjacent to pb.
+                    // path = [pa, x1, x2, ..., pb]; swap pa with x1, x1 with x2, ...
+                    for window in path.windows(2).take(path.len().saturating_sub(2)) {
+                        let (from, to) = (window[0], window[1]);
+                        routed
+                            .try_append(Gate::Swap, &[from, to])
+                            .expect("validated physical qubits");
+                        layout.swap_physical(from, to);
+                        swap_count += 1;
+                        pa = to;
+                    }
+                }
+                debug_assert!(topology.are_connected(pa, pb));
+                routed
+                    .try_append(*gate, &[pa, pb])
+                    .expect("validated physical qubits");
+            }
+            _ => {
+                return Err(CircuitError::UnsupportedGate(format!(
+                    "routing does not support {}-qubit gates",
+                    qubits.len()
+                )))
+            }
+        }
+    }
+
+    Ok(RoutedCircuit {
+        circuit: routed,
+        final_layout: layout,
+        swap_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.cx(0, 1).cx(1, 2).h(0);
+        let topo = Topology::linear(3);
+        let routed = route(&qc, &topo, Layout::trivial(3, 3).unwrap()).unwrap();
+        assert_eq!(routed.swap_count, 0);
+        assert_eq!(routed.circuit.len(), 3);
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps() {
+        let mut qc = QuantumCircuit::new(4);
+        qc.cx(0, 3);
+        let topo = Topology::linear(4);
+        let routed = route(&qc, &topo, Layout::trivial(4, 4).unwrap()).unwrap();
+        // Distance 3 ⇒ 2 SWAPs bring the control adjacent to the target.
+        assert_eq!(routed.swap_count, 2);
+        let swaps = routed
+            .circuit
+            .count_filtered(|i| matches!(i.gate, Gate::Swap));
+        assert_eq!(swaps, 2);
+    }
+
+    #[test]
+    fn layout_tracks_moved_qubits() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.cx(0, 2).x(0);
+        let topo = Topology::linear(3);
+        let routed = route(&qc, &topo, Layout::trivial(3, 3).unwrap()).unwrap();
+        // Logical 0 moved to physical 1 by the routing SWAP, so the final X
+        // must act on physical qubit 1.
+        let last = routed.circuit.instructions().last().unwrap();
+        assert_eq!(last.gate, Gate::X);
+        assert_eq!(last.qubits, vec![1]);
+        assert_eq!(routed.final_layout.physical(0), 1);
+    }
+
+    #[test]
+    fn routed_circuit_preserves_semantics() {
+        // Compare statevectors: routed circuit on the device (trivial layout,
+        // same qubit count) must equal the original up to the final
+        // permutation given by the layout.
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).cx(0, 2).cy(2, 0).x(1).cz(0, 1);
+        let topo = Topology::linear(3);
+        let routed = route(&qc, &topo, Layout::trivial(3, 3).unwrap()).unwrap();
+
+        let original = qc.statevector_from_zero().unwrap();
+        let routed_sv = routed.circuit.statevector_from_zero().unwrap();
+
+        // Undo the final layout permutation: amplitude of physical basis state
+        // maps back to logical ordering.
+        let n = 3;
+        let mut unpermuted = vec![enq_linalg::C64::ZERO; 1 << n];
+        for phys_index in 0..(1usize << n) {
+            let mut logical_index = 0usize;
+            for p in 0..n {
+                if (phys_index >> p) & 1 == 1 {
+                    let l = routed
+                        .final_layout
+                        .logical(p)
+                        .expect("all physical qubits occupied in this test");
+                    logical_index |= 1 << l;
+                }
+            }
+            unpermuted[logical_index] = routed_sv[phys_index];
+        }
+        let unpermuted = enq_linalg::CVector::new(unpermuted);
+        assert!(unpermuted.approx_eq_up_to_phase(&original, 1e-10));
+    }
+
+    #[test]
+    fn disconnected_topology_errors() {
+        let mut qc = QuantumCircuit::new(4);
+        qc.cx(0, 3);
+        let topo = Topology::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            route(&qc, &topo, Layout::trivial(4, 4).unwrap()),
+            Err(CircuitError::NotConnected { .. })
+        ));
+    }
+
+    #[test]
+    fn too_small_device_errors() {
+        let qc = QuantumCircuit::new(5);
+        let topo = Topology::linear(3);
+        assert!(route(&qc, &topo, Layout::trivial(3, 3).unwrap()).is_err());
+    }
+
+    #[test]
+    fn custom_initial_layout_is_respected() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.cx(0, 1);
+        let topo = Topology::linear(5);
+        let layout = Layout::from_physical(&[4, 3], 5).unwrap();
+        let routed = route(&qc, &topo, layout).unwrap();
+        let inst = &routed.circuit.instructions()[0];
+        assert_eq!(inst.qubits, vec![4, 3]);
+    }
+}

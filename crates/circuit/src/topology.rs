@@ -1,0 +1,341 @@
+//! Device connectivity graphs.
+//!
+//! EnQode maps its ansatz onto the *linear section* of IBM's heavy-hexagonal
+//! lattice so that the alternating `CY` entangler needs no SWAP insertion.
+//! The Baseline is routed onto the same topology, which is where its SWAP
+//! overhead (and much of its depth) comes from.
+
+use crate::error::CircuitError;
+use std::collections::{BTreeSet, VecDeque};
+
+/// An undirected device coupling graph.
+///
+/// # Examples
+///
+/// ```
+/// use enq_circuit::Topology;
+///
+/// let line = Topology::linear(5);
+/// assert!(line.are_connected(1, 2));
+/// assert!(!line.are_connected(0, 4));
+/// assert_eq!(line.shortest_path(0, 4).unwrap().len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    num_qubits: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl Topology {
+    /// Creates a topology from an explicit edge list.
+    ///
+    /// Edges are stored undirected; self-loops are ignored.
+    pub fn from_edges(num_qubits: usize, edges: &[(usize, usize)]) -> Result<Self, CircuitError> {
+        let mut set = BTreeSet::new();
+        for &(a, b) in edges {
+            if a >= num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: a,
+                    num_qubits,
+                });
+            }
+            if b >= num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: b,
+                    num_qubits,
+                });
+            }
+            if a != b {
+                set.insert((a.min(b), a.max(b)));
+            }
+        }
+        Ok(Self {
+            num_qubits,
+            edges: set,
+        })
+    }
+
+    /// Creates a linear chain `0—1—…—(n-1)`.
+    pub fn linear(num_qubits: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (1..num_qubits).map(|i| (i - 1, i)).collect();
+        Self::from_edges(num_qubits, &edges).expect("linear edges are always valid")
+    }
+
+    /// Creates a ring of `n` qubits.
+    pub fn ring(num_qubits: usize) -> Self {
+        let mut edges: Vec<(usize, usize)> = (1..num_qubits).map(|i| (i - 1, i)).collect();
+        if num_qubits > 2 {
+            edges.push((num_qubits - 1, 0));
+        }
+        Self::from_edges(num_qubits, &edges).expect("ring edges are always valid")
+    }
+
+    /// Creates a rectangular grid of `rows × cols` qubits.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let mut edges = Vec::new();
+        let idx = |r: usize, c: usize| r * cols + c;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                }
+                if r + 1 < rows {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                }
+            }
+        }
+        Self::from_edges(rows * cols, &edges).expect("grid edges are always valid")
+    }
+
+    /// Creates a heavy-hexagonal lattice in the style of IBM's large devices.
+    ///
+    /// The lattice consists of `rows` horizontal chains of `row_len` qubits
+    /// each, with bridge qubits connecting every fourth column of adjacent
+    /// rows (offset by two columns on alternating rows), giving the
+    /// characteristic degree-≤3 "heavy-hex" structure.
+    pub fn heavy_hex(rows: usize, row_len: usize) -> Self {
+        let mut edges = Vec::new();
+        let row_base = |r: usize| r * row_len;
+        // Horizontal chains.
+        for r in 0..rows {
+            for c in 1..row_len {
+                edges.push((row_base(r) + c - 1, row_base(r) + c));
+            }
+        }
+        // Bridge qubits sit after all row qubits.
+        let mut next_bridge = rows * row_len;
+        let mut num_qubits = rows * row_len;
+        for r in 0..rows.saturating_sub(1) {
+            let offset = if r % 2 == 0 { 0 } else { 2 };
+            let mut c = offset;
+            while c < row_len {
+                let top = row_base(r) + c;
+                let bottom = row_base(r + 1) + c;
+                edges.push((top, next_bridge));
+                edges.push((next_bridge, bottom));
+                next_bridge += 1;
+                num_qubits += 1;
+                c += 4;
+            }
+        }
+        Self::from_edges(num_qubits, &edges).expect("heavy-hex edges are always valid")
+    }
+
+    /// Creates a heavy-hex lattice with a size comparable to IBM's 127-qubit
+    /// Eagle devices (`ibm_brisbane` and friends).
+    pub fn ibm_brisbane_like() -> Self {
+        // 7 rows of 15 qubits plus bridges ≈ 127 qubits.
+        Self::heavy_hex(7, 15)
+    }
+
+    /// Returns the number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Returns the number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns an iterator over the undirected edges.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Returns `true` if the two physical qubits share an edge.
+    pub fn are_connected(&self, a: usize, b: usize) -> bool {
+        self.edges.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Returns the neighbours of a physical qubit.
+    pub fn neighbors(&self, q: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == q {
+                    Some(b)
+                } else if b == q {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Returns the degree of a physical qubit.
+    pub fn degree(&self, q: usize) -> usize {
+        self.neighbors(q).len()
+    }
+
+    /// Returns the shortest path (inclusive of both endpoints) between two
+    /// physical qubits, found with breadth-first search.
+    ///
+    /// Returns `None` if the qubits are disconnected or out of range.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        if from >= self.num_qubits || to >= self.num_qubits {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev = vec![usize::MAX; self.num_qubits];
+        let mut visited = vec![false; self.num_qubits];
+        let mut queue = VecDeque::new();
+        visited[from] = true;
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            for nb in self.neighbors(cur) {
+                if !visited[nb] {
+                    visited[nb] = true;
+                    prev[nb] = cur;
+                    if nb == to {
+                        let mut path = vec![to];
+                        let mut node = to;
+                        while prev[node] != usize::MAX {
+                            node = prev[node];
+                            path.push(node);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(nb);
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns the graph distance (number of edges) between two qubits, or
+    /// `None` if disconnected.
+    pub fn distance(&self, a: usize, b: usize) -> Option<usize> {
+        self.shortest_path(a, b).map(|p| p.len() - 1)
+    }
+
+    /// Finds a simple path of `len` physical qubits (a "linear section"), used
+    /// to place EnQode's ansatz without any SWAP overhead.
+    ///
+    /// Returns `None` if no such path exists.
+    pub fn linear_section(&self, len: usize) -> Option<Vec<usize>> {
+        if len == 0 {
+            return Some(Vec::new());
+        }
+        if len > self.num_qubits {
+            return None;
+        }
+        // Depth-first search for a simple path, trying every start qubit.
+        for start in 0..self.num_qubits {
+            let mut path = vec![start];
+            let mut on_path = vec![false; self.num_qubits];
+            on_path[start] = true;
+            if self.extend_path(&mut path, &mut on_path, len) {
+                return Some(path);
+            }
+        }
+        None
+    }
+
+    fn extend_path(&self, path: &mut Vec<usize>, on_path: &mut [bool], len: usize) -> bool {
+        if path.len() == len {
+            return true;
+        }
+        let last = *path.last().expect("path is never empty here");
+        for nb in self.neighbors(last) {
+            if !on_path[nb] {
+                path.push(nb);
+                on_path[nb] = true;
+                if self.extend_path(path, on_path, len) {
+                    return true;
+                }
+                path.pop();
+                on_path[nb] = false;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_topology_structure() {
+        let t = Topology::linear(5);
+        assert_eq!(t.num_qubits(), 5);
+        assert_eq!(t.num_edges(), 4);
+        assert!(t.are_connected(0, 1));
+        assert!(!t.are_connected(0, 2));
+        assert_eq!(t.degree(0), 1);
+        assert_eq!(t.degree(2), 2);
+    }
+
+    #[test]
+    fn ring_topology_wraps_around() {
+        let t = Topology::ring(6);
+        assert!(t.are_connected(5, 0));
+        assert_eq!(t.num_edges(), 6);
+        assert_eq!(t.distance(0, 3), Some(3));
+    }
+
+    #[test]
+    fn grid_topology_distances() {
+        let t = Topology::grid(3, 3);
+        assert_eq!(t.num_qubits(), 9);
+        assert_eq!(t.distance(0, 8), Some(4));
+        assert!(t.are_connected(4, 5));
+        assert!(!t.are_connected(0, 4));
+    }
+
+    #[test]
+    fn shortest_path_endpoints() {
+        let t = Topology::linear(6);
+        let p = t.shortest_path(1, 4).unwrap();
+        assert_eq!(p, vec![1, 2, 3, 4]);
+        assert_eq!(t.shortest_path(2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn disconnected_qubits_have_no_path() {
+        let t = Topology::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(t.shortest_path(0, 3), None);
+        assert_eq!(t.distance(1, 2), None);
+    }
+
+    #[test]
+    fn invalid_edges_rejected() {
+        assert!(Topology::from_edges(2, &[(0, 5)]).is_err());
+    }
+
+    #[test]
+    fn heavy_hex_has_low_degree() {
+        let t = Topology::heavy_hex(4, 9);
+        assert!(t.num_qubits() > 36);
+        for q in 0..t.num_qubits() {
+            assert!(t.degree(q) <= 3, "qubit {q} has degree {}", t.degree(q));
+        }
+    }
+
+    #[test]
+    fn brisbane_like_size_and_linear_section() {
+        let t = Topology::ibm_brisbane_like();
+        assert!(t.num_qubits() >= 120, "got {}", t.num_qubits());
+        // EnQode needs an 8-qubit linear section with no SWAPs.
+        let section = t.linear_section(8).unwrap();
+        assert_eq!(section.len(), 8);
+        for pair in section.windows(2) {
+            assert!(t.are_connected(pair[0], pair[1]));
+        }
+        // All distinct.
+        let set: BTreeSet<usize> = section.iter().copied().collect();
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn linear_section_too_long_fails() {
+        let t = Topology::linear(4);
+        assert!(t.linear_section(5).is_none());
+        assert_eq!(t.linear_section(4).unwrap().len(), 4);
+    }
+}

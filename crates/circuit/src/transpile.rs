@@ -1,0 +1,234 @@
+//! The transpilation pipeline: layout → routing → basis translation → metrics.
+//!
+//! Mirrors the paper's methodology: circuits are transpiled onto an
+//! `ibm_brisbane`-like heavy-hex device at "optimisation level 0", i.e. with
+//! only the transformations required for hardware execution (SWAP routing and
+//! native-basis translation) and no synthesis-level optimisation.
+
+use crate::basis::translate_to_native;
+use crate::circuit::QuantumCircuit;
+use crate::error::CircuitError;
+use crate::layout::Layout;
+use crate::metrics::CircuitMetrics;
+use crate::routing::route;
+use crate::topology::Topology;
+
+/// Options controlling the transpilation pipeline.
+#[derive(Debug, Clone)]
+pub struct TranspileOptions {
+    /// Physical qubits to place the logical register on. When `None`, a
+    /// linear section of the topology (or the trivial layout as a fallback)
+    /// is selected automatically.
+    pub initial_physical_qubits: Option<Vec<usize>>,
+    /// Whether to translate to the native basis after routing.
+    pub translate_to_native_basis: bool,
+}
+
+impl Default for TranspileOptions {
+    fn default() -> Self {
+        Self {
+            initial_physical_qubits: None,
+            translate_to_native_basis: true,
+        }
+    }
+}
+
+/// The output of [`Transpiler::transpile`].
+#[derive(Debug, Clone)]
+pub struct TranspiledCircuit {
+    /// The hardware-ready circuit on physical qubits.
+    pub circuit: QuantumCircuit,
+    /// The initial layout that was chosen.
+    pub initial_layout: Layout,
+    /// The layout after routing.
+    pub final_layout: Layout,
+    /// Number of routing SWAP gates inserted.
+    pub swap_count: usize,
+    /// Cost metrics of the hardware-ready circuit.
+    pub metrics: CircuitMetrics,
+}
+
+/// A reusable transpiler bound to a device topology.
+///
+/// # Examples
+///
+/// ```
+/// use enq_circuit::{QuantumCircuit, Topology, Transpiler};
+///
+/// let mut qc = QuantumCircuit::new(3);
+/// qc.h(0).cx(0, 2).cy(1, 2);
+/// let transpiler = Transpiler::new(Topology::ibm_brisbane_like());
+/// let out = transpiler.transpile(&qc)?;
+/// assert!(out.metrics.two_qubit_gates >= 2);
+/// # Ok::<(), enq_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Transpiler {
+    topology: Topology,
+    options: TranspileOptions,
+}
+
+impl Transpiler {
+    /// Creates a transpiler with default options for the given topology.
+    pub fn new(topology: Topology) -> Self {
+        Self {
+            topology,
+            options: TranspileOptions::default(),
+        }
+    }
+
+    /// Creates a transpiler with explicit options.
+    pub fn with_options(topology: Topology, options: TranspileOptions) -> Self {
+        Self { topology, options }
+    }
+
+    /// Returns the device topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Returns the transpiler options.
+    pub fn options(&self) -> &TranspileOptions {
+        &self.options
+    }
+
+    /// Chooses the initial layout for a circuit of `num_qubits` logical qubits.
+    ///
+    /// Preference order: explicitly configured qubits, then a linear section
+    /// of the device (which is what both EnQode and the Baseline use in the
+    /// paper), then the trivial layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DeviceTooSmall`] when the device cannot host
+    /// the register.
+    pub fn select_layout(&self, num_qubits: usize) -> Result<Layout, CircuitError> {
+        if let Some(phys) = &self.options.initial_physical_qubits {
+            if phys.len() < num_qubits {
+                return Err(CircuitError::DeviceTooSmall {
+                    required: num_qubits,
+                    available: phys.len(),
+                });
+            }
+            return Layout::from_physical(&phys[..num_qubits], self.topology.num_qubits());
+        }
+        if let Some(section) = self.topology.linear_section(num_qubits) {
+            return Layout::from_physical(&section, self.topology.num_qubits());
+        }
+        Layout::trivial(num_qubits, self.topology.num_qubits())
+    }
+
+    /// Runs the full pipeline on a logical circuit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout, routing, and translation errors.
+    pub fn transpile(&self, circuit: &QuantumCircuit) -> Result<TranspiledCircuit, CircuitError> {
+        let initial_layout = self.select_layout(circuit.num_qubits())?;
+        let routed = route(circuit, &self.topology, initial_layout.clone())?;
+        let hardware_circuit = if self.options.translate_to_native_basis {
+            translate_to_native(&routed.circuit)?
+        } else {
+            routed.circuit
+        };
+        let metrics = CircuitMetrics::of(&hardware_circuit);
+        Ok(TranspiledCircuit {
+            circuit: hardware_circuit,
+            initial_layout,
+            final_layout: routed.final_layout,
+            swap_count: routed.swap_count,
+            metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::is_native;
+    use crate::gate::Gate;
+
+    #[test]
+    fn transpile_adjacent_circuit_has_no_swaps() {
+        let mut qc = QuantumCircuit::new(4);
+        qc.cy(0, 1).cy(2, 3).cy(1, 2);
+        let t = Transpiler::new(Topology::linear(4));
+        let out = t.transpile(&qc).unwrap();
+        assert_eq!(out.swap_count, 0);
+        assert!(is_native(&out.circuit));
+        // Each CY costs exactly one CX.
+        assert_eq!(out.metrics.two_qubit_gates, 3);
+    }
+
+    #[test]
+    fn transpile_on_brisbane_like_selects_linear_section() {
+        let mut qc = QuantumCircuit::new(8);
+        for q in 0..7 {
+            qc.cy(q, q + 1);
+        }
+        let t = Transpiler::new(Topology::ibm_brisbane_like());
+        let out = t.transpile(&qc).unwrap();
+        assert_eq!(out.swap_count, 0, "linear section placement needs no SWAPs");
+        assert_eq!(out.metrics.two_qubit_gates, 7);
+    }
+
+    #[test]
+    fn transpile_without_translation_keeps_gates() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.cy(0, 1);
+        let t = Transpiler::with_options(
+            Topology::linear(2),
+            TranspileOptions {
+                initial_physical_qubits: None,
+                translate_to_native_basis: false,
+            },
+        );
+        let out = t.transpile(&qc).unwrap();
+        assert!(out.circuit.iter().any(|i| matches!(i.gate, Gate::Cy)));
+    }
+
+    #[test]
+    fn transpile_with_explicit_layout() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.cx(0, 1);
+        let t = Transpiler::with_options(
+            Topology::linear(6),
+            TranspileOptions {
+                initial_physical_qubits: Some(vec![3, 4]),
+                translate_to_native_basis: true,
+            },
+        );
+        let out = t.transpile(&qc).unwrap();
+        assert_eq!(out.initial_layout.physical(0), 3);
+        let cx = out
+            .circuit
+            .iter()
+            .find(|i| matches!(i.gate, Gate::Cx))
+            .unwrap();
+        assert_eq!(cx.qubits, vec![3, 4]);
+    }
+
+    #[test]
+    fn transpile_too_large_circuit_fails() {
+        let qc = QuantumCircuit::new(10);
+        let t = Transpiler::new(Topology::linear(3));
+        assert!(t.transpile(&qc).is_err());
+    }
+
+    #[test]
+    fn distant_interactions_cost_swaps_and_depth() {
+        // A circuit that repeatedly couples the two ends of a line: routing
+        // should add SWAPs and the depth should grow well beyond the logical
+        // depth, mimicking the Baseline's behaviour in the paper.
+        let n = 6;
+        let mut qc = QuantumCircuit::new(n);
+        for _ in 0..3 {
+            qc.cx(0, n - 1);
+            qc.cx(n - 1, 0);
+        }
+        let t = Transpiler::new(Topology::linear(n));
+        let out = t.transpile(&qc).unwrap();
+        assert!(out.swap_count > 0);
+        assert!(out.metrics.two_qubit_gates > 6);
+    }
+}

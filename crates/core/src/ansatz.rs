@@ -1,0 +1,304 @@
+//! EnQode's hardware-efficient ansatz (Fig. 2 of the paper).
+//!
+//! The ansatz is a fixed-shape circuit:
+//!
+//! 1. `Rx(−π/2)` on every qubit — rotates `|0⟩` to `|+i⟩` so the interior of
+//!    the circuit only needs (virtual) `Rz` rotations;
+//! 2. `L` layers, each consisting of a parameterised `Rz(θ)` column on every
+//!    qubit followed by a sparse `CY` entangler that alternates between the
+//!    `(0,1),(2,3),…` and `(1,2),(3,4),…` brick patterns, matching a linear
+//!    section of the heavy-hex lattice so that no SWAPs are ever required;
+//! 3. a closing `Ry(−π/2)`, `Rx(−π/2)` column that rotates the accumulated
+//!    relative phases back into real amplitudes.
+
+use crate::error::EnqodeError;
+use enq_circuit::{Angle, Gate, QuantumCircuit};
+use enq_linalg::CMatrix;
+use std::f64::consts::FRAC_PI_2;
+
+/// The two-qubit entangling gate used between `Rz` columns.
+///
+/// The paper selects `CY` because it preserves the x-y-plane alignment of the
+/// qubits; `CX`/`CZ` are provided for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EntanglerKind {
+    /// Controlled-Y (the paper's choice).
+    #[default]
+    Cy,
+    /// Controlled-X.
+    Cx,
+    /// Controlled-Z.
+    Cz,
+}
+
+impl EntanglerKind {
+    /// Returns the concrete gate.
+    pub fn gate(&self) -> Gate {
+        match self {
+            EntanglerKind::Cy => Gate::Cy,
+            EntanglerKind::Cx => Gate::Cx,
+            EntanglerKind::Cz => Gate::Cz,
+        }
+    }
+}
+
+/// Static description of an EnQode ansatz.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnsatzConfig {
+    /// Number of qubits `n` (the embedding encodes `2^n` features).
+    pub num_qubits: usize,
+    /// Number of `Rz` + entangler layers (the paper uses 8).
+    pub num_layers: usize,
+    /// Entangling gate between layers.
+    pub entangler: EntanglerKind,
+}
+
+impl Default for AnsatzConfig {
+    fn default() -> Self {
+        // The paper's configuration: 8 qubits (256 features), 8 layers.
+        Self {
+            num_qubits: 8,
+            num_layers: 8,
+            entangler: EntanglerKind::Cy,
+        }
+    }
+}
+
+impl AnsatzConfig {
+    /// Creates a configuration with the paper's defaults for a given register
+    /// size.
+    pub fn with_qubits(num_qubits: usize) -> Self {
+        Self {
+            num_qubits,
+            ..Self::default()
+        }
+    }
+
+    /// Returns the number of trainable `Rz` parameters (`num_qubits ×
+    /// num_layers`).
+    pub fn num_parameters(&self) -> usize {
+        self.num_qubits * self.num_layers
+    }
+
+    /// Returns the number of amplitudes the ansatz can encode (`2^n`).
+    pub fn dimension(&self) -> usize {
+        1usize << self.num_qubits
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::InvalidConfig`] when the register is empty, has
+    /// more than 16 qubits (the dense simulators would be impractical), or
+    /// has no layers.
+    pub fn validate(&self) -> Result<(), EnqodeError> {
+        if self.num_qubits == 0 || self.num_qubits > 16 {
+            return Err(EnqodeError::InvalidConfig(format!(
+                "num_qubits = {} must be between 1 and 16",
+                self.num_qubits
+            )));
+        }
+        if self.num_layers == 0 {
+            return Err(EnqodeError::InvalidConfig(
+                "num_layers must be at least 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Returns the entangler pairs `(control, target)` of layer `layer`
+    /// (0-based): even layers couple `(0,1),(2,3),…`, odd layers couple
+    /// `(1,2),(3,4),…` — the alternating brick pattern on a line.
+    pub fn entangler_pairs(&self, layer: usize) -> Vec<(usize, usize)> {
+        let start = layer % 2;
+        (start..self.num_qubits.saturating_sub(1))
+            .step_by(2)
+            .map(|q| (q, q + 1))
+            .collect()
+    }
+
+    /// Builds the parameterised ansatz circuit. Parameter `layer·n + q` is
+    /// the `Rz` angle of qubit `q` in layer `layer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::InvalidConfig`] for invalid configurations.
+    pub fn build_parameterized(&self) -> Result<QuantumCircuit, EnqodeError> {
+        self.validate()?;
+        let n = self.num_qubits;
+        let mut qc = QuantumCircuit::new(n);
+        for q in 0..n {
+            qc.rx(-FRAC_PI_2, q);
+        }
+        for layer in 0..self.num_layers {
+            for q in 0..n {
+                qc.rz(Angle::parameter(layer * n + q), q);
+            }
+            // The last Rz column is followed directly by the closing basis
+            // change (Fig. 2): this lets the final parameter column tune every
+            // qubit's phase right before it is converted back into a real
+            // amplitude, which is essential for the CY ansatz's fidelity.
+            if layer + 1 < self.num_layers {
+                for (c, t) in self.entangler_pairs(layer) {
+                    qc.append(self.entangler.gate(), &[c, t]);
+                }
+            }
+        }
+        for q in 0..n {
+            // Circuit order Rx(−π/2) then Ry(−π/2): the Rx maps the
+            // accumulated x-y-plane phases onto the x-z (real-amplitude)
+            // plane, and the Ry rotates within that plane, so the adjoint of
+            // the closing column sends every real product state to a
+            // uniform-magnitude phase state — the property EnQode's
+            // approximation quality rests on.
+            qc.rx(-FRAC_PI_2, q);
+            qc.ry(-FRAC_PI_2, q);
+        }
+        Ok(qc)
+    }
+
+    /// Builds the ansatz with concrete parameter values bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::InvalidConfig`] for invalid configurations or a
+    /// circuit error if `theta` is shorter than
+    /// [`AnsatzConfig::num_parameters`].
+    pub fn build_bound(&self, theta: &[f64]) -> Result<QuantumCircuit, EnqodeError> {
+        let circuit = self.build_parameterized()?;
+        Ok(circuit.bind_parameters(theta)?)
+    }
+
+    /// Returns the single-qubit closing rotation `W₁ = Ry(−π/2)·Rx(−π/2)`
+    /// (circuit order: `Rx(−π/2)` then `Ry(−π/2)`) applied to every qubit at
+    /// the end of the ansatz.
+    pub fn closing_rotation_1q(&self) -> CMatrix {
+        let rx = Gate::Rx(Angle::fixed(-FRAC_PI_2))
+            .matrix()
+            .expect("fixed angle");
+        let ry = Gate::Ry(Angle::fixed(-FRAC_PI_2))
+            .matrix()
+            .expect("fixed angle");
+        ry.matmul(&rx)
+    }
+
+    /// Returns the full closing rotation `W = W₁^{⊗n}` (ordered so that qubit
+    /// 0 is the least significant index bit, matching the simulators).
+    pub fn closing_rotation(&self) -> CMatrix {
+        let w1 = self.closing_rotation_1q();
+        let mut w = CMatrix::identity(1);
+        // kron(A, B) indexes A's bits above B's, so fold from the most
+        // significant qubit down to qubit 0.
+        for _ in 0..self.num_qubits {
+            w = w.kron(&w1);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enq_circuit::{CircuitMetrics, Topology, Transpiler};
+
+    #[test]
+    fn default_matches_paper_configuration() {
+        let cfg = AnsatzConfig::default();
+        assert_eq!(cfg.num_qubits, 8);
+        assert_eq!(cfg.num_layers, 8);
+        assert_eq!(cfg.num_parameters(), 64);
+        assert_eq!(cfg.dimension(), 256);
+        assert_eq!(cfg.entangler, EntanglerKind::Cy);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(AnsatzConfig {
+            num_qubits: 0,
+            num_layers: 4,
+            entangler: EntanglerKind::Cy
+        }
+        .validate()
+        .is_err());
+        assert!(AnsatzConfig {
+            num_qubits: 20,
+            num_layers: 4,
+            entangler: EntanglerKind::Cy
+        }
+        .validate()
+        .is_err());
+        assert!(AnsatzConfig {
+            num_qubits: 4,
+            num_layers: 0,
+            entangler: EntanglerKind::Cy
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn entangler_pairs_alternate() {
+        let cfg = AnsatzConfig::with_qubits(6);
+        assert_eq!(cfg.entangler_pairs(0), vec![(0, 1), (2, 3), (4, 5)]);
+        assert_eq!(cfg.entangler_pairs(1), vec![(1, 2), (3, 4)]);
+        assert_eq!(cfg.entangler_pairs(2), vec![(0, 1), (2, 3), (4, 5)]);
+    }
+
+    #[test]
+    fn parameter_count_and_structure() {
+        let cfg = AnsatzConfig {
+            num_qubits: 4,
+            num_layers: 3,
+            entangler: EntanglerKind::Cy,
+        };
+        let qc = cfg.build_parameterized().unwrap();
+        assert!(qc.is_parameterized());
+        assert_eq!(qc.num_parameters(), 12);
+        // Gate inventory: 4 Rx + 3·4 Rz + (2+1) CY (no entangler after the
+        // final Rz column) + 4 Rx + 4 Ry.
+        assert_eq!(qc.len(), 4 + 12 + 3 + 8);
+    }
+
+    #[test]
+    fn bound_circuit_is_fixed_shape() {
+        let cfg = AnsatzConfig::with_qubits(4);
+        let a = cfg.build_bound(&vec![0.1; cfg.num_parameters()]).unwrap();
+        let b = cfg.build_bound(&vec![2.3; cfg.num_parameters()]).unwrap();
+        // Same number of gates and same depth regardless of the data: this is
+        // the "zero variability" property of EnQode.
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            CircuitMetrics::of(&a).total_gates,
+            CircuitMetrics::of(&b).total_gates
+        );
+        assert_eq!(CircuitMetrics::of(&a).depth, CircuitMetrics::of(&b).depth);
+    }
+
+    #[test]
+    fn ansatz_needs_no_swaps_on_linear_topology() {
+        let cfg = AnsatzConfig::default();
+        let qc = cfg.build_bound(&vec![0.3; cfg.num_parameters()]).unwrap();
+        let transpiler = Transpiler::new(Topology::ibm_brisbane_like());
+        let out = transpiler.transpile(&qc).unwrap();
+        assert_eq!(out.swap_count, 0);
+        // One CX per CY: 7 entangler layers alternating 4 and 3 pairs.
+        assert_eq!(out.metrics.two_qubit_gates, 4 * 4 + 3 * 3);
+    }
+
+    #[test]
+    fn closing_rotation_is_unitary_product() {
+        let cfg = AnsatzConfig::with_qubits(3);
+        let w = cfg.closing_rotation();
+        assert_eq!(w.nrows(), 8);
+        assert!(w.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn entangler_kind_gates() {
+        assert_eq!(EntanglerKind::Cy.gate(), Gate::Cy);
+        assert_eq!(EntanglerKind::Cx.gate(), Gate::Cx);
+        assert_eq!(EntanglerKind::Cz.gate(), Gate::Cz);
+        assert_eq!(EntanglerKind::default(), EntanglerKind::Cy);
+    }
+}

@@ -1,0 +1,111 @@
+//! The crate-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the EnQode training and embedding APIs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EnqodeError {
+    /// A sample or target vector had the wrong dimension for the configured
+    /// register.
+    DimensionMismatch {
+        /// Expected length (`2^num_qubits`).
+        expected: usize,
+        /// Found length.
+        found: usize,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig(String),
+    /// The model has not been trained (no clusters available).
+    NotTrained,
+    /// An error from the circuit layer.
+    Circuit(enq_circuit::CircuitError),
+    /// An error from the simulators.
+    Qsim(enq_qsim::QsimError),
+    /// An error from the data substrate.
+    Data(enq_data::DataError),
+    /// An error from the Baseline state preparation.
+    StatePrep(enq_stateprep::StatePrepError),
+    /// An error from the linear-algebra layer.
+    Linalg(enq_linalg::LinalgError),
+}
+
+impl fmt::Display for EnqodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnqodeError::DimensionMismatch { expected, found } => {
+                write!(f, "feature vector length mismatch: expected {expected}, found {found}")
+            }
+            EnqodeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EnqodeError::NotTrained => write!(f, "the model has no trained clusters"),
+            EnqodeError::Circuit(e) => write!(f, "circuit error: {e}"),
+            EnqodeError::Qsim(e) => write!(f, "simulation error: {e}"),
+            EnqodeError::Data(e) => write!(f, "data error: {e}"),
+            EnqodeError::StatePrep(e) => write!(f, "state preparation error: {e}"),
+            EnqodeError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl Error for EnqodeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EnqodeError::Circuit(e) => Some(e),
+            EnqodeError::Qsim(e) => Some(e),
+            EnqodeError::Data(e) => Some(e),
+            EnqodeError::StatePrep(e) => Some(e),
+            EnqodeError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<enq_circuit::CircuitError> for EnqodeError {
+    fn from(e: enq_circuit::CircuitError) -> Self {
+        EnqodeError::Circuit(e)
+    }
+}
+
+impl From<enq_qsim::QsimError> for EnqodeError {
+    fn from(e: enq_qsim::QsimError) -> Self {
+        EnqodeError::Qsim(e)
+    }
+}
+
+impl From<enq_data::DataError> for EnqodeError {
+    fn from(e: enq_data::DataError) -> Self {
+        EnqodeError::Data(e)
+    }
+}
+
+impl From<enq_stateprep::StatePrepError> for EnqodeError {
+    fn from(e: enq_stateprep::StatePrepError) -> Self {
+        EnqodeError::StatePrep(e)
+    }
+}
+
+impl From<enq_linalg::LinalgError> for EnqodeError {
+    fn from(e: enq_linalg::LinalgError) -> Self {
+        EnqodeError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: EnqodeError = enq_linalg::LinalgError::Singular.into();
+        assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+        assert!(EnqodeError::NotTrained.to_string().contains("no trained"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EnqodeError>();
+    }
+}

@@ -1,0 +1,241 @@
+//! Per-sample evaluation used to regenerate the paper's figures: transpiled
+//! circuit metrics, ideal-simulation fidelity, noisy-simulation fidelity, and
+//! compilation time.
+
+use crate::baseline::{target_state, BaselineEmbedder};
+use crate::error::EnqodeError;
+use crate::model::EnqodeModel;
+use enq_circuit::{CircuitMetrics, Layout, QuantumCircuit, TranspiledCircuit, Transpiler};
+use enq_linalg::{C64, CVector};
+use enq_qsim::{NoisySimulator, Statevector};
+use std::time::Instant;
+
+/// The evaluation of one sample under one embedding method.
+#[derive(Debug, Clone)]
+pub struct SampleEvaluation {
+    /// Metrics of the hardware-ready (routed + native-basis) circuit.
+    pub metrics: CircuitMetrics,
+    /// Fidelity of the ideal (noise-free) output against the target state.
+    pub ideal_fidelity: f64,
+    /// Fidelity of the noisy density-matrix output against the target state,
+    /// when a noisy simulator was supplied.
+    pub noisy_fidelity: Option<f64>,
+    /// Wall-clock time to produce the hardware-ready circuit (synthesis or
+    /// online optimisation plus transpilation).
+    pub compile_seconds: f64,
+}
+
+/// Permutes a logical target state into the physical qubit ordering given by
+/// the routing's final layout, so it can be compared against the simulated
+/// output of a routed circuit.
+fn permute_target(target: &CVector, layout: &Layout, num_qubits: usize) -> CVector {
+    let dim = 1usize << num_qubits;
+    let mut out = vec![C64::ZERO; dim];
+    for (physical_index, slot) in out.iter_mut().enumerate() {
+        let mut logical_index = 0usize;
+        for p in 0..num_qubits {
+            if (physical_index >> p) & 1 == 1 {
+                // Every physical qubit in the simulated register hosts a
+                // logical qubit (the registers have equal size here).
+                let l = layout.logical(p).unwrap_or(p);
+                logical_index |= 1 << l;
+            }
+        }
+        *slot = target[logical_index];
+    }
+    CVector::new(out)
+}
+
+/// Computes ideal and (optionally) noisy fidelity of a transpiled circuit
+/// against a logical target state.
+fn fidelities(
+    transpiled: &TranspiledCircuit,
+    target: &CVector,
+    num_qubits: usize,
+    noisy: Option<&NoisySimulator>,
+) -> Result<(f64, Option<f64>), EnqodeError> {
+    let physical_target = permute_target(target, &transpiled.final_layout, num_qubits);
+    let ideal_state = Statevector::from_circuit(&transpiled.circuit)?;
+    let ideal = ideal_state
+        .to_cvector()
+        .overlap_fidelity(&physical_target)?;
+    let noisy_fidelity = match noisy {
+        Some(sim) => {
+            let rho = sim.run(&transpiled.circuit)?;
+            Some(rho.fidelity_with_pure(&physical_target)?)
+        }
+        None => None,
+    };
+    Ok((ideal, noisy_fidelity))
+}
+
+/// Evaluates one sample embedded with EnQode.
+///
+/// The compile time covers the online optimisation, circuit binding, and
+/// transpilation (the paper's "online compilation time").
+///
+/// # Errors
+///
+/// Propagates embedding, transpilation, and simulation errors.
+pub fn evaluate_enqode_sample(
+    model: &EnqodeModel,
+    sample: &[f64],
+    transpiler: &Transpiler,
+    noisy: Option<&NoisySimulator>,
+) -> Result<SampleEvaluation, EnqodeError> {
+    let start = Instant::now();
+    let embedding = model.embed(sample)?;
+    let transpiled = transpiler.transpile(&embedding.circuit)?;
+    let compile_seconds = start.elapsed().as_secs_f64();
+    let target = target_state(sample)?;
+    let (ideal, noisy_fidelity) = fidelities(
+        &transpiled,
+        &target,
+        model.config().ansatz.num_qubits,
+        noisy,
+    )?;
+    Ok(SampleEvaluation {
+        metrics: transpiled.metrics,
+        ideal_fidelity: ideal,
+        noisy_fidelity,
+        compile_seconds,
+    })
+}
+
+/// Evaluates one sample embedded with the Baseline (exact state preparation).
+///
+/// # Errors
+///
+/// Propagates synthesis, transpilation, and simulation errors.
+pub fn evaluate_baseline_sample(
+    embedder: &BaselineEmbedder,
+    sample: &[f64],
+    transpiler: &Transpiler,
+    noisy: Option<&NoisySimulator>,
+) -> Result<SampleEvaluation, EnqodeError> {
+    let start = Instant::now();
+    let synthesis = embedder.embed(sample)?;
+    let transpiled = transpiler.transpile(&synthesis.circuit)?;
+    let compile_seconds = start.elapsed().as_secs_f64();
+    let target = target_state(sample)?;
+    let (ideal, noisy_fidelity) =
+        fidelities(&transpiled, &target, embedder.num_qubits(), noisy)?;
+    Ok(SampleEvaluation {
+        metrics: transpiled.metrics,
+        ideal_fidelity: ideal,
+        noisy_fidelity,
+        compile_seconds,
+    })
+}
+
+/// Returns the logical (un-routed, un-translated) metrics of a circuit, which
+/// some ablations report alongside the hardware metrics.
+pub fn logical_metrics(circuit: &QuantumCircuit) -> CircuitMetrics {
+    CircuitMetrics::of(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::{AnsatzConfig, EntanglerKind};
+    use crate::model::EnqodeConfig;
+    use enq_circuit::Topology;
+    use enq_qsim::DeviceNoiseModel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn samples(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base: Vec<f64> = (0..dim).map(|i| 0.5 + 0.4 * ((i as f64) * 0.9).sin()).collect();
+        (0..n)
+            .map(|_| {
+                base.iter()
+                    .map(|v| (v + rng.gen_range(-0.05..0.05)).max(0.0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn small_model(seed: u64) -> (EnqodeModel, Vec<Vec<f64>>) {
+        let data = samples(8, 8, seed);
+        let config = EnqodeConfig {
+            ansatz: AnsatzConfig {
+                num_qubits: 3,
+                num_layers: 8,
+                entangler: EntanglerKind::Cy,
+            },
+            fidelity_threshold: 0.9,
+            max_clusters: 4,
+            offline_max_iterations: 120,
+            offline_restarts: 3,
+            online_max_iterations: 40,
+            seed,
+        };
+        (EnqodeModel::fit(&data, config).unwrap(), data)
+    }
+
+    #[test]
+    fn enqode_evaluation_reports_consistent_shape_metrics() {
+        let (model, data) = small_model(1);
+        let transpiler = Transpiler::new(Topology::linear(3));
+        let a = evaluate_enqode_sample(&model, &data[0], &transpiler, None).unwrap();
+        let b = evaluate_enqode_sample(&model, &data[1], &transpiler, None).unwrap();
+        assert_eq!(a.metrics.depth, b.metrics.depth);
+        assert_eq!(a.metrics.total_gates, b.metrics.total_gates);
+        assert!(a.ideal_fidelity > 0.85);
+        assert!(a.noisy_fidelity.is_none());
+        assert!(a.compile_seconds > 0.0);
+    }
+
+    #[test]
+    fn baseline_evaluation_is_exact_in_ideal_simulation() {
+        let data = samples(2, 8, 2);
+        let transpiler = Transpiler::new(Topology::linear(3));
+        let embedder = BaselineEmbedder::new(3);
+        let eval = evaluate_baseline_sample(&embedder, &data[0], &transpiler, None).unwrap();
+        assert!(
+            (eval.ideal_fidelity - 1.0).abs() < 1e-4,
+            "baseline should be exact, got {}",
+            eval.ideal_fidelity
+        );
+        assert!(eval.metrics.two_qubit_gates > 0);
+    }
+
+    #[test]
+    fn noisy_fidelity_is_below_ideal() {
+        let (model, data) = small_model(3);
+        let transpiler = Transpiler::new(Topology::linear(3));
+        let noisy = NoisySimulator::new(DeviceNoiseModel::ibm_brisbane_like());
+        let eval = evaluate_enqode_sample(&model, &data[0], &transpiler, Some(&noisy)).unwrap();
+        let noisy_f = eval.noisy_fidelity.unwrap();
+        assert!(noisy_f < eval.ideal_fidelity + 1e-9);
+        assert!(noisy_f > 0.3);
+    }
+
+    #[test]
+    fn enqode_beats_baseline_under_noise_for_small_example() {
+        // Even on 3 qubits the Baseline circuit is deeper than EnQode's fixed
+        // ansatz, so under noise EnQode should lose less fidelity relative to
+        // its own ideal value.
+        let (model, data) = small_model(4);
+        let transpiler = Transpiler::new(Topology::linear(3));
+        let noisy = NoisySimulator::new(DeviceNoiseModel::ibm_brisbane_like().scaled(4.0).unwrap());
+        let embedder = BaselineEmbedder::new(3);
+        let e = evaluate_enqode_sample(&model, &data[0], &transpiler, Some(&noisy)).unwrap();
+        let b = evaluate_baseline_sample(&embedder, &data[0], &transpiler, Some(&noisy)).unwrap();
+        let enqode_drop = e.ideal_fidelity - e.noisy_fidelity.unwrap();
+        let baseline_drop = b.ideal_fidelity - b.noisy_fidelity.unwrap();
+        assert!(
+            enqode_drop < baseline_drop,
+            "enqode drop {enqode_drop} vs baseline drop {baseline_drop}"
+        );
+    }
+
+    #[test]
+    fn logical_metrics_helper() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.sx(0).cx(0, 1);
+        let m = logical_metrics(&qc);
+        assert_eq!(m.total_gates, 2);
+    }
+}

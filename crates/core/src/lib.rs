@@ -1,0 +1,136 @@
+//! # enqode
+//!
+//! A from-scratch Rust reproduction of **EnQode** (Han et al., DAC 2025):
+//! fast, approximate amplitude embedding for quantum machine learning on
+//! NISQ devices.
+//!
+//! EnQode replaces exact (deep, data-dependent) amplitude-embedding circuits
+//! with a **fixed-shape, hardware-efficient ansatz** whose `Rz` parameters
+//! are trained against each sample. Training is fast because the ansatz state
+//! has a closed-form **symbolic representation** (every amplitude is a unit
+//! phase that is linear in the parameters), and it is amortised by
+//! **k-means clustering**: each cluster mean is optimised once offline, and
+//! new samples are embedded online by **transfer learning** from their
+//! nearest cluster.
+//!
+//! ## Crate map
+//!
+//! * [`AnsatzConfig`] / [`EntanglerKind`] — the Fig. 2 ansatz;
+//! * [`SymbolicState`] — the Eq. 6 phase table with analytic gradients;
+//! * [`FidelityObjective`] — the `1 − |⟨y|ψ(θ)⟩|²` training loss;
+//! * [`EnqodeModel`] — offline clustering + per-cluster training, online
+//!   transfer-learning embedding;
+//! * [`EnqodePipeline`] — dataset-level convenience (PCA features + one model
+//!   per class);
+//! * [`BaselineEmbedder`] — the exact state-preparation Baseline;
+//! * [`evaluation`] — per-sample circuit metrics, ideal/noisy fidelity, and
+//!   compile-time measurements used to regenerate the paper's figures.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use enqode::{AnsatzConfig, EnqodeConfig, EnqodeModel};
+//!
+//! // Train on a handful of 3-qubit (8-feature) samples.
+//! let samples: Vec<Vec<f64>> = (0..6)
+//!     .map(|i| (0..8).map(|j| ((i * 3 + j) as f64 * 0.37).sin().abs() + 0.1).collect())
+//!     .collect();
+//! let config = EnqodeConfig {
+//!     ansatz: AnsatzConfig { num_qubits: 3, num_layers: 8, ..Default::default() },
+//!     ..Default::default()
+//! };
+//! let model = EnqodeModel::fit(&samples, config)?;
+//! let embedding = model.embed(&samples[0])?;
+//! assert!(embedding.ideal_fidelity > 0.8);
+//! assert_eq!(embedding.circuit.num_qubits(), 3);
+//! # Ok::<(), enqode::EnqodeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod ansatz;
+mod baseline;
+mod error;
+pub mod evaluation;
+mod loss;
+mod model;
+mod pipeline;
+mod symbolic;
+
+pub use ansatz::{AnsatzConfig, EntanglerKind};
+pub use baseline::{
+    target_state, BaselineEmbedder, BaselineEmbedding, BASELINE_SYNTHESIS_TOLERANCE,
+};
+pub use error::EnqodeError;
+pub use evaluation::{evaluate_baseline_sample, evaluate_enqode_sample, SampleEvaluation};
+pub use loss::FidelityObjective;
+pub use model::{Embedding, EnqodeConfig, EnqodeModel, TrainedCluster};
+pub use pipeline::{ClassModel, EnqodePipeline};
+pub use symbolic::SymbolicState;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use enq_optim::Objective;
+    use proptest::prelude::*;
+
+    fn small_config() -> AnsatzConfig {
+        AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 3,
+            entangler: EntanglerKind::Cy,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn symbolic_state_is_always_normalised(
+            theta in proptest::collection::vec(-3.0..3.0f64, 9)
+        ) {
+            let symbolic = SymbolicState::from_ansatz(&small_config()).unwrap();
+            let psi = symbolic.amplitudes(&theta).unwrap();
+            prop_assert!((psi.norm() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn fidelity_loss_stays_in_unit_interval(
+            theta in proptest::collection::vec(-3.0..3.0f64, 9),
+            target in proptest::collection::vec(-1.0..1.0f64, 8),
+        ) {
+            prop_assume!(target.iter().map(|v| v * v).sum::<f64>() > 1e-3);
+            let obj = FidelityObjective::new(&small_config(), &target).unwrap();
+            let value = obj.value(&theta);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&value));
+            prop_assert!((obj.fidelity(&theta) + value - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn bound_ansatz_circuits_always_have_the_same_shape(
+            a in proptest::collection::vec(-3.0..3.0f64, 9),
+            b in proptest::collection::vec(-3.0..3.0f64, 9),
+        ) {
+            let cfg = small_config();
+            let ca = cfg.build_bound(&a).unwrap();
+            let cb = cfg.build_bound(&b).unwrap();
+            prop_assert_eq!(ca.len(), cb.len());
+            prop_assert_eq!(ca.depth(), cb.depth());
+        }
+
+        #[test]
+        fn symbolic_fidelity_matches_circuit_fidelity(
+            theta in proptest::collection::vec(-3.0..3.0f64, 9),
+            target in proptest::collection::vec(0.05..1.0f64, 8),
+        ) {
+            let cfg = small_config();
+            let obj = FidelityObjective::new(&cfg, &target).unwrap();
+            let symbolic_fidelity = obj.fidelity(&theta);
+            let circuit = cfg.build_bound(&theta).unwrap();
+            let out = enq_qsim::Statevector::from_circuit(&circuit).unwrap();
+            let want = enq_qsim::Statevector::from_real_normalized(&target).unwrap();
+            let circuit_fidelity = out.fidelity(&want).unwrap();
+            prop_assert!((symbolic_fidelity - circuit_fidelity).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The fidelity loss optimised during EnQode training.
+//!
+//! For a real target amplitude vector `x` the full ansatz output is
+//! `W·|ψ(θ)⟩` (with `W` the fixed closing rotation), so the training problem
+//! is to maximise `|⟨x|W|ψ(θ)⟩|² = |⟨y|ψ(θ)⟩|²` with the back-rotated target
+//! `y = W†·x`. The loss is `L(θ) = 1 − |⟨y|ψ(θ)⟩|²`, whose exact gradient
+//! follows from the symbolic representation.
+
+use crate::ansatz::AnsatzConfig;
+use crate::error::EnqodeError;
+use crate::symbolic::SymbolicState;
+use enq_data::l2_normalize;
+use enq_linalg::{C64, CVector};
+use enq_optim::Objective;
+
+/// The EnQode training objective `L(θ) = 1 − |⟨y|ψ(θ)⟩|²`.
+#[derive(Debug, Clone)]
+pub struct FidelityObjective {
+    symbolic: SymbolicState,
+    /// Conjugated back-rotated target `conj(y_r)`, pre-computed once.
+    target_conj: Vec<C64>,
+}
+
+impl FidelityObjective {
+    /// Builds the objective for a real-valued target amplitude vector (which
+    /// is normalised internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::DimensionMismatch`] if the target length is not
+    /// `2^num_qubits` and [`EnqodeError::Data`] if it has zero norm.
+    pub fn new(config: &AnsatzConfig, target: &[f64]) -> Result<Self, EnqodeError> {
+        let symbolic = SymbolicState::from_ansatz(config)?;
+        Self::with_symbolic(symbolic, config, target)
+    }
+
+    /// Builds the objective reusing a pre-computed symbolic state (the phase
+    /// table only depends on the ansatz shape, so it is shared across all
+    /// clusters and samples).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FidelityObjective::new`].
+    pub fn with_symbolic(
+        symbolic: SymbolicState,
+        config: &AnsatzConfig,
+        target: &[f64],
+    ) -> Result<Self, EnqodeError> {
+        if target.len() != symbolic.dim() {
+            return Err(EnqodeError::DimensionMismatch {
+                expected: symbolic.dim(),
+                found: target.len(),
+            });
+        }
+        let normalized = l2_normalize(target)?;
+        let x = CVector::from_real(&normalized);
+        // y = W†·x; we store conj(y).
+        let y = config.closing_rotation().adjoint().matvec(&x);
+        let target_conj: Vec<C64> = y.iter().map(|z| z.conj()).collect();
+        Ok(Self {
+            symbolic,
+            target_conj,
+        })
+    }
+
+    /// Returns the embedding fidelity `|⟨y|ψ(θ)⟩|²` at the given parameters.
+    pub fn fidelity(&self, theta: &[f64]) -> f64 {
+        1.0 - self.value(theta)
+    }
+
+    /// Returns the shared symbolic state.
+    pub fn symbolic(&self) -> &SymbolicState {
+        &self.symbolic
+    }
+}
+
+impl Objective for FidelityObjective {
+    fn dimension(&self) -> usize {
+        self.symbolic.num_parameters()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let (overlap, _) = self
+            .symbolic
+            .overlap_and_gradient(&self.target_conj, x)
+            .expect("dimensions fixed at construction");
+        1.0 - overlap.norm_sqr()
+    }
+
+    fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        self.value_and_gradient(x).1
+    }
+
+    fn value_and_gradient(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        let (overlap, d_overlap) = self
+            .symbolic
+            .overlap_and_gradient(&self.target_conj, x)
+            .expect("dimensions fixed at construction");
+        let value = 1.0 - overlap.norm_sqr();
+        let gradient = d_overlap
+            .iter()
+            .map(|ds| -2.0 * (overlap.conj() * *ds).re)
+            .collect();
+        (value, gradient)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::EntanglerKind;
+    use enq_optim::{Lbfgs, Optimizer};
+    use enq_qsim::Statevector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_config() -> AnsatzConfig {
+        AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 4,
+            entangler: EntanglerKind::Cy,
+        }
+    }
+
+    #[test]
+    fn loss_is_bounded_in_unit_interval() {
+        let config = small_config();
+        let target: Vec<f64> = (1..=8).map(f64::from).collect();
+        let obj = FidelityObjective::new(&config, &target).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let theta: Vec<f64> = (0..obj.dimension()).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let v = obj.value(&theta);
+            assert!((0.0..=1.0 + 1e-9).contains(&v), "loss {v} out of range");
+            assert!((obj.fidelity(&theta) - (1.0 - v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let config = small_config();
+        let target: Vec<f64> = vec![0.7, -0.2, 0.1, 0.4, -0.3, 0.2, 0.05, -0.1];
+        let obj = FidelityObjective::new(&config, &target).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let theta: Vec<f64> = (0..obj.dimension()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let (_, grad) = obj.value_and_gradient(&theta);
+        let eps = 1e-6;
+        for j in 0..theta.len() {
+            let mut plus = theta.clone();
+            plus[j] += eps;
+            let mut minus = theta.clone();
+            minus[j] -= eps;
+            let numerical = (obj.value(&plus) - obj.value(&minus)) / (2.0 * eps);
+            assert!(
+                (grad[j] - numerical).abs() < 1e-5,
+                "component {j}: analytic {} vs numerical {numerical}",
+                grad[j]
+            );
+        }
+    }
+
+    #[test]
+    fn optimised_loss_fidelity_matches_circuit_simulation() {
+        // Whatever fidelity the symbolic loss reports must equal the fidelity
+        // of the actual bound ansatz circuit against the target state.
+        let config = small_config();
+        let target: Vec<f64> = vec![0.9, 0.1, 0.3, -0.2, 0.4, 0.0, -0.5, 0.2];
+        let obj = FidelityObjective::new(&config, &target).unwrap();
+        let result = Lbfgs::with_max_iterations(200).minimize(&obj, &vec![0.1; obj.dimension()]);
+        let symbolic_fidelity = obj.fidelity(&result.x);
+
+        let circuit = config.build_bound(&result.x).unwrap();
+        let output = Statevector::from_circuit(&circuit).unwrap();
+        let target_state = Statevector::from_real_normalized(&target).unwrap();
+        let circuit_fidelity = output.fidelity(&target_state).unwrap();
+        assert!(
+            (symbolic_fidelity - circuit_fidelity).abs() < 1e-8,
+            "symbolic {symbolic_fidelity} vs circuit {circuit_fidelity}"
+        );
+    }
+
+    #[test]
+    fn optimisation_reaches_high_fidelity_on_small_problems() {
+        // With enough layers (parameters ≳ 2·2^n) and a few restarts the
+        // optimiser should get close to the phase-only fidelity bound.
+        let config = AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 8,
+            entangler: EntanglerKind::Cy,
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let target: Vec<f64> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let obj = FidelityObjective::new(&config, &target).unwrap();
+        let mut best = 0.0f64;
+        for _ in 0..4 {
+            let start: Vec<f64> = (0..obj.dimension())
+                .map(|_| rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI))
+                .collect();
+            let result = Lbfgs::with_max_iterations(300).minimize(&obj, &start);
+            best = best.max(obj.fidelity(&result.x));
+        }
+        assert!(best > 0.8, "fidelity only reached {best}");
+    }
+
+    #[test]
+    fn invalid_targets_rejected() {
+        let config = small_config();
+        assert!(FidelityObjective::new(&config, &[1.0, 0.0]).is_err());
+        assert!(FidelityObjective::new(&config, &[0.0; 8]).is_err());
+    }
+}

@@ -1,0 +1,468 @@
+//! Offline cluster training and online transfer-learning embedding.
+
+use crate::ansatz::AnsatzConfig;
+use crate::error::EnqodeError;
+use crate::loss::FidelityObjective;
+use crate::symbolic::SymbolicState;
+use enq_circuit::QuantumCircuit;
+use enq_data::{fit_with_fidelity_threshold, l2_normalize};
+use enq_optim::{Lbfgs, Optimizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Configuration of an EnQode model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnqodeConfig {
+    /// Shape of the hardware-efficient ansatz.
+    pub ansatz: AnsatzConfig,
+    /// Minimum embedding fidelity between any sample and its nearest cluster
+    /// mean; the number of clusters grows until this is met (the paper uses
+    /// 0.95).
+    pub fidelity_threshold: f64,
+    /// Upper bound on the number of clusters.
+    pub max_clusters: usize,
+    /// L-BFGS iteration budget for the offline (per-cluster) optimisation.
+    pub offline_max_iterations: usize,
+    /// Number of random restarts for each cluster's offline optimisation (the
+    /// best run is kept); the fidelity loss is non-convex, so a few restarts
+    /// noticeably improve the trained fidelity at modest offline cost.
+    pub offline_restarts: usize,
+    /// L-BFGS iteration budget for the online (per-sample) fine-tuning.
+    pub online_max_iterations: usize,
+    /// Seed for clustering and parameter initialisation.
+    pub seed: u64,
+}
+
+impl Default for EnqodeConfig {
+    fn default() -> Self {
+        Self {
+            ansatz: AnsatzConfig::default(),
+            fidelity_threshold: 0.95,
+            max_clusters: 64,
+            offline_max_iterations: 250,
+            offline_restarts: 4,
+            online_max_iterations: 40,
+            seed: 11,
+        }
+    }
+}
+
+impl EnqodeConfig {
+    /// Creates a configuration with the paper's defaults for `num_qubits`.
+    pub fn with_qubits(num_qubits: usize) -> Self {
+        Self {
+            ansatz: AnsatzConfig::with_qubits(num_qubits),
+            ..Self::default()
+        }
+    }
+}
+
+/// One trained cluster: its (normalised) mean sample and the optimised ansatz
+/// parameters that embed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainedCluster {
+    /// The normalised cluster mean `⃗cᵢ`.
+    pub centroid: Vec<f64>,
+    /// Optimised `Rz` parameters for the cluster mean.
+    pub parameters: Vec<f64>,
+    /// Ideal (noise-free) embedding fidelity achieved for the cluster mean.
+    pub fidelity: f64,
+    /// Number of optimiser iterations spent on this cluster.
+    pub iterations: usize,
+}
+
+/// The result of embedding one sample with a trained model ("online" phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding {
+    /// The fine-tuned ansatz parameters for this sample.
+    pub parameters: Vec<f64>,
+    /// The bound, fixed-shape embedding circuit.
+    pub circuit: QuantumCircuit,
+    /// Index of the cluster whose parameters initialised the optimisation.
+    pub cluster_index: usize,
+    /// Ideal (noise-free) fidelity of the embedded state against the sample.
+    pub ideal_fidelity: f64,
+    /// Wall-clock time of the online compilation.
+    pub duration: Duration,
+    /// Optimiser iterations used during fine-tuning.
+    pub iterations: usize,
+}
+
+/// A trained EnQode model: the clusters of one dataset/class and the shared
+/// symbolic machinery needed to embed new samples.
+///
+/// # Examples
+///
+/// ```
+/// use enqode::{AnsatzConfig, EnqodeConfig, EnqodeModel};
+///
+/// // Four 8-dimensional feature vectors (3 qubits) in two loose groups.
+/// let samples = vec![
+///     vec![0.9, 0.1, 0.0, 0.1, 0.0, 0.0, 0.1, 0.0],
+///     vec![0.8, 0.2, 0.1, 0.0, 0.0, 0.1, 0.0, 0.0],
+///     vec![0.0, 0.1, 0.0, 0.1, 0.9, 0.1, 0.0, 0.1],
+///     vec![0.1, 0.0, 0.1, 0.0, 0.8, 0.0, 0.2, 0.0],
+/// ];
+/// let config = EnqodeConfig {
+///     ansatz: AnsatzConfig { num_qubits: 3, num_layers: 8, ..Default::default() },
+///     ..Default::default()
+/// };
+/// let model = EnqodeModel::fit(&samples, config)?;
+/// let embedding = model.embed(&samples[0])?;
+/// assert!(embedding.ideal_fidelity > 0.9);
+/// # Ok::<(), enqode::EnqodeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnqodeModel {
+    config: EnqodeConfig,
+    symbolic: SymbolicState,
+    clusters: Vec<TrainedCluster>,
+    offline_duration: Duration,
+}
+
+impl EnqodeModel {
+    /// Trains the model on a set of feature vectors (the "offline" phase):
+    /// k-means clustering followed by per-cluster symbolic optimisation.
+    ///
+    /// Samples must have length `2^num_qubits`; they are normalised
+    /// internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::Data`] for empty or malformed sample sets and
+    /// configuration errors from the ansatz.
+    pub fn fit(samples: &[Vec<f64>], config: EnqodeConfig) -> Result<Self, EnqodeError> {
+        config.ansatz.validate()?;
+        let dim = config.ansatz.dimension();
+        for s in samples {
+            if s.len() != dim {
+                return Err(EnqodeError::DimensionMismatch {
+                    expected: dim,
+                    found: s.len(),
+                });
+            }
+        }
+        let start = Instant::now();
+        let normalized: Result<Vec<Vec<f64>>, _> =
+            samples.iter().map(|s| l2_normalize(s)).collect();
+        let normalized = normalized?;
+
+        let clustering = fit_with_fidelity_threshold(
+            &normalized,
+            config.fidelity_threshold,
+            config.max_clusters,
+            config.seed,
+        )?;
+
+        let symbolic = SymbolicState::from_ansatz(&config.ansatz)?;
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xE17);
+        let mut clusters = Vec::with_capacity(clustering.num_clusters());
+        for centroid in clustering.centroids() {
+            let centroid_normalized = l2_normalize(centroid)?;
+            let objective = FidelityObjective::with_symbolic(
+                symbolic.clone(),
+                &config.ansatz,
+                &centroid_normalized,
+            )?;
+            let optimizer = Lbfgs::with_max_iterations(config.offline_max_iterations);
+            let restarts = config.offline_restarts.max(1);
+            let mut best: Option<(Vec<f64>, f64, usize)> = None;
+            for restart in 0..restarts {
+                let spread = if restart == 0 { 0.3 } else { std::f64::consts::PI };
+                let start_theta: Vec<f64> = (0..config.ansatz.num_parameters())
+                    .map(|_| rng.gen_range(-spread..spread))
+                    .collect();
+                let result = optimizer.minimize(&objective, &start_theta);
+                let fidelity = objective.fidelity(&result.x);
+                let iterations = result.iterations;
+                if best.as_ref().map(|(_, f, _)| fidelity > *f).unwrap_or(true) {
+                    best = Some((result.x, fidelity, iterations));
+                }
+            }
+            let (parameters, fidelity, iterations) = best.expect("at least one restart runs");
+            clusters.push(TrainedCluster {
+                centroid: centroid_normalized,
+                fidelity,
+                parameters,
+                iterations,
+            });
+        }
+        Ok(Self {
+            config,
+            symbolic,
+            clusters,
+            offline_duration: start.elapsed(),
+        })
+    }
+
+    /// Returns the model configuration.
+    pub fn config(&self) -> &EnqodeConfig {
+        &self.config
+    }
+
+    /// Returns the trained clusters.
+    pub fn clusters(&self) -> &[TrainedCluster] {
+        &self.clusters
+    }
+
+    /// Returns the number of clusters selected by the fidelity-threshold
+    /// rule.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Returns the wall-clock duration of the offline training phase.
+    pub fn offline_duration(&self) -> Duration {
+        self.offline_duration
+    }
+
+    /// Returns the shared symbolic state of the ansatz.
+    pub fn symbolic(&self) -> &SymbolicState {
+        &self.symbolic
+    }
+
+    /// Returns the index of the cluster whose centroid is nearest (in
+    /// Euclidean distance) to the normalised sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::NotTrained`] if the model has no clusters and
+    /// [`EnqodeError::DimensionMismatch`] for bad sample lengths.
+    pub fn nearest_cluster(&self, sample: &[f64]) -> Result<usize, EnqodeError> {
+        if self.clusters.is_empty() {
+            return Err(EnqodeError::NotTrained);
+        }
+        let dim = self.config.ansatz.dimension();
+        if sample.len() != dim {
+            return Err(EnqodeError::DimensionMismatch {
+                expected: dim,
+                found: sample.len(),
+            });
+        }
+        let normalized = l2_normalize(sample)?;
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for (i, cluster) in self.clusters.iter().enumerate() {
+            let dist: f64 = normalized
+                .iter()
+                .zip(cluster.centroid.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if dist < best_dist {
+                best_dist = dist;
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Builds the bound, fixed-shape embedding circuit for given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a circuit error if `parameters` is too short.
+    pub fn circuit(&self, parameters: &[f64]) -> Result<QuantumCircuit, EnqodeError> {
+        self.config.ansatz.build_bound(parameters)
+    }
+
+    /// Embeds a new sample (the "online" phase): nearest-cluster lookup,
+    /// transfer-learning initialisation, and a short symbolic fine-tune.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::NotTrained`] for an untrained model, dimension
+    /// errors for bad samples, and data errors for zero vectors.
+    pub fn embed(&self, sample: &[f64]) -> Result<Embedding, EnqodeError> {
+        let start = Instant::now();
+        let cluster_index = self.nearest_cluster(sample)?;
+        let normalized = l2_normalize(sample)?;
+        let objective = FidelityObjective::with_symbolic(
+            self.symbolic.clone(),
+            &self.config.ansatz,
+            &normalized,
+        )?;
+        let initial = self.clusters[cluster_index].parameters.clone();
+        let result = Lbfgs::with_max_iterations(self.config.online_max_iterations)
+            .minimize(&objective, &initial);
+        let ideal_fidelity = objective.fidelity(&result.x);
+        let circuit = self.config.ansatz.build_bound(&result.x)?;
+        Ok(Embedding {
+            parameters: result.x,
+            circuit,
+            cluster_index,
+            ideal_fidelity,
+            duration: start.elapsed(),
+            iterations: result.iterations,
+        })
+    }
+
+    /// Embeds a sample without fine-tuning, using the nearest cluster's
+    /// parameters directly (the cheapest possible online path; used by the
+    /// ablation benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EnqodeModel::embed`].
+    pub fn embed_without_finetuning(&self, sample: &[f64]) -> Result<Embedding, EnqodeError> {
+        let start = Instant::now();
+        let cluster_index = self.nearest_cluster(sample)?;
+        let normalized = l2_normalize(sample)?;
+        let objective = FidelityObjective::with_symbolic(
+            self.symbolic.clone(),
+            &self.config.ansatz,
+            &normalized,
+        )?;
+        let parameters = self.clusters[cluster_index].parameters.clone();
+        let ideal_fidelity = objective.fidelity(&parameters);
+        let circuit = self.config.ansatz.build_bound(&parameters)?;
+        Ok(Embedding {
+            parameters,
+            circuit,
+            cluster_index,
+            ideal_fidelity,
+            duration: start.elapsed(),
+            iterations: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::EntanglerKind;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_config() -> EnqodeConfig {
+        EnqodeConfig {
+            ansatz: AnsatzConfig {
+                num_qubits: 3,
+                num_layers: 8,
+                entangler: EntanglerKind::Cy,
+            },
+            fidelity_threshold: 0.9,
+            max_clusters: 8,
+            offline_max_iterations: 150,
+            offline_restarts: 3,
+            online_max_iterations: 40,
+            seed: 3,
+        }
+    }
+
+    /// Two groups of similar 8-dimensional vectors.
+    fn grouped_samples(per_group: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        let base_a = [0.9, 0.2, 0.1, 0.05, 0.02, 0.1, 0.05, 0.01];
+        let base_b = [0.05, 0.1, 0.02, 0.2, 0.9, 0.05, 0.1, 0.02];
+        for _ in 0..per_group {
+            out.push(
+                base_a
+                    .iter()
+                    .map(|v| v + rng.gen_range(-0.03..0.03))
+                    .collect(),
+            );
+            out.push(
+                base_b
+                    .iter()
+                    .map(|v| v + rng.gen_range(-0.03..0.03))
+                    .collect(),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn fit_trains_clusters_with_high_fidelity() {
+        let samples = grouped_samples(6, 1);
+        let model = EnqodeModel::fit(&samples, small_config()).unwrap();
+        assert!(model.num_clusters() >= 1);
+        for cluster in model.clusters() {
+            assert!(
+                cluster.fidelity > 0.9,
+                "cluster fidelity {} too low",
+                cluster.fidelity
+            );
+            assert_eq!(cluster.parameters.len(), 24);
+        }
+        assert!(model.offline_duration() > Duration::ZERO);
+    }
+
+    #[test]
+    fn embed_reaches_high_fidelity_and_assigns_sensible_cluster() {
+        let samples = grouped_samples(6, 2);
+        let model = EnqodeModel::fit(&samples, small_config()).unwrap();
+        let embedding = model.embed(&samples[0]).unwrap();
+        assert!(
+            embedding.ideal_fidelity > 0.9,
+            "fidelity {}",
+            embedding.ideal_fidelity
+        );
+        assert!(embedding.cluster_index < model.num_clusters());
+        assert_eq!(embedding.parameters.len(), 24);
+        assert!(!embedding.circuit.is_parameterized());
+    }
+
+    #[test]
+    fn embedding_circuits_have_identical_shape_across_samples() {
+        let samples = grouped_samples(4, 3);
+        let model = EnqodeModel::fit(&samples, small_config()).unwrap();
+        let a = model.embed(&samples[0]).unwrap();
+        let b = model.embed(&samples[1]).unwrap();
+        assert_eq!(a.circuit.len(), b.circuit.len());
+        assert_eq!(a.circuit.depth(), b.circuit.depth());
+    }
+
+    #[test]
+    fn transfer_learning_initialisation_is_better_than_cold_start() {
+        // Fine-tuning from the cluster parameters should converge in fewer
+        // iterations than the offline optimisation needed from scratch.
+        let samples = grouped_samples(6, 4);
+        let model = EnqodeModel::fit(&samples, small_config()).unwrap();
+        let embedding = model.embed(&samples[2]).unwrap();
+        let offline_iters = model.clusters()[embedding.cluster_index].iterations;
+        assert!(
+            embedding.iterations <= offline_iters,
+            "online {} vs offline {}",
+            embedding.iterations,
+            offline_iters
+        );
+    }
+
+    #[test]
+    fn embed_without_finetuning_is_reasonable_for_cluster_members() {
+        let samples = grouped_samples(6, 5);
+        let model = EnqodeModel::fit(&samples, small_config()).unwrap();
+        let quick = model.embed_without_finetuning(&samples[0]).unwrap();
+        let tuned = model.embed(&samples[0]).unwrap();
+        assert!(quick.ideal_fidelity > 0.8);
+        assert!(tuned.ideal_fidelity >= quick.ideal_fidelity - 1e-9);
+        assert_eq!(quick.iterations, 0);
+    }
+
+    #[test]
+    fn fit_rejects_wrong_dimensions() {
+        let samples = vec![vec![1.0, 0.0, 0.0, 0.0]];
+        assert!(matches!(
+            EnqodeModel::fit(&samples, small_config()),
+            Err(EnqodeError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn embed_rejects_bad_samples() {
+        let samples = grouped_samples(3, 6);
+        let model = EnqodeModel::fit(&samples, small_config()).unwrap();
+        assert!(model.embed(&[1.0, 2.0]).is_err());
+        assert!(model.embed(&[0.0; 8]).is_err());
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let cfg = EnqodeConfig::default();
+        assert_eq!(cfg.ansatz.num_qubits, 8);
+        assert_eq!(cfg.ansatz.num_layers, 8);
+        assert!((cfg.fidelity_threshold - 0.95).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,231 @@
+//! End-to-end pipeline: raw dataset → PCA features → per-class EnQode models.
+//!
+//! The paper trains EnQode "per dataset and class": each class is clustered
+//! and optimised independently (Sec. III-C), and new samples are embedded by
+//! transfer learning from the nearest cluster of their class (or of any
+//! class, for unlabelled inference data).
+
+use crate::error::EnqodeError;
+use crate::model::{Embedding, EnqodeConfig, EnqodeModel};
+use enq_data::{Dataset, FeaturePipeline};
+use std::time::Duration;
+
+/// A trained per-class model.
+#[derive(Debug, Clone)]
+pub struct ClassModel {
+    /// The class label this model was trained on.
+    pub label: usize,
+    /// The trained EnQode model for this class.
+    pub model: EnqodeModel,
+}
+
+/// The full EnQode pipeline for one dataset: feature extraction plus one
+/// trained model per class.
+#[derive(Debug, Clone)]
+pub struct EnqodePipeline {
+    features: FeaturePipeline,
+    class_models: Vec<ClassModel>,
+}
+
+impl EnqodePipeline {
+    /// Builds the pipeline from a raw dataset: fits PCA to
+    /// `2^num_qubits` features on the whole dataset, then trains one EnQode
+    /// model per class.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-extraction and training errors.
+    pub fn build(dataset: &Dataset, config: EnqodeConfig) -> Result<Self, EnqodeError> {
+        let num_features = config.ansatz.dimension();
+        let features = FeaturePipeline::fit(dataset, num_features)?;
+        let transformed = features.apply_dataset(dataset)?;
+        let mut class_models = Vec::new();
+        for label in transformed.classes() {
+            let class_data = transformed.class_subset(label)?;
+            let model = EnqodeModel::fit(class_data.samples(), config.clone())?;
+            class_models.push(ClassModel { label, model });
+        }
+        Ok(Self {
+            features,
+            class_models,
+        })
+    }
+
+    /// Returns the fitted feature pipeline.
+    pub fn features(&self) -> &FeaturePipeline {
+        &self.features
+    }
+
+    /// Returns the per-class models.
+    pub fn class_models(&self) -> &[ClassModel] {
+        &self.class_models
+    }
+
+    /// Returns the model trained for a specific class label.
+    pub fn model_for_class(&self, label: usize) -> Option<&EnqodeModel> {
+        self.class_models
+            .iter()
+            .find(|cm| cm.label == label)
+            .map(|cm| &cm.model)
+    }
+
+    /// Returns the total number of trained clusters across all classes.
+    pub fn total_clusters(&self) -> usize {
+        self.class_models
+            .iter()
+            .map(|cm| cm.model.num_clusters())
+            .sum()
+    }
+
+    /// Returns the total offline training time across all classes (the
+    /// paper's "offline compilation time").
+    pub fn offline_duration(&self) -> Duration {
+        self.class_models
+            .iter()
+            .map(|cm| cm.model.offline_duration())
+            .sum()
+    }
+
+    /// Maps a raw sample to its normalised feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-extraction errors.
+    pub fn extract_features(&self, raw_sample: &[f64]) -> Result<Vec<f64>, EnqodeError> {
+        Ok(self.features.apply(raw_sample)?)
+    }
+
+    /// Embeds a raw sample whose class label is known (the training /
+    /// supervised-inference path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::NotTrained`] if the class has no model.
+    pub fn embed_with_class(
+        &self,
+        raw_sample: &[f64],
+        label: usize,
+    ) -> Result<Embedding, EnqodeError> {
+        let model = self.model_for_class(label).ok_or(EnqodeError::NotTrained)?;
+        let features = self.extract_features(raw_sample)?;
+        model.embed(&features)
+    }
+
+    /// Embeds a raw sample with unknown label by searching the nearest
+    /// cluster across every class model.
+    ///
+    /// Returns the class label used along with the embedding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::NotTrained`] for an empty pipeline.
+    pub fn embed(&self, raw_sample: &[f64]) -> Result<(usize, Embedding), EnqodeError> {
+        if self.class_models.is_empty() {
+            return Err(EnqodeError::NotTrained);
+        }
+        let features = self.extract_features(raw_sample)?;
+        // Pick the class whose nearest cluster centroid is closest.
+        let mut best: Option<(usize, f64)> = None;
+        for cm in &self.class_models {
+            let idx = cm.model.nearest_cluster(&features)?;
+            let centroid = &cm.model.clusters()[idx].centroid;
+            let normalized = enq_data::l2_normalize(&features)?;
+            let dist: f64 = normalized
+                .iter()
+                .zip(centroid.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if best.map(|(_, d)| dist < d).unwrap_or(true) {
+                best = Some((cm.label, dist));
+            }
+        }
+        let (label, _) = best.expect("class_models is non-empty");
+        let embedding = self
+            .model_for_class(label)
+            .expect("label came from class_models")
+            .embed(&features)?;
+        Ok((label, embedding))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::{AnsatzConfig, EntanglerKind};
+    use enq_data::{generate_synthetic, DatasetKind, SyntheticConfig};
+
+    fn tiny_pipeline() -> (EnqodePipeline, Dataset) {
+        let dataset = generate_synthetic(
+            DatasetKind::MnistLike,
+            &SyntheticConfig {
+                classes: 2,
+                samples_per_class: 8,
+                seed: 21,
+            },
+        )
+        .unwrap();
+        let config = EnqodeConfig {
+            ansatz: AnsatzConfig {
+                num_qubits: 4,
+                num_layers: 8,
+                entangler: EntanglerKind::Cy,
+            },
+            fidelity_threshold: 0.9,
+            max_clusters: 4,
+            offline_max_iterations: 120,
+            offline_restarts: 3,
+            online_max_iterations: 40,
+            seed: 21,
+        };
+        (EnqodePipeline::build(&dataset, config).unwrap(), dataset)
+    }
+
+    #[test]
+    fn builds_one_model_per_class() {
+        let (pipeline, _) = tiny_pipeline();
+        assert_eq!(pipeline.class_models().len(), 2);
+        assert!(pipeline.model_for_class(0).is_some());
+        assert!(pipeline.model_for_class(1).is_some());
+        assert!(pipeline.model_for_class(9).is_none());
+        assert!(pipeline.total_clusters() >= 2);
+        assert!(pipeline.offline_duration() > Duration::ZERO);
+    }
+
+    #[test]
+    fn embeds_training_samples_with_good_fidelity() {
+        let (pipeline, dataset) = tiny_pipeline();
+        let label = dataset.labels()[0];
+        let embedding = pipeline.embed_with_class(dataset.sample(0), label).unwrap();
+        assert!(
+            embedding.ideal_fidelity > 0.8,
+            "fidelity {}",
+            embedding.ideal_fidelity
+        );
+    }
+
+    #[test]
+    fn label_free_embedding_chooses_a_class() {
+        let (pipeline, dataset) = tiny_pipeline();
+        let (label, embedding) = pipeline.embed(dataset.sample(0)).unwrap();
+        assert!(label == 0 || label == 1);
+        assert!(embedding.ideal_fidelity > 0.8);
+    }
+
+    #[test]
+    fn feature_extraction_has_expected_dimension() {
+        let (pipeline, dataset) = tiny_pipeline();
+        let features = pipeline.extract_features(dataset.sample(3)).unwrap();
+        assert_eq!(features.len(), 16);
+        let norm: f64 = features.iter().map(|v| v * v).sum();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_class_errors() {
+        let (pipeline, dataset) = tiny_pipeline();
+        assert!(matches!(
+            pipeline.embed_with_class(dataset.sample(0), 42),
+            Err(EnqodeError::NotTrained)
+        ));
+    }
+}

@@ -1,0 +1,366 @@
+//! The symbolic phase-table representation of the ansatz state (Eq. 6).
+//!
+//! Because the interior of EnQode's ansatz applies only diagonal `Rz`
+//! rotations and `CY` permutations to the uniform-magnitude product state
+//! `⊗(|0⟩+i|1⟩)/√2`, every amplitude stays of the form
+//!
+//! ```text
+//! a_r(θ) = i^{k_r} · exp(i·Σ_j p_{rj}·θ_j / 2) / √(2^n),   p_{rj} ∈ {−1,0,1}
+//! ```
+//!
+//! The integer table `(k_r, p_{rj})` is computed once per ansatz shape; the
+//! state and its exact Jacobian are then closed-form functions of `θ`, which
+//! is what makes EnQode's training fast.
+
+use crate::ansatz::{AnsatzConfig, EntanglerKind};
+use crate::error::EnqodeError;
+use enq_linalg::{C64, CVector};
+
+/// The symbolic state `|ψ(θ)⟩` of an EnQode ansatz, before the closing
+/// rotation column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolicState {
+    num_qubits: usize,
+    num_parameters: usize,
+    /// Phase constant per basis index, stored as a power of `i` (mod 4).
+    k_power: Vec<u8>,
+    /// Integer coefficient of each parameter in each amplitude's phase,
+    /// flattened row-major: `coeff[r * num_parameters + j] ∈ {−1, 0, 1}`.
+    coeffs: Vec<i8>,
+}
+
+impl SymbolicState {
+    /// Builds the symbolic representation of the given ansatz shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::InvalidConfig`] for invalid configurations.
+    pub fn from_ansatz(config: &AnsatzConfig) -> Result<Self, EnqodeError> {
+        config.validate()?;
+        let n = config.num_qubits;
+        let dim = 1usize << n;
+        let num_parameters = config.num_parameters();
+
+        // Initial state after the Rx(−π/2) column: a_r = i^{popcount(r)}/√2ⁿ.
+        let mut k_power: Vec<u8> = (0..dim).map(|r| (r.count_ones() % 4) as u8).collect();
+        let mut coeffs = vec![0i8; dim * num_parameters];
+
+        for layer in 0..config.num_layers {
+            // Parameterised Rz column: Rz(θ) multiplies |0⟩ amplitudes by
+            // e^{−iθ/2} and |1⟩ amplitudes by e^{+iθ/2}.
+            for q in 0..n {
+                let j = layer * n + q;
+                for r in 0..dim {
+                    let sign: i8 = if (r >> q) & 1 == 1 { 1 } else { -1 };
+                    coeffs[r * num_parameters + j] += sign;
+                }
+            }
+            // Entangler column (the final Rz column has no trailing
+            // entangler, mirroring the ansatz construction).
+            if layer + 1 < config.num_layers {
+                for (control, target) in config.entangler_pairs(layer) {
+                    apply_entangler(
+                        config.entangler,
+                        control,
+                        target,
+                        n,
+                        num_parameters,
+                        &mut k_power,
+                        &mut coeffs,
+                    );
+                }
+            }
+        }
+        Ok(Self {
+            num_qubits: n,
+            num_parameters,
+            k_power,
+            coeffs,
+        })
+    }
+
+    /// Returns the number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Returns the Hilbert-space dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        1usize << self.num_qubits
+    }
+
+    /// Returns the number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.num_parameters
+    }
+
+    /// Returns the phase constant `k_r` (power of `i`) of basis index `r`.
+    pub fn phase_constant(&self, r: usize) -> u8 {
+        self.k_power[r]
+    }
+
+    /// Returns the integer coefficient `p_{rj}`.
+    pub fn coefficient(&self, r: usize, j: usize) -> i8 {
+        self.coeffs[r * self.num_parameters + j]
+    }
+
+    /// Evaluates the amplitudes `a_r(θ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::DimensionMismatch`] if `theta` has the wrong
+    /// length.
+    pub fn amplitudes(&self, theta: &[f64]) -> Result<CVector, EnqodeError> {
+        if theta.len() != self.num_parameters {
+            return Err(EnqodeError::DimensionMismatch {
+                expected: self.num_parameters,
+                found: theta.len(),
+            });
+        }
+        let dim = self.dim();
+        let scale = 1.0 / (dim as f64).sqrt();
+        let mut out = Vec::with_capacity(dim);
+        for r in 0..dim {
+            let mut phase = 0.0f64;
+            let row = &self.coeffs[r * self.num_parameters..(r + 1) * self.num_parameters];
+            for (p, t) in row.iter().zip(theta.iter()) {
+                if *p != 0 {
+                    phase += f64::from(*p) * t;
+                }
+            }
+            let mut amp = C64::cis(phase / 2.0).scale(scale);
+            amp = amp * i_power(self.k_power[r]);
+            out.push(amp);
+        }
+        Ok(CVector::new(out))
+    }
+
+    /// Evaluates the overlap `S(θ) = ⟨y|ψ(θ)⟩` and its gradient
+    /// `∂S/∂θ_j = Σ_r conj(y_r)·(i·p_{rj}/2)·a_r(θ)` in a single pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::DimensionMismatch`] for mismatched lengths.
+    pub fn overlap_and_gradient(
+        &self,
+        target_conj: &[C64],
+        theta: &[f64],
+    ) -> Result<(C64, Vec<C64>), EnqodeError> {
+        if target_conj.len() != self.dim() {
+            return Err(EnqodeError::DimensionMismatch {
+                expected: self.dim(),
+                found: target_conj.len(),
+            });
+        }
+        let amplitudes = self.amplitudes(theta)?;
+        let mut overlap = C64::ZERO;
+        let mut gradient = vec![C64::ZERO; self.num_parameters];
+        for r in 0..self.dim() {
+            let weighted = target_conj[r] * amplitudes[r];
+            overlap += weighted;
+            let row = &self.coeffs[r * self.num_parameters..(r + 1) * self.num_parameters];
+            for (j, p) in row.iter().enumerate() {
+                if *p != 0 {
+                    gradient[j] += weighted.scale(f64::from(*p) * 0.5) * C64::I;
+                }
+            }
+        }
+        Ok((overlap, gradient))
+    }
+}
+
+/// Returns `i^k`.
+fn i_power(k: u8) -> C64 {
+    match k % 4 {
+        0 => C64::ONE,
+        1 => C64::I,
+        2 => -C64::ONE,
+        _ => -C64::I,
+    }
+}
+
+/// Applies one entangling gate to the phase table.
+fn apply_entangler(
+    kind: EntanglerKind,
+    control: usize,
+    target: usize,
+    n: usize,
+    num_parameters: usize,
+    k_power: &mut [u8],
+    coeffs: &mut [i8],
+) {
+    let dim = 1usize << n;
+    let cmask = 1usize << control;
+    let tmask = 1usize << target;
+    match kind {
+        EntanglerKind::Cz => {
+            // Diagonal: amplitude picks up −1 when both bits are set.
+            for r in 0..dim {
+                if r & cmask != 0 && r & tmask != 0 {
+                    k_power[r] = (k_power[r] + 2) % 4;
+                }
+            }
+        }
+        EntanglerKind::Cx | EntanglerKind::Cy => {
+            for r0 in 0..dim {
+                // Visit each (control=1, target=0) representative once.
+                if r0 & cmask == 0 || r0 & tmask != 0 {
+                    continue;
+                }
+                let r1 = r0 | tmask;
+                // The amplitudes at r0 and r1 swap; CY additionally multiplies
+                // the one moving into r1 by i and the one moving into r0 by −i.
+                k_power.swap(r0, r1);
+                for j in 0..num_parameters {
+                    coeffs.swap(r0 * num_parameters + j, r1 * num_parameters + j);
+                }
+                if kind == EntanglerKind::Cy {
+                    k_power[r1] = (k_power[r1] + 1) % 4;
+                    k_power[r0] = (k_power[r0] + 3) % 4;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enq_qsim::Statevector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Reference check: W·ψ_symbolic(θ) must equal the statevector of the
+    /// fully bound ansatz circuit.
+    fn check_against_simulator(config: &AnsatzConfig, theta: &[f64]) {
+        let symbolic = SymbolicState::from_ansatz(config).unwrap();
+        let psi = symbolic.amplitudes(theta).unwrap();
+        let closed = config.closing_rotation().matvec(&psi);
+        let circuit = config.build_bound(theta).unwrap();
+        let simulated = Statevector::from_circuit(&circuit).unwrap().to_cvector();
+        assert!(
+            closed.approx_eq_up_to_phase(&simulated, 1e-9),
+            "symbolic state disagrees with the simulator for {config:?}"
+        );
+    }
+
+    #[test]
+    fn matches_simulator_for_small_ansatz() {
+        let config = AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 2,
+            entangler: EntanglerKind::Cy,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5 {
+            let theta: Vec<f64> = (0..config.num_parameters())
+                .map(|_| rng.gen_range(-3.0..3.0))
+                .collect();
+            check_against_simulator(&config, &theta);
+        }
+    }
+
+    #[test]
+    fn matches_simulator_for_paper_shape() {
+        let config = AnsatzConfig {
+            num_qubits: 5,
+            num_layers: 4,
+            entangler: EntanglerKind::Cy,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let theta: Vec<f64> = (0..config.num_parameters())
+            .map(|_| rng.gen_range(-3.0..3.0))
+            .collect();
+        check_against_simulator(&config, &theta);
+    }
+
+    #[test]
+    fn matches_simulator_for_cx_and_cz_entanglers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for entangler in [EntanglerKind::Cx, EntanglerKind::Cz] {
+            let config = AnsatzConfig {
+                num_qubits: 4,
+                num_layers: 3,
+                entangler,
+            };
+            let theta: Vec<f64> = (0..config.num_parameters())
+                .map(|_| rng.gen_range(-3.0..3.0))
+                .collect();
+            check_against_simulator(&config, &theta);
+        }
+    }
+
+    #[test]
+    fn amplitudes_have_uniform_magnitude() {
+        let config = AnsatzConfig {
+            num_qubits: 4,
+            num_layers: 3,
+            entangler: EntanglerKind::Cy,
+        };
+        let symbolic = SymbolicState::from_ansatz(&config).unwrap();
+        let theta: Vec<f64> = (0..config.num_parameters()).map(|j| 0.1 * j as f64).collect();
+        let psi = symbolic.amplitudes(&theta).unwrap();
+        let expected = 1.0 / 4.0;
+        for a in psi.iter() {
+            assert!((a.abs() - expected).abs() < 1e-12);
+        }
+        assert!((psi.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficients_are_ternary() {
+        let config = AnsatzConfig::default();
+        let symbolic = SymbolicState::from_ansatz(&config).unwrap();
+        for r in 0..symbolic.dim() {
+            for j in 0..symbolic.num_parameters() {
+                let p = symbolic.coefficient(r, j);
+                assert!((-1..=1).contains(&p), "coefficient {p} at ({r},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let config = AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 2,
+            entangler: EntanglerKind::Cy,
+        };
+        let symbolic = SymbolicState::from_ansatz(&config).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let theta: Vec<f64> = (0..config.num_parameters())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let target: Vec<C64> = (0..symbolic.dim())
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let target_conj: Vec<C64> = target.iter().map(|z| z.conj()).collect();
+
+        let (_, gradient) = symbolic.overlap_and_gradient(&target_conj, &theta).unwrap();
+        let eps = 1e-6;
+        for j in 0..theta.len() {
+            let mut plus = theta.clone();
+            plus[j] += eps;
+            let mut minus = theta.clone();
+            minus[j] -= eps;
+            let overlap = |t: &[f64]| -> C64 {
+                let amps = symbolic.amplitudes(t).unwrap();
+                (0..symbolic.dim()).map(|r| target_conj[r] * amps[r]).sum()
+            };
+            let numerical = (overlap(&plus) - overlap(&minus)) / (2.0 * eps);
+            assert!(
+                gradient[j].approx_eq(numerical, 1e-5),
+                "gradient mismatch at {j}: analytic {} vs numerical {}",
+                gradient[j],
+                numerical
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_theta_length_rejected() {
+        let config = AnsatzConfig::with_qubits(3);
+        let symbolic = SymbolicState::from_ansatz(&config).unwrap();
+        assert!(symbolic.amplitudes(&[0.0; 3]).is_err());
+    }
+}

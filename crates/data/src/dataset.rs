@@ -1,0 +1,255 @@
+//! Dataset containers.
+
+use crate::error::DataError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The image datasets used by the paper's evaluation. The repository ships
+/// deterministic synthetic surrogates with the same dimensionality and class
+/// structure (see `enq_data::synthetic`), because the pipeline only ever
+/// consumes PCA-reduced, L2-normalised feature vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// 28×28 grayscale digits (MNIST surrogate).
+    MnistLike,
+    /// 28×28 grayscale clothing items (Fashion-MNIST surrogate).
+    FashionMnistLike,
+    /// 32×32 RGB natural images (CIFAR-10 surrogate).
+    CifarLike,
+}
+
+impl DatasetKind {
+    /// Returns the raw feature dimension of one sample (flattened pixels).
+    pub fn feature_dim(&self) -> usize {
+        match self {
+            DatasetKind::MnistLike | DatasetKind::FashionMnistLike => 28 * 28,
+            DatasetKind::CifarLike => 32 * 32 * 3,
+        }
+    }
+
+    /// Returns the display name used in figures and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::MnistLike => "MNIST",
+            DatasetKind::FashionMnistLike => "F-MNIST",
+            DatasetKind::CifarLike => "CIFAR",
+        }
+    }
+
+    /// All three evaluation datasets, in the order the paper's figures use.
+    pub fn all() -> [DatasetKind; 3] {
+        [
+            DatasetKind::MnistLike,
+            DatasetKind::FashionMnistLike,
+            DatasetKind::CifarLike,
+        ]
+    }
+}
+
+impl fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A labelled collection of flat feature vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    feature_dim: usize,
+    samples: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates a dataset from samples and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyDataset`] when no samples are supplied and
+    /// [`DataError::DimensionMismatch`] when samples disagree in length or the
+    /// label count differs from the sample count.
+    pub fn new(
+        name: impl Into<String>,
+        samples: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+    ) -> Result<Self, DataError> {
+        if samples.is_empty() {
+            return Err(DataError::EmptyDataset);
+        }
+        let feature_dim = samples[0].len();
+        for s in &samples {
+            if s.len() != feature_dim {
+                return Err(DataError::DimensionMismatch {
+                    expected: feature_dim,
+                    found: s.len(),
+                });
+            }
+        }
+        if labels.len() != samples.len() {
+            return Err(DataError::DimensionMismatch {
+                expected: samples.len(),
+                found: labels.len(),
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            feature_dim,
+            samples,
+            labels,
+        })
+    }
+
+    /// Returns the dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when there are no samples (never the case for a
+    /// successfully constructed dataset).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Returns the per-sample feature dimension.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Returns all samples.
+    pub fn samples(&self) -> &[Vec<f64>] {
+        &self.samples
+    }
+
+    /// Returns all labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Returns the sample at `index`.
+    pub fn sample(&self, index: usize) -> &[f64] {
+        &self.samples[index]
+    }
+
+    /// Returns the distinct labels present, in ascending order.
+    pub fn classes(&self) -> Vec<usize> {
+        let mut classes: Vec<usize> = self.labels.clone();
+        classes.sort_unstable();
+        classes.dedup();
+        classes
+    }
+
+    /// Returns the indices of all samples with the given label.
+    pub fn indices_of_class(&self, label: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| if l == label { Some(i) } else { None })
+            .collect()
+    }
+
+    /// Returns a new dataset containing only the samples of the given label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyDataset`] if the class is not present.
+    pub fn class_subset(&self, label: usize) -> Result<Dataset, DataError> {
+        let indices = self.indices_of_class(label);
+        if indices.is_empty() {
+            return Err(DataError::EmptyDataset);
+        }
+        Ok(Dataset {
+            name: format!("{}-class{}", self.name, label),
+            feature_dim: self.feature_dim,
+            samples: indices.iter().map(|&i| self.samples[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        })
+    }
+
+    /// Returns a new dataset with features replaced by `f(sample)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DimensionMismatch`] if `f` produces vectors of
+    /// inconsistent length.
+    pub fn map_features(
+        &self,
+        mut f: impl FnMut(&[f64]) -> Vec<f64>,
+    ) -> Result<Dataset, DataError> {
+        let samples: Vec<Vec<f64>> = self.samples.iter().map(|s| f(s)).collect();
+        Dataset::new(self.name.clone(), samples, self.labels.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![1.0, 1.0],
+                vec![2.0, 2.0],
+            ],
+            vec![0, 1, 0, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.feature_dim(), 2);
+        assert_eq!(d.classes(), vec![0, 1]);
+        assert_eq!(d.indices_of_class(0), vec![0, 2]);
+        assert_eq!(d.sample(3), &[2.0, 2.0]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn invalid_construction_rejected() {
+        assert!(matches!(
+            Dataset::new("x", vec![], vec![]),
+            Err(DataError::EmptyDataset)
+        ));
+        assert!(Dataset::new("x", vec![vec![1.0], vec![1.0, 2.0]], vec![0, 0]).is_err());
+        assert!(Dataset::new("x", vec![vec![1.0]], vec![0, 1]).is_err());
+    }
+
+    #[test]
+    fn class_subset_filters() {
+        let d = toy();
+        let sub = d.class_subset(1).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert!(sub.labels().iter().all(|&l| l == 1));
+        assert!(d.class_subset(9).is_err());
+    }
+
+    #[test]
+    fn map_features_transforms() {
+        let d = toy();
+        let doubled = d
+            .map_features(|s| s.iter().map(|v| v * 2.0).collect())
+            .unwrap();
+        assert_eq!(doubled.sample(0), &[2.0, 0.0]);
+        assert_eq!(doubled.labels(), d.labels());
+    }
+
+    #[test]
+    fn dataset_kind_dimensions() {
+        assert_eq!(DatasetKind::MnistLike.feature_dim(), 784);
+        assert_eq!(DatasetKind::FashionMnistLike.feature_dim(), 784);
+        assert_eq!(DatasetKind::CifarLike.feature_dim(), 3072);
+        assert_eq!(DatasetKind::all().len(), 3);
+        assert_eq!(DatasetKind::CifarLike.to_string(), "CIFAR");
+    }
+}

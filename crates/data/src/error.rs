@@ -1,0 +1,73 @@
+//! Error types for the classical-data substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by dataset generation, PCA, and clustering.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// The dataset or sample collection was empty.
+    EmptyDataset,
+    /// Two samples (or a sample and a model) had different feature counts.
+    DimensionMismatch {
+        /// Expected feature count.
+        expected: usize,
+        /// Found feature count.
+        found: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter(String),
+    /// An underlying linear-algebra routine failed.
+    Linalg(enq_linalg::LinalgError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::EmptyDataset => write!(f, "dataset contains no samples"),
+            DataError::DimensionMismatch { expected, found } => {
+                write!(f, "feature dimension mismatch: expected {expected}, found {found}")
+            }
+            DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DataError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<enq_linalg::LinalgError> for DataError {
+    fn from(e: enq_linalg::LinalgError) -> Self {
+        DataError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DataError::EmptyDataset.to_string().contains("no samples"));
+        assert!(DataError::DimensionMismatch {
+            expected: 4,
+            found: 2
+        }
+        .to_string()
+        .contains("expected 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

@@ -1,0 +1,462 @@
+//! k-means clustering (Lloyd's algorithm with k-means++ initialisation).
+//!
+//! EnQode partitions each dataset into `k` clusters and trains one ansatz per
+//! cluster mean. The paper chooses `k` such that the state fidelity between
+//! every sample and its nearest cluster mean is at least 0.95;
+//! [`fit_with_fidelity_threshold`] implements exactly that selection rule.
+
+use crate::error::DataError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a single k-means fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the total centroid movement.
+    pub tolerance: f64,
+    /// RNG seed for the k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            max_iterations: 100,
+            tolerance: 1e-8,
+            seed: 17,
+        }
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansModel {
+    centroids: Vec<Vec<f64>>,
+    assignments: Vec<usize>,
+    inertia: f64,
+    iterations: usize,
+}
+
+impl KMeansModel {
+    /// Returns the cluster centroids (the "cluster mean samples" ⃗cᵢ of the
+    /// paper).
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Returns the number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Returns the cluster index assigned to each training sample.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Returns the sum of squared distances of samples to their centroids.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Returns the number of Lloyd iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Returns the nearest centroid index and its squared Euclidean distance
+    /// for a new sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DimensionMismatch`] for a sample of the wrong
+    /// length.
+    pub fn nearest_centroid(&self, sample: &[f64]) -> Result<(usize, f64), DataError> {
+        let dim = self.centroids[0].len();
+        if sample.len() != dim {
+            return Err(DataError::DimensionMismatch {
+                expected: dim,
+                found: sample.len(),
+            });
+        }
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for (i, c) in self.centroids.iter().enumerate() {
+            let d = squared_distance(sample, c);
+            if d < best_dist {
+                best_dist = d;
+                best = i;
+            }
+        }
+        Ok((best, best_dist))
+    }
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means on the samples.
+///
+/// # Errors
+///
+/// Returns [`DataError::EmptyDataset`] when no samples are supplied,
+/// [`DataError::InvalidParameter`] when `k` is zero or exceeds the sample
+/// count, and [`DataError::DimensionMismatch`] for ragged samples.
+///
+/// # Examples
+///
+/// ```
+/// use enq_data::{kmeans, KMeansConfig};
+///
+/// let samples = vec![
+///     vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0], vec![5.1, 4.9],
+/// ];
+/// let model = kmeans(&samples, &KMeansConfig { k: 2, ..Default::default() })?;
+/// assert_eq!(model.num_clusters(), 2);
+/// # Ok::<(), enq_data::DataError>(())
+/// ```
+pub fn kmeans(samples: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansModel, DataError> {
+    if samples.is_empty() {
+        return Err(DataError::EmptyDataset);
+    }
+    let dim = samples[0].len();
+    for s in samples {
+        if s.len() != dim {
+            return Err(DataError::DimensionMismatch {
+                expected: dim,
+                found: s.len(),
+            });
+        }
+    }
+    if config.k == 0 || config.k > samples.len() {
+        return Err(DataError::InvalidParameter(format!(
+            "k = {} is invalid for {} samples",
+            config.k,
+            samples.len()
+        )));
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut centroids = kmeans_plus_plus_init(samples, config.k, &mut rng);
+    let mut assignments = vec![0usize; samples.len()];
+    let mut iterations = 0usize;
+
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        // Assignment step.
+        for (i, s) in samples.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_dist = f64::INFINITY;
+            for (c_idx, c) in centroids.iter().enumerate() {
+                let d = squared_distance(s, c);
+                if d < best_dist {
+                    best_dist = d;
+                    best = c_idx;
+                }
+            }
+            assignments[i] = best;
+        }
+        // Update step.
+        let mut new_centroids = vec![vec![0.0; dim]; config.k];
+        let mut counts = vec![0usize; config.k];
+        for (s, &a) in samples.iter().zip(assignments.iter()) {
+            counts[a] += 1;
+            for (nc, v) in new_centroids[a].iter_mut().zip(s.iter()) {
+                *nc += v;
+            }
+        }
+        for (c_idx, count) in counts.iter().enumerate() {
+            if *count == 0 {
+                // Re-seed an empty cluster with the sample farthest from its
+                // centroid.
+                let far = samples
+                    .iter()
+                    .enumerate()
+                    .max_by(|(ia, a), (ib, b)| {
+                        let da = squared_distance(a, &centroids[assignments[*ia]]);
+                        let db = squared_distance(b, &centroids[assignments[*ib]]);
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("samples is non-empty");
+                new_centroids[c_idx] = samples[far].clone();
+            } else {
+                for v in new_centroids[c_idx].iter_mut() {
+                    *v /= *count as f64;
+                }
+            }
+        }
+        let movement: f64 = centroids
+            .iter()
+            .zip(new_centroids.iter())
+            .map(|(a, b)| squared_distance(a, b))
+            .sum();
+        centroids = new_centroids;
+        if movement < config.tolerance {
+            break;
+        }
+    }
+
+    // Final assignment + inertia.
+    let mut inertia = 0.0;
+    for (i, s) in samples.iter().enumerate() {
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for (c_idx, c) in centroids.iter().enumerate() {
+            let d = squared_distance(s, c);
+            if d < best_dist {
+                best_dist = d;
+                best = c_idx;
+            }
+        }
+        assignments[i] = best;
+        inertia += best_dist;
+    }
+
+    Ok(KMeansModel {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    })
+}
+
+/// k-means++ seeding: each new centroid is drawn with probability
+/// proportional to the squared distance from the nearest existing centroid.
+fn kmeans_plus_plus_init(samples: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(samples[rng.gen_range(0..samples.len())].clone());
+    while centroids.len() < k {
+        let distances: Vec<f64> = samples
+            .iter()
+            .map(|s| {
+                centroids
+                    .iter()
+                    .map(|c| squared_distance(s, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = distances.iter().sum();
+        if total <= 0.0 {
+            // All samples coincide with existing centroids; duplicate one.
+            centroids.push(samples[rng.gen_range(0..samples.len())].clone());
+            continue;
+        }
+        let mut threshold = rng.gen_range(0.0..total);
+        let mut chosen = samples.len() - 1;
+        for (i, &d) in distances.iter().enumerate() {
+            if threshold < d {
+                chosen = i;
+                break;
+            }
+            threshold -= d;
+        }
+        centroids.push(samples[chosen].clone());
+    }
+    centroids
+}
+
+/// The cosine-squared similarity `⟨x̂, ĉ⟩²` between a sample and a centroid,
+/// which equals the state fidelity of their amplitude-embedded states.
+pub fn embedding_fidelity(sample: &[f64], centroid: &[f64]) -> f64 {
+    let dot: f64 = sample.iter().zip(centroid.iter()).map(|(a, b)| a * b).sum();
+    let na: f64 = sample.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = centroid.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    let cos = dot / (na * nb);
+    cos * cos
+}
+
+/// Fits k-means with the smallest `k` (scanning upward) such that the
+/// embedding fidelity between every sample and its nearest centroid is at
+/// least `threshold`, as prescribed by the paper's methodology (0.95).
+///
+/// If no `k ≤ max_k` reaches the threshold, the model for `max_k` is
+/// returned.
+///
+/// # Errors
+///
+/// Propagates [`kmeans`] errors and rejects thresholds outside `(0, 1]`.
+pub fn fit_with_fidelity_threshold(
+    samples: &[Vec<f64>],
+    threshold: f64,
+    max_k: usize,
+    seed: u64,
+) -> Result<KMeansModel, DataError> {
+    if !(0.0..=1.0).contains(&threshold) || threshold == 0.0 {
+        return Err(DataError::InvalidParameter(format!(
+            "fidelity threshold {threshold} must be in (0, 1]"
+        )));
+    }
+    if max_k == 0 {
+        return Err(DataError::InvalidParameter(
+            "max_k must be positive".to_string(),
+        ));
+    }
+    let max_k = max_k.min(samples.len());
+    let mut k = 1usize;
+    let best = loop {
+        let model = kmeans(
+            samples,
+            &KMeansConfig {
+                k,
+                seed,
+                ..KMeansConfig::default()
+            },
+        )?;
+        let min_fidelity = samples
+            .iter()
+            .zip(model.assignments().iter())
+            .map(|(s, &a)| embedding_fidelity(s, &model.centroids()[a]))
+            .fold(f64::INFINITY, f64::min);
+        if min_fidelity >= threshold || k >= max_k {
+            break model;
+        }
+        // Grow k geometrically-ish to keep the scan cheap on large datasets.
+        k = (k + (k / 2).max(1)).min(max_k);
+    };
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.01;
+            out.push(vec![0.0 + t, 0.0 - t]);
+            out.push(vec![10.0 - t, 10.0 + t]);
+            out.push(vec![-10.0 + t, 10.0 - t]);
+        }
+        out
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let samples = blobs();
+        let model = kmeans(
+            &samples,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(model.num_clusters(), 3);
+        // Samples 0, 1, 2 belong to three different blobs.
+        let a = model.assignments()[0];
+        let b = model.assignments()[1];
+        let c = model.assignments()[2];
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+        assert!(model.inertia() < 1.0);
+    }
+
+    #[test]
+    fn nearest_centroid_prediction() {
+        let samples = blobs();
+        let model = kmeans(
+            &samples,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (cluster, dist) = model.nearest_centroid(&[9.8, 10.2]).unwrap();
+        assert_eq!(cluster, model.assignments()[1]);
+        assert!(dist < 1.0);
+        assert!(model.nearest_centroid(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let samples = blobs();
+        assert!(kmeans(&samples, &KMeansConfig { k: 0, ..Default::default() }).is_err());
+        assert!(kmeans(
+            &samples,
+            &KMeansConfig {
+                k: samples.len() + 1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(kmeans(&[], &KMeansConfig::default()).is_err());
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let samples = vec![vec![1.0, 1.0], vec![3.0, 5.0]];
+        let model = kmeans(
+            &samples,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((model.centroids()[0][0] - 2.0).abs() < 1e-9);
+        assert!((model.centroids()[0][1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let samples = blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 5,
+            ..Default::default()
+        };
+        let a = kmeans(&samples, &cfg).unwrap();
+        let b = kmeans(&samples, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn embedding_fidelity_properties() {
+        assert!((embedding_fidelity(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(embedding_fidelity(&[1.0, 0.0], &[0.0, 1.0]) < 1e-12);
+        let f = embedding_fidelity(&[1.0, 1.0], &[1.0, 0.0]);
+        assert!((f - 0.5).abs() < 1e-12);
+        assert_eq!(embedding_fidelity(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn fidelity_threshold_selection_grows_k() {
+        // Two tight, nearly-orthogonal directions: k = 1 cannot reach a high
+        // threshold, k = 2 can.
+        let mut samples = Vec::new();
+        for i in 0..10 {
+            let eps = i as f64 * 0.001;
+            samples.push(vec![1.0, eps]);
+            samples.push(vec![eps, 1.0]);
+        }
+        let model = fit_with_fidelity_threshold(&samples, 0.95, 8, 3).unwrap();
+        assert!(model.num_clusters() >= 2);
+        let min_f = samples
+            .iter()
+            .zip(model.assignments().iter())
+            .map(|(s, &a)| embedding_fidelity(s, &model.centroids()[a]))
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_f >= 0.95);
+    }
+
+    #[test]
+    fn fidelity_threshold_validates_inputs() {
+        let samples = blobs();
+        assert!(fit_with_fidelity_threshold(&samples, 0.0, 4, 1).is_err());
+        assert!(fit_with_fidelity_threshold(&samples, 1.5, 4, 1).is_err());
+        assert!(fit_with_fidelity_threshold(&samples, 0.9, 0, 1).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! # enq-data
+//!
+//! The classical-data substrate of the EnQode reproduction:
+//!
+//! * [`generate_synthetic`] — deterministic surrogates for MNIST,
+//!   Fashion-MNIST, and CIFAR-10 (the pipeline only consumes PCA-reduced,
+//!   normalised features, so class-structured synthetic images preserve the
+//!   behaviour the paper measures),
+//! * [`Pca`] / [`FeaturePipeline`] — PCA to `2^n` features followed by L2
+//!   normalisation, as in the paper's methodology,
+//! * [`kmeans`] / [`fit_with_fidelity_threshold`] — k-means clustering with
+//!   the paper's "minimum 0.95 embedding fidelity" rule for choosing `k`.
+//!
+//! ## Example
+//!
+//! ```
+//! use enq_data::{
+//!     fit_with_fidelity_threshold, generate_synthetic, DatasetKind, FeaturePipeline,
+//!     SyntheticConfig,
+//! };
+//!
+//! let raw = generate_synthetic(
+//!     DatasetKind::MnistLike,
+//!     &SyntheticConfig { classes: 2, samples_per_class: 15, seed: 1 },
+//! )?;
+//! let pipeline = FeaturePipeline::fit(&raw, 16)?;
+//! let features = pipeline.apply_dataset(&raw)?;
+//! let clusters = fit_with_fidelity_threshold(features.samples(), 0.95, 16, 1)?;
+//! assert!(clusters.num_clusters() >= 1);
+//! # Ok::<(), enq_data::DataError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+mod kmeans;
+mod pca;
+mod preprocess;
+mod synthetic;
+
+pub use dataset::{Dataset, DatasetKind};
+pub use error::DataError;
+pub use kmeans::{
+    embedding_fidelity, fit_with_fidelity_threshold, kmeans, KMeansConfig, KMeansModel,
+};
+pub use pca::Pca;
+pub use preprocess::{l2_normalize, FeaturePipeline};
+pub use synthetic::{generate_synthetic, SyntheticConfig};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn l2_normalize_always_unit_norm(
+            v in proptest::collection::vec(-5.0..5.0f64, 4..32)
+        ) {
+            prop_assume!(v.iter().map(|x| x * x).sum::<f64>() > 1e-6);
+            let n = l2_normalize(&v).unwrap();
+            let norm: f64 = n.iter().map(|x| x * x).sum();
+            prop_assert!((norm - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn embedding_fidelity_is_bounded(
+            a in proptest::collection::vec(-5.0..5.0f64, 8),
+            b in proptest::collection::vec(-5.0..5.0f64, 8),
+        ) {
+            let f = embedding_fidelity(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&f));
+        }
+
+        #[test]
+        fn kmeans_assignments_are_in_range(
+            points in proptest::collection::vec(
+                proptest::collection::vec(-10.0..10.0f64, 3), 8..24
+            ),
+            k in 1usize..4,
+        ) {
+            let model = kmeans(
+                &points,
+                &KMeansConfig { k, ..Default::default() },
+            ).unwrap();
+            prop_assert_eq!(model.assignments().len(), points.len());
+            for &a in model.assignments() {
+                prop_assert!(a < k);
+            }
+            // Every sample is assigned to its true nearest centroid.
+            for (s, &a) in points.iter().zip(model.assignments()) {
+                let (nearest, _) = model.nearest_centroid(s).unwrap();
+                prop_assert_eq!(nearest, a);
+            }
+        }
+
+        #[test]
+        fn kmeans_inertia_never_increases_with_k(
+            points in proptest::collection::vec(
+                proptest::collection::vec(-10.0..10.0f64, 2), 12..24
+            ),
+        ) {
+            let one = kmeans(&points, &KMeansConfig { k: 1, ..Default::default() }).unwrap();
+            let many = kmeans(&points, &KMeansConfig { k: 4, ..Default::default() }).unwrap();
+            prop_assert!(many.inertia() <= one.inertia() + 1e-6);
+        }
+    }
+}

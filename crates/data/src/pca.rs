@@ -1,0 +1,352 @@
+//! Principal component analysis.
+//!
+//! The paper reduces every image to `2^n` features with PCA before
+//! normalising and embedding it. Covariance matrices of the raw images are
+//! large (784×784 or 3072×3072), so the implementation uses a randomized
+//! range finder with power iterations (Halko et al.) and never materialises
+//! the full covariance matrix; the small projected problem is solved exactly
+//! with the symmetric Jacobi eigensolver from `enq-linalg`.
+
+use crate::error::DataError;
+use enq_linalg::{symmetric_eigen, RMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fitted PCA model (mean vector + orthonormal principal components).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// `components[c]` is the `c`-th principal axis (length = feature dim).
+    components: Vec<Vec<f64>>,
+    explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a PCA model with `num_components` components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyDataset`] for no samples,
+    /// [`DataError::DimensionMismatch`] for ragged samples, and
+    /// [`DataError::InvalidParameter`] if `num_components` is zero or larger
+    /// than the feature dimension.
+    pub fn fit(samples: &[Vec<f64>], num_components: usize) -> Result<Self, DataError> {
+        if samples.is_empty() {
+            return Err(DataError::EmptyDataset);
+        }
+        let dim = samples[0].len();
+        for s in samples {
+            if s.len() != dim {
+                return Err(DataError::DimensionMismatch {
+                    expected: dim,
+                    found: s.len(),
+                });
+            }
+        }
+        if num_components == 0 || num_components > dim {
+            return Err(DataError::InvalidParameter(format!(
+                "cannot extract {num_components} components from {dim}-dimensional data"
+            )));
+        }
+        let n = samples.len();
+        let mut mean = vec![0.0; dim];
+        for s in samples {
+            for (m, v) in mean.iter_mut().zip(s.iter()) {
+                *m += v / n as f64;
+            }
+        }
+
+        let oversample = 8.min(dim - num_components);
+        let sketch = num_components + oversample;
+        let denom = (n as f64 - 1.0).max(1.0);
+
+        // Deterministic pseudo-random start subspace (d × sketch), stored as
+        // columns.
+        let mut rng = StdRng::seed_from_u64(0x5043_4100 ^ (dim as u64) ^ ((n as u64) << 20));
+        let mut q: Vec<Vec<f64>> = (0..sketch)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        orthonormalize(&mut q);
+
+        // Two rounds of power iteration: Q ← orth(Cov · Q), where
+        // Cov · Q = Xcᵀ (Xc Q) / (n−1) is computed without forming Cov.
+        for _ in 0..2 {
+            let projected = apply_covariance(samples, &mean, &q, denom);
+            q = projected;
+            orthonormalize(&mut q);
+        }
+
+        // Rayleigh–Ritz on the sketch subspace: B = Qᵀ Cov Q = ZᵀZ/(n−1) with
+        // Z = Xc Q.
+        let z = centered_product(samples, &mean, &q); // n × sketch
+        let mut b = RMatrix::zeros(sketch, sketch);
+        for i in 0..sketch {
+            for j in i..sketch {
+                let mut acc = 0.0;
+                for row in &z {
+                    acc += row[i] * row[j];
+                }
+                acc /= denom;
+                b[(i, j)] = acc;
+                b[(j, i)] = acc;
+            }
+        }
+        let eig = symmetric_eigen(&b)?;
+
+        // components[c] = Σ_s V[s][c] · q[s], for the top `num_components`.
+        let mut components = Vec::with_capacity(num_components);
+        let mut explained_variance = Vec::with_capacity(num_components);
+        for c in 0..num_components {
+            let mut axis = vec![0.0; dim];
+            for (s, q_col) in q.iter().enumerate() {
+                let w = eig.eigenvectors[(s, c)];
+                for (a, v) in axis.iter_mut().zip(q_col.iter()) {
+                    *a += w * v;
+                }
+            }
+            components.push(axis);
+            explained_variance.push(eig.eigenvalues[c].max(0.0));
+        }
+        Ok(Self {
+            mean,
+            components,
+            explained_variance,
+        })
+    }
+
+    /// Returns the number of components.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns the feature dimension the model was fitted on.
+    pub fn input_dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Returns the per-component explained variance, in descending order.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Returns the mean vector subtracted before projection.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Returns the principal axes.
+    pub fn components(&self) -> &[Vec<f64>] {
+        &self.components
+    }
+
+    /// Projects a sample onto the principal components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DimensionMismatch`] if the sample has the wrong
+    /// length.
+    pub fn transform(&self, sample: &[f64]) -> Result<Vec<f64>, DataError> {
+        if sample.len() != self.mean.len() {
+            return Err(DataError::DimensionMismatch {
+                expected: self.mean.len(),
+                found: sample.len(),
+            });
+        }
+        Ok(self
+            .components
+            .iter()
+            .map(|axis| {
+                axis.iter()
+                    .zip(sample.iter().zip(self.mean.iter()))
+                    .map(|(a, (x, m))| a * (x - m))
+                    .sum()
+            })
+            .collect())
+    }
+
+    /// Projects every sample of a collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DimensionMismatch`] on the first bad sample.
+    pub fn transform_all(&self, samples: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, DataError> {
+        samples.iter().map(|s| self.transform(s)).collect()
+    }
+
+    /// Reconstructs an approximation of the original sample from its
+    /// projection (used in tests and diagnostics).
+    pub fn inverse_transform(&self, projected: &[f64]) -> Vec<f64> {
+        let mut out = self.mean.clone();
+        for (w, axis) in projected.iter().zip(self.components.iter()) {
+            for (o, a) in out.iter_mut().zip(axis.iter()) {
+                *o += w * a;
+            }
+        }
+        out
+    }
+}
+
+/// Computes `Xc · Q` where `Xc` is the centered sample matrix (`n × d`) and
+/// `Q` is given as columns of length `d`; the result is `n × |Q|`.
+fn centered_product(samples: &[Vec<f64>], mean: &[f64], q: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    samples
+        .iter()
+        .map(|s| {
+            q.iter()
+                .map(|col| {
+                    col.iter()
+                        .zip(s.iter().zip(mean.iter()))
+                        .map(|(c, (x, m))| c * (x - m))
+                        .sum()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Computes `Cov · Q = Xcᵀ (Xc Q) / denom` column by column.
+fn apply_covariance(
+    samples: &[Vec<f64>],
+    mean: &[f64],
+    q: &[Vec<f64>],
+    denom: f64,
+) -> Vec<Vec<f64>> {
+    let dim = mean.len();
+    let z = centered_product(samples, mean, q); // n × sketch
+    let sketch = q.len();
+    let mut out = vec![vec![0.0; dim]; sketch];
+    for (row, s) in z.iter().zip(samples.iter()) {
+        for (col_idx, out_col) in out.iter_mut().enumerate() {
+            let w = row[col_idx] / denom;
+            if w == 0.0 {
+                continue;
+            }
+            for ((o, x), m) in out_col.iter_mut().zip(s.iter()).zip(mean.iter()) {
+                *o += w * (x - m);
+            }
+        }
+    }
+    out
+}
+
+/// Orthonormalises a set of columns (each of length `d`) with modified
+/// Gram-Schmidt.
+fn orthonormalize(columns: &mut [Vec<f64>]) {
+    for j in 0..columns.len() {
+        for prev in 0..j {
+            let dot: f64 = columns[j]
+                .iter()
+                .zip(columns[prev].iter())
+                .map(|(a, b)| a * b)
+                .sum();
+            let prev_col = columns[prev].clone();
+            for (v, p) in columns[j].iter_mut().zip(prev_col.iter()) {
+                *v -= dot * p;
+            }
+        }
+        let norm: f64 = columns[j].iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 1e-14 {
+            for v in columns[j].iter_mut() {
+                *v /= norm;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds samples lying (mostly) in a 2-D subspace of a 10-D space.
+    fn low_rank_samples(n: usize, noise: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let basis1: Vec<f64> = (0..10).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let basis2: Vec<f64> = (0..10).map(|i| ((i as f64) * 1.3).cos()).collect();
+        (0..n)
+            .map(|_| {
+                let a: f64 = rng.gen_range(-2.0..2.0);
+                let b: f64 = rng.gen_range(-1.0..1.0);
+                (0..10)
+                    .map(|i| a * basis1[i] + b * basis2[i] + rng.gen_range(-noise..noise) + 3.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_validates_input() {
+        assert!(Pca::fit(&[], 2).is_err());
+        assert!(Pca::fit(&[vec![1.0, 2.0]], 0).is_err());
+        assert!(Pca::fit(&[vec![1.0, 2.0]], 3).is_err());
+        assert!(Pca::fit(&[vec![1.0, 2.0], vec![1.0]], 1).is_err());
+    }
+
+    #[test]
+    fn captures_low_rank_structure() {
+        let samples = low_rank_samples(80, 0.01, 3);
+        let pca = Pca::fit(&samples, 2).unwrap();
+        // Reconstruction from 2 components should be nearly exact.
+        for s in samples.iter().take(10) {
+            let projected = pca.transform(s).unwrap();
+            let reconstructed = pca.inverse_transform(&projected);
+            let err: f64 = s
+                .iter()
+                .zip(reconstructed.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            assert!(err < 0.1, "reconstruction error {err}");
+        }
+    }
+
+    #[test]
+    fn explained_variance_is_descending() {
+        let samples = low_rank_samples(60, 0.3, 5);
+        let pca = Pca::fit(&samples, 4).unwrap();
+        let ev = pca.explained_variance();
+        for w in ev.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+        assert!(ev[0] > ev[2], "dominant directions should carry more variance");
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let samples = low_rank_samples(60, 0.5, 6);
+        let pca = Pca::fit(&samples, 3).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = pca.components()[i]
+                    .iter()
+                    .zip(pca.components()[j].iter())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-6, "({i},{j}) = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_centers_the_data() {
+        let samples = low_rank_samples(50, 0.2, 8);
+        let pca = Pca::fit(&samples, 2).unwrap();
+        // The mean of all projections should be (numerically) zero.
+        let projections = pca.transform_all(&samples).unwrap();
+        for c in 0..2 {
+            let mean: f64 = projections.iter().map(|p| p[c]).sum::<f64>() / samples.len() as f64;
+            assert!(mean.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn transform_rejects_wrong_dimension() {
+        let samples = low_rank_samples(20, 0.2, 9);
+        let pca = Pca::fit(&samples, 2).unwrap();
+        assert!(pca.transform(&[1.0, 2.0]).is_err());
+        assert_eq!(pca.num_components(), 2);
+        assert_eq!(pca.input_dim(), 10);
+    }
+}

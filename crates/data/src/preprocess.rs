@@ -1,0 +1,184 @@
+//! Feature preprocessing: PCA reduction followed by L2 normalisation, the
+//! exact pipeline the paper applies to every image before embedding it.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::pca::Pca;
+
+/// Returns an L2-normalised copy of a vector.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidParameter`] if the vector has zero norm (it
+/// could not be used as an amplitude-embedding target).
+pub fn l2_normalize(values: &[f64]) -> Result<Vec<f64>, DataError> {
+    let norm: f64 = values.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm <= 0.0 {
+        return Err(DataError::InvalidParameter(
+            "cannot normalise a zero vector".to_string(),
+        ));
+    }
+    Ok(values.iter().map(|v| v / norm).collect())
+}
+
+/// A fitted feature pipeline: PCA to `2^n` features, then L2 normalisation.
+///
+/// # Examples
+///
+/// ```
+/// use enq_data::{generate_synthetic, DatasetKind, FeaturePipeline, SyntheticConfig};
+///
+/// let data = generate_synthetic(
+///     DatasetKind::MnistLike,
+///     &SyntheticConfig { classes: 2, samples_per_class: 12, seed: 3 },
+/// )?;
+/// let pipeline = FeaturePipeline::fit(&data, 16)?;
+/// let features = pipeline.apply(data.sample(0))?;
+/// assert_eq!(features.len(), 16);
+/// let norm: f64 = features.iter().map(|v| v * v).sum();
+/// assert!((norm - 1.0).abs() < 1e-9);
+/// # Ok::<(), enq_data::DataError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FeaturePipeline {
+    pca: Pca,
+    output_dim: usize,
+}
+
+impl FeaturePipeline {
+    /// Fits the pipeline on a dataset, producing `output_dim` features per
+    /// sample (for the paper's 8-qubit experiments, `output_dim = 256`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PCA fitting errors.
+    pub fn fit(dataset: &Dataset, output_dim: usize) -> Result<Self, DataError> {
+        let pca = Pca::fit(dataset.samples(), output_dim)?;
+        Ok(Self { pca, output_dim })
+    }
+
+    /// Returns the number of output features.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Returns the underlying PCA model.
+    pub fn pca(&self) -> &Pca {
+        &self.pca
+    }
+
+    /// Maps one raw sample to its normalised feature vector.
+    ///
+    /// Samples that project onto the zero vector (extremely unlikely for real
+    /// data) receive a deterministic basis vector so they remain embeddable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DimensionMismatch`] if the sample has the wrong
+    /// raw dimension.
+    pub fn apply(&self, sample: &[f64]) -> Result<Vec<f64>, DataError> {
+        let projected = self.pca.transform(sample)?;
+        match l2_normalize(&projected) {
+            Ok(v) => Ok(v),
+            Err(_) => {
+                let mut fallback = vec![0.0; self.output_dim];
+                fallback[0] = 1.0;
+                Ok(fallback)
+            }
+        }
+    }
+
+    /// Maps a whole dataset to its normalised feature representation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-sample errors.
+    pub fn apply_dataset(&self, dataset: &Dataset) -> Result<Dataset, DataError> {
+        let samples: Result<Vec<Vec<f64>>, DataError> = dataset
+            .samples()
+            .iter()
+            .map(|s| self.apply(s))
+            .collect();
+        Dataset::new(dataset.name().to_string(), samples?, dataset.labels().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetKind;
+    use crate::synthetic::{generate_synthetic, SyntheticConfig};
+
+    fn small_dataset() -> Dataset {
+        generate_synthetic(
+            DatasetKind::MnistLike,
+            &SyntheticConfig {
+                classes: 3,
+                samples_per_class: 10,
+                seed: 5,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn l2_normalize_basics() {
+        let v = l2_normalize(&[3.0, 4.0]).unwrap();
+        assert!((v[0] - 0.6).abs() < 1e-12);
+        assert!((v[1] - 0.8).abs() < 1e-12);
+        assert!(l2_normalize(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn pipeline_produces_normalized_features() {
+        let data = small_dataset();
+        let pipeline = FeaturePipeline::fit(&data, 16).unwrap();
+        assert_eq!(pipeline.output_dim(), 16);
+        for s in data.samples().iter().take(5) {
+            let f = pipeline.apply(s).unwrap();
+            assert_eq!(f.len(), 16);
+            let norm: f64 = f.iter().map(|v| v * v).sum();
+            assert!((norm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pipeline_dataset_transform_preserves_labels() {
+        let data = small_dataset();
+        let pipeline = FeaturePipeline::fit(&data, 8).unwrap();
+        let transformed = pipeline.apply_dataset(&data).unwrap();
+        assert_eq!(transformed.len(), data.len());
+        assert_eq!(transformed.labels(), data.labels());
+        assert_eq!(transformed.feature_dim(), 8);
+    }
+
+    #[test]
+    fn pipeline_rejects_wrong_dimension() {
+        let data = small_dataset();
+        let pipeline = FeaturePipeline::fit(&data, 8).unwrap();
+        assert!(pipeline.apply(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn features_cluster_by_class() {
+        // After PCA + normalisation, a sample should on average be closer to
+        // samples of its own class than to other classes.
+        let data = small_dataset();
+        let pipeline = FeaturePipeline::fit(&data, 16).unwrap();
+        let features = pipeline.apply_dataset(&data).unwrap();
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        let c0 = features.indices_of_class(0);
+        let c1 = features.indices_of_class(1);
+        let mut within = 0.0;
+        let mut across = 0.0;
+        let mut count = 0.0;
+        for i in 0..5 {
+            within += dist(features.sample(c0[i]), features.sample(c0[i + 1]));
+            across += dist(features.sample(c0[i]), features.sample(c1[i]));
+            count += 1.0;
+        }
+        assert!(within / count < across / count);
+    }
+}

@@ -1,0 +1,381 @@
+//! Complex scalar arithmetic.
+//!
+//! The EnQode reproduction hand-rolls its numerics, so this module provides a
+//! small, fully-featured double-precision complex type, [`C64`], used by the
+//! vector/matrix types, the quantum simulators, and the symbolic engine.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + i·im`.
+///
+/// # Examples
+///
+/// ```
+/// use enq_linalg::C64;
+///
+/// let z = C64::new(1.0, 2.0) * C64::i();
+/// assert_eq!(z, C64::new(-2.0, 1.0));
+/// assert!((z.abs() - 5.0_f64.sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Returns the imaginary unit `i`.
+    #[inline]
+    pub const fn i() -> Self {
+        Self::I
+    }
+
+    /// Creates a complex number from polar form `r·e^{iθ}`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use enq_linalg::C64;
+    /// let z = C64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z - C64::new(0.0, 2.0)).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, a unit-modulus phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Returns the complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Returns the squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Returns the modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Returns the argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Returns the multiplicative inverse `1/z`.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic, but returns non-finite components when `self` is zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Returns the principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let theta = self.arg();
+        Self::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Returns the complex exponential `e^z`.
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Returns `true` if `|self - other| <= tol`.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        Self::real(re)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: f64) -> C64 {
+        C64::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: f64) -> C64 {
+        C64::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = self.scale(rhs);
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for C64 {
+    fn product<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(C64::new(1.0, 2.0).re, 1.0);
+        assert_eq!(C64::new(1.0, 2.0).im, 2.0);
+        assert_eq!(C64::ZERO + C64::ONE, C64::ONE);
+        assert_eq!(C64::I * C64::I, -C64::ONE);
+        assert_eq!(C64::from(3.0), C64::real(3.0));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = C64::new(1.5, -2.25);
+        let b = C64::new(-0.5, 4.0);
+        assert!((a + b - b).approx_eq(a, TOL));
+        assert!((a * b / b).approx_eq(a, TOL));
+        assert!((a * a.recip()).approx_eq(C64::ONE, TOL));
+        assert!((-a + a).approx_eq(C64::ZERO, TOL));
+    }
+
+    #[test]
+    fn conjugate_and_modulus() {
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.conj(), C64::new(3.0, -4.0));
+        assert!((z.abs() - 5.0).abs() < TOL);
+        assert!((z.norm_sqr() - 25.0).abs() < TOL);
+        assert!(((z * z.conj()).re - 25.0).abs() < TOL);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = C64::new(-1.0, 1.0);
+        let w = C64::from_polar(z.abs(), z.arg());
+        assert!(z.approx_eq(w, TOL));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = C64::new(-3.0, 0.5);
+        let s = z.sqrt();
+        assert!((s * s).approx_eq(z, 1e-10));
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_cis() {
+        let theta = 0.7;
+        assert!(C64::new(0.0, theta).exp().approx_eq(C64::cis(theta), TOL));
+    }
+
+    #[test]
+    fn real_scalar_ops() {
+        let z = C64::new(2.0, -1.0);
+        assert_eq!(z * 2.0, C64::new(4.0, -2.0));
+        assert_eq!(2.0 * z, C64::new(4.0, -2.0));
+        assert_eq!(z / 2.0, C64::new(1.0, -0.5));
+        assert_eq!(z + 1.0, C64::new(3.0, -1.0));
+        assert_eq!(z - 1.0, C64::new(1.0, -1.0));
+    }
+
+    #[test]
+    fn sum_and_product() {
+        let values = [C64::ONE, C64::I, C64::new(2.0, 0.0)];
+        let s: C64 = values.iter().copied().sum();
+        assert!(s.approx_eq(C64::new(3.0, 1.0), TOL));
+        let p: C64 = values.iter().copied().product();
+        assert!(p.approx_eq(C64::new(0.0, 2.0), TOL));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = C64::new(1.0, 1.0);
+        z += C64::ONE;
+        assert_eq!(z, C64::new(2.0, 1.0));
+        z -= C64::I;
+        assert_eq!(z, C64::new(2.0, 0.0));
+        z *= C64::I;
+        assert_eq!(z, C64::new(0.0, 2.0));
+        z /= C64::new(0.0, 2.0);
+        assert!(z.approx_eq(C64::ONE, TOL));
+        z *= 3.0;
+        assert!(z.approx_eq(C64::real(3.0), TOL));
+    }
+}

@@ -1,0 +1,329 @@
+//! Hermitian eigendecomposition and matrix functions.
+//!
+//! The mixed-state fidelity `F(ρ,σ) = (tr √(√ρ σ √ρ))²` used by the paper
+//! requires principal square roots of positive-semidefinite matrices, which we
+//! obtain from a cyclic complex Jacobi eigensolver.
+
+use crate::complex::C64;
+use crate::error::LinalgError;
+use crate::matrix::CMatrix;
+use crate::vector::CVector;
+
+/// Result of a Hermitian eigendecomposition `A = V · diag(λ) · V†`.
+#[derive(Debug, Clone)]
+pub struct HermitianEigen {
+    /// Eigenvalues in ascending order (all real for Hermitian input).
+    pub eigenvalues: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub eigenvectors: CMatrix,
+}
+
+impl HermitianEigen {
+    /// Reconstructs the original matrix `V · diag(λ) · V†`.
+    pub fn reconstruct(&self) -> CMatrix {
+        let diag =
+            CMatrix::from_diagonal(&self.eigenvalues.iter().map(|&l| C64::real(l)).collect::<Vec<_>>());
+        self.eigenvectors
+            .matmul(&diag)
+            .matmul(&self.eigenvectors.adjoint())
+    }
+
+    /// Applies a real function to the eigenvalues and reconstructs
+    /// `V · diag(f(λ)) · V†`.
+    pub fn map_eigenvalues(&self, f: impl Fn(f64) -> f64) -> CMatrix {
+        let diag = CMatrix::from_diagonal(
+            &self
+                .eigenvalues
+                .iter()
+                .map(|&l| C64::real(f(l)))
+                .collect::<Vec<_>>(),
+        );
+        self.eigenvectors
+            .matmul(&diag)
+            .matmul(&self.eigenvectors.adjoint())
+    }
+
+    /// Returns the eigenvector associated with the largest eigenvalue.
+    pub fn dominant_eigenvector(&self) -> CVector {
+        let n = self.eigenvectors.nrows();
+        let last = self.eigenvalues.len() - 1;
+        let mut v = CVector::zeros(n);
+        for i in 0..n {
+            v[i] = self.eigenvectors[(i, last)];
+        }
+        v
+    }
+}
+
+/// Computes the eigendecomposition of a Hermitian matrix using cyclic complex
+/// Jacobi rotations.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for non-square input,
+/// [`LinalgError::InvalidInput`] if the matrix is not Hermitian within `1e-8`,
+/// and [`LinalgError::NoConvergence`] if the off-diagonal norm does not fall
+/// below `1e-12` within 60 sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use enq_linalg::{C64, CMatrix, hermitian_eigen};
+///
+/// let x = CMatrix::from_rows(&[
+///     &[C64::ZERO, C64::ONE],
+///     &[C64::ONE, C64::ZERO],
+/// ]);
+/// let eig = hermitian_eigen(&x)?;
+/// assert!((eig.eigenvalues[0] + 1.0).abs() < 1e-10);
+/// assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-10);
+/// # Ok::<(), enq_linalg::LinalgError>(())
+/// ```
+pub fn hermitian_eigen(a: &CMatrix) -> Result<HermitianEigen, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    if !a.is_hermitian(1e-8) {
+        return Err(LinalgError::InvalidInput(
+            "matrix is not hermitian".to_string(),
+        ));
+    }
+    let n = a.nrows();
+    let mut m = a.clone();
+    let mut v = CMatrix::identity(n);
+
+    let max_sweeps = 60;
+    let tol = 1e-12;
+    let mut converged = false;
+    for _ in 0..max_sweeps {
+        let off = off_diagonal_norm(&m);
+        if off < tol {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let beta = m[(p, q)];
+                let beta_abs = beta.abs();
+                if beta_abs < 1e-300 {
+                    continue;
+                }
+                let alpha = m[(p, p)].re;
+                let gamma = m[(q, q)].re;
+                // Rotation angle zeroing the (p,q) element.
+                let theta = 0.5 * (2.0 * beta_abs).atan2(alpha - gamma);
+                let c = theta.cos();
+                let s = theta.sin();
+                let phase = beta / C64::real(beta_abs); // e^{iφ}
+
+                apply_rotation(&mut m, &mut v, p, q, c, s, phase);
+            }
+        }
+    }
+    if !converged && off_diagonal_norm(&m) >= 1e-9 {
+        return Err(LinalgError::NoConvergence {
+            iterations: max_sweeps,
+        });
+    }
+
+    // Extract and sort eigenvalues (they live on the diagonal, real).
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
+    order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("finite eigenvalues"));
+
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut eigenvectors = CMatrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            eigenvectors[(row, new_col)] = v[(row, old_col)];
+        }
+    }
+    Ok(HermitianEigen {
+        eigenvalues,
+        eigenvectors,
+    })
+}
+
+/// Applies the two-sided Jacobi rotation on rows/columns `p`,`q` to `m`, and the
+/// one-sided rotation to the eigenvector accumulator `v`.
+fn apply_rotation(m: &mut CMatrix, v: &mut CMatrix, p: usize, q: usize, c: f64, s: f64, phase: C64) {
+    let n = m.nrows();
+    // J = [[c, -s·phase], [s·conj(phase), c]] acting on columns (p, q).
+    // Update columns: M <- M·J, then rows: M <- J†·M; V <- V·J.
+    let jpp = C64::real(c);
+    let jpq = -phase * s;
+    let jqp = phase.conj() * s;
+    let jqq = C64::real(c);
+
+    // M <- M · J (affects columns p and q).
+    for row in 0..n {
+        let mp = m[(row, p)];
+        let mq = m[(row, q)];
+        m[(row, p)] = mp * jpp + mq * jqp;
+        m[(row, q)] = mp * jpq + mq * jqq;
+    }
+    // M <- J† · M (affects rows p and q). J† = [[c, s·phase],[-s·conj(phase), c]].
+    for col in 0..n {
+        let mp = m[(p, col)];
+        let mq = m[(q, col)];
+        m[(p, col)] = mp * jpp.conj() + mq * jqp.conj();
+        m[(q, col)] = mp * jpq.conj() + mq * jqq.conj();
+    }
+    // V <- V · J.
+    for row in 0..n {
+        let vp = v[(row, p)];
+        let vq = v[(row, q)];
+        v[(row, p)] = vp * jpp + vq * jqp;
+        v[(row, q)] = vp * jpq + vq * jqq;
+    }
+}
+
+/// Returns the Frobenius norm of the off-diagonal part of a square matrix.
+fn off_diagonal_norm(m: &CMatrix) -> f64 {
+    let n = m.nrows();
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                sum += m[(i, j)].norm_sqr();
+            }
+        }
+    }
+    sum.sqrt()
+}
+
+/// Computes the principal square root of a positive-semidefinite Hermitian
+/// matrix via its eigendecomposition.
+///
+/// Small negative eigenvalues arising from round-off are clamped to zero.
+///
+/// # Errors
+///
+/// Propagates errors from [`hermitian_eigen`].
+pub fn psd_sqrt(a: &CMatrix) -> Result<CMatrix, LinalgError> {
+    let eig = hermitian_eigen(a)?;
+    Ok(eig.map_eigenvalues(|l| l.max(0.0).sqrt()))
+}
+
+/// Computes `(tr √M)` for a positive-semidefinite Hermitian matrix, i.e. the
+/// sum of the square roots of its eigenvalues.
+///
+/// # Errors
+///
+/// Propagates errors from [`hermitian_eigen`].
+pub fn trace_sqrt(a: &CMatrix) -> Result<f64, LinalgError> {
+    let eig = hermitian_eigen(a)?;
+    Ok(eig.eigenvalues.iter().map(|&l| l.max(0.0).sqrt()).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_hermitian(n: usize, seed: u64) -> CMatrix {
+        // Simple deterministic LCG so the test does not need `rand`.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                if i == j {
+                    m[(i, i)] = C64::real(next());
+                } else {
+                    let z = C64::new(next(), next());
+                    m[(i, j)] = z;
+                    m[(j, i)] = z.conj();
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn eigen_of_pauli_z() {
+        let z = CMatrix::from_rows(&[&[C64::ONE, C64::ZERO], &[C64::ZERO, -C64::ONE]]);
+        let eig = hermitian_eigen(&z).unwrap();
+        assert!((eig.eigenvalues[0] + 1.0).abs() < 1e-10);
+        assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_of_pauli_y_has_unit_eigenvalues() {
+        let y = CMatrix::from_rows(&[&[C64::ZERO, -C64::I], &[C64::I, C64::ZERO]]);
+        let eig = hermitian_eigen(&y).unwrap();
+        assert!((eig.eigenvalues[0] + 1.0).abs() < 1e-10);
+        assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-10);
+        assert!(eig.reconstruct().approx_eq(&y, 1e-9));
+    }
+
+    #[test]
+    fn reconstruction_matches_original_random() {
+        for seed in 1..5u64 {
+            let a = random_hermitian(6, seed);
+            let eig = hermitian_eigen(&a).unwrap();
+            assert!(eig.reconstruct().approx_eq(&a, 1e-8), "seed {seed}");
+            assert!(eig.eigenvectors.is_unitary(1e-8));
+            // Eigenvalues ascend.
+            for w in eig.eigenvalues.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = random_hermitian(5, 42);
+        let eig = hermitian_eigen(&a).unwrap();
+        let eig_sum: f64 = eig.eigenvalues.iter().sum();
+        assert!((eig_sum - a.trace().re).abs() < 1e-8);
+    }
+
+    #[test]
+    fn sqrt_squares_back_to_original() {
+        // Build an explicitly PSD matrix B†B.
+        let b = random_hermitian(4, 7);
+        let a = b.adjoint().matmul(&b);
+        let s = psd_sqrt(&a).unwrap();
+        assert!(s.matmul(&s).approx_eq(&a, 1e-7));
+        assert!(s.is_hermitian(1e-8));
+    }
+
+    #[test]
+    fn trace_sqrt_of_projector_is_one() {
+        let v = CVector::from_real(&[0.6, 0.8]);
+        let p = CMatrix::outer(&v, &v);
+        // sqrt amplifies round-off near zero eigenvalues, so the tolerance is
+        // looser than elsewhere.
+        assert!((trace_sqrt(&p).unwrap() - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn non_hermitian_rejected() {
+        let m = CMatrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ZERO, C64::ZERO]]);
+        assert!(matches!(
+            hermitian_eigen(&m),
+            Err(LinalgError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let m = CMatrix::zeros(2, 3);
+        assert!(matches!(hermitian_eigen(&m), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn dominant_eigenvector_of_projector() {
+        let v = CVector::from_real(&[0.6, 0.8]);
+        let p = CMatrix::outer(&v, &v);
+        let eig = hermitian_eigen(&p).unwrap();
+        let dom = eig.dominant_eigenvector();
+        assert!(dom.approx_eq_up_to_phase(&v, 1e-9));
+    }
+}

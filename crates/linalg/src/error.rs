@@ -1,0 +1,78 @@
+//! Error types for linear-algebra operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by fallible linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension required by the left operand.
+        expected: usize,
+        /// Dimension found on the right operand.
+        found: usize,
+    },
+    /// A square matrix was required.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A matrix was singular (or numerically singular).
+    Singular,
+    /// An iterative routine failed to converge.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input violated a documented precondition (e.g. non-Hermitian).
+    InvalidInput(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}x{cols})")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "iteration did not converge after {iterations} iterations")
+            }
+            LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::DimensionMismatch {
+            expected: 4,
+            found: 8,
+        };
+        assert!(e.to_string().contains("expected 4"));
+        assert!(e.to_string().contains("found 8"));
+        assert!(LinalgError::Singular.to_string().contains("singular"));
+        assert!(LinalgError::NoConvergence { iterations: 7 }
+            .to_string()
+            .contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

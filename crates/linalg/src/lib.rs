@@ -1,0 +1,106 @@
+//! # enq-linalg
+//!
+//! Hand-rolled dense linear algebra for the EnQode reproduction: a complex
+//! scalar type, complex/real dense matrices and vectors, Hermitian and
+//! symmetric eigensolvers, and positive-semidefinite matrix functions.
+//!
+//! Everything downstream (the quantum simulators in `enq-qsim`, the circuit
+//! transpiler in `enq-circuit`, the classical-data substrate in `enq-data`,
+//! and EnQode's symbolic engine) builds on these primitives, so the crate is
+//! deliberately dependency-free.
+//!
+//! ## Example
+//!
+//! ```
+//! use enq_linalg::{C64, CMatrix, CVector, hermitian_eigen};
+//!
+//! // Build the Hadamard gate and verify its spectrum is ±1.
+//! let h = CMatrix::from_real(2, 2, &[1.0, 1.0, 1.0, -1.0]).scale(C64::real(1.0 / 2f64.sqrt()));
+//! let eig = hermitian_eigen(&h)?;
+//! assert!((eig.eigenvalues[0] + 1.0).abs() < 1e-10);
+//! assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-10);
+//!
+//! // Apply it to |0⟩ and check we get an equal superposition.
+//! let plus = h.matvec(&CVector::basis_state(2, 0));
+//! assert!((plus.probabilities()[0] - 0.5).abs() < 1e-12);
+//! # Ok::<(), enq_linalg::LinalgError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod complex;
+mod eigen;
+mod error;
+mod matrix;
+mod real;
+mod vector;
+
+pub use complex::C64;
+pub use eigen::{hermitian_eigen, psd_sqrt, trace_sqrt, HermitianEigen};
+pub use error::LinalgError;
+pub use matrix::CMatrix;
+pub use real::{symmetric_eigen, top_k_eigen, RMatrix, SymmetricEigen};
+pub use vector::CVector;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_c64() -> impl Strategy<Value = C64> {
+        (-10.0..10.0f64, -10.0..10.0f64).prop_map(|(re, im)| C64::new(re, im))
+    }
+
+    fn arb_cvector(len: usize) -> impl Strategy<Value = CVector> {
+        proptest::collection::vec(arb_c64(), len).prop_map(CVector::new)
+    }
+
+    proptest! {
+        #[test]
+        fn complex_mul_is_commutative(a in arb_c64(), b in arb_c64()) {
+            prop_assert!((a * b).approx_eq(b * a, 1e-9));
+        }
+
+        #[test]
+        fn complex_conj_distributes_over_mul(a in arb_c64(), b in arb_c64()) {
+            prop_assert!((a * b).conj().approx_eq(a.conj() * b.conj(), 1e-9));
+        }
+
+        #[test]
+        fn complex_modulus_is_multiplicative(a in arb_c64(), b in arb_c64()) {
+            prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-8);
+        }
+
+        #[test]
+        fn vector_dot_is_conjugate_symmetric(a in arb_cvector(4), b in arb_cvector(4)) {
+            let ab = a.dot(&b).unwrap();
+            let ba = b.dot(&a).unwrap();
+            prop_assert!(ab.approx_eq(ba.conj(), 1e-8));
+        }
+
+        #[test]
+        fn cauchy_schwarz_holds(a in arb_cvector(5), b in arb_cvector(5)) {
+            let lhs = a.dot(&b).unwrap().abs();
+            let rhs = a.norm() * b.norm();
+            prop_assert!(lhs <= rhs + 1e-8);
+        }
+
+        #[test]
+        fn normalised_vectors_have_unit_norm(v in arb_cvector(6)) {
+            prop_assume!(v.norm() > 1e-6);
+            prop_assert!((v.normalized().norm() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn outer_product_trace_equals_inner_product(v in arb_cvector(3)) {
+            let p = CMatrix::outer(&v, &v);
+            prop_assert!((p.trace().re - v.norm_sqr()).abs() < 1e-8);
+        }
+
+        #[test]
+        fn kron_norm_is_product_of_norms(a in arb_cvector(3), b in arb_cvector(2)) {
+            let k = a.kron(&b);
+            prop_assert!((k.norm() - a.norm() * b.norm()).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! Dense complex matrices.
+
+use crate::complex::C64;
+use crate::error::LinalgError;
+use crate::vector::CVector;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major complex matrix.
+///
+/// Used for gate unitaries, density matrices, and the symbolic engine's
+/// change-of-basis operators.
+///
+/// # Examples
+///
+/// ```
+/// use enq_linalg::{C64, CMatrix};
+///
+/// let x = CMatrix::from_rows(&[
+///     &[C64::ZERO, C64::ONE],
+///     &[C64::ONE, C64::ZERO],
+/// ]);
+/// assert!(x.is_unitary(1e-12));
+/// assert!(x.matmul(&x).approx_eq(&CMatrix::identity(2), 1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n×n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from borrowed rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or there are no rows.
+    pub fn from_rows(rows: &[&[C64]]) -> Self {
+        assert!(!rows.is_empty(), "cannot build a matrix from zero rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "inconsistent row length");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a matrix from a real row-major slice.
+    pub fn from_real(rows: usize, cols: usize, values: &[f64]) -> Self {
+        assert_eq!(values.len(), rows * cols);
+        Self {
+            rows,
+            cols,
+            data: values.iter().map(|&x| C64::real(x)).collect(),
+        }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &[C64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Returns the outer product `|v⟩⟨w|`.
+    pub fn outer(v: &CVector, w: &CVector) -> Self {
+        let mut m = Self::zeros(v.len(), w.len());
+        for i in 0..v.len() {
+            for j in 0..w.len() {
+                m[(i, j)] = v[i] * w[j].conj();
+            }
+        }
+        m
+    }
+
+    /// Returns the number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns the number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Returns the underlying row-major data.
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Returns the underlying row-major data mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Returns row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows()`.
+    pub fn row(&self, i: usize) -> &[C64] {
+        assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Returns the conjugate transpose (Hermitian adjoint).
+    pub fn adjoint(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Returns the element-wise complex conjugate.
+    pub fn conj(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Returns the matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                let lhs_row = i * rhs.cols;
+                let rhs_row = k * rhs.cols;
+                for j in 0..rhs.cols {
+                    out.data[lhs_row + j] += a * rhs.data[rhs_row + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the matrix-vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != ncols()`.
+    pub fn matvec(&self, v: &CVector) -> CVector {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        let mut out = CVector::zeros(self.rows);
+        for i in 0..self.rows {
+            let mut acc = C64::ZERO;
+            let base = i * self.cols;
+            for j in 0..self.cols {
+                acc += self.data[base + j] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Returns the Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &Self) -> Self {
+        let rows = self.rows * rhs.rows;
+        let cols = self.cols * rhs.cols;
+        let mut out = Self::zeros(rows, cols);
+        for i1 in 0..self.rows {
+            for j1 in 0..self.cols {
+                let a = self[(i1, j1)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for i2 in 0..rhs.rows {
+                    for j2 in 0..rhs.cols {
+                        out[(i1 * rhs.rows + i2, j1 * rhs.cols + j2)] = a * rhs[(i2, j2)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the scalar multiple `c·self`.
+    pub fn scale(&self, c: C64) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * c).collect(),
+        }
+    }
+
+    /// Returns the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> C64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Returns the Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Returns `true` if every entry is within `tol` of the other matrix.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Returns `true` if the matrix is Hermitian within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.approx_eq(&self.adjoint(), tol)
+    }
+
+    /// Returns `true` if the matrix is unitary within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        self.adjoint()
+            .matmul(self)
+            .approx_eq(&Self::identity(self.rows), tol)
+    }
+
+    /// Solves `self · x = b` with partial-pivot Gaussian elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] when a pivot smaller than `1e-14` is
+    /// encountered, and [`LinalgError::DimensionMismatch`] when shapes differ.
+    pub fn solve(&self, b: &CVector) -> Result<CVector, LinalgError> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        if b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.rows,
+                found: b.len(),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x = b.clone();
+        for col in 0..n {
+            // Partial pivoting.
+            let mut pivot = col;
+            let mut best = a[(col, col)].abs();
+            for r in (col + 1)..n {
+                let mag = a[(r, col)].abs();
+                if mag > best {
+                    best = mag;
+                    pivot = r;
+                }
+            }
+            if best < 1e-14 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot != col {
+                for j in 0..n {
+                    let tmp = a[(col, j)];
+                    a[(col, j)] = a[(pivot, j)];
+                    a[(pivot, j)] = tmp;
+                }
+                let tmp = x[col];
+                x[col] = x[pivot];
+                x[pivot] = tmp;
+            }
+            let inv = a[(col, col)].recip();
+            for r in (col + 1)..n {
+                let factor = a[(r, col)] * inv;
+                if factor == C64::ZERO {
+                    continue;
+                }
+                for j in col..n {
+                    let v = a[(col, j)];
+                    a[(r, j)] -= factor * v;
+                }
+                let xv = x[col];
+                x[r] -= factor * xv;
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for j in (col + 1)..n {
+                acc -= a[(col, j)] * x[j];
+            }
+            x[col] = acc / a[(col, col)];
+        }
+        Ok(x)
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = C64;
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        self.matmul(rhs)
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_x() -> CMatrix {
+        CMatrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]])
+    }
+
+    fn pauli_y() -> CMatrix {
+        CMatrix::from_rows(&[&[C64::ZERO, -C64::I], &[C64::I, C64::ZERO]])
+    }
+
+    #[test]
+    fn identity_is_unitary_and_hermitian() {
+        let id = CMatrix::identity(4);
+        assert!(id.is_unitary(1e-12));
+        assert!(id.is_hermitian(1e-12));
+        assert!((id.trace().re - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        let x = pauli_x();
+        let y = pauli_y();
+        // XY = iZ
+        let xy = x.matmul(&y);
+        let z = CMatrix::from_rows(&[&[C64::ONE, C64::ZERO], &[C64::ZERO, -C64::ONE]]);
+        assert!(xy.approx_eq(&z.scale(C64::I), 1e-12));
+        assert!(x.is_unitary(1e-12));
+        assert!(y.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn matvec_applies_gate() {
+        let x = pauli_x();
+        let v = CVector::basis_state(2, 0);
+        let out = x.matvec(&v);
+        assert!(out.approx_eq(&CVector::basis_state(2, 1), 1e-12));
+    }
+
+    #[test]
+    fn kron_of_identities_is_identity() {
+        let a = CMatrix::identity(2);
+        let b = CMatrix::identity(3);
+        assert!(a.kron(&b).approx_eq(&CMatrix::identity(6), 1e-12));
+    }
+
+    #[test]
+    fn kron_dimension() {
+        let x = pauli_x();
+        let k = x.kron(&x);
+        assert_eq!(k.nrows(), 4);
+        assert_eq!(k.ncols(), 4);
+        // (X⊗X)|00⟩ = |11⟩
+        let v = CVector::basis_state(4, 0);
+        assert!(k.matvec(&v).approx_eq(&CVector::basis_state(4, 3), 1e-12));
+    }
+
+    #[test]
+    fn adjoint_and_transpose() {
+        let y = pauli_y();
+        assert!(y.adjoint().approx_eq(&y, 1e-12));
+        assert!(y.transpose().approx_eq(&y.conj(), 1e-12));
+    }
+
+    #[test]
+    fn outer_product_forms_projector() {
+        let v = CVector::from_real(&[0.6, 0.8]);
+        let p = CMatrix::outer(&v, &v);
+        assert!(p.is_hermitian(1e-12));
+        assert!((p.trace().re - 1.0).abs() < 1e-12);
+        // Projector is idempotent.
+        assert!(p.matmul(&p).approx_eq(&p, 1e-12));
+    }
+
+    #[test]
+    fn solve_recovers_vector() {
+        let a = CMatrix::from_rows(&[
+            &[C64::new(2.0, 0.0), C64::new(1.0, 1.0)],
+            &[C64::new(0.0, -1.0), C64::new(3.0, 0.0)],
+        ]);
+        let x_true = CVector::new(vec![C64::new(1.0, -0.5), C64::new(0.25, 2.0)]);
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn solve_singular_errors() {
+        let a = CMatrix::zeros(2, 2);
+        let b = CVector::zeros(2);
+        assert!(matches!(a.solve(&b), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let d = CMatrix::from_diagonal(&[C64::ONE, C64::I]);
+        assert_eq!(d[(0, 0)], C64::ONE);
+        assert_eq!(d[(1, 1)], C64::I);
+        assert_eq!(d[(0, 1)], C64::ZERO);
+        assert!(d.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let x = pauli_x();
+        let id = CMatrix::identity(2);
+        let sum = &x + &id;
+        assert_eq!(sum[(0, 0)], C64::ONE);
+        assert_eq!(sum[(0, 1)], C64::ONE);
+        let diff = &sum - &id;
+        assert!(diff.approx_eq(&x, 1e-12));
+        let prod = &x * &x;
+        assert!(prod.approx_eq(&id, 1e-12));
+    }
+
+    #[test]
+    fn frobenius_norm_of_unitary() {
+        let x = pauli_x();
+        assert!((x.frobenius_norm() - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,517 @@
+//! Dense real matrices and symmetric eigensolvers.
+//!
+//! The classical-data substrate (PCA, covariance analysis, k-means geometry)
+//! works on real data, so this module provides a real matrix type alongside a
+//! symmetric Jacobi eigensolver and a faster top-`k` subspace iteration used
+//! for PCA on high-dimensional image data.
+
+use crate::error::LinalgError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major real matrix.
+///
+/// # Examples
+///
+/// ```
+/// use enq_linalg::RMatrix;
+///
+/// let a = RMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = a.transpose();
+/// assert_eq!(b[(0, 1)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl RMatrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "real matrix data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from borrowed rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or there are no rows.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "cannot build a matrix from zero rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "inconsistent row length");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Returns the number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns the number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Returns the matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.cols, rhs.rows, "real matmul dimension mismatch");
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_base = i * rhs.cols;
+                let rhs_base = k * rhs.cols;
+                for j in 0..rhs.cols {
+                    out.data[out_base + j] += a * rhs.data[rhs_base + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != ncols()`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "real matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let base = i * self.cols;
+            let mut acc = 0.0;
+            for j in 0..self.cols {
+                acc += self.data[base + j] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Returns `true` if every entry is within `tol` of the other matrix.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Returns the Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Returns `true` if the matrix is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Index<(usize, usize)> for RMatrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for RMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            writeln!(f, "{:?}", self.row(i))?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of a real symmetric eigendecomposition.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Matrix whose columns are the corresponding eigenvectors.
+    pub eigenvectors: RMatrix,
+}
+
+/// Computes the full eigendecomposition of a real symmetric matrix using
+/// cyclic Jacobi rotations. Eigenvalues are returned in descending order.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] or [`LinalgError::InvalidInput`] for
+/// malformed input and [`LinalgError::NoConvergence`] if 60 sweeps are not
+/// enough.
+pub fn symmetric_eigen(a: &RMatrix) -> Result<SymmetricEigen, LinalgError> {
+    if a.nrows() != a.ncols() {
+        return Err(LinalgError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    if !a.is_symmetric(1e-8) {
+        return Err(LinalgError::InvalidInput(
+            "matrix is not symmetric".to_string(),
+        ));
+    }
+    let n = a.nrows();
+    let mut m = a.clone();
+    let mut v = RMatrix::identity(n);
+
+    let max_sweeps = 60;
+    let mut converged = false;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = 0.5 * (2.0 * apq).atan2(app - aqq);
+                let c = theta.cos();
+                let s = theta.sin();
+                // Rotate rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp + s * mkq;
+                    m[(k, q)] = -s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk + s * mqk;
+                    m[(q, k)] = -s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp + s * vkq;
+                    v[(k, q)] = -s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    if !converged {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() >= 1e-9 {
+            return Err(LinalgError::NoConvergence {
+                iterations: max_sweeps,
+            });
+        }
+    }
+
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut eigenvectors = RMatrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for row in 0..n {
+            eigenvectors[(row, new_col)] = v[(row, old_col)];
+        }
+    }
+    Ok(SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    })
+}
+
+/// Orthonormalises the columns of `m` in place using modified Gram-Schmidt.
+/// Columns that become numerically zero are replaced with zeros.
+fn orthonormalize_columns(m: &mut RMatrix) {
+    let rows = m.nrows();
+    let cols = m.ncols();
+    for j in 0..cols {
+        for prev in 0..j {
+            let mut dot = 0.0;
+            for r in 0..rows {
+                dot += m[(r, j)] * m[(r, prev)];
+            }
+            for r in 0..rows {
+                let sub = dot * m[(r, prev)];
+                m[(r, j)] -= sub;
+            }
+        }
+        let mut norm = 0.0;
+        for r in 0..rows {
+            norm += m[(r, j)] * m[(r, j)];
+        }
+        let norm = norm.sqrt();
+        if norm > 1e-14 {
+            for r in 0..rows {
+                m[(r, j)] /= norm;
+            }
+        } else {
+            for r in 0..rows {
+                m[(r, j)] = 0.0;
+            }
+        }
+    }
+}
+
+/// Computes the top-`k` eigenpairs of a real symmetric positive-semidefinite
+/// matrix using subspace (orthogonal) iteration.
+///
+/// This is the workhorse for PCA, where only the leading principal components
+/// of a large covariance matrix are needed. Eigenvalues are returned in
+/// descending order.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidInput`] if `k` is zero or exceeds the matrix
+/// dimension, and [`LinalgError::NotSquare`] for non-square input.
+pub fn top_k_eigen(a: &RMatrix, k: usize, iterations: usize) -> Result<SymmetricEigen, LinalgError> {
+    if a.nrows() != a.ncols() {
+        return Err(LinalgError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    let n = a.nrows();
+    if k == 0 || k > n {
+        return Err(LinalgError::InvalidInput(format!(
+            "requested {k} eigenpairs from a {n}x{n} matrix"
+        )));
+    }
+    // Deterministic starting subspace: shifted identity-like columns mixed with
+    // a simple varying pattern so that no component is missed.
+    let mut q = RMatrix::zeros(n, k);
+    for j in 0..k {
+        for i in 0..n {
+            let phase = ((i * (j + 1) + j) % 97) as f64 / 97.0 - 0.5;
+            q[(i, j)] = if i == j { 1.0 } else { 0.1 * phase };
+        }
+    }
+    orthonormalize_columns(&mut q);
+    for _ in 0..iterations {
+        let aq = a.matmul(&q);
+        q = aq;
+        orthonormalize_columns(&mut q);
+    }
+    // Rayleigh-Ritz: project A into the subspace and solve the small problem.
+    let aq = a.matmul(&q);
+    let small = q.transpose().matmul(&aq); // k x k, symmetric.
+    // Symmetrise against round-off.
+    let mut sym = small.clone();
+    for i in 0..k {
+        for j in 0..k {
+            sym[(i, j)] = 0.5 * (small[(i, j)] + small[(j, i)]);
+        }
+    }
+    let inner = symmetric_eigen(&sym)?;
+    let eigenvectors = q.matmul(&inner.eigenvectors);
+    Ok(SymmetricEigen {
+        eigenvalues: inner.eigenvalues,
+        eigenvectors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_symmetric(n: usize, seed: u64) -> RMatrix {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut m = RMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let x = next();
+                m[(i, j)] = x;
+                m[(j, i)] = x;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = random_symmetric(4, 3);
+        let id = RMatrix::identity(4);
+        assert!(a.matmul(&id).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = RMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+        assert_eq!(a.transpose().nrows(), 3);
+    }
+
+    #[test]
+    fn symmetric_eigen_reconstructs() {
+        let a = random_symmetric(6, 11);
+        let eig = symmetric_eigen(&a).unwrap();
+        let v = &eig.eigenvectors;
+        // Check A v_i = λ_i v_i column by column.
+        for (idx, &lambda) in eig.eigenvalues.iter().enumerate() {
+            let col: Vec<f64> = (0..6).map(|r| v[(r, idx)]).collect();
+            let av = a.matvec(&col);
+            for r in 0..6 {
+                assert!((av[r] - lambda * col[r]).abs() < 1e-8);
+            }
+        }
+        // Descending order.
+        for w in eig.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetric_eigen_diag() {
+        let d = RMatrix::from_rows(&[&[3.0, 0.0], &[0.0, -1.0]]);
+        let eig = symmetric_eigen(&d).unwrap();
+        assert!((eig.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_symmetric_rejected() {
+        let m = RMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        assert!(symmetric_eigen(&m).is_err());
+    }
+
+    #[test]
+    fn top_k_matches_full_decomposition() {
+        // PSD matrix: B^T B.
+        let b = random_symmetric(8, 5);
+        let a = b.transpose().matmul(&b);
+        let full = symmetric_eigen(&a).unwrap();
+        let top = top_k_eigen(&a, 3, 200).unwrap();
+        for i in 0..3 {
+            assert!(
+                (full.eigenvalues[i] - top.eigenvalues[i]).abs()
+                    < 1e-6 * full.eigenvalues[0].max(1.0),
+                "eigenvalue {i}: full {} vs top {}",
+                full.eigenvalues[i],
+                top.eigenvalues[i]
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_eigenvectors_are_orthonormal() {
+        let b = random_symmetric(10, 9);
+        let a = b.transpose().matmul(&b);
+        let top = top_k_eigen(&a, 4, 150).unwrap();
+        let v = &top.eigenvectors;
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut dot = 0.0;
+                for r in 0..10 {
+                    dot += v[(r, i)] * v[(r, j)];
+                }
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-6, "({i},{j}) dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_invalid_k() {
+        let a = RMatrix::identity(3);
+        assert!(top_k_eigen(&a, 0, 10).is_err());
+        assert!(top_k_eigen(&a, 4, 10).is_err());
+    }
+}

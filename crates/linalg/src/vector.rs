@@ -1,0 +1,369 @@
+//! Dense complex vectors.
+
+use crate::complex::C64;
+use crate::error::LinalgError;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, heap-allocated complex vector.
+///
+/// Quantum statevectors in `enq-qsim` and the symbolic amplitudes in `enqode`
+/// are represented with this type.
+///
+/// # Examples
+///
+/// ```
+/// use enq_linalg::{C64, CVector};
+///
+/// let v = CVector::from_real(&[3.0, 4.0]);
+/// assert!((v.norm() - 5.0).abs() < 1e-12);
+/// let u = v.normalized();
+/// assert!((u.norm() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CVector {
+    data: Vec<C64>,
+}
+
+impl CVector {
+    /// Creates a vector from complex entries.
+    pub fn new(data: Vec<C64>) -> Self {
+        Self { data }
+    }
+
+    /// Creates a zero vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            data: vec![C64::ZERO; len],
+        }
+    }
+
+    /// Creates a vector from real entries.
+    pub fn from_real(values: &[f64]) -> Self {
+        Self {
+            data: values.iter().map(|&x| C64::real(x)).collect(),
+        }
+    }
+
+    /// Creates the computational basis state `|index⟩` of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim`.
+    pub fn basis_state(dim: usize, index: usize) -> Self {
+        assert!(index < dim, "basis index {index} out of range for dim {dim}");
+        let mut v = Self::zeros(dim);
+        v.data[index] = C64::ONE;
+        v
+    }
+
+    /// Returns the number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the entries as a slice.
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Returns the entries as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying storage.
+    pub fn into_vec(self) -> Vec<C64> {
+        self.data
+    }
+
+    /// Returns an iterator over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, C64> {
+        self.data.iter()
+    }
+
+    /// Returns the conjugate of every entry.
+    pub fn conj(&self) -> Self {
+        Self {
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Returns the Hermitian inner product `⟨self|other⟩` (conjugating `self`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the lengths differ.
+    pub fn dot(&self, other: &Self) -> Result<C64, LinalgError> {
+        if self.len() != other.len() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.len(),
+                found: other.len(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum())
+    }
+
+    /// Returns the squared Euclidean norm `Σ|v_i|²`.
+    pub fn norm_sqr(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Returns the Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Returns a copy scaled so that its norm is 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector has zero norm.
+    pub fn normalized(&self) -> Self {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalise a zero vector");
+        self.scale(C64::real(1.0 / n))
+    }
+
+    /// Returns the element-wise scaling `c·self`.
+    pub fn scale(&self, c: C64) -> Self {
+        Self {
+            data: self.data.iter().map(|&z| z * c).collect(),
+        }
+    }
+
+    /// Returns the state-overlap fidelity `|⟨self|other⟩|²` between two
+    /// (assumed normalised) vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the lengths differ.
+    pub fn overlap_fidelity(&self, other: &Self) -> Result<f64, LinalgError> {
+        Ok(self.dot(other)?.norm_sqr())
+    }
+
+    /// Returns `true` if every entry is within `tol` of the other vector.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.len() == other.len()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Returns `true` if the two vectors describe the same quantum state up to
+    /// a global phase, within `tol`.
+    pub fn approx_eq_up_to_phase(&self, other: &Self, tol: f64) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        let ip = match self.dot(other) {
+            Ok(ip) => ip,
+            Err(_) => return false,
+        };
+        let n1 = self.norm();
+        let n2 = other.norm();
+        if n1 == 0.0 || n2 == 0.0 {
+            return n1 == n2;
+        }
+        (ip.abs() / (n1 * n2) - 1.0).abs() <= tol
+    }
+
+    /// Returns the Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.len() * other.len());
+        for &a in &self.data {
+            for &b in &other.data {
+                out.push(a * b);
+            }
+        }
+        Self { data: out }
+    }
+
+    /// Returns the real parts of all entries.
+    pub fn to_real_vec(&self) -> Vec<f64> {
+        self.data.iter().map(|z| z.re).collect()
+    }
+
+    /// Returns the probability distribution `|v_i|²` over basis states.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.data.iter().map(|z| z.norm_sqr()).collect()
+    }
+}
+
+impl Index<usize> for CVector {
+    type Output = C64;
+    fn index(&self, index: usize) -> &C64 {
+        &self.data[index]
+    }
+}
+
+impl IndexMut<usize> for CVector {
+    fn index_mut(&mut self, index: usize) -> &mut C64 {
+        &mut self.data[index]
+    }
+}
+
+impl Add for &CVector {
+    type Output = CVector;
+    fn add(self, rhs: &CVector) -> CVector {
+        assert_eq!(self.len(), rhs.len(), "vector length mismatch in add");
+        CVector::new(
+            self.data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        )
+    }
+}
+
+impl Sub for &CVector {
+    type Output = CVector;
+    fn sub(self, rhs: &CVector) -> CVector {
+        assert_eq!(self.len(), rhs.len(), "vector length mismatch in sub");
+        CVector::new(
+            self.data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        )
+    }
+}
+
+impl Mul<C64> for &CVector {
+    type Output = CVector;
+    fn mul(self, rhs: C64) -> CVector {
+        self.scale(rhs)
+    }
+}
+
+impl FromIterator<C64> for CVector {
+    fn from_iter<I: IntoIterator<Item = C64>>(iter: I) -> Self {
+        Self {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a CVector {
+    type Item = &'a C64;
+    type IntoIter = std::slice::Iter<'a, C64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl fmt::Display for CVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, z) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{z}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_state_is_one_hot() {
+        let v = CVector::basis_state(4, 2);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[2], C64::ONE);
+        assert_eq!(v[0], C64::ZERO);
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn basis_state_out_of_range_panics() {
+        let _ = CVector::basis_state(4, 4);
+    }
+
+    #[test]
+    fn dot_product_conjugates_left() {
+        let a = CVector::new(vec![C64::I, C64::ZERO]);
+        let b = CVector::new(vec![C64::ONE, C64::ZERO]);
+        // ⟨a|b⟩ = conj(i)*1 = -i
+        assert!(a.dot(&b).unwrap().approx_eq(-C64::I, 1e-12));
+    }
+
+    #[test]
+    fn dot_dimension_mismatch_errors() {
+        let a = CVector::zeros(2);
+        let b = CVector::zeros(3);
+        assert!(a.dot(&b).is_err());
+    }
+
+    #[test]
+    fn normalisation() {
+        let v = CVector::from_real(&[1.0, 1.0, 1.0, 1.0]);
+        let u = v.normalized();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        assert!((u[0].re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_fidelity_of_identical_states_is_one() {
+        let v = CVector::from_real(&[0.6, 0.8]);
+        assert!((v.overlap_fidelity(&v).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_fidelity_of_orthogonal_states_is_zero() {
+        let a = CVector::basis_state(2, 0);
+        let b = CVector::basis_state(2, 1);
+        assert!(a.overlap_fidelity(&b).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = CVector::from_real(&[1.0, 2.0]);
+        let b = CVector::from_real(&[3.0, 4.0]);
+        let k = a.kron(&b);
+        assert_eq!(k.len(), 4);
+        assert_eq!(k.to_real_vec(), vec![3.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn phase_equivalence() {
+        let a = CVector::from_real(&[0.6, 0.8]);
+        let b = a.scale(C64::cis(1.3));
+        assert!(a.approx_eq_up_to_phase(&b, 1e-12));
+        assert!(!a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = CVector::from_real(&[1.0, 2.0]);
+        let b = CVector::from_real(&[3.0, 5.0]);
+        assert_eq!((&a + &b).to_real_vec(), vec![4.0, 7.0]);
+        assert_eq!((&b - &a).to_real_vec(), vec![2.0, 3.0]);
+        assert_eq!((&a * C64::real(2.0)).to_real_vec(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_for_normalised() {
+        let v = CVector::from_real(&[1.0, 2.0, 2.0]).normalized();
+        let total: f64 = v.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

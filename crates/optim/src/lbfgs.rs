@@ -1,0 +1,309 @@
+//! Limited-memory BFGS, the optimiser the paper uses for EnQode's symbolic
+//! loss.
+
+use crate::line_search::strong_wolfe;
+use crate::objective::{dot, norm, Objective, OptimizeResult, Optimizer};
+use std::collections::VecDeque;
+
+/// Limited-memory BFGS with a strong-Wolfe line search.
+///
+/// This mirrors the role of `scipy.optimize.minimize(method="L-BFGS-B")` in
+/// the paper (without bound constraints, which EnQode does not need: the `Rz`
+/// angles are unconstrained and 2π-periodic).
+///
+/// # Examples
+///
+/// ```
+/// use enq_optim::{FnObjective, Lbfgs, Optimizer};
+///
+/// // Minimise a shifted quadratic.
+/// let obj = FnObjective::new(
+///     2,
+///     |x| (x[0] - 3.0).powi(2) + 2.0 * (x[1] + 1.0).powi(2),
+///     |x| vec![2.0 * (x[0] - 3.0), 4.0 * (x[1] + 1.0)],
+/// );
+/// let result = Lbfgs::default().minimize(&obj, &[0.0, 0.0]);
+/// assert!(result.converged);
+/// assert!((result.x[0] - 3.0).abs() < 1e-6);
+/// assert!((result.x[1] + 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lbfgs {
+    /// Number of curvature pairs kept for the inverse-Hessian approximation.
+    pub memory: usize,
+    /// Maximum number of outer iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the gradient norm.
+    pub gradient_tolerance: f64,
+    /// Convergence threshold on the relative objective decrease.
+    pub value_tolerance: f64,
+}
+
+impl Default for Lbfgs {
+    fn default() -> Self {
+        Self {
+            memory: 10,
+            max_iterations: 200,
+            gradient_tolerance: 1e-8,
+            value_tolerance: 1e-12,
+        }
+    }
+}
+
+impl Lbfgs {
+    /// Creates an optimiser with the given iteration budget, keeping the
+    /// other parameters at their defaults.
+    pub fn with_max_iterations(max_iterations: usize) -> Self {
+        Self {
+            max_iterations,
+            ..Self::default()
+        }
+    }
+}
+
+impl Optimizer for Lbfgs {
+    fn minimize(&self, objective: &dyn Objective, x0: &[f64]) -> OptimizeResult {
+        let n = objective.dimension();
+        assert_eq!(x0.len(), n, "initial point has wrong dimension");
+
+        let mut x = x0.to_vec();
+        let (mut f, mut g) = objective.value_and_gradient(&x);
+        let mut evaluations = 1usize;
+
+        let mut s_history: VecDeque<Vec<f64>> = VecDeque::with_capacity(self.memory);
+        let mut y_history: VecDeque<Vec<f64>> = VecDeque::with_capacity(self.memory);
+        let mut rho_history: VecDeque<f64> = VecDeque::with_capacity(self.memory);
+
+        let mut converged = false;
+        let mut iterations = 0usize;
+
+        for iter in 0..self.max_iterations {
+            iterations = iter + 1;
+            let g_norm = norm(&g);
+            if g_norm < self.gradient_tolerance {
+                converged = true;
+                break;
+            }
+
+            // Two-loop recursion for the search direction d = -H·g.
+            let mut q = g.clone();
+            let mut alphas = Vec::with_capacity(s_history.len());
+            for ((s, y), rho) in s_history
+                .iter()
+                .zip(y_history.iter())
+                .zip(rho_history.iter())
+                .rev()
+            {
+                let alpha = rho * dot(s, &q);
+                for (qi, yi) in q.iter_mut().zip(y.iter()) {
+                    *qi -= alpha * yi;
+                }
+                alphas.push(alpha);
+            }
+            // Initial Hessian scaling γ = s·y / y·y of the most recent pair.
+            let gamma = match (s_history.back(), y_history.back()) {
+                (Some(s), Some(y)) => {
+                    let yy = dot(y, y);
+                    if yy > 1e-16 {
+                        dot(s, y) / yy
+                    } else {
+                        1.0
+                    }
+                }
+                _ => 1.0,
+            };
+            for qi in q.iter_mut() {
+                *qi *= gamma;
+            }
+            for (((s, y), rho), alpha) in s_history
+                .iter()
+                .zip(y_history.iter())
+                .zip(rho_history.iter())
+                .zip(alphas.iter().rev())
+            {
+                let beta = rho * dot(y, &q);
+                for (qi, si) in q.iter_mut().zip(s.iter()) {
+                    *qi += (alpha - beta) * si;
+                }
+            }
+            let direction: Vec<f64> = q.iter().map(|v| -v).collect();
+
+            // Line search.
+            let initial_step = if s_history.is_empty() {
+                (1.0 / norm(&direction).max(1e-12)).min(1.0)
+            } else {
+                1.0
+            };
+            let search = strong_wolfe(objective, &x, &direction, f, &g, initial_step);
+            let (step, new_f, new_g, used) = match search {
+                Some(ls) => (ls.step, ls.value, ls.gradient, ls.evaluations),
+                None => {
+                    // Fall back to a conservative gradient step.
+                    let step = 1e-4 / norm(&g).max(1.0);
+                    let candidate: Vec<f64> = x
+                        .iter()
+                        .zip(g.iter())
+                        .map(|(xi, gi)| xi - step * gi)
+                        .collect();
+                    let (cf, cg) = objective.value_and_gradient(&candidate);
+                    if cf >= f {
+                        evaluations += 1;
+                        converged = true; // cannot make progress
+                        break;
+                    }
+                    let direction_fallback: Vec<f64> = g.iter().map(|v| -v).collect();
+                    let s: Vec<f64> = direction_fallback.iter().map(|d| step * d).collect();
+                    let new_x: Vec<f64> = x.iter().zip(s.iter()).map(|(a, b)| a + b).collect();
+                    x = new_x;
+                    f = cf;
+                    g = cg;
+                    evaluations += 1;
+                    continue;
+                }
+            };
+            evaluations += used;
+
+            let new_x: Vec<f64> = x
+                .iter()
+                .zip(direction.iter())
+                .map(|(xi, di)| xi + step * di)
+                .collect();
+            let s: Vec<f64> = new_x.iter().zip(x.iter()).map(|(a, b)| a - b).collect();
+            let y: Vec<f64> = new_g.iter().zip(g.iter()).map(|(a, b)| a - b).collect();
+            let sy = dot(&s, &y);
+            if sy > 1e-12 {
+                if s_history.len() == self.memory {
+                    s_history.pop_front();
+                    y_history.pop_front();
+                    rho_history.pop_front();
+                }
+                rho_history.push_back(1.0 / sy);
+                s_history.push_back(s);
+                y_history.push_back(y);
+            }
+
+            let value_change = (f - new_f).abs();
+            x = new_x;
+            f = new_f;
+            g = new_g;
+            if value_change < self.value_tolerance * (1.0 + f.abs()) {
+                converged = true;
+                break;
+            }
+        }
+
+        OptimizeResult {
+            gradient_norm: norm(&g),
+            x,
+            value: f,
+            iterations,
+            evaluations,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+
+    fn rosenbrock() -> impl Objective {
+        FnObjective::new(
+            2,
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            |x: &[f64]| {
+                vec![
+                    -2.0 * (1.0 - x[0]) - 400.0 * x[0] * (x[1] - x[0] * x[0]),
+                    200.0 * (x[1] - x[0] * x[0]),
+                ]
+            },
+        )
+    }
+
+    #[test]
+    fn minimises_rosenbrock() {
+        let result = Lbfgs::default().minimize(&rosenbrock(), &[-1.2, 1.0]);
+        assert!(result.converged, "did not converge: {result:?}");
+        assert!((result.x[0] - 1.0).abs() < 1e-5, "{:?}", result.x);
+        assert!((result.x[1] - 1.0).abs() < 1e-5);
+        assert!(result.value < 1e-9);
+    }
+
+    #[test]
+    fn minimises_high_dimensional_quadratic() {
+        let n = 50;
+        let obj = FnObjective::new(
+            n,
+            move |x: &[f64]| {
+                x.iter()
+                    .enumerate()
+                    .map(|(i, v)| (i as f64 + 1.0) * (v - 1.0) * (v - 1.0))
+                    .sum()
+            },
+            move |x: &[f64]| {
+                x.iter()
+                    .enumerate()
+                    .map(|(i, v)| 2.0 * (i as f64 + 1.0) * (v - 1.0))
+                    .collect()
+            },
+        );
+        let result = Lbfgs::default().minimize(&obj, &vec![0.0; n]);
+        assert!(result.converged);
+        for v in &result.x {
+            assert!((v - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn minimises_trigonometric_objective() {
+        // Similar structure to EnQode's fidelity loss: 1 - |Σ cos terms|².
+        let obj = FnObjective::new(
+            3,
+            |x: &[f64]| 3.0 - x.iter().map(|v| v.cos()).sum::<f64>(),
+            |x: &[f64]| x.iter().map(|v| v.sin()).collect(),
+        );
+        let result = Lbfgs::default().minimize(&obj, &[0.5, -0.4, 0.3]);
+        assert!(result.converged);
+        assert!(result.value < 1e-8);
+        for v in &result.x {
+            assert!(v.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn starting_at_minimum_converges_immediately() {
+        let obj = FnObjective::new(
+            2,
+            |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>(),
+            |x: &[f64]| x.iter().map(|v| 2.0 * v).collect(),
+        );
+        let result = Lbfgs::default().minimize(&obj, &[0.0, 0.0]);
+        assert!(result.converged);
+        assert_eq!(result.iterations, 1);
+        assert!(result.value < 1e-15);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let result = Lbfgs {
+            max_iterations: 2,
+            gradient_tolerance: 1e-20,
+            value_tolerance: 0.0,
+            memory: 5,
+        }
+        .minimize(&rosenbrock(), &[-1.2, 1.0]);
+        assert!(result.iterations <= 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_dimension_panics() {
+        let obj = FnObjective::new(
+            2,
+            |x: &[f64]| x.iter().sum(),
+            |x: &[f64]| vec![1.0; x.len()],
+        );
+        let _ = Lbfgs::default().minimize(&obj, &[0.0; 3]);
+    }
+}

@@ -1,0 +1,102 @@
+//! # enq-optim
+//!
+//! Classical optimisers for training EnQode's ansatz parameters:
+//!
+//! * [`Lbfgs`] — limited-memory BFGS with a strong-Wolfe line search, the
+//!   optimiser the paper uses together with the symbolic Jacobian,
+//! * [`GradientDescent`] and [`Adam`] — first-order ablation baselines,
+//! * [`NelderMead`] — a derivative-free baseline showing the cost of not
+//!   having analytic gradients.
+//!
+//! All optimisers minimise an [`Objective`] through the common [`Optimizer`]
+//! trait.
+//!
+//! ## Example
+//!
+//! ```
+//! use enq_optim::{FnObjective, Lbfgs, Optimizer};
+//!
+//! let objective = FnObjective::new(
+//!     1,
+//!     |x| (x[0] - 0.5).powi(2),
+//!     |x| vec![2.0 * (x[0] - 0.5)],
+//! );
+//! let result = Lbfgs::default().minimize(&objective, &[5.0]);
+//! assert!((result.x[0] - 0.5).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod first_order;
+mod lbfgs;
+mod line_search;
+mod nelder_mead;
+mod objective;
+
+pub use first_order::{Adam, GradientDescent};
+pub use lbfgs::Lbfgs;
+pub use nelder_mead::NelderMead;
+pub use objective::{FnObjective, Objective, OptimizeResult, Optimizer};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn lbfgs_finds_minimum_of_random_convex_quadratics(
+            center in proptest::collection::vec(-3.0..3.0f64, 4),
+            scales in proptest::collection::vec(0.5..5.0f64, 4),
+            start in proptest::collection::vec(-3.0..3.0f64, 4),
+        ) {
+            let c = center.clone();
+            let s = scales.clone();
+            let c2 = center.clone();
+            let s2 = scales.clone();
+            let obj = FnObjective::new(
+                4,
+                move |x: &[f64]| {
+                    x.iter()
+                        .zip(c.iter())
+                        .zip(s.iter())
+                        .map(|((xi, ci), si)| si * (xi - ci) * (xi - ci))
+                        .sum()
+                },
+                move |x: &[f64]| {
+                    x.iter()
+                        .zip(c2.iter())
+                        .zip(s2.iter())
+                        .map(|((xi, ci), si)| 2.0 * si * (xi - ci))
+                        .collect()
+                },
+            );
+            let result = Lbfgs::default().minimize(&obj, &start);
+            for (xi, ci) in result.x.iter().zip(center.iter()) {
+                prop_assert!((xi - ci).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn optimisers_never_increase_the_objective(
+            start in proptest::collection::vec(-2.0..2.0f64, 3),
+        ) {
+            let obj = FnObjective::new(
+                3,
+                |x: &[f64]| x.iter().map(|v| v.powi(4) + v * v).sum::<f64>(),
+                |x: &[f64]| x.iter().map(|v| 4.0 * v.powi(3) + 2.0 * v).collect(),
+            );
+            let initial = obj.value(&start);
+            for result in [
+                Lbfgs::default().minimize(&obj, &start),
+                GradientDescent::default().minimize(&obj, &start),
+                Adam::default().minimize(&obj, &start),
+                NelderMead::default().minimize(&obj, &start),
+            ] {
+                prop_assert!(result.value <= initial + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Strong-Wolfe line search used by the quasi-Newton optimiser.
+
+use crate::objective::{dot, Objective};
+
+/// Outcome of a line search along a descent direction.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LineSearchResult {
+    /// Accepted step length.
+    pub step: f64,
+    /// Objective value at the accepted point.
+    pub value: f64,
+    /// Gradient at the accepted point.
+    pub gradient: Vec<f64>,
+    /// Number of objective evaluations consumed.
+    pub evaluations: usize,
+}
+
+/// Strong-Wolfe line search (Nocedal & Wright, Algorithms 3.5/3.6 with
+/// bisection-based zoom).
+///
+/// `x` is the current point, `direction` a descent direction, `f0`/`g0` the
+/// value and gradient at `x`. Returns `None` if no acceptable step is found
+/// within the evaluation budget (the caller then falls back to a small step).
+pub(crate) fn strong_wolfe(
+    objective: &dyn Objective,
+    x: &[f64],
+    direction: &[f64],
+    f0: f64,
+    g0: &[f64],
+    initial_step: f64,
+) -> Option<LineSearchResult> {
+    const C1: f64 = 1e-4;
+    const C2: f64 = 0.9;
+    const MAX_EVALS: usize = 40;
+
+    let d_phi0 = dot(g0, direction);
+    if d_phi0 >= 0.0 {
+        return None; // not a descent direction
+    }
+
+    let eval = |alpha: f64| -> (f64, Vec<f64>, f64) {
+        let point: Vec<f64> = x
+            .iter()
+            .zip(direction.iter())
+            .map(|(xi, di)| xi + alpha * di)
+            .collect();
+        let (value, gradient) = objective.value_and_gradient(&point);
+        let slope = dot(&gradient, direction);
+        (value, gradient, slope)
+    };
+
+    let mut evaluations = 0usize;
+    let mut alpha_prev = 0.0;
+    let mut f_prev = f0;
+    let mut alpha = initial_step.max(1e-12);
+    let mut zoom_bounds: Option<(f64, f64, f64)> = None; // (lo, f_lo, hi)
+
+    for i in 0..10 {
+        let (f_alpha, g_alpha, slope_alpha) = eval(alpha);
+        evaluations += 1;
+        if f_alpha > f0 + C1 * alpha * d_phi0 || (i > 0 && f_alpha >= f_prev) {
+            zoom_bounds = Some((alpha_prev, f_prev, alpha));
+            break;
+        }
+        if slope_alpha.abs() <= -C2 * d_phi0 {
+            return Some(LineSearchResult {
+                step: alpha,
+                value: f_alpha,
+                gradient: g_alpha,
+                evaluations,
+            });
+        }
+        if slope_alpha >= 0.0 {
+            zoom_bounds = Some((alpha, f_alpha, alpha_prev));
+            break;
+        }
+        alpha_prev = alpha;
+        f_prev = f_alpha;
+        alpha *= 2.0;
+    }
+
+    let (mut lo, mut f_lo, mut hi) = zoom_bounds?;
+    while evaluations < MAX_EVALS {
+        let mid = 0.5 * (lo + hi);
+        let (f_mid, g_mid, slope_mid) = eval(mid);
+        evaluations += 1;
+        if f_mid > f0 + C1 * mid * d_phi0 || f_mid >= f_lo {
+            hi = mid;
+        } else {
+            if slope_mid.abs() <= -C2 * d_phi0 {
+                return Some(LineSearchResult {
+                    step: mid,
+                    value: f_mid,
+                    gradient: g_mid,
+                    evaluations,
+                });
+            }
+            if slope_mid * (hi - lo) >= 0.0 {
+                hi = lo;
+            }
+            lo = mid;
+            f_lo = f_mid;
+        }
+        if (hi - lo).abs() < 1e-14 {
+            // Interval collapsed; accept the best point found so far.
+            return Some(LineSearchResult {
+                step: mid,
+                value: f_mid,
+                gradient: g_mid,
+                evaluations,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+
+    fn quadratic() -> impl Objective {
+        FnObjective::new(
+            2,
+            |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>(),
+            |x: &[f64]| x.iter().map(|v| 2.0 * v).collect(),
+        )
+    }
+
+    #[test]
+    fn finds_wolfe_step_on_quadratic() {
+        let obj = quadratic();
+        let x = vec![1.0, 1.0];
+        let g0 = obj.gradient(&x);
+        let direction: Vec<f64> = g0.iter().map(|v| -v).collect();
+        let f0 = obj.value(&x);
+        let result = strong_wolfe(&obj, &x, &direction, f0, &g0, 1.0).unwrap();
+        assert!(result.value < f0);
+        assert!(result.step > 0.0);
+    }
+
+    #[test]
+    fn rejects_ascent_direction() {
+        let obj = quadratic();
+        let x = vec![1.0, 1.0];
+        let g0 = obj.gradient(&x);
+        let direction = g0.clone(); // ascent
+        assert!(strong_wolfe(&obj, &x, &direction, obj.value(&x), &g0, 1.0).is_none());
+    }
+
+    #[test]
+    fn satisfies_armijo_condition() {
+        let obj = quadratic();
+        let x = vec![3.0, -2.0];
+        let g0 = obj.gradient(&x);
+        let direction: Vec<f64> = g0.iter().map(|v| -v).collect();
+        let f0 = obj.value(&x);
+        let d_phi0: f64 = g0.iter().zip(direction.iter()).map(|(a, b)| a * b).sum();
+        let result = strong_wolfe(&obj, &x, &direction, f0, &g0, 1.0).unwrap();
+        assert!(result.value <= f0 + 1e-4 * result.step * d_phi0 + 1e-12);
+    }
+}

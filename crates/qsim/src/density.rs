@@ -1,0 +1,419 @@
+//! Mixed-state (density-matrix) simulation.
+
+use crate::error::QsimError;
+use crate::noise::NoiseChannel;
+use crate::statevector::{apply_1q, apply_2q, Statevector};
+use enq_linalg::{C64, CMatrix, CVector};
+
+/// An `n`-qubit density matrix `ρ`, stored as a dense `2^n × 2^n` complex
+/// matrix (row-major, little-endian basis ordering).
+///
+/// # Examples
+///
+/// ```
+/// use enq_qsim::{DensityMatrix, Statevector};
+/// use enq_circuit::QuantumCircuit;
+///
+/// let mut qc = QuantumCircuit::new(2);
+/// qc.h(0).cx(0, 1);
+/// let pure = Statevector::from_circuit(&qc)?;
+/// let rho = DensityMatrix::from_statevector(&pure);
+/// assert!((rho.purity() - 1.0).abs() < 1e-10);
+/// # Ok::<(), enq_qsim::QsimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    num_qubits: usize,
+    data: CMatrix,
+}
+
+impl DensityMatrix {
+    /// Creates the pure state `|0…0⟩⟨0…0|`.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        let dim = 1usize << num_qubits;
+        let mut data = CMatrix::zeros(dim, dim);
+        data[(0, 0)] = C64::ONE;
+        Self { num_qubits, data }
+    }
+
+    /// Creates the maximally mixed state `I / 2^n`.
+    pub fn maximally_mixed(num_qubits: usize) -> Self {
+        let dim = 1usize << num_qubits;
+        let mut data = CMatrix::zeros(dim, dim);
+        let p = C64::real(1.0 / dim as f64);
+        for i in 0..dim {
+            data[(i, i)] = p;
+        }
+        Self { num_qubits, data }
+    }
+
+    /// Creates `|ψ⟩⟨ψ|` from a pure statevector.
+    pub fn from_statevector(state: &Statevector) -> Self {
+        let v = state.to_cvector();
+        Self {
+            num_qubits: state.num_qubits(),
+            data: CMatrix::outer(&v, &v),
+        }
+    }
+
+    /// Creates `|ψ⟩⟨ψ|` from a normalised complex vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] for a non-power-of-two length
+    /// and [`QsimError::NotNormalized`] if the vector is not normalised.
+    pub fn from_pure(v: &CVector) -> Result<Self, QsimError> {
+        let len = v.len();
+        if len == 0 || len & (len - 1) != 0 {
+            return Err(QsimError::DimensionMismatch {
+                expected: len.next_power_of_two().max(2),
+                found: len,
+            });
+        }
+        let norm_sqr = v.norm_sqr();
+        if (norm_sqr - 1.0).abs() > 1e-8 {
+            return Err(QsimError::NotNormalized { norm_sqr });
+        }
+        Ok(Self {
+            num_qubits: len.trailing_zeros() as usize,
+            data: CMatrix::outer(v, v),
+        })
+    }
+
+    /// Returns the number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Returns the Hilbert-space dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        1usize << self.num_qubits
+    }
+
+    /// Returns the underlying matrix.
+    pub fn as_matrix(&self) -> &CMatrix {
+        &self.data
+    }
+
+    /// Returns the trace (should be 1 for a valid state).
+    pub fn trace(&self) -> f64 {
+        self.data.trace().re
+    }
+
+    /// Returns the purity `tr(ρ²)`, which is 1 for pure states and `1/2^n`
+    /// for the maximally mixed state.
+    pub fn purity(&self) -> f64 {
+        let dim = self.dim();
+        let mut acc = C64::ZERO;
+        for i in 0..dim {
+            for j in 0..dim {
+                acc += self.data[(i, j)] * self.data[(j, i)];
+            }
+        }
+        acc.re
+    }
+
+    /// Returns the diagonal as measurement probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.dim()).map(|i| self.data[(i, i)].re).collect()
+    }
+
+    /// Returns `true` if the matrix is Hermitian with unit trace (within
+    /// `tol`).
+    pub fn is_valid_state(&self, tol: f64) -> bool {
+        self.data.is_hermitian(tol) && (self.trace() - 1.0).abs() <= tol
+    }
+
+    /// Applies a 1- or 2-qubit unitary (or general linear map) `m` on the
+    /// given operand qubits: `ρ → M ρ M†`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] for mismatched operands.
+    pub fn apply_matrix(&mut self, m: &CMatrix, qubits: &[usize]) -> Result<(), QsimError> {
+        self.validate_operands(m, qubits)?;
+        let n = self.num_qubits;
+        // ρ is stored row-major: index = row · 2^n + col, so the row (ket)
+        // bits occupy positions n..2n and the column (bra) bits 0..n.
+        let buf = self.data.as_mut_slice();
+        let ket_qubits: Vec<usize> = qubits.iter().map(|&q| q + n).collect();
+        apply_on_flattened(buf, m, &ket_qubits);
+        let conj = m.conj();
+        apply_on_flattened(buf, &conj, qubits);
+        Ok(())
+    }
+
+    /// Applies a noise channel on the given qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if the channel arity does not
+    /// match the operand count.
+    pub fn apply_channel(&mut self, channel: &NoiseChannel, qubits: &[usize]) -> Result<(), QsimError> {
+        match channel {
+            NoiseChannel::Unitary(u) => self.apply_matrix(u, qubits),
+            NoiseChannel::Kraus(ops) => {
+                let dim = self.dim();
+                let mut acc = CMatrix::zeros(dim, dim);
+                for k in ops {
+                    let mut branch = self.clone();
+                    branch.apply_matrix(k, qubits)?;
+                    acc = &acc + &branch.data;
+                }
+                self.data = acc;
+                Ok(())
+            }
+            NoiseChannel::Depolarizing { probability } => {
+                self.apply_depolarizing(*probability, qubits)
+            }
+        }
+    }
+
+    /// Applies the depolarizing channel
+    /// `ρ → (1−p)·ρ + p · Tr_Q(ρ) ⊗ I_Q / 2^{|Q|}` on qubits `Q`.
+    fn apply_depolarizing(&mut self, p: f64, qubits: &[usize]) -> Result<(), QsimError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(QsimError::InvalidParameter(format!(
+                "depolarizing probability {p} outside [0, 1]"
+            )));
+        }
+        for &q in qubits {
+            if q >= self.num_qubits {
+                return Err(QsimError::DimensionMismatch {
+                    expected: self.num_qubits,
+                    found: q + 1,
+                });
+            }
+        }
+        if p == 0.0 {
+            return Ok(());
+        }
+        let dim = self.dim();
+        let k = qubits.len();
+        let sub_dim = 1usize << k;
+        let mask: usize = qubits.iter().map(|&q| 1usize << q).sum();
+        let mut mixed = CMatrix::zeros(dim, dim);
+        // mixed[i][j] = δ(i_Q, j_Q)/2^k · Σ_x ρ[i with Q=x][j with Q=x]
+        for i in 0..dim {
+            for j in 0..dim {
+                if (i & mask) != (j & mask) {
+                    continue;
+                }
+                let mut acc = C64::ZERO;
+                for x in 0..sub_dim {
+                    let mut bits = 0usize;
+                    for (pos, &q) in qubits.iter().enumerate() {
+                        if (x >> pos) & 1 == 1 {
+                            bits |= 1usize << q;
+                        }
+                    }
+                    let ii = (i & !mask) | bits;
+                    let jj = (j & !mask) | bits;
+                    acc += self.data[(ii, jj)];
+                }
+                mixed[(i, j)] = acc / sub_dim as f64;
+            }
+        }
+        let keep = C64::real(1.0 - p);
+        let mix = C64::real(p);
+        self.data = &self.data.scale(keep) + &mixed.scale(mix);
+        Ok(())
+    }
+
+    /// Returns the fidelity `⟨ψ|ρ|ψ⟩` against a pure reference state. This is
+    /// the fast path used throughout the paper, where the desired state is
+    /// always pure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if the dimensions differ.
+    pub fn fidelity_with_pure(&self, psi: &CVector) -> Result<f64, QsimError> {
+        if psi.len() != self.dim() {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.dim(),
+                found: psi.len(),
+            });
+        }
+        let rho_psi = self.data.matvec(psi);
+        Ok(psi.dot(&rho_psi)?.re)
+    }
+
+    /// Returns the Jozsa fidelity `F(ρ, σ) = (tr √(√ρ σ √ρ))²` against another
+    /// density matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] for mismatched dimensions or a
+    /// linear-algebra error if the eigendecomposition fails.
+    pub fn fidelity(&self, other: &DensityMatrix) -> Result<f64, QsimError> {
+        if self.dim() != other.dim() {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.dim(),
+                found: other.dim(),
+            });
+        }
+        let sqrt_rho = enq_linalg::psd_sqrt(&self.data)?;
+        let inner = sqrt_rho.matmul(&other.data).matmul(&sqrt_rho);
+        // Symmetrise against round-off before taking the PSD square root.
+        let sym = &inner + &inner.adjoint();
+        let sym = sym.scale(C64::real(0.5));
+        let t = enq_linalg::trace_sqrt(&sym)?;
+        Ok(t * t)
+    }
+
+    fn validate_operands(&self, m: &CMatrix, qubits: &[usize]) -> Result<(), QsimError> {
+        let expected_dim = 1usize << qubits.len();
+        if m.nrows() != expected_dim || m.ncols() != expected_dim {
+            return Err(QsimError::DimensionMismatch {
+                expected: expected_dim,
+                found: m.nrows(),
+            });
+        }
+        if qubits.is_empty() || qubits.len() > 2 {
+            return Err(QsimError::InvalidParameter(format!(
+                "unsupported gate arity {}",
+                qubits.len()
+            )));
+        }
+        for &q in qubits {
+            if q >= self.num_qubits {
+                return Err(QsimError::DimensionMismatch {
+                    expected: self.num_qubits,
+                    found: q + 1,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Applies a 1- or 2-qubit matrix to the flattened density-matrix buffer,
+/// treating it as a `2n`-qubit statevector.
+fn apply_on_flattened(buf: &mut [C64], m: &CMatrix, qubits: &[usize]) {
+    match qubits.len() {
+        1 => apply_1q(buf, m, qubits[0]),
+        2 => apply_2q(buf, m, qubits[0], qubits[1]),
+        _ => unreachable!("operand arity validated by caller"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enq_circuit::{Gate, QuantumCircuit};
+
+    fn bell_density() -> DensityMatrix {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).cx(0, 1);
+        DensityMatrix::from_statevector(&Statevector::from_circuit(&qc).unwrap())
+    }
+
+    #[test]
+    fn zero_state_properties() {
+        let rho = DensityMatrix::zero_state(3);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!(rho.is_valid_state(1e-10));
+    }
+
+    #[test]
+    fn maximally_mixed_purity() {
+        let rho = DensityMatrix::maximally_mixed(2);
+        assert!((rho.purity() - 0.25).abs() < 1e-12);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_evolution_matches_statevector() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).cy(0, 1).rx(0.4, 2).cz(1, 2).rz(1.3, 0);
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        let mut rho = DensityMatrix::zero_state(3);
+        for inst in qc.iter() {
+            rho.apply_matrix(&inst.gate.matrix().unwrap(), &inst.qubits)
+                .unwrap();
+        }
+        let expected = DensityMatrix::from_statevector(&sv);
+        assert!(rho.as_matrix().approx_eq(expected.as_matrix(), 1e-10));
+        assert!((rho.fidelity_with_pure(&sv.to_cvector()).unwrap() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn depolarizing_reduces_purity() {
+        let mut rho = bell_density();
+        rho.apply_channel(&NoiseChannel::Depolarizing { probability: 0.2 }, &[0])
+            .unwrap();
+        assert!(rho.purity() < 1.0);
+        assert!((rho.trace() - 1.0).abs() < 1e-10);
+        assert!(rho.is_valid_state(1e-8));
+    }
+
+    #[test]
+    fn full_depolarizing_gives_maximally_mixed_on_single_qubit() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_channel(&NoiseChannel::Depolarizing { probability: 1.0 }, &[0])
+            .unwrap();
+        assert!(rho
+            .as_matrix()
+            .approx_eq(DensityMatrix::maximally_mixed(1).as_matrix(), 1e-10));
+    }
+
+    #[test]
+    fn kraus_bit_flip_mixes_states() {
+        let x = Gate::X.matrix().unwrap();
+        let p = 0.3f64;
+        let k0 = CMatrix::identity(2).scale(C64::real((1.0 - p).sqrt()));
+        let k1 = x.scale(C64::real(p.sqrt()));
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_channel(&NoiseChannel::Kraus(vec![k0, k1]), &[0])
+            .unwrap();
+        let probs = rho.probabilities();
+        assert!((probs[0] - 0.7).abs() < 1e-10);
+        assert!((probs[1] - 0.3).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fidelity_with_pure_of_identical_state_is_one() {
+        let rho = bell_density();
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).cx(0, 1);
+        let psi = Statevector::from_circuit(&qc).unwrap().to_cvector();
+        assert!((rho.fidelity_with_pure(&psi).unwrap() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jozsa_fidelity_matches_pure_overlap() {
+        let rho = bell_density();
+        let sigma = DensityMatrix::zero_state(2);
+        let jozsa = rho.fidelity(&sigma).unwrap();
+        let overlap = rho
+            .fidelity_with_pure(&CVector::basis_state(4, 0))
+            .unwrap();
+        assert!((jozsa - overlap).abs() < 1e-6, "jozsa {jozsa} overlap {overlap}");
+    }
+
+    #[test]
+    fn jozsa_fidelity_of_identical_mixed_states_is_one() {
+        let mut rho = bell_density();
+        rho.apply_channel(&NoiseChannel::Depolarizing { probability: 0.3 }, &[1])
+            .unwrap();
+        let f = rho.fidelity(&rho.clone()).unwrap();
+        assert!((f - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_pure_validates() {
+        assert!(DensityMatrix::from_pure(&CVector::from_real(&[1.0, 1.0])).is_err());
+        assert!(DensityMatrix::from_pure(&CVector::from_real(&[1.0, 0.0, 0.0])).is_err());
+        assert!(DensityMatrix::from_pure(&CVector::from_real(&[0.6, 0.8])).is_ok());
+    }
+
+    #[test]
+    fn two_qubit_depolarizing_preserves_trace() {
+        let mut rho = bell_density();
+        rho.apply_channel(&NoiseChannel::Depolarizing { probability: 0.15 }, &[0, 1])
+            .unwrap();
+        assert!((rho.trace() - 1.0).abs() < 1e-10);
+        assert!(rho.purity() < 1.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for the simulators.
+
+use enq_circuit::CircuitError;
+use enq_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the statevector and density-matrix simulators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QsimError {
+    /// The supplied state had the wrong dimension for the register.
+    DimensionMismatch {
+        /// Expected dimension (`2^n`).
+        expected: usize,
+        /// Found dimension.
+        found: usize,
+    },
+    /// The supplied amplitudes were not normalised.
+    NotNormalized {
+        /// The squared norm that was found.
+        norm_sqr: f64,
+    },
+    /// A noise channel was not trace preserving (`Σ K†K ≠ I`).
+    NotTracePreserving,
+    /// A noise or model parameter was outside its valid range.
+    InvalidParameter(String),
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+    /// An underlying circuit operation failed.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for QsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QsimError::DimensionMismatch { expected, found } => {
+                write!(f, "state dimension mismatch: expected {expected}, found {found}")
+            }
+            QsimError::NotNormalized { norm_sqr } => {
+                write!(f, "state is not normalised (|ψ|² = {norm_sqr})")
+            }
+            QsimError::NotTracePreserving => write!(f, "kraus operators are not trace preserving"),
+            QsimError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            QsimError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            QsimError::Circuit(e) => write!(f, "circuit error: {e}"),
+        }
+    }
+}
+
+impl Error for QsimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QsimError::Linalg(e) => Some(e),
+            QsimError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for QsimError {
+    fn from(e: LinalgError) -> Self {
+        QsimError::Linalg(e)
+    }
+}
+
+impl From<CircuitError> for QsimError {
+    fn from(e: CircuitError) -> Self {
+        QsimError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = QsimError::from(LinalgError::Singular);
+        assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+        assert!(QsimError::NotTracePreserving.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QsimError>();
+    }
+}

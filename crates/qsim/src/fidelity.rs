@@ -1,0 +1,77 @@
+//! State fidelity measures.
+//!
+//! The paper's headline metric is the mixed-state fidelity of Jozsa,
+//! `F(ρ, σ) = (tr √(√ρ σ √ρ))²`, evaluated between the desired (pure)
+//! amplitude-embedded state and the simulated (possibly noisy) output.
+
+use crate::density::DensityMatrix;
+use crate::error::QsimError;
+use crate::statevector::Statevector;
+use enq_linalg::CVector;
+
+/// Returns the fidelity `|⟨a|b⟩|²` between two pure states.
+///
+/// # Errors
+///
+/// Returns [`QsimError::DimensionMismatch`] if the dimensions differ.
+pub fn pure_fidelity(a: &Statevector, b: &Statevector) -> Result<f64, QsimError> {
+    a.fidelity(b)
+}
+
+/// Returns the fidelity `⟨ψ|ρ|ψ⟩` between a pure reference and a mixed state.
+///
+/// # Errors
+///
+/// Returns [`QsimError::DimensionMismatch`] if the dimensions differ.
+pub fn pure_mixed_fidelity(psi: &CVector, rho: &DensityMatrix) -> Result<f64, QsimError> {
+    rho.fidelity_with_pure(psi)
+}
+
+/// Returns the Jozsa fidelity between two density matrices.
+///
+/// # Errors
+///
+/// Returns [`QsimError::DimensionMismatch`] for mismatched dimensions or a
+/// linear-algebra error from the eigendecomposition.
+pub fn mixed_fidelity(rho: &DensityMatrix, sigma: &DensityMatrix) -> Result<f64, QsimError> {
+    rho.fidelity(sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseChannel;
+    use enq_circuit::QuantumCircuit;
+
+    #[test]
+    fn pure_fidelity_bounds() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).cx(0, 1);
+        let bell = Statevector::from_circuit(&qc).unwrap();
+        let zero = Statevector::zero_state(2);
+        let f = pure_fidelity(&bell, &zero).unwrap();
+        assert!((f - 0.5).abs() < 1e-12);
+        assert!((pure_fidelity(&bell, &bell).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_fidelity_consistent_with_pure_mixed() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).cx(0, 1);
+        let bell = Statevector::from_circuit(&qc).unwrap();
+        let mut rho = DensityMatrix::from_statevector(&bell);
+        rho.apply_channel(&NoiseChannel::depolarizing(0.2).unwrap(), &[0])
+            .unwrap();
+        let f_fast = pure_mixed_fidelity(&bell.to_cvector(), &rho).unwrap();
+        let f_jozsa = mixed_fidelity(&DensityMatrix::from_statevector(&bell), &rho).unwrap();
+        assert!((f_fast - f_jozsa).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fidelity_with_maximally_mixed_is_uniform() {
+        let psi = Statevector::zero_state(2);
+        let mixed = DensityMatrix::maximally_mixed(2);
+        let f = pure_mixed_fidelity(&psi.to_cvector(), &mixed).unwrap();
+        assert!((f - 0.25).abs() < 1e-12);
+    }
+}

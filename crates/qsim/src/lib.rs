@@ -1,0 +1,130 @@
+//! # enq-qsim
+//!
+//! Hand-rolled quantum simulators for the EnQode reproduction:
+//!
+//! * [`Statevector`] — pure-state simulation used for ideal-simulation
+//!   fidelity (Fig. 8a of the paper),
+//! * [`DensityMatrix`] + [`NoisySimulator`] — mixed-state simulation with an
+//!   `ibm_brisbane`-like [`DeviceNoiseModel`] used for noisy-simulation
+//!   fidelity (Fig. 8b),
+//! * [`NoiseChannel`] — the depolarizing / damping / thermal-relaxation
+//!   channels those models are built from,
+//! * pure and Jozsa mixed-state [fidelity](crate::fidelity) measures.
+//!
+//! ## Example
+//!
+//! ```
+//! use enq_circuit::QuantumCircuit;
+//! use enq_qsim::{DeviceNoiseModel, NoisySimulator, Statevector};
+//!
+//! let mut qc = QuantumCircuit::new(3);
+//! qc.h(0).cx(0, 1).cx(1, 2);
+//! let ideal = Statevector::from_circuit(&qc)?;
+//! let noisy = NoisySimulator::new(DeviceNoiseModel::ibm_brisbane_like());
+//! let fidelity = noisy.run_fidelity(&qc, &ideal)?;
+//! assert!(fidelity > 0.5 && fidelity < 1.0);
+//! # Ok::<(), enq_qsim::QsimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod density;
+mod error;
+pub mod fidelity;
+mod noise;
+mod noise_model;
+mod noisy_sim;
+mod statevector;
+
+pub use density::DensityMatrix;
+pub use error::QsimError;
+pub use fidelity::{mixed_fidelity, pure_fidelity, pure_mixed_fidelity};
+pub use noise::NoiseChannel;
+pub use noise_model::{DeviceNoiseModel, GateNoiseSpec};
+pub use noisy_sim::NoisySimulator;
+pub use statevector::Statevector;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use enq_circuit::QuantumCircuit;
+    use proptest::prelude::*;
+
+    fn arb_circuit(n: usize, max_len: usize) -> impl Strategy<Value = QuantumCircuit> {
+        proptest::collection::vec((0..6u8, 0..n, 0..n, -3.0..3.0f64), 1..max_len).prop_map(
+            move |ops| {
+                let mut qc = QuantumCircuit::new(n);
+                for (kind, a, b, angle) in ops {
+                    let b = if a == b { (b + 1) % n } else { b };
+                    match kind {
+                        0 => {
+                            qc.h(a);
+                        }
+                        1 => {
+                            qc.rx(angle, a);
+                        }
+                        2 => {
+                            qc.rz(angle, a);
+                        }
+                        3 => {
+                            qc.cx(a, b);
+                        }
+                        4 => {
+                            qc.cy(a, b);
+                        }
+                        _ => {
+                            qc.ry(angle, a);
+                        }
+                    }
+                }
+                qc
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn statevector_stays_normalised(qc in arb_circuit(3, 12)) {
+            let sv = Statevector::from_circuit(&qc).unwrap();
+            let norm: f64 = sv.probabilities().iter().sum();
+            prop_assert!((norm - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn ideal_density_matches_statevector(qc in arb_circuit(3, 8)) {
+            let sv = Statevector::from_circuit(&qc).unwrap();
+            let rho = NoisySimulator::ideal().run(&qc).unwrap();
+            let f = rho.fidelity_with_pure(&sv.to_cvector()).unwrap();
+            prop_assert!((f - 1.0).abs() < 1e-8);
+        }
+
+        #[test]
+        fn noisy_fidelity_is_bounded(qc in arb_circuit(3, 8)) {
+            let sv = Statevector::from_circuit(&qc).unwrap();
+            let sim = NoisySimulator::new(DeviceNoiseModel::ibm_brisbane_like());
+            let f = sim.run_fidelity(&qc, &sv).unwrap();
+            prop_assert!(f <= 1.0 + 1e-9);
+            prop_assert!(f >= 0.0);
+        }
+
+        #[test]
+        fn noisy_state_remains_physical(qc in arb_circuit(3, 8)) {
+            let sim = NoisySimulator::new(DeviceNoiseModel::ibm_brisbane_like());
+            let rho = sim.run(&qc).unwrap();
+            prop_assert!(rho.is_valid_state(1e-6));
+            prop_assert!(rho.purity() <= 1.0 + 1e-9);
+            prop_assert!(rho.purity() >= 1.0 / rho.dim() as f64 - 1e-9);
+        }
+
+        #[test]
+        fn noise_never_increases_fidelity_above_ideal(qc in arb_circuit(2, 8)) {
+            let sv = Statevector::from_circuit(&qc).unwrap();
+            let noisy = NoisySimulator::new(DeviceNoiseModel::ibm_brisbane_like())
+                .run_fidelity(&qc, &sv)
+                .unwrap();
+            prop_assert!(noisy <= 1.0 + 1e-9);
+        }
+    }
+}

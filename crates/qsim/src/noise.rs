@@ -1,0 +1,284 @@
+//! Quantum noise channels.
+//!
+//! The noisy simulations in the paper use a qiskit-aer noise model derived
+//! from `ibm_brisbane` calibration data. The channels implemented here are
+//! the ones such device models are built from: depolarizing gate error,
+//! amplitude/phase damping, and combined thermal relaxation.
+
+use crate::error::QsimError;
+use enq_linalg::{C64, CMatrix};
+
+/// A completely-positive trace-preserving map applied after a gate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NoiseChannel {
+    /// A coherent (unitary) error.
+    Unitary(CMatrix),
+    /// A general channel given by Kraus operators `ρ → Σ K_i ρ K_i†`.
+    Kraus(Vec<CMatrix>),
+    /// The depolarizing channel
+    /// `ρ → (1−p)·ρ + p·Tr_Q(ρ) ⊗ I/2^{|Q|}` on the gate's qubits.
+    Depolarizing {
+        /// The depolarizing probability `p ∈ [0, 1]`.
+        probability: f64,
+    },
+}
+
+impl NoiseChannel {
+    /// Creates a depolarizing channel with probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if `p ∉ [0, 1]`.
+    pub fn depolarizing(p: f64) -> Result<Self, QsimError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(QsimError::InvalidParameter(format!(
+                "depolarizing probability {p} outside [0, 1]"
+            )));
+        }
+        Ok(NoiseChannel::Depolarizing { probability: p })
+    }
+
+    /// Creates a single-qubit bit-flip channel: `X` applied with probability
+    /// `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if `p ∉ [0, 1]`.
+    pub fn bit_flip(p: f64) -> Result<Self, QsimError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(QsimError::InvalidParameter(format!(
+                "bit-flip probability {p} outside [0, 1]"
+            )));
+        }
+        let x = CMatrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+        Ok(NoiseChannel::Kraus(vec![
+            CMatrix::identity(2).scale(C64::real((1.0 - p).sqrt())),
+            x.scale(C64::real(p.sqrt())),
+        ]))
+    }
+
+    /// Creates a single-qubit amplitude-damping channel with decay
+    /// probability `gamma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if `gamma ∉ [0, 1]`.
+    pub fn amplitude_damping(gamma: f64) -> Result<Self, QsimError> {
+        Self::amplitude_phase_damping(gamma, 0.0)
+    }
+
+    /// Creates a single-qubit pure phase-damping channel with parameter
+    /// `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if `lambda ∉ [0, 1]`.
+    pub fn phase_damping(lambda: f64) -> Result<Self, QsimError> {
+        Self::amplitude_phase_damping(0.0, lambda)
+    }
+
+    /// Creates the combined amplitude (`a`) and phase (`b`) damping channel
+    /// with Kraus operators
+    /// `K₀ = diag(1, √(1−a−b))`, `K₁ = √a·|0⟩⟨1|`, `K₂ = √b·|1⟩⟨1|`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] unless `a, b ≥ 0` and
+    /// `a + b ≤ 1`.
+    pub fn amplitude_phase_damping(a: f64, b: f64) -> Result<Self, QsimError> {
+        if a < 0.0 || b < 0.0 || a + b > 1.0 + 1e-12 {
+            return Err(QsimError::InvalidParameter(format!(
+                "damping parameters a={a}, b={b} must be non-negative with a+b ≤ 1"
+            )));
+        }
+        let z = C64::ZERO;
+        let k0 = CMatrix::from_diagonal(&[C64::ONE, C64::real((1.0 - a - b).max(0.0).sqrt())]);
+        let k1 = CMatrix::from_rows(&[&[z, C64::real(a.sqrt())], &[z, z]]);
+        let k2 = CMatrix::from_rows(&[&[z, z], &[z, C64::real(b.sqrt())]]);
+        Ok(NoiseChannel::Kraus(vec![k0, k1, k2]))
+    }
+
+    /// Creates the thermal-relaxation channel for a qubit idling (or gated)
+    /// for `duration_ns` nanoseconds with relaxation times `t1_us` and
+    /// `t2_us` (microseconds).
+    ///
+    /// The population decays as `e^{-t/T1}` and coherences as `e^{-t/T2}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if `t1 ≤ 0`, `t2 ≤ 0`,
+    /// `t2 > 2·t1`, or the duration is negative.
+    pub fn thermal_relaxation(t1_us: f64, t2_us: f64, duration_ns: f64) -> Result<Self, QsimError> {
+        if t1_us <= 0.0 || t2_us <= 0.0 {
+            return Err(QsimError::InvalidParameter(
+                "relaxation times must be positive".to_string(),
+            ));
+        }
+        if t2_us > 2.0 * t1_us + 1e-9 {
+            return Err(QsimError::InvalidParameter(format!(
+                "unphysical relaxation times: T2 = {t2_us} µs exceeds 2·T1 = {} µs",
+                2.0 * t1_us
+            )));
+        }
+        if duration_ns < 0.0 {
+            return Err(QsimError::InvalidParameter(
+                "duration must be non-negative".to_string(),
+            ));
+        }
+        let t_us = duration_ns * 1e-3;
+        let a = 1.0 - (-t_us / t1_us).exp();
+        // Coherence decay e^{-t/T2} requires 1 - a - b = e^{-2t/T2}.
+        let b = (1.0 - a - (-2.0 * t_us / t2_us).exp()).max(0.0);
+        Self::amplitude_phase_damping(a, b)
+    }
+
+    /// Returns the number of qubits the channel acts on, if it is fixed by
+    /// the channel itself (`Kraus`/`Unitary`); `Depolarizing` adapts to the
+    /// gate it follows.
+    pub fn num_qubits(&self) -> Option<usize> {
+        match self {
+            NoiseChannel::Unitary(u) => Some((u.nrows().trailing_zeros()) as usize),
+            NoiseChannel::Kraus(ops) => ops.first().map(|k| k.nrows().trailing_zeros() as usize),
+            NoiseChannel::Depolarizing { .. } => None,
+        }
+    }
+
+    /// Checks that the channel is (numerically) trace preserving,
+    /// `Σ K†K = I`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::NotTracePreserving`] when the completeness
+    /// relation is violated by more than `1e-8`.
+    pub fn validate(&self) -> Result<(), QsimError> {
+        match self {
+            NoiseChannel::Depolarizing { probability } => {
+                if (0.0..=1.0).contains(probability) {
+                    Ok(())
+                } else {
+                    Err(QsimError::NotTracePreserving)
+                }
+            }
+            NoiseChannel::Unitary(u) => {
+                if u.is_unitary(1e-8) {
+                    Ok(())
+                } else {
+                    Err(QsimError::NotTracePreserving)
+                }
+            }
+            NoiseChannel::Kraus(ops) => {
+                let dim = ops.first().map(|k| k.nrows()).unwrap_or(0);
+                if dim == 0 {
+                    return Err(QsimError::NotTracePreserving);
+                }
+                let mut sum = CMatrix::zeros(dim, dim);
+                for k in ops {
+                    sum = &sum + &k.adjoint().matmul(k);
+                }
+                if sum.approx_eq(&CMatrix::identity(dim), 1e-8) {
+                    Ok(())
+                } else {
+                    Err(QsimError::NotTracePreserving)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::DensityMatrix;
+    use crate::statevector::Statevector;
+    use enq_circuit::QuantumCircuit;
+
+    #[test]
+    fn constructors_validate_parameters() {
+        assert!(NoiseChannel::depolarizing(0.5).is_ok());
+        assert!(NoiseChannel::depolarizing(1.5).is_err());
+        assert!(NoiseChannel::bit_flip(-0.1).is_err());
+        assert!(NoiseChannel::amplitude_phase_damping(0.7, 0.5).is_err());
+        assert!(NoiseChannel::thermal_relaxation(-1.0, 1.0, 10.0).is_err());
+        assert!(NoiseChannel::thermal_relaxation(100.0, 300.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn kraus_channels_are_trace_preserving() {
+        for ch in [
+            NoiseChannel::bit_flip(0.2).unwrap(),
+            NoiseChannel::amplitude_damping(0.3).unwrap(),
+            NoiseChannel::phase_damping(0.4).unwrap(),
+            NoiseChannel::thermal_relaxation(220.0, 140.0, 660.0).unwrap(),
+        ] {
+            ch.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_population() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.x(0);
+        let mut rho = DensityMatrix::from_statevector(&Statevector::from_circuit(&qc).unwrap());
+        rho.apply_channel(&NoiseChannel::amplitude_damping(0.25).unwrap(), &[0])
+            .unwrap();
+        let p = rho.probabilities();
+        assert!((p[1] - 0.75).abs() < 1e-10);
+        assert!((p[0] - 0.25).abs() < 1e-10);
+    }
+
+    #[test]
+    fn phase_damping_kills_coherence_not_population() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0);
+        let mut rho = DensityMatrix::from_statevector(&Statevector::from_circuit(&qc).unwrap());
+        rho.apply_channel(&NoiseChannel::phase_damping(1.0).unwrap(), &[0])
+            .unwrap();
+        let p = rho.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-10);
+        assert!((p[1] - 0.5).abs() < 1e-10);
+        assert!(rho.as_matrix()[(0, 1)].abs() < 1e-10);
+    }
+
+    #[test]
+    fn thermal_relaxation_matches_exponential_decay() {
+        let t1 = 100.0; // µs
+        let t2 = 80.0; // µs
+        let duration = 50_000.0; // ns = 50 µs
+        let ch = NoiseChannel::thermal_relaxation(t1, t2, duration).unwrap();
+
+        // Excited-state population should decay by e^{-t/T1}.
+        let mut qc = QuantumCircuit::new(1);
+        qc.x(0);
+        let mut rho = DensityMatrix::from_statevector(&Statevector::from_circuit(&qc).unwrap());
+        rho.apply_channel(&ch, &[0]).unwrap();
+        let expected_pop = (-50.0f64 / t1).exp();
+        assert!((rho.probabilities()[1] - expected_pop).abs() < 1e-9);
+
+        // Coherence should decay by e^{-t/T2}.
+        let mut qc2 = QuantumCircuit::new(1);
+        qc2.h(0);
+        let mut rho2 = DensityMatrix::from_statevector(&Statevector::from_circuit(&qc2).unwrap());
+        rho2.apply_channel(&ch, &[0]).unwrap();
+        let expected_coherence = 0.5 * (-50.0f64 / t2).exp();
+        assert!((rho2.as_matrix()[(0, 1)].abs() - expected_coherence).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_relaxation_is_identity() {
+        let ch = NoiseChannel::thermal_relaxation(220.0, 140.0, 0.0).unwrap();
+        let mut rho = DensityMatrix::zero_state(1);
+        let before = rho.clone();
+        rho.apply_channel(&ch, &[0]).unwrap();
+        assert!(rho.as_matrix().approx_eq(before.as_matrix(), 1e-12));
+    }
+
+    #[test]
+    fn channel_arity_report() {
+        assert_eq!(NoiseChannel::bit_flip(0.1).unwrap().num_qubits(), Some(1));
+        assert_eq!(
+            NoiseChannel::depolarizing(0.1).unwrap().num_qubits(),
+            None
+        );
+    }
+}

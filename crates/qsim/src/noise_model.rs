@@ -1,0 +1,266 @@
+//! Device-level noise models.
+//!
+//! [`DeviceNoiseModel`] plays the role of qiskit-aer's backend noise model
+//! built from `ibm_brisbane` calibration data: per-gate depolarizing error,
+//! thermal relaxation for the gate duration, and a readout assignment error.
+//! The default parameters follow the published calibration orders of
+//! magnitude for IBM Eagle-class devices.
+
+use crate::error::QsimError;
+use crate::noise::NoiseChannel;
+use enq_circuit::Gate;
+
+/// Error rate and duration of one class of physical gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateNoiseSpec {
+    /// Depolarizing error probability per gate.
+    pub error: f64,
+    /// Gate duration in nanoseconds.
+    pub duration_ns: f64,
+}
+
+/// A device noise model in the style of an IBM Eagle-class backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceNoiseModel {
+    /// Noise of physical single-qubit gates (`SX`, `X`).
+    pub one_qubit: GateNoiseSpec,
+    /// Noise of the two-qubit entangler (`ECR`/`CX`).
+    pub two_qubit: GateNoiseSpec,
+    /// Median qubit T1 relaxation time in microseconds.
+    pub t1_us: f64,
+    /// Median qubit T2 dephasing time in microseconds.
+    pub t2_us: f64,
+    /// Readout assignment error probability.
+    pub readout_error: f64,
+    /// Measurement duration in nanoseconds.
+    pub readout_duration_ns: f64,
+    /// Whether idle qubits accumulate thermal relaxation while waiting for
+    /// other qubits (schedule-aware idling noise).
+    pub include_idle_noise: bool,
+}
+
+impl DeviceNoiseModel {
+    /// A noiseless model (all error rates and durations are zero).
+    pub fn ideal() -> Self {
+        Self {
+            one_qubit: GateNoiseSpec {
+                error: 0.0,
+                duration_ns: 0.0,
+            },
+            two_qubit: GateNoiseSpec {
+                error: 0.0,
+                duration_ns: 0.0,
+            },
+            t1_us: f64::INFINITY,
+            t2_us: f64::INFINITY,
+            readout_error: 0.0,
+            readout_duration_ns: 0.0,
+            include_idle_noise: false,
+        }
+    }
+
+    /// A noise model with the published calibration magnitudes of
+    /// `ibm_brisbane` (127-qubit Eagle r3): ~2.5·10⁻⁴ single-qubit error,
+    /// ~7·10⁻³ ECR error, T1 ≈ 220 µs, T2 ≈ 140 µs, 60 ns single-qubit gates,
+    /// 660 ns ECR gates, ~1.3 % readout error.
+    pub fn ibm_brisbane_like() -> Self {
+        Self {
+            one_qubit: GateNoiseSpec {
+                error: 2.5e-4,
+                duration_ns: 60.0,
+            },
+            two_qubit: GateNoiseSpec {
+                error: 7.0e-3,
+                duration_ns: 660.0,
+            },
+            t1_us: 220.0,
+            t2_us: 140.0,
+            readout_error: 1.3e-2,
+            readout_duration_ns: 4000.0,
+            include_idle_noise: true,
+        }
+    }
+
+    /// Returns a copy with every error rate and `1/T1`, `1/T2` scaled by
+    /// `factor` (useful for noise-sensitivity sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if `factor` is negative.
+    pub fn scaled(&self, factor: f64) -> Result<Self, QsimError> {
+        if factor < 0.0 {
+            return Err(QsimError::InvalidParameter(
+                "noise scale factor must be non-negative".to_string(),
+            ));
+        }
+        let clamp = |p: f64| (p * factor).min(1.0);
+        Ok(Self {
+            one_qubit: GateNoiseSpec {
+                error: clamp(self.one_qubit.error),
+                duration_ns: self.one_qubit.duration_ns,
+            },
+            two_qubit: GateNoiseSpec {
+                error: clamp(self.two_qubit.error),
+                duration_ns: self.two_qubit.duration_ns,
+            },
+            t1_us: if factor == 0.0 {
+                f64::INFINITY
+            } else {
+                self.t1_us / factor
+            },
+            t2_us: if factor == 0.0 {
+                f64::INFINITY
+            } else {
+                self.t2_us / factor
+            },
+            readout_error: clamp(self.readout_error),
+            readout_duration_ns: self.readout_duration_ns,
+            include_idle_noise: self.include_idle_noise,
+        })
+    }
+
+    /// Returns `true` if the model is exactly noiseless.
+    pub fn is_ideal(&self) -> bool {
+        self.one_qubit.error == 0.0
+            && self.two_qubit.error == 0.0
+            && self.readout_error == 0.0
+            && !self.t1_us.is_finite()
+            && !self.t2_us.is_finite()
+    }
+
+    /// Returns the duration of a gate in nanoseconds. Virtual gates take no
+    /// time.
+    pub fn gate_duration_ns(&self, gate: &Gate) -> f64 {
+        if gate.is_virtual() {
+            0.0
+        } else if gate.is_two_qubit() {
+            self.two_qubit.duration_ns
+        } else {
+            self.one_qubit.duration_ns
+        }
+    }
+
+    /// Returns the depolarizing error probability of a gate. Virtual gates
+    /// are error free.
+    pub fn gate_error(&self, gate: &Gate) -> f64 {
+        if gate.is_virtual() {
+            0.0
+        } else if gate.is_two_qubit() {
+            self.two_qubit.error
+        } else {
+            self.one_qubit.error
+        }
+    }
+
+    /// Builds the noise channels to apply after a gate: a depolarizing
+    /// channel over the gate's qubits, plus per-qubit thermal relaxation for
+    /// the gate duration.
+    ///
+    /// Returns `(channel, per_qubit)` pairs where `per_qubit = true` means
+    /// the channel should be applied to each operand qubit individually.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if the model parameters are
+    /// out of range.
+    pub fn channels_for_gate(&self, gate: &Gate) -> Result<Vec<(NoiseChannel, bool)>, QsimError> {
+        let mut out = Vec::new();
+        if gate.is_virtual() {
+            return Ok(out);
+        }
+        let error = self.gate_error(gate);
+        if error > 0.0 {
+            out.push((NoiseChannel::depolarizing(error)?, false));
+        }
+        let duration = self.gate_duration_ns(gate);
+        if duration > 0.0 && self.t1_us.is_finite() {
+            out.push((
+                NoiseChannel::thermal_relaxation(self.t1_us, self.t2_us, duration)?,
+                true,
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Builds the idle thermal-relaxation channel for a qubit that waits for
+    /// `duration_ns`, or `None` if the model has no decoherence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidParameter`] if the duration is negative.
+    pub fn idle_channel(&self, duration_ns: f64) -> Result<Option<NoiseChannel>, QsimError> {
+        if duration_ns <= 0.0 || !self.t1_us.is_finite() {
+            return Ok(None);
+        }
+        Ok(Some(NoiseChannel::thermal_relaxation(
+            self.t1_us,
+            self.t2_us,
+            duration_ns,
+        )?))
+    }
+}
+
+impl Default for DeviceNoiseModel {
+    fn default() -> Self {
+        Self::ibm_brisbane_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enq_circuit::Angle;
+
+    #[test]
+    fn ideal_model_has_no_channels() {
+        let m = DeviceNoiseModel::ideal();
+        assert!(m.is_ideal());
+        assert!(m.channels_for_gate(&Gate::Cx).unwrap().is_empty());
+        assert!(m.idle_channel(1000.0).unwrap().is_none());
+    }
+
+    #[test]
+    fn brisbane_like_magnitudes() {
+        let m = DeviceNoiseModel::ibm_brisbane_like();
+        assert!(m.two_qubit.error > m.one_qubit.error * 10.0);
+        assert!(m.two_qubit.duration_ns > m.one_qubit.duration_ns);
+        assert!(m.t2_us <= 2.0 * m.t1_us);
+        assert!(!m.is_ideal());
+    }
+
+    #[test]
+    fn virtual_gates_are_free() {
+        let m = DeviceNoiseModel::ibm_brisbane_like();
+        let rz = Gate::Rz(Angle::fixed(0.3));
+        assert_eq!(m.gate_error(&rz), 0.0);
+        assert_eq!(m.gate_duration_ns(&rz), 0.0);
+        assert!(m.channels_for_gate(&rz).unwrap().is_empty());
+    }
+
+    #[test]
+    fn two_qubit_gates_get_depolarizing_and_relaxation() {
+        let m = DeviceNoiseModel::ibm_brisbane_like();
+        let channels = m.channels_for_gate(&Gate::Cx).unwrap();
+        assert_eq!(channels.len(), 2);
+        assert!(matches!(channels[0].0, NoiseChannel::Depolarizing { .. }));
+        assert!(!channels[0].1);
+        assert!(matches!(channels[1].0, NoiseChannel::Kraus(_)));
+        assert!(channels[1].1);
+    }
+
+    #[test]
+    fn scaled_model_interpolates() {
+        let m = DeviceNoiseModel::ibm_brisbane_like();
+        let half = m.scaled(0.5).unwrap();
+        assert!((half.two_qubit.error - m.two_qubit.error * 0.5).abs() < 1e-12);
+        assert!((half.t1_us - m.t1_us * 2.0).abs() < 1e-9);
+        let zero = m.scaled(0.0).unwrap();
+        assert!(zero.is_ideal());
+        assert!(m.scaled(-1.0).is_err());
+    }
+
+    #[test]
+    fn default_is_brisbane_like() {
+        assert_eq!(DeviceNoiseModel::default(), DeviceNoiseModel::ibm_brisbane_like());
+    }
+}

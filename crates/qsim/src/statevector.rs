@@ -1,0 +1,412 @@
+//! Pure-state (statevector) simulation.
+
+use crate::error::QsimError;
+use enq_circuit::{Instruction, QuantumCircuit};
+use enq_linalg::{C64, CMatrix, CVector};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A pure `n`-qubit quantum state with amplitudes stored little-endian
+/// (qubit 0 is the least significant bit of the basis index).
+///
+/// # Examples
+///
+/// ```
+/// use enq_circuit::QuantumCircuit;
+/// use enq_qsim::Statevector;
+///
+/// let mut qc = QuantumCircuit::new(2);
+/// qc.h(0).cx(0, 1);
+/// let state = Statevector::from_circuit(&qc)?;
+/// let probs = state.probabilities();
+/// assert!((probs[0] - 0.5).abs() < 1e-12);
+/// assert!((probs[3] - 0.5).abs() < 1e-12);
+/// # Ok::<(), enq_qsim::QsimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statevector {
+    num_qubits: usize,
+    amplitudes: Vec<C64>,
+}
+
+impl Statevector {
+    /// Creates the all-zeros state `|0…0⟩` on `num_qubits` qubits.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        let mut amplitudes = vec![C64::ZERO; 1 << num_qubits];
+        amplitudes[0] = C64::ONE;
+        Self {
+            num_qubits,
+            amplitudes,
+        }
+    }
+
+    /// Creates a state from explicit amplitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if the length is not a power
+    /// of two and [`QsimError::NotNormalized`] if the squared norm deviates
+    /// from 1 by more than `1e-8`.
+    pub fn from_amplitudes(amplitudes: Vec<C64>) -> Result<Self, QsimError> {
+        let len = amplitudes.len();
+        if len == 0 || len & (len - 1) != 0 {
+            return Err(QsimError::DimensionMismatch {
+                expected: len.next_power_of_two().max(2),
+                found: len,
+            });
+        }
+        let norm_sqr: f64 = amplitudes.iter().map(|a| a.norm_sqr()).sum();
+        if (norm_sqr - 1.0).abs() > 1e-8 {
+            return Err(QsimError::NotNormalized { norm_sqr });
+        }
+        Ok(Self {
+            num_qubits: len.trailing_zeros() as usize,
+            amplitudes,
+        })
+    }
+
+    /// Creates a state by normalising a real-valued amplitude vector, the form
+    /// used for amplitude embedding targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] for a non-power-of-two length
+    /// and [`QsimError::InvalidParameter`] for an all-zero vector.
+    pub fn from_real_normalized(values: &[f64]) -> Result<Self, QsimError> {
+        let len = values.len();
+        if len == 0 || len & (len - 1) != 0 {
+            return Err(QsimError::DimensionMismatch {
+                expected: len.next_power_of_two().max(2),
+                found: len,
+            });
+        }
+        let norm: f64 = values.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm <= 0.0 {
+            return Err(QsimError::InvalidParameter(
+                "cannot normalise an all-zero amplitude vector".to_string(),
+            ));
+        }
+        let amplitudes = values.iter().map(|&v| C64::real(v / norm)).collect();
+        Ok(Self {
+            num_qubits: len.trailing_zeros() as usize,
+            amplitudes,
+        })
+    }
+
+    /// Runs a fully bound circuit starting from `|0…0⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit still has unbound parameters.
+    pub fn from_circuit(circuit: &QuantumCircuit) -> Result<Self, QsimError> {
+        let mut state = Self::zero_state(circuit.num_qubits());
+        state.apply_circuit(circuit)?;
+        Ok(state)
+    }
+
+    /// Returns the number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Returns the dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// Returns the amplitudes as a slice.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amplitudes
+    }
+
+    /// Returns the amplitudes as a [`CVector`].
+    pub fn to_cvector(&self) -> CVector {
+        CVector::new(self.amplitudes.clone())
+    }
+
+    /// Returns the probability distribution over computational basis states.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Applies every instruction of a circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a gate has unbound parameters or acts outside the
+    /// register.
+    pub fn apply_circuit(&mut self, circuit: &QuantumCircuit) -> Result<(), QsimError> {
+        if circuit.num_qubits() != self.num_qubits {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.dim(),
+                found: 1 << circuit.num_qubits(),
+            });
+        }
+        for inst in circuit.iter() {
+            self.apply_instruction(inst)?;
+        }
+        Ok(())
+    }
+
+    /// Applies a single instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unbound parameters or invalid operands.
+    pub fn apply_instruction(&mut self, inst: &Instruction) -> Result<(), QsimError> {
+        let m = inst.gate.matrix()?;
+        self.apply_matrix(&m, &inst.qubits)
+    }
+
+    /// Applies a 1- or 2-qubit gate matrix to the given operand qubits
+    /// (little-endian operand convention, as in `enq-circuit`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if the matrix size does not
+    /// match the operand count or an operand is out of range.
+    pub fn apply_matrix(&mut self, m: &CMatrix, qubits: &[usize]) -> Result<(), QsimError> {
+        for &q in qubits {
+            if q >= self.num_qubits {
+                return Err(QsimError::DimensionMismatch {
+                    expected: self.num_qubits,
+                    found: q + 1,
+                });
+            }
+        }
+        match qubits.len() {
+            1 => {
+                if m.nrows() != 2 || m.ncols() != 2 {
+                    return Err(QsimError::DimensionMismatch {
+                        expected: 2,
+                        found: m.nrows(),
+                    });
+                }
+                apply_1q(&mut self.amplitudes, m, qubits[0]);
+                Ok(())
+            }
+            2 => {
+                if m.nrows() != 4 || m.ncols() != 4 {
+                    return Err(QsimError::DimensionMismatch {
+                        expected: 4,
+                        found: m.nrows(),
+                    });
+                }
+                apply_2q(&mut self.amplitudes, m, qubits[0], qubits[1]);
+                Ok(())
+            }
+            k => Err(QsimError::InvalidParameter(format!(
+                "unsupported gate arity {k}"
+            ))),
+        }
+    }
+
+    /// Returns the overlap fidelity `|⟨self|other⟩|²` with another pure state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if the dimensions differ.
+    pub fn fidelity(&self, other: &Statevector) -> Result<f64, QsimError> {
+        if self.dim() != other.dim() {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.dim(),
+                found: other.dim(),
+            });
+        }
+        let ip: C64 = self
+            .amplitudes
+            .iter()
+            .zip(other.amplitudes.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum();
+        Ok(ip.norm_sqr())
+    }
+
+    /// Returns the expectation value `⟨ψ|M|ψ⟩` of a full-dimension Hermitian
+    /// observable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if the matrix dimension does
+    /// not match the state.
+    pub fn expectation(&self, observable: &CMatrix) -> Result<f64, QsimError> {
+        if observable.nrows() != self.dim() || observable.ncols() != self.dim() {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.dim(),
+                found: observable.nrows(),
+            });
+        }
+        let v = self.to_cvector();
+        Ok(v.dot(&observable.matvec(&v))?.re)
+    }
+
+    /// Samples measurement outcomes in the computational basis.
+    ///
+    /// Returns a map from basis-state index to observed count.
+    pub fn sample_counts<R: Rng + ?Sized>(&self, shots: usize, rng: &mut R) -> BTreeMap<usize, usize> {
+        let probs = self.probabilities();
+        let mut counts = BTreeMap::new();
+        for _ in 0..shots {
+            let mut r: f64 = rng.gen();
+            let mut outcome = probs.len() - 1;
+            for (idx, &p) in probs.iter().enumerate() {
+                if r < p {
+                    outcome = idx;
+                    break;
+                }
+                r -= p;
+            }
+            *counts.entry(outcome).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+/// Applies a 2×2 matrix to qubit `q` of a statevector.
+pub(crate) fn apply_1q(state: &mut [C64], m: &CMatrix, q: usize) {
+    let dim = state.len();
+    let stride = 1usize << q;
+    let m00 = m[(0, 0)];
+    let m01 = m[(0, 1)];
+    let m10 = m[(1, 0)];
+    let m11 = m[(1, 1)];
+    let mut base = 0usize;
+    while base < dim {
+        for offset in 0..stride {
+            let i0 = base + offset;
+            let i1 = i0 + stride;
+            let a0 = state[i0];
+            let a1 = state[i1];
+            state[i0] = m00 * a0 + m01 * a1;
+            state[i1] = m10 * a0 + m11 * a1;
+        }
+        base += stride << 1;
+    }
+}
+
+/// Applies a 4×4 matrix to qubits `(qa, qb)` of a statevector, where `qa` is
+/// the least significant gate-local bit.
+pub(crate) fn apply_2q(state: &mut [C64], m: &CMatrix, qa: usize, qb: usize) {
+    let dim = state.len();
+    let mask_a = 1usize << qa;
+    let mask_b = 1usize << qb;
+    for i in 0..dim {
+        if i & mask_a != 0 || i & mask_b != 0 {
+            continue;
+        }
+        let idx = [i, i | mask_a, i | mask_b, i | mask_a | mask_b];
+        let old = [state[idx[0]], state[idx[1]], state[idx[2]], state[idx[3]]];
+        for (row, &out_idx) in idx.iter().enumerate() {
+            let mut acc = C64::ZERO;
+            for (col, &value) in old.iter().enumerate() {
+                let g = m[(row, col)];
+                if g != C64::ZERO {
+                    acc += g * value;
+                }
+            }
+            state[out_idx] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enq_circuit::Gate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_state_is_basis_zero() {
+        let s = Statevector::zero_state(3);
+        assert_eq!(s.dim(), 8);
+        assert!((s.probabilities()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_amplitudes_checks_norm_and_size() {
+        assert!(Statevector::from_amplitudes(vec![C64::ONE, C64::ZERO]).is_ok());
+        assert!(Statevector::from_amplitudes(vec![C64::ONE, C64::ONE]).is_err());
+        assert!(Statevector::from_amplitudes(vec![C64::ONE; 3]).is_err());
+    }
+
+    #[test]
+    fn from_real_normalized_normalises() {
+        let s = Statevector::from_real_normalized(&[3.0, 0.0, 0.0, 4.0]).unwrap();
+        assert!((s.amplitudes()[0].re - 0.6).abs() < 1e-12);
+        assert!((s.amplitudes()[3].re - 0.8).abs() < 1e-12);
+        assert!(Statevector::from_real_normalized(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn ghz_state_from_circuit() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).cx(0, 1).cx(1, 2);
+        let s = Statevector::from_circuit(&qc).unwrap();
+        let p = s.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[7] - 0.5).abs() < 1e-12);
+        assert!(p[1] < 1e-12);
+    }
+
+    #[test]
+    fn matches_circuit_reference_implementation() {
+        // Cross-check the optimised kernels against QuantumCircuit's own
+        // direct statevector evolution.
+        let mut qc = QuantumCircuit::new(4);
+        qc.h(0)
+            .cy(0, 2)
+            .rx(0.37, 1)
+            .cz(1, 3)
+            .ry(-1.2, 2)
+            .swap(0, 3)
+            .rz(0.9, 3)
+            .cx(3, 1);
+        let fast = Statevector::from_circuit(&qc).unwrap().to_cvector();
+        let reference = qc.statevector_from_zero().unwrap();
+        assert!(fast.approx_eq(&reference, 1e-10));
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let a = Statevector::zero_state(2);
+        let mut qc = QuantumCircuit::new(2);
+        qc.x(0);
+        let b = Statevector::from_circuit(&qc).unwrap();
+        assert!(a.fidelity(&b).unwrap() < 1e-15);
+        assert!((a.fidelity(&a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_of_pauli_z() {
+        let s = Statevector::zero_state(1);
+        let z = Gate::Z.matrix().unwrap();
+        assert!((s.expectation(&z).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0);
+        let s = Statevector::from_circuit(&qc).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let counts = s.sample_counts(4000, &mut rng);
+        let zeros = *counts.get(&0).unwrap_or(&0) as f64;
+        assert!((zeros / 4000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn state_circuit_size_mismatch_errors() {
+        let mut s = Statevector::zero_state(2);
+        let qc = QuantumCircuit::new(3);
+        assert!(s.apply_circuit(&qc).is_err());
+    }
+
+    #[test]
+    fn apply_matrix_validates_dimensions() {
+        let mut s = Statevector::zero_state(2);
+        let bad = CMatrix::identity(4);
+        assert!(s.apply_matrix(&bad, &[0]).is_err());
+        assert!(s.apply_matrix(&CMatrix::identity(2), &[5]).is_err());
+    }
+}

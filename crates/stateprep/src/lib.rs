@@ -1,0 +1,33 @@
+//! # enq-stateprep
+//!
+//! Exact amplitude embedding (the paper's **Baseline**): state preparation of
+//! a real-valued, normalised amplitude vector via uniformly-controlled
+//! (multiplexed) `Ry` rotations, the same construction family behind qiskit's
+//! `StatePreparation` / isometry synthesis (Möttönen et al.; Iten et al.).
+//!
+//! The resulting circuits are data dependent — rotations whose angle is zero
+//! are elided — which is exactly the source of the per-sample depth and gate
+//! count variability the paper attributes to the Baseline.
+//!
+//! ## Example
+//!
+//! ```
+//! use enq_stateprep::exact_amplitude_embedding;
+//!
+//! // Prepare a 3-qubit state proportional to (1, 2, 3, 4, 5, 6, 7, 8).
+//! let values: Vec<f64> = (1..=8).map(f64::from).collect();
+//! let circuit = exact_amplitude_embedding(&values)?;
+//! assert_eq!(circuit.num_qubits(), 3);
+//! # Ok::<(), enq_stateprep::StatePrepError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod multiplexor;
+mod prepare;
+
+pub use multiplexor::{append_multiplexed_ry, append_multiplexed_ry_with_tolerance};
+pub use prepare::{
+    exact_amplitude_embedding, exact_amplitude_embedding_with_tolerance, rotation_tree_angles,
+    StatePrepError,
+};

@@ -1,0 +1,221 @@
+//! Uniformly-controlled (multiplexed) `Ry` rotations.
+
+use enq_circuit::QuantumCircuit;
+
+/// Default threshold under which a rotation angle is treated as zero and
+/// elided, making the emitted circuit data dependent (as in qiskit's state
+/// preparation).
+pub(crate) const ANGLE_EPS: f64 = 1e-12;
+
+/// Appends a uniformly-controlled `Ry` rotation, eliding individual rotations
+/// whose transformed angle falls below `tolerance`.
+///
+/// The Walsh-transformed angles of smooth (PCA-like) amplitude vectors decay
+/// quickly, so a synthesis tolerance on the order of the hardware's rotation
+/// resolution drops a data-dependent number of gates — this is the source of
+/// the Baseline's per-sample gate-count and depth variability in the paper.
+///
+/// # Panics
+///
+/// Panics if `angles.len() != 2^controls.len()` or any qubit is out of range.
+pub fn append_multiplexed_ry_with_tolerance(
+    circuit: &mut QuantumCircuit,
+    target: usize,
+    controls: &[usize],
+    angles: &[f64],
+    tolerance: f64,
+) {
+    emit(circuit, target, controls, angles, tolerance.max(ANGLE_EPS));
+}
+
+/// Appends a uniformly-controlled `Ry` rotation to `circuit`.
+///
+/// For every computational-basis pattern `j` of the `controls` (with
+/// `controls[b]` supplying bit `b` of `j`), the target qubit is rotated by
+/// `Ry(angles[j])`. The decomposition is the Gray-code construction of
+/// Möttönen et al.: the angles are mapped through the Walsh–Hadamard-like
+/// transform `t_i = 2^{-k} Σ_j (−1)^{⟨j, gray(i)⟩} α_j` and emitted as an
+/// alternating sequence of `Ry(t_i)` and `CX` gates whose control follows the
+/// bit that changes in the Gray code, costing at most `2^k` `CX` and `2^k`
+/// `Ry` gates for `k` controls. Multiplexors whose angles are all
+/// (numerically) zero are elided entirely, and individual zero rotations are
+/// skipped, making the emitted circuit data dependent.
+///
+/// # Panics
+///
+/// Panics if `angles.len() != 2^controls.len()` or any qubit is out of range
+/// (the circuit builder validates operands).
+///
+/// # Examples
+///
+/// ```
+/// use enq_circuit::QuantumCircuit;
+/// use enq_stateprep::append_multiplexed_ry;
+///
+/// let mut qc = QuantumCircuit::new(2);
+/// append_multiplexed_ry(&mut qc, 1, &[0], &[0.3, 1.2]);
+/// assert!(qc.len() > 0);
+/// ```
+pub fn append_multiplexed_ry(
+    circuit: &mut QuantumCircuit,
+    target: usize,
+    controls: &[usize],
+    angles: &[f64],
+) {
+    emit(circuit, target, controls, angles, ANGLE_EPS);
+}
+
+fn emit(
+    circuit: &mut QuantumCircuit,
+    target: usize,
+    controls: &[usize],
+    angles: &[f64],
+    tolerance: f64,
+) {
+    let k = controls.len();
+    assert_eq!(
+        angles.len(),
+        1usize << k,
+        "multiplexed Ry needs 2^k angles for k controls"
+    );
+    if angles.iter().all(|a| a.abs() < tolerance) {
+        return;
+    }
+    if k == 0 {
+        circuit.ry(angles[0], target);
+        return;
+    }
+    let size = 1usize << k;
+    let gray = |i: usize| i ^ (i >> 1);
+    // Transformed rotation angles.
+    let mut transformed = vec![0.0f64; size];
+    for (i, t) in transformed.iter_mut().enumerate() {
+        let g = gray(i);
+        let mut acc = 0.0;
+        for (j, &a) in angles.iter().enumerate() {
+            let sign = if (j & g).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            acc += sign * a;
+        }
+        *t = acc / size as f64;
+    }
+    for (i, &t) in transformed.iter().enumerate() {
+        if t.abs() >= tolerance {
+            circuit.ry(t, target);
+        }
+        // The CX control follows the bit that flips between consecutive Gray
+        // codes (wrapping around at the end).
+        let changed = gray(i) ^ gray((i + 1) % size);
+        let bit = changed.trailing_zeros() as usize;
+        circuit.cx(controls[bit], target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enq_circuit::Gate;
+    use enq_qsim::Statevector;
+    use std::f64::consts::PI;
+
+    /// Builds the expected statevector by applying Ry(angles[pattern]) to the
+    /// target conditioned on the control pattern, starting from a uniform
+    /// superposition of the controls.
+    fn reference_action(target: usize, controls: &[usize], angles: &[f64], n: usize) -> Statevector {
+        // Start with H on all controls so every pattern is populated, then
+        // apply the controlled rotations by direct state manipulation.
+        let mut prep = QuantumCircuit::new(n);
+        for &c in controls {
+            prep.h(c);
+        }
+        let base = Statevector::from_circuit(&prep).unwrap();
+        let mut amps = base.amplitudes().to_vec();
+        let dim = amps.len();
+        // For each basis index with target bit 0, rotate the (i, i|target) pair.
+        for i in 0..dim {
+            if (i >> target) & 1 == 1 {
+                continue;
+            }
+            let mut pattern = 0usize;
+            for (b, &c) in controls.iter().enumerate() {
+                pattern |= ((i >> c) & 1) << b;
+            }
+            let theta = angles[pattern];
+            let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+            let j = i | (1 << target);
+            let a0 = amps[i];
+            let a1 = amps[j];
+            amps[i] = a0 * c - a1 * s;
+            amps[j] = a0 * s + a1 * c;
+        }
+        Statevector::from_amplitudes(amps).unwrap()
+    }
+
+    fn check_multiplexor(target: usize, controls: &[usize], angles: &[f64], n: usize) {
+        let mut qc = QuantumCircuit::new(n);
+        for &c in controls {
+            qc.h(c);
+        }
+        append_multiplexed_ry(&mut qc, target, controls, angles);
+        let got = Statevector::from_circuit(&qc).unwrap();
+        let expected = reference_action(target, controls, angles, n);
+        let f = got.fidelity(&expected).unwrap();
+        assert!(
+            (f - 1.0).abs() < 1e-9,
+            "multiplexor mismatch: fidelity {f} for {controls:?} angles {angles:?}"
+        );
+    }
+
+    #[test]
+    fn no_controls_is_plain_ry() {
+        let mut qc = QuantumCircuit::new(1);
+        append_multiplexed_ry(&mut qc, 0, &[], &[0.7]);
+        assert_eq!(qc.len(), 1);
+        assert!(matches!(qc.instructions()[0].gate, Gate::Ry(_)));
+    }
+
+    #[test]
+    fn single_control_both_branches() {
+        check_multiplexor(1, &[0], &[0.4, 1.9], 2);
+        check_multiplexor(0, &[1], &[-1.1, 0.6], 2);
+    }
+
+    #[test]
+    fn two_controls_all_patterns() {
+        check_multiplexor(2, &[0, 1], &[0.3, -0.8, 1.4, 2.2], 3);
+    }
+
+    #[test]
+    fn three_controls() {
+        let angles: Vec<f64> = (0..8).map(|i| 0.1 * i as f64 - 0.3).collect();
+        check_multiplexor(3, &[0, 1, 2], &angles, 4);
+    }
+
+    #[test]
+    fn zero_angles_emit_nothing() {
+        let mut qc = QuantumCircuit::new(3);
+        append_multiplexed_ry(&mut qc, 2, &[0, 1], &[0.0; 4]);
+        assert!(qc.is_empty());
+    }
+
+    #[test]
+    fn gate_count_is_bounded_by_2k_each() {
+        let angles: Vec<f64> = (0..16).map(|i| 0.05 * (i + 1) as f64).collect();
+        let mut qc = QuantumCircuit::new(5);
+        append_multiplexed_ry(&mut qc, 4, &[0, 1, 2, 3], &angles);
+        let cx = qc.count_filtered(|i| matches!(i.gate, Gate::Cx));
+        let ry = qc.count_filtered(|i| matches!(i.gate, Gate::Ry(_)));
+        assert!(cx <= 16);
+        assert!(ry <= 16);
+    }
+
+    #[test]
+    fn pi_rotation_flips_conditioned_branch() {
+        // angles = [0, π]: when control is 1 the target flips (up to sign).
+        let mut qc = QuantumCircuit::new(2);
+        qc.x(0);
+        append_multiplexed_ry(&mut qc, 1, &[0], &[0.0, PI]);
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        let probs = sv.probabilities();
+        assert!((probs[3] - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,95 @@
+//! Embedding an image-classification dataset: the scenario that motivates the
+//! paper. Generates the MNIST surrogate, runs the PCA + normalisation
+//! pipeline, trains one EnQode model per class, and reports per-class cluster
+//! counts, embedding fidelity, and circuit cost against the Baseline.
+//!
+//! ```text
+//! cargo run --release -p enqode --example image_classes_embedding
+//! ```
+
+use enq_circuit::{Topology, Transpiler};
+use enq_data::{generate_synthetic, DatasetKind, SyntheticConfig};
+use enqode::{
+    AnsatzConfig, BaselineEmbedder, EnqodeConfig, EnqodePipeline, EnqodeError, EntanglerKind,
+};
+
+fn main() -> Result<(), EnqodeError> {
+    // A reduced-size MNIST surrogate: 3 classes × 40 images (the full-scale
+    // figures use the `reproduce` binary in `enq-bench`).
+    let dataset = generate_synthetic(
+        DatasetKind::MnistLike,
+        &SyntheticConfig {
+            classes: 3,
+            samples_per_class: 40,
+            seed: 17,
+        },
+    )?;
+    println!(
+        "dataset: {} samples of dimension {} in {} classes",
+        dataset.len(),
+        dataset.feature_dim(),
+        dataset.classes().len()
+    );
+
+    // 6 qubits → 64 PCA features keeps the example fast; the paper uses 8.
+    let config = EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: 6,
+            num_layers: 8,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.95,
+        max_clusters: 16,
+        ..Default::default()
+    };
+    let pipeline = EnqodePipeline::build(&dataset, config)?;
+    println!(
+        "offline training: {} clusters total in {:.2} s",
+        pipeline.total_clusters(),
+        pipeline.offline_duration().as_secs_f64()
+    );
+
+    let transpiler = Transpiler::new(Topology::ibm_brisbane_like());
+    let baseline = BaselineEmbedder::new(6);
+
+    for class_model in pipeline.class_models() {
+        let label = class_model.label;
+        let model = &class_model.model;
+        println!(
+            "class {label}: {} clusters, cluster fidelities {:?}",
+            model.num_clusters(),
+            model
+                .clusters()
+                .iter()
+                .map(|c| (c.fidelity * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
+        );
+
+        // Embed the first few samples of this class and report fidelity and
+        // circuit cost.
+        let indices = dataset.indices_of_class(label);
+        let mut fidelity_sum = 0.0;
+        let mut count = 0.0;
+        for &i in indices.iter().take(5) {
+            let embedding = pipeline.embed_with_class(dataset.sample(i), label)?;
+            fidelity_sum += embedding.ideal_fidelity;
+            count += 1.0;
+        }
+        let example_sample = pipeline.extract_features(dataset.sample(indices[0]))?;
+        let enqode_metrics = transpiler
+            .transpile(&pipeline.embed_with_class(dataset.sample(indices[0]), label)?.circuit)?
+            .metrics;
+        let baseline_metrics = transpiler
+            .transpile(&baseline.embed(&example_sample)?.circuit)?
+            .metrics;
+        println!(
+            "  mean embedding fidelity {:.4} | enqode depth {} vs baseline depth {} | enqode 2q {} vs baseline 2q {}",
+            fidelity_sum / count,
+            enqode_metrics.depth,
+            baseline_metrics.depth,
+            enqode_metrics.two_qubit_gates,
+            baseline_metrics.two_qubit_gates
+        );
+    }
+    Ok(())
+}

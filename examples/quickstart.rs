@@ -1,0 +1,73 @@
+//! Quickstart: train an EnQode model on a handful of feature vectors and
+//! embed a new sample.
+//!
+//! ```text
+//! cargo run --release -p enqode --example quickstart
+//! ```
+
+use enq_circuit::{Topology, Transpiler};
+use enqode::{AnsatzConfig, BaselineEmbedder, EnqodeConfig, EnqodeModel, EnqodeError};
+
+fn main() -> Result<(), EnqodeError> {
+    // Sixteen-dimensional feature vectors (4 qubits), e.g. the output of a
+    // PCA pipeline. Two loose groups of similar samples.
+    let samples: Vec<Vec<f64>> = (0..10)
+        .map(|s| {
+            let group = if s % 2 == 0 { 0.0 } else { 1.0 };
+            (0..16)
+                .map(|i| {
+                    let phase = i as f64 * (0.35 + 0.25 * group) + s as f64 * 0.02;
+                    0.55 + 0.4 * phase.sin()
+                })
+                .collect()
+        })
+        .collect();
+
+    // Train EnQode: cluster the samples and optimise the fixed-shape ansatz
+    // for each cluster mean ("offline" phase).
+    let config = EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: 4,
+            num_layers: 8,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let model = EnqodeModel::fit(&samples, config)?;
+    println!(
+        "trained {} cluster(s) in {:.3} s",
+        model.num_clusters(),
+        model.offline_duration().as_secs_f64()
+    );
+    for (i, cluster) in model.clusters().iter().enumerate() {
+        println!("  cluster {i}: ideal fidelity {:.4}", cluster.fidelity);
+    }
+
+    // Embed a new sample ("online" phase, transfer learning from the nearest
+    // cluster).
+    let new_sample: Vec<f64> = (0..16)
+        .map(|i| 0.55 + 0.4 * ((i as f64) * 0.36 + 0.01).sin())
+        .collect();
+    let embedding = model.embed(&new_sample)?;
+    println!(
+        "embedded new sample: cluster {}, ideal fidelity {:.4}, {} optimiser iterations, {:.3} ms",
+        embedding.cluster_index,
+        embedding.ideal_fidelity,
+        embedding.iterations,
+        embedding.duration.as_secs_f64() * 1e3
+    );
+
+    // Compare the hardware cost against exact amplitude embedding.
+    let transpiler = Transpiler::new(Topology::ibm_brisbane_like());
+    let enqode_metrics = transpiler.transpile(&embedding.circuit)?.metrics;
+    let baseline_circuit = BaselineEmbedder::new(4).embed(&new_sample)?.circuit;
+    let baseline_metrics = transpiler.transpile(&baseline_circuit)?.metrics;
+    println!("enqode circuit:   {enqode_metrics}");
+    println!("baseline circuit: {baseline_metrics}");
+    println!(
+        "depth reduction: {:.1}x, two-qubit gate reduction: {:.1}x",
+        baseline_metrics.depth as f64 / enqode_metrics.depth as f64,
+        baseline_metrics.two_qubit_gates as f64 / enqode_metrics.two_qubit_gates as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,156 @@
+//! Integration test for the paper's circuit-cost claims (Figures 6 and 7):
+//! EnQode's transpiled circuits are much shallower than the Baseline's, use
+//! fewer one- and two-qubit physical gates, and have zero variability across
+//! samples, while the Baseline varies with the data.
+
+use enq_circuit::{CircuitMetrics, Topology, Transpiler};
+use enqode::{AnsatzConfig, BaselineEmbedder, EnqodeConfig, EnqodeModel, EntanglerKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NUM_QUBITS: usize = 5;
+
+fn feature_samples(count: usize, seed: u64) -> Vec<Vec<f64>> {
+    // Dense, smoothly varying vectors reminiscent of PCA features.
+    let dim = 1usize << NUM_QUBITS;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|s| {
+            (0..dim)
+                .map(|i| {
+                    let base = ((i as f64) * 0.41 + s as f64 * 0.7).sin() * 0.5 + 0.6;
+                    base + rng.gen_range(-0.08..0.08)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn transpiled_metrics(transpiler: &Transpiler, circuit: &enq_circuit::QuantumCircuit) -> CircuitMetrics {
+    transpiler
+        .transpile(circuit)
+        .expect("transpilation succeeds")
+        .metrics
+}
+
+#[test]
+fn enqode_circuits_are_shallower_and_fixed_shape() {
+    let samples = feature_samples(6, 11);
+    let config = EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: NUM_QUBITS,
+            num_layers: 8,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.85,
+        max_clusters: 4,
+        offline_max_iterations: 100,
+        offline_restarts: 2,
+        online_max_iterations: 25,
+        seed: 2,
+    };
+    let model = EnqodeModel::fit(&samples, config).expect("training succeeds");
+    let baseline = BaselineEmbedder::new(NUM_QUBITS);
+    let transpiler = Transpiler::new(Topology::linear(NUM_QUBITS));
+
+    let mut baseline_depths = Vec::new();
+    let mut baseline_two_qubit = Vec::new();
+    let mut enqode_depths = Vec::new();
+    let mut enqode_two_qubit = Vec::new();
+    let mut enqode_one_qubit = Vec::new();
+    let mut baseline_one_qubit = Vec::new();
+
+    for sample in &samples {
+        let b = transpiled_metrics(&transpiler, &baseline.embed(sample).unwrap().circuit);
+        baseline_depths.push(b.depth);
+        baseline_two_qubit.push(b.two_qubit_gates);
+        baseline_one_qubit.push(b.one_qubit_gates);
+
+        let e = transpiled_metrics(&transpiler, &model.embed(sample).unwrap().circuit);
+        enqode_depths.push(e.depth);
+        enqode_two_qubit.push(e.two_qubit_gates);
+        enqode_one_qubit.push(e.one_qubit_gates);
+    }
+
+    // EnQode: identical metrics for every sample (fixed ansatz).
+    assert!(enqode_depths.windows(2).all(|w| w[0] == w[1]));
+    assert!(enqode_two_qubit.windows(2).all(|w| w[0] == w[1]));
+    assert!(enqode_one_qubit.windows(2).all(|w| w[0] == w[1]));
+
+    // Baseline is much deeper and heavier on average.
+    let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;
+    let depth_ratio = mean(&baseline_depths) / mean(&enqode_depths);
+    let two_qubit_ratio = mean(&baseline_two_qubit) / mean(&enqode_two_qubit);
+    let one_qubit_ratio = mean(&baseline_one_qubit) / mean(&enqode_one_qubit).max(1.0);
+    assert!(
+        depth_ratio > 2.0,
+        "expected a clear depth reduction, got {depth_ratio:.2}x"
+    );
+    assert!(
+        two_qubit_ratio > 1.5,
+        "expected a clear 2q-gate reduction, got {two_qubit_ratio:.2}x"
+    );
+    assert!(
+        one_qubit_ratio > 1.0,
+        "expected a 1q-gate reduction, got {one_qubit_ratio:.2}x"
+    );
+}
+
+#[test]
+fn baseline_metrics_vary_with_the_data() {
+    let transpiler = Transpiler::new(Topology::linear(NUM_QUBITS));
+    let baseline = BaselineEmbedder::new(NUM_QUBITS);
+
+    // A dense sample and a very sparse sample produce different circuit sizes.
+    let dense = feature_samples(1, 3).remove(0);
+    let mut sparse = vec![0.0; 1 << NUM_QUBITS];
+    sparse[1] = 1.0;
+    sparse[2] = 0.2;
+
+    let dense_metrics = transpiled_metrics(&transpiler, &baseline.embed(&dense).unwrap().circuit);
+    let sparse_metrics = transpiled_metrics(&transpiler, &baseline.embed(&sparse).unwrap().circuit);
+    assert!(
+        dense_metrics.total_gates > sparse_metrics.total_gates,
+        "dense {} vs sparse {}",
+        dense_metrics.total_gates,
+        sparse_metrics.total_gates
+    );
+    assert!(dense_metrics.depth > sparse_metrics.depth);
+}
+
+#[test]
+fn baseline_remains_exact_while_enqode_approximates() {
+    let samples = feature_samples(3, 17);
+    let config = EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: NUM_QUBITS,
+            num_layers: 8,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.85,
+        max_clusters: 3,
+        offline_max_iterations: 100,
+        offline_restarts: 2,
+        online_max_iterations: 25,
+        seed: 5,
+    };
+    let model = EnqodeModel::fit(&samples, config).expect("training succeeds");
+    let baseline = BaselineEmbedder::new(NUM_QUBITS);
+
+    for sample in &samples {
+        let target = enqode::target_state(sample).unwrap();
+        let b_state = enq_qsim::Statevector::from_circuit(&baseline.embed(sample).unwrap().circuit)
+            .unwrap()
+            .to_cvector();
+        assert!((b_state.overlap_fidelity(&target).unwrap() - 1.0).abs() < 1e-4);
+
+        let embedding = model.embed(sample).unwrap();
+        let e_state = enq_qsim::Statevector::from_circuit(&embedding.circuit)
+            .unwrap()
+            .to_cvector();
+        let fidelity = e_state.overlap_fidelity(&target).unwrap();
+        assert!(fidelity > 0.7, "enqode fidelity {fidelity}");
+        assert!(fidelity < 1.0 - 1e-6, "enqode should be approximate");
+        assert!((fidelity - embedding.ideal_fidelity).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end integration test: synthetic dataset → PCA features → per-class
+//! EnQode models → online embedding, exercising every crate of the workspace
+//! through the public API.
+
+use enq_data::{generate_synthetic, DatasetKind, SyntheticConfig};
+use enqode::{AnsatzConfig, EnqodeConfig, EnqodePipeline, EntanglerKind};
+
+fn test_config(num_qubits: usize) -> EnqodeConfig {
+    EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits,
+            num_layers: 8,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.9,
+        max_clusters: 6,
+        offline_max_iterations: 120,
+        offline_restarts: 2,
+        online_max_iterations: 30,
+        seed: 5,
+    }
+}
+
+#[test]
+fn full_pipeline_trains_and_embeds_every_dataset_kind() {
+    for kind in DatasetKind::all() {
+        let dataset = generate_synthetic(
+            kind,
+            &SyntheticConfig {
+                classes: 2,
+                samples_per_class: 10,
+                seed: 13,
+            },
+        )
+        .expect("synthetic generation succeeds");
+        let pipeline =
+            EnqodePipeline::build(&dataset, test_config(4)).expect("pipeline training succeeds");
+
+        assert_eq!(pipeline.class_models().len(), 2, "{kind}: one model per class");
+        assert!(pipeline.total_clusters() >= 2);
+
+        // Every trained cluster reaches a reasonable fidelity for its mean.
+        for class_model in pipeline.class_models() {
+            for cluster in class_model.model.clusters() {
+                assert!(
+                    cluster.fidelity > 0.7,
+                    "{kind}: cluster fidelity {} too low",
+                    cluster.fidelity
+                );
+            }
+        }
+
+        // Embedding a training sample stays close to its own state.
+        let label = dataset.labels()[0];
+        let embedding = pipeline
+            .embed_with_class(dataset.sample(0), label)
+            .expect("embedding succeeds");
+        assert!(
+            embedding.ideal_fidelity > 0.75,
+            "{kind}: sample fidelity {}",
+            embedding.ideal_fidelity
+        );
+        assert_eq!(embedding.circuit.num_qubits(), 4);
+        assert!(!embedding.circuit.is_parameterized());
+    }
+}
+
+#[test]
+fn embeddings_share_a_fixed_circuit_shape() {
+    let dataset = generate_synthetic(
+        DatasetKind::MnistLike,
+        &SyntheticConfig {
+            classes: 2,
+            samples_per_class: 8,
+            seed: 3,
+        },
+    )
+    .expect("synthetic generation succeeds");
+    let pipeline = EnqodePipeline::build(&dataset, test_config(4)).expect("training succeeds");
+
+    let mut shapes = Vec::new();
+    for i in 0..4 {
+        let label = dataset.labels()[i];
+        let embedding = pipeline
+            .embed_with_class(dataset.sample(i), label)
+            .expect("embedding succeeds");
+        shapes.push((embedding.circuit.len(), embedding.circuit.depth()));
+    }
+    assert!(
+        shapes.windows(2).all(|w| w[0] == w[1]),
+        "all EnQode circuits must have identical shape, got {shapes:?}"
+    );
+}
+
+#[test]
+fn label_free_inference_matches_nearest_class() {
+    let dataset = generate_synthetic(
+        DatasetKind::FashionMnistLike,
+        &SyntheticConfig {
+            classes: 2,
+            samples_per_class: 10,
+            seed: 29,
+        },
+    )
+    .expect("synthetic generation succeeds");
+    let pipeline = EnqodePipeline::build(&dataset, test_config(4)).expect("training succeeds");
+
+    // For a strong majority of training samples, label-free inference should
+    // route the sample to its own class (the synthetic classes are well
+    // separated).
+    let mut correct = 0usize;
+    let total = dataset.len();
+    for i in 0..total {
+        let (label, _) = pipeline.embed(dataset.sample(i)).expect("embedding succeeds");
+        if label == dataset.labels()[i] {
+            correct += 1;
+        }
+    }
+    assert!(
+        correct * 2 > total,
+        "nearest-cluster routing matched only {correct}/{total} samples"
+    );
+}

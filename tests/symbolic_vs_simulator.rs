@@ -1,0 +1,116 @@
+//! Integration test for the symbolic representation (Eq. 6): the closed-form
+//! amplitudes and fidelities must agree with full statevector simulation of
+//! the bound ansatz circuit — including after routing and native-basis
+//! transpilation.
+
+use enq_circuit::{Topology, Transpiler};
+use enq_qsim::Statevector;
+use enqode::{target_state, AnsatzConfig, EntanglerKind, FidelityObjective, SymbolicState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_theta(config: &AnsatzConfig, rng: &mut StdRng) -> Vec<f64> {
+    (0..config.num_parameters())
+        .map(|_| rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI))
+        .collect()
+}
+
+#[test]
+fn symbolic_amplitudes_match_simulation_for_all_entanglers() {
+    let mut rng = StdRng::seed_from_u64(71);
+    for entangler in [EntanglerKind::Cy, EntanglerKind::Cx, EntanglerKind::Cz] {
+        for num_qubits in [2usize, 3, 5] {
+            let config = AnsatzConfig {
+                num_qubits,
+                num_layers: 4,
+                entangler,
+            };
+            let symbolic = SymbolicState::from_ansatz(&config).unwrap();
+            let theta = random_theta(&config, &mut rng);
+            let closed = config
+                .closing_rotation()
+                .matvec(&symbolic.amplitudes(&theta).unwrap());
+            let simulated = Statevector::from_circuit(&config.build_bound(&theta).unwrap())
+                .unwrap()
+                .to_cvector();
+            assert!(
+                closed.approx_eq_up_to_phase(&simulated, 1e-9),
+                "symbolic/simulator mismatch for {entangler:?} on {num_qubits} qubits"
+            );
+        }
+    }
+}
+
+#[test]
+fn symbolic_fidelity_matches_transpiled_circuit_fidelity() {
+    // The fidelity the loss reports must survive routing + basis translation
+    // (they are exact circuit identities up to global phase).
+    let mut rng = StdRng::seed_from_u64(5);
+    let config = AnsatzConfig {
+        num_qubits: 4,
+        num_layers: 6,
+        entangler: EntanglerKind::Cy,
+    };
+    let transpiler = Transpiler::new(Topology::linear(4));
+    for _ in 0..3 {
+        let target: Vec<f64> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let objective = FidelityObjective::new(&config, &target).unwrap();
+        let theta = random_theta(&config, &mut rng);
+        let symbolic_fidelity = objective.fidelity(&theta);
+
+        let circuit = config.build_bound(&theta).unwrap();
+        let transpiled = transpiler.transpile(&circuit).unwrap();
+        // The linear-section layout on a matching linear topology is the
+        // identity, so no qubit permutation is needed.
+        assert_eq!(transpiled.swap_count, 0);
+        let out = Statevector::from_circuit(&transpiled.circuit)
+            .unwrap()
+            .to_cvector();
+        let circuit_fidelity = out
+            .overlap_fidelity(&target_state(&target).unwrap())
+            .unwrap();
+        assert!(
+            (symbolic_fidelity - circuit_fidelity).abs() < 1e-7,
+            "symbolic {symbolic_fidelity} vs transpiled-circuit {circuit_fidelity}"
+        );
+    }
+}
+
+#[test]
+fn symbolic_gradient_descends_the_true_circuit_loss() {
+    // Take one gradient step computed symbolically and confirm the actual
+    // circuit fidelity improves — the property EnQode's training relies on.
+    let config = AnsatzConfig {
+        num_qubits: 3,
+        num_layers: 6,
+        entangler: EntanglerKind::Cy,
+    };
+    let mut rng = StdRng::seed_from_u64(9);
+    let target: Vec<f64> = (0..8).map(|_| rng.gen_range(0.1..1.0)).collect();
+    let objective = FidelityObjective::new(&config, &target).unwrap();
+    let theta = random_theta(&config, &mut rng);
+
+    let circuit_fidelity = |t: &[f64]| -> f64 {
+        let out = Statevector::from_circuit(&config.build_bound(t).unwrap()).unwrap();
+        out.to_cvector()
+            .overlap_fidelity(&target_state(&target).unwrap())
+            .unwrap()
+    };
+
+    use enq_optim::Objective;
+    let (value, gradient) = objective.value_and_gradient(&theta);
+    let before = circuit_fidelity(&theta);
+    assert!((1.0 - value - before).abs() < 1e-8);
+
+    let step = 0.05;
+    let stepped: Vec<f64> = theta
+        .iter()
+        .zip(gradient.iter())
+        .map(|(t, g)| t - step * g)
+        .collect();
+    let after = circuit_fidelity(&stepped);
+    assert!(
+        after >= before - 1e-9,
+        "a small symbolic gradient step must not reduce the circuit fidelity ({before} → {after})"
+    );
+}
