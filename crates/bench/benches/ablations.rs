@@ -26,7 +26,9 @@ fn bench_ablations(c: &mut Criterion) {
     let start = vec![0.1; objective.dimension()];
 
     let mut group = c.benchmark_group("ablations");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     // The symbolic representation replaces repeated statevector simulation:
     // compare one loss+gradient evaluation against one full circuit
     // simulation.

@@ -31,7 +31,9 @@ fn bench_fig6(c: &mut Criterion) {
     eprintln!("fig6 sample metrics — baseline: {baseline_metrics}; enqode: {enqode_metrics}");
 
     let mut group = c.benchmark_group("fig6_depth_gates");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("baseline_synthesize_and_transpile", |b| {
         b.iter(|| {
             let circuit = ctx.baseline.embed(black_box(&sample)).unwrap().circuit;
@@ -40,7 +42,11 @@ fn bench_fig6(c: &mut Criterion) {
     });
     group.bench_function("enqode_embed_and_transpile", |b| {
         b.iter(|| {
-            let circuit = ctx.model_for(label).embed(black_box(&sample)).unwrap().circuit;
+            let circuit = ctx
+                .model_for(label)
+                .embed(black_box(&sample))
+                .unwrap()
+                .circuit;
             black_box(ctx.transpiler.transpile(&circuit).unwrap().metrics)
         })
     });

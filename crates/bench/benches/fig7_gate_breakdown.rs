@@ -28,7 +28,9 @@ fn bench_fig7(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("fig7_gate_breakdown");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("baseline_basis_translation", |b| {
         b.iter(|| black_box(translate_to_native(black_box(&baseline_circuit)).unwrap()))
     });

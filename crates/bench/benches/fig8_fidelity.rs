@@ -38,7 +38,9 @@ fn bench_fig8(c: &mut Criterion) {
     eprintln!("fig8 sanity — baseline ideal fidelity on this sample: {ideal_baseline:.4}");
 
     let mut group = c.benchmark_group("fig8_fidelity");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("ideal_simulation_baseline", |b| {
         b.iter(|| black_box(Statevector::from_circuit(black_box(&baseline)).unwrap()))
     });

@@ -22,7 +22,9 @@ fn bench_fig9(c: &mut Criterion) {
     let centroid = model.clusters()[0].centroid.clone();
 
     let mut group = c.benchmark_group("fig9_compile_time");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("baseline_online_compile", |b| {
         b.iter(|| {
             let circuit = ctx.baseline.embed(black_box(&sample)).unwrap().circuit;

@@ -9,7 +9,9 @@ use crate::context::DatasetContext;
 use crate::experiment::ExperimentConfig;
 use crate::report::markdown_table;
 use enq_optim::{Adam, GradientDescent, Lbfgs, NelderMead, Objective, Optimizer};
-use enqode::{AnsatzConfig, EnqodeConfig, EnqodeError, EnqodeModel, EntanglerKind, FidelityObjective};
+use enqode::{
+    AnsatzConfig, EnqodeConfig, EnqodeError, EnqodeModel, EntanglerKind, FidelityObjective,
+};
 use std::fmt;
 
 /// Fidelity achieved for each entangler choice.
@@ -68,7 +70,11 @@ impl fmt::Display for AblationResult {
             .iter()
             .map(|(name, fid)| vec![name.clone(), format!("{fid:.4}")])
             .collect();
-        writeln!(f, "{}", markdown_table(&["entangler", "mean ideal fidelity"], &rows))?;
+        writeln!(
+            f,
+            "{}",
+            markdown_table(&["entangler", "mean ideal fidelity"], &rows)
+        )?;
 
         writeln!(f, "== Ablation: ansatz layers ==")?;
         let rows: Vec<Vec<String>> = self
@@ -77,7 +83,11 @@ impl fmt::Display for AblationResult {
             .iter()
             .map(|(l, fid)| vec![l.to_string(), format!("{fid:.4}")])
             .collect();
-        writeln!(f, "{}", markdown_table(&["layers", "mean ideal fidelity"], &rows))?;
+        writeln!(
+            f,
+            "{}",
+            markdown_table(&["layers", "mean ideal fidelity"], &rows)
+        )?;
 
         writeln!(f, "== Ablation: optimiser (single cluster mean) ==")?;
         let rows: Vec<Vec<String>> = self
@@ -92,7 +102,10 @@ impl fmt::Display for AblationResult {
             markdown_table(&["optimiser", "fidelity", "objective evaluations"], &rows)
         )?;
 
-        writeln!(f, "== Ablation: transfer learning vs cold start (online) ==")?;
+        writeln!(
+            f,
+            "== Ablation: transfer learning vs cold start (online) =="
+        )?;
         writeln!(
             f,
             "{}",
@@ -120,7 +133,10 @@ impl fmt::Display for AblationResult {
 /// # Errors
 ///
 /// Propagates training and embedding errors.
-pub fn run(contexts: &[DatasetContext], config: &ExperimentConfig) -> Result<AblationResult, EnqodeError> {
+pub fn run(
+    contexts: &[DatasetContext],
+    config: &ExperimentConfig,
+) -> Result<AblationResult, EnqodeError> {
     let ctx = contexts.first().ok_or(EnqodeError::NotTrained)?;
     let label = ctx.features.classes()[0];
     let class_data = ctx.features.class_subset(label)?;
@@ -204,15 +220,16 @@ pub fn run(contexts: &[DatasetContext], config: &ExperimentConfig) -> Result<Abl
     let mut cold_iters = Vec::new();
     let mut cold_fids = Vec::new();
     let online_budget = config.enqode_config().online_max_iterations;
-    for sample in &eval_samples {
-        let embedding = base_model.embed(sample)?;
+    let owned_samples: Vec<Vec<f64>> = eval_samples.iter().map(|s| s.to_vec()).collect();
+    for embedding in base_model.embed_batch(&owned_samples)? {
         transfer_iters.push(embedding.iterations as f64);
         transfer_fids.push(embedding.ideal_fidelity);
-
+    }
+    for sample in &eval_samples {
         let normalized = enq_data::l2_normalize(sample)?;
         let obj = FidelityObjective::new(&ansatz, &normalized)?;
-        let cold = Lbfgs::with_max_iterations(online_budget)
-            .minimize(&obj, &vec![0.05; obj.dimension()]);
+        let cold =
+            Lbfgs::with_max_iterations(online_budget).minimize(&obj, &vec![0.05; obj.dimension()]);
         cold_iters.push(cold.iterations as f64);
         cold_fids.push(obj.fidelity(&cold.x));
     }
@@ -243,10 +260,10 @@ fn mean(values: &[f64]) -> f64 {
 }
 
 fn mean_fidelity(model: &EnqodeModel, samples: &[&[f64]]) -> Result<f64, EnqodeError> {
-    let mut acc = 0.0;
-    for s in samples {
-        acc += model.embed(s)?.ideal_fidelity;
-    }
+    // One parallel sweep over the evaluation set via the batch API.
+    let owned: Vec<Vec<f64>> = samples.iter().map(|s| s.to_vec()).collect();
+    let embeddings = model.embed_batch(&owned)?;
+    let acc: f64 = embeddings.iter().map(|e| e.ideal_fidelity).sum();
     Ok(acc / samples.len() as f64)
 }
 

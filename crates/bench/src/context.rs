@@ -89,7 +89,10 @@ pub fn build_contexts(
     kinds: &[DatasetKind],
     config: &ExperimentConfig,
 ) -> Result<Vec<DatasetContext>, EnqodeError> {
-    kinds.iter().map(|&k| DatasetContext::build(k, config)).collect()
+    kinds
+        .iter()
+        .map(|&k| DatasetContext::build(k, config))
+        .collect()
 }
 
 #[cfg(test)]

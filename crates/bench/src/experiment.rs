@@ -2,10 +2,9 @@
 
 use enq_data::{generate_synthetic, Dataset, DatasetKind, FeaturePipeline, SyntheticConfig};
 use enqode::{AnsatzConfig, EnqodeConfig, EnqodeError, EntanglerKind};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a full evaluation run (all figures share it).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentConfig {
     /// Number of classes sampled per dataset (the paper uses 5).
     pub classes: usize,
@@ -94,6 +93,7 @@ impl ExperimentConfig {
             offline_max_iterations: 400,
             offline_restarts: 4,
             online_max_iterations: 40,
+            offline_rescue: false,
             seed: self.seed,
         }
     }

@@ -30,32 +30,38 @@ pub struct Fig67Result {
 impl Fig67Result {
     /// Average depth reduction factor (Baseline / EnQode) across datasets.
     pub fn mean_depth_reduction(&self) -> f64 {
-        mean(self
-            .rows
-            .iter()
-            .map(|r| improvement_ratio(&r.baseline.depth, &r.enqode.depth)))
+        mean(
+            self.rows
+                .iter()
+                .map(|r| improvement_ratio(&r.baseline.depth, &r.enqode.depth)),
+        )
     }
 
     /// Average total-gate reduction factor across datasets.
     pub fn mean_gate_reduction(&self) -> f64 {
-        mean(self
-            .rows
-            .iter()
-            .map(|r| improvement_ratio(&r.baseline.total_gates, &r.enqode.total_gates)))
+        mean(
+            self.rows
+                .iter()
+                .map(|r| improvement_ratio(&r.baseline.total_gates, &r.enqode.total_gates)),
+        )
     }
 
     /// Average one-qubit-gate reduction factor across datasets.
     pub fn mean_one_qubit_reduction(&self) -> f64 {
-        mean(self.rows.iter().map(|r| {
-            improvement_ratio(&r.baseline.one_qubit_gates, &r.enqode.one_qubit_gates)
-        }))
+        mean(
+            self.rows
+                .iter()
+                .map(|r| improvement_ratio(&r.baseline.one_qubit_gates, &r.enqode.one_qubit_gates)),
+        )
     }
 
     /// Average two-qubit-gate reduction factor across datasets.
     pub fn mean_two_qubit_reduction(&self) -> f64 {
-        mean(self.rows.iter().map(|r| {
-            improvement_ratio(&r.baseline.two_qubit_gates, &r.enqode.two_qubit_gates)
-        }))
+        mean(
+            self.rows
+                .iter()
+                .map(|r| improvement_ratio(&r.baseline.two_qubit_gates, &r.enqode.two_qubit_gates)),
+        )
     }
 
     /// Renders the Fig. 6 table (depth and total gates).
@@ -144,7 +150,10 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 /// # Errors
 ///
 /// Propagates embedding and transpilation errors.
-pub fn run(contexts: &[DatasetContext], config: &ExperimentConfig) -> Result<Fig67Result, EnqodeError> {
+pub fn run(
+    contexts: &[DatasetContext],
+    config: &ExperimentConfig,
+) -> Result<Fig67Result, EnqodeError> {
     let mut rows = Vec::with_capacity(contexts.len());
     for ctx in contexts {
         let indices = ctx.eval_indices(config.eval_samples);

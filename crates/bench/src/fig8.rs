@@ -85,7 +85,10 @@ impl Fig8Result {
 
 impl fmt::Display for Fig8Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Figure 8: state fidelity (ideal / noisy simulation) ==")?;
+        writeln!(
+            f,
+            "== Figure 8: state fidelity (ideal / noisy simulation) =="
+        )?;
         writeln!(f, "{}", self.to_markdown())?;
         writeln!(
             f,
@@ -102,7 +105,10 @@ impl fmt::Display for Fig8Result {
 /// # Errors
 ///
 /// Propagates embedding, transpilation, and simulation errors.
-pub fn run(contexts: &[DatasetContext], config: &ExperimentConfig) -> Result<Fig8Result, EnqodeError> {
+pub fn run(
+    contexts: &[DatasetContext],
+    config: &ExperimentConfig,
+) -> Result<Fig8Result, EnqodeError> {
     let noisy = NoisySimulator::new(DeviceNoiseModel::ibm_brisbane_like());
     let mut rows = Vec::with_capacity(contexts.len());
     for ctx in contexts {
@@ -126,7 +132,8 @@ pub fn run(contexts: &[DatasetContext], config: &ExperimentConfig) -> Result<Fig
                 baseline_noisy.push(f);
             }
 
-            let e = evaluate_enqode_sample(ctx.model_for(label), sample, &ctx.transpiler, noise_ref)?;
+            let e =
+                evaluate_enqode_sample(ctx.model_for(label), sample, &ctx.transpiler, noise_ref)?;
             enqode_ideal.push(e.ideal_fidelity);
             if let Some(f) = e.noisy_fidelity {
                 enqode_noisy.push(f);

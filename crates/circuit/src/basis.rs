@@ -225,7 +225,7 @@ pub fn is_native(circuit: &QuantumCircuit) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use enq_linalg::{C64, CVector};
+    use enq_linalg::{CVector, C64};
 
     fn assert_same_action(original: &QuantumCircuit, translated: &QuantumCircuit) {
         // Compare action on a handful of basis states up to global phase.
@@ -293,7 +293,9 @@ mod tests {
             // And the relative phase between columns must also match: check a
             // superposition input.
             let plus = CVector::new(vec![C64::real(1.0 / 2f64.sqrt()); 2]);
-            assert!(u.matvec(&plus).approx_eq_up_to_phase(&v.matvec(&plus), 1e-8));
+            assert!(u
+                .matvec(&plus)
+                .approx_eq_up_to_phase(&v.matvec(&plus), 1e-8));
         }
     }
 
@@ -304,7 +306,7 @@ mod tests {
     }
 
     #[test]
-    fn decompose_uses_at_most_two_sx(){
+    fn decompose_uses_at_most_two_sx() {
         let u = Gate::H.matrix().unwrap();
         let gates = decompose_1q(&u).unwrap();
         let sx_count = gates.iter().filter(|g| matches!(g, Gate::Sx)).count();

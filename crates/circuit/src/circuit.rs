@@ -3,7 +3,7 @@
 use crate::error::CircuitError;
 use crate::gate::Gate;
 use crate::param::Angle;
-use enq_linalg::{C64, CMatrix};
+use enq_linalg::{CMatrix, C64};
 use std::fmt;
 
 /// A single gate application to specific qubits.
@@ -109,7 +109,8 @@ impl QuantumCircuit {
                 return Err(CircuitError::DuplicateQubit { qubit: q });
             }
         }
-        self.instructions.push(Instruction::new(gate, qubits.to_vec()));
+        self.instructions
+            .push(Instruction::new(gate, qubits.to_vec()));
         Ok(())
     }
 
@@ -247,7 +248,9 @@ impl QuantumCircuit {
 
     /// Returns `true` if any gate still has a symbolic angle.
     pub fn is_parameterized(&self) -> bool {
-        self.instructions.iter().any(|inst| inst.gate.is_parameterized())
+        self.instructions
+            .iter()
+            .any(|inst| inst.gate.is_parameterized())
     }
 
     /// Returns a copy of the circuit with all symbolic angles bound.
@@ -266,8 +269,10 @@ impl QuantumCircuit {
         }
         let mut out = QuantumCircuit::new(self.num_qubits);
         for inst in &self.instructions {
-            out.instructions
-                .push(Instruction::new(inst.gate.bind(values)?, inst.qubits.clone()));
+            out.instructions.push(Instruction::new(
+                inst.gate.bind(values)?,
+                inst.qubits.clone(),
+            ));
         }
         Ok(out)
     }
@@ -286,13 +291,7 @@ impl QuantumCircuit {
             if !filter(inst) {
                 continue;
             }
-            let level = inst
-                .qubits
-                .iter()
-                .map(|&q| per_qubit[q])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            let level = inst.qubits.iter().map(|&q| per_qubit[q]).max().unwrap_or(0) + 1;
             for &q in &inst.qubits {
                 per_qubit[q] = level;
             }

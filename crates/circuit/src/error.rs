@@ -53,7 +53,10 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::DuplicateQubit { qubit } => {
                 write!(f, "gate applied twice to qubit {qubit}")
@@ -67,8 +70,14 @@ impl fmt::Display for CircuitError {
             CircuitError::NotConnected { a, b } => {
                 write!(f, "physical qubits {a} and {b} are not connected")
             }
-            CircuitError::DeviceTooSmall { required, available } => {
-                write!(f, "circuit needs {required} qubits but device has {available}")
+            CircuitError::DeviceTooSmall {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "circuit needs {required} qubits but device has {available}"
+                )
             }
             CircuitError::UnsupportedGate(name) => write!(f, "unsupported gate: {name}"),
         }

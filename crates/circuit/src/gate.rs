@@ -13,7 +13,7 @@
 
 use crate::error::CircuitError;
 use crate::param::Angle;
-use enq_linalg::{C64, CMatrix};
+use enq_linalg::{CMatrix, C64};
 use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_4};
 use std::fmt;
 
@@ -120,7 +120,14 @@ impl Gate {
     pub fn is_virtual(&self) -> bool {
         matches!(
             self,
-            Gate::I | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::Phase(_)
+            Gate::I
+                | Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::Rz(_)
+                | Gate::Phase(_)
         )
     }
 
@@ -191,7 +198,9 @@ impl Gate {
             Gate::X => CMatrix::from_rows(&[&[z, one], &[one, z]]),
             Gate::Y => CMatrix::from_rows(&[&[z, -i], &[i, z]]),
             Gate::Z => CMatrix::from_rows(&[&[one, z], &[z, -one]]),
-            Gate::H => CMatrix::from_rows(&[&[one, one], &[one, -one]]).scale(C64::real(FRAC_1_SQRT_2)),
+            Gate::H => {
+                CMatrix::from_rows(&[&[one, one], &[one, -one]]).scale(C64::real(FRAC_1_SQRT_2))
+            }
             Gate::S => CMatrix::from_diagonal(&[one, i]),
             Gate::Sdg => CMatrix::from_diagonal(&[one, -i]),
             Gate::T => CMatrix::from_diagonal(&[one, C64::cis(FRAC_PI_4)]),
@@ -215,7 +224,10 @@ impl Gate {
             Gate::Ry(a) => {
                 let t = a.bind(&[]).map_err(|_| unbound(a))?;
                 let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
-                CMatrix::from_rows(&[&[C64::real(c), C64::real(-s)], &[C64::real(s), C64::real(c)]])
+                CMatrix::from_rows(&[
+                    &[C64::real(c), C64::real(-s)],
+                    &[C64::real(s), C64::real(c)],
+                ])
             }
             Gate::Rz(a) => {
                 let t = a.bind(&[]).map_err(|_| unbound(a))?;
@@ -260,7 +272,11 @@ impl Gate {
 fn negate_angle(a: Angle) -> Angle {
     match a {
         Angle::Fixed(v) => Angle::Fixed(-v),
-        Angle::Expr { index, sign, offset } => Angle::Expr {
+        Angle::Expr {
+            index,
+            sign,
+            offset,
+        } => Angle::Expr {
             index,
             sign: -sign,
             offset: -offset,

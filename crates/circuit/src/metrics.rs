@@ -47,7 +47,8 @@ impl CircuitMetrics {
         let depth = circuit.depth_filtered(physical);
         let total_gates = circuit.count_filtered(physical);
         let two_qubit_gates = circuit.count_filtered(|i| i.gate.is_two_qubit());
-        let one_qubit_gates = circuit.count_filtered(|i| !i.gate.is_virtual() && !i.gate.is_two_qubit());
+        let one_qubit_gates =
+            circuit.count_filtered(|i| !i.gate.is_virtual() && !i.gate.is_two_qubit());
         let swap_gates = circuit.count_filtered(|i| matches!(i.gate, Gate::Swap));
         let virtual_gates = circuit.count_filtered(|i| i.gate.is_virtual());
         Self {

@@ -55,7 +55,11 @@ impl Angle {
 
     /// Creates an affine angle `sign·θ[index] + offset`.
     pub fn affine(index: usize, sign: f64, offset: f64) -> Self {
-        Angle::Expr { index, sign, offset }
+        Angle::Expr {
+            index,
+            sign,
+            offset,
+        }
     }
 
     /// Returns `true` if the angle still references a parameter.
@@ -80,7 +84,11 @@ impl Angle {
     pub fn bind(&self, values: &[f64]) -> Result<f64, CircuitError> {
         match *self {
             Angle::Fixed(v) => Ok(v),
-            Angle::Expr { index, sign, offset } => values
+            Angle::Expr {
+                index,
+                sign,
+                offset,
+            } => values
                 .get(index)
                 .map(|&v| sign * v + offset)
                 .ok_or(CircuitError::UnboundParameter { index }),
@@ -106,7 +114,11 @@ impl fmt::Display for Angle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Angle::Fixed(v) => write!(f, "{v:.6}"),
-            Angle::Expr { index, sign, offset } => {
+            Angle::Expr {
+                index,
+                sign,
+                offset,
+            } => {
                 if *sign == 1.0 && *offset == 0.0 {
                     write!(f, "θ[{index}]")
                 } else {

@@ -1,0 +1,142 @@
+//! Micro-benchmark of the symbolic evaluation core at the paper shape
+//! (8 qubits, 8 layers): the sparse Walsh-spectrum kernel vs the retained
+//! naive dense-walk reference, plus the allocation-free workspace paths the
+//! optimiser actually drives.
+//!
+//! Run with `cargo bench -p enqode --bench symbolic_kernel`. The final
+//! section prints the naive/sparse speedup ratio checked by the acceptance
+//! criteria (≥ 3× at the paper shape).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enq_linalg::C64;
+use enqode::{AnsatzConfig, EntanglerKind, SymbolicState, SymbolicWorkspace};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn paper_shape() -> (SymbolicState, Vec<f64>, Vec<C64>) {
+    let config = AnsatzConfig {
+        num_qubits: 8,
+        num_layers: 8,
+        entangler: EntanglerKind::Cy,
+    };
+    let symbolic = SymbolicState::from_ansatz(&config).expect("paper shape is valid");
+    let theta: Vec<f64> = (0..config.num_parameters())
+        .map(|j| 0.11 * j as f64 - 1.7)
+        .collect();
+    let target_conj: Vec<C64> = (0..symbolic.dim())
+        .map(|r| {
+            let x = r as f64;
+            C64::new((x * 0.37).sin() * 0.6, (x * 0.81).cos() * 0.4)
+        })
+        .collect();
+    (symbolic, theta, target_conj)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let (symbolic, theta, target_conj) = paper_shape();
+    let mut ws = SymbolicWorkspace::for_state(&symbolic);
+    let mut gradient = vec![C64::ZERO; symbolic.num_parameters()];
+
+    let mut group = c.benchmark_group("symbolic_kernel_8q8l");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("overlap_and_gradient_naive_dense", |b| {
+        b.iter(|| {
+            black_box(
+                symbolic
+                    .overlap_and_gradient_naive(black_box(&target_conj), black_box(&theta))
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("overlap_and_gradient_sparse_workspace", |b| {
+        b.iter(|| {
+            black_box(
+                symbolic
+                    .overlap_and_gradient_into(
+                        black_box(&target_conj),
+                        black_box(&theta),
+                        &mut ws,
+                        &mut gradient,
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("overlap_only_sparse_workspace", |b| {
+        b.iter(|| {
+            black_box(
+                symbolic
+                    .overlap_into(black_box(&target_conj), black_box(&theta), &mut ws)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("amplitudes", |b| {
+        b.iter(|| black_box(symbolic.amplitudes(black_box(&theta)).unwrap()))
+    });
+    group.finish();
+
+    // Headline ratio for the acceptance criteria and BENCH_symbolic.json.
+    let time_per_iter = |mut f: Box<dyn FnMut()>| -> f64 {
+        // Calibrate to ~200ms of work, then time three batches and keep the
+        // fastest (least-noise) estimate.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < Duration::from_millis(50) {
+            f();
+            calib_iters += 1;
+        }
+        let iters = calib_iters.max(1) * 4;
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        best
+    };
+
+    let (s2, theta2, target2) = paper_shape();
+    let naive = {
+        let (s, t, y) = (s2.clone(), theta2.clone(), target2.clone());
+        time_per_iter(Box::new(move || {
+            black_box(
+                s.overlap_and_gradient_naive(black_box(&y), black_box(&t))
+                    .unwrap(),
+            );
+        }))
+    };
+    let sparse = {
+        let (s, t, y) = (s2.clone(), theta2, target2);
+        let mut ws = SymbolicWorkspace::for_state(&s);
+        let mut grad = vec![C64::ZERO; s.num_parameters()];
+        time_per_iter(Box::new(move || {
+            black_box(
+                s.overlap_and_gradient_into(black_box(&y), black_box(&t), &mut ws, &mut grad)
+                    .unwrap(),
+            );
+        }))
+    };
+    println!(
+        "\nsymbolic overlap+gradient @ 8 qubits x 8 layers: naive {:.3} µs, sparse {:.3} µs, speedup {:.2}x",
+        naive * 1e6,
+        sparse * 1e6,
+        naive / sparse
+    );
+    println!(
+        "BENCH{{\"name\":\"symbolic_kernel_8q8l/speedup\",\"naive_s\":{naive:e},\"sparse_s\":{sparse:e},\"ratio\":{:.3}}}",
+        naive / sparse
+    );
+    assert!(
+        naive / sparse >= 3.0,
+        "acceptance criterion: sparse kernel must be >= 3x the naive dense reference (got {:.2}x)",
+        naive / sparse
+    );
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -135,7 +135,9 @@ mod tests {
         let embedder = BaselineEmbedder::new(3);
         let sample: Vec<f64> = vec![0.3, -0.4, 0.1, 0.7, 0.0, 0.2, -0.1, 0.35];
         let result = embedder.embed(&sample).unwrap();
-        let out = Statevector::from_circuit(&result.circuit).unwrap().to_cvector();
+        let out = Statevector::from_circuit(&result.circuit)
+            .unwrap()
+            .to_cvector();
         let target = target_state(&sample).unwrap();
         assert!((out.overlap_fidelity(&target).unwrap() - 1.0).abs() < 1e-5);
     }

@@ -35,7 +35,10 @@ impl fmt::Display for EnqodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EnqodeError::DimensionMismatch { expected, found } => {
-                write!(f, "feature vector length mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "feature vector length mismatch: expected {expected}, found {found}"
+                )
             }
             EnqodeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             EnqodeError::NotTrained => write!(f, "the model has no trained clusters"),

@@ -6,7 +6,7 @@ use crate::baseline::{target_state, BaselineEmbedder};
 use crate::error::EnqodeError;
 use crate::model::EnqodeModel;
 use enq_circuit::{CircuitMetrics, Layout, QuantumCircuit, TranspiledCircuit, Transpiler};
-use enq_linalg::{C64, CVector};
+use enq_linalg::{CVector, C64};
 use enq_qsim::{NoisySimulator, Statevector};
 use std::time::Instant;
 
@@ -118,8 +118,7 @@ pub fn evaluate_baseline_sample(
     let transpiled = transpiler.transpile(&synthesis.circuit)?;
     let compile_seconds = start.elapsed().as_secs_f64();
     let target = target_state(sample)?;
-    let (ideal, noisy_fidelity) =
-        fidelities(&transpiled, &target, embedder.num_qubits(), noisy)?;
+    let (ideal, noisy_fidelity) = fidelities(&transpiled, &target, embedder.num_qubits(), noisy)?;
     Ok(SampleEvaluation {
         metrics: transpiled.metrics,
         ideal_fidelity: ideal,
@@ -146,7 +145,9 @@ mod tests {
 
     fn samples(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let base: Vec<f64> = (0..dim).map(|i| 0.5 + 0.4 * ((i as f64) * 0.9).sin()).collect();
+        let base: Vec<f64> = (0..dim)
+            .map(|i| 0.5 + 0.4 * ((i as f64) * 0.9).sin())
+            .collect();
         (0..n)
             .map(|_| {
                 base.iter()
@@ -169,6 +170,7 @@ mod tests {
             offline_max_iterations: 120,
             offline_restarts: 3,
             online_max_iterations: 40,
+            offline_rescue: false,
             seed,
         };
         (EnqodeModel::fit(&data, config).unwrap(), data)

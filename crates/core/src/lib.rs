@@ -66,7 +66,7 @@ pub use evaluation::{evaluate_baseline_sample, evaluate_enqode_sample, SampleEva
 pub use loss::FidelityObjective;
 pub use model::{Embedding, EnqodeConfig, EnqodeModel, TrainedCluster};
 pub use pipeline::{ClassModel, EnqodePipeline};
-pub use symbolic::SymbolicState;
+pub use symbolic::{SymbolicState, SymbolicWorkspace};
 
 #[cfg(test)]
 mod proptests {

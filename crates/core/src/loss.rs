@@ -5,20 +5,39 @@
 //! is to maximise `|⟨x|W|ψ(θ)⟩|² = |⟨y|ψ(θ)⟩|²` with the back-rotated target
 //! `y = W†·x`. The loss is `L(θ) = 1 − |⟨y|ψ(θ)⟩|²`, whose exact gradient
 //! follows from the symbolic representation.
+//!
+//! The objective shares its [`SymbolicState`] through an [`Arc`] (the phase
+//! table depends only on the ansatz shape, so training never copies it) and
+//! owns a [`SymbolicWorkspace`] that is reused across evaluations: the
+//! L-BFGS inner loop runs without heap allocations. The back-rotation
+//! `y = W†·x` exploits `W = W₁^{⊗n}` via
+//! [`enq_linalg::CMatrix::apply_kron_power`] — `O(n·2^n)` instead of a dense
+//! `O(4^n)` matvec.
 
 use crate::ansatz::AnsatzConfig;
 use crate::error::EnqodeError;
-use crate::symbolic::SymbolicState;
+use crate::symbolic::{SymbolicState, SymbolicWorkspace};
 use enq_data::l2_normalize;
-use enq_linalg::{C64, CVector};
+use enq_linalg::C64;
 use enq_optim::Objective;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Reusable per-objective evaluation scratch.
+#[derive(Debug, Clone, Default)]
+struct EvalScratch {
+    workspace: SymbolicWorkspace,
+    /// Complex overlap gradient `∂S/∂θ_j` before projection onto the loss.
+    d_overlap: Vec<C64>,
+}
 
 /// The EnQode training objective `L(θ) = 1 − |⟨y|ψ(θ)⟩|²`.
 #[derive(Debug, Clone)]
 pub struct FidelityObjective {
-    symbolic: SymbolicState,
+    symbolic: Arc<SymbolicState>,
     /// Conjugated back-rotated target `conj(y_r)`, pre-computed once.
     target_conj: Vec<C64>,
+    scratch: RefCell<EvalScratch>,
 }
 
 impl FidelityObjective {
@@ -30,19 +49,19 @@ impl FidelityObjective {
     /// Returns [`EnqodeError::DimensionMismatch`] if the target length is not
     /// `2^num_qubits` and [`EnqodeError::Data`] if it has zero norm.
     pub fn new(config: &AnsatzConfig, target: &[f64]) -> Result<Self, EnqodeError> {
-        let symbolic = SymbolicState::from_ansatz(config)?;
+        let symbolic = Arc::new(SymbolicState::from_ansatz(config)?);
         Self::with_symbolic(symbolic, config, target)
     }
 
-    /// Builds the objective reusing a pre-computed symbolic state (the phase
-    /// table only depends on the ansatz shape, so it is shared across all
-    /// clusters and samples).
+    /// Builds the objective reusing a shared pre-computed symbolic state (the
+    /// phase table only depends on the ansatz shape, so one `Arc` serves all
+    /// clusters, samples, and worker threads without copying).
     ///
     /// # Errors
     ///
     /// Same as [`FidelityObjective::new`].
     pub fn with_symbolic(
-        symbolic: SymbolicState,
+        symbolic: Arc<SymbolicState>,
         config: &AnsatzConfig,
         target: &[f64],
     ) -> Result<Self, EnqodeError> {
@@ -53,13 +72,20 @@ impl FidelityObjective {
             });
         }
         let normalized = l2_normalize(target)?;
-        let x = CVector::from_real(&normalized);
-        // y = W†·x; we store conj(y).
-        let y = config.closing_rotation().adjoint().matvec(&x);
+        // y = W†·x through the tensor-power structure of W; we store conj(y).
+        let w1_adjoint = config.closing_rotation_1q().adjoint();
+        let mut y: Vec<C64> = normalized.iter().map(|&v| C64::real(v)).collect();
+        w1_adjoint.apply_kron_power(&mut y)?;
         let target_conj: Vec<C64> = y.iter().map(|z| z.conj()).collect();
+        let num_parameters = symbolic.num_parameters();
+        let scratch = RefCell::new(EvalScratch {
+            workspace: SymbolicWorkspace::for_state(&symbolic),
+            d_overlap: vec![C64::ZERO; num_parameters],
+        });
         Ok(Self {
             symbolic,
             target_conj,
+            scratch,
         })
     }
 
@@ -72,6 +98,11 @@ impl FidelityObjective {
     pub fn symbolic(&self) -> &SymbolicState {
         &self.symbolic
     }
+
+    /// Returns a clone of the shared symbolic-state handle.
+    pub fn symbolic_arc(&self) -> Arc<SymbolicState> {
+        Arc::clone(&self.symbolic)
+    }
 }
 
 impl Objective for FidelityObjective {
@@ -80,28 +111,43 @@ impl Objective for FidelityObjective {
     }
 
     fn value(&self, x: &[f64]) -> f64 {
-        let (overlap, _) = self
+        let mut scratch = self.scratch.borrow_mut();
+        let overlap = self
             .symbolic
-            .overlap_and_gradient(&self.target_conj, x)
+            .overlap_into(&self.target_conj, x, &mut scratch.workspace)
             .expect("dimensions fixed at construction");
         1.0 - overlap.norm_sqr()
     }
 
     fn gradient(&self, x: &[f64]) -> Vec<f64> {
-        self.value_and_gradient(x).1
+        let mut gradient = vec![0.0; self.dimension()];
+        self.value_and_gradient_into(x, &mut gradient);
+        gradient
     }
 
     fn value_and_gradient(&self, x: &[f64]) -> (f64, Vec<f64>) {
-        let (overlap, d_overlap) = self
+        let mut gradient = vec![0.0; self.dimension()];
+        let value = self.value_and_gradient_into(x, &mut gradient);
+        (value, gradient)
+    }
+
+    fn value_and_gradient_into(&self, x: &[f64], gradient: &mut [f64]) -> f64 {
+        let scratch = &mut *self.scratch.borrow_mut();
+        let overlap = self
             .symbolic
-            .overlap_and_gradient(&self.target_conj, x)
+            .overlap_and_gradient_into(
+                &self.target_conj,
+                x,
+                &mut scratch.workspace,
+                &mut scratch.d_overlap,
+            )
             .expect("dimensions fixed at construction");
         let value = 1.0 - overlap.norm_sqr();
-        let gradient = d_overlap
-            .iter()
-            .map(|ds| -2.0 * (overlap.conj() * *ds).re)
-            .collect();
-        (value, gradient)
+        let overlap_conj = overlap.conj();
+        for (g, ds) in gradient.iter_mut().zip(scratch.d_overlap.iter()) {
+            *g = -2.0 * (overlap_conj * *ds).re;
+        }
+        value
     }
 }
 
@@ -129,7 +175,9 @@ mod tests {
         let obj = FidelityObjective::new(&config, &target).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..10 {
-            let theta: Vec<f64> = (0..obj.dimension()).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let theta: Vec<f64> = (0..obj.dimension())
+                .map(|_| rng.gen_range(-3.0..3.0))
+                .collect();
             let v = obj.value(&theta);
             assert!((0.0..=1.0 + 1e-9).contains(&v), "loss {v} out of range");
             assert!((obj.fidelity(&theta) - (1.0 - v)).abs() < 1e-12);
@@ -142,7 +190,9 @@ mod tests {
         let target: Vec<f64> = vec![0.7, -0.2, 0.1, 0.4, -0.3, 0.2, 0.05, -0.1];
         let obj = FidelityObjective::new(&config, &target).unwrap();
         let mut rng = StdRng::seed_from_u64(6);
-        let theta: Vec<f64> = (0..obj.dimension()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let theta: Vec<f64> = (0..obj.dimension())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         let (_, grad) = obj.value_and_gradient(&theta);
         let eps = 1e-6;
         for j in 0..theta.len() {
@@ -156,6 +206,46 @@ mod tests {
                 "component {j}: analytic {} vs numerical {numerical}",
                 grad[j]
             );
+        }
+    }
+
+    #[test]
+    fn buffer_writing_path_matches_allocating_path() {
+        let config = small_config();
+        let target: Vec<f64> = vec![0.3, 0.9, -0.2, 0.15, 0.4, -0.6, 0.05, 0.2];
+        let obj = FidelityObjective::new(&config, &target).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut buffer = vec![0.0; obj.dimension()];
+        for _ in 0..5 {
+            let theta: Vec<f64> = (0..obj.dimension())
+                .map(|_| rng.gen_range(-2.0..2.0))
+                .collect();
+            let (v, g) = obj.value_and_gradient(&theta);
+            let v_into = obj.value_and_gradient_into(&theta, &mut buffer);
+            assert_eq!(v, v_into);
+            assert_eq!(g, buffer);
+        }
+    }
+
+    #[test]
+    fn back_rotation_matches_dense_adjoint_matvec() {
+        // The O(n·2^n) tensor-power application must agree with the dense
+        // W†·x product the seed computed.
+        let config = small_config();
+        let target: Vec<f64> = vec![0.7, -0.2, 0.1, 0.4, -0.3, 0.2, 0.05, -0.1];
+        let normalized = l2_normalize(&target).unwrap();
+        let dense_y = config
+            .closing_rotation()
+            .adjoint()
+            .matvec(&enq_linalg::CVector::from_real(&normalized));
+        let mut fast_y: Vec<C64> = normalized.iter().map(|&v| C64::real(v)).collect();
+        config
+            .closing_rotation_1q()
+            .adjoint()
+            .apply_kron_power(&mut fast_y)
+            .unwrap();
+        for (a, b) in fast_y.iter().zip(dense_y.iter()) {
+            assert!(a.approx_eq(*b, 1e-12), "{a} vs {b}");
         }
     }
 

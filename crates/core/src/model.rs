@@ -1,4 +1,15 @@
 //! Offline cluster training and online transfer-learning embedding.
+//!
+//! The offline phase is embarrassingly parallel: every `(cluster, restart)`
+//! optimisation is independent, so [`EnqodeModel::fit`] fans the flattened
+//! job list out across threads (see `enq_parallel`). Each job derives its own
+//! RNG seed from `(config.seed, cluster, restart)` — never from scheduling
+//! order — so a parallel fit is bit-identical to [`EnqodeModel::fit_sequential`].
+//!
+//! The online phase shares one [`Arc<SymbolicState>`] across all objectives
+//! (the phase table depends only on the ansatz shape); nothing is cloned per
+//! embedded sample, and [`EnqodeModel::embed_batch`] embeds whole evaluation
+//! sets in parallel.
 
 use crate::ansatz::AnsatzConfig;
 use crate::error::EnqodeError;
@@ -9,6 +20,8 @@ use enq_data::{fit_with_fidelity_threshold, l2_normalize};
 use enq_optim::{Lbfgs, Optimizer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::num::NonZeroUsize;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of an EnQode model.
@@ -30,6 +43,12 @@ pub struct EnqodeConfig {
     pub offline_restarts: usize,
     /// L-BFGS iteration budget for the online (per-sample) fine-tuning.
     pub online_max_iterations: usize,
+    /// Opt-in robustness: when `true`, clusters whose best restart misses
+    /// `fidelity_threshold` get one deterministic rescue wave of
+    /// `max(2·offline_restarts, 4)` extra restarts. Defaults to `false`,
+    /// matching the paper's fixed-restart budget so benchmark columns stay
+    /// comparable to the DAC-2025 methodology.
+    pub offline_rescue: bool,
     /// Seed for clustering and parameter initialisation.
     pub seed: u64,
 }
@@ -43,6 +62,7 @@ impl Default for EnqodeConfig {
             offline_max_iterations: 250,
             offline_restarts: 4,
             online_max_iterations: 40,
+            offline_rescue: false,
             seed: 11,
         }
     }
@@ -89,6 +109,26 @@ pub struct Embedding {
     pub iterations: usize,
 }
 
+/// Derives an independent, scheduling-invariant RNG seed for one
+/// `(cluster, restart)` optimisation job (SplitMix64 finaliser).
+fn restart_seed(base: u64, cluster: usize, restart: usize) -> u64 {
+    let mut z = base
+        ^ 0xE17
+        ^ ((cluster as u64).wrapping_shl(32))
+        ^ (restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The outcome of one restart of one cluster's offline optimisation.
+#[derive(Clone)]
+struct RestartOutcome {
+    parameters: Vec<f64>,
+    fidelity: f64,
+    iterations: usize,
+}
+
 /// A trained EnQode model: the clusters of one dataset/class and the shared
 /// symbolic machinery needed to embed new samples.
 ///
@@ -116,14 +156,15 @@ pub struct Embedding {
 #[derive(Debug, Clone)]
 pub struct EnqodeModel {
     config: EnqodeConfig,
-    symbolic: SymbolicState,
+    symbolic: Arc<SymbolicState>,
     clusters: Vec<TrainedCluster>,
     offline_duration: Duration,
 }
 
 impl EnqodeModel {
     /// Trains the model on a set of feature vectors (the "offline" phase):
-    /// k-means clustering followed by per-cluster symbolic optimisation.
+    /// k-means clustering followed by per-cluster symbolic optimisation, with
+    /// every `(cluster, restart)` job running in parallel.
     ///
     /// Samples must have length `2^num_qubits`; they are normalised
     /// internally.
@@ -133,6 +174,30 @@ impl EnqodeModel {
     /// Returns [`EnqodeError::Data`] for empty or malformed sample sets and
     /// configuration errors from the ansatz.
     pub fn fit(samples: &[Vec<f64>], config: EnqodeConfig) -> Result<Self, EnqodeError> {
+        Self::fit_with_threads(samples, config, enq_parallel::default_threads())
+    }
+
+    /// [`EnqodeModel::fit`] on the calling thread only. Produces bit-identical
+    /// results to the parallel path (seeds are derived per job, not from
+    /// scheduling order); used by reproducibility checks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EnqodeModel::fit`].
+    pub fn fit_sequential(samples: &[Vec<f64>], config: EnqodeConfig) -> Result<Self, EnqodeError> {
+        Self::fit_with_threads(samples, config, NonZeroUsize::MIN)
+    }
+
+    /// [`EnqodeModel::fit`] with an explicit worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EnqodeModel::fit`].
+    pub fn fit_with_threads(
+        samples: &[Vec<f64>],
+        config: EnqodeConfig,
+        threads: NonZeroUsize,
+    ) -> Result<Self, EnqodeError> {
         config.ansatz.validate()?;
         let dim = config.ansatz.dimension();
         for s in samples {
@@ -155,44 +220,123 @@ impl EnqodeModel {
             config.seed,
         )?;
 
-        let symbolic = SymbolicState::from_ansatz(&config.ansatz)?;
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xE17);
-        let mut clusters = Vec::with_capacity(clustering.num_clusters());
-        for centroid in clustering.centroids() {
-            let centroid_normalized = l2_normalize(centroid)?;
-            let objective = FidelityObjective::with_symbolic(
-                symbolic.clone(),
-                &config.ansatz,
-                &centroid_normalized,
-            )?;
-            let optimizer = Lbfgs::with_max_iterations(config.offline_max_iterations);
-            let restarts = config.offline_restarts.max(1);
-            let mut best: Option<(Vec<f64>, f64, usize)> = None;
-            for restart in 0..restarts {
-                let spread = if restart == 0 { 0.3 } else { std::f64::consts::PI };
-                let start_theta: Vec<f64> = (0..config.ansatz.num_parameters())
-                    .map(|_| rng.gen_range(-spread..spread))
-                    .collect();
-                let result = optimizer.minimize(&objective, &start_theta);
-                let fidelity = objective.fidelity(&result.x);
-                let iterations = result.iterations;
-                if best.as_ref().map(|(_, f, _)| fidelity > *f).unwrap_or(true) {
-                    best = Some((result.x, fidelity, iterations));
+        let symbolic = Arc::new(SymbolicState::from_ansatz(&config.ansatz)?);
+        let centroids: Result<Vec<Vec<f64>>, _> = clustering
+            .centroids()
+            .iter()
+            .map(|c| l2_normalize(c))
+            .collect();
+        let centroids = centroids?;
+
+        // Flatten the (cluster, restart) grid into one parallel job list so
+        // uneven convergence never leaves workers idle.
+        let restarts = config.offline_restarts.max(1);
+        let jobs: Vec<(usize, usize)> = (0..centroids.len())
+            .flat_map(|c| (0..restarts).map(move |r| (c, r)))
+            .collect();
+        let outcomes = enq_parallel::par_map_with_threads(threads, &jobs, |_, &(c, r)| {
+            Self::train_restart(&symbolic, &config, &centroids[c], c, r)
+        });
+        let mut outcomes_ok = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            outcomes_ok.push(outcome?);
+        }
+
+        // Reduce restart outcomes per cluster; strict `>` keeps the earliest
+        // restart on ties, matching a sequential loop.
+        let mut best_per_cluster: Vec<RestartOutcome> = outcomes_ok
+            .chunks_exact(restarts)
+            .map(|cluster_outcomes| {
+                cluster_outcomes
+                    .iter()
+                    .reduce(|best, next| {
+                        if next.fidelity > best.fidelity {
+                            next
+                        } else {
+                            best
+                        }
+                    })
+                    .expect("at least one restart runs")
+                    .clone()
+            })
+            .collect();
+
+        // Rescue wave: clusters whose best restart missed the fidelity
+        // threshold get a deterministic second round of restarts (fresh
+        // derived seeds), bounding the damage of an unlucky initial draw
+        // without inflating the budget of clusters that already converged.
+        let needy: Vec<usize> = if config.offline_rescue {
+            best_per_cluster
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.fidelity < config.fidelity_threshold)
+                .map(|(c, _)| c)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if !needy.is_empty() {
+            let rescue_per_cluster = (2 * restarts).max(4);
+            let rescue_jobs: Vec<(usize, usize)> = needy
+                .iter()
+                .flat_map(|&c| (restarts..restarts + rescue_per_cluster).map(move |r| (c, r)))
+                .collect();
+            let rescue_outcomes =
+                enq_parallel::par_map_with_threads(threads, &rescue_jobs, |_, &(c, r)| {
+                    Self::train_restart(&symbolic, &config, &centroids[c], c, r)
+                });
+            for (&(c, _), outcome) in rescue_jobs.iter().zip(rescue_outcomes) {
+                let outcome = outcome?;
+                if outcome.fidelity > best_per_cluster[c].fidelity {
+                    best_per_cluster[c] = outcome;
                 }
             }
-            let (parameters, fidelity, iterations) = best.expect("at least one restart runs");
-            clusters.push(TrainedCluster {
-                centroid: centroid_normalized,
-                fidelity,
-                parameters,
-                iterations,
-            });
         }
+
+        let clusters: Vec<TrainedCluster> = centroids
+            .into_iter()
+            .zip(best_per_cluster)
+            .map(|(centroid, best)| TrainedCluster {
+                centroid,
+                parameters: best.parameters,
+                fidelity: best.fidelity,
+                iterations: best.iterations,
+            })
+            .collect();
         Ok(Self {
             config,
             symbolic,
             clusters,
             offline_duration: start.elapsed(),
+        })
+    }
+
+    /// Runs one restart of one cluster's offline optimisation.
+    fn train_restart(
+        symbolic: &Arc<SymbolicState>,
+        config: &EnqodeConfig,
+        centroid: &[f64],
+        cluster: usize,
+        restart: usize,
+    ) -> Result<RestartOutcome, EnqodeError> {
+        let objective =
+            FidelityObjective::with_symbolic(Arc::clone(symbolic), &config.ansatz, centroid)?;
+        let mut rng = StdRng::seed_from_u64(restart_seed(config.seed, cluster, restart));
+        let spread = if restart == 0 {
+            0.3
+        } else {
+            std::f64::consts::PI
+        };
+        let start_theta: Vec<f64> = (0..config.ansatz.num_parameters())
+            .map(|_| rng.gen_range(-spread..spread))
+            .collect();
+        let optimizer = Lbfgs::with_max_iterations(config.offline_max_iterations);
+        let result = optimizer.minimize(&objective, &start_theta);
+        let fidelity = objective.fidelity(&result.x);
+        Ok(RestartOutcome {
+            parameters: result.x,
+            fidelity,
+            iterations: result.iterations,
         })
     }
 
@@ -222,6 +366,11 @@ impl EnqodeModel {
         &self.symbolic
     }
 
+    /// Returns a handle to the shared symbolic state (no table copy).
+    pub fn symbolic_arc(&self) -> Arc<SymbolicState> {
+        Arc::clone(&self.symbolic)
+    }
+
     /// Returns the index of the cluster whose centroid is nearest (in
     /// Euclidean distance) to the normalised sample.
     ///
@@ -230,9 +379,12 @@ impl EnqodeModel {
     /// Returns [`EnqodeError::NotTrained`] if the model has no clusters and
     /// [`EnqodeError::DimensionMismatch`] for bad sample lengths.
     pub fn nearest_cluster(&self, sample: &[f64]) -> Result<usize, EnqodeError> {
-        if self.clusters.is_empty() {
-            return Err(EnqodeError::NotTrained);
-        }
+        let normalized = self.normalize_checked(sample)?;
+        Ok(self.nearest_cluster_of_normalized(&normalized)?.0)
+    }
+
+    /// Validates the sample dimension and L2-normalises it.
+    pub(crate) fn normalize_checked(&self, sample: &[f64]) -> Result<Vec<f64>, EnqodeError> {
         let dim = self.config.ansatz.dimension();
         if sample.len() != dim {
             return Err(EnqodeError::DimensionMismatch {
@@ -240,7 +392,19 @@ impl EnqodeModel {
                 found: sample.len(),
             });
         }
-        let normalized = l2_normalize(sample)?;
+        Ok(l2_normalize(sample)?)
+    }
+
+    /// Nearest-cluster lookup for an already normalised sample, returning
+    /// `(cluster index, squared distance)` so callers comparing across
+    /// models (the pipeline's cross-class search) need no second pass.
+    pub(crate) fn nearest_cluster_of_normalized(
+        &self,
+        normalized: &[f64],
+    ) -> Result<(usize, f64), EnqodeError> {
+        if self.clusters.is_empty() {
+            return Err(EnqodeError::NotTrained);
+        }
         let mut best = 0usize;
         let mut best_dist = f64::INFINITY;
         for (i, cluster) in self.clusters.iter().enumerate() {
@@ -254,7 +418,7 @@ impl EnqodeModel {
                 best = i;
             }
         }
-        Ok(best)
+        Ok((best, best_dist))
     }
 
     /// Builds the bound, fixed-shape embedding circuit for given parameters.
@@ -275,16 +439,28 @@ impl EnqodeModel {
     /// errors for bad samples, and data errors for zero vectors.
     pub fn embed(&self, sample: &[f64]) -> Result<Embedding, EnqodeError> {
         let start = Instant::now();
-        let cluster_index = self.nearest_cluster(sample)?;
-        let normalized = l2_normalize(sample)?;
+        let normalized = self.normalize_checked(sample)?;
+        let (cluster_index, _) = self.nearest_cluster_of_normalized(&normalized)?;
+        self.embed_normalized(&normalized, cluster_index, start)
+    }
+
+    /// Embedding core shared by [`EnqodeModel::embed`] and the pipeline: the
+    /// sample is already normalised and its initialisation cluster chosen, so
+    /// no work is repeated.
+    pub(crate) fn embed_normalized(
+        &self,
+        normalized: &[f64],
+        cluster_index: usize,
+        start: Instant,
+    ) -> Result<Embedding, EnqodeError> {
         let objective = FidelityObjective::with_symbolic(
-            self.symbolic.clone(),
+            Arc::clone(&self.symbolic),
             &self.config.ansatz,
-            &normalized,
+            normalized,
         )?;
-        let initial = self.clusters[cluster_index].parameters.clone();
+        let initial = &self.clusters[cluster_index].parameters;
         let result = Lbfgs::with_max_iterations(self.config.online_max_iterations)
-            .minimize(&objective, &initial);
+            .minimize(&objective, initial);
         let ideal_fidelity = objective.fidelity(&result.x);
         let circuit = self.config.ansatz.build_bound(&result.x)?;
         Ok(Embedding {
@@ -297,19 +473,34 @@ impl EnqodeModel {
         })
     }
 
+    /// Embeds a batch of samples in parallel. Results are returned in input
+    /// order and are identical to calling [`EnqodeModel::embed`] in a loop
+    /// (apart from each embedding's wall-clock `duration`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error from a failing sample (remaining samples are
+    /// cancelled once a failure is observed).
+    pub fn embed_batch(&self, samples: &[Vec<f64>]) -> Result<Vec<Embedding>, EnqodeError> {
+        enq_parallel::try_par_map(samples, |_, sample| self.embed(sample))
+    }
+
     /// Embeds a sample without fine-tuning, using the nearest cluster's
     /// parameters directly (the cheapest possible online path; used by the
     /// ablation benchmarks).
+    ///
+    /// The fidelity score runs through the shared symbolic workspace — one
+    /// overlap evaluation with no gradient and no per-call table copies.
     ///
     /// # Errors
     ///
     /// Same as [`EnqodeModel::embed`].
     pub fn embed_without_finetuning(&self, sample: &[f64]) -> Result<Embedding, EnqodeError> {
         let start = Instant::now();
-        let cluster_index = self.nearest_cluster(sample)?;
-        let normalized = l2_normalize(sample)?;
+        let normalized = self.normalize_checked(sample)?;
+        let (cluster_index, _) = self.nearest_cluster_of_normalized(&normalized)?;
         let objective = FidelityObjective::with_symbolic(
-            self.symbolic.clone(),
+            Arc::clone(&self.symbolic),
             &self.config.ansatz,
             &normalized,
         )?;
@@ -346,6 +537,7 @@ mod tests {
             offline_max_iterations: 150,
             offline_restarts: 3,
             online_max_iterations: 40,
+            offline_rescue: false,
             seed: 3,
         }
     }
@@ -442,6 +634,21 @@ mod tests {
     }
 
     #[test]
+    fn embed_batch_matches_sequential_embeds() {
+        let samples = grouped_samples(4, 7);
+        let model = EnqodeModel::fit(&samples, small_config()).unwrap();
+        let batch = model.embed_batch(&samples).unwrap();
+        assert_eq!(batch.len(), samples.len());
+        for (sample, from_batch) in samples.iter().zip(batch.iter()) {
+            let single = model.embed(sample).unwrap();
+            assert_eq!(single.parameters, from_batch.parameters);
+            assert_eq!(single.cluster_index, from_batch.cluster_index);
+            assert_eq!(single.ideal_fidelity, from_batch.ideal_fidelity);
+            assert_eq!(single.iterations, from_batch.iterations);
+        }
+    }
+
+    #[test]
     fn fit_rejects_wrong_dimensions() {
         let samples = vec![vec![1.0, 0.0, 0.0, 0.0]];
         assert!(matches!(
@@ -456,6 +663,9 @@ mod tests {
         let model = EnqodeModel::fit(&samples, small_config()).unwrap();
         assert!(model.embed(&[1.0, 2.0]).is_err());
         assert!(model.embed(&[0.0; 8]).is_err());
+        assert!(model
+            .embed_batch(&[samples[0].clone(), vec![0.0; 8]])
+            .is_err());
     }
 
     #[test]

@@ -3,12 +3,14 @@
 //! The paper trains EnQode "per dataset and class": each class is clustered
 //! and optimised independently (Sec. III-C), and new samples are embedded by
 //! transfer learning from the nearest cluster of their class (or of any
-//! class, for unlabelled inference data).
+//! class, for unlabelled inference data). Per-class training is independent,
+//! so [`EnqodePipeline::build`] fits all class models in parallel.
 
 use crate::error::EnqodeError;
 use crate::model::{Embedding, EnqodeConfig, EnqodeModel};
 use enq_data::{Dataset, FeaturePipeline};
-use std::time::Duration;
+use std::num::NonZeroUsize;
+use std::time::{Duration, Instant};
 
 /// A trained per-class model.
 #[derive(Debug, Clone)]
@@ -30,7 +32,7 @@ pub struct EnqodePipeline {
 impl EnqodePipeline {
     /// Builds the pipeline from a raw dataset: fits PCA to
     /// `2^num_qubits` features on the whole dataset, then trains one EnQode
-    /// model per class.
+    /// model per class, all classes in parallel.
     ///
     /// # Errors
     ///
@@ -39,12 +41,26 @@ impl EnqodePipeline {
         let num_features = config.ansatz.dimension();
         let features = FeaturePipeline::fit(dataset, num_features)?;
         let transformed = features.apply_dataset(dataset)?;
-        let mut class_models = Vec::new();
-        for label in transformed.classes() {
-            let class_data = transformed.class_subset(label)?;
-            let model = EnqodeModel::fit(class_data.samples(), config.clone())?;
-            class_models.push(ClassModel { label, model });
-        }
+        let labels = transformed.classes();
+        let class_datasets: Result<Vec<_>, _> = labels
+            .iter()
+            .map(|&label| transformed.class_subset(label))
+            .collect();
+        let class_datasets = class_datasets?;
+        // Split the thread budget between the class level and each fit's
+        // (cluster, restart) level: enq_parallel has no shared pool, so an
+        // undivided budget would spawn classes × threads CPU-bound workers.
+        let budget = enq_parallel::default_threads();
+        let per_class = NonZeroUsize::new(budget.get().div_ceil(class_datasets.len().max(1)))
+            .unwrap_or(NonZeroUsize::MIN);
+        let class_models = enq_parallel::try_par_map(&class_datasets, |i, class_data| {
+            let model =
+                EnqodeModel::fit_with_threads(class_data.samples(), config.clone(), per_class)?;
+            Ok::<ClassModel, EnqodeError>(ClassModel {
+                label: labels[i],
+                model,
+            })
+        })?;
         Ok(Self {
             features,
             class_models,
@@ -116,6 +132,10 @@ impl EnqodePipeline {
     ///
     /// Returns the class label used along with the embedding.
     ///
+    /// The sample is normalised exactly once and the winning class's cluster
+    /// index is reused for the fine-tuning initialisation, so the search does
+    /// no redundant normalisation or nearest-cluster recomputation.
+    ///
     /// # Errors
     ///
     /// Returns [`EnqodeError::NotTrained`] for an empty pipeline.
@@ -124,27 +144,38 @@ impl EnqodePipeline {
             return Err(EnqodeError::NotTrained);
         }
         let features = self.extract_features(raw_sample)?;
+        // The online-compile clock starts after feature extraction, matching
+        // what `EnqodeModel::embed` measures (normalise + cluster lookup +
+        // fine-tune + bind), so durations are comparable across both paths.
+        let start = Instant::now();
         // Pick the class whose nearest cluster centroid is closest.
-        let mut best: Option<(usize, f64)> = None;
-        for cm in &self.class_models {
-            let idx = cm.model.nearest_cluster(&features)?;
-            let centroid = &cm.model.clusters()[idx].centroid;
-            let normalized = enq_data::l2_normalize(&features)?;
-            let dist: f64 = normalized
-                .iter()
-                .zip(centroid.iter())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
-            if best.map(|(_, d)| dist < d).unwrap_or(true) {
-                best = Some((cm.label, dist));
+        let normalized = self.class_models[0].model.normalize_checked(&features)?;
+        let mut best: Option<(usize, usize, f64)> = None; // (class idx, cluster idx, dist²)
+        for (class_idx, cm) in self.class_models.iter().enumerate() {
+            let (cluster_idx, dist) = cm.model.nearest_cluster_of_normalized(&normalized)?;
+            if best.map(|(_, _, d)| dist < d).unwrap_or(true) {
+                best = Some((class_idx, cluster_idx, dist));
             }
         }
-        let (label, _) = best.expect("class_models is non-empty");
-        let embedding = self
-            .model_for_class(label)
-            .expect("label came from class_models")
-            .embed(&features)?;
-        Ok((label, embedding))
+        let (class_idx, cluster_idx, _) = best.expect("class_models is non-empty");
+        let cm = &self.class_models[class_idx];
+        let embedding = cm.model.embed_normalized(&normalized, cluster_idx, start)?;
+        Ok((cm.label, embedding))
+    }
+
+    /// Embeds a batch of raw, unlabelled samples in parallel. Results are in
+    /// input order and identical to calling [`EnqodePipeline::embed`] per
+    /// sample (apart from wall-clock durations).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error from a failing sample (remaining samples are
+    /// cancelled once a failure is observed).
+    pub fn embed_batch(
+        &self,
+        raw_samples: &[Vec<f64>],
+    ) -> Result<Vec<(usize, Embedding)>, EnqodeError> {
+        enq_parallel::try_par_map(raw_samples, |_, sample| self.embed(sample))
     }
 }
 
@@ -175,6 +206,7 @@ mod tests {
             offline_max_iterations: 120,
             offline_restarts: 3,
             online_max_iterations: 40,
+            offline_rescue: false,
             seed: 21,
         };
         (EnqodePipeline::build(&dataset, config).unwrap(), dataset)
@@ -209,6 +241,20 @@ mod tests {
         let (label, embedding) = pipeline.embed(dataset.sample(0)).unwrap();
         assert!(label == 0 || label == 1);
         assert!(embedding.ideal_fidelity > 0.8);
+    }
+
+    #[test]
+    fn batch_embedding_matches_per_sample_embedding() {
+        let (pipeline, dataset) = tiny_pipeline();
+        let raw: Vec<Vec<f64>> = (0..4).map(|i| dataset.sample(i).to_vec()).collect();
+        let batch = pipeline.embed_batch(&raw).unwrap();
+        assert_eq!(batch.len(), raw.len());
+        for (sample, (label, embedding)) in raw.iter().zip(batch.iter()) {
+            let (single_label, single) = pipeline.embed(sample).unwrap();
+            assert_eq!(single_label, *label);
+            assert_eq!(single.parameters, embedding.parameters);
+            assert_eq!(single.cluster_index, embedding.cluster_index);
+        }
     }
 
     #[test]

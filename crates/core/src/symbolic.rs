@@ -5,16 +5,46 @@
 //! `⊗(|0⟩+i|1⟩)/√2`, every amplitude stays of the form
 //!
 //! ```text
-//! a_r(θ) = i^{k_r} · exp(i·Σ_j p_{rj}·θ_j / 2) / √(2^n),   p_{rj} ∈ {−1,0,1}
+//! a_r(θ) = i^{k_r} · exp(i·Σ_j p_{rj}·θ_j / 2) / √(2^n),   p_{rj} ∈ {−1,+1}
 //! ```
 //!
 //! The integer table `(k_r, p_{rj})` is computed once per ansatz shape; the
 //! state and its exact Jacobian are then closed-form functions of `θ`, which
 //! is what makes EnQode's training fast.
+//!
+//! # The sparse column structure
+//!
+//! The dense table hides a much stronger structure that the optimised kernel
+//! exploits. Each entangler (`CX`/`CY`) permutes basis rows by the XOR map
+//! `r → r ⊕ ((r≫c)&1)≪t`, which is *linear over GF(2)*; `CZ` only touches the
+//! constant `k_r`. Composing linear maps keeps them linear, so the sign
+//! column of every parameter `j` is a Walsh character: there is a per-column
+//! bitmask `m_j` with
+//!
+//! ```text
+//! p_{rj} = −(−1)^{popcount(r & m_j)}.
+//! ```
+//!
+//! Two consequences drive [`SymbolicState::overlap_and_gradient_into`]:
+//!
+//! * the phase vector `φ_r = Σ_j p_{rj}·θ_j` is the (unnormalised)
+//!   Walsh–Hadamard transform of the **P-sparse spectrum** `c[m_j] −= θ_j`,
+//!   computable in `O(2^n·n)` instead of the dense `O(2^n·n·L)` walk;
+//! * each gradient component is a single entry of the Walsh–Hadamard
+//!   transform of the weighted overlap vector, so the whole gradient is one
+//!   more `O(2^n·n)` transform followed by a `P`-entry gather.
+//!
+//! Amplitudes are evaluated in a structure-of-arrays scratch held by a
+//! reusable [`SymbolicWorkspace`] with one fused [`f64::sin_cos`] per row and
+//! zero heap allocations per evaluation. The seed's dense-walk kernel is
+//! retained as [`SymbolicState::overlap_and_gradient_naive`] — the reference
+//! the equivalence tests and the `symbolic_kernel` micro-benchmark compare
+//! against.
 
 use crate::ansatz::{AnsatzConfig, EntanglerKind};
 use crate::error::EnqodeError;
-use enq_linalg::{C64, CVector};
+use enq_linalg::{CVector, C64};
+use std::f64::consts::FRAC_PI_2;
 
 /// The symbolic state `|ψ(θ)⟩` of an EnQode ansatz, before the closing
 /// rotation column.
@@ -24,9 +54,73 @@ pub struct SymbolicState {
     num_parameters: usize,
     /// Phase constant per basis index, stored as a power of `i` (mod 4).
     k_power: Vec<u8>,
+    /// `k_power` pre-multiplied to radians: `k_r·π/2`.
+    base_phase: Vec<f64>,
     /// Integer coefficient of each parameter in each amplitude's phase,
-    /// flattened row-major: `coeff[r * num_parameters + j] ∈ {−1, 0, 1}`.
+    /// flattened row-major: `coeff[r * num_parameters + j] ∈ {−1, 1}`.
+    /// Retained as the naive reference; the fast kernels use `column_masks`.
     coeffs: Vec<i8>,
+    /// Per-parameter Walsh bitmask: `p_{rj} = −(−1)^{popcount(r & m_j)}`.
+    column_masks: Vec<u32>,
+}
+
+/// Reusable scratch buffers for the symbolic kernels.
+///
+/// Holds the phase accumulator and the structure-of-arrays weighted-overlap
+/// buffers so that repeated evaluations (every L-BFGS iteration of every
+/// restart) perform **zero heap allocations**. One workspace serves any
+/// number of states; buffers grow on demand and are reused in place.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolicWorkspace {
+    /// Phase accumulator; doubles as the Walsh spectrum before the transform.
+    phase: Vec<f64>,
+    /// Real part of `w_r = conj(y_r)·a_r(θ)`.
+    w_re: Vec<f64>,
+    /// Imaginary part of `w_r`.
+    w_im: Vec<f64>,
+}
+
+impl SymbolicWorkspace {
+    /// Creates an empty workspace (buffers are sized lazily).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a workspace pre-sized for one state.
+    pub fn for_state(state: &SymbolicState) -> Self {
+        let mut ws = Self::new();
+        ws.ensure(state.dim());
+        ws
+    }
+
+    fn ensure(&mut self, dim: usize) {
+        if self.phase.len() < dim {
+            self.phase.resize(dim, 0.0);
+            self.w_re.resize(dim, 0.0);
+            self.w_im.resize(dim, 0.0);
+        }
+    }
+}
+
+/// In-place unnormalised Walsh–Hadamard transform:
+/// `out[r] = Σ_m in[m]·(−1)^{popcount(r & m)}`.
+#[inline]
+fn walsh_hadamard_in_place(data: &mut [f64]) {
+    let n = data.len();
+    let mut h = 1;
+    while h < n {
+        let mut block = 0;
+        while block < n {
+            for i in block..block + h {
+                let a = data[i];
+                let b = data[i + h];
+                data[i] = a + b;
+                data[i + h] = a - b;
+            }
+            block += h * 2;
+        }
+        h *= 2;
+    }
 }
 
 impl SymbolicState {
@@ -71,11 +165,16 @@ impl SymbolicState {
                 }
             }
         }
+
+        let column_masks = extract_column_masks(&coeffs, dim, num_parameters)?;
+        let base_phase = k_power.iter().map(|&k| f64::from(k) * FRAC_PI_2).collect();
         Ok(Self {
             num_qubits: n,
             num_parameters,
             k_power,
+            base_phase,
             coeffs,
+            column_masks,
         })
     }
 
@@ -104,6 +203,26 @@ impl SymbolicState {
         self.coeffs[r * self.num_parameters + j]
     }
 
+    /// Returns the Walsh bitmask of parameter `j`: the sparse column-major
+    /// encoding of its `±1` row pattern, `p_{rj} = −(−1)^{popcount(r & m_j)}`.
+    pub fn column_mask(&self, j: usize) -> u32 {
+        self.column_masks[j]
+    }
+
+    /// Scatters `θ` into the Walsh spectrum and transforms it into the phase
+    /// vector `φ_r = Σ_j p_{rj}·θ_j`, stored in `ws.phase`.
+    fn accumulate_phases(&self, theta: &[f64], ws: &mut SymbolicWorkspace) {
+        let dim = self.dim();
+        ws.ensure(dim);
+        let phase = &mut ws.phase[..dim];
+        phase.fill(0.0);
+        // p_{rj} = −(−1)^{popcount(r & m_j)}, so the spectrum entry is −θ_j.
+        for (&mask, &t) in self.column_masks.iter().zip(theta.iter()) {
+            phase[mask as usize] -= t;
+        }
+        walsh_hadamard_in_place(phase);
+    }
+
     /// Evaluates the amplitudes `a_r(θ)`.
     ///
     /// # Errors
@@ -111,32 +230,111 @@ impl SymbolicState {
     /// Returns [`EnqodeError::DimensionMismatch`] if `theta` has the wrong
     /// length.
     pub fn amplitudes(&self, theta: &[f64]) -> Result<CVector, EnqodeError> {
-        if theta.len() != self.num_parameters {
-            return Err(EnqodeError::DimensionMismatch {
-                expected: self.num_parameters,
-                found: theta.len(),
-            });
-        }
+        self.check_theta(theta)?;
+        let mut ws = SymbolicWorkspace::for_state(self);
+        self.accumulate_phases(theta, &mut ws);
         let dim = self.dim();
         let scale = 1.0 / (dim as f64).sqrt();
-        let mut out = Vec::with_capacity(dim);
-        for r in 0..dim {
-            let mut phase = 0.0f64;
-            let row = &self.coeffs[r * self.num_parameters..(r + 1) * self.num_parameters];
-            for (p, t) in row.iter().zip(theta.iter()) {
-                if *p != 0 {
-                    phase += f64::from(*p) * t;
-                }
-            }
-            let mut amp = C64::cis(phase / 2.0).scale(scale);
-            amp = amp * i_power(self.k_power[r]);
-            out.push(amp);
-        }
+        let out = (0..dim)
+            .map(|r| {
+                let (s, c) = (0.5 * ws.phase[r] + self.base_phase[r]).sin_cos();
+                C64::new(scale * c, scale * s)
+            })
+            .collect();
         Ok(CVector::new(out))
     }
 
+    /// Evaluates the overlap `S(θ) = ⟨y|ψ(θ)⟩` without the gradient, using
+    /// the caller's workspace (no heap allocations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::DimensionMismatch`] for mismatched lengths.
+    #[allow(clippy::needless_range_loop)]
+    pub fn overlap_into(
+        &self,
+        target_conj: &[C64],
+        theta: &[f64],
+        ws: &mut SymbolicWorkspace,
+    ) -> Result<C64, EnqodeError> {
+        self.check_inputs(target_conj, theta)?;
+        self.accumulate_phases(theta, ws);
+        let dim = self.dim();
+        let scale = 1.0 / (dim as f64).sqrt();
+        let mut sum_re = 0.0;
+        let mut sum_im = 0.0;
+        for r in 0..dim {
+            let (s, c) = (0.5 * ws.phase[r] + self.base_phase[r]).sin_cos();
+            let t = target_conj[r];
+            sum_re += t.re * c - t.im * s;
+            sum_im += t.re * s + t.im * c;
+        }
+        Ok(C64::new(scale * sum_re, scale * sum_im))
+    }
+
     /// Evaluates the overlap `S(θ) = ⟨y|ψ(θ)⟩` and its gradient
-    /// `∂S/∂θ_j = Σ_r conj(y_r)·(i·p_{rj}/2)·a_r(θ)` in a single pass.
+    /// `∂S/∂θ_j = Σ_r conj(y_r)·(i·p_{rj}/2)·a_r(θ)` into caller-provided
+    /// storage, performing **zero heap allocations**.
+    ///
+    /// The weighted vector `w_r = conj(y_r)·a_r` is built in a
+    /// structure-of-arrays layout with one fused `sin_cos` per row; the
+    /// gradient is then `∂S/∂θ_j = (i/2)·Ŵ[m_j]` where `Ŵ` is the
+    /// Walsh–Hadamard transform of `−w` — one `O(2^n·n)` transform shared by
+    /// every parameter, followed by a sparse `P`-entry gather.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::DimensionMismatch`] for mismatched lengths
+    /// (including `gradient.len() != num_parameters`).
+    #[allow(clippy::needless_range_loop)]
+    pub fn overlap_and_gradient_into(
+        &self,
+        target_conj: &[C64],
+        theta: &[f64],
+        ws: &mut SymbolicWorkspace,
+        gradient: &mut [C64],
+    ) -> Result<C64, EnqodeError> {
+        self.check_inputs(target_conj, theta)?;
+        if gradient.len() != self.num_parameters {
+            return Err(EnqodeError::DimensionMismatch {
+                expected: self.num_parameters,
+                found: gradient.len(),
+            });
+        }
+        self.accumulate_phases(theta, ws);
+        let dim = self.dim();
+        let scale = 1.0 / (dim as f64).sqrt();
+        let mut sum_re = 0.0;
+        let mut sum_im = 0.0;
+        {
+            let phase = &ws.phase[..dim];
+            let w_re = &mut ws.w_re[..dim];
+            let w_im = &mut ws.w_im[..dim];
+            for r in 0..dim {
+                let (s, c) = (0.5 * phase[r] + self.base_phase[r]).sin_cos();
+                let t = target_conj[r];
+                let re = scale * (t.re * c - t.im * s);
+                let im = scale * (t.re * s + t.im * c);
+                w_re[r] = re;
+                w_im[r] = im;
+                sum_re += re;
+                sum_im += im;
+            }
+        }
+        // d_j = Σ_r p_{rj}·w_r = −WHT(w)[m_j]; ∂S/∂θ_j = (i/2)·d_j.
+        walsh_hadamard_in_place(&mut ws.w_re[..dim]);
+        walsh_hadamard_in_place(&mut ws.w_im[..dim]);
+        for (g, &mask) in gradient.iter_mut().zip(self.column_masks.iter()) {
+            let d_re = -ws.w_re[mask as usize];
+            let d_im = -ws.w_im[mask as usize];
+            *g = C64::new(-0.5 * d_im, 0.5 * d_re);
+        }
+        Ok(C64::new(sum_re, sum_im))
+    }
+
+    /// Evaluates the overlap `S(θ) = ⟨y|ψ(θ)⟩` and its gradient in a single
+    /// pass (allocating convenience wrapper around
+    /// [`SymbolicState::overlap_and_gradient_into`]).
     ///
     /// # Errors
     ///
@@ -146,19 +344,43 @@ impl SymbolicState {
         target_conj: &[C64],
         theta: &[f64],
     ) -> Result<(C64, Vec<C64>), EnqodeError> {
-        if target_conj.len() != self.dim() {
-            return Err(EnqodeError::DimensionMismatch {
-                expected: self.dim(),
-                found: target_conj.len(),
-            });
-        }
-        let amplitudes = self.amplitudes(theta)?;
+        let mut ws = SymbolicWorkspace::for_state(self);
+        let mut gradient = vec![C64::ZERO; self.num_parameters];
+        let overlap = self.overlap_and_gradient_into(target_conj, theta, &mut ws, &mut gradient)?;
+        Ok((overlap, gradient))
+    }
+
+    /// The seed's dense row-major reference kernel: walks the full `i8`
+    /// coefficient table per row. Kept verbatim as the ground truth the
+    /// sparse kernel is tested against (see the `sparse_kernel_equivalence`
+    /// integration test) and as the baseline of the `symbolic_kernel`
+    /// micro-benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::DimensionMismatch`] for mismatched lengths.
+    #[allow(clippy::needless_range_loop)]
+    pub fn overlap_and_gradient_naive(
+        &self,
+        target_conj: &[C64],
+        theta: &[f64],
+    ) -> Result<(C64, Vec<C64>), EnqodeError> {
+        self.check_inputs(target_conj, theta)?;
+        let dim = self.dim();
+        let scale = 1.0 / (dim as f64).sqrt();
         let mut overlap = C64::ZERO;
         let mut gradient = vec![C64::ZERO; self.num_parameters];
-        for r in 0..self.dim() {
-            let weighted = target_conj[r] * amplitudes[r];
-            overlap += weighted;
+        for r in 0..dim {
+            let mut phase = 0.0f64;
             let row = &self.coeffs[r * self.num_parameters..(r + 1) * self.num_parameters];
+            for (p, t) in row.iter().zip(theta.iter()) {
+                if *p != 0 {
+                    phase += f64::from(*p) * t;
+                }
+            }
+            let amp = C64::cis(phase / 2.0).scale(scale) * i_power(self.k_power[r]);
+            let weighted = target_conj[r] * amp;
+            overlap += weighted;
             for (j, p) in row.iter().enumerate() {
                 if *p != 0 {
                     gradient[j] += weighted.scale(f64::from(*p) * 0.5) * C64::I;
@@ -167,6 +389,72 @@ impl SymbolicState {
         }
         Ok((overlap, gradient))
     }
+
+    fn check_theta(&self, theta: &[f64]) -> Result<(), EnqodeError> {
+        if theta.len() != self.num_parameters {
+            return Err(EnqodeError::DimensionMismatch {
+                expected: self.num_parameters,
+                found: theta.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_inputs(&self, target_conj: &[C64], theta: &[f64]) -> Result<(), EnqodeError> {
+        if target_conj.len() != self.dim() {
+            return Err(EnqodeError::DimensionMismatch {
+                expected: self.dim(),
+                found: target_conj.len(),
+            });
+        }
+        self.check_theta(theta)
+    }
+}
+
+/// Derives the per-column Walsh bitmasks from the dense table and verifies
+/// them against every row.
+///
+/// The Rz columns write `±1` depending on one bit of the (entangler-permuted)
+/// row index, and `CX`/`CY` permute rows by XOR maps that are linear over
+/// GF(2), so each column must satisfy `p_{rj} = −(−1)^{popcount(r & m_j)}`
+/// with `m_j` read off the single-bit rows. The full verification is a
+/// one-off `O(2^n·P)` pass at construction; it guards the fast kernels
+/// against any future entangler that breaks linearity.
+fn extract_column_masks(
+    coeffs: &[i8],
+    dim: usize,
+    num_parameters: usize,
+) -> Result<Vec<u32>, EnqodeError> {
+    let mut masks = Vec::with_capacity(num_parameters);
+    for j in 0..num_parameters {
+        let mut mask = 0u32;
+        let mut bit = 1usize;
+        while bit < dim {
+            if coeffs[bit * num_parameters + j] == 1 {
+                mask |= bit as u32;
+            }
+            bit <<= 1;
+        }
+        masks.push(mask);
+    }
+    // Verify the character structure for every entry.
+    for r in 0..dim {
+        let row = &coeffs[r * num_parameters..(r + 1) * num_parameters];
+        for (j, &p) in row.iter().enumerate() {
+            let expected: i8 = if (r as u32 & masks[j]).count_ones() % 2 == 1 {
+                1
+            } else {
+                -1
+            };
+            if p != expected {
+                return Err(EnqodeError::InvalidConfig(format!(
+                    "phase-table column {j} is not a Walsh character at row {r}; \
+                     the sparse kernel cannot represent this ansatz"
+                )));
+            }
+        }
+    }
+    Ok(masks)
 }
 
 /// Returns `i^k`.
@@ -180,6 +468,7 @@ fn i_power(k: u8) -> C64 {
 }
 
 /// Applies one entangling gate to the phase table.
+#[allow(clippy::needless_range_loop)]
 fn apply_entangler(
     kind: EntanglerKind,
     control: usize,
@@ -298,7 +587,9 @@ mod tests {
             entangler: EntanglerKind::Cy,
         };
         let symbolic = SymbolicState::from_ansatz(&config).unwrap();
-        let theta: Vec<f64> = (0..config.num_parameters()).map(|j| 0.1 * j as f64).collect();
+        let theta: Vec<f64> = (0..config.num_parameters())
+            .map(|j| 0.1 * j as f64)
+            .collect();
         let psi = symbolic.amplitudes(&theta).unwrap();
         let expected = 1.0 / 4.0;
         for a in psi.iter() {
@@ -316,6 +607,94 @@ mod tests {
                 let p = symbolic.coefficient(r, j);
                 assert!((-1..=1).contains(&p), "coefficient {p} at ({r},{j})");
             }
+        }
+    }
+
+    #[test]
+    fn column_masks_reproduce_the_dense_table() {
+        for entangler in [EntanglerKind::Cy, EntanglerKind::Cx, EntanglerKind::Cz] {
+            let config = AnsatzConfig {
+                num_qubits: 4,
+                num_layers: 5,
+                entangler,
+            };
+            let symbolic = SymbolicState::from_ansatz(&config).unwrap();
+            for r in 0..symbolic.dim() {
+                for j in 0..symbolic.num_parameters() {
+                    let mask = symbolic.column_mask(j);
+                    let sign = if (r as u32 & mask).count_ones() % 2 == 1 {
+                        1
+                    } else {
+                        -1
+                    };
+                    assert_eq!(symbolic.coefficient(r, j), sign);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_kernel_matches_naive_reference() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for entangler in [EntanglerKind::Cy, EntanglerKind::Cx, EntanglerKind::Cz] {
+            let config = AnsatzConfig {
+                num_qubits: 4,
+                num_layers: 4,
+                entangler,
+            };
+            let symbolic = SymbolicState::from_ansatz(&config).unwrap();
+            let theta: Vec<f64> = (0..config.num_parameters())
+                .map(|_| rng.gen_range(-3.0..3.0))
+                .collect();
+            let target_conj: Vec<C64> = (0..symbolic.dim())
+                .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let (s_fast, g_fast) = symbolic.overlap_and_gradient(&target_conj, &theta).unwrap();
+            let (s_naive, g_naive) = symbolic
+                .overlap_and_gradient_naive(&target_conj, &theta)
+                .unwrap();
+            assert!(s_fast.approx_eq(s_naive, 1e-12), "{s_fast} vs {s_naive}");
+            for (a, b) in g_fast.iter().zip(g_naive.iter()) {
+                assert!(a.approx_eq(*b, 1e-12), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_consistent_across_states() {
+        // One workspace shared by states of different sizes must keep giving
+        // correct results (buffers only ever grow).
+        let mut ws = SymbolicWorkspace::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        for qubits in [5usize, 3, 4] {
+            let config = AnsatzConfig {
+                num_qubits: qubits,
+                num_layers: 3,
+                entangler: EntanglerKind::Cy,
+            };
+            let symbolic = SymbolicState::from_ansatz(&config).unwrap();
+            let theta: Vec<f64> = (0..config.num_parameters())
+                .map(|_| rng.gen_range(-2.0..2.0))
+                .collect();
+            let target_conj: Vec<C64> = (0..symbolic.dim())
+                .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let mut gradient = vec![C64::ZERO; config.num_parameters()];
+            let s = symbolic
+                .overlap_and_gradient_into(&target_conj, &theta, &mut ws, &mut gradient)
+                .unwrap();
+            let (s_ref, g_ref) = symbolic
+                .overlap_and_gradient_naive(&target_conj, &theta)
+                .unwrap();
+            assert!(s.approx_eq(s_ref, 1e-12));
+            for (a, b) in gradient.iter().zip(g_ref.iter()) {
+                assert!(a.approx_eq(*b, 1e-12));
+            }
+            // The no-gradient path agrees too.
+            let s_only = symbolic
+                .overlap_into(&target_conj, &theta, &mut ws)
+                .unwrap();
+            assert!(s_only.approx_eq(s_ref, 1e-12));
         }
     }
 
@@ -362,5 +741,35 @@ mod tests {
         let config = AnsatzConfig::with_qubits(3);
         let symbolic = SymbolicState::from_ansatz(&config).unwrap();
         assert!(symbolic.amplitudes(&[0.0; 3]).is_err());
+        let mut ws = SymbolicWorkspace::new();
+        let target = vec![C64::ZERO; symbolic.dim()];
+        assert!(symbolic.overlap_into(&target, &[0.0; 3], &mut ws).is_err());
+        let mut short_grad = vec![C64::ZERO; 2];
+        let theta = vec![0.0; symbolic.num_parameters()];
+        assert!(symbolic
+            .overlap_and_gradient_into(&target, &theta, &mut ws, &mut short_grad)
+            .is_err());
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn walsh_hadamard_matches_direct_sum() {
+        let input = [0.5, -1.0, 2.0, 0.25, -0.75, 1.5, 0.0, 3.0];
+        let mut data = input;
+        walsh_hadamard_in_place(&mut data);
+        for r in 0..8usize {
+            let direct: f64 = input
+                .iter()
+                .enumerate()
+                .map(|(m, v)| {
+                    if (r & m).count_ones() % 2 == 1 {
+                        -v
+                    } else {
+                        *v
+                    }
+                })
+                .sum();
+            assert!((data[r] - direct).abs() < 1e-12);
+        }
     }
 }

@@ -1,14 +1,13 @@
 //! Dataset containers.
 
 use crate::error::DataError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The image datasets used by the paper's evaluation. The repository ships
 /// deterministic synthetic surrogates with the same dimensionality and class
 /// structure (see `enq_data::synthetic`), because the pipeline only ever
 /// consumes PCA-reduced, L2-normalised feature vectors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetKind {
     /// 28×28 grayscale digits (MNIST surrogate).
     MnistLike,
@@ -53,7 +52,7 @@ impl fmt::Display for DatasetKind {
 }
 
 /// A labelled collection of flat feature vectors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     name: String,
     feature_dim: usize,

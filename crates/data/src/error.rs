@@ -27,7 +27,10 @@ impl fmt::Display for DataError {
         match self {
             DataError::EmptyDataset => write!(f, "dataset contains no samples"),
             DataError::DimensionMismatch { expected, found } => {
-                write!(f, "feature dimension mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "feature dimension mismatch: expected {expected}, found {found}"
+                )
             }
             DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             DataError::Linalg(e) => write!(f, "linear algebra error: {e}"),

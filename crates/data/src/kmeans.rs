@@ -383,7 +383,14 @@ mod tests {
     #[test]
     fn invalid_parameters_rejected() {
         let samples = blobs();
-        assert!(kmeans(&samples, &KMeansConfig { k: 0, ..Default::default() }).is_err());
+        assert!(kmeans(
+            &samples,
+            &KMeansConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
         assert!(kmeans(
             &samples,
             &KMeansConfig {

@@ -309,7 +309,10 @@ mod tests {
         for w in ev.windows(2) {
             assert!(w[0] >= w[1] - 1e-9);
         }
-        assert!(ev[0] > ev[2], "dominant directions should carry more variance");
+        assert!(
+            ev[0] > ev[2],
+            "dominant directions should carry more variance"
+        );
     }
 
     #[test]

@@ -94,12 +94,13 @@ impl FeaturePipeline {
     ///
     /// Propagates per-sample errors.
     pub fn apply_dataset(&self, dataset: &Dataset) -> Result<Dataset, DataError> {
-        let samples: Result<Vec<Vec<f64>>, DataError> = dataset
-            .samples()
-            .iter()
-            .map(|s| self.apply(s))
-            .collect();
-        Dataset::new(dataset.name().to_string(), samples?, dataset.labels().to_vec())
+        let samples: Result<Vec<Vec<f64>>, DataError> =
+            dataset.samples().iter().map(|s| self.apply(s)).collect();
+        Dataset::new(
+            dataset.name().to_string(),
+            samples?,
+            dataset.labels().to_vec(),
+        )
     }
 }
 
@@ -166,9 +167,8 @@ mod tests {
         let data = small_dataset();
         let pipeline = FeaturePipeline::fit(&data, 16).unwrap();
         let features = pipeline.apply_dataset(&data).unwrap();
-        let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
+        let dist =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
         let c0 = features.indices_of_class(0);
         let c1 = features.indices_of_class(1);
         let mut within = 0.0;

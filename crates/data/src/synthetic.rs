@@ -64,7 +64,10 @@ struct Bump {
 /// assert_eq!(data.feature_dim(), 784);
 /// # Ok::<(), enq_data::DataError>(())
 /// ```
-pub fn generate_synthetic(kind: DatasetKind, config: &SyntheticConfig) -> Result<Dataset, DataError> {
+pub fn generate_synthetic(
+    kind: DatasetKind,
+    config: &SyntheticConfig,
+) -> Result<Dataset, DataError> {
     if config.classes == 0 || config.samples_per_class == 0 {
         return Err(DataError::InvalidParameter(
             "classes and samples_per_class must be positive".to_string(),

@@ -21,8 +21,13 @@ pub struct HermitianEigen {
 impl HermitianEigen {
     /// Reconstructs the original matrix `V · diag(λ) · V†`.
     pub fn reconstruct(&self) -> CMatrix {
-        let diag =
-            CMatrix::from_diagonal(&self.eigenvalues.iter().map(|&l| C64::real(l)).collect::<Vec<_>>());
+        let diag = CMatrix::from_diagonal(
+            &self
+                .eigenvalues
+                .iter()
+                .map(|&l| C64::real(l))
+                .collect::<Vec<_>>(),
+        );
         self.eigenvectors
             .matmul(&diag)
             .matmul(&self.eigenvectors.adjoint())
@@ -149,7 +154,15 @@ pub fn hermitian_eigen(a: &CMatrix) -> Result<HermitianEigen, LinalgError> {
 
 /// Applies the two-sided Jacobi rotation on rows/columns `p`,`q` to `m`, and the
 /// one-sided rotation to the eigenvector accumulator `v`.
-fn apply_rotation(m: &mut CMatrix, v: &mut CMatrix, p: usize, q: usize, c: f64, s: f64, phase: C64) {
+fn apply_rotation(
+    m: &mut CMatrix,
+    v: &mut CMatrix,
+    p: usize,
+    q: usize,
+    c: f64,
+    s: f64,
+    phase: C64,
+) {
     let n = m.nrows();
     // J = [[c, -s·phase], [s·conj(phase), c]] acting on columns (p, q).
     // Update columns: M <- M·J, then rows: M <- J†·M; V <- V·J.
@@ -227,7 +240,9 @@ mod tests {
         // Simple deterministic LCG so the test does not need `rand`.
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut m = CMatrix::zeros(n, n);
@@ -315,7 +330,10 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         let m = CMatrix::zeros(2, 3);
-        assert!(matches!(hermitian_eigen(&m), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            hermitian_eigen(&m),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]

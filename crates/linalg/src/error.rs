@@ -43,7 +43,10 @@ impl fmt::Display for LinalgError {
             }
             LinalgError::Singular => write!(f, "matrix is singular"),
             LinalgError::NoConvergence { iterations } => {
-                write!(f, "iteration did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "iteration did not converge after {iterations} iterations"
+                )
             }
             LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
         }

@@ -228,6 +228,48 @@ impl CMatrix {
         out
     }
 
+    /// Applies this 2×2 matrix to every qubit of a little-endian state
+    /// vector in place — multiplication by `self^{⊗n}` in `O(n·2^n)`
+    /// operations instead of forming and applying the dense `2^n×2^n`
+    /// product (the structure EnQode's closing rotation `W = W₁^{⊗n}` has).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self` is not 2×2 or
+    /// the state length is not a power of two.
+    pub fn apply_kron_power(&self, state: &mut [C64]) -> Result<(), LinalgError> {
+        if self.rows != 2 || self.cols != 2 {
+            return Err(LinalgError::DimensionMismatch {
+                expected: 2,
+                found: self.rows.max(self.cols),
+            });
+        }
+        let dim = state.len();
+        if dim == 0 || !dim.is_power_of_two() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: dim.next_power_of_two().max(1),
+                found: dim,
+            });
+        }
+        let (m00, m01) = (self.data[0], self.data[1]);
+        let (m10, m11) = (self.data[2], self.data[3]);
+        let mut stride = 1usize;
+        while stride < dim {
+            let mut block = 0;
+            while block < dim {
+                for i in block..block + stride {
+                    let a = state[i];
+                    let b = state[i + stride];
+                    state[i] = m00 * a + m01 * b;
+                    state[i + stride] = m10 * a + m11 * b;
+                }
+                block += stride * 2;
+            }
+            stride <<= 1;
+        }
+        Ok(())
+    }
+
     /// Returns the Kronecker (tensor) product `self ⊗ rhs`.
     pub fn kron(&self, rhs: &Self) -> Self {
         let rows = self.rows * rhs.rows;
@@ -270,11 +312,7 @@ impl CMatrix {
 
     /// Returns the Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data
-            .iter()
-            .map(|z| z.norm_sqr())
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
     }
 
     /// Returns `true` if every entry is within `tol` of the other matrix.
@@ -452,6 +490,42 @@ mod tests {
 
     fn pauli_x() -> CMatrix {
         CMatrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]])
+    }
+
+    #[test]
+    fn apply_kron_power_matches_dense_kron_matvec() {
+        // An arbitrary non-unitary 2×2 so the test is not symmetry-protected.
+        let m = CMatrix::from_rows(&[
+            &[C64::new(0.3, -0.8), C64::new(1.1, 0.2)],
+            &[C64::new(-0.4, 0.5), C64::new(0.9, 0.7)],
+        ]);
+        let n = 3;
+        let dim = 1usize << n;
+        let mut dense = CMatrix::identity(1);
+        for _ in 0..n {
+            dense = dense.kron(&m);
+        }
+        let v = CVector::new(
+            (0..dim)
+                .map(|i| C64::new(0.1 * i as f64 - 0.3, 0.05 * (i * i) as f64))
+                .collect(),
+        );
+        let want = dense.matvec(&v);
+        let mut got = v.clone().into_vec();
+        m.apply_kron_power(&mut got).unwrap();
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert!(a.approx_eq(*b, 1e-10), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn apply_kron_power_rejects_bad_shapes() {
+        let m3 = CMatrix::identity(3);
+        let mut state = vec![C64::ZERO; 8];
+        assert!(m3.apply_kron_power(&mut state).is_err());
+        let m2 = CMatrix::identity(2);
+        let mut odd = vec![C64::ZERO; 6];
+        assert!(m2.apply_kron_power(&mut odd).is_err());
     }
 
     fn pauli_y() -> CMatrix {

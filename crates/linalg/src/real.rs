@@ -136,6 +136,7 @@ impl RMatrix {
     /// # Panics
     ///
     /// Panics if `v.len() != ncols()`.
+    #[allow(clippy::needless_range_loop)]
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "real matvec dimension mismatch");
         let mut out = vec![0.0; self.rows];
@@ -358,7 +359,11 @@ fn orthonormalize_columns(m: &mut RMatrix) {
 ///
 /// Returns [`LinalgError::InvalidInput`] if `k` is zero or exceeds the matrix
 /// dimension, and [`LinalgError::NotSquare`] for non-square input.
-pub fn top_k_eigen(a: &RMatrix, k: usize, iterations: usize) -> Result<SymmetricEigen, LinalgError> {
+pub fn top_k_eigen(
+    a: &RMatrix,
+    k: usize,
+    iterations: usize,
+) -> Result<SymmetricEigen, LinalgError> {
     if a.nrows() != a.ncols() {
         return Err(LinalgError::NotSquare {
             rows: a.nrows(),
@@ -389,7 +394,7 @@ pub fn top_k_eigen(a: &RMatrix, k: usize, iterations: usize) -> Result<Symmetric
     // Rayleigh-Ritz: project A into the subspace and solve the small problem.
     let aq = a.matmul(&q);
     let small = q.transpose().matmul(&aq); // k x k, symmetric.
-    // Symmetrise against round-off.
+                                           // Symmetrise against round-off.
     let mut sym = small.clone();
     for i in 0..k {
         for j in 0..k {
@@ -411,7 +416,9 @@ mod tests {
     fn random_symmetric(n: usize, seed: u64) -> RMatrix {
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut m = RMatrix::zeros(n, n);

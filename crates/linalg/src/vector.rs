@@ -51,7 +51,10 @@ impl CVector {
     ///
     /// Panics if `index >= dim`.
     pub fn basis_state(dim: usize, index: usize) -> Self {
-        assert!(index < dim, "basis index {index} out of range for dim {dim}");
+        assert!(
+            index < dim,
+            "basis index {index} out of range for dim {dim}"
+        );
         let mut v = Self::zeros(dim);
         v.data[index] = C64::ONE;
         v

@@ -34,7 +34,7 @@ mod nelder_mead;
 mod objective;
 
 pub use first_order::{Adam, GradientDescent};
-pub use lbfgs::Lbfgs;
+pub use lbfgs::{Lbfgs, LbfgsWorkspace};
 pub use nelder_mead::NelderMead;
 pub use objective::{FnObjective, Objective, OptimizeResult, Optimizer};
 

@@ -1,16 +1,21 @@
 //! Strong-Wolfe line search used by the quasi-Newton optimiser.
+//!
+//! The search works entirely in caller-provided buffers: candidate points are
+//! formed in a scratch slice and gradients are written through
+//! [`Objective::value_and_gradient_into`], so a full search performs no heap
+//! allocations.
 
 use crate::objective::{dot, Objective};
 
-/// Outcome of a line search along a descent direction.
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) struct LineSearchResult {
+/// Outcome of a line search along a descent direction. The gradient at the
+/// accepted point is left in the `gradient` buffer passed to
+/// [`strong_wolfe_into`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct LineSearchOutcome {
     /// Accepted step length.
     pub step: f64,
     /// Objective value at the accepted point.
     pub value: f64,
-    /// Gradient at the accepted point.
-    pub gradient: Vec<f64>,
     /// Number of objective evaluations consumed.
     pub evaluations: usize,
 }
@@ -19,16 +24,22 @@ pub(crate) struct LineSearchResult {
 /// bisection-based zoom).
 ///
 /// `x` is the current point, `direction` a descent direction, `f0`/`g0` the
-/// value and gradient at `x`. Returns `None` if no acceptable step is found
-/// within the evaluation budget (the caller then falls back to a small step).
-pub(crate) fn strong_wolfe(
+/// value and gradient at `x`. `point` and `gradient` are scratch buffers of
+/// dimension `x.len()`; on success `gradient` holds the gradient at the
+/// accepted point. Returns `None` if no acceptable step is found within the
+/// evaluation budget (the caller then falls back to a small step; `gradient`
+/// holds the last evaluated candidate's gradient in that case).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn strong_wolfe_into(
     objective: &dyn Objective,
     x: &[f64],
     direction: &[f64],
     f0: f64,
     g0: &[f64],
     initial_step: f64,
-) -> Option<LineSearchResult> {
+    point: &mut [f64],
+    gradient: &mut [f64],
+) -> Option<LineSearchOutcome> {
     const C1: f64 = 1e-4;
     const C2: f64 = 0.9;
     const MAX_EVALS: usize = 40;
@@ -38,15 +49,14 @@ pub(crate) fn strong_wolfe(
         return None; // not a descent direction
     }
 
-    let eval = |alpha: f64| -> (f64, Vec<f64>, f64) {
-        let point: Vec<f64> = x
-            .iter()
-            .zip(direction.iter())
-            .map(|(xi, di)| xi + alpha * di)
-            .collect();
-        let (value, gradient) = objective.value_and_gradient(&point);
-        let slope = dot(&gradient, direction);
-        (value, gradient, slope)
+    // Evaluates φ(α) = f(x + α·d), leaving the gradient in `gradient` and
+    // returning (value, slope).
+    let eval = |alpha: f64, point: &mut [f64], gradient: &mut [f64]| -> (f64, f64) {
+        for ((p, xi), di) in point.iter_mut().zip(x.iter()).zip(direction.iter()) {
+            *p = xi + alpha * di;
+        }
+        let value = objective.value_and_gradient_into(point, gradient);
+        (value, dot(gradient, direction))
     };
 
     let mut evaluations = 0usize;
@@ -56,17 +66,16 @@ pub(crate) fn strong_wolfe(
     let mut zoom_bounds: Option<(f64, f64, f64)> = None; // (lo, f_lo, hi)
 
     for i in 0..10 {
-        let (f_alpha, g_alpha, slope_alpha) = eval(alpha);
+        let (f_alpha, slope_alpha) = eval(alpha, point, gradient);
         evaluations += 1;
         if f_alpha > f0 + C1 * alpha * d_phi0 || (i > 0 && f_alpha >= f_prev) {
             zoom_bounds = Some((alpha_prev, f_prev, alpha));
             break;
         }
         if slope_alpha.abs() <= -C2 * d_phi0 {
-            return Some(LineSearchResult {
+            return Some(LineSearchOutcome {
                 step: alpha,
                 value: f_alpha,
-                gradient: g_alpha,
                 evaluations,
             });
         }
@@ -82,16 +91,15 @@ pub(crate) fn strong_wolfe(
     let (mut lo, mut f_lo, mut hi) = zoom_bounds?;
     while evaluations < MAX_EVALS {
         let mid = 0.5 * (lo + hi);
-        let (f_mid, g_mid, slope_mid) = eval(mid);
+        let (f_mid, slope_mid) = eval(mid, point, gradient);
         evaluations += 1;
         if f_mid > f0 + C1 * mid * d_phi0 || f_mid >= f_lo {
             hi = mid;
         } else {
             if slope_mid.abs() <= -C2 * d_phi0 {
-                return Some(LineSearchResult {
+                return Some(LineSearchOutcome {
                     step: mid,
                     value: f_mid,
-                    gradient: g_mid,
                     evaluations,
                 });
             }
@@ -102,11 +110,11 @@ pub(crate) fn strong_wolfe(
             f_lo = f_mid;
         }
         if (hi - lo).abs() < 1e-14 {
-            // Interval collapsed; accept the best point found so far.
-            return Some(LineSearchResult {
+            // Interval collapsed; accept the best point found so far (its
+            // gradient is already in the buffer).
+            return Some(LineSearchOutcome {
                 step: mid,
                 value: f_mid,
-                gradient: g_mid,
                 evaluations,
             });
         }
@@ -127,25 +135,43 @@ mod tests {
         )
     }
 
+    fn search(
+        obj: &dyn Objective,
+        x: &[f64],
+        direction: &[f64],
+        gradient: &mut [f64],
+    ) -> Option<LineSearchOutcome> {
+        let f0 = obj.value(x);
+        let g0 = obj.gradient(x);
+        let mut point = vec![0.0; x.len()];
+        strong_wolfe_into(obj, x, direction, f0, &g0, 1.0, &mut point, gradient)
+    }
+
     #[test]
     fn finds_wolfe_step_on_quadratic() {
         let obj = quadratic();
         let x = vec![1.0, 1.0];
-        let g0 = obj.gradient(&x);
-        let direction: Vec<f64> = g0.iter().map(|v| -v).collect();
-        let f0 = obj.value(&x);
-        let result = strong_wolfe(&obj, &x, &direction, f0, &g0, 1.0).unwrap();
-        assert!(result.value < f0);
+        let direction: Vec<f64> = obj.gradient(&x).iter().map(|v| -v).collect();
+        let mut gradient = vec![0.0; 2];
+        let result = search(&obj, &x, &direction, &mut gradient).unwrap();
+        assert!(result.value < obj.value(&x));
         assert!(result.step > 0.0);
+        // The gradient buffer holds ∇f at the accepted point.
+        let accepted: Vec<f64> = x
+            .iter()
+            .zip(direction.iter())
+            .map(|(xi, di)| xi + result.step * di)
+            .collect();
+        assert_eq!(gradient, obj.gradient(&accepted));
     }
 
     #[test]
     fn rejects_ascent_direction() {
         let obj = quadratic();
         let x = vec![1.0, 1.0];
-        let g0 = obj.gradient(&x);
-        let direction = g0.clone(); // ascent
-        assert!(strong_wolfe(&obj, &x, &direction, obj.value(&x), &g0, 1.0).is_none());
+        let direction = obj.gradient(&x); // ascent
+        let mut gradient = vec![0.0; 2];
+        assert!(search(&obj, &x, &direction, &mut gradient).is_none());
     }
 
     #[test]
@@ -156,7 +182,8 @@ mod tests {
         let direction: Vec<f64> = g0.iter().map(|v| -v).collect();
         let f0 = obj.value(&x);
         let d_phi0: f64 = g0.iter().zip(direction.iter()).map(|(a, b)| a * b).sum();
-        let result = strong_wolfe(&obj, &x, &direction, f0, &g0, 1.0).unwrap();
+        let mut gradient = vec![0.0; 2];
+        let result = search(&obj, &x, &direction, &mut gradient).unwrap();
         assert!(result.value <= f0 + 1e-4 * result.step * d_phi0 + 1e-12);
     }
 }

@@ -20,6 +20,23 @@ pub trait Objective {
     fn value_and_gradient(&self, x: &[f64]) -> (f64, Vec<f64>) {
         (self.value(x), self.gradient(x))
     }
+
+    /// Evaluates objective and gradient, writing the gradient into a
+    /// caller-provided buffer of length [`Objective::dimension`].
+    ///
+    /// Hot-path objectives (EnQode's fidelity loss) override this to avoid
+    /// any per-evaluation heap allocation; the optimisers in this crate call
+    /// it exclusively from their inner loops. The default delegates to
+    /// [`Objective::value_and_gradient`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gradient.len()` differs from the objective dimension.
+    fn value_and_gradient_into(&self, x: &[f64], gradient: &mut [f64]) -> f64 {
+        let (value, g) = self.value_and_gradient(x);
+        gradient.copy_from_slice(&g);
+        value
+    }
 }
 
 /// The result of an optimisation run.

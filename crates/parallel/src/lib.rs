@@ -1,0 +1,212 @@
+//! Dependency-free data parallelism for the EnQode offline phase.
+//!
+//! The container this workspace builds in has no network access, so rayon is
+//! unavailable; this crate provides the slice of its API the pipeline needs —
+//! an indexed parallel map over a slice — on top of [`std::thread::scope`].
+//!
+//! Two properties the training code relies on:
+//!
+//! * **Deterministic placement** — the result vector is ordered by input
+//!   index, never by completion order, so parallel runs produce byte-identical
+//!   outputs to sequential runs whenever the per-item work is itself
+//!   deterministic (EnQode derives an independent RNG seed per work item for
+//!   exactly this reason).
+//! * **Dynamic scheduling** — workers claim items through an atomic counter,
+//!   so unevenly sized items (clusters whose optimisation converges at
+//!   different speeds) keep every core busy.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Returns the worker count used by [`par_map`]: the `ENQODE_THREADS`
+/// environment variable when set, otherwise [`std::thread::available_parallelism`].
+pub fn default_threads() -> NonZeroUsize {
+    if let Ok(v) = std::env::var("ENQODE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if let Some(n) = NonZeroUsize::new(n) {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+}
+
+/// Applies `f` to every element of `items` in parallel and returns the
+/// results in input order.
+///
+/// `f` receives `(index, &item)`. Uses [`default_threads`] workers; falls back
+/// to a plain sequential loop for empty or single-element inputs.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_with_threads(default_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count. `threads = 1` runs fully
+/// sequentially on the calling thread (useful for determinism baselines).
+pub fn par_map_with_threads<T, R, F>(threads: NonZeroUsize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.get().min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i, &items[i]);
+                let _ = slots[i].set(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot is filled"))
+        .collect()
+}
+
+/// Applies a fallible `f` in parallel. On success returns all results in
+/// input order; on failure returns the lowest-index error **among the items
+/// that ran** — once any worker observes a failure, items not yet claimed
+/// are cancelled, so which error surfaces can depend on scheduling (a
+/// sequential run reports the overall lowest-index error).
+///
+/// # Errors
+///
+/// Returns the lowest-index error produced before cancellation kicked in.
+pub fn try_par_map<T, R, E, F>(items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send + Sync,
+    E: Send + Sync,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    try_par_map_with_threads(default_threads(), items, f)
+}
+
+/// [`try_par_map`] with an explicit worker count. With one worker the claim
+/// order is the input order, so it short-circuits at the overall
+/// lowest-index error exactly like a sequential loop.
+///
+/// # Errors
+///
+/// Same contract as [`try_par_map`].
+pub fn try_par_map_with_threads<T, R, E, F>(
+    threads: NonZeroUsize,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send + Sync,
+    E: Send + Sync,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    let results = par_map_with_threads(threads, items, |i, item| {
+        if failed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let outcome = f(i, item);
+        if outcome.is_err() {
+            failed.store(true, Ordering::Relaxed);
+        }
+        Some(outcome)
+    });
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Some(Ok(value)) => out.push(value),
+            Some(Err(e)) => return Err(e),
+            // Skipped after a failure elsewhere; the error that caused the
+            // cancellation follows at some index.
+            None => {}
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_for_uneven_work() {
+        let items: Vec<u64> = (0..64).collect();
+        let work = |_: usize, &x: &u64| -> u64 {
+            // Uneven spin so completion order differs from input order.
+            (0..(x % 7) * 1000).fold(x, |acc, v| acc.wrapping_add(v))
+        };
+        let par = par_map(&items, work);
+        let seq = par_map_with_threads(NonZeroUsize::MIN, &items, work);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_par_map_reports_an_error_from_a_failing_item() {
+        let items: Vec<usize> = (0..100).collect();
+        let err = try_par_map(&items, |_, &x| if x >= 10 { Err(x) } else { Ok(x) });
+        // Cancellation may skip some failing items, but the reported error
+        // always comes from one of them (never from the Ok range).
+        let e = err.expect_err("items >= 10 fail");
+        assert!(e >= 10, "error came from a passing item: {e}");
+        let ok: Result<Vec<usize>, usize> = try_par_map(&items, |_, &x| Ok(x));
+        assert_eq!(ok.unwrap().len(), 100);
+    }
+
+    #[test]
+    fn try_par_map_sequential_short_circuits_at_first_error() {
+        // With one worker the claim order is the input order: the overall
+        // lowest-index error is reported and later items are cancelled.
+        let items: Vec<usize> = (0..50).collect();
+        let ran = AtomicUsize::new(0);
+        let err = try_par_map_with_threads(NonZeroUsize::MIN, &items, |_, &x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if x == 3 {
+                Err(x)
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(err, Err(3));
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            4,
+            "items after the first error must not run"
+        );
+    }
+}

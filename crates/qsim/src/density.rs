@@ -3,7 +3,7 @@
 use crate::error::QsimError;
 use crate::noise::NoiseChannel;
 use crate::statevector::{apply_1q, apply_2q, Statevector};
-use enq_linalg::{C64, CMatrix, CVector};
+use enq_linalg::{CMatrix, CVector, C64};
 
 /// An `n`-qubit density matrix `ρ`, stored as a dense `2^n × 2^n` complex
 /// matrix (row-major, little-endian basis ordering).
@@ -149,7 +149,11 @@ impl DensityMatrix {
     ///
     /// Returns [`QsimError::DimensionMismatch`] if the channel arity does not
     /// match the operand count.
-    pub fn apply_channel(&mut self, channel: &NoiseChannel, qubits: &[usize]) -> Result<(), QsimError> {
+    pub fn apply_channel(
+        &mut self,
+        channel: &NoiseChannel,
+        qubits: &[usize],
+    ) -> Result<(), QsimError> {
         match channel {
             NoiseChannel::Unitary(u) => self.apply_matrix(u, qubits),
             NoiseChannel::Kraus(ops) => {
@@ -386,10 +390,11 @@ mod tests {
         let rho = bell_density();
         let sigma = DensityMatrix::zero_state(2);
         let jozsa = rho.fidelity(&sigma).unwrap();
-        let overlap = rho
-            .fidelity_with_pure(&CVector::basis_state(4, 0))
-            .unwrap();
-        assert!((jozsa - overlap).abs() < 1e-6, "jozsa {jozsa} overlap {overlap}");
+        let overlap = rho.fidelity_with_pure(&CVector::basis_state(4, 0)).unwrap();
+        assert!(
+            (jozsa - overlap).abs() < 1e-6,
+            "jozsa {jozsa} overlap {overlap}"
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl fmt::Display for QsimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QsimError::DimensionMismatch { expected, found } => {
-                write!(f, "state dimension mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "state dimension mismatch: expected {expected}, found {found}"
+                )
             }
             QsimError::NotNormalized { norm_sqr } => {
                 write!(f, "state is not normalised (|ψ|² = {norm_sqr})")

@@ -6,7 +6,7 @@
 //! amplitude/phase damping, and combined thermal relaxation.
 
 use crate::error::QsimError;
-use enq_linalg::{C64, CMatrix};
+use enq_linalg::{CMatrix, C64};
 
 /// A completely-positive trace-preserving map applied after a gate.
 #[derive(Debug, Clone, PartialEq)]
@@ -276,9 +276,6 @@ mod tests {
     #[test]
     fn channel_arity_report() {
         assert_eq!(NoiseChannel::bit_flip(0.1).unwrap().num_qubits(), Some(1));
-        assert_eq!(
-            NoiseChannel::depolarizing(0.1).unwrap().num_qubits(),
-            None
-        );
+        assert_eq!(NoiseChannel::depolarizing(0.1).unwrap().num_qubits(), None);
     }
 }

@@ -261,6 +261,9 @@ mod tests {
 
     #[test]
     fn default_is_brisbane_like() {
-        assert_eq!(DeviceNoiseModel::default(), DeviceNoiseModel::ibm_brisbane_like());
+        assert_eq!(
+            DeviceNoiseModel::default(),
+            DeviceNoiseModel::ibm_brisbane_like()
+        );
     }
 }

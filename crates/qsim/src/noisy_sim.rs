@@ -69,10 +69,7 @@ impl NoisySimulator {
             // Idle noise: lagging operands relax while waiting for the start
             // of this gate.
             if self.model.include_idle_noise && !gate.is_virtual() {
-                let start = qubits
-                    .iter()
-                    .map(|&q| qubit_time[q])
-                    .fold(0.0f64, f64::max);
+                let start = qubits.iter().map(|&q| qubit_time[q]).fold(0.0f64, f64::max);
                 for &q in qubits {
                     let idle = start - qubit_time[q];
                     if let Some(ch) = self.model.idle_channel(idle)? {
@@ -106,6 +103,7 @@ impl NoisySimulator {
         // Pad every qubit to the end of the schedule (simultaneous readout).
         if self.model.include_idle_noise {
             let end = qubit_time.iter().copied().fold(0.0f64, f64::max);
+            #[allow(clippy::needless_range_loop)]
             for q in 0..n {
                 let idle = end - qubit_time[q];
                 if let Some(ch) = self.model.idle_channel(idle)? {
@@ -162,7 +160,10 @@ mod tests {
         let sv = Statevector::from_circuit(&qc).unwrap();
         let f = sim.run_fidelity(&qc, &sv).unwrap();
         assert!(f < 1.0);
-        assert!(f > 0.8, "a 3-qubit GHZ should still be high fidelity, got {f}");
+        assert!(
+            f > 0.8,
+            "a 3-qubit GHZ should still be high fidelity, got {f}"
+        );
     }
 
     #[test]

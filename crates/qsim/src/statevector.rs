@@ -2,7 +2,7 @@
 
 use crate::error::QsimError;
 use enq_circuit::{Instruction, QuantumCircuit};
-use enq_linalg::{C64, CMatrix, CVector};
+use enq_linalg::{CMatrix, CVector, C64};
 use rand::Rng;
 use std::collections::BTreeMap;
 
@@ -243,7 +243,11 @@ impl Statevector {
     /// Samples measurement outcomes in the computational basis.
     ///
     /// Returns a map from basis-state index to observed count.
-    pub fn sample_counts<R: Rng + ?Sized>(&self, shots: usize, rng: &mut R) -> BTreeMap<usize, usize> {
+    pub fn sample_counts<R: Rng + ?Sized>(
+        &self,
+        shots: usize,
+        rng: &mut R,
+    ) -> BTreeMap<usize, usize> {
         let probs = self.probabilities();
         let mut counts = BTreeMap::new();
         for _ in 0..shots {

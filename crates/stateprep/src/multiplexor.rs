@@ -93,7 +93,11 @@ fn emit(
         let g = gray(i);
         let mut acc = 0.0;
         for (j, &a) in angles.iter().enumerate() {
-            let sign = if (j & g).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if (j & g).count_ones() % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             acc += sign * a;
         }
         *t = acc / size as f64;
@@ -120,7 +124,12 @@ mod tests {
     /// Builds the expected statevector by applying Ry(angles[pattern]) to the
     /// target conditioned on the control pattern, starting from a uniform
     /// superposition of the controls.
-    fn reference_action(target: usize, controls: &[usize], angles: &[f64], n: usize) -> Statevector {
+    fn reference_action(
+        target: usize,
+        controls: &[usize],
+        angles: &[f64],
+        n: usize,
+    ) -> Statevector {
         // Start with H on all controls so every pattern is populated, then
         // apply the controlled rotations by direct state manipulation.
         let mut prep = QuantumCircuit::new(n);

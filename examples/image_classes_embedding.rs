@@ -10,7 +10,7 @@
 use enq_circuit::{Topology, Transpiler};
 use enq_data::{generate_synthetic, DatasetKind, SyntheticConfig};
 use enqode::{
-    AnsatzConfig, BaselineEmbedder, EnqodeConfig, EnqodePipeline, EnqodeError, EntanglerKind,
+    AnsatzConfig, BaselineEmbedder, EnqodeConfig, EnqodeError, EnqodePipeline, EntanglerKind,
 };
 
 fn main() -> Result<(), EnqodeError> {
@@ -77,7 +77,11 @@ fn main() -> Result<(), EnqodeError> {
         }
         let example_sample = pipeline.extract_features(dataset.sample(indices[0]))?;
         let enqode_metrics = transpiler
-            .transpile(&pipeline.embed_with_class(dataset.sample(indices[0]), label)?.circuit)?
+            .transpile(
+                &pipeline
+                    .embed_with_class(dataset.sample(indices[0]), label)?
+                    .circuit,
+            )?
             .metrics;
         let baseline_metrics = transpiler
             .transpile(&baseline.embed(&example_sample)?.circuit)?

@@ -10,8 +10,8 @@
 use enq_circuit::{Topology, Transpiler};
 use enq_qsim::{DeviceNoiseModel, NoisySimulator};
 use enqode::{
-    evaluate_baseline_sample, evaluate_enqode_sample, AnsatzConfig, BaselineEmbedder,
-    EnqodeConfig, EnqodeModel, EnqodeError, EntanglerKind,
+    evaluate_baseline_sample, evaluate_enqode_sample, AnsatzConfig, BaselineEmbedder, EnqodeConfig,
+    EnqodeError, EnqodeModel, EntanglerKind,
 };
 
 fn main() -> Result<(), EnqodeError> {

@@ -6,7 +6,7 @@
 //! ```
 
 use enq_circuit::{Topology, Transpiler};
-use enqode::{AnsatzConfig, BaselineEmbedder, EnqodeConfig, EnqodeModel, EnqodeError};
+use enqode::{AnsatzConfig, BaselineEmbedder, EnqodeConfig, EnqodeError, EnqodeModel};
 
 fn main() -> Result<(), EnqodeError> {
     // Sixteen-dimensional feature vectors (4 qubits), e.g. the output of a

@@ -26,7 +26,10 @@ fn feature_samples(count: usize, seed: u64) -> Vec<Vec<f64>> {
         .collect()
 }
 
-fn transpiled_metrics(transpiler: &Transpiler, circuit: &enq_circuit::QuantumCircuit) -> CircuitMetrics {
+fn transpiled_metrics(
+    transpiler: &Transpiler,
+    circuit: &enq_circuit::QuantumCircuit,
+) -> CircuitMetrics {
     transpiler
         .transpile(circuit)
         .expect("transpilation succeeds")
@@ -47,6 +50,7 @@ fn enqode_circuits_are_shallower_and_fixed_shape() {
         offline_max_iterations: 100,
         offline_restarts: 2,
         online_max_iterations: 25,
+        offline_rescue: false,
         seed: 2,
     };
     let model = EnqodeModel::fit(&samples, config).expect("training succeeds");
@@ -132,6 +136,7 @@ fn baseline_remains_exact_while_enqode_approximates() {
         offline_max_iterations: 100,
         offline_restarts: 2,
         online_max_iterations: 25,
+        offline_rescue: false,
         seed: 5,
     };
     let model = EnqodeModel::fit(&samples, config).expect("training succeeds");

@@ -6,8 +6,8 @@
 use enq_circuit::{Topology, Transpiler};
 use enq_qsim::{DeviceNoiseModel, NoisySimulator};
 use enqode::{
-    evaluate_baseline_sample, evaluate_enqode_sample, AnsatzConfig, BaselineEmbedder,
-    EnqodeConfig, EnqodeModel, EntanglerKind,
+    evaluate_baseline_sample, evaluate_enqode_sample, AnsatzConfig, BaselineEmbedder, EnqodeConfig,
+    EnqodeModel, EntanglerKind,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,7 +20,9 @@ fn samples(count: usize, seed: u64) -> Vec<Vec<f64>> {
     (0..count)
         .map(|s| {
             (0..dim)
-                .map(|i| ((i + 2 * s) as f64 * 0.53).sin() * 0.4 + 0.55 + rng.gen_range(-0.05..0.05))
+                .map(|i| {
+                    ((i + 2 * s) as f64 * 0.53).sin() * 0.4 + 0.55 + rng.gen_range(-0.05..0.05)
+                })
                 .collect()
         })
         .collect()
@@ -38,6 +40,7 @@ fn trained_model(data: &[Vec<f64>]) -> EnqodeModel {
         offline_max_iterations: 100,
         offline_restarts: 2,
         online_max_iterations: 25,
+        offline_rescue: false,
         seed: 7,
     };
     EnqodeModel::fit(data, config).expect("training succeeds")

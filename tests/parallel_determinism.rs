@@ -1,0 +1,128 @@
+//! Determinism of the parallel offline phase: training with the thread pool
+//! must produce bit-identical clusters and fidelities to a fully sequential
+//! run for the same seed (RNG streams are derived per (cluster, restart) job,
+//! never from scheduling order), and the batch embedding APIs must match
+//! their per-sample counterparts exactly.
+
+use enq_data::{generate_synthetic, DatasetKind, SyntheticConfig};
+use enqode::{AnsatzConfig, EnqodeConfig, EnqodeModel, EnqodePipeline, EntanglerKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::num::NonZeroUsize;
+
+fn config(seed: u64) -> EnqodeConfig {
+    EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 8,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.9,
+        max_clusters: 6,
+        offline_max_iterations: 120,
+        offline_restarts: 3,
+        online_max_iterations: 30,
+        offline_rescue: false,
+        seed,
+    }
+}
+
+fn clustered_samples(seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bases = [
+        [0.9, 0.2, 0.1, 0.05, 0.02, 0.1, 0.05, 0.01],
+        [0.05, 0.1, 0.02, 0.2, 0.9, 0.05, 0.1, 0.02],
+        [0.3, 0.8, 0.1, 0.4, 0.05, 0.3, 0.02, 0.2],
+    ];
+    let mut out = Vec::new();
+    for _ in 0..5 {
+        for base in &bases {
+            out.push(
+                base.iter()
+                    .map(|v| v + rng.gen_range(-0.04..0.04))
+                    .collect(),
+            );
+        }
+    }
+    out
+}
+
+#[test]
+fn parallel_fit_is_bit_identical_to_sequential_fit() {
+    for seed in [3u64, 17, 99] {
+        let samples = clustered_samples(seed);
+        let parallel = EnqodeModel::fit(&samples, config(seed)).unwrap();
+        let sequential = EnqodeModel::fit_sequential(&samples, config(seed)).unwrap();
+        assert_eq!(parallel.num_clusters(), sequential.num_clusters());
+        for (p, s) in parallel.clusters().iter().zip(sequential.clusters()) {
+            assert_eq!(p.centroid, s.centroid, "seed {seed}: centroids differ");
+            assert_eq!(p.parameters, s.parameters, "seed {seed}: parameters differ");
+            assert_eq!(p.fidelity, s.fidelity, "seed {seed}: fidelities differ");
+            assert_eq!(p.iterations, s.iterations, "seed {seed}: iterations differ");
+        }
+    }
+}
+
+#[test]
+fn explicit_thread_counts_agree() {
+    let samples = clustered_samples(7);
+    let one = EnqodeModel::fit_with_threads(&samples, config(7), NonZeroUsize::MIN).unwrap();
+    let four =
+        EnqodeModel::fit_with_threads(&samples, config(7), NonZeroUsize::new(4).unwrap()).unwrap();
+    for (a, b) in one.clusters().iter().zip(four.clusters()) {
+        assert_eq!(a.parameters, b.parameters);
+        assert_eq!(a.fidelity, b.fidelity);
+    }
+}
+
+#[test]
+fn parallel_pipeline_build_is_deterministic() {
+    let dataset = generate_synthetic(
+        DatasetKind::MnistLike,
+        &SyntheticConfig {
+            classes: 3,
+            samples_per_class: 8,
+            seed: 11,
+        },
+    )
+    .unwrap();
+    let cfg = EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: 4,
+            num_layers: 6,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.85,
+        max_clusters: 4,
+        offline_max_iterations: 80,
+        offline_restarts: 2,
+        online_max_iterations: 20,
+        offline_rescue: false,
+        seed: 11,
+    };
+    let a = EnqodePipeline::build(&dataset, cfg.clone()).unwrap();
+    let b = EnqodePipeline::build(&dataset, cfg).unwrap();
+    assert_eq!(a.class_models().len(), b.class_models().len());
+    for (ca, cb) in a.class_models().iter().zip(b.class_models()) {
+        assert_eq!(ca.label, cb.label);
+        assert_eq!(ca.model.num_clusters(), cb.model.num_clusters());
+        for (x, y) in ca.model.clusters().iter().zip(cb.model.clusters()) {
+            assert_eq!(x.parameters, y.parameters);
+            assert_eq!(x.fidelity, y.fidelity);
+        }
+    }
+}
+
+#[test]
+fn batch_embedding_matches_per_sample_results_exactly() {
+    let samples = clustered_samples(23);
+    let model = EnqodeModel::fit(&samples, config(23)).unwrap();
+    let batch = model.embed_batch(&samples).unwrap();
+    for (sample, embedding) in samples.iter().zip(batch.iter()) {
+        let single = model.embed(sample).unwrap();
+        assert_eq!(single.parameters, embedding.parameters);
+        assert_eq!(single.cluster_index, embedding.cluster_index);
+        assert_eq!(single.ideal_fidelity, embedding.ideal_fidelity);
+        assert_eq!(single.iterations, embedding.iterations);
+    }
+}

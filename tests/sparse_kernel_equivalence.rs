@@ -1,0 +1,95 @@
+//! Property test: the sparse Walsh-spectrum kernel must agree with the
+//! retained naive dense reference to 1e-12 across random ansatz shapes and
+//! all three entangler kinds, for overlap, gradient, and the workspace
+//! (no-allocation) entry points.
+
+use enq_linalg::C64;
+use enqode::{AnsatzConfig, EntanglerKind, SymbolicState, SymbolicWorkspace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TOL: f64 = 1e-12;
+
+fn random_case(rng: &mut StdRng, entangler: EntanglerKind) -> (SymbolicState, Vec<f64>, Vec<C64>) {
+    let config = AnsatzConfig {
+        num_qubits: rng.gen_range(2usize..7),
+        num_layers: rng.gen_range(1usize..9),
+        entangler,
+    };
+    let symbolic = SymbolicState::from_ansatz(&config).unwrap();
+    let theta: Vec<f64> = (0..config.num_parameters())
+        .map(|_| rng.gen_range(-3.0..3.0))
+        .collect();
+    let target_conj: Vec<C64> = (0..symbolic.dim())
+        .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect();
+    (symbolic, theta, target_conj)
+}
+
+#[test]
+fn sparse_kernel_matches_naive_dense_reference_across_random_shapes() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let mut ws = SymbolicWorkspace::new();
+    for entangler in [EntanglerKind::Cy, EntanglerKind::Cx, EntanglerKind::Cz] {
+        for _ in 0..12 {
+            let (symbolic, theta, target_conj) = random_case(&mut rng, entangler);
+            let (s_naive, g_naive) = symbolic
+                .overlap_and_gradient_naive(&target_conj, &theta)
+                .unwrap();
+
+            // Allocating wrapper.
+            let (s_fast, g_fast) = symbolic.overlap_and_gradient(&target_conj, &theta).unwrap();
+            assert!(
+                s_fast.approx_eq(s_naive, TOL),
+                "{entangler:?}: overlap {s_fast} vs naive {s_naive}"
+            );
+            assert_eq!(g_fast.len(), g_naive.len());
+            for (j, (a, b)) in g_fast.iter().zip(g_naive.iter()).enumerate() {
+                assert!(
+                    a.approx_eq(*b, TOL),
+                    "{entangler:?}: gradient[{j}] {a} vs naive {b}"
+                );
+            }
+
+            // Workspace (zero-allocation) entry points, with a shared
+            // workspace reused across shapes.
+            let mut gradient = vec![C64::ZERO; symbolic.num_parameters()];
+            let s_ws = symbolic
+                .overlap_and_gradient_into(&target_conj, &theta, &mut ws, &mut gradient)
+                .unwrap();
+            assert!(s_ws.approx_eq(s_naive, TOL));
+            for (a, b) in gradient.iter().zip(g_naive.iter()) {
+                assert!(a.approx_eq(*b, TOL));
+            }
+            let s_only = symbolic
+                .overlap_into(&target_conj, &theta, &mut ws)
+                .unwrap();
+            assert!(s_only.approx_eq(s_naive, TOL));
+        }
+    }
+}
+
+#[test]
+fn sparse_amplitudes_match_naive_phase_walk() {
+    // amplitudes() also runs through the Walsh path; check it against a
+    // direct per-row phase accumulation over the dense table.
+    let mut rng = StdRng::seed_from_u64(0xA11);
+    for entangler in [EntanglerKind::Cy, EntanglerKind::Cx, EntanglerKind::Cz] {
+        let (symbolic, theta, _) = random_case(&mut rng, entangler);
+        let amps = symbolic.amplitudes(&theta).unwrap();
+        let scale = 1.0 / (symbolic.dim() as f64).sqrt();
+        for r in 0..symbolic.dim() {
+            let mut phase = 0.0;
+            for (j, t) in theta.iter().enumerate() {
+                phase += f64::from(symbolic.coefficient(r, j)) * t;
+            }
+            let expected = C64::cis(phase / 2.0).scale(scale)
+                * C64::cis(f64::from(symbolic.phase_constant(r)) * std::f64::consts::FRAC_PI_2);
+            assert!(
+                amps[r].approx_eq(expected, TOL),
+                "{entangler:?}: amplitude[{r}] {} vs {expected}",
+                amps[r]
+            );
+        }
+    }
+}

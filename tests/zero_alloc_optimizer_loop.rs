@@ -1,0 +1,115 @@
+//! Verifies the zero-allocation claim of the rewritten hot path: once the
+//! objective's workspace and the optimiser's workspace are warm, neither the
+//! symbolic kernel nor the L-BFGS iteration loop touches the heap.
+//!
+//! A counting global allocator measures allocation *counts* (not bytes);
+//! this binary contains a single test so no concurrent test thread pollutes
+//! the counter.
+
+use enq_optim::{Lbfgs, LbfgsWorkspace, Objective};
+use enqode::{AnsatzConfig, EntanglerKind, FidelityObjective};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn paper_objective() -> FidelityObjective {
+    let config = AnsatzConfig {
+        num_qubits: 8,
+        num_layers: 8,
+        entangler: EntanglerKind::Cy,
+    };
+    let target: Vec<f64> = (0..config.dimension())
+        .map(|i| 0.3 + ((i as f64) * 0.7).sin().abs())
+        .collect();
+    FidelityObjective::new(&config, &target).unwrap()
+}
+
+// One #[test] for both measurements: the counter is global, so concurrent
+// tests in this binary would pollute each other's measured windows.
+#[test]
+fn warm_hot_path_does_not_allocate() {
+    // --- Objective evaluations -------------------------------------------
+    let objective = paper_objective();
+    let theta: Vec<f64> = (0..objective.dimension())
+        .map(|j| 0.05 * j as f64)
+        .collect();
+    let mut gradient = vec![0.0; objective.dimension()];
+    // Warm the workspace.
+    let _ = objective.value_and_gradient_into(&theta, &mut gradient);
+    let _ = objective.value(&theta);
+
+    let before = allocations();
+    for _ in 0..200 {
+        std::hint::black_box(objective.value_and_gradient_into(&theta, &mut gradient));
+        std::hint::black_box(objective.value(&theta));
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "value/gradient evaluations allocated {delta} times after warm-up"
+    );
+
+    // --- The L-BFGS iteration loop ---------------------------------------
+    let start: Vec<f64> = (0..objective.dimension())
+        .map(|j| 0.2 * ((j as f64) * 1.3).sin())
+        .collect();
+    let mut ws = LbfgsWorkspace::new();
+
+    // Warm every buffer (objective workspace + optimiser workspace).
+    let _ = Lbfgs::with_max_iterations(3).minimize_with(&objective, &start, &mut ws);
+
+    // A short and a long run must allocate the same, iteration-independent
+    // amount (the returned result vector); the loop itself is allocation-free.
+    let before_short = allocations();
+    let _ = Lbfgs::with_max_iterations(5).minimize_with(&objective, &start, &mut ws);
+    let short_allocs = allocations() - before_short;
+
+    let before_long = allocations();
+    let result = Lbfgs::with_max_iterations(150).minimize_with(&objective, &start, &mut ws);
+    let long_allocs = allocations() - before_long;
+
+    assert!(
+        result.iterations > 5,
+        "long run should iterate more (got {})",
+        result.iterations
+    );
+    assert_eq!(
+        short_allocs, long_allocs,
+        "allocation count must not depend on iteration count"
+    );
+    assert!(
+        long_allocs <= 2,
+        "optimizer run should only allocate the result vector, got {long_allocs}"
+    );
+}
