@@ -1,0 +1,58 @@
+//! Serve-layer throughput benchmark at the paper shape (8 qubits, 8
+//! layers).
+//!
+//! Run with `cargo bench -p enq_bench --bench serve_throughput`. Writes
+//! `BENCH_serve.json` at the repository root and enforces the acceptance
+//! gates:
+//!
+//! * micro-batched serve throughput ≥ 2× the one-request-at-a-time
+//!   `pipeline.embed` loop on the replayed request stream, and
+//! * cache hits ≥ 10× faster (median latency) than cold embeds.
+//!
+//! Set `ENQ_SERVE_BENCH_TINY=1` for a smoke run (used by CI to keep the
+//! regeneration path from rotting without paying the full measurement).
+
+use enq_bench::serve::{run, ServeBenchConfig};
+use std::path::Path;
+
+fn main() {
+    let tiny = std::env::var("ENQ_SERVE_BENCH_TINY").is_ok_and(|v| v == "1");
+    let config = if tiny {
+        ServeBenchConfig::tiny()
+    } else {
+        ServeBenchConfig::paper()
+    };
+    let result = run(&config).expect("serve benchmark runs");
+    println!("{result}");
+
+    let json = result.to_json();
+    let out_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    if tiny {
+        // Smoke mode validates the full regeneration path without
+        // overwriting the measured numbers with toy-shape ones.
+        println!("(tiny smoke run; BENCH_serve.json left untouched)");
+        println!("{json}");
+    } else {
+        std::fs::write(&out_path, &json).expect("writing BENCH_serve.json");
+        println!("wrote {}", out_path.display());
+    }
+
+    let throughput_ratio = result.batched_over_sequential();
+    let latency_ratio = result.cold_over_hot_p50();
+    if tiny {
+        // The smoke run exercises the regeneration path end to end; the
+        // acceptance thresholds are calibrated for the paper shape only.
+        println!(
+            "smoke ratios (not gated): batched/sequential {throughput_ratio:.2}x, cold/hot p50 {latency_ratio:.1}x"
+        );
+        return;
+    }
+    assert!(
+        throughput_ratio >= 2.0,
+        "acceptance: batched serve must be >= 2x the sequential embed loop (got {throughput_ratio:.2}x)"
+    );
+    assert!(
+        latency_ratio >= 10.0,
+        "acceptance: cache hits must be >= 10x faster than cold embeds (got {latency_ratio:.1}x)"
+    );
+}

@@ -8,7 +8,10 @@
 //! * [`fig8`] — ideal- and noisy-simulation state fidelity (Fig. 8a/8b),
 //! * [`fig9`] — online/offline compilation times (Fig. 9a/9b),
 //! * [`ablation`] — entangler, layer-count, optimiser, and transfer-learning
-//!   ablations for the design choices of Sec. III.
+//!   ablations for the design choices of Sec. III,
+//! * [`serve`] — online-serving throughput and latency through `enq_serve`
+//!   (micro-batching, solution cache, hot-path percentiles;
+//!   regenerates `BENCH_serve.json`).
 //!
 //! The `reproduce` binary drives these modules from the command line;
 //! `cargo bench` runs criterion timing benchmarks over the same code paths.
@@ -33,3 +36,4 @@ pub mod fig67;
 pub mod fig8;
 pub mod fig9;
 pub mod report;
+pub mod serve;

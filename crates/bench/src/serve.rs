@@ -1,0 +1,492 @@
+//! Serve-layer throughput benchmark: requests/sec and latency percentiles
+//! for the `enq_serve` micro-batched service against the plain
+//! one-request-at-a-time `pipeline.embed` loop.
+//!
+//! The workload models production embedding traffic: a pool of unique
+//! samples replayed with a duplication factor (real request streams repeat —
+//! the same frames, tiles, and user vectors recur), shuffled
+//! deterministically, and issued by several concurrent clients. The serve
+//! layer's wins come from three places, and the result separates them
+//! honestly:
+//!
+//! * `sequential_embed_loop` — the baseline: cold fine-tuning per request;
+//! * `serve_no_cache` — batching/scheduling alone (≈1× on a single core,
+//!   scales with cores through `enq_parallel`);
+//! * `serve_batched` — the full registry + cache + batcher path, where
+//!   repeated samples skip fine-tuning (the reported `cache_hit_rate` shows
+//!   exactly how much of the win the cache provided);
+//! * `hot_path` — steady-state latency of a pure cache hit.
+
+use crate::report::markdown_table;
+use enq_data::{generate_synthetic, Dataset, DatasetKind, SyntheticConfig};
+use enq_serve::{CacheConfig, EmbedService, ServeConfig};
+use enqode::{AnsatzConfig, EnqodeConfig, EnqodeError, EnqodePipeline, EntanglerKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shape and workload of one serve benchmark run.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Ansatz qubit count (the paper shape is 8).
+    pub num_qubits: usize,
+    /// Ansatz layer count.
+    pub num_layers: usize,
+    /// Number of unique samples in the request pool.
+    pub unique_samples: usize,
+    /// How many times the pool is replayed (duplication factor of the
+    /// request stream).
+    pub duplication: usize,
+    /// Concurrent client threads issuing requests.
+    pub clients: usize,
+    /// Batch-size sweep for the micro-batched runs.
+    pub batch_sizes: Vec<usize>,
+    /// Online fine-tuning iteration budget (dominates per-request cost).
+    pub online_iterations: usize,
+    /// RNG seed for training data, perturbations, and stream shuffling.
+    pub seed: u64,
+}
+
+impl ServeBenchConfig {
+    /// The paper shape (8 qubits) at a scale that finishes in seconds.
+    pub fn paper() -> Self {
+        Self {
+            num_qubits: 8,
+            num_layers: 8,
+            unique_samples: 48,
+            duplication: 4,
+            clients: 8,
+            batch_sizes: vec![1, 8, 32],
+            online_iterations: 20,
+            seed: 0x5EEE,
+        }
+    }
+
+    /// A seconds-scale smoke shape for tests.
+    pub fn tiny() -> Self {
+        Self {
+            num_qubits: 3,
+            num_layers: 4,
+            unique_samples: 8,
+            duplication: 3,
+            clients: 4,
+            batch_sizes: vec![1, 4],
+            online_iterations: 10,
+            seed: 0x5EEE,
+        }
+    }
+}
+
+/// Throughput and latency of one measured pass over the request stream.
+#[derive(Debug, Clone, Copy)]
+pub struct PassStats {
+    /// Requests per second over the whole pass.
+    pub rps: f64,
+    /// Median per-request latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-request latency in microseconds.
+    pub p99_us: f64,
+}
+
+/// One micro-batched pass at a given batch size.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchedRow {
+    /// `max_batch_size` of the service.
+    pub max_batch: usize,
+    /// The pass statistics.
+    pub stats: PassStats,
+    /// Fraction of requests served without fine-tuning (cache + dedup).
+    pub cache_hit_rate: f64,
+    /// Largest micro-batch the batcher formed.
+    pub largest_batch: u64,
+}
+
+/// The full serve benchmark result.
+#[derive(Debug, Clone)]
+pub struct ServeBenchResult {
+    /// The configuration that produced this result.
+    pub config: ServeBenchConfig,
+    /// Cores visible to the process.
+    pub cores: usize,
+    /// Offline training time for the served pipeline (seconds).
+    pub offline_seconds: f64,
+    /// Baseline: sequential `pipeline.embed` loop over the stream.
+    pub sequential: PassStats,
+    /// Micro-batching without the cache (scheduling effects only).
+    pub no_cache: PassStats,
+    /// The full serve path across the batch-size sweep.
+    pub batched: Vec<BatchedRow>,
+    /// Steady-state cache-hit latency (service warm, every request hits).
+    pub hot: PassStats,
+}
+
+impl ServeBenchResult {
+    /// Best full-path throughput over the sweep.
+    pub fn best_batched_rps(&self) -> f64 {
+        self.batched.iter().map(|r| r.stats.rps).fold(0.0, f64::max)
+    }
+
+    /// Headline ratio: best micro-batched serve throughput over the
+    /// sequential embed loop.
+    pub fn batched_over_sequential(&self) -> f64 {
+        self.best_batched_rps() / self.sequential.rps
+    }
+
+    /// Headline ratio: cold median latency over hot (cache-hit) median
+    /// latency.
+    pub fn cold_over_hot_p50(&self) -> f64 {
+        self.sequential.p50_us / self.hot.p50_us
+    }
+
+    /// Renders the result as the `BENCH_serve.json` document.
+    pub fn to_json(&self) -> String {
+        let batched_rows: Vec<String> = self
+            .batched
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"max_batch\": {}, \"rps\": {:.1}, \"p50_us\": {:.1}, \
+                     \"p99_us\": {:.1}, \"cache_hit_rate\": {:.4}, \"largest_batch\": {}}}",
+                    r.max_batch,
+                    r.stats.rps,
+                    r.stats.p50_us,
+                    r.stats.p99_us,
+                    r.cache_hit_rate,
+                    r.largest_batch
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"name\": \"serve_throughput_{}q{}l\",\n  \"cores\": {},\n  \
+             \"workload\": {{\"unique_samples\": {}, \"requests\": {}, \"duplication\": {}, \
+             \"clients\": {}, \"online_iterations\": {}}},\n  \
+             \"offline_train_s\": {:.3},\n  \
+             \"sequential_embed_loop\": {},\n  \
+             \"serve_no_cache\": {},\n  \
+             \"serve_batched\": [\n{}\n  ],\n  \
+             \"cache_hot_path\": {},\n  \
+             \"acceptance\": {{\"batched_over_sequential\": {:.2}, \"cold_over_hot_p50\": {:.2}}}\n}}\n",
+            self.config.num_qubits,
+            self.config.num_layers,
+            self.cores,
+            self.config.unique_samples,
+            self.config.unique_samples * self.config.duplication,
+            self.config.duplication,
+            self.config.clients,
+            self.config.online_iterations,
+            self.offline_seconds,
+            json_pass(&self.sequential),
+            json_pass(&self.no_cache),
+            batched_rows.join(",\n"),
+            json_pass(&self.hot),
+            self.batched_over_sequential(),
+            self.cold_over_hot_p50(),
+        )
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn to_markdown(&self) -> String {
+        let mut rows = vec![
+            vec![
+                "sequential embed loop".to_string(),
+                format!("{:.0}", self.sequential.rps),
+                format!("{:.0}", self.sequential.p50_us),
+                format!("{:.0}", self.sequential.p99_us),
+                "-".to_string(),
+            ],
+            vec![
+                "serve (cache off)".to_string(),
+                format!("{:.0}", self.no_cache.rps),
+                format!("{:.0}", self.no_cache.p50_us),
+                format!("{:.0}", self.no_cache.p99_us),
+                "0".to_string(),
+            ],
+        ];
+        for r in &self.batched {
+            rows.push(vec![
+                format!("serve (batch ≤ {})", r.max_batch),
+                format!("{:.0}", r.stats.rps),
+                format!("{:.0}", r.stats.p50_us),
+                format!("{:.0}", r.stats.p99_us),
+                format!("{:.0}%", r.cache_hit_rate * 100.0),
+            ]);
+        }
+        rows.push(vec![
+            "cache hot path".to_string(),
+            format!("{:.0}", self.hot.rps),
+            format!("{:.0}", self.hot.p50_us),
+            format!("{:.0}", self.hot.p99_us),
+            "100%".to_string(),
+        ]);
+        markdown_table(
+            &["path", "req/s", "p50 (µs)", "p99 (µs)", "hit rate"],
+            &rows,
+        )
+    }
+}
+
+impl fmt::Display for ServeBenchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== Serve throughput ({}q/{}l, {} unique × {} replays, {} clients, {} core(s)) ==",
+            self.config.num_qubits,
+            self.config.num_layers,
+            self.config.unique_samples,
+            self.config.duplication,
+            self.config.clients,
+            self.cores
+        )?;
+        writeln!(f, "{}", self.to_markdown())?;
+        writeln!(
+            f,
+            "batched serve vs sequential loop: {:.2}x; cold vs hot p50: {:.1}x",
+            self.batched_over_sequential(),
+            self.cold_over_hot_p50()
+        )
+    }
+}
+
+fn json_pass(p: &PassStats) -> String {
+    format!(
+        "{{\"rps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+        p.rps, p.p50_us, p.p99_us
+    )
+}
+
+fn percentile_us(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e6
+}
+
+fn pass_stats(mut latencies: Vec<Duration>, wall: Duration) -> PassStats {
+    latencies.sort_unstable();
+    PassStats {
+        rps: latencies.len() as f64 / wall.as_secs_f64().max(1e-12),
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+    }
+}
+
+/// A built workload: the served pipeline, the replayed request stream, and
+/// the offline training time in seconds.
+type Workload = (Arc<EnqodePipeline>, Vec<Vec<f64>>, f64);
+
+/// Builds the served pipeline and the replayed request stream.
+fn build_workload(config: &ServeBenchConfig) -> Result<Workload, EnqodeError> {
+    let dataset: Dataset = generate_synthetic(
+        DatasetKind::MnistLike,
+        &SyntheticConfig {
+            classes: 2,
+            samples_per_class: 12,
+            seed: config.seed,
+        },
+    )?;
+    let model_config = EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: config.num_qubits,
+            num_layers: config.num_layers,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.85,
+        max_clusters: 3,
+        offline_max_iterations: 80,
+        offline_restarts: 1,
+        online_max_iterations: config.online_iterations,
+        offline_rescue: false,
+        seed: config.seed,
+    };
+    let train_start = Instant::now();
+    let pipeline = Arc::new(EnqodePipeline::build(&dataset, model_config)?);
+    let offline_seconds = train_start.elapsed().as_secs_f64();
+
+    // Unique pool: perturbed training samples (inference-like traffic near
+    // the training distribution, so fine-tuning converges realistically).
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xAB);
+    let unique: Vec<Vec<f64>> = (0..config.unique_samples)
+        .map(|i| {
+            dataset
+                .sample(i % dataset.len())
+                .iter()
+                .map(|v| v + rng.gen_range(-0.02..0.02))
+                .collect()
+        })
+        .collect();
+    // Replayed stream, deterministically shuffled.
+    let mut stream: Vec<Vec<f64>> = Vec::with_capacity(unique.len() * config.duplication);
+    for _ in 0..config.duplication {
+        stream.extend(unique.iter().cloned());
+    }
+    for i in (1..stream.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        stream.swap(i, j);
+    }
+    Ok((pipeline, stream, offline_seconds))
+}
+
+/// Issues the stream through the service from `clients` concurrent threads
+/// and returns (wall time, per-request latencies).
+fn drive_service(
+    service: &Arc<EmbedService>,
+    stream: &[Vec<f64>],
+    clients: usize,
+) -> (Duration, Vec<Duration>) {
+    let start = Instant::now();
+    let chunk = stream.len().div_ceil(clients.max(1));
+    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stream
+            .chunks(chunk)
+            .map(|part| {
+                let service = Arc::clone(service);
+                scope.spawn(move || {
+                    part.iter()
+                        .map(|sample| {
+                            service
+                                .embed("bench", sample)
+                                .expect("bench requests are valid")
+                                .latency
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    (start.elapsed(), latencies)
+}
+
+fn serve_config(max_batch: usize, cache_capacity: usize) -> ServeConfig {
+    ServeConfig {
+        max_batch_size: max_batch,
+        // Greedy flush: batch whatever is queued, never trade latency for
+        // batch size — with synchronous clients a deadline would only stall
+        // the stream.
+        flush_deadline: Duration::ZERO,
+        cache: CacheConfig {
+            capacity: cache_capacity,
+            quantum: 1e-6,
+            shards: 16,
+        },
+        ..Default::default()
+    }
+}
+
+/// Runs the serve benchmark.
+///
+/// # Errors
+///
+/// Propagates training and embedding errors.
+pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchResult, EnqodeError> {
+    let (pipeline, stream, offline_seconds) = build_workload(config)?;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Baseline: one-request-at-a-time pipeline.embed over the same stream.
+    let mut seq_latencies = Vec::with_capacity(stream.len());
+    let seq_start = Instant::now();
+    for sample in &stream {
+        let t = Instant::now();
+        let _ = pipeline.embed(sample)?;
+        seq_latencies.push(t.elapsed());
+    }
+    let sequential = pass_stats(seq_latencies, seq_start.elapsed());
+
+    // Micro-batching without the cache: scheduling effects only.
+    let no_cache = {
+        let service = Arc::new(EmbedService::new(serve_config(
+            config.batch_sizes.last().copied().unwrap_or(32),
+            0,
+        )));
+        service.register_model("bench", Arc::clone(&pipeline));
+        let (wall, latencies) = drive_service(&service, &stream, config.clients);
+        pass_stats(latencies, wall)
+    };
+
+    // The full serve path across the batch-size sweep (fresh service and
+    // cold cache per row).
+    let mut batched = Vec::new();
+    for &max_batch in &config.batch_sizes {
+        let service = Arc::new(EmbedService::new(serve_config(max_batch, 1 << 14)));
+        service.register_model("bench", Arc::clone(&pipeline));
+        let (wall, latencies) = drive_service(&service, &stream, config.clients);
+        let stats = service.stats();
+        let answered = stats.cache_hits + stats.batch_dedup_hits + stats.computed;
+        batched.push(BatchedRow {
+            max_batch,
+            stats: pass_stats(latencies, wall),
+            cache_hit_rate: if answered == 0 {
+                0.0
+            } else {
+                (stats.cache_hits + stats.batch_dedup_hits) as f64 / answered as f64
+            },
+            largest_batch: stats.largest_batch,
+        });
+    }
+
+    // Steady-state hot path: warm the cache with the full stream, then
+    // measure pure hits through `embed_direct` — the caller-thread path that
+    // isolates the cache-hit cost (registry resolve + feature extraction +
+    // lookup) from batcher scheduling.
+    let hot = {
+        let service = Arc::new(EmbedService::new(serve_config(
+            config.batch_sizes.last().copied().unwrap_or(32),
+            1 << 14,
+        )));
+        service.register_model("bench", Arc::clone(&pipeline));
+        let _ = drive_service(&service, &stream, config.clients); // fill every bucket
+        let mut latencies = Vec::with_capacity(stream.len());
+        let hot_start = Instant::now();
+        for sample in &stream {
+            let response = service
+                .embed_direct("bench", sample)
+                .expect("warmed requests are valid");
+            debug_assert_eq!(response.source, enq_serve::SolutionSource::CacheHit);
+            latencies.push(response.latency);
+        }
+        pass_stats(latencies, hot_start.elapsed())
+    };
+
+    Ok(ServeBenchResult {
+        config: config.clone(),
+        cores,
+        offline_seconds,
+        sequential,
+        no_cache,
+        batched,
+        hot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_serve_bench_produces_consistent_results() {
+        let result = run(&ServeBenchConfig::tiny()).unwrap();
+        assert!(result.sequential.rps > 0.0);
+        assert!(result.no_cache.rps > 0.0);
+        assert_eq!(result.batched.len(), 2);
+        for row in &result.batched {
+            assert!(row.stats.rps > 0.0);
+            assert!(row.stats.p99_us >= row.stats.p50_us);
+            assert!(
+                row.cache_hit_rate > 0.0,
+                "a duplicated stream must produce cache hits"
+            );
+        }
+        assert!(result.hot.p50_us > 0.0);
+        assert!(result.cold_over_hot_p50() > 1.0);
+        let json = result.to_json();
+        assert!(json.contains("\"serve_batched\""));
+        assert!(json.contains("\"acceptance\""));
+        assert!(result.to_string().contains("Serve throughput"));
+    }
+}

@@ -147,61 +147,61 @@ fn translate_instruction(
     match gate {
         // Already native.
         Gate::X | Gate::Sx | Gate::Cx | Gate::Ecr => {
-            out.try_append(gate, qubits)?;
+            out.append(gate, qubits)?;
         }
         Gate::I => {}
         // Diagonal gates become (virtual) Rz, up to a global phase.
         Gate::Rz(a) | Gate::Phase(a) => {
-            out.try_append(Gate::Rz(a), qubits)?;
+            out.append(Gate::Rz(a), qubits)?;
         }
         Gate::Z => {
-            out.try_append(Gate::Rz(Angle::fixed(PI)), qubits)?;
+            out.append(Gate::Rz(Angle::fixed(PI)), qubits)?;
         }
         Gate::S => {
-            out.try_append(Gate::Rz(Angle::fixed(FRAC_PI_2)), qubits)?;
+            out.append(Gate::Rz(Angle::fixed(FRAC_PI_2)), qubits)?;
         }
         Gate::Sdg => {
-            out.try_append(Gate::Rz(Angle::fixed(-FRAC_PI_2)), qubits)?;
+            out.append(Gate::Rz(Angle::fixed(-FRAC_PI_2)), qubits)?;
         }
         Gate::T => {
-            out.try_append(Gate::Rz(Angle::fixed(FRAC_PI_4)), qubits)?;
+            out.append(Gate::Rz(Angle::fixed(FRAC_PI_4)), qubits)?;
         }
         Gate::Tdg => {
-            out.try_append(Gate::Rz(Angle::fixed(-FRAC_PI_4)), qubits)?;
+            out.append(Gate::Rz(Angle::fixed(-FRAC_PI_4)), qubits)?;
         }
         // Generic single-qubit gates go through the ZXZXZ decomposition.
         Gate::H | Gate::Y | Gate::Sxdg | Gate::Rx(_) | Gate::Ry(_) => {
             let m = gate.matrix()?;
             for g in decompose_1q(&m)? {
-                out.try_append(g, qubits)?;
+                out.append(g, qubits)?;
             }
         }
         // CY = (I⊗S)·CX·(I⊗S†) with the phase gates on the target, which are
         // virtual Rz rotations.
         Gate::Cy => {
             let (c, t) = (qubits[0], qubits[1]);
-            out.try_append(Gate::Rz(Angle::fixed(-FRAC_PI_2)), &[t])?;
-            out.try_append(Gate::Cx, &[c, t])?;
-            out.try_append(Gate::Rz(Angle::fixed(FRAC_PI_2)), &[t])?;
+            out.append(Gate::Rz(Angle::fixed(-FRAC_PI_2)), &[t])?;
+            out.append(Gate::Cx, &[c, t])?;
+            out.append(Gate::Rz(Angle::fixed(FRAC_PI_2)), &[t])?;
         }
         // CZ = (I⊗H)·CX·(I⊗H).
         Gate::Cz => {
             let (c, t) = (qubits[0], qubits[1]);
             let h = Gate::H.matrix()?;
             for g in decompose_1q(&h)? {
-                out.try_append(g, &[t])?;
+                out.append(g, &[t])?;
             }
-            out.try_append(Gate::Cx, &[c, t])?;
+            out.append(Gate::Cx, &[c, t])?;
             for g in decompose_1q(&h)? {
-                out.try_append(g, &[t])?;
+                out.append(g, &[t])?;
             }
         }
         // SWAP = three alternating CX gates.
         Gate::Swap => {
             let (a, b) = (qubits[0], qubits[1]);
-            out.try_append(Gate::Cx, &[a, b])?;
-            out.try_append(Gate::Cx, &[b, a])?;
-            out.try_append(Gate::Cx, &[a, b])?;
+            out.append(Gate::Cx, &[a, b])?;
+            out.append(Gate::Cx, &[b, a])?;
+            out.append(Gate::Cx, &[a, b])?;
         }
         #[allow(unreachable_patterns)]
         other => {
@@ -280,7 +280,7 @@ mod tests {
             let gates = decompose_1q(&u).unwrap();
             let mut qc = QuantumCircuit::new(1);
             for g in &gates {
-                qc.append(*g, &[0]);
+                qc.append(*g, &[0]).unwrap();
             }
             let v = qc.unitary().unwrap();
             // Compare columns up to a single global phase.

@@ -82,14 +82,28 @@ impl QuantumCircuit {
         self.instructions.iter()
     }
 
-    /// Appends a gate after validating its operands.
+    /// Appends a gate after validating its operands. The circuit is left
+    /// unchanged when validation fails, so an `Err` never corrupts a
+    /// partially built circuit.
+    ///
+    /// Returns `&mut Self` on success so fallible construction chains with
+    /// `?`:
+    ///
+    /// ```
+    /// use enq_circuit::{Gate, QuantumCircuit};
+    ///
+    /// let mut qc = QuantumCircuit::new(2);
+    /// qc.append(Gate::H, &[0])?.append(Gate::Cx, &[0, 1])?;
+    /// assert_eq!(qc.len(), 2);
+    /// # Ok::<(), enq_circuit::CircuitError>(())
+    /// ```
     ///
     /// # Errors
     ///
     /// Returns [`CircuitError::QubitOutOfRange`] or
     /// [`CircuitError::DuplicateQubit`] for invalid operands, and an error if
     /// the operand count does not match the gate arity.
-    pub fn try_append(&mut self, gate: Gate, qubits: &[usize]) -> Result<(), CircuitError> {
+    pub fn append(&mut self, gate: Gate, qubits: &[usize]) -> Result<&mut Self, CircuitError> {
         if qubits.len() != gate.num_qubits() {
             return Err(CircuitError::UnsupportedGate(format!(
                 "{} expects {} qubits, got {}",
@@ -111,18 +125,18 @@ impl QuantumCircuit {
         }
         self.instructions
             .push(Instruction::new(gate, qubits.to_vec()));
-        Ok(())
+        Ok(self)
     }
 
-    /// Appends a gate.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the operands are invalid; use [`QuantumCircuit::try_append`]
-    /// for a fallible version.
-    pub fn append(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
-        self.try_append(gate, qubits)
-            .unwrap_or_else(|e| panic!("invalid gate application: {e}"));
+    /// Infallible backing for the single-gate builder sugar below: those
+    /// methods take operands that are almost always literals in tests and
+    /// examples, so they trade the `Result` for chainability and document
+    /// their panic. All library construction paths go through
+    /// [`QuantumCircuit::append`] and propagate errors instead.
+    fn must_append(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
+        if let Err(e) = self.append(gate, qubits) {
+            panic!("invalid gate application: {e}");
+        }
         self
     }
 
@@ -130,79 +144,80 @@ impl QuantumCircuit {
     ///
     /// # Panics
     ///
-    /// Panics if `qubit` is out of range (same for all builder methods below).
+    /// Panics if `qubit` is out of range (same for all builder methods below;
+    /// use [`QuantumCircuit::append`] to handle invalid operands as errors).
     pub fn x(&mut self, qubit: usize) -> &mut Self {
-        self.append(Gate::X, &[qubit])
+        self.must_append(Gate::X, &[qubit])
     }
 
     /// Applies a Pauli-Y gate.
     pub fn y(&mut self, qubit: usize) -> &mut Self {
-        self.append(Gate::Y, &[qubit])
+        self.must_append(Gate::Y, &[qubit])
     }
 
     /// Applies a Pauli-Z gate.
     pub fn z(&mut self, qubit: usize) -> &mut Self {
-        self.append(Gate::Z, &[qubit])
+        self.must_append(Gate::Z, &[qubit])
     }
 
     /// Applies a Hadamard gate.
     pub fn h(&mut self, qubit: usize) -> &mut Self {
-        self.append(Gate::H, &[qubit])
+        self.must_append(Gate::H, &[qubit])
     }
 
     /// Applies an S gate.
     pub fn s(&mut self, qubit: usize) -> &mut Self {
-        self.append(Gate::S, &[qubit])
+        self.must_append(Gate::S, &[qubit])
     }
 
     /// Applies an S† gate.
     pub fn sdg(&mut self, qubit: usize) -> &mut Self {
-        self.append(Gate::Sdg, &[qubit])
+        self.must_append(Gate::Sdg, &[qubit])
     }
 
     /// Applies a √X gate.
     pub fn sx(&mut self, qubit: usize) -> &mut Self {
-        self.append(Gate::Sx, &[qubit])
+        self.must_append(Gate::Sx, &[qubit])
     }
 
     /// Applies an Rx rotation.
     pub fn rx(&mut self, angle: impl Into<Angle>, qubit: usize) -> &mut Self {
-        self.append(Gate::Rx(angle.into()), &[qubit])
+        self.must_append(Gate::Rx(angle.into()), &[qubit])
     }
 
     /// Applies an Ry rotation.
     pub fn ry(&mut self, angle: impl Into<Angle>, qubit: usize) -> &mut Self {
-        self.append(Gate::Ry(angle.into()), &[qubit])
+        self.must_append(Gate::Ry(angle.into()), &[qubit])
     }
 
     /// Applies an Rz rotation.
     pub fn rz(&mut self, angle: impl Into<Angle>, qubit: usize) -> &mut Self {
-        self.append(Gate::Rz(angle.into()), &[qubit])
+        self.must_append(Gate::Rz(angle.into()), &[qubit])
     }
 
     /// Applies a phase rotation `diag(1, e^{iλ})`.
     pub fn p(&mut self, angle: impl Into<Angle>, qubit: usize) -> &mut Self {
-        self.append(Gate::Phase(angle.into()), &[qubit])
+        self.must_append(Gate::Phase(angle.into()), &[qubit])
     }
 
     /// Applies a CX (CNOT) gate.
     pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
-        self.append(Gate::Cx, &[control, target])
+        self.must_append(Gate::Cx, &[control, target])
     }
 
     /// Applies a CY gate.
     pub fn cy(&mut self, control: usize, target: usize) -> &mut Self {
-        self.append(Gate::Cy, &[control, target])
+        self.must_append(Gate::Cy, &[control, target])
     }
 
     /// Applies a CZ gate.
     pub fn cz(&mut self, control: usize, target: usize) -> &mut Self {
-        self.append(Gate::Cz, &[control, target])
+        self.must_append(Gate::Cz, &[control, target])
     }
 
     /// Applies a SWAP gate.
     pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
-        self.append(Gate::Swap, &[a, b])
+        self.must_append(Gate::Swap, &[a, b])
     }
 
     /// Appends all instructions of `other` to this circuit.
@@ -219,7 +234,7 @@ impl QuantumCircuit {
             });
         }
         for inst in &other.instructions {
-            self.try_append(inst.gate, &inst.qubits)?;
+            self.append(inst.gate, &inst.qubits)?;
         }
         Ok(())
     }
@@ -465,10 +480,39 @@ mod tests {
     #[test]
     fn append_validates_operands() {
         let mut qc = QuantumCircuit::new(2);
-        assert!(qc.try_append(Gate::X, &[5]).is_err());
-        assert!(qc.try_append(Gate::Cx, &[0, 0]).is_err());
-        assert!(qc.try_append(Gate::Cx, &[0]).is_err());
-        assert!(qc.try_append(Gate::Cx, &[0, 1]).is_ok());
+        assert!(qc.append(Gate::X, &[5]).is_err());
+        assert!(qc.append(Gate::Cx, &[0, 0]).is_err());
+        assert!(qc.append(Gate::Cx, &[0]).is_err());
+        assert!(qc.append(Gate::Cx, &[0, 1]).is_ok());
+    }
+
+    #[test]
+    fn append_out_of_range_qubit_propagates_error_and_leaves_circuit_intact() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0);
+        let err = qc.append(Gate::Cx, &[0, 2]).unwrap_err();
+        assert_eq!(
+            err,
+            CircuitError::QubitOutOfRange {
+                qubit: 2,
+                num_qubits: 2
+            }
+        );
+        // A failed append must not corrupt the circuit under construction.
+        assert_eq!(qc.len(), 1);
+
+        // The fallible path chains with `?` inside a result-returning builder.
+        fn build(bad: bool) -> Result<QuantumCircuit, CircuitError> {
+            let mut qc = QuantumCircuit::new(2);
+            qc.append(Gate::H, &[0])?
+                .append(Gate::Cx, &[0, if bad { 7 } else { 1 }])?;
+            Ok(qc)
+        }
+        assert!(build(false).is_ok());
+        assert!(matches!(
+            build(true),
+            Err(CircuitError::QubitOutOfRange { qubit: 7, .. })
+        ));
     }
 
     #[test]

@@ -71,9 +71,7 @@ pub fn route(
         match qubits.len() {
             1 => {
                 let p = layout.physical(qubits[0]);
-                routed
-                    .try_append(*gate, &[p])
-                    .expect("validated physical qubit");
+                routed.append(*gate, &[p])?;
             }
             2 => {
                 let mut pa = layout.physical(qubits[0]);
@@ -86,18 +84,14 @@ pub fn route(
                     // path = [pa, x1, x2, ..., pb]; swap pa with x1, x1 with x2, ...
                     for window in path.windows(2).take(path.len().saturating_sub(2)) {
                         let (from, to) = (window[0], window[1]);
-                        routed
-                            .try_append(Gate::Swap, &[from, to])
-                            .expect("validated physical qubits");
+                        routed.append(Gate::Swap, &[from, to])?;
                         layout.swap_physical(from, to);
                         swap_count += 1;
                         pa = to;
                     }
                 }
                 debug_assert!(topology.are_connected(pa, pb));
-                routed
-                    .try_append(*gate, &[pa, pb])
-                    .expect("validated physical qubits");
+                routed.append(*gate, &[pa, pb])?;
             }
             _ => {
                 return Err(CircuitError::UnsupportedGate(format!(

@@ -141,7 +141,7 @@ impl AnsatzConfig {
             // amplitude, which is essential for the CY ansatz's fidelity.
             if layer + 1 < self.num_layers {
                 for (c, t) in self.entangler_pairs(layer) {
-                    qc.append(self.entangler.gate(), &[c, t]);
+                    qc.append(self.entangler.gate(), &[c, t])?;
                 }
             }
         }

@@ -198,7 +198,42 @@ impl EnqodeModel {
         config: EnqodeConfig,
         threads: NonZeroUsize,
     ) -> Result<Self, EnqodeError> {
+        // from_ansatz validates; fit_with_shared_symbolic re-validates and
+        // checks the table shape.
+        let symbolic = Arc::new(SymbolicState::from_ansatz(&config.ansatz)?);
+        Self::fit_with_shared_symbolic(samples, config, threads, symbolic)
+    }
+
+    /// [`EnqodeModel::fit_with_threads`] against a pre-built, shared symbolic
+    /// phase table. The table depends only on the ansatz *shape*, so callers
+    /// training many models of the same shape (one per class in
+    /// [`crate::EnqodePipeline`], one per dataset in a model registry) build
+    /// it once and hand every fit the same `Arc` — no per-model table copies,
+    /// and every embedding served from any of those models shares the one
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::InvalidConfig`] if `symbolic` was built for a
+    /// different ansatz shape, plus everything [`EnqodeModel::fit`] returns.
+    pub fn fit_with_shared_symbolic(
+        samples: &[Vec<f64>],
+        config: EnqodeConfig,
+        threads: NonZeroUsize,
+        symbolic: Arc<SymbolicState>,
+    ) -> Result<Self, EnqodeError> {
         config.ansatz.validate()?;
+        // The full shape must match — the entangler permutes phase-table
+        // rows, so two tables of identical size are still not
+        // interchangeable across entangler kinds (or layer/qubit splits
+        // with the same parameter count).
+        if *symbolic.ansatz() != config.ansatz {
+            return Err(EnqodeError::InvalidConfig(format!(
+                "shared symbolic state was built for {:?}, but the config needs {:?}",
+                symbolic.ansatz(),
+                config.ansatz,
+            )));
+        }
         let dim = config.ansatz.dimension();
         for s in samples {
             if s.len() != dim {
@@ -220,7 +255,6 @@ impl EnqodeModel {
             config.seed,
         )?;
 
-        let symbolic = Arc::new(SymbolicState::from_ansatz(&config.ansatz)?);
         let centroids: Result<Vec<Vec<f64>>, _> = clustering
             .centroids()
             .iter()
@@ -666,6 +700,21 @@ mod tests {
         assert!(model
             .embed_batch(&[samples[0].clone(), vec![0.0; 8]])
             .is_err());
+    }
+
+    #[test]
+    fn fit_with_shared_symbolic_rejects_mismatched_shape() {
+        let samples = grouped_samples(3, 9);
+        let config = small_config();
+        // Same qubit and parameter counts, different entangler: the phase
+        // tables differ, so this must be rejected, not silently accepted.
+        let mut other = config.clone();
+        other.ansatz.entangler = EntanglerKind::Cx;
+        let symbolic = Arc::new(SymbolicState::from_ansatz(&other.ansatz).unwrap());
+        assert!(matches!(
+            EnqodeModel::fit_with_shared_symbolic(&samples, config, NonZeroUsize::MIN, symbolic),
+            Err(EnqodeError::InvalidConfig(_))
+        ));
     }
 
     #[test]

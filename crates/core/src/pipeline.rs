@@ -8,8 +8,10 @@
 
 use crate::error::EnqodeError;
 use crate::model::{Embedding, EnqodeConfig, EnqodeModel};
+use crate::symbolic::SymbolicState;
 use enq_data::{Dataset, FeaturePipeline};
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A trained per-class model.
@@ -53,9 +55,19 @@ impl EnqodePipeline {
         let budget = enq_parallel::default_threads();
         let per_class = NonZeroUsize::new(budget.get().div_ceil(class_datasets.len().max(1)))
             .unwrap_or(NonZeroUsize::MIN);
+        // One symbolic phase table for the whole pipeline: the table depends
+        // only on the ansatz shape, which all class models share, so every
+        // class fit (and every embedding any of them ever serves) aliases the
+        // same `Arc` instead of rebuilding an identical table per class.
+        config.ansatz.validate()?;
+        let symbolic = Arc::new(SymbolicState::from_ansatz(&config.ansatz)?);
         let class_models = enq_parallel::try_par_map(&class_datasets, |i, class_data| {
-            let model =
-                EnqodeModel::fit_with_threads(class_data.samples(), config.clone(), per_class)?;
+            let model = EnqodeModel::fit_with_shared_symbolic(
+                class_data.samples(),
+                config.clone(),
+                per_class,
+                Arc::clone(&symbolic),
+            )?;
             Ok::<ClassModel, EnqodeError>(ClassModel {
                 label: labels[i],
                 model,
@@ -70,6 +82,20 @@ impl EnqodePipeline {
     /// Returns the fitted feature pipeline.
     pub fn features(&self) -> &FeaturePipeline {
         &self.features
+    }
+
+    /// Returns the feature dimension every embed path expects
+    /// (`2^num_qubits`).
+    pub fn feature_dimension(&self) -> usize {
+        self.features.output_dim()
+    }
+
+    /// Returns the symbolic phase table shared by every class model of this
+    /// pipeline (`None` for a pipeline with no trained classes). All class
+    /// models alias one table, so handing this `Arc` around (or cloning the
+    /// pipeline behind its own `Arc`) never copies symbolic state.
+    pub fn shared_symbolic(&self) -> Option<Arc<SymbolicState>> {
+        self.class_models.first().map(|cm| cm.model.symbolic_arc())
     }
 
     /// Returns the per-class models.
@@ -140,16 +166,32 @@ impl EnqodePipeline {
     ///
     /// Returns [`EnqodeError::NotTrained`] for an empty pipeline.
     pub fn embed(&self, raw_sample: &[f64]) -> Result<(usize, Embedding), EnqodeError> {
+        let features = self.extract_features(raw_sample)?;
+        self.embed_features(&features)
+    }
+
+    /// Embeds an already feature-extracted sample — the second half of
+    /// [`EnqodePipeline::embed`] after [`EnqodePipeline::extract_features`].
+    ///
+    /// Serving layers that need the feature vector themselves (for cache
+    /// keys or request dedup) call this so features are extracted exactly
+    /// once per request; `embed_features(extract_features(x))` is
+    /// bit-identical to `embed(x)` apart from wall-clock durations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::NotTrained`] for an empty pipeline, dimension
+    /// errors for bad feature lengths, and data errors for zero vectors.
+    pub fn embed_features(&self, features: &[f64]) -> Result<(usize, Embedding), EnqodeError> {
         if self.class_models.is_empty() {
             return Err(EnqodeError::NotTrained);
         }
-        let features = self.extract_features(raw_sample)?;
         // The online-compile clock starts after feature extraction, matching
         // what `EnqodeModel::embed` measures (normalise + cluster lookup +
         // fine-tune + bind), so durations are comparable across both paths.
         let start = Instant::now();
         // Pick the class whose nearest cluster centroid is closest.
-        let normalized = self.class_models[0].model.normalize_checked(&features)?;
+        let normalized = self.class_models[0].model.normalize_checked(features)?;
         let mut best: Option<(usize, usize, f64)> = None; // (class idx, cluster idx, dist²)
         for (class_idx, cm) in self.class_models.iter().enumerate() {
             let (cluster_idx, dist) = cm.model.nearest_cluster_of_normalized(&normalized)?;
@@ -255,6 +297,33 @@ mod tests {
             assert_eq!(single.parameters, embedding.parameters);
             assert_eq!(single.cluster_index, embedding.cluster_index);
         }
+    }
+
+    #[test]
+    fn class_models_share_one_symbolic_table() {
+        let (pipeline, _) = tiny_pipeline();
+        let shared = pipeline.shared_symbolic().expect("trained pipeline");
+        for cm in pipeline.class_models() {
+            assert!(
+                Arc::ptr_eq(&shared, &cm.model.symbolic_arc()),
+                "class {} rebuilt its own symbolic table",
+                cm.label
+            );
+        }
+        assert_eq!(pipeline.feature_dimension(), 16);
+    }
+
+    #[test]
+    fn embed_features_matches_embed() {
+        let (pipeline, dataset) = tiny_pipeline();
+        let sample = dataset.sample(1);
+        let features = pipeline.extract_features(sample).unwrap();
+        let (label_a, a) = pipeline.embed(sample).unwrap();
+        let (label_b, b) = pipeline.embed_features(&features).unwrap();
+        assert_eq!(label_a, label_b);
+        assert_eq!(a.parameters, b.parameters);
+        assert_eq!(a.cluster_index, b.cluster_index);
+        assert_eq!(a.ideal_fidelity, b.ideal_fidelity);
     }
 
     #[test]

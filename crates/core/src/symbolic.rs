@@ -50,6 +50,10 @@ use std::f64::consts::FRAC_PI_2;
 /// rotation column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SymbolicState {
+    /// The exact ansatz shape this table was built for (entangler included —
+    /// the entangler permutes rows, so tables of equal size are not
+    /// interchangeable across entangler kinds).
+    ansatz: AnsatzConfig,
     num_qubits: usize,
     num_parameters: usize,
     /// Phase constant per basis index, stored as a power of `i` (mod 4).
@@ -169,6 +173,7 @@ impl SymbolicState {
         let column_masks = extract_column_masks(&coeffs, dim, num_parameters)?;
         let base_phase = k_power.iter().map(|&k| f64::from(k) * FRAC_PI_2).collect();
         Ok(Self {
+            ansatz: *config,
             num_qubits: n,
             num_parameters,
             k_power,
@@ -176,6 +181,11 @@ impl SymbolicState {
             coeffs,
             column_masks,
         })
+    }
+
+    /// Returns the exact ansatz shape this table was built for.
+    pub fn ansatz(&self) -> &AnsatzConfig {
+        &self.ansatz
     }
 
     /// Returns the number of qubits.

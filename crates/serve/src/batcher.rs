@@ -1,0 +1,263 @@
+//! Request queue and micro-batch formation.
+//!
+//! Concurrent `embed` calls park their request in a [`BatchQueue`]; a single
+//! batcher thread pulls **micro-batches** off the queue: it waits for the
+//! first request, then keeps collecting until either
+//! [`max_batch_size`](crate::ServeConfig::max_batch_size) requests are in
+//! hand or the [`flush_deadline`](crate::ServeConfig::flush_deadline) since
+//! batch formation began has passed. The deadline bounds single-request
+//! latency under light traffic (a lone request waits at most one flush
+//! window); the size cap bounds it under heavy traffic (no request waits
+//! behind an unboundedly growing batch).
+//!
+//! The queue is a plain `Mutex<VecDeque> + Condvar` pair: request rates are
+//! bounded by embedding compute (milliseconds per cold sample), so a lock-free
+//! queue would buy nothing measurable here.
+
+use crate::error::ServeError;
+use crate::service::EmbedResponse;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+type ReplyCell = Mutex<Option<Result<EmbedResponse, ServeError>>>;
+
+/// A one-shot reply channel: the batcher fills it, the requesting thread
+/// blocks on it.
+#[derive(Debug, Clone)]
+pub(crate) struct ReplySlot {
+    inner: Arc<(ReplyCell, Condvar)>,
+}
+
+impl ReplySlot {
+    pub(crate) fn new() -> Self {
+        Self {
+            inner: Arc::new((Mutex::new(None), Condvar::new())),
+        }
+    }
+
+    /// Fills the slot and wakes the waiter. Filling twice is a logic error;
+    /// the second value is dropped.
+    pub(crate) fn send(&self, result: Result<EmbedResponse, ServeError>) {
+        let (lock, cv) = &*self.inner;
+        let mut slot = lock.lock().expect("reply slot poisoned");
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        cv.notify_all();
+    }
+
+    /// Blocks until the slot is filled and takes the result.
+    pub(crate) fn wait(self) -> Result<EmbedResponse, ServeError> {
+        let (lock, cv) = &*self.inner;
+        let mut slot = lock.lock().expect("reply slot poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = cv.wait(slot).expect("reply slot poisoned");
+        }
+    }
+}
+
+/// A queued embedding request.
+#[derive(Debug)]
+pub(crate) struct PendingRequest {
+    /// Model id the request addresses.
+    pub model_id: Arc<str>,
+    /// The raw (pre-feature-extraction) sample.
+    pub raw_sample: Vec<f64>,
+    /// When the request entered the queue (latency measurement starts here).
+    pub enqueued_at: Instant,
+    /// Where to deliver the result.
+    pub reply: ReplySlot,
+}
+
+impl Drop for PendingRequest {
+    /// Liveness backstop: a request dropped before being answered (batcher
+    /// panic unwinding a batch, shutdown drain) fails its waiter instead of
+    /// leaving the client thread blocked forever. `send` is a no-op for
+    /// requests that were answered normally.
+    fn drop(&mut self) {
+        self.reply.send(Err(ServeError::ShuttingDown));
+    }
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    queue: VecDeque<PendingRequest>,
+    shutdown: bool,
+}
+
+/// The shared request queue between client threads and the batcher thread.
+#[derive(Debug, Default)]
+pub(crate) struct BatchQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl BatchQueue {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a request, failing fast once shutdown has begun.
+    pub(crate) fn push(&self, request: PendingRequest) -> Result<(), ServeError> {
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        if state.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        state.queue.push_back(request);
+        drop(state);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until at least one request is available, then collects a batch
+    /// of up to `max_batch` requests, waiting at most `flush_deadline` (from
+    /// the moment batch formation starts) for stragglers.
+    ///
+    /// Returns `None` only when the queue is shut down **and** drained, so
+    /// every accepted request is eventually served.
+    pub(crate) fn next_batch(
+        &self,
+        max_batch: usize,
+        flush_deadline: Duration,
+    ) -> Option<Vec<PendingRequest>> {
+        let max_batch = max_batch.max(1);
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        // Park until there is work or the service is fully done.
+        while state.queue.is_empty() {
+            if state.shutdown {
+                return None;
+            }
+            state = self.cv.wait(state).expect("batch queue poisoned");
+        }
+        let deadline = Instant::now() + flush_deadline;
+        let mut batch = Vec::with_capacity(max_batch.min(state.queue.len()));
+        loop {
+            while batch.len() < max_batch {
+                match state.queue.pop_front() {
+                    Some(req) => batch.push(req),
+                    None => break,
+                }
+            }
+            if batch.len() >= max_batch || state.shutdown {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next_state, timeout) = self
+                .cv
+                .wait_timeout(state, deadline - now)
+                .expect("batch queue poisoned");
+            state = next_state;
+            if timeout.timed_out() && state.queue.is_empty() {
+                break;
+            }
+        }
+        Some(batch)
+    }
+
+    /// Begins shutdown: new pushes fail, already queued requests still drain
+    /// through [`BatchQueue::next_batch`].
+    pub(crate) fn shutdown(&self) {
+        self.state.lock().expect("batch queue poisoned").shutdown = true;
+        self.cv.notify_all();
+    }
+
+    #[cfg(test)]
+    fn depth(&self) -> usize {
+        self.state.lock().expect("batch queue poisoned").queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(tag: usize) -> PendingRequest {
+        PendingRequest {
+            model_id: Arc::from("m"),
+            raw_sample: vec![tag as f64],
+            enqueued_at: Instant::now(),
+            reply: ReplySlot::new(),
+        }
+    }
+
+    #[test]
+    fn collects_up_to_max_batch_without_waiting_when_full() {
+        let q = BatchQueue::new();
+        for i in 0..5 {
+            q.push(request(i)).unwrap();
+        }
+        let start = Instant::now();
+        let batch = q.next_batch(3, Duration::from_secs(10)).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "a full batch must not wait for the flush deadline"
+        );
+        // FIFO order.
+        assert_eq!(batch[0].raw_sample, vec![0.0]);
+        assert_eq!(batch[2].raw_sample, vec![2.0]);
+        assert_eq!(q.depth(), 2);
+        let rest = q.next_batch(3, Duration::ZERO).unwrap();
+        assert_eq!(rest.len(), 2);
+    }
+
+    #[test]
+    fn flush_deadline_releases_partial_batches() {
+        let q = BatchQueue::new();
+        q.push(request(0)).unwrap();
+        let start = Instant::now();
+        let batch = q.next_batch(8, Duration::from_millis(20)).unwrap();
+        let waited = start.elapsed();
+        assert_eq!(batch.len(), 1);
+        assert!(waited >= Duration::from_millis(20), "waited {waited:?}");
+        assert!(waited < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn stragglers_join_an_open_batch() {
+        let q = Arc::new(BatchQueue::new());
+        q.push(request(0)).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.push(request(1)).unwrap();
+        });
+        let batch = q.next_batch(2, Duration::from_secs(5)).unwrap();
+        pusher.join().unwrap();
+        // The second request arrived within the flush window and filled the
+        // batch to its size cap, releasing it before the full deadline.
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn shutdown_drains_then_ends() {
+        let q = BatchQueue::new();
+        q.push(request(0)).unwrap();
+        q.push(request(1)).unwrap();
+        q.shutdown();
+        assert!(matches!(q.push(request(2)), Err(ServeError::ShuttingDown)));
+        let batch = q.next_batch(10, Duration::from_secs(10)).unwrap();
+        assert_eq!(batch.len(), 2, "queued requests drain after shutdown");
+        assert!(q.next_batch(10, Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn reply_slot_roundtrip_across_threads() {
+        let slot = ReplySlot::new();
+        let waiter = slot.clone();
+        let handle = std::thread::spawn(move || waiter.wait());
+        std::thread::sleep(Duration::from_millis(5));
+        slot.send(Err(ServeError::ShuttingDown));
+        assert!(matches!(
+            handle.join().unwrap(),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+}

@@ -1,0 +1,562 @@
+//! The quantized LRU solution cache.
+//!
+//! Production embedding traffic is heavily repetitive: the same frames,
+//! tiles, or user feature vectors recur, and nearby samples fine-tune to the
+//! same solution anyway (the whole premise of EnQode's cluster transfer
+//! learning). The cache exploits that by keying finished solutions on a
+//! **quantized feature vector**: each feature is snapped to a grid of step
+//! [`CacheConfig::quantum`], so two requests whose features agree to within
+//! the grid resolution share one cache line and the second skips fine-tuning
+//! entirely.
+//!
+//! Quantization semantics: the key of a request with features `f` is
+//! `round(f[i] / quantum)` per component (plus the model id). `quantum <= 0`
+//! disables snapping — keys are the exact f64 bit patterns, so only
+//! bit-identical feature vectors hit. The returned solution is the *exact*
+//! solution of whichever request of the bucket was computed first; callers
+//! pick `quantum` at or below the noise floor of their feature source so that
+//! bucket mates are interchangeable for downstream fidelity.
+//!
+//! Internally the cache is sharded (hash of key → shard), each shard a
+//! mutex-guarded LRU list, and solutions are returned behind [`Arc`] so a hit
+//! copies nothing.
+
+use crate::solution::Solution;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Total capacity in solutions across all shards. `0` disables the cache
+    /// (every lookup misses, inserts are dropped).
+    pub capacity: usize,
+    /// Feature quantization step. Two feature vectors hash to the same key
+    /// iff every component rounds to the same multiple of `quantum`.
+    /// `<= 0.0` means exact bit-pattern matching only.
+    pub quantum: f64,
+    /// Number of shards (minimum 1; rounded down to a divisor-friendly
+    /// value is unnecessary — any count works).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 4096,
+            quantum: 1e-6,
+            shards: 16,
+        }
+    }
+}
+
+/// Quantizes a feature vector into grid cell indices (the cache key body).
+///
+/// With `quantum <= 0` the exact f64 bit patterns are used, so only
+/// bit-identical vectors collide.
+pub fn quantize_features(features: &[f64], quantum: f64) -> Vec<i64> {
+    if quantum <= 0.0 {
+        features.iter().map(|f| f.to_bits() as i64).collect()
+    } else {
+        features
+            .iter()
+            .map(|f| (f / quantum).round() as i64)
+            .collect()
+    }
+}
+
+/// A cache key: model id, registration generation, and quantized feature
+/// cells.
+///
+/// The **generation** (see
+/// [`ModelRegistry::get_with_generation`](crate::ModelRegistry::get_with_generation))
+/// makes redeploys race-free: a request that resolved the previous
+/// registration of an id can only insert under the old generation, which no
+/// future lookup uses — stale solutions become unreachable the instant a
+/// model is replaced, regardless of in-flight work.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    model_id: Arc<str>,
+    generation: u64,
+    cells: Box<[i64]>,
+}
+
+impl CacheKey {
+    /// Builds a key from a model id, its registration generation, and
+    /// quantized cells.
+    pub fn new(model_id: Arc<str>, generation: u64, cells: Vec<i64>) -> Self {
+        Self {
+            model_id,
+            generation,
+            cells: cells.into_boxed_slice(),
+        }
+    }
+
+    /// The model id this key belongs to.
+    pub fn model_id(&self) -> &str {
+        &self.model_id
+    }
+}
+
+/// Cache observability counters (monotonic since construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that returned a cached solution.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Solutions inserted.
+    pub insertions: u64,
+    /// Solutions evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (`0` when no lookups have happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One entry of the intrusive LRU list. The payload is `Option` so freeing
+/// a slot (eviction, invalidation) drops the key and value immediately
+/// instead of holding them until the slot is reused.
+struct LruEntry<K, V> {
+    payload: Option<(K, V)>,
+    /// Previous (towards most-recently-used) slot index, `usize::MAX` = none.
+    prev: usize,
+    /// Next (towards least-recently-used) slot index, `usize::MAX` = none.
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A classic O(1) LRU map: hash map into a slab of doubly linked entries.
+/// Not thread safe on its own — [`SolutionCache`] wraps shards in mutexes.
+struct LruMap<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<LruEntry<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruMap<K, V> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Unlinks `idx` from the recency list (must currently be linked).
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    /// Links `idx` at the head (most recently used).
+    fn link_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    fn get(&mut self, key: &K) -> Option<V> {
+        let idx = *self.map.get(key)?;
+        if self.head != idx {
+            self.unlink(idx);
+            self.link_front(idx);
+        }
+        Some(
+            self.slab[idx]
+                .payload
+                .as_ref()
+                .expect("linked slot is filled")
+                .1
+                .clone(),
+        )
+    }
+
+    /// Unlinks `idx`, clears its payload (dropping key and value), and
+    /// recycles the slot.
+    fn free_slot(&mut self, idx: usize) -> (K, V) {
+        self.unlink(idx);
+        self.free.push(idx);
+        self.slab[idx]
+            .payload
+            .take()
+            .expect("linked slot is filled")
+    }
+
+    /// Inserts `key → value`, evicting the least recently used entry when at
+    /// capacity. Returns `true` if an eviction happened.
+    fn insert(&mut self, key: K, value: V) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx]
+                .payload
+                .as_mut()
+                .expect("linked slot is filled")
+                .1 = value;
+            if self.head != idx {
+                self.unlink(idx);
+                self.link_front(idx);
+            }
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL, "non-empty map has a tail");
+            let (old_key, _old_value) = self.free_slot(lru);
+            self.map.remove(&old_key);
+            evicted = true;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx] = LruEntry {
+                    payload: Some((key.clone(), value)),
+                    prev: NIL,
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                self.slab.push(LruEntry {
+                    payload: Some((key.clone(), value)),
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.link_front(idx);
+        evicted
+    }
+
+    /// Removes every entry whose key matches `pred`, dropping keys and
+    /// values immediately; returns how many were removed. O(len) — intended
+    /// for deploy-time invalidation, not the request path.
+    fn remove_matching(&mut self, pred: impl Fn(&K) -> bool) -> usize {
+        let doomed: Vec<K> = self.map.keys().filter(|k| pred(k)).cloned().collect();
+        for key in &doomed {
+            if let Some(idx) = self.map.remove(key) {
+                drop(self.free_slot(idx));
+            }
+        }
+        doomed.len()
+    }
+}
+
+/// The sharded, quantized LRU solution cache.
+///
+/// # Examples
+///
+/// ```
+/// use enq_serve::{CacheConfig, SolutionCache};
+///
+/// let cache = SolutionCache::new(CacheConfig { capacity: 8, ..Default::default() });
+/// // Generation 1 = the first registration of "mnist" in the registry.
+/// assert!(cache.lookup("mnist", 1, &[0.5, 0.5]).is_none());
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug)]
+pub struct SolutionCache {
+    shards: Vec<Mutex<LruMap<CacheKey, Arc<Solution>>>>,
+    quantum: f64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    enabled: bool,
+}
+
+impl std::fmt::Debug for LruMap<CacheKey, Arc<Solution>> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LruMap").field("len", &self.len()).finish()
+    }
+}
+
+impl SolutionCache {
+    /// Creates a cache from its configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        let enabled = config.capacity > 0;
+        // Spread capacity across shards, rounding up so the total is never
+        // below the requested capacity.
+        let per_shard = config.capacity.div_ceil(shards);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruMap::new(per_shard)))
+                .collect(),
+            quantum: config.quantum,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            enabled,
+        }
+    }
+
+    /// Returns the configured quantization step.
+    pub fn quantum(&self) -> f64 {
+        self.quantum
+    }
+
+    /// Returns `true` when the cache stores anything at all
+    /// (`capacity > 0`).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Builds the cache key for a request against one registration
+    /// generation of `model_id`.
+    pub fn key_for(&self, model_id: &Arc<str>, generation: u64, features: &[f64]) -> CacheKey {
+        CacheKey::new(
+            Arc::clone(model_id),
+            generation,
+            quantize_features(features, self.quantum),
+        )
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<LruMap<CacheKey, Arc<Solution>>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up the solution for `(model_id, generation,
+    /// quantize(features))`.
+    pub fn lookup(
+        &self,
+        model_id: &str,
+        generation: u64,
+        features: &[f64],
+    ) -> Option<Arc<Solution>> {
+        let key = CacheKey::new(
+            Arc::from(model_id),
+            generation,
+            quantize_features(features, self.quantum),
+        );
+        self.lookup_key(&key)
+    }
+
+    /// Looks up a pre-built key (the service builds keys once per request).
+    pub fn lookup_key(&self, key: &CacheKey) -> Option<Arc<Solution>> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let found = self
+            .shard_for(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a finished solution under a pre-built key.
+    pub fn insert_key(&self, key: CacheKey, solution: Arc<Solution>) {
+        if !self.enabled {
+            return;
+        }
+        let evicted = self
+            .shard_for(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, solution);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every cached solution belonging to `model_id`. Called when a
+    /// model is replaced or retired so a redeployed id can never serve the
+    /// previous model's solutions. Returns the number of entries removed.
+    pub fn invalidate_model(&self, model_id: &str) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .remove_matching(|key| key.model_id() == model_id)
+            })
+            .sum()
+    }
+
+    /// Returns the number of cached solutions.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Returns `true` when no solutions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_solution(label: usize) -> Arc<Solution> {
+        Arc::new(Solution {
+            label,
+            embedding: enqode::Embedding {
+                parameters: vec![0.0],
+                circuit: enq_circuit::QuantumCircuit::new(1),
+                cluster_index: 0,
+                ideal_fidelity: 1.0,
+                duration: std::time::Duration::ZERO,
+                iterations: 0,
+            },
+        })
+    }
+
+    #[test]
+    fn quantization_buckets_nearby_vectors() {
+        let a = quantize_features(&[0.100_000_1, -0.2], 1e-3);
+        let b = quantize_features(&[0.100_000_9, -0.2], 1e-3);
+        let c = quantize_features(&[0.102, -0.2], 1e-3);
+        assert_eq!(a, b, "within one grid cell");
+        assert_ne!(a, c, "two cells apart");
+        // quantum <= 0: exact bit-pattern match only.
+        let exact_a = quantize_features(&[0.1], 0.0);
+        let exact_b = quantize_features(&[0.1 + 1e-16], 0.0);
+        assert_ne!(exact_a, exact_b);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru: LruMap<u32, u32> = LruMap::new(2);
+        assert!(!lru.insert(1, 10));
+        assert!(!lru.insert(2, 20));
+        assert_eq!(lru.get(&1), Some(10)); // 1 now MRU, 2 is LRU
+        assert!(lru.insert(3, 30)); // evicts 2
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), Some(30));
+        assert_eq!(lru.len(), 2);
+        // Re-inserting an existing key updates in place without eviction.
+        assert!(!lru.insert(3, 31));
+        assert_eq!(lru.get(&3), Some(31));
+    }
+
+    #[test]
+    fn lru_handles_capacity_one_and_slot_reuse() {
+        let mut lru: LruMap<u32, u32> = LruMap::new(1);
+        for i in 0..10 {
+            lru.insert(i, i);
+            assert_eq!(lru.get(&i), Some(i));
+            assert_eq!(lru.len(), 1);
+        }
+        // The slab never grows past capacity + pending frees.
+        assert!(lru.slab.len() <= 2);
+    }
+
+    #[test]
+    fn cache_hit_returns_same_arc_and_counts() {
+        let cache = SolutionCache::new(CacheConfig {
+            capacity: 8,
+            quantum: 1e-6,
+            shards: 2,
+        });
+        let id: Arc<str> = Arc::from("m");
+        let features = [0.25, 0.75];
+        let key = cache.key_for(&id, 1, &features);
+        assert!(cache.lookup_key(&key).is_none());
+        let sol = dummy_solution(3);
+        cache.insert_key(key.clone(), Arc::clone(&sol));
+        let hit = cache.lookup("m", 1, &features).unwrap();
+        assert!(Arc::ptr_eq(&sol, &hit), "hits return the exact solution");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_models_do_not_collide() {
+        let cache = SolutionCache::new(CacheConfig::default());
+        let features = [1.0, 2.0];
+        cache.insert_key(
+            cache.key_for(&Arc::from("a"), 1, &features),
+            dummy_solution(0),
+        );
+        assert!(cache.lookup("b", 1, &features).is_none());
+        assert_eq!(cache.lookup("a", 1, &features).unwrap().label, 0);
+        // A different generation of the same id never collides: stale
+        // solutions from a replaced registration are unreachable.
+        assert!(cache.lookup("a", 2, &features).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = SolutionCache::new(CacheConfig {
+            capacity: 0,
+            quantum: 1e-6,
+            shards: 4,
+        });
+        assert!(!cache.is_enabled());
+        let key = cache.key_for(&Arc::from("m"), 1, &[0.1]);
+        cache.insert_key(key.clone(), dummy_solution(1));
+        assert!(cache.lookup_key(&key).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().insertions, 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! The serving-layer error type.
+
+use enqode::EnqodeError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`crate::EmbedService`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request named a model id with no registered pipeline.
+    ModelNotFound(String),
+    /// The underlying embedding failed (dimension mismatch, zero vector,
+    /// untrained pipeline, …).
+    Embed(EnqodeError),
+    /// The service is shutting down and no longer accepts requests, or shut
+    /// down while this request was queued.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ModelNotFound(id) => write!(f, "no model registered under id {id:?}"),
+            ServeError::Embed(e) => write!(f, "embedding failed: {e}"),
+            ServeError::ShuttingDown => write!(f, "the embedding service is shutting down"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Embed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EnqodeError> for ServeError {
+    fn from(e: EnqodeError) -> Self {
+        ServeError::Embed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ServeError::ModelNotFound("mnist".into());
+        assert!(e.to_string().contains("mnist"));
+        assert!(e.source().is_none());
+        let e: ServeError = EnqodeError::NotTrained.into();
+        assert!(e.to_string().contains("no trained"));
+        assert!(e.source().is_some());
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+    }
+}

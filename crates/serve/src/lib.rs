@@ -1,0 +1,61 @@
+//! # enq-serve
+//!
+//! The **online embedding service** layer of the EnQode reproduction: the
+//! paper's offline/online split (Sec. III-C) makes per-sample embedding a
+//! nearest-cluster lookup plus a short fine-tune, and this crate turns that
+//! primitive into a serving system:
+//!
+//! * [`ModelRegistry`] — a sharded, read-mostly map from model id to
+//!   `Arc<EnqodePipeline>`; lookups are pointer clones, deploys only lock one
+//!   shard.
+//! * [`SolutionCache`] — an LRU cache keyed by **quantized feature vectors**:
+//!   repeated and near-duplicate samples (ubiquitous in production traffic)
+//!   skip fine-tuning entirely and are answered with the exact previously
+//!   computed solution. The service keeps a second instance as an
+//!   **exact-match memo** in front of it, keyed by the raw sample's bit
+//!   pattern, so literal repeats also skip feature extraction — the
+//!   dominant classical cost of a hit.
+//! * [`EmbedService`] — a micro-batching front end: concurrent
+//!   [`embed`](EmbedService::embed) calls queue up, are grouped into batches
+//!   (bounded by [`ServeConfig::max_batch_size`] and flushed after
+//!   [`ServeConfig::flush_deadline`]), deduplicated within the batch, and
+//!   fanned out through `enq_parallel`.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//!  embed(id, x) ──► BatchQueue ──► micro-batch ──► registry.get(id)
+//!                                      │                │
+//!                                      │          exact memo? ──hit──► reply
+//!                                      │                │ miss
+//!                                      │           extract_features
+//!                                      │                │
+//!                                      │        quantize ─► cache? ──hit──► reply
+//!                                      │                │ miss
+//!                                      │        dedup within batch
+//!                                      │                │
+//!                                      └── enq_parallel fan-out: embed_features
+//!                                                       │
+//!                                      memo.insert + cache.insert ─► reply
+//! ```
+//!
+//! Determinism: with the cache disabled, serve-layer results are
+//! bit-identical to calling [`enqode::EnqodePipeline::embed`] per sample —
+//! the batcher changes scheduling, never math. With the cache enabled, a hit
+//! returns the exact solution object computed for the first request of its
+//! quantization bucket.
+
+#![warn(missing_docs)]
+
+mod batcher;
+mod cache;
+mod error;
+mod registry;
+mod service;
+mod solution;
+
+pub use cache::{quantize_features, CacheConfig, CacheKey, CacheStats, SolutionCache};
+pub use error::ServeError;
+pub use registry::{ModelRegistry, DEFAULT_REGISTRY_SHARDS};
+pub use service::{EmbedResponse, EmbedService, ServeConfig, ServiceStats, SolutionSource};
+pub use solution::Solution;

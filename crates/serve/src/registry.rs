@@ -1,0 +1,229 @@
+//! The sharded model registry.
+//!
+//! A serving process owns many trained [`EnqodePipeline`]s — one per
+//! dataset/model id — and every request resolves its id to a pipeline before
+//! any embedding work happens. The access pattern is read-mostly (lookups per
+//! request, writes only on deploy/retire), so the registry shards its map and
+//! guards each shard with an [`RwLock`]: concurrent lookups never contend
+//! with each other, and a deploy only blocks the one shard its id hashes to.
+//!
+//! Pipelines are stored behind [`Arc`], so a lookup is a pointer clone — no
+//! model weights, cluster tables, or symbolic state are ever copied on the
+//! request path (the pipeline itself shares one symbolic table across its
+//! class models, see [`EnqodePipeline::shared_symbolic`]).
+
+use enqode::EnqodePipeline;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Default number of registry shards.
+pub const DEFAULT_REGISTRY_SHARDS: usize = 16;
+
+type Shard = RwLock<HashMap<String, (Arc<EnqodePipeline>, u64)>>;
+
+/// A sharded, read-mostly map from model id to trained pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use enq_serve::ModelRegistry;
+///
+/// let registry = ModelRegistry::new();
+/// assert!(registry.get("mnist").is_none());
+/// assert_eq!(registry.len(), 0);
+/// ```
+#[derive(Debug)]
+pub struct ModelRegistry {
+    shards: Vec<Shard>,
+    /// Monotonic registration counter: every insert gets a fresh
+    /// **generation**, and cache keys embed it — after a model id is
+    /// replaced, lookups use the new generation and can never hit solutions
+    /// computed by (or inserted late from) the previous registration.
+    generations: AtomicU64,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry with [`DEFAULT_REGISTRY_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_REGISTRY_SHARDS)
+    }
+
+    /// Creates an empty registry with an explicit shard count (minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+            generations: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, model_id: &str) -> &Shard {
+        let mut hasher = DefaultHasher::new();
+        model_id.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Registers (or replaces) a pipeline under `model_id`, returning the
+    /// previously registered pipeline if one existed.
+    pub fn insert(
+        &self,
+        model_id: impl Into<String>,
+        pipeline: Arc<EnqodePipeline>,
+    ) -> Option<Arc<EnqodePipeline>> {
+        let model_id = model_id.into();
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed) + 1;
+        self.shard_for(&model_id)
+            .write()
+            .expect("registry shard poisoned")
+            .insert(model_id, (pipeline, generation))
+            .map(|(old, _)| old)
+    }
+
+    /// Returns a cheap shared handle to the pipeline registered under
+    /// `model_id`.
+    pub fn get(&self, model_id: &str) -> Option<Arc<EnqodePipeline>> {
+        self.get_with_generation(model_id)
+            .map(|(pipeline, _)| pipeline)
+    }
+
+    /// Returns the pipeline plus the **generation** of its registration.
+    /// Cache keys embed the generation, so solutions computed against one
+    /// registration are unreachable after the id is re-registered.
+    pub fn get_with_generation(&self, model_id: &str) -> Option<(Arc<EnqodePipeline>, u64)> {
+        self.shard_for(model_id)
+            .read()
+            .expect("registry shard poisoned")
+            .get(model_id)
+            .cloned()
+    }
+
+    /// Removes and returns the pipeline registered under `model_id`.
+    /// In-flight requests holding the `Arc` keep working; the model is simply
+    /// no longer resolvable for new requests.
+    pub fn remove(&self, model_id: &str) -> Option<Arc<EnqodePipeline>> {
+        self.shard_for(model_id)
+            .write()
+            .expect("registry shard poisoned")
+            .remove(model_id)
+            .map(|(old, _)| old)
+    }
+
+    /// Returns `true` if `model_id` is registered.
+    pub fn contains(&self, model_id: &str) -> bool {
+        self.shard_for(model_id)
+            .read()
+            .expect("registry shard poisoned")
+            .contains_key(model_id)
+    }
+
+    /// Returns the number of registered models.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("registry shard poisoned").len())
+            .sum()
+    }
+
+    /// Returns `true` if no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns all registered model ids (sorted, so the listing is stable
+    /// regardless of shard layout).
+    pub fn model_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("registry shard poisoned")
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enq_data::{generate_synthetic, DatasetKind, SyntheticConfig};
+    use enqode::{AnsatzConfig, EnqodeConfig, EntanglerKind};
+
+    fn tiny_pipeline(seed: u64) -> Arc<EnqodePipeline> {
+        let dataset = generate_synthetic(
+            DatasetKind::MnistLike,
+            &SyntheticConfig {
+                classes: 1,
+                samples_per_class: 4,
+                seed,
+            },
+        )
+        .unwrap();
+        let config = EnqodeConfig {
+            ansatz: AnsatzConfig {
+                num_qubits: 2,
+                num_layers: 2,
+                entangler: EntanglerKind::Cy,
+            },
+            fidelity_threshold: 0.5,
+            max_clusters: 2,
+            offline_max_iterations: 20,
+            offline_restarts: 1,
+            online_max_iterations: 10,
+            offline_rescue: false,
+            seed,
+        };
+        Arc::new(EnqodePipeline::build(&dataset, config).unwrap())
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let registry = ModelRegistry::with_shards(4);
+        let a = tiny_pipeline(1);
+        assert!(registry.insert("a", Arc::clone(&a)).is_none());
+        assert!(registry.contains("a"));
+        assert_eq!(registry.len(), 1);
+        let got = registry.get("a").unwrap();
+        assert!(Arc::ptr_eq(&a, &got), "lookup must be a pointer clone");
+        // Replacing returns the old pipeline.
+        let b = tiny_pipeline(2);
+        let old = registry.insert("a", Arc::clone(&b)).unwrap();
+        assert!(Arc::ptr_eq(&a, &old));
+        // Removal keeps in-flight handles alive.
+        let removed = registry.remove("a").unwrap();
+        assert!(Arc::ptr_eq(&b, &removed));
+        assert!(registry.get("a").is_none());
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn ids_span_shards_and_sort_stably() {
+        let registry = ModelRegistry::with_shards(3);
+        let p = tiny_pipeline(3);
+        for id in ["zeta", "alpha", "mid"] {
+            registry.insert(id, Arc::clone(&p));
+        }
+        assert_eq!(registry.model_ids(), vec!["alpha", "mid", "zeta"]);
+        assert_eq!(registry.len(), 3);
+    }
+
+    #[test]
+    fn single_shard_registry_works() {
+        let registry = ModelRegistry::with_shards(0); // clamped to 1
+        registry.insert("only", tiny_pipeline(4));
+        assert!(registry.contains("only"));
+    }
+}

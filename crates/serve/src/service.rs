@@ -1,0 +1,751 @@
+//! The high-throughput online embedding service.
+//!
+//! [`EmbedService`] owns the three serving-layer pieces and wires them into
+//! one request path:
+//!
+//! 1. **registry** — the request's model id resolves to an
+//!    `Arc<EnqodePipeline>` (pointer clone, no model copy);
+//! 2. **cache** — the request's feature vector is quantized and looked up;
+//!    a hit returns the cached solution without touching the optimiser;
+//! 3. **batcher** — misses ride a micro-batch that fans out through
+//!    `enq_parallel`, so throughput scales with cores while the flush
+//!    deadline bounds how long a lone request can wait.
+//!
+//! Requests inside one micro-batch that quantize to the same cache key are
+//! **deduplicated**: one leader fine-tunes, the rest share its solution
+//! (reported as [`SolutionSource::BatchDedup`]). With the cache disabled
+//! every request computes independently, and the batched results are
+//! bit-identical to calling [`EnqodePipeline::embed`] one request at a time.
+
+use crate::batcher::{BatchQueue, PendingRequest, ReplySlot};
+use crate::cache::{CacheConfig, CacheKey, CacheStats, SolutionCache};
+use crate::error::ServeError;
+use crate::registry::{ModelRegistry, DEFAULT_REGISTRY_SHARDS};
+use crate::solution::Solution;
+use enqode::{EnqodeError, EnqodePipeline};
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a response's solution was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolutionSource {
+    /// Freshly fine-tuned for this request.
+    Computed,
+    /// Served from the LRU solution cache.
+    CacheHit,
+    /// Shared with an identical (same quantized key) request in the same
+    /// micro-batch; only the batch leader fine-tuned.
+    BatchDedup,
+}
+
+/// The service's answer to one embed request.
+#[derive(Debug, Clone)]
+pub struct EmbedResponse {
+    /// The model that served the request.
+    pub model_id: Arc<str>,
+    /// The shared solution (label + embedding).
+    pub solution: Arc<Solution>,
+    /// Where the solution came from.
+    pub source: SolutionSource,
+    /// Size of the micro-batch this request was grouped into (1 for the
+    /// direct path).
+    pub batch_size: usize,
+    /// End-to-end latency: enqueue to reply, including queueing and the
+    /// flush wait.
+    pub latency: Duration,
+}
+
+impl EmbedResponse {
+    /// The class label the pipeline chose.
+    pub fn label(&self) -> usize {
+        self.solution.label
+    }
+
+    /// The embedding backing this response.
+    pub fn embedding(&self) -> &enqode::Embedding {
+        &self.solution.embedding
+    }
+}
+
+/// Tuning knobs of the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Upper bound on requests per micro-batch.
+    pub max_batch_size: usize,
+    /// How long an open batch waits for stragglers before it is flushed.
+    /// Bounds the queueing latency a lone request pays under light traffic.
+    pub flush_deadline: Duration,
+    /// Solution cache shape (capacity 0 disables caching and intra-batch
+    /// dedup).
+    pub cache: CacheConfig,
+    /// Shard count of the model registry (only used when the service builds
+    /// its own registry).
+    pub registry_shards: usize,
+    /// Worker threads for the per-batch fan-out; `None` uses
+    /// [`enq_parallel::default_threads`].
+    pub threads: Option<NonZeroUsize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_size: 32,
+            flush_deadline: Duration::from_micros(500),
+            cache: CacheConfig::default(),
+            registry_shards: DEFAULT_REGISTRY_SHARDS,
+            threads: None,
+        }
+    }
+}
+
+/// Monotonic service counters (see [`EmbedService::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Requests accepted (batched and direct).
+    pub requests: u64,
+    /// Micro-batches processed.
+    pub batches: u64,
+    /// Requests answered by running the fine-tuning optimiser.
+    pub computed: u64,
+    /// Requests answered from the solution cache.
+    pub cache_hits: u64,
+    /// Requests answered by intra-batch deduplication.
+    pub batch_dedup_hits: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Largest micro-batch observed.
+    pub largest_batch: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    computed: AtomicU64,
+    cache_hits: AtomicU64,
+    batch_dedup_hits: AtomicU64,
+    errors: AtomicU64,
+    largest_batch: AtomicU64,
+}
+
+/// The online embedding service.
+///
+/// # Examples
+///
+/// ```no_run
+/// use enq_serve::{EmbedService, ServeConfig};
+/// use enqode::{EnqodeConfig, EnqodePipeline};
+/// # fn dataset() -> enq_data::Dataset { unimplemented!() }
+///
+/// let pipeline = EnqodePipeline::build(&dataset(), EnqodeConfig::default())?;
+/// let service = EmbedService::new(ServeConfig::default());
+/// service.register_model("mnist", pipeline);
+///
+/// // Any number of threads may call `embed` concurrently; requests are
+/// // micro-batched behind the scenes.
+/// let response = service.embed("mnist", &vec![0.5; 784])?;
+/// println!("label {} fidelity {}", response.label(), response.embedding().ideal_fidelity);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct EmbedService {
+    registry: Arc<ModelRegistry>,
+    /// Feature-keyed LRU: near-duplicate samples (same quantized feature
+    /// cell) share a solution.
+    cache: Arc<SolutionCache>,
+    /// Exact-match memo in front of `cache`, keyed by the raw sample's bit
+    /// pattern: an exact repeat skips feature extraction entirely — the
+    /// dominant classical cost of a hit. Same capacity as `cache`.
+    memo: Arc<SolutionCache>,
+    queue: Arc<BatchQueue>,
+    counters: Arc<Counters>,
+    worker: Option<JoinHandle<()>>,
+    config: ServeConfig,
+}
+
+impl EmbedService {
+    /// Creates a service with its own empty [`ModelRegistry`].
+    pub fn new(config: ServeConfig) -> Self {
+        let registry = Arc::new(ModelRegistry::with_shards(config.registry_shards));
+        Self::with_registry(registry, config)
+    }
+
+    /// Creates a service over an existing (possibly shared) registry.
+    pub fn with_registry(registry: Arc<ModelRegistry>, config: ServeConfig) -> Self {
+        let cache = Arc::new(SolutionCache::new(config.cache.clone()));
+        let memo = Arc::new(SolutionCache::new(CacheConfig {
+            // Exact bit-pattern keys: the memo only answers literal repeats.
+            quantum: 0.0,
+            ..config.cache.clone()
+        }));
+        let queue = Arc::new(BatchQueue::new());
+        let counters = Arc::new(Counters::default());
+        let worker = {
+            let registry = Arc::clone(&registry);
+            let cache = Arc::clone(&cache);
+            let memo = Arc::clone(&memo);
+            let queue = Arc::clone(&queue);
+            let counters = Arc::clone(&counters);
+            let max_batch = config.max_batch_size.max(1);
+            let flush = config.flush_deadline;
+            let threads = config.threads.unwrap_or_else(enq_parallel::default_threads);
+            std::thread::Builder::new()
+                .name("enq-serve-batcher".into())
+                .spawn(move || {
+                    while let Some(batch) = queue.next_batch(max_batch, flush) {
+                        // A panic inside one batch (a bug in an embedding
+                        // path, a poisoned lock) must not strand every
+                        // current and future request: catch it, fail the
+                        // service closed, and drain the queue — dropping a
+                        // pending request answers its waiter with
+                        // `ShuttingDown`.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                process_batch(batch, &registry, &cache, &memo, &counters, threads)
+                            }));
+                        if outcome.is_err() {
+                            queue.shutdown();
+                            while let Some(rest) = queue.next_batch(usize::MAX, Duration::ZERO) {
+                                drop(rest);
+                            }
+                            break;
+                        }
+                    }
+                })
+                .expect("spawning the batcher thread")
+        };
+        Self {
+            registry,
+            cache,
+            memo,
+            queue,
+            counters,
+            worker: Some(worker),
+            config,
+        }
+    }
+
+    /// Registers (or replaces) a trained pipeline under `model_id`.
+    ///
+    /// Redeploys are race-free by construction: cache keys embed the
+    /// **registration generation**, so solutions computed against the
+    /// previous registration — even ones inserted by requests still in
+    /// flight during the swap — are unreachable from the moment the new
+    /// registration lands. The old entries are additionally swept from both
+    /// cache tiers here to reclaim their memory promptly (LRU eviction
+    /// would reclaim them eventually regardless).
+    pub fn register_model(
+        &self,
+        model_id: impl Into<String>,
+        pipeline: impl Into<Arc<EnqodePipeline>>,
+    ) -> Option<Arc<EnqodePipeline>> {
+        let model_id = model_id.into();
+        let previous = self.registry.insert(model_id.clone(), pipeline.into());
+        if previous.is_some() {
+            self.invalidate_model(&model_id);
+        }
+        previous
+    }
+
+    /// Removes a model from the registry and sweeps its cached solutions.
+    /// In-flight requests holding the pipeline finish normally.
+    pub fn unregister_model(&self, model_id: &str) -> Option<Arc<EnqodePipeline>> {
+        let previous = self.registry.remove(model_id);
+        self.invalidate_model(model_id);
+        previous
+    }
+
+    /// Sweeps every cached solution of `model_id` (all generations) from
+    /// both cache tiers, reclaiming their memory. Correctness never depends
+    /// on this — generation-scoped keys already make stale entries
+    /// unreachable — so this is purely a memory-reclamation hook (useful
+    /// after mutating a shared registry directly). Returns the number of
+    /// entries removed.
+    pub fn invalidate_model(&self, model_id: &str) -> usize {
+        self.cache.invalidate_model(model_id) + self.memo.invalidate_model(model_id)
+    }
+
+    /// Returns the shared model registry.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Returns the service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Embeds one sample through the micro-batched path. Blocks the calling
+    /// thread until the result is ready; call from many threads concurrently
+    /// to let the batcher group requests.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ModelNotFound`] for unknown ids, [`ServeError::Embed`]
+    /// for embedding failures, [`ServeError::ShuttingDown`] once the service
+    /// is being dropped.
+    pub fn embed(&self, model_id: &str, raw_sample: &[f64]) -> Result<EmbedResponse, ServeError> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let reply = ReplySlot::new();
+        self.queue.push(PendingRequest {
+            model_id: Arc::from(model_id),
+            raw_sample: raw_sample.to_vec(),
+            enqueued_at: Instant::now(),
+            reply: reply.clone(),
+        })?;
+        reply.wait()
+    }
+
+    /// Embeds one sample on the calling thread, bypassing the batcher but
+    /// still using the registry and the solution cache. Useful for
+    /// latency-critical single requests and as the unbatched baseline in
+    /// benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EmbedService::embed`] (minus `ShuttingDown`).
+    pub fn embed_direct(
+        &self,
+        model_id: &str,
+        raw_sample: &[f64],
+    ) -> Result<EmbedResponse, ServeError> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let model_id: Arc<str> = Arc::from(model_id);
+        let Some((pipeline, generation)) = self.registry.get_with_generation(&model_id) else {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::ModelNotFound(model_id.to_string()));
+        };
+        let outcome = serve_one(
+            &model_id,
+            generation,
+            &pipeline,
+            raw_sample,
+            &self.cache,
+            &self.memo,
+        );
+        match outcome {
+            Ok((solution, source)) => {
+                match source {
+                    SolutionSource::Computed => &self.counters.computed,
+                    _ => &self.counters.cache_hits,
+                }
+                .fetch_add(1, Ordering::Relaxed);
+                Ok(EmbedResponse {
+                    model_id,
+                    solution,
+                    source,
+                    batch_size: 1,
+                    latency: start.elapsed(),
+                })
+            }
+            Err(e) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Embed(e))
+            }
+        }
+    }
+
+    /// Returns a snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            computed: self.counters.computed.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            batch_dedup_hits: self.counters.batch_dedup_hits.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            largest_batch: self.counters.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns a snapshot of the feature-keyed solution-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Returns a snapshot of the exact-match memo tier's counters (the
+    /// raw-sample-keyed cache in front of the feature-keyed one).
+    pub fn memo_stats(&self) -> CacheStats {
+        self.memo.stats()
+    }
+}
+
+impl Drop for EmbedService {
+    fn drop(&mut self) {
+        // Stop accepting, drain what was accepted, then join the batcher.
+        self.queue.shutdown();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Serves one request synchronously: exact-match memo, then feature
+/// extraction + feature-keyed cache lookup, then fine-tune on miss, filling
+/// both tiers.
+fn serve_one(
+    model_id: &Arc<str>,
+    generation: u64,
+    pipeline: &EnqodePipeline,
+    raw_sample: &[f64],
+    cache: &SolutionCache,
+    memo: &SolutionCache,
+) -> Result<(Arc<Solution>, SolutionSource), EnqodeError> {
+    // Tier 1: a literal repeat of a served sample skips feature extraction
+    // (the dominant classical cost of a hit) entirely.
+    let memo_key = memo.is_enabled().then(|| {
+        let key = memo.key_for(model_id, generation, raw_sample);
+        (memo.lookup_key(&key), key)
+    });
+    let memo_key = match memo_key {
+        Some((Some(hit), _)) => return Ok((hit, SolutionSource::CacheHit)),
+        Some((None, key)) => Some(key),
+        None => None,
+    };
+    // Tier 2: quantized feature key — near-duplicates share a solution.
+    let features = pipeline.extract_features(raw_sample)?;
+    let mut missed_key = None;
+    if cache.is_enabled() {
+        let key = cache.key_for(model_id, generation, &features);
+        if let Some(hit) = cache.lookup_key(&key) {
+            if let Some(memo_key) = memo_key {
+                memo.insert_key(memo_key, Arc::clone(&hit));
+            }
+            return Ok((hit, SolutionSource::CacheHit));
+        }
+        missed_key = Some(key);
+    }
+    let (label, embedding) = pipeline.embed_features(&features)?;
+    let solution = Arc::new(Solution { label, embedding });
+    if let Some(key) = missed_key {
+        cache.insert_key(key, Arc::clone(&solution));
+    }
+    if let Some(key) = memo_key {
+        memo.insert_key(key, Arc::clone(&solution));
+    }
+    Ok((solution, SolutionSource::Computed))
+}
+
+/// One batch entry that missed the cache and needs the optimiser.
+struct ColdJob {
+    request_index: usize,
+    pipeline: Arc<EnqodePipeline>,
+    features: Vec<f64>,
+    key: Option<CacheKey>,
+    memo_key: Option<CacheKey>,
+}
+
+/// Processes one micro-batch: resolve + memo-check + feature-extract +
+/// cache-check every request, deduplicate identical keys, fan the cold
+/// leaders out in parallel, then reply to everyone.
+fn process_batch(
+    batch: Vec<PendingRequest>,
+    registry: &ModelRegistry,
+    cache: &SolutionCache,
+    memo: &SolutionCache,
+    counters: &Counters,
+    threads: NonZeroUsize,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let batch_size = batch.len();
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    counters
+        .largest_batch
+        .fetch_max(batch_size as u64, Ordering::Relaxed);
+
+    let reply_to =
+        |request: &PendingRequest, result: Result<(Arc<Solution>, SolutionSource), ServeError>| {
+            let response = result.map(|(solution, source)| {
+                match source {
+                    SolutionSource::Computed => &counters.computed,
+                    SolutionSource::CacheHit => &counters.cache_hits,
+                    SolutionSource::BatchDedup => &counters.batch_dedup_hits,
+                }
+                .fetch_add(1, Ordering::Relaxed);
+                EmbedResponse {
+                    model_id: Arc::clone(&request.model_id),
+                    solution,
+                    source,
+                    batch_size,
+                    latency: request.enqueued_at.elapsed(),
+                }
+            });
+            if response.is_err() {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            request.reply.send(response);
+        };
+
+    // Phase 1 (sequential, cheap): resolve models, extract features, check
+    // the cache, and group duplicates behind one leader per quantized key.
+    let mut cold: Vec<ColdJob> = Vec::new();
+    let mut followers: Vec<Vec<(usize, Option<CacheKey>)>> = Vec::new();
+    let mut leader_of: HashMap<CacheKey, usize> = HashMap::new();
+    for (i, request) in batch.iter().enumerate() {
+        let Some((pipeline, generation)) = registry.get_with_generation(&request.model_id) else {
+            reply_to(
+                request,
+                Err(ServeError::ModelNotFound(request.model_id.to_string())),
+            );
+            continue;
+        };
+        // Tier 1: exact-match memo — a literal repeat skips feature
+        // extraction entirely.
+        let memo_key = if memo.is_enabled() {
+            let key = memo.key_for(&request.model_id, generation, &request.raw_sample);
+            if let Some(hit) = memo.lookup_key(&key) {
+                reply_to(request, Ok((hit, SolutionSource::CacheHit)));
+                continue;
+            }
+            Some(key)
+        } else {
+            None
+        };
+        let features = match pipeline.extract_features(&request.raw_sample) {
+            Ok(features) => features,
+            Err(e) => {
+                reply_to(request, Err(ServeError::Embed(e)));
+                continue;
+            }
+        };
+        // Tier 2: quantized feature cell.
+        let key = if cache.is_enabled() {
+            let key = cache.key_for(&request.model_id, generation, &features);
+            if let Some(hit) = cache.lookup_key(&key) {
+                if let Some(memo_key) = memo_key {
+                    memo.insert_key(memo_key, Arc::clone(&hit));
+                }
+                reply_to(request, Ok((hit, SolutionSource::CacheHit)));
+                continue;
+            }
+            if let Some(&leader) = leader_of.get(&key) {
+                followers[leader].push((i, memo_key));
+                continue;
+            }
+            leader_of.insert(key.clone(), cold.len());
+            Some(key)
+        } else {
+            None
+        };
+        cold.push(ColdJob {
+            request_index: i,
+            pipeline,
+            features,
+            key,
+            memo_key,
+        });
+        followers.push(Vec::new());
+    }
+
+    // Phase 2 (parallel): fine-tune every cold leader. Errors stay
+    // per-request — one bad sample never cancels its batch mates.
+    let outcomes = enq_parallel::par_map_with_threads(threads, &cold, |_, job| {
+        job.pipeline.embed_features(&job.features)
+    });
+
+    // Phase 3: fill both cache tiers and reply to leaders and their
+    // followers (every batch mate's raw key memoises the shared solution).
+    for ((job, mates), outcome) in cold.iter().zip(followers).zip(outcomes) {
+        match outcome {
+            Ok((label, embedding)) => {
+                let solution = Arc::new(Solution { label, embedding });
+                if let Some(key) = &job.key {
+                    cache.insert_key(key.clone(), Arc::clone(&solution));
+                }
+                if let Some(key) = &job.memo_key {
+                    memo.insert_key(key.clone(), Arc::clone(&solution));
+                }
+                reply_to(
+                    &batch[job.request_index],
+                    Ok((Arc::clone(&solution), SolutionSource::Computed)),
+                );
+                for (mate, mate_memo_key) in mates {
+                    if let Some(key) = mate_memo_key {
+                        memo.insert_key(key, Arc::clone(&solution));
+                    }
+                    reply_to(
+                        &batch[mate],
+                        Ok((Arc::clone(&solution), SolutionSource::BatchDedup)),
+                    );
+                }
+            }
+            Err(e) => {
+                for (index, _) in std::iter::once((job.request_index, None)).chain(mates) {
+                    reply_to(&batch[index], Err(ServeError::Embed(e.clone())));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enq_data::{generate_synthetic, Dataset, DatasetKind, SyntheticConfig};
+    use enqode::{AnsatzConfig, EnqodeConfig, EntanglerKind};
+
+    fn tiny_dataset(seed: u64) -> Dataset {
+        generate_synthetic(
+            DatasetKind::MnistLike,
+            &SyntheticConfig {
+                classes: 2,
+                samples_per_class: 6,
+                seed,
+            },
+        )
+        .unwrap()
+    }
+
+    fn tiny_pipeline(seed: u64) -> (Arc<EnqodePipeline>, Dataset) {
+        let dataset = tiny_dataset(seed);
+        let config = EnqodeConfig {
+            ansatz: AnsatzConfig {
+                num_qubits: 3,
+                num_layers: 4,
+                entangler: EntanglerKind::Cy,
+            },
+            fidelity_threshold: 0.8,
+            max_clusters: 2,
+            offline_max_iterations: 60,
+            offline_restarts: 1,
+            online_max_iterations: 25,
+            offline_rescue: false,
+            seed,
+        };
+        (
+            Arc::new(EnqodePipeline::build(&dataset, config).unwrap()),
+            dataset,
+        )
+    }
+
+    fn service_with_model(config: ServeConfig) -> (EmbedService, Dataset) {
+        let (pipeline, dataset) = tiny_pipeline(5);
+        let service = EmbedService::new(config);
+        service.register_model("tiny", pipeline);
+        (service, dataset)
+    }
+
+    #[test]
+    fn batched_and_direct_paths_agree_with_the_pipeline() {
+        let (service, dataset) = service_with_model(ServeConfig {
+            cache: CacheConfig {
+                capacity: 0,
+                ..Default::default()
+            },
+            flush_deadline: Duration::ZERO,
+            ..Default::default()
+        });
+        let pipeline = service.registry().get("tiny").unwrap();
+        let sample = dataset.sample(0);
+        let batched = service.embed("tiny", sample).unwrap();
+        let direct = service.embed_direct("tiny", sample).unwrap();
+        let (label, reference) = pipeline.embed(sample).unwrap();
+        assert_eq!(batched.label(), label);
+        assert_eq!(direct.label(), label);
+        assert_eq!(batched.embedding().parameters, reference.parameters);
+        assert_eq!(direct.embedding().parameters, reference.parameters);
+        assert_eq!(batched.source, SolutionSource::Computed);
+        assert!(batched.batch_size >= 1);
+        assert!(batched.latency > Duration::ZERO);
+        let stats = service.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.computed, 2);
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn cache_hits_share_the_exact_solution() {
+        let (service, dataset) = service_with_model(ServeConfig {
+            flush_deadline: Duration::ZERO,
+            ..Default::default()
+        });
+        let sample = dataset.sample(1);
+        let first = service.embed("tiny", sample).unwrap();
+        let second = service.embed("tiny", sample).unwrap();
+        assert_eq!(first.source, SolutionSource::Computed);
+        assert_eq!(second.source, SolutionSource::CacheHit);
+        assert!(
+            Arc::ptr_eq(&first.solution, &second.solution),
+            "a hit returns the cached solution object itself"
+        );
+        // An exact repeat is answered by the raw-keyed memo tier, before
+        // feature extraction even runs.
+        assert_eq!(service.memo_stats().hits, 1);
+        let direct = service.embed_direct("tiny", sample).unwrap();
+        assert_eq!(direct.source, SolutionSource::CacheHit);
+        assert_eq!(service.stats().cache_hits, 2);
+        assert_eq!(service.memo_stats().hits, 2);
+    }
+
+    #[test]
+    fn unknown_model_and_bad_sample_are_per_request_errors() {
+        let (service, dataset) = service_with_model(ServeConfig {
+            flush_deadline: Duration::ZERO,
+            ..Default::default()
+        });
+        assert!(matches!(
+            service.embed("nope", dataset.sample(0)),
+            Err(ServeError::ModelNotFound(id)) if id == "nope"
+        ));
+        assert!(matches!(
+            service.embed_direct("nope", dataset.sample(0)),
+            Err(ServeError::ModelNotFound(_))
+        ));
+        // A malformed sample fails alone; the service keeps serving.
+        assert!(matches!(
+            service.embed("tiny", &[1.0, 2.0]),
+            Err(ServeError::Embed(_))
+        ));
+        assert!(service.embed("tiny", dataset.sample(2)).is_ok());
+        assert_eq!(service.stats().errors, 3);
+    }
+
+    #[test]
+    fn replacing_a_model_invalidates_its_cached_solutions() {
+        let (service, dataset) = service_with_model(ServeConfig {
+            flush_deadline: Duration::ZERO,
+            ..Default::default()
+        });
+        let sample = dataset.sample(0);
+        let v1 = service.embed("tiny", sample).unwrap();
+        assert_eq!(
+            service.embed("tiny", sample).unwrap().source,
+            SolutionSource::CacheHit
+        );
+
+        // Redeploy under the same id: the cache must not keep serving the
+        // old pipeline's solutions.
+        let (v2_pipeline, _) = tiny_pipeline(77);
+        assert!(service.register_model("tiny", v2_pipeline).is_some());
+        let v2 = service.embed("tiny", sample).unwrap();
+        assert_eq!(v2.source, SolutionSource::Computed);
+        assert!(!Arc::ptr_eq(&v1.solution, &v2.solution));
+
+        // Unregistering drops both registry entry and cached solutions.
+        service.unregister_model("tiny");
+        assert!(matches!(
+            service.embed("tiny", sample),
+            Err(ServeError::ModelNotFound(_))
+        ));
+        assert_eq!(service.invalidate_model("tiny"), 0, "already invalidated");
+    }
+
+    #[test]
+    fn shutdown_rejects_new_requests() {
+        let (service, dataset) = service_with_model(ServeConfig::default());
+        service.queue.shutdown();
+        assert!(matches!(
+            service.embed("tiny", dataset.sample(0)),
+            Err(ServeError::ShuttingDown)
+        ));
+        // Dropping joins the batcher without hanging.
+        drop(service);
+    }
+}

@@ -1,0 +1,18 @@
+//! The unit of work the service computes, caches, and returns.
+
+use enqode::Embedding;
+
+/// A finished embedding solution: the class label the pipeline chose and the
+/// full [`Embedding`] (fine-tuned parameters, bound circuit, fidelity,
+/// timings).
+///
+/// Solutions are shared behind [`std::sync::Arc`] between the cache and every
+/// response that references them, so a cache hit or an intra-batch duplicate
+/// costs a pointer clone, never a circuit copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The class label of the winning class model.
+    pub label: usize,
+    /// The embedding produced by [`enqode::EnqodePipeline::embed_features`].
+    pub embedding: Embedding,
+}

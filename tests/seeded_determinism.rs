@@ -1,0 +1,121 @@
+//! Seeded-determinism regression tests: golden values pinning the exact
+//! behaviour of the clustering and training stack for fixed seeds.
+//!
+//! These tests exist so a future refactor cannot *silently* change trained
+//! solutions: k-means assignments are pinned exactly, and the final training
+//! loss (`1 − fidelity`) of every cluster is pinned to 1e-9. If an
+//! intentional algorithm change trips them, re-golden the constants in the
+//! same commit and say so in the commit message — that is the point: the
+//! change becomes visible in review instead of slipping through.
+//!
+//! The fixtures are generated from seeded `StdRng` streams (never from
+//! thread scheduling), so parallel and sequential runs must agree — which is
+//! itself asserted at the end.
+
+use enqode::{AnsatzConfig, EnqodeConfig, EnqodeModel, EntanglerKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic fixture: 12 vectors in three loose groups of four, 8-dim.
+fn fixture_samples() -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(0xD0_1D);
+    let bases: [[f64; 8]; 3] = [
+        [0.9, 0.2, 0.1, 0.05, 0.02, 0.1, 0.05, 0.01],
+        [0.05, 0.1, 0.02, 0.2, 0.9, 0.05, 0.1, 0.02],
+        [0.1, 0.8, 0.05, 0.6, 0.05, 0.1, 0.4, 0.05],
+    ];
+    let mut samples = Vec::new();
+    for base in &bases {
+        for _ in 0..4 {
+            samples.push(
+                base.iter()
+                    .map(|v| v + rng.gen_range(-0.05..0.05))
+                    .collect(),
+            );
+        }
+    }
+    samples
+}
+
+fn fixture_config() -> EnqodeConfig {
+    EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 6,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.9,
+        max_clusters: 4,
+        offline_max_iterations: 120,
+        offline_restarts: 2,
+        online_max_iterations: 40,
+        offline_rescue: false,
+        seed: 0xE17,
+    }
+}
+
+/// Golden k-means assignments for the fixture (k = 3, seed 41).
+const GOLDEN_ASSIGNMENTS: &[usize] = &[1, 1, 1, 1, 2, 2, 2, 2, 0, 0, 0, 0];
+
+/// Golden per-cluster losses (`1 − fidelity`) for `EnqodeModel::fit` on the
+/// fixture with `fixture_config()`.
+const GOLDEN_LOSSES: &[f64] = &[
+    7.340_919_272_153_967e-3,
+    5.776_394_601_843_116e-2,
+    1.871_578_864_543_066e-2,
+];
+
+#[test]
+fn kmeans_assignments_match_golden_values() {
+    let samples = fixture_samples();
+    let model = enq_data::kmeans(
+        &samples,
+        &enq_data::KMeansConfig {
+            k: 3,
+            max_iterations: 100,
+            tolerance: 1e-8,
+            seed: 41,
+        },
+    )
+    .unwrap();
+    println!("assignments: {:?}", model.assignments());
+    println!("inertia: {:.17e}", model.inertia());
+    assert_eq!(
+        model.assignments(),
+        GOLDEN_ASSIGNMENTS,
+        "k-means assignments changed for a fixed seed"
+    );
+}
+
+#[test]
+fn fit_final_losses_match_golden_values() {
+    let samples = fixture_samples();
+    let model = EnqodeModel::fit(&samples, fixture_config()).unwrap();
+    let losses: Vec<f64> = model.clusters().iter().map(|c| 1.0 - c.fidelity).collect();
+    println!(
+        "losses: {:?}",
+        losses
+            .iter()
+            .map(|l| format!("{l:.17e}"))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        losses.len(),
+        GOLDEN_LOSSES.len(),
+        "cluster count changed for a fixed seed"
+    );
+    for (i, (got, want)) in losses.iter().zip(GOLDEN_LOSSES).enumerate() {
+        assert!(
+            (got - want).abs() < 1e-9,
+            "cluster {i} final loss drifted: got {got:.17e}, golden {want:.17e}"
+        );
+    }
+    // The parallel fit must also agree with the sequential reference
+    // bit-for-bit — seeds derive from (seed, cluster, restart), never from
+    // scheduling.
+    let sequential = EnqodeModel::fit_sequential(&samples, fixture_config()).unwrap();
+    for (par, seq) in model.clusters().iter().zip(sequential.clusters()) {
+        assert_eq!(par.parameters, seq.parameters);
+        assert_eq!(par.fidelity.to_bits(), seq.fidelity.to_bits());
+    }
+}

@@ -1,0 +1,243 @@
+//! Serve-layer equivalence: micro-batching is a scheduling optimisation,
+//! never a numerical one.
+//!
+//! With the cache disabled, every result coming out of [`EmbedService`] must
+//! be **bit-identical** to calling `pipeline.embed` one request at a time,
+//! for every interleaving the batcher can produce. The batcher's observable
+//! degrees of freedom are (a) how requests group into batches — driven by
+//! `max_batch_size`, the flush deadline, and arrival order — and (b) the
+//! order requests occupy within a batch. The tests sweep batch sizes from 1
+//! (fully sequential) to larger than the request count (one giant batch),
+//! submit from many client threads at once, and shuffle submission order
+//! across rounds, so batches of every size and composition are produced.
+//!
+//! With the cache enabled, a hit must return the exact cached solution
+//! object (pointer equality), not a recomputation.
+
+use enq_data::{generate_synthetic, Dataset, DatasetKind, SyntheticConfig};
+use enq_serve::{CacheConfig, EmbedService, ServeConfig, SolutionSource};
+use enqode::{AnsatzConfig, Embedding, EnqodeConfig, EnqodePipeline, EntanglerKind};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_pipeline() -> (Arc<EnqodePipeline>, Dataset) {
+    let dataset = generate_synthetic(
+        DatasetKind::MnistLike,
+        &SyntheticConfig {
+            classes: 2,
+            samples_per_class: 8,
+            seed: 33,
+        },
+    )
+    .unwrap();
+    let config = EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 4,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.8,
+        max_clusters: 3,
+        offline_max_iterations: 80,
+        offline_restarts: 2,
+        online_max_iterations: 30,
+        offline_rescue: false,
+        seed: 33,
+    };
+    (
+        Arc::new(EnqodePipeline::build(&dataset, config).unwrap()),
+        dataset,
+    )
+}
+
+fn no_cache(max_batch_size: usize, flush: Duration) -> ServeConfig {
+    ServeConfig {
+        max_batch_size,
+        flush_deadline: flush,
+        cache: CacheConfig {
+            capacity: 0,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn assert_bit_identical(expected: &(usize, Embedding), label: usize, embedding: &Embedding) {
+    assert_eq!(expected.0, label, "class label diverged");
+    assert_eq!(
+        expected.1.parameters, embedding.parameters,
+        "fine-tuned parameters diverged"
+    );
+    assert_eq!(expected.1.cluster_index, embedding.cluster_index);
+    assert_eq!(
+        expected.1.ideal_fidelity.to_bits(),
+        embedding.ideal_fidelity.to_bits(),
+        "fidelity diverged"
+    );
+    assert_eq!(expected.1.iterations, embedding.iterations);
+    assert_eq!(
+        expected.1.circuit, embedding.circuit,
+        "bound circuit diverged"
+    );
+}
+
+/// Sweeps batcher configurations and concurrent submission orders; every
+/// response must match the per-sample reference bit for bit.
+#[test]
+fn micro_batched_results_match_per_sample_embedding_for_all_interleavings() {
+    let (pipeline, dataset) = tiny_pipeline();
+    let samples: Vec<Vec<f64>> = (0..10).map(|i| dataset.sample(i).to_vec()).collect();
+    let reference: Vec<(usize, Embedding)> =
+        samples.iter().map(|s| pipeline.embed(s).unwrap()).collect();
+
+    // (max_batch, flush, client threads): size-1 batches, partial batches
+    // released by the deadline, one giant batch, and ragged groupings.
+    let scenarios = [
+        (1, Duration::ZERO, 4),
+        (2, Duration::from_millis(2), 5),
+        (3, Duration::from_millis(5), 10),
+        (16, Duration::from_millis(5), 10),
+    ];
+    for (round, &(max_batch, flush, clients)) in scenarios.iter().enumerate() {
+        let service = Arc::new(EmbedService::new(no_cache(max_batch, flush)));
+        service.register_model("m", Arc::clone(&pipeline));
+        // Rotate the submission order each round so batch compositions vary.
+        let order: Vec<usize> = (0..samples.len())
+            .map(|i| (i * 7 + round) % samples.len())
+            .collect();
+        let mut handles = Vec::new();
+        for chunk in order.chunks(order.len().div_ceil(clients)) {
+            let service = Arc::clone(&service);
+            let jobs: Vec<(usize, Vec<f64>)> = chunk
+                .iter()
+                .map(|&idx| (idx, samples[idx].clone()))
+                .collect();
+            handles.push(std::thread::spawn(move || {
+                jobs.into_iter()
+                    .map(|(idx, sample)| (idx, service.embed("m", &sample).unwrap()))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            for (idx, response) in handle.join().unwrap() {
+                assert_eq!(
+                    response.source,
+                    SolutionSource::Computed,
+                    "cache is disabled; every request must compute"
+                );
+                assert!(response.batch_size >= 1 && response.batch_size <= max_batch);
+                assert_bit_identical(&reference[idx], response.label(), response.embedding());
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.requests, samples.len() as u64);
+        assert_eq!(stats.computed, samples.len() as u64);
+        assert_eq!(stats.cache_hits + stats.batch_dedup_hits, 0);
+        assert_eq!(stats.errors, 0);
+    }
+}
+
+/// Repeated submissions of one sample: the first computes, all later ones
+/// are cache hits returning the exact cached solution object.
+#[test]
+fn cache_hits_return_the_exact_cached_solution() {
+    let (pipeline, dataset) = tiny_pipeline();
+    let service = EmbedService::new(ServeConfig {
+        max_batch_size: 4,
+        flush_deadline: Duration::ZERO,
+        ..Default::default()
+    });
+    service.register_model("m", pipeline);
+    let sample = dataset.sample(0);
+    let first = service.embed("m", sample).unwrap();
+    assert_eq!(first.source, SolutionSource::Computed);
+    for _ in 0..3 {
+        let hit = service.embed("m", sample).unwrap();
+        assert_eq!(hit.source, SolutionSource::CacheHit);
+        assert!(
+            Arc::ptr_eq(&first.solution, &hit.solution),
+            "hits must return the cached solution, not a recomputation"
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.computed, 1);
+    assert_eq!(stats.cache_hits, 3);
+    // Exact repeats are served by the raw-keyed memo tier (no feature
+    // extraction); the feature-keyed tier covers near-duplicates.
+    assert_eq!(service.memo_stats().hits, 3);
+}
+
+/// Identical requests arriving in the same micro-batch share one
+/// fine-tuning run (leader computes, mates dedup), and everyone gets the
+/// same solution object.
+#[test]
+fn identical_requests_in_one_batch_are_deduplicated() {
+    let (pipeline, dataset) = tiny_pipeline();
+    let service = Arc::new(EmbedService::new(ServeConfig {
+        max_batch_size: 8,
+        flush_deadline: Duration::from_millis(100),
+        ..Default::default()
+    }));
+    service.register_model("m", pipeline);
+    let sample = dataset.sample(1).to_vec();
+    let clients = 6;
+    let mut handles = Vec::new();
+    for _ in 0..clients {
+        let service = Arc::clone(&service);
+        let sample = sample.clone();
+        handles.push(std::thread::spawn(move || {
+            service.embed("m", &sample).unwrap()
+        }));
+    }
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let computed = responses
+        .iter()
+        .filter(|r| r.source == SolutionSource::Computed)
+        .count();
+    assert_eq!(computed, 1, "exactly one leader fine-tunes");
+    for response in &responses {
+        assert!(Arc::ptr_eq(&responses[0].solution, &response.solution));
+    }
+    let stats = service.stats();
+    assert_eq!(
+        stats.computed + stats.cache_hits + stats.batch_dedup_hits,
+        clients as u64
+    );
+}
+
+/// Near-duplicate samples within one quantization cell hit; samples in a
+/// different cell miss and compute their own solution.
+#[test]
+fn quantization_controls_cache_sharing() {
+    let (pipeline, dataset) = tiny_pipeline();
+    let service = EmbedService::new(ServeConfig {
+        max_batch_size: 1,
+        flush_deadline: Duration::ZERO,
+        cache: CacheConfig {
+            capacity: 64,
+            quantum: 1e-3,
+            shards: 2,
+        },
+        ..Default::default()
+    });
+    service.register_model("m", Arc::clone(&pipeline));
+    let base = dataset.sample(2).to_vec();
+    let first = service.embed("m", &base).unwrap();
+    assert_eq!(first.source, SolutionSource::Computed);
+
+    // A perturbation far below the feature-space quantum lands in the same
+    // cell. Feature extraction is linear (PCA projection + normalisation),
+    // so a tiny raw-space nudge moves features proportionally; pick it
+    // orders of magnitude under `quantum`.
+    let mut near = base.clone();
+    near[0] += 1e-9;
+    let near_response = service.embed("m", &near).unwrap();
+    assert_eq!(near_response.source, SolutionSource::CacheHit);
+    assert!(Arc::ptr_eq(&first.solution, &near_response.solution));
+
+    // A different training sample is nowhere near the same cell.
+    let far = dataset.sample(9).to_vec();
+    let far_response = service.embed("m", &far).unwrap();
+    assert_eq!(far_response.source, SolutionSource::Computed);
+    assert!(!Arc::ptr_eq(&first.solution, &far_response.solution));
+}
