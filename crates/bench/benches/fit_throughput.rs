@@ -1,0 +1,54 @@
+//! Fit-throughput benchmark: streaming (out-of-core) training vs the
+//! full-batch in-memory reference.
+//!
+//! Run with `cargo bench -p enq_bench --bench fit_throughput`. Writes
+//! `BENCH_fit.json` at the repository root and enforces the acceptance
+//! gates:
+//!
+//! * the trained dataset is ≥ 10× the streaming chunk budget, and
+//! * streaming k-means inertia stays ≤ 1.05× the full-batch Lloyd inertia
+//!   on the held-in reference set.
+//!
+//! Set `ENQ_FIT_BENCH_TINY=1` for a smoke run (used by CI to keep the
+//! regeneration path from rotting without paying the full measurement).
+
+use enq_bench::fit::{run, FitBenchConfig};
+use std::path::Path;
+
+fn main() {
+    let tiny = std::env::var("ENQ_FIT_BENCH_TINY").is_ok_and(|v| v == "1");
+    let config = if tiny {
+        FitBenchConfig::tiny()
+    } else {
+        FitBenchConfig::paper()
+    };
+    let result = run(&config).expect("fit benchmark runs");
+    println!("{result}");
+
+    let json = result.to_json();
+    let out_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fit.json");
+    if tiny {
+        // Smoke mode validates the full regeneration path without
+        // overwriting the measured numbers with toy-shape ones.
+        println!("(tiny smoke run; BENCH_fit.json left untouched)");
+        println!("{json}");
+    } else {
+        std::fs::write(&out_path, &json).expect("writing BENCH_fit.json");
+        println!("wrote {}", out_path.display());
+    }
+
+    let inertia_ratio = result.inertia_ratio();
+    let scale = result.dataset_over_chunk();
+    // Both shapes satisfy the gates by construction; assert in smoke mode
+    // too so a regression in the streaming fit is caught even by the cheap
+    // CI run.
+    assert!(
+        scale >= 10.0,
+        "acceptance: the dataset must be >= 10x the chunk budget (got {scale:.1}x)"
+    );
+    assert!(
+        inertia_ratio <= 1.05,
+        "acceptance: streaming fit must reach <= 1.05x the full-batch k-means \
+         inertia (got {inertia_ratio:.4}x)"
+    );
+}

@@ -1,0 +1,38 @@
+//! CI regression gate over the committed benchmark artifacts.
+//!
+//! `cargo run -p enq_bench --bin bench_check [root]` parses
+//! `BENCH_symbolic.json`, `BENCH_serve.json`, and `BENCH_fit.json` under
+//! `root` (default: the repository root) and exits non-zero if any recorded
+//! gate field regresses past its threshold — or if an artifact is missing or
+//! no longer parseable, which would otherwise silently disable its gate.
+
+use enq_bench::check::run_checks;
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::args().nth(1).map_or_else(
+        || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        PathBuf::from,
+    );
+    println!("bench_check: gating artifacts under {}", root.display());
+    match run_checks(&root) {
+        Ok(outcomes) => {
+            let mut failed = 0usize;
+            for outcome in &outcomes {
+                println!("{outcome}");
+                if !outcome.passed {
+                    failed += 1;
+                }
+            }
+            if failed > 0 {
+                eprintln!("bench_check: {failed} gate(s) regressed");
+                std::process::exit(1);
+            }
+            println!("bench_check: all {} gate(s) hold", outcomes.len());
+        }
+        Err(message) => {
+            eprintln!("bench_check: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Benchmark regression gates over the committed `BENCH_*.json` artifacts.
+//!
+//! Every bench binary records its headline acceptance numbers in a JSON
+//! document at the repository root. Historically each binary *also* asserted
+//! its own gates — but only when that binary ran, so a regression could land
+//! as long as nobody regenerated the file. The `bench_check` binary closes
+//! that hole: CI parses the committed artifacts and fails when any recorded
+//! gate field sits on the wrong side of its threshold, independent of which
+//! benches the PR ran.
+//!
+//! The parser is a minimal scanner (`"key": <number>`), not a JSON
+//! implementation: the documents are machine-written by this crate with
+//! unique gate keys, which is exactly the contract [`extract_number`]
+//! checks.
+
+use std::fmt;
+use std::path::Path;
+
+/// Direction of a gate comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// The recorded value must be `≥ threshold`.
+    AtLeast,
+    /// The recorded value must be `≤ threshold`.
+    AtMost,
+}
+
+/// Where a gate's threshold comes from.
+#[derive(Debug, Clone, Copy)]
+pub enum Threshold {
+    /// A fixed constant maintained here.
+    Fixed(f64),
+    /// Another key of the same document (the artifact records its own
+    /// acceptance threshold).
+    FromKey(&'static str),
+}
+
+/// One gate over one recorded field of one benchmark artifact.
+#[derive(Debug, Clone, Copy)]
+pub struct GateSpec {
+    /// Artifact file name at the repository root.
+    pub file: &'static str,
+    /// JSON key holding the measured value (must be unique in the file).
+    pub key: &'static str,
+    /// Comparison direction.
+    pub direction: Direction,
+    /// Threshold source.
+    pub threshold: Threshold,
+}
+
+/// The outcome of evaluating one gate.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// The gate that was evaluated.
+    pub spec: GateSpec,
+    /// The value recorded in the artifact.
+    pub value: f64,
+    /// The resolved threshold.
+    pub threshold: f64,
+    /// Whether the gate holds.
+    pub passed: bool,
+}
+
+impl fmt::Display for GateOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.spec.direction {
+            Direction::AtLeast => ">=",
+            Direction::AtMost => "<=",
+        };
+        write!(
+            f,
+            "[{}] {} / {}: {} {} {} (recorded {})",
+            if self.passed { "PASS" } else { "FAIL" },
+            self.spec.file,
+            self.spec.key,
+            self.value,
+            op,
+            self.threshold,
+            self.value,
+        )
+    }
+}
+
+/// The gates CI enforces, one entry per recorded acceptance field.
+pub fn default_gates() -> Vec<GateSpec> {
+    vec![
+        // Sparse symbolic kernel vs the retained dense reference; the file
+        // records its own acceptance threshold.
+        GateSpec {
+            file: "BENCH_symbolic.json",
+            key: "speedup",
+            direction: Direction::AtLeast,
+            threshold: Threshold::FromKey("acceptance_threshold"),
+        },
+        // Serve layer: micro-batched throughput vs the sequential embed
+        // loop, and hot cache-hit latency vs cold embeds.
+        GateSpec {
+            file: "BENCH_serve.json",
+            key: "batched_over_sequential",
+            direction: Direction::AtLeast,
+            threshold: Threshold::Fixed(2.0),
+        },
+        GateSpec {
+            file: "BENCH_serve.json",
+            key: "cold_over_hot_p50",
+            direction: Direction::AtLeast,
+            threshold: Threshold::Fixed(10.0),
+        },
+        // Streaming fit: clustering quality within 1.05× of full-batch
+        // Lloyd, trained on a dataset ≥ 10× the chunk budget.
+        GateSpec {
+            file: "BENCH_fit.json",
+            key: "inertia_ratio",
+            direction: Direction::AtMost,
+            threshold: Threshold::Fixed(1.05),
+        },
+        GateSpec {
+            file: "BENCH_fit.json",
+            key: "dataset_over_chunk",
+            direction: Direction::AtLeast,
+            threshold: Threshold::Fixed(10.0),
+        },
+    ]
+}
+
+/// Extracts the number following the **unique** occurrence of
+/// `"key":` in a machine-written JSON document. Returns `None` when the key
+/// is missing, duplicated, or not followed by a number — all of which mean
+/// the artifact no longer matches the gate table and must fail loudly.
+pub fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let mut matches = json.match_indices(&needle);
+    let (at, _) = matches.next()?;
+    if matches.next().is_some() {
+        return None;
+    }
+    let rest = &json[at + needle.len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Evaluates one gate against a document's contents.
+///
+/// # Errors
+///
+/// Returns a description when the gated key (or its threshold key) cannot
+/// be extracted.
+pub fn evaluate_gate(spec: &GateSpec, json: &str) -> Result<GateOutcome, String> {
+    let value = extract_number(json, spec.key).ok_or_else(|| {
+        format!(
+            "{}: gate key {:?} missing, duplicated, or non-numeric",
+            spec.file, spec.key
+        )
+    })?;
+    let threshold = match spec.threshold {
+        Threshold::Fixed(t) => t,
+        Threshold::FromKey(key) => extract_number(json, key).ok_or_else(|| {
+            format!(
+                "{}: threshold key {:?} missing, duplicated, or non-numeric",
+                spec.file, key
+            )
+        })?,
+    };
+    let passed = value.is_finite()
+        && match spec.direction {
+            Direction::AtLeast => value >= threshold,
+            Direction::AtMost => value <= threshold,
+        };
+    Ok(GateOutcome {
+        spec: *spec,
+        value,
+        threshold,
+        passed,
+    })
+}
+
+/// Evaluates every default gate against the artifacts in `root`.
+///
+/// # Errors
+///
+/// Returns a description for unreadable artifacts or unparseable gate
+/// fields (treated as failures by the binary, never skipped).
+pub fn run_checks(root: &Path) -> Result<Vec<GateOutcome>, String> {
+    let mut outcomes = Vec::new();
+    for spec in default_gates() {
+        let path = root.join(spec.file);
+        let json = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        outcomes.push(evaluate_gate(&spec, &json)?);
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_numbers_from_machine_json() {
+        let json = "{\n  \"a\": {\"speedup\": 5.11, \"acceptance_threshold\": 3.0},\n  \
+                    \"neg\": -1.5e-3\n}";
+        assert_eq!(extract_number(json, "speedup"), Some(5.11));
+        assert_eq!(extract_number(json, "acceptance_threshold"), Some(3.0));
+        assert_eq!(extract_number(json, "neg"), Some(-1.5e-3));
+        assert_eq!(extract_number(json, "missing"), None);
+        // Duplicated keys are ambiguous and must refuse to parse.
+        let dup = "{\"x\": 1, \"x\": 2}";
+        assert_eq!(extract_number(dup, "x"), None);
+        // Non-numeric payloads refuse to parse.
+        assert_eq!(extract_number("{\"x\": \"y\"}", "x"), None);
+    }
+
+    #[test]
+    fn gate_directions_enforced() {
+        let spec = GateSpec {
+            file: "t.json",
+            key: "v",
+            direction: Direction::AtLeast,
+            threshold: Threshold::Fixed(2.0),
+        };
+        assert!(evaluate_gate(&spec, "{\"v\": 2.5}").unwrap().passed);
+        assert!(!evaluate_gate(&spec, "{\"v\": 1.5}").unwrap().passed);
+        let at_most = GateSpec {
+            direction: Direction::AtMost,
+            ..spec
+        };
+        assert!(evaluate_gate(&at_most, "{\"v\": 1.5}").unwrap().passed);
+        assert!(!evaluate_gate(&at_most, "{\"v\": 2.5}").unwrap().passed);
+        // NaN never passes.
+        assert!(!evaluate_gate(&spec, "{\"v\": NaN}").is_ok_and(|o| o.passed));
+    }
+
+    #[test]
+    fn threshold_from_sibling_key() {
+        let spec = GateSpec {
+            file: "t.json",
+            key: "speedup",
+            direction: Direction::AtLeast,
+            threshold: Threshold::FromKey("acceptance_threshold"),
+        };
+        let ok = evaluate_gate(&spec, "{\"speedup\": 5.0, \"acceptance_threshold\": 3.0}").unwrap();
+        assert!(ok.passed);
+        assert_eq!(ok.threshold, 3.0);
+        assert!(evaluate_gate(&spec, "{\"speedup\": 5.0}").is_err());
+    }
+
+    #[test]
+    fn committed_artifacts_pass_all_gates() {
+        // The real repository artifacts are themselves the regression
+        // baseline: this test is the in-tree mirror of CI's bench_check
+        // step.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let outcomes = run_checks(&root).expect("artifacts readable and parseable");
+        assert_eq!(outcomes.len(), default_gates().len());
+        for outcome in &outcomes {
+            assert!(outcome.passed, "{outcome}");
+        }
+    }
+}

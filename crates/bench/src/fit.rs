@@ -1,0 +1,347 @@
+//! Fit-throughput benchmark: the streaming (out-of-core) training path vs
+//! the full-batch in-memory reference.
+//!
+//! The workload mirrors the EnQode offline phase on a dataset ≥ 10× larger
+//! than the streaming chunk budget: PCA feature extraction followed by
+//! k-means clustering of the normalised features. The streaming leg runs
+//! [`FeaturePipeline::fit_streaming`] (incremental PCA) and
+//! [`minibatch_kmeans`] over a [`SyntheticSource`] that *generates* samples
+//! chunk by chunk — nothing larger than one chunk is ever resident. The
+//! full-batch leg materialises the identical sample stream and runs the
+//! exact reference fits ([`FeaturePipeline::fit`] + Lloyd [`kmeans`]).
+//!
+//! Two acceptance gates (enforced by the `fit_throughput` bench binary and
+//! re-checked in CI by `bench_check` against the committed
+//! `BENCH_fit.json`):
+//!
+//! * the trained dataset is at least 10× the chunk budget, and
+//! * streaming clustering quality stays within 1.05× of the full-batch
+//!   k-means inertia on the held-in reference set.
+//!
+//! Peak-memory is reported as a *proxy*: the number of resident `f64`s each
+//! path needs for its sample buffers and model state (chunk buffers +
+//! sketch + centroids for streaming; the materialised raw and feature
+//! matrices for full batch). It deliberately ignores constant overheads, so
+//! the ratio understates nothing that scales with N.
+
+use crate::report::markdown_table;
+use enq_data::{
+    inertia_of, kmeans, materialize, minibatch_kmeans, DataError, DatasetKind, FeaturePipeline,
+    KMeansConfig, MiniBatchKMeansConfig, SampleSource, SyntheticConfig, SyntheticSource,
+};
+use std::fmt;
+use std::time::Instant;
+
+/// Extra directions the incremental PCA keeps beyond the output components
+/// (mirrors `enq_data`'s oversampling; used only for the memory proxy).
+const IPCA_OVERSAMPLE: usize = 8;
+
+/// Shape of one fit benchmark run.
+#[derive(Debug, Clone)]
+pub struct FitBenchConfig {
+    /// Synthetic dataset family providing the raw samples.
+    pub kind: DatasetKind,
+    /// Number of classes in the stream.
+    pub classes: usize,
+    /// Samples per class (total N = `classes × samples_per_class`).
+    pub samples_per_class: usize,
+    /// Streaming chunk budget (the gate requires `N ≥ 10 × chunk_size`).
+    pub chunk_size: usize,
+    /// PCA output dimension (`2^n` in the paper pipeline).
+    pub components: usize,
+    /// Clusters for the k-means comparison.
+    pub k: usize,
+    /// Mini-batch SGD passes.
+    pub passes: usize,
+    /// Maximum streaming-Lloyd polish passes.
+    pub polish_passes: usize,
+    /// Seed for generation and both fits.
+    pub seed: u64,
+}
+
+impl FitBenchConfig {
+    /// The measured shape: 3 000 MNIST-like samples (784-dim) against a
+    /// 256-sample chunk budget — 11.7× the resident window.
+    pub fn paper() -> Self {
+        Self {
+            kind: DatasetKind::MnistLike,
+            classes: 4,
+            samples_per_class: 750,
+            chunk_size: 256,
+            components: 32,
+            k: 8,
+            passes: 3,
+            polish_passes: 8,
+            seed: 0xF17,
+        }
+    }
+
+    /// A seconds-scale smoke shape (still ≥ 10× the chunk budget).
+    pub fn tiny() -> Self {
+        Self {
+            kind: DatasetKind::MnistLike,
+            classes: 2,
+            samples_per_class: 60,
+            chunk_size: 12,
+            components: 8,
+            k: 3,
+            passes: 2,
+            polish_passes: 4,
+            seed: 0xF17,
+        }
+    }
+
+    /// Total samples one pass yields.
+    pub fn total_samples(&self) -> usize {
+        self.classes * self.samples_per_class
+    }
+}
+
+/// One training leg's measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct FitLeg {
+    /// Wall-clock seconds for the complete fit (features + clustering).
+    pub fit_s: f64,
+    /// Raw samples consumed per second of fit time, counting every pass
+    /// (streaming reads the source several times; full batch reads once).
+    pub samples_per_sec: f64,
+    /// Peak-RSS proxy: resident `f64` count of sample buffers + model state.
+    pub resident_f64: usize,
+    /// k-means inertia on the held-in reference set (each leg's own feature
+    /// geometry).
+    pub inertia: f64,
+    /// Passes over the data the leg performed.
+    pub passes_over_data: usize,
+}
+
+/// The full fit benchmark result.
+#[derive(Debug, Clone)]
+pub struct FitBenchResult {
+    /// The configuration that produced this result.
+    pub config: FitBenchConfig,
+    /// Cores visible to the process.
+    pub cores: usize,
+    /// Raw feature dimension of the generated samples.
+    pub raw_dim: usize,
+    /// The streaming (out-of-core) leg.
+    pub streaming: FitLeg,
+    /// The full-batch in-memory reference leg.
+    pub full_batch: FitLeg,
+}
+
+impl FitBenchResult {
+    /// Streaming inertia over full-batch inertia (gate: ≤ 1.05).
+    pub fn inertia_ratio(&self) -> f64 {
+        self.streaming.inertia / self.full_batch.inertia
+    }
+
+    /// Dataset size over the chunk budget (gate: ≥ 10).
+    pub fn dataset_over_chunk(&self) -> f64 {
+        self.config.total_samples() as f64 / self.config.chunk_size as f64
+    }
+
+    /// Full-batch resident memory over streaming resident memory.
+    pub fn memory_ratio(&self) -> f64 {
+        self.full_batch.resident_f64 as f64 / self.streaming.resident_f64 as f64
+    }
+
+    /// Renders the result as the `BENCH_fit.json` document.
+    pub fn to_json(&self) -> String {
+        let leg = |l: &FitLeg| {
+            format!(
+                "{{\"fit_s\": {:.3}, \"samples_per_sec\": {:.1}, \"resident_f64\": {}, \
+                 \"inertia\": {:.6}, \"passes_over_data\": {}}}",
+                l.fit_s, l.samples_per_sec, l.resident_f64, l.inertia, l.passes_over_data
+            )
+        };
+        format!(
+            "{{\n  \"name\": \"fit_streaming_{}\",\n  \"cores\": {},\n  \
+             \"workload\": {{\"samples\": {}, \"raw_dim\": {}, \"components\": {}, \"k\": {}, \
+             \"chunk\": {}, \"sgd_passes\": {}, \"polish_passes\": {}}},\n  \
+             \"streaming\": {},\n  \
+             \"full_batch\": {},\n  \
+             \"acceptance\": {{\"inertia_ratio\": {:.4}, \"dataset_over_chunk\": {:.2}, \
+             \"memory_ratio\": {:.2}}}\n}}\n",
+            self.config.kind.name().to_lowercase().replace('-', ""),
+            self.cores,
+            self.config.total_samples(),
+            self.raw_dim,
+            self.config.components,
+            self.config.k,
+            self.config.chunk_size,
+            self.config.passes,
+            self.config.polish_passes,
+            leg(&self.streaming),
+            leg(&self.full_batch),
+            self.inertia_ratio(),
+            self.dataset_over_chunk(),
+            self.memory_ratio(),
+        )
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn to_markdown(&self) -> String {
+        let row = |name: &str, l: &FitLeg| {
+            vec![
+                name.to_string(),
+                format!("{:.2}", l.fit_s),
+                format!("{:.0}", l.samples_per_sec),
+                format!("{:.1} MB", l.resident_f64 as f64 * 8.0 / 1e6),
+                format!("{:.3}", l.inertia),
+                format!("{}", l.passes_over_data),
+            ]
+        };
+        markdown_table(
+            &[
+                "path",
+                "fit (s)",
+                "samples/s",
+                "resident",
+                "inertia",
+                "passes",
+            ],
+            &[
+                row("streaming (out-of-core)", &self.streaming),
+                row("full batch (reference)", &self.full_batch),
+            ],
+        )
+    }
+}
+
+impl fmt::Display for FitBenchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== Fit throughput ({} samples × {} dim → {} features, k = {}, chunk {}, {} core(s)) ==",
+            self.config.total_samples(),
+            self.raw_dim,
+            self.config.components,
+            self.config.k,
+            self.config.chunk_size,
+            self.cores
+        )?;
+        writeln!(f, "{}", self.to_markdown())?;
+        writeln!(
+            f,
+            "inertia ratio (streaming / full batch): {:.4}; dataset / chunk: {:.1}x; \
+             resident-memory ratio (full / streaming): {:.1}x",
+            self.inertia_ratio(),
+            self.dataset_over_chunk(),
+            self.memory_ratio()
+        )
+    }
+}
+
+/// Runs the fit benchmark.
+///
+/// # Errors
+///
+/// Propagates generation, feature-fit, and clustering errors.
+pub fn run(config: &FitBenchConfig) -> Result<FitBenchResult, DataError> {
+    let synth = SyntheticConfig {
+        classes: config.classes,
+        samples_per_class: config.samples_per_class,
+        seed: config.seed,
+    };
+    let mut source = SyntheticSource::new(config.kind, &synth)?;
+    let raw_dim = source.feature_dim();
+    let n = config.total_samples();
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mb_config = MiniBatchKMeansConfig {
+        k: config.k,
+        chunk_size: config.chunk_size,
+        passes: config.passes,
+        polish_passes: config.polish_passes,
+        seed: config.seed,
+        ..MiniBatchKMeansConfig::default()
+    };
+
+    // Streaming leg: incremental PCA (one pass), then mini-batch k-means
+    // over the transformed stream. Resident: one raw chunk + one feature
+    // chunk + the PCA sketch + the centroids.
+    let stream_start = Instant::now();
+    let stream_features =
+        FeaturePipeline::fit_streaming(&mut source, config.components, config.chunk_size)?;
+    let streaming_model = {
+        let mut transformed = stream_features.stream_features(&mut source);
+        minibatch_kmeans(&mut transformed, &mb_config)?
+    };
+    let stream_s = stream_start.elapsed().as_secs_f64();
+    // Passes: 1 (PCA) + SGD + polish actually run + 1 (final inertia).
+    let stream_passes = 1 + config.passes + streaming_model.polish_passes() + 1;
+    let streaming = FitLeg {
+        fit_s: stream_s,
+        samples_per_sec: (n * stream_passes) as f64 / stream_s.max(1e-12),
+        resident_f64: config.chunk_size * raw_dim
+            + config.chunk_size * config.components
+            + (config.components + IPCA_OVERSAMPLE + 1) * raw_dim
+            + config.k * config.components,
+        inertia: streaming_model.inertia(),
+        passes_over_data: stream_passes,
+    };
+
+    // Full-batch leg: materialise everything, run the exact reference fits.
+    let full_start = Instant::now();
+    let dataset = materialize(&mut source, config.kind.name())?;
+    let full_features = FeaturePipeline::fit(&dataset, config.components)?;
+    let feature_set = full_features.apply_dataset(&dataset)?;
+    let full_model = kmeans(
+        feature_set.samples(),
+        &KMeansConfig {
+            k: config.k,
+            seed: config.seed,
+            ..KMeansConfig::default()
+        },
+    )?;
+    let full_s = full_start.elapsed().as_secs_f64();
+    let full_batch = FitLeg {
+        fit_s: full_s,
+        samples_per_sec: n as f64 / full_s.max(1e-12),
+        resident_f64: n * raw_dim + n * config.components,
+        inertia: inertia_of(full_model.centroids(), feature_set.samples()),
+        passes_over_data: 1,
+    };
+
+    Ok(FitBenchResult {
+        config: config.clone(),
+        cores,
+        raw_dim,
+        streaming,
+        full_batch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_fit_bench_produces_consistent_results() {
+        let config = FitBenchConfig::tiny();
+        let result = run(&config).unwrap();
+        assert_eq!(result.raw_dim, 784);
+        assert!(result.streaming.fit_s > 0.0);
+        assert!(result.full_batch.fit_s > 0.0);
+        assert!(result.streaming.inertia > 0.0);
+        assert!(result.full_batch.inertia > 0.0);
+        // The gates themselves must hold even at the smoke shape.
+        assert!(
+            result.dataset_over_chunk() >= 10.0,
+            "dataset/chunk = {}",
+            result.dataset_over_chunk()
+        );
+        assert!(
+            result.inertia_ratio() <= 1.05,
+            "inertia ratio = {}",
+            result.inertia_ratio()
+        );
+        assert!(
+            result.memory_ratio() > 1.0,
+            "streaming must be smaller than full batch"
+        );
+        let json = result.to_json();
+        assert!(json.contains("\"inertia_ratio\""));
+        assert!(json.contains("\"dataset_over_chunk\""));
+        assert!(result.to_string().contains("Fit throughput"));
+    }
+}

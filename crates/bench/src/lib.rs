@@ -11,7 +11,11 @@
 //!   ablations for the design choices of Sec. III,
 //! * [`serve`] — online-serving throughput and latency through `enq_serve`
 //!   (micro-batching, solution cache, hot-path percentiles;
-//!   regenerates `BENCH_serve.json`).
+//!   regenerates `BENCH_serve.json`),
+//! * [`fit`] — streaming (out-of-core) training vs the full-batch reference
+//!   (incremental PCA + mini-batch k-means; regenerates `BENCH_fit.json`),
+//! * [`check`] — the `bench_check` regression gates CI enforces over every
+//!   committed `BENCH_*.json` artifact.
 //!
 //! The `reproduce` binary drives these modules from the command line;
 //! `cargo bench` runs criterion timing benchmarks over the same code paths.
@@ -30,10 +34,12 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod check;
 pub mod context;
 pub mod experiment;
 pub mod fig67;
 pub mod fig8;
 pub mod fig9;
+pub mod fit;
 pub mod report;
 pub mod serve;

@@ -183,7 +183,7 @@ impl Gate {
     /// Returns the gate's unitary matrix.
     ///
     /// Two-qubit matrices follow the little-endian operand convention
-    /// described at the [module level](self).
+    /// described at the module level.
     ///
     /// # Errors
     ///

@@ -65,7 +65,7 @@ pub use error::EnqodeError;
 pub use evaluation::{evaluate_baseline_sample, evaluate_enqode_sample, SampleEvaluation};
 pub use loss::FidelityObjective;
 pub use model::{Embedding, EnqodeConfig, EnqodeModel, TrainedCluster};
-pub use pipeline::{ClassModel, EnqodePipeline};
+pub use pipeline::{ClassModel, EnqodePipeline, StreamingFitConfig};
 pub use symbolic::{SymbolicState, SymbolicWorkspace};
 
 #[cfg(test)]

@@ -110,15 +110,14 @@ pub struct Embedding {
 }
 
 /// Derives an independent, scheduling-invariant RNG seed for one
-/// `(cluster, restart)` optimisation job (SplitMix64 finaliser).
+/// `(cluster, restart)` optimisation job ([`enq_data::seed::splitmix64`]
+/// finaliser).
 fn restart_seed(base: u64, cluster: usize, restart: usize) -> u64 {
-    let mut z = base
-        ^ 0xE17
-        ^ ((cluster as u64).wrapping_shl(32))
-        ^ (restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    enq_data::seed::splitmix64(
+        base ^ 0xE17
+            ^ ((cluster as u64).wrapping_shl(32))
+            ^ (restart as u64).wrapping_mul(enq_data::seed::GOLDEN_GAMMA),
+    )
 }
 
 /// The outcome of one restart of one cluster's offline optimisation.
@@ -222,18 +221,7 @@ impl EnqodeModel {
         threads: NonZeroUsize,
         symbolic: Arc<SymbolicState>,
     ) -> Result<Self, EnqodeError> {
-        config.ansatz.validate()?;
-        // The full shape must match — the entangler permutes phase-table
-        // rows, so two tables of identical size are still not
-        // interchangeable across entangler kinds (or layer/qubit splits
-        // with the same parameter count).
-        if *symbolic.ansatz() != config.ansatz {
-            return Err(EnqodeError::InvalidConfig(format!(
-                "shared symbolic state was built for {:?}, but the config needs {:?}",
-                symbolic.ansatz(),
-                config.ansatz,
-            )));
-        }
+        Self::validate_shared(&config, &symbolic)?;
         let dim = config.ansatz.dimension();
         for s in samples {
             if s.len() != dim {
@@ -261,7 +249,78 @@ impl EnqodeModel {
             .map(|c| l2_normalize(c))
             .collect();
         let centroids = centroids?;
+        Self::train_clusters(centroids, config, threads, symbolic, start)
+    }
 
+    /// Trains per-cluster ansatz parameters directly from externally supplied
+    /// cluster centroids — the entry point for out-of-core training, where
+    /// the centroids come from streaming mini-batch k-means and the raw
+    /// samples were never resident. Centroids are L2-normalised internally;
+    /// the per-cluster optimisation (restart grid, rescue wave, seeds) is
+    /// identical to [`EnqodeModel::fit_with_shared_symbolic`] after its
+    /// clustering step, so a streaming fit that reproduces the in-memory
+    /// clustering bit-for-bit also reproduces the trained parameters.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`EnqodeModel::fit_with_shared_symbolic`], with the
+    /// clustering-related errors replaced by validation of the supplied
+    /// centroids (empty set, wrong dimension, zero vectors).
+    pub fn fit_from_centroids(
+        centroids: &[Vec<f64>],
+        config: EnqodeConfig,
+        threads: NonZeroUsize,
+        symbolic: Arc<SymbolicState>,
+    ) -> Result<Self, EnqodeError> {
+        Self::validate_shared(&config, &symbolic)?;
+        if centroids.is_empty() {
+            return Err(EnqodeError::Data(enq_data::DataError::EmptyDataset));
+        }
+        let dim = config.ansatz.dimension();
+        for c in centroids {
+            if c.len() != dim {
+                return Err(EnqodeError::DimensionMismatch {
+                    expected: dim,
+                    found: c.len(),
+                });
+            }
+        }
+        let start = Instant::now();
+        let normalized: Result<Vec<Vec<f64>>, _> =
+            centroids.iter().map(|c| l2_normalize(c)).collect();
+        Self::train_clusters(normalized?, config, threads, symbolic, start)
+    }
+
+    /// Validates the ansatz and checks that the shared symbolic table was
+    /// built for exactly this shape.
+    fn validate_shared(
+        config: &EnqodeConfig,
+        symbolic: &Arc<SymbolicState>,
+    ) -> Result<(), EnqodeError> {
+        config.ansatz.validate()?;
+        // The full shape must match — the entangler permutes phase-table
+        // rows, so two tables of identical size are still not
+        // interchangeable across entangler kinds (or layer/qubit splits
+        // with the same parameter count).
+        if *symbolic.ansatz() != config.ansatz {
+            return Err(EnqodeError::InvalidConfig(format!(
+                "shared symbolic state was built for {:?}, but the config needs {:?}",
+                symbolic.ansatz(),
+                config.ansatz,
+            )));
+        }
+        Ok(())
+    }
+
+    /// Shared training core: optimises every (already normalised) centroid
+    /// over the restart grid, applying the rescue wave when configured.
+    fn train_clusters(
+        centroids: Vec<Vec<f64>>,
+        config: EnqodeConfig,
+        threads: NonZeroUsize,
+        symbolic: Arc<SymbolicState>,
+        start: Instant,
+    ) -> Result<Self, EnqodeError> {
         // Flatten the (cluster, restart) grid into one parallel job list so
         // uneven convergence never leaves workers idle.
         let restarts = config.offline_restarts.max(1);

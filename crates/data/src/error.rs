@@ -18,6 +18,18 @@ pub enum DataError {
     },
     /// A parameter was outside its valid range.
     InvalidParameter(String),
+    /// More principal components were requested than the data supports: the
+    /// centered sample matrix has fewer non-negligible directions of variance
+    /// (e.g. zero-variance features, duplicated samples, or fewer samples
+    /// than components).
+    RankDeficient {
+        /// Number of components requested.
+        requested: usize,
+        /// Effective rank of the centered data.
+        effective: usize,
+    },
+    /// An ingestion source (file, stream) failed or produced malformed data.
+    Io(String),
     /// An underlying linear-algebra routine failed.
     Linalg(enq_linalg::LinalgError),
 }
@@ -33,6 +45,15 @@ impl fmt::Display for DataError {
                 )
             }
             DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DataError::RankDeficient {
+                requested,
+                effective,
+            } => write!(
+                f,
+                "requested {requested} principal components but the centered data \
+                 has effective rank {effective}"
+            ),
+            DataError::Io(msg) => write!(f, "ingestion error: {msg}"),
             DataError::Linalg(e) => write!(f, "linear algebra error: {e}"),
         }
     }
@@ -53,6 +74,12 @@ impl From<enq_linalg::LinalgError> for DataError {
     }
 }
 
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +93,15 @@ mod tests {
         }
         .to_string()
         .contains("expected 4"));
+        assert!(DataError::RankDeficient {
+            requested: 16,
+            effective: 15
+        }
+        .to_string()
+        .contains("effective rank 15"));
+        assert!(DataError::Io("missing file".to_string())
+            .to_string()
+            .contains("missing file"));
     }
 
     #[test]

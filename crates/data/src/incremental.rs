@@ -1,0 +1,548 @@
+//! Incremental (out-of-core) principal component analysis.
+//!
+//! [`IncrementalPca`] consumes bounded chunks and maintains a *merge-and-
+//! truncate* summary of everything seen so far (Ross et al., IJCV 2008; the
+//! scheme behind scikit-learn's `IncrementalPCA`): a running mean plus a
+//! small set of scaled orthonormal directions `σᵢ·vᵢ`. Each chunk is merged
+//! by stacking
+//!
+//! ```text
+//!   [ previous σ·Vᵀ rows ]
+//!   [ chunk centered on its own mean ]
+//!   [ √(n·b/(n+b)) · (mean − chunk_mean) ]   (mean-shift correction row)
+//! ```
+//!
+//! and taking the top singular directions of the stack, computed exactly via
+//! the Gram matrix of whichever side is smaller and the symmetric Jacobi
+//! eigensolver from `enq-linalg`. Resident memory is
+//! `O((sketch + chunk) × dim)` with `sketch = num_components + 8` —
+//! independent of the total sample count.
+//!
+//! On a single chunk the merge degenerates to an exact thin SVD of the
+//! centered chunk, so the incremental fit reproduces [`Pca::fit`] (up to
+//! component sign) on in-memory data; multi-chunk fits are exact whenever
+//! the data's effective rank stays within the sketch, and otherwise lose
+//! only the variance below the sketch's tail.
+
+use crate::error::DataError;
+use crate::pca::{Pca, RANK_REL_TOL};
+use enq_linalg::{symmetric_eigen, RMatrix};
+use enq_parallel::par_chunk_map;
+use std::num::NonZeroUsize;
+
+/// Extra directions retained beyond `num_components` between merges; the
+/// tail absorbs truncation error so the leading components stay accurate.
+const OVERSAMPLE: usize = 8;
+
+/// Upper bound on rows merged per internal step: larger chunks are split so
+/// the Gram eigenproblem stays small (`(sketch + MERGE_ROWS + 1)²`).
+const MERGE_ROWS: usize = 256;
+
+/// Streaming PCA accumulator. Feed chunks with
+/// [`IncrementalPca::partial_fit`], then convert into a regular [`Pca`] with
+/// [`IncrementalPca::finalize`] (strict) or
+/// [`IncrementalPca::finalize_truncated`] (clamps to the effective rank).
+#[derive(Debug, Clone)]
+pub struct IncrementalPca {
+    dim: usize,
+    num_components: usize,
+    sketch: usize,
+    threads: NonZeroUsize,
+    count: usize,
+    mean: Vec<f64>,
+    /// `basis[i]` = `σᵢ · vᵢ` — the i-th right singular direction of the
+    /// centered data seen so far, scaled by its singular value; descending.
+    basis: Vec<Vec<f64>>,
+    singular: Vec<f64>,
+}
+
+impl IncrementalPca {
+    /// Creates an accumulator for `dim`-dimensional samples targeting
+    /// `num_components` output components, using the default worker count
+    /// for the internal Gram products.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] if `num_components` is zero
+    /// or exceeds `dim`.
+    pub fn new(dim: usize, num_components: usize) -> Result<Self, DataError> {
+        Self::with_threads(dim, num_components, enq_parallel::default_threads())
+    }
+
+    /// [`IncrementalPca::new`] with an explicit worker count. The fit is
+    /// bit-identical for every `threads` value (parallel work is sharded on
+    /// fixed boundaries and reduced in shard order).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IncrementalPca::new`].
+    pub fn with_threads(
+        dim: usize,
+        num_components: usize,
+        threads: NonZeroUsize,
+    ) -> Result<Self, DataError> {
+        if num_components == 0 || num_components > dim {
+            return Err(DataError::InvalidParameter(format!(
+                "cannot extract {num_components} components from {dim}-dimensional data"
+            )));
+        }
+        Ok(Self {
+            dim,
+            num_components,
+            sketch: (num_components + OVERSAMPLE).min(dim),
+            threads,
+            count: 0,
+            mean: vec![0.0; dim],
+            basis: Vec::new(),
+            singular: Vec::new(),
+        })
+    }
+
+    /// Number of samples consumed so far.
+    pub fn samples_seen(&self) -> usize {
+        self.count
+    }
+
+    /// The feature dimension this accumulator expects.
+    pub fn feature_dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Target number of output components.
+    pub fn num_components(&self) -> usize {
+        self.num_components
+    }
+
+    /// Running mean of all samples seen.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Feeds one chunk of samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DimensionMismatch`] for samples of the wrong
+    /// length and propagates eigensolver failures.
+    pub fn partial_fit(&mut self, samples: &[Vec<f64>]) -> Result<(), DataError> {
+        for s in samples {
+            if s.len() != self.dim {
+                return Err(DataError::DimensionMismatch {
+                    expected: self.dim,
+                    found: s.len(),
+                });
+            }
+        }
+        // Oversized chunks are split so the Gram eigenproblem stays bounded;
+        // sub-chunk boundaries depend only on the chunk length, keeping the
+        // fit deterministic.
+        for sub in samples.chunks(MERGE_ROWS) {
+            self.merge(sub)?;
+        }
+        Ok(())
+    }
+
+    /// Merges one bounded batch into the summary.
+    fn merge(&mut self, batch: &[Vec<f64>]) -> Result<(), DataError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let b = batch.len();
+        let n = self.count;
+        let mut batch_mean = vec![0.0; self.dim];
+        for s in batch {
+            for (m, v) in batch_mean.iter_mut().zip(s.iter()) {
+                *m += v / b as f64;
+            }
+        }
+
+        // Assemble the stacked matrix A whose right singular directions are
+        // the updated summary.
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(self.basis.len() + b + usize::from(n > 0));
+        rows.extend(self.basis.iter().cloned());
+        for s in batch {
+            rows.push(
+                s.iter()
+                    .zip(batch_mean.iter())
+                    .map(|(v, m)| v - m)
+                    .collect(),
+            );
+        }
+        if n > 0 {
+            let w = ((n as f64 * b as f64) / (n + b) as f64).sqrt();
+            rows.push(
+                self.mean
+                    .iter()
+                    .zip(batch_mean.iter())
+                    .map(|(m, bm)| w * (m - bm))
+                    .collect(),
+            );
+        }
+
+        let (singular, basis) = top_right_singular(&rows, self.sketch, self.threads)?;
+        self.singular = singular;
+        self.basis = basis;
+        for (m, bm) in self.mean.iter_mut().zip(batch_mean.iter()) {
+            *m = (*m * n as f64 + bm * b as f64) / (n + b) as f64;
+        }
+        self.count = n + b;
+        Ok(())
+    }
+
+    /// Number of directions whose variance is non-negligible relative to the
+    /// dominant one (same `RANK_REL_TOL` rule as [`Pca::fit`]).
+    pub fn effective_rank(&self) -> usize {
+        let lambda_max = self.singular.first().map_or(0.0, |s| s * s);
+        if lambda_max <= 0.0 {
+            return 0;
+        }
+        self.singular
+            .iter()
+            .take_while(|&&s| s * s > lambda_max * RANK_REL_TOL)
+            .count()
+    }
+
+    fn build_pca(&self, components_wanted: usize) -> Result<Pca, DataError> {
+        if self.count == 0 {
+            return Err(DataError::EmptyDataset);
+        }
+        let denom = (self.count as f64 - 1.0).max(1.0);
+        let mut components = Vec::with_capacity(components_wanted);
+        let mut explained_variance = Vec::with_capacity(components_wanted);
+        for i in 0..components_wanted {
+            let sigma = self.singular[i];
+            components.push(self.basis[i].iter().map(|v| v / sigma).collect());
+            explained_variance.push(sigma * sigma / denom);
+        }
+        Ok(Pca::from_parts(
+            self.mean.clone(),
+            components,
+            explained_variance,
+        ))
+    }
+
+    /// Converts the summary into a [`Pca`] with exactly the configured
+    /// number of components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyDataset`] when nothing was fed and
+    /// [`DataError::RankDeficient`] when the data's effective rank is below
+    /// `num_components` (matching the strict [`Pca::fit`] contract).
+    pub fn finalize(&self) -> Result<Pca, DataError> {
+        if self.count == 0 {
+            return Err(DataError::EmptyDataset);
+        }
+        let effective = self.effective_rank();
+        if effective < self.num_components {
+            return Err(DataError::RankDeficient {
+                requested: self.num_components,
+                effective,
+            });
+        }
+        self.build_pca(self.num_components)
+    }
+
+    /// Converts the summary into a [`Pca`] with up to `num_components`
+    /// components, clamping to the effective rank (matching
+    /// [`Pca::fit_truncated`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyDataset`] when nothing was fed.
+    pub fn finalize_truncated(&self) -> Result<Pca, DataError> {
+        if self.count == 0 {
+            return Err(DataError::EmptyDataset);
+        }
+        self.build_pca(self.num_components.min(self.effective_rank()))
+    }
+}
+
+/// Computes the top-`keep` right singular pairs `(σᵢ, σᵢ·vᵢ)` of the row
+/// matrix `rows` via the Gram matrix of the smaller side.
+fn top_right_singular(
+    rows: &[Vec<f64>],
+    keep: usize,
+    threads: NonZeroUsize,
+) -> Result<(Vec<f64>, Vec<Vec<f64>>), DataError> {
+    let m = rows.len();
+    let d = rows[0].len();
+
+    // Absolute floor: a singular value at denormal scale carries no
+    // direction information and would blow up the 1/σ normalisation.
+    let sigma_floor = 1e-150;
+
+    if m <= d {
+        // G = A·Aᵀ (m × m); eigenvector uᵢ gives σᵢ·vᵢ = Aᵀ·uᵢ directly.
+        // Only the upper triangle is computed (the dot product is exactly
+        // symmetric in floating point, so mirroring is bit-identical to
+        // recomputing) — this halves the dominant cost of every merge.
+        let g = gram_from_triangle(m, threads, |i, j| dot(&rows[i], &rows[j]));
+        let eig = symmetric_eigen(&g)?;
+        let mut singular = Vec::new();
+        let mut basis = Vec::new();
+        for c in 0..keep.min(m) {
+            let sigma = eig.eigenvalues[c].max(0.0).sqrt();
+            if sigma <= sigma_floor {
+                break;
+            }
+            // σ·v = Aᵀ·u; rescale so the stored row is exactly σ × unit(v),
+            // keeping the basis numerically orthonormal across many merges.
+            let mut scaled = vec![0.0; d];
+            for (j, row) in rows.iter().enumerate() {
+                let w = eig.eigenvectors[(j, c)];
+                if w == 0.0 {
+                    continue;
+                }
+                for (acc, v) in scaled.iter_mut().zip(row.iter()) {
+                    *acc += w * v;
+                }
+            }
+            let norm = dot(&scaled, &scaled).sqrt();
+            if norm <= sigma_floor {
+                break;
+            }
+            let rescale = sigma / norm;
+            for v in scaled.iter_mut() {
+                *v *= rescale;
+            }
+            singular.push(sigma);
+            basis.push(scaled);
+        }
+        Ok((singular, basis))
+    } else {
+        // Wide stacks (more rows than features — only possible for small
+        // feature dimensions given MERGE_ROWS): G = Aᵀ·A (d × d) yields the
+        // right singular vectors directly.
+        let g = gram_from_triangle(d, threads, |p, q| {
+            rows.iter().map(|r| r[p] * r[q]).sum::<f64>()
+        });
+        let eig = symmetric_eigen(&g)?;
+        let mut singular = Vec::new();
+        let mut basis = Vec::new();
+        for c in 0..keep.min(d) {
+            let sigma = eig.eigenvalues[c].max(0.0).sqrt();
+            if sigma <= sigma_floor {
+                break;
+            }
+            singular.push(sigma);
+            basis.push((0..d).map(|p| sigma * eig.eigenvectors[(p, c)]).collect());
+        }
+        Ok((singular, basis))
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Assembles the symmetric `n × n` matrix whose `(i, j ≥ i)` entries come
+/// from `entry`, computing only the upper triangle in parallel (fixed row
+/// shards, deterministic) and mirroring it.
+fn gram_from_triangle(
+    n: usize,
+    threads: NonZeroUsize,
+    entry: impl Fn(usize, usize) -> f64 + Sync,
+) -> RMatrix {
+    let indices: Vec<usize> = (0..n).collect();
+    let triangles = par_chunk_map(threads, &indices, 8, |_, shard| {
+        shard
+            .iter()
+            .map(|&i| (i..n).map(|j| entry(i, j)).collect::<Vec<f64>>())
+            .collect::<Vec<_>>()
+    });
+    let mut g = RMatrix::zeros(n, n);
+    for (i, row) in triangles.into_iter().flatten().enumerate() {
+        for (offset, v) in row.into_iter().enumerate() {
+            let j = i + offset;
+            g[(i, j)] = v;
+            g[(j, i)] = v;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Samples lying exactly in a low-dimensional subspace (plus an offset),
+    /// so both the randomized full-batch fit and the incremental fit are
+    /// exact and must agree to near machine precision.
+    fn exact_rank_samples(n: usize, dim: usize, rank: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let basis: Vec<Vec<f64>> = (0..rank)
+            .map(|r| {
+                (0..dim)
+                    .map(|i| ((i as f64 + 1.3) * (r as f64 * 0.9 + 0.7)).sin())
+                    .collect()
+            })
+            .collect();
+        (0..n)
+            .map(|_| {
+                let weights: Vec<f64> = (0..rank)
+                    .map(|r| rng.gen_range(-2.0..2.0) * (rank - r) as f64)
+                    .collect();
+                (0..dim)
+                    .map(|i| {
+                        2.0 + weights
+                            .iter()
+                            .zip(basis.iter())
+                            .map(|(w, b)| w * b[i])
+                            .sum::<f64>()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Maximum |difference| between two models' projections over the
+    /// samples, allowing an independent sign flip per component.
+    fn max_projection_gap(a: &Pca, b: &Pca, samples: &[Vec<f64>]) -> f64 {
+        assert_eq!(a.num_components(), b.num_components());
+        let k = a.num_components();
+        // Determine per-component relative sign from the component dot.
+        let signs: Vec<f64> = (0..k)
+            .map(|c| {
+                let d: f64 = a.components()[c]
+                    .iter()
+                    .zip(b.components()[c].iter())
+                    .map(|(x, y)| x * y)
+                    .sum();
+                if d < 0.0 {
+                    -1.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let mut worst = 0.0f64;
+        for s in samples {
+            let pa = a.transform(s).unwrap();
+            let pb = b.transform(s).unwrap();
+            for c in 0..k {
+                worst = worst.max((pa[c] - signs[c] * pb[c]).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn single_chunk_matches_exact_fit() {
+        let samples = exact_rank_samples(48, 12, 3, 1);
+        let exact = Pca::fit(&samples, 3).unwrap();
+        let mut ipca = IncrementalPca::new(12, 3).unwrap();
+        ipca.partial_fit(&samples).unwrap();
+        let streamed = ipca.finalize().unwrap();
+        assert!(max_projection_gap(&exact, &streamed, &samples) < 1e-8);
+        for (a, b) in exact
+            .explained_variance()
+            .iter()
+            .zip(streamed.explained_variance())
+        {
+            assert!((a - b).abs() < 1e-8 * a.max(1.0), "{a} vs {b}");
+        }
+        for (a, b) in exact.mean().iter().zip(streamed.mean()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn chunked_fit_matches_exact_fit_on_low_rank_data() {
+        let samples = exact_rank_samples(90, 10, 3, 2);
+        let exact = Pca::fit(&samples, 3).unwrap();
+        for chunk in [7, 30, 45] {
+            let mut ipca = IncrementalPca::new(10, 3).unwrap();
+            for part in samples.chunks(chunk) {
+                ipca.partial_fit(part).unwrap();
+            }
+            assert_eq!(ipca.samples_seen(), 90);
+            let streamed = ipca.finalize().unwrap();
+            assert!(
+                max_projection_gap(&exact, &streamed, &samples) < 1e-8,
+                "chunk size {chunk} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let samples = exact_rank_samples(64, 9, 4, 3);
+        let fit = |threads: usize| {
+            let mut ipca =
+                IncrementalPca::with_threads(9, 3, NonZeroUsize::new(threads).unwrap()).unwrap();
+            for part in samples.chunks(10) {
+                ipca.partial_fit(part).unwrap();
+            }
+            ipca.finalize().unwrap()
+        };
+        let one = fit(1);
+        for threads in [2, 5] {
+            let other = fit(threads);
+            assert_eq!(one, other, "incremental PCA drifted at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn rank_deficiency_detected() {
+        let samples = exact_rank_samples(40, 8, 2, 4);
+        let mut ipca = IncrementalPca::new(8, 5).unwrap();
+        ipca.partial_fit(&samples).unwrap();
+        assert_eq!(ipca.effective_rank(), 2);
+        assert!(matches!(
+            ipca.finalize(),
+            Err(DataError::RankDeficient {
+                requested: 5,
+                effective: 2
+            })
+        ));
+        let truncated = ipca.finalize_truncated().unwrap();
+        assert_eq!(truncated.num_components(), 2);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(IncrementalPca::new(4, 0).is_err());
+        assert!(IncrementalPca::new(4, 5).is_err());
+        let mut ipca = IncrementalPca::new(4, 2).unwrap();
+        assert!(ipca.partial_fit(&[vec![1.0, 2.0]]).is_err());
+        assert!(matches!(ipca.finalize(), Err(DataError::EmptyDataset)));
+        assert!(matches!(
+            ipca.finalize_truncated(),
+            Err(DataError::EmptyDataset)
+        ));
+        // Feeding an empty chunk is a no-op, not an error.
+        ipca.partial_fit(&[]).unwrap();
+        assert_eq!(ipca.samples_seen(), 0);
+    }
+
+    #[test]
+    fn noisy_data_components_stay_orthonormal_across_merges() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples: Vec<Vec<f64>> = (0..300)
+            .map(|_| (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let mut ipca = IncrementalPca::new(6, 4).unwrap();
+        for part in samples.chunks(24) {
+            ipca.partial_fit(part).unwrap();
+        }
+        let pca = ipca.finalize().unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let dot: f64 = pca.components()[i]
+                    .iter()
+                    .zip(pca.components()[j].iter())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-8, "({i},{j}) = {dot}");
+            }
+        }
+        // Variances descend.
+        for w in pca.explained_variance().windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+}

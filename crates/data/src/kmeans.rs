@@ -97,7 +97,7 @@ impl KMeansModel {
     }
 }
 
-fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+pub(crate) fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
@@ -229,7 +229,11 @@ pub fn kmeans(samples: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansModel
 
 /// k-means++ seeding: each new centroid is drawn with probability
 /// proportional to the squared distance from the nearest existing centroid.
-fn kmeans_plus_plus_init(samples: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+pub(crate) fn kmeans_plus_plus_init(
+    samples: &[Vec<f64>],
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<f64>> {
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(samples[rng.gen_range(0..samples.len())].clone());
     while centroids.len() < k {

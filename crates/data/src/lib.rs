@@ -9,7 +9,14 @@
 //! * [`Pca`] / [`FeaturePipeline`] — PCA to `2^n` features followed by L2
 //!   normalisation, as in the paper's methodology,
 //! * [`kmeans`] / [`fit_with_fidelity_threshold`] — k-means clustering with
-//!   the paper's "minimum 0.95 embedding fidelity" rule for choosing `k`.
+//!   the paper's "minimum 0.95 embedding fidelity" rule for choosing `k`,
+//! * [`SampleSource`] and its readers ([`InMemorySource`],
+//!   [`SyntheticSource`], [`CsvSource`], [`BinarySource`]) — chunked
+//!   out-of-core ingestion feeding,
+//! * [`minibatch_kmeans`] / [`IncrementalPca`] /
+//!   [`FeaturePipeline::fit_streaming`] — bounded-memory streaming fits that
+//!   train with `O(chunk × dim)` resident samples instead of `O(N × dim)`,
+//!   bit-reproducible for a fixed seed and chunk size across thread counts.
 //!
 //! ## Example
 //!
@@ -34,19 +41,32 @@
 
 mod dataset;
 mod error;
+mod incremental;
 mod kmeans;
+mod minibatch;
 mod pca;
 mod preprocess;
+pub mod seed;
+mod stream;
 mod synthetic;
 
 pub use dataset::{Dataset, DatasetKind};
 pub use error::DataError;
+pub use incremental::IncrementalPca;
 pub use kmeans::{
     embedding_fidelity, fit_with_fidelity_threshold, kmeans, KMeansConfig, KMeansModel,
 };
+pub use minibatch::{
+    inertia_of, minibatch_kmeans, minibatch_kmeans_with_threads, MiniBatchKMeans,
+    MiniBatchKMeansConfig, MiniBatchKMeansModel,
+};
 pub use pca::Pca;
-pub use preprocess::{l2_normalize, FeaturePipeline};
-pub use synthetic::{generate_synthetic, SyntheticConfig};
+pub use preprocess::{l2_normalize, FeaturePipeline, TransformedSource};
+pub use stream::{
+    for_each_chunk, materialize, write_binary_dataset, BinarySource, CsvSource, InMemorySource,
+    SampleChunk, SampleSource,
+};
+pub use synthetic::{generate_synthetic, SyntheticConfig, SyntheticSource};
 
 #[cfg(test)]
 mod proptests {

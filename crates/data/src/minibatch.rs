@@ -1,0 +1,826 @@
+//! Mini-batch k-means for out-of-core clustering (Sculley, WWW 2010 style).
+//!
+//! Full-batch Lloyd iterations need every sample resident; the mini-batch
+//! variant consumes bounded chunks from a [`SampleSource`] and updates each
+//! centroid with a per-centroid learning rate `1 / count`, so clustering
+//! memory is `O(chunk × dim + k × dim)` no matter how large the source is.
+//!
+//! Determinism contract: for a fixed `(seed, chunk feeding sequence)` the fit
+//! is **bit-reproducible across thread counts**. Three mechanisms enforce it:
+//!
+//! * per-batch RNGs are derived from `(seed, batch_index)` — never from
+//!   scheduling,
+//! * nearest-centroid assignment runs over fixed 64-sample shards
+//!   ([`enq_parallel::par_chunk_map`]) whose boundaries depend only on the
+//!   batch length, with results reduced in shard order,
+//! * the SGD centroid updates themselves are applied sequentially in the
+//!   seeded shuffle order.
+//!
+//! After the SGD passes, optional *polish* passes run exact streaming Lloyd
+//! steps (one pass per iteration, `O(k × dim)` accumulators) to close the gap
+//! to the full-batch optimum; the fit-throughput benchmark gates the
+//! remaining inertia gap at ≤ 1.05× full-batch Lloyd.
+
+use crate::error::DataError;
+use crate::kmeans::{kmeans_plus_plus_init, squared_distance, KMeansConfig};
+use crate::stream::{for_each_chunk, SampleSource};
+use enq_parallel::par_chunk_map;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::num::NonZeroUsize;
+
+/// Fixed shard length for parallel assignment/accumulation. Shard boundaries
+/// must not depend on the worker count, or reductions would stop being
+/// thread-count invariant.
+const ASSIGN_SHARD: usize = 64;
+
+/// Configuration of a streaming mini-batch k-means fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiniBatchKMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Samples requested per chunk when driving a [`SampleSource`].
+    pub chunk_size: usize,
+    /// Number of SGD passes over the source.
+    pub passes: usize,
+    /// Samples buffered for the k-means++ initialisation; `0` means
+    /// `max(4·k, chunk_size)`. Bounded — this is the only buffer that can
+    /// exceed one chunk.
+    pub init_size: usize,
+    /// Maximum exact streaming-Lloyd refinement passes run after SGD (each is
+    /// one extra pass over the source; stops early once centroid movement
+    /// falls below `tolerance`).
+    pub polish_passes: usize,
+    /// Convergence threshold on total squared centroid movement for the
+    /// polish passes.
+    pub tolerance: f64,
+    /// Seed for initialisation and per-batch shuffling.
+    pub seed: u64,
+}
+
+impl Default for MiniBatchKMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            chunk_size: 256,
+            passes: 3,
+            init_size: 0,
+            polish_passes: 2,
+            tolerance: 1e-6,
+            seed: 17,
+        }
+    }
+}
+
+impl MiniBatchKMeansConfig {
+    fn effective_init_size(&self) -> usize {
+        if self.init_size == 0 {
+            (4 * self.k).max(self.chunk_size)
+        } else {
+            self.init_size.max(self.k)
+        }
+    }
+
+    fn validate(&self) -> Result<(), DataError> {
+        if self.k == 0 {
+            return Err(DataError::InvalidParameter(
+                "k must be positive".to_string(),
+            ));
+        }
+        if self.chunk_size == 0 {
+            return Err(DataError::InvalidParameter(
+                "chunk_size must be positive".to_string(),
+            ));
+        }
+        if self.passes == 0 {
+            return Err(DataError::InvalidParameter(
+                "at least one SGD pass is required".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Derives an independent per-batch RNG seed (module tag + golden-gamma
+/// salting, [`splitmix64`] finaliser).
+fn mix_seed(base: u64, salt: u64) -> u64 {
+    crate::seed::splitmix64(base ^ 0x4D42_4B4D ^ salt.wrapping_mul(crate::seed::GOLDEN_GAMMA))
+}
+
+/// Index and squared distance of the nearest centroid (strict `<`, so ties
+/// keep the lowest index — the rule every clustering path here shares).
+fn nearest(centroids: &[Vec<f64>], sample: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = squared_distance(sample, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// Sum of squared distances from every sample to its nearest centroid —
+/// the quantity the fit-throughput gate compares between the streaming and
+/// full-batch fits.
+pub fn inertia_of(centroids: &[Vec<f64>], samples: &[Vec<f64>]) -> f64 {
+    samples.iter().map(|s| nearest(centroids, s).1).sum()
+}
+
+/// A fitted streaming k-means model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiniBatchKMeansModel {
+    centroids: Vec<Vec<f64>>,
+    inertia: f64,
+    samples_per_pass: usize,
+    sgd_passes: usize,
+    polish_passes: usize,
+}
+
+impl MiniBatchKMeansModel {
+    /// The cluster centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Sum of squared sample-to-nearest-centroid distances over the source
+    /// (measured in a dedicated final pass).
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Samples consumed per pass over the source.
+    pub fn samples_per_pass(&self) -> usize {
+        self.samples_per_pass
+    }
+
+    /// SGD passes run.
+    pub fn sgd_passes(&self) -> usize {
+        self.sgd_passes
+    }
+
+    /// Streaming-Lloyd polish passes actually run (early stop on
+    /// convergence).
+    pub fn polish_passes(&self) -> usize {
+        self.polish_passes
+    }
+
+    /// Nearest centroid index and squared distance for a new sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DimensionMismatch`] for a sample of the wrong
+    /// length.
+    pub fn nearest_centroid(&self, sample: &[f64]) -> Result<(usize, f64), DataError> {
+        let dim = self.centroids[0].len();
+        if sample.len() != dim {
+            return Err(DataError::DimensionMismatch {
+                expected: dim,
+                found: sample.len(),
+            });
+        }
+        Ok(nearest(&self.centroids, sample))
+    }
+}
+
+/// Per-shard partial result of a polish / inertia accumulation pass.
+struct ShardPartial {
+    sums: Vec<Vec<f64>>,
+    counts: Vec<u64>,
+    inertia: f64,
+}
+
+/// The incremental mini-batch k-means accumulator.
+///
+/// [`minibatch_kmeans`] drives it from a [`SampleSource`]; callers that
+/// partition chunks themselves (the per-class streaming pipeline build in
+/// `enqode`) feed it directly: [`MiniBatchKMeans::feed`] per mini-batch,
+/// [`MiniBatchKMeans::end_pass`] per pass, then optionally
+/// `begin_polish`/`feed_polish`/`end_polish` rounds, and finally
+/// [`MiniBatchKMeans::into_centroids`].
+#[derive(Debug)]
+pub struct MiniBatchKMeans {
+    config: MiniBatchKMeansConfig,
+    dim: usize,
+    threads: NonZeroUsize,
+    /// Samples buffered until the k-means++ initialisation can run.
+    init_buffer: Vec<Vec<f64>>,
+    centroids: Option<Vec<Vec<f64>>>,
+    /// Per-centroid SGD update counts (the learning rate is `1 / count`).
+    counts: Vec<u64>,
+    /// Members assigned to each centroid during the current pass.
+    pass_members: Vec<u64>,
+    /// Up to `k` most distant (dist², sample) pairs seen this pass, sorted
+    /// descending — reseed candidates for empty clusters.
+    farthest: Vec<(f64, Vec<f64>)>,
+    batch_counter: u64,
+    /// Polish-pass accumulators (present between `begin_polish` and
+    /// `end_polish`).
+    polish: Option<(Vec<Vec<f64>>, Vec<u64>, f64)>,
+}
+
+impl MiniBatchKMeans {
+    /// Creates an accumulator for `dim`-dimensional samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] for a zero `k`, chunk size,
+    /// pass count, or dimension.
+    pub fn new(
+        config: MiniBatchKMeansConfig,
+        dim: usize,
+        threads: NonZeroUsize,
+    ) -> Result<Self, DataError> {
+        config.validate()?;
+        if dim == 0 {
+            return Err(DataError::InvalidParameter(
+                "feature dimension must be positive".to_string(),
+            ));
+        }
+        let k = config.k;
+        Ok(Self {
+            config,
+            dim,
+            threads,
+            init_buffer: Vec::new(),
+            centroids: None,
+            counts: vec![0; k],
+            pass_members: vec![0; k],
+            farthest: Vec::new(),
+            batch_counter: 0,
+            polish: None,
+        })
+    }
+
+    /// Returns the current centroids (`None` until initialisation has run).
+    pub fn centroids(&self) -> Option<&[Vec<f64>]> {
+        self.centroids.as_deref()
+    }
+
+    fn check_dims(&self, samples: &[Vec<f64>]) -> Result<(), DataError> {
+        for s in samples {
+            if s.len() != self.dim {
+                return Err(DataError::DimensionMismatch {
+                    expected: self.dim,
+                    found: s.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Feeds one mini-batch of samples (the SGD phase).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DimensionMismatch`] for samples of the wrong
+    /// length.
+    pub fn feed(&mut self, samples: &[Vec<f64>]) -> Result<(), DataError> {
+        self.check_dims(samples)?;
+        if samples.is_empty() {
+            return Ok(());
+        }
+        if self.centroids.is_none() {
+            self.init_buffer.extend_from_slice(samples);
+            if self.init_buffer.len() >= self.config.effective_init_size() {
+                self.initialize_and_flush();
+            }
+            return Ok(());
+        }
+        self.sgd_batch(samples);
+        Ok(())
+    }
+
+    /// Runs the k-means++ initialisation on the buffered samples, then
+    /// processes the buffer as the first mini-batch.
+    fn initialize_and_flush(&mut self) {
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.config.seed, 0));
+        let k = self.config.k.min(self.init_buffer.len());
+        let mut centroids = kmeans_plus_plus_init(&self.init_buffer, k, &mut rng);
+        // Fewer buffered samples than k (tiny class/stream): duplicate the
+        // buffer cyclically so the centroid count stays k; the SGD updates
+        // and reseeding separate them afterwards.
+        let mut i = 0usize;
+        while centroids.len() < self.config.k {
+            centroids.push(self.init_buffer[i % self.init_buffer.len()].clone());
+            i += 1;
+        }
+        self.centroids = Some(centroids);
+        let buffer = std::mem::take(&mut self.init_buffer);
+        self.sgd_batch(&buffer);
+    }
+
+    /// One Sculley mini-batch step: frozen-centroid assignment, then
+    /// sequential per-sample updates with rate `1 / count[c]` in seeded
+    /// shuffle order.
+    fn sgd_batch(&mut self, samples: &[Vec<f64>]) {
+        self.batch_counter += 1;
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.config.seed, self.batch_counter));
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            order.swap(i, j);
+        }
+        let assignments: Vec<(usize, f64)> = {
+            // Assignment against the batch-start centroids, in parallel.
+            let frozen = self.centroids.as_deref().expect("initialised before SGD");
+            par_chunk_map(self.threads, samples, ASSIGN_SHARD, |_, shard| {
+                shard.iter().map(|s| nearest(frozen, s)).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        for &idx in &order {
+            let (c, dist) = assignments[idx];
+            self.counts[c] += 1;
+            self.pass_members[c] += 1;
+            let eta = 1.0 / self.counts[c] as f64;
+            let centroid = &mut self.centroids.as_mut().expect("checked above")[c];
+            for (cv, sv) in centroid.iter_mut().zip(samples[idx].iter()) {
+                *cv += eta * (sv - *cv);
+            }
+            self.remember_farthest(dist, &samples[idx]);
+        }
+    }
+
+    /// Keeps the up-to-`k` most distant samples of the pass as reseed
+    /// candidates.
+    fn remember_farthest(&mut self, dist: f64, sample: &[f64]) {
+        let cap = self.config.k;
+        if self.farthest.len() == cap && dist <= self.farthest[cap - 1].0 {
+            return;
+        }
+        let pos = self
+            .farthest
+            .iter()
+            .position(|(d, _)| dist > *d)
+            .unwrap_or(self.farthest.len());
+        self.farthest.insert(pos, (dist, sample.to_vec()));
+        self.farthest.truncate(cap);
+    }
+
+    /// Ends one SGD pass: clusters that received no members are reseeded to
+    /// the most distant samples observed during the pass (their learning
+    /// rate is reset so they adapt quickly).
+    pub fn end_pass(&mut self) {
+        if let Some(centroids) = self.centroids.as_mut() {
+            let mut candidates = std::mem::take(&mut self.farthest).into_iter();
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                if self.pass_members[c] == 0 {
+                    if let Some((_, sample)) = candidates.next() {
+                        *centroid = sample;
+                        self.counts[c] = 1;
+                    }
+                }
+            }
+        }
+        self.farthest.clear();
+        self.pass_members = vec![0; self.config.k];
+    }
+
+    /// Forces initialisation when the stream ended before `init_size`
+    /// samples arrived: the buffered samples are clustered directly with
+    /// full-batch k-means++ + Lloyd (the buffer is small by construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyDataset`] when no samples were ever fed.
+    pub fn ensure_initialized(&mut self) -> Result<(), DataError> {
+        if self.centroids.is_some() {
+            return Ok(());
+        }
+        if self.init_buffer.is_empty() {
+            return Err(DataError::EmptyDataset);
+        }
+        let buffer = std::mem::take(&mut self.init_buffer);
+        let k = self.config.k.min(buffer.len());
+        let model = crate::kmeans::kmeans(
+            &buffer,
+            &KMeansConfig {
+                k,
+                seed: mix_seed(self.config.seed, 0),
+                ..KMeansConfig::default()
+            },
+        )?;
+        let mut centroids = model.centroids().to_vec();
+        let mut i = 0usize;
+        while centroids.len() < self.config.k {
+            centroids.push(buffer[i % buffer.len()].clone());
+            i += 1;
+        }
+        for c in 0..k {
+            self.counts[c] = model
+                .assignments()
+                .iter()
+                .filter(|&&a| a == c)
+                .count()
+                .max(1) as u64;
+        }
+        self.centroids = Some(centroids);
+        Ok(())
+    }
+
+    /// Starts an exact streaming-Lloyd refinement pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyDataset`] if initialisation never ran.
+    pub fn begin_polish(&mut self) -> Result<(), DataError> {
+        self.ensure_initialized()?;
+        self.polish = Some((
+            vec![vec![0.0; self.dim]; self.config.k],
+            vec![0; self.config.k],
+            0.0,
+        ));
+        Ok(())
+    }
+
+    /// Accumulates one chunk into the current polish pass (parallel over
+    /// fixed shards, reduced in shard order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] outside a polish pass and
+    /// dimension errors for bad samples.
+    pub fn feed_polish(&mut self, samples: &[Vec<f64>]) -> Result<(), DataError> {
+        self.check_dims(samples)?;
+        // Validate the phase before any work: an active polish pass implies
+        // `begin_polish` ran, which implies initialisation.
+        if self.polish.is_none() {
+            return Err(DataError::InvalidParameter(
+                "feed_polish called outside a polish pass".to_string(),
+            ));
+        }
+        let centroids = self
+            .centroids
+            .as_deref()
+            .expect("begin_polish initialises centroids");
+        let k = self.config.k;
+        let dim = self.dim;
+        let partials: Vec<ShardPartial> =
+            par_chunk_map(self.threads, samples, ASSIGN_SHARD, |_, shard| {
+                let mut partial = ShardPartial {
+                    sums: vec![vec![0.0; dim]; k],
+                    counts: vec![0; k],
+                    inertia: 0.0,
+                };
+                for s in shard {
+                    let (c, d) = nearest(centroids, s);
+                    partial.counts[c] += 1;
+                    partial.inertia += d;
+                    for (acc, v) in partial.sums[c].iter_mut().zip(s.iter()) {
+                        *acc += v;
+                    }
+                }
+                partial
+            });
+        let (sums, counts, inertia) = self
+            .polish
+            .as_mut()
+            .expect("phase validated at function entry");
+        for partial in partials {
+            for (global, local) in sums.iter_mut().zip(partial.sums) {
+                for (g, l) in global.iter_mut().zip(local) {
+                    *g += l;
+                }
+            }
+            for (g, l) in counts.iter_mut().zip(partial.counts) {
+                *g += l;
+            }
+            *inertia += partial.inertia;
+        }
+        Ok(())
+    }
+
+    /// Finishes a polish pass: recomputes centroids as member means (empty
+    /// clusters keep their previous position) and returns `(total squared
+    /// centroid movement, inertia against the pre-update centroids)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] outside a polish pass.
+    pub fn end_polish(&mut self) -> Result<(f64, f64), DataError> {
+        let (sums, counts, inertia) = self.polish.take().ok_or_else(|| {
+            DataError::InvalidParameter("end_polish called outside a polish pass".to_string())
+        })?;
+        let centroids = self.centroids.as_mut().expect("polish requires centroids");
+        let mut movement = 0.0;
+        for ((centroid, sum), &count) in centroids.iter_mut().zip(sums.iter()).zip(counts.iter()) {
+            if count == 0 {
+                continue;
+            }
+            let mut dist = 0.0;
+            for (cv, sv) in centroid.iter_mut().zip(sum.iter()) {
+                let new = sv / count as f64;
+                dist += (new - *cv) * (new - *cv);
+                *cv = new;
+            }
+            movement += dist;
+        }
+        Ok((movement, inertia))
+    }
+
+    /// Computes the inertia of one chunk against the current centroids
+    /// (assignment only, no updates).
+    ///
+    /// # Errors
+    ///
+    /// Returns dimension errors for bad samples and
+    /// [`DataError::EmptyDataset`] before initialisation.
+    pub fn chunk_inertia(&self, samples: &[Vec<f64>]) -> Result<f64, DataError> {
+        self.check_dims(samples)?;
+        let centroids = self.centroids.as_deref().ok_or(DataError::EmptyDataset)?;
+        let partials = par_chunk_map(self.threads, samples, ASSIGN_SHARD, |_, shard| {
+            inertia_of(centroids, shard)
+        });
+        Ok(partials.into_iter().sum())
+    }
+
+    /// Consumes the accumulator and returns the centroids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyDataset`] when no samples were ever fed.
+    pub fn into_centroids(mut self) -> Result<Vec<Vec<f64>>, DataError> {
+        self.ensure_initialized()?;
+        Ok(self.centroids.expect("ensure_initialized sets centroids"))
+    }
+}
+
+/// Fits mini-batch k-means over a [`SampleSource`] with the default worker
+/// count.
+///
+/// # Errors
+///
+/// Propagates configuration, source, and dimension errors.
+pub fn minibatch_kmeans(
+    source: &mut dyn SampleSource,
+    config: &MiniBatchKMeansConfig,
+) -> Result<MiniBatchKMeansModel, DataError> {
+    minibatch_kmeans_with_threads(source, config, enq_parallel::default_threads())
+}
+
+/// [`minibatch_kmeans`] with an explicit worker count. The result is
+/// bit-identical for every `threads` value.
+///
+/// # Errors
+///
+/// Same contract as [`minibatch_kmeans`].
+pub fn minibatch_kmeans_with_threads(
+    source: &mut dyn SampleSource,
+    config: &MiniBatchKMeansConfig,
+    threads: NonZeroUsize,
+) -> Result<MiniBatchKMeansModel, DataError> {
+    let mut acc = MiniBatchKMeans::new(config.clone(), source.feature_dim(), threads)?;
+    let mut samples_per_pass = 0usize;
+    for pass in 0..config.passes {
+        source.reset()?;
+        let mut seen = 0usize;
+        for_each_chunk(source, config.chunk_size, |chunk| {
+            seen += chunk.len();
+            acc.feed(chunk.samples())
+        })?;
+        if pass == 0 {
+            samples_per_pass = seen;
+        }
+        acc.end_pass();
+    }
+    acc.ensure_initialized()?;
+
+    let mut polish_passes = 0usize;
+    for _ in 0..config.polish_passes {
+        source.reset()?;
+        acc.begin_polish()?;
+        for_each_chunk(source, config.chunk_size, |chunk| {
+            acc.feed_polish(chunk.samples())
+        })?;
+        let (movement, _) = acc.end_polish()?;
+        polish_passes += 1;
+        if movement < config.tolerance {
+            break;
+        }
+    }
+
+    // Dedicated final pass: inertia against the *final* centroids.
+    source.reset()?;
+    let mut inertia = 0.0;
+    for_each_chunk(source, config.chunk_size, |chunk| {
+        inertia += acc.chunk_inertia(chunk.samples())?;
+        Ok(())
+    })?;
+
+    Ok(MiniBatchKMeansModel {
+        centroids: acc.into_centroids()?,
+        inertia,
+        samples_per_pass,
+        sgd_passes: config.passes,
+        polish_passes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::kmeans::{kmeans, KMeansConfig};
+    use crate::stream::InMemorySource;
+
+    fn blob_dataset(per_blob: usize) -> Dataset {
+        let centers = [[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]];
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..per_blob {
+            for (b, c) in centers.iter().enumerate() {
+                samples.push(vec![
+                    c[0] + rng.gen_range(-0.5..0.5),
+                    c[1] + rng.gen_range(-0.5..0.5),
+                ]);
+                labels.push(b);
+            }
+        }
+        Dataset::new("blobs", samples, labels).unwrap()
+    }
+
+    fn config(k: usize) -> MiniBatchKMeansConfig {
+        MiniBatchKMeansConfig {
+            k,
+            chunk_size: 16,
+            passes: 3,
+            polish_passes: 3,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let data = blob_dataset(40);
+        let mut source = InMemorySource::new(&data);
+        let model = minibatch_kmeans(&mut source, &config(3)).unwrap();
+        assert_eq!(model.num_clusters(), 3);
+        assert_eq!(model.samples_per_pass(), 120);
+        // Every true center has a centroid within 1.
+        for center in [[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]] {
+            let (_, d) = model.nearest_centroid(&center).unwrap();
+            assert!(d < 1.0, "blob center {center:?} unexplained, d² = {d}");
+        }
+        assert!(model.nearest_centroid(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let data = blob_dataset(30);
+        let cfg = config(3);
+        let fit = |threads: usize| {
+            let mut source = InMemorySource::new(&data);
+            minibatch_kmeans_with_threads(&mut source, &cfg, NonZeroUsize::new(threads).unwrap())
+                .unwrap()
+        };
+        let one = fit(1);
+        for threads in [2, 4, 7] {
+            let other = fit(threads);
+            assert_eq!(
+                one, other,
+                "mini-batch k-means drifted at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn inertia_close_to_full_batch_lloyd() {
+        let data = blob_dataset(50);
+        let mut source = InMemorySource::new(&data);
+        let streaming = minibatch_kmeans(&mut source, &config(3)).unwrap();
+        let full = kmeans(
+            data.samples(),
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            streaming.inertia() <= full.inertia() * 1.05 + 1e-9,
+            "streaming {} vs full-batch {}",
+            streaming.inertia(),
+            full.inertia()
+        );
+    }
+
+    #[test]
+    fn tiny_streams_fall_back_to_exact_kmeans() {
+        // Fewer samples than init_size: the accumulator must still produce k
+        // centroids from the buffered fallback.
+        let data = Dataset::new(
+            "tiny",
+            vec![vec![0.0, 0.0], vec![10.0, 10.0], vec![0.1, 0.1]],
+            vec![0, 1, 0],
+        )
+        .unwrap();
+        let mut source = InMemorySource::new(&data);
+        let model = minibatch_kmeans(&mut source, &config(2)).unwrap();
+        assert_eq!(model.num_clusters(), 2);
+        let (a, _) = model.nearest_centroid(&[0.0, 0.0]).unwrap();
+        let (b, _) = model.nearest_centroid(&[10.0, 10.0]).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_cluster_reseeding_spreads_centroids() {
+        // k = 3 on data with three blobs but an adversarial init buffer
+        // (first chunk all from one blob) still ends with every blob
+        // explained, thanks to farthest-sample reseeding.
+        let mut samples = Vec::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..40 {
+            samples.push(vec![rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1)]);
+        }
+        for _ in 0..40 {
+            samples.push(vec![
+                20.0 + rng.gen_range(-0.1..0.1),
+                rng.gen_range(-0.1..0.1),
+            ]);
+        }
+        for _ in 0..40 {
+            samples.push(vec![
+                -20.0 + rng.gen_range(-0.1..0.1),
+                rng.gen_range(-0.1..0.1),
+            ]);
+        }
+        let labels = vec![0; samples.len()];
+        let data = Dataset::new("adversarial", samples, labels).unwrap();
+        let mut source = InMemorySource::new(&data);
+        let model = minibatch_kmeans(
+            &mut source,
+            &MiniBatchKMeansConfig {
+                k: 3,
+                chunk_size: 40,
+                init_size: 40,
+                passes: 3,
+                polish_passes: 4,
+                seed: 11,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for center in [[0.0, 0.0], [20.0, 0.0], [-20.0, 0.0]] {
+            let (_, d) = model.nearest_centroid(&center).unwrap();
+            assert!(d < 1.0, "blob at {center:?} has no centroid (d² = {d})");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let data = blob_dataset(5);
+        let mut source = InMemorySource::new(&data);
+        for bad in [
+            MiniBatchKMeansConfig {
+                k: 0,
+                ..Default::default()
+            },
+            MiniBatchKMeansConfig {
+                chunk_size: 0,
+                ..Default::default()
+            },
+            MiniBatchKMeansConfig {
+                passes: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(minibatch_kmeans(&mut source, &bad).is_err());
+        }
+        assert!(
+            MiniBatchKMeans::new(MiniBatchKMeansConfig::default(), 0, NonZeroUsize::MIN).is_err()
+        );
+    }
+
+    #[test]
+    fn feed_polish_outside_a_pass_is_an_error_not_a_panic() {
+        let mut acc =
+            MiniBatchKMeans::new(MiniBatchKMeansConfig::default(), 2, NonZeroUsize::MIN).unwrap();
+        // Never initialised, never in a polish pass: must error, not panic.
+        let err = acc.feed_polish(&[vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, DataError::InvalidParameter(_)), "{err}");
+        assert!(acc.end_polish().is_err());
+        // After feeding and beginning a polish pass it works.
+        acc.feed(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        acc.begin_polish().unwrap();
+        acc.feed_polish(&[vec![0.5, 0.5]]).unwrap();
+        acc.end_polish().unwrap();
+    }
+
+    #[test]
+    fn inertia_of_matches_definition() {
+        let centroids = vec![vec![0.0, 0.0], vec![10.0, 0.0]];
+        let samples = vec![vec![1.0, 0.0], vec![9.0, 0.0], vec![5.0, 0.0]];
+        // 1 + 1 + 25.
+        assert!((inertia_of(&centroids, &samples) - 27.0).abs() < 1e-12);
+    }
+}

@@ -21,16 +21,59 @@ pub struct Pca {
     explained_variance: Vec<f64>,
 }
 
+/// Relative variance threshold below which a principal direction is treated
+/// as numerically nonexistent: eigenvalues under `λ_max · RANK_REL_TOL` are
+/// rank-deficiency artefacts of centering (fewer samples than components) or
+/// constant features, not real structure.
+pub(crate) const RANK_REL_TOL: f64 = 1e-12;
+
 impl Pca {
-    /// Fits a PCA model with `num_components` components.
+    /// Assembles a model from already-validated parts (used by the
+    /// incremental fit; invariants — orthonormal components of length
+    /// `mean.len()`, descending variances — are the caller's responsibility).
+    pub(crate) fn from_parts(
+        mean: Vec<f64>,
+        components: Vec<Vec<f64>>,
+        explained_variance: Vec<f64>,
+    ) -> Self {
+        Self {
+            mean,
+            components,
+            explained_variance,
+        }
+    }
+
+    /// Fits a PCA model with exactly `num_components` components.
     ///
     /// # Errors
     ///
     /// Returns [`DataError::EmptyDataset`] for no samples,
-    /// [`DataError::DimensionMismatch`] for ragged samples, and
+    /// [`DataError::DimensionMismatch`] for ragged samples,
     /// [`DataError::InvalidParameter`] if `num_components` is zero or larger
-    /// than the feature dimension.
+    /// than the feature dimension, and [`DataError::RankDeficient`] when the
+    /// centered data has fewer non-negligible directions of variance than
+    /// requested (zero-variance features, duplicated samples, or fewer
+    /// samples than components) — previously such fits silently emitted
+    /// degenerate, unnormalised trailing components. Callers that can accept
+    /// fewer components should use [`Pca::fit_truncated`].
     pub fn fit(samples: &[Vec<f64>], num_components: usize) -> Result<Self, DataError> {
+        let pca = Self::fit_truncated(samples, num_components)?;
+        if pca.num_components() < num_components {
+            return Err(DataError::RankDeficient {
+                requested: num_components,
+                effective: pca.num_components(),
+            });
+        }
+        Ok(pca)
+    }
+
+    /// Fits a PCA model with *up to* `max_components` components, truncating
+    /// at the effective rank of the centered data instead of erroring.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pca::fit`] except rank deficiency, which truncates.
+    pub fn fit_truncated(samples: &[Vec<f64>], num_components: usize) -> Result<Self, DataError> {
         if samples.is_empty() {
             return Err(DataError::EmptyDataset);
         }
@@ -66,15 +109,28 @@ impl Pca {
         let mut q: Vec<Vec<f64>> = (0..sketch)
             .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
             .collect();
-        orthonormalize(&mut q);
+        q = orthonormalize(q);
 
         // Two rounds of power iteration: Q ← orth(Cov · Q), where
         // Cov · Q = Xcᵀ (Xc Q) / (n−1) is computed without forming Cov.
+        // Rank-deficient data (fewer samples than the sketch, constant
+        // features) collapses Cov·Q into a lower-dimensional span;
+        // `orthonormalize` *drops* the dependent columns, so the sketch
+        // shrinks to the numerical rank instead of carrying amplified noise
+        // directions that used to corrupt eigenvalues and component norms.
         for _ in 0..2 {
             let projected = apply_covariance(samples, &mean, &q, denom);
-            q = projected;
-            orthonormalize(&mut q);
+            q = orthonormalize(projected);
         }
+        if q.is_empty() {
+            // Zero-variance data: no principal direction exists at all.
+            return Ok(Self {
+                mean,
+                components: Vec::new(),
+                explained_variance: Vec::new(),
+            });
+        }
+        let sketch = q.len();
 
         // Rayleigh–Ritz on the sketch subspace: B = Qᵀ Cov Q = ZᵀZ/(n−1) with
         // Z = Xc Q.
@@ -93,10 +149,23 @@ impl Pca {
         }
         let eig = symmetric_eigen(&b)?;
 
-        // components[c] = Σ_s V[s][c] · q[s], for the top `num_components`.
-        let mut components = Vec::with_capacity(num_components);
-        let mut explained_variance = Vec::with_capacity(num_components);
-        for c in 0..num_components {
+        // Effective rank: eigenvalues below `λ_max · RANK_REL_TOL` are noise
+        // directions from a rank-deficient scatter, not real variance; the
+        // q-columns backing them are numerically meaningless, so emitting
+        // them would hand callers degenerate axes.
+        let lambda_max = eig.eigenvalues.first().copied().unwrap_or(0.0).max(0.0);
+        let rank_floor = lambda_max * RANK_REL_TOL;
+        let kept = (0..num_components.min(sketch))
+            .take_while(|&c| {
+                let lambda = eig.eigenvalues[c];
+                lambda.is_finite() && lambda > rank_floor && lambda > 0.0
+            })
+            .count();
+
+        // components[c] = Σ_s V[s][c] · q[s], for the top `kept`.
+        let mut components = Vec::with_capacity(kept);
+        let mut explained_variance = Vec::with_capacity(kept);
+        for c in 0..kept {
             let mut axis = vec![0.0; dim];
             for (s, q_col) in q.iter().enumerate() {
                 let w = eig.eigenvectors[(s, c)];
@@ -230,27 +299,36 @@ fn apply_covariance(
 }
 
 /// Orthonormalises a set of columns (each of length `d`) with modified
-/// Gram-Schmidt.
-fn orthonormalize(columns: &mut [Vec<f64>]) {
-    for j in 0..columns.len() {
-        for prev in 0..j {
-            let dot: f64 = columns[j]
-                .iter()
-                .zip(columns[prev].iter())
-                .map(|(a, b)| a * b)
-                .sum();
-            let prev_col = columns[prev].clone();
-            for (v, p) in columns[j].iter_mut().zip(prev_col.iter()) {
-                *v -= dot * p;
+/// Gram-Schmidt, **dropping** columns that are numerically dependent on the
+/// ones already kept: a residual below `1e-10` of the column's original norm
+/// carries no new direction, only amplified rounding noise. The returned set
+/// therefore spans the numerical range of the input and is orthonormal to
+/// working precision (each survivor is orthogonalised twice — the classic
+/// "twice is enough" re-orthogonalisation).
+fn orthonormalize(columns: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    let mut kept: Vec<Vec<f64>> = Vec::with_capacity(columns.len());
+    for mut col in columns {
+        let original: f64 = col.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if !(original.is_finite() && original > 0.0) {
+            continue;
+        }
+        for _ in 0..2 {
+            for prev in &kept {
+                let dot: f64 = col.iter().zip(prev.iter()).map(|(a, b)| a * b).sum();
+                for (v, p) in col.iter_mut().zip(prev.iter()) {
+                    *v -= dot * p;
+                }
             }
         }
-        let norm: f64 = columns[j].iter().map(|v| v * v).sum::<f64>().sqrt();
-        if norm > 1e-14 {
-            for v in columns[j].iter_mut() {
+        let norm: f64 = col.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > original * 1e-10 {
+            for v in col.iter_mut() {
                 *v /= norm;
             }
+            kept.push(col);
         }
     }
+    kept
 }
 
 #[cfg(test)]
@@ -342,6 +420,65 @@ mod tests {
             let mean: f64 = projections.iter().map(|p| p[c]).sum::<f64>() / samples.len() as f64;
             assert!(mean.abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn rank_deficient_fit_is_an_error_not_garbage() {
+        // Zero variance: every sample identical. No principal direction
+        // exists, so requesting even one component must fail loudly.
+        let constant = vec![vec![3.0, 1.0, 4.0]; 12];
+        assert!(matches!(
+            Pca::fit(&constant, 1),
+            Err(DataError::RankDeficient {
+                requested: 1,
+                effective: 0
+            })
+        ));
+
+        // Fewer samples than components: 3 centered samples span at most a
+        // 2-dimensional subspace of the 10-dimensional feature space.
+        let mut rng = StdRng::seed_from_u64(77);
+        let three: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..10).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        match Pca::fit(&three, 5) {
+            Err(DataError::RankDeficient {
+                requested,
+                effective,
+            }) => {
+                assert_eq!(requested, 5);
+                assert!(effective <= 2, "effective rank {effective} > n - 1");
+            }
+            other => panic!("expected RankDeficient, got {other:?}"),
+        }
+
+        // Within-rank requests on the same data still succeed, and every
+        // emitted component is unit-norm.
+        let ok = Pca::fit(&three, 2).unwrap();
+        for axis in ok.components() {
+            let norm: f64 = axis.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-6, "component norm {norm}");
+        }
+    }
+
+    #[test]
+    fn fit_truncated_clamps_to_effective_rank() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let three: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..10).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let pca = Pca::fit_truncated(&three, 8).unwrap();
+        assert!(pca.num_components() <= 2);
+        assert!(pca.num_components() >= 1);
+        for axis in pca.components() {
+            let norm: f64 = axis.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-6, "component norm {norm}");
+        }
+        // Projections still work at the truncated width.
+        assert_eq!(
+            pca.transform(&three[0]).unwrap().len(),
+            pca.num_components()
+        );
     }
 
     #[test]

@@ -3,7 +3,10 @@
 
 use crate::dataset::Dataset;
 use crate::error::DataError;
+use crate::incremental::IncrementalPca;
 use crate::pca::Pca;
+use crate::stream::{for_each_chunk, SampleChunk, SampleSource};
+use std::num::NonZeroUsize;
 
 /// Returns an L2-normalised copy of a vector.
 ///
@@ -49,12 +52,77 @@ impl FeaturePipeline {
     /// Fits the pipeline on a dataset, producing `output_dim` features per
     /// sample (for the paper's 8-qubit experiments, `output_dim = 256`).
     ///
+    /// When the training set has effective rank below `output_dim` (fewer
+    /// samples than features, constant pixels), the PCA keeps only the
+    /// informative directions and [`FeaturePipeline::apply`] zero-pads the
+    /// projection back to `output_dim` — trailing coordinates that used to
+    /// be numerical noise from degenerate components are now exactly zero.
+    ///
     /// # Errors
     ///
     /// Propagates PCA fitting errors.
     pub fn fit(dataset: &Dataset, output_dim: usize) -> Result<Self, DataError> {
-        let pca = Pca::fit(dataset.samples(), output_dim)?;
+        let pca = Pca::fit_truncated(dataset.samples(), output_dim)?;
         Ok(Self { pca, output_dim })
+    }
+
+    /// Wraps an already-fitted PCA model (e.g. from [`IncrementalPca`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] if the model yields more than
+    /// `output_dim` components.
+    pub fn from_pca(pca: Pca, output_dim: usize) -> Result<Self, DataError> {
+        if pca.num_components() > output_dim {
+            return Err(DataError::InvalidParameter(format!(
+                "PCA produces {} components but the pipeline outputs {} features",
+                pca.num_components(),
+                output_dim
+            )));
+        }
+        Ok(Self { pca, output_dim })
+    }
+
+    /// Fits the pipeline out-of-core from a [`SampleSource`] with
+    /// [`IncrementalPca`]: one pass over the source, `O(chunk × dim)`
+    /// resident memory. On data whose effective rank stays within the
+    /// incremental sketch this reproduces [`FeaturePipeline::fit`] up to
+    /// component sign.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source and PCA errors.
+    pub fn fit_streaming(
+        source: &mut dyn SampleSource,
+        output_dim: usize,
+        chunk_size: usize,
+    ) -> Result<Self, DataError> {
+        Self::fit_streaming_with_threads(
+            source,
+            output_dim,
+            chunk_size,
+            enq_parallel::default_threads(),
+        )
+    }
+
+    /// [`FeaturePipeline::fit_streaming`] with an explicit worker count
+    /// (bit-identical results for every `threads` value).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FeaturePipeline::fit_streaming`].
+    pub fn fit_streaming_with_threads(
+        source: &mut dyn SampleSource,
+        output_dim: usize,
+        chunk_size: usize,
+        threads: NonZeroUsize,
+    ) -> Result<Self, DataError> {
+        let mut ipca = IncrementalPca::with_threads(source.feature_dim(), output_dim, threads)?;
+        source.reset()?;
+        for_each_chunk(source, chunk_size, |chunk| {
+            ipca.partial_fit(chunk.samples())
+        })?;
+        Self::from_pca(ipca.finalize_truncated()?, output_dim)
     }
 
     /// Returns the number of output features.
@@ -69,15 +137,19 @@ impl FeaturePipeline {
 
     /// Maps one raw sample to its normalised feature vector.
     ///
-    /// Samples that project onto the zero vector (extremely unlikely for real
-    /// data) receive a deterministic basis vector so they remain embeddable.
+    /// If the fitted PCA carries fewer than `output_dim` components (rank-
+    /// deficient training data), the projection is zero-padded to
+    /// `output_dim` before normalisation. Samples that project onto the zero
+    /// vector (extremely unlikely for real data) receive a deterministic
+    /// basis vector so they remain embeddable.
     ///
     /// # Errors
     ///
     /// Returns [`DataError::DimensionMismatch`] if the sample has the wrong
     /// raw dimension.
     pub fn apply(&self, sample: &[f64]) -> Result<Vec<f64>, DataError> {
-        let projected = self.pca.transform(sample)?;
+        let mut projected = self.pca.transform(sample)?;
+        projected.resize(self.output_dim, 0.0);
         match l2_normalize(&projected) {
             Ok(v) => Ok(v),
             Err(_) => {
@@ -101,6 +173,56 @@ impl FeaturePipeline {
             samples?,
             dataset.labels().to_vec(),
         )
+    }
+
+    /// Adapts a raw [`SampleSource`] into one that yields this pipeline's
+    /// normalised feature vectors, chunk by chunk — the streaming analogue
+    /// of [`FeaturePipeline::apply_dataset`]. Labels pass through.
+    pub fn stream_features<'a>(
+        &'a self,
+        source: &'a mut dyn SampleSource,
+    ) -> TransformedSource<'a> {
+        TransformedSource {
+            pipeline: self,
+            inner: source,
+            raw: SampleChunk::new(),
+        }
+    }
+}
+
+/// A [`SampleSource`] adapter applying a fitted [`FeaturePipeline`] to every
+/// sample of an underlying raw source (see
+/// [`FeaturePipeline::stream_features`]).
+pub struct TransformedSource<'a> {
+    pipeline: &'a FeaturePipeline,
+    inner: &'a mut dyn SampleSource,
+    raw: SampleChunk,
+}
+
+impl SampleSource for TransformedSource<'_> {
+    fn feature_dim(&self) -> usize {
+        self.pipeline.output_dim()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.inner.len_hint()
+    }
+
+    fn reset(&mut self) -> Result<(), DataError> {
+        self.inner.reset()
+    }
+
+    fn next_chunk(
+        &mut self,
+        max_samples: usize,
+        chunk: &mut SampleChunk,
+    ) -> Result<usize, DataError> {
+        let n = self.inner.next_chunk(max_samples, &mut self.raw)?;
+        chunk.clear();
+        for (sample, &label) in self.raw.samples().iter().zip(self.raw.labels()) {
+            chunk.push(self.pipeline.apply(sample)?, label);
+        }
+        Ok(n)
     }
 }
 
@@ -151,6 +273,66 @@ mod tests {
         assert_eq!(transformed.len(), data.len());
         assert_eq!(transformed.labels(), data.labels());
         assert_eq!(transformed.feature_dim(), 8);
+    }
+
+    #[test]
+    fn rank_deficient_fit_zero_pads_instead_of_emitting_noise() {
+        // 10 samples can carry at most 9 centered directions; a 16-feature
+        // pipeline must zero the trailing coordinates, not fill them with
+        // degenerate-component noise.
+        let data = generate_synthetic(
+            DatasetKind::MnistLike,
+            &SyntheticConfig {
+                classes: 2,
+                samples_per_class: 5,
+                seed: 11,
+            },
+        )
+        .unwrap();
+        let pipeline = FeaturePipeline::fit(&data, 16).unwrap();
+        assert!(pipeline.pca().num_components() <= 9);
+        let f = pipeline.apply(data.sample(0)).unwrap();
+        assert_eq!(f.len(), 16);
+        for &v in &f[pipeline.pca().num_components()..] {
+            assert_eq!(v, 0.0, "padding coordinates must be exactly zero");
+        }
+        let norm: f64 = f.iter().map(|v| v * v).sum();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_fit_produces_normalized_features() {
+        let data = small_dataset();
+        let mut source = crate::stream::InMemorySource::new(&data);
+        let pipeline = FeaturePipeline::fit_streaming(&mut source, 8, 7).unwrap();
+        assert_eq!(pipeline.output_dim(), 8);
+        for s in data.samples().iter().take(5) {
+            let f = pipeline.apply(s).unwrap();
+            assert_eq!(f.len(), 8);
+            let norm: f64 = f.iter().map(|v| v * v).sum();
+            assert!((norm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stream_features_matches_apply_dataset() {
+        let data = small_dataset();
+        let pipeline = FeaturePipeline::fit(&data, 8).unwrap();
+        let reference = pipeline.apply_dataset(&data).unwrap();
+        let mut raw = crate::stream::InMemorySource::new(&data);
+        let mut transformed = pipeline.stream_features(&mut raw);
+        let streamed = crate::stream::materialize(&mut transformed, "features").unwrap();
+        assert_eq!(streamed.samples(), reference.samples());
+        assert_eq!(streamed.labels(), reference.labels());
+    }
+
+    #[test]
+    fn from_pca_validates_width() {
+        let data = small_dataset();
+        let pipeline = FeaturePipeline::fit(&data, 8).unwrap();
+        let pca = pipeline.pca().clone();
+        assert!(FeaturePipeline::from_pca(pca.clone(), 8).is_ok());
+        assert!(FeaturePipeline::from_pca(pca, 4).is_err());
     }
 
     #[test]

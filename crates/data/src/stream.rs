@@ -1,0 +1,623 @@
+//! Chunked sample ingestion for out-of-core training.
+//!
+//! The full-batch training path materialises every sample in a
+//! [`crate::Dataset`]; at the "millions of users" scale the ROADMAP targets,
+//! that is the binding constraint long before any optimiser runs. This module
+//! defines [`SampleSource`] — a rewindable, chunk-at-a-time reader — plus the
+//! three reader families the streaming fits consume:
+//!
+//! * [`InMemorySource`] — adapts an existing [`crate::Dataset`] (the exact
+//!   reference path for equivalence tests),
+//! * [`crate::SyntheticSource`] — generates surrogate image data on the fly
+//!   with O(chunk) resident memory (see `crate::synthetic`),
+//! * [`CsvSource`] / [`BinarySource`] — on-disk readers for external data.
+//!
+//! Every consumer (incremental PCA, mini-batch k-means, the streaming
+//! pipeline builds) holds at most one chunk of samples resident, so training
+//! memory is `O(chunk_size × dim)` regardless of how many samples the source
+//! yields.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// A reusable buffer holding one chunk of (sample, label) pairs.
+///
+/// Sources append into it; drivers clear and refill it every iteration so the
+/// per-sample `Vec` allocations are recycled instead of reallocated.
+#[derive(Debug, Clone, Default)]
+pub struct SampleChunk {
+    samples: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+}
+
+impl SampleChunk {
+    /// Creates an empty chunk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes all samples, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.labels.clear();
+    }
+
+    /// Number of samples currently buffered.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the chunk holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The buffered samples.
+    pub fn samples(&self) -> &[Vec<f64>] {
+        &self.samples
+    }
+
+    /// The buffered labels (unlabelled sources push `0`).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Appends one sample with its label.
+    pub fn push(&mut self, sample: Vec<f64>, label: usize) {
+        self.samples.push(sample);
+        self.labels.push(label);
+    }
+}
+
+/// A rewindable source of labelled samples, read one bounded chunk at a time.
+///
+/// Implementations must be deterministic: two identical pass sequences over
+/// the same source yield identical samples in identical order, which is what
+/// makes the streaming fits bit-reproducible.
+pub trait SampleSource {
+    /// Per-sample feature dimension.
+    fn feature_dim(&self) -> usize;
+
+    /// Total sample count when cheaply known (used only for reporting and
+    /// pre-sizing, never for correctness).
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Rewinds the source to its first sample so another pass can run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Io`] when the underlying reader cannot rewind.
+    fn reset(&mut self) -> Result<(), DataError>;
+
+    /// Clears `chunk` and fills it with up to `max_samples` samples.
+    ///
+    /// Returns the number of samples appended; `0` means the source is
+    /// exhausted for this pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Io`] for read failures,
+    /// [`DataError::DimensionMismatch`] for malformed records, and
+    /// [`DataError::InvalidParameter`] when `max_samples` is zero.
+    fn next_chunk(
+        &mut self,
+        max_samples: usize,
+        chunk: &mut SampleChunk,
+    ) -> Result<usize, DataError>;
+}
+
+/// Runs `f` over every chunk of one pass, reusing a single buffer.
+///
+/// # Errors
+///
+/// Propagates source and callback errors.
+pub fn for_each_chunk<F>(
+    source: &mut dyn SampleSource,
+    chunk_size: usize,
+    mut f: F,
+) -> Result<(), DataError>
+where
+    F: FnMut(&SampleChunk) -> Result<(), DataError>,
+{
+    if chunk_size == 0 {
+        return Err(DataError::InvalidParameter(
+            "chunk_size must be positive".to_string(),
+        ));
+    }
+    let mut chunk = SampleChunk::new();
+    loop {
+        let n = source.next_chunk(chunk_size, &mut chunk)?;
+        if n == 0 {
+            return Ok(());
+        }
+        f(&chunk)?;
+    }
+}
+
+/// Materialises every sample of one pass into a [`Dataset`] (test and
+/// reference-baseline helper — this is exactly the O(N × dim) allocation the
+/// streaming path avoids).
+///
+/// # Errors
+///
+/// Propagates source errors; an exhausted-from-the-start source yields
+/// [`DataError::EmptyDataset`].
+pub fn materialize(
+    source: &mut dyn SampleSource,
+    name: impl Into<String>,
+) -> Result<Dataset, DataError> {
+    source.reset()?;
+    let mut samples = Vec::new();
+    let mut labels = Vec::new();
+    for_each_chunk(source, 1024, |chunk| {
+        samples.extend_from_slice(chunk.samples());
+        labels.extend_from_slice(chunk.labels());
+        Ok(())
+    })?;
+    Dataset::new(name, samples, labels)
+}
+
+/// A [`SampleSource`] over an in-memory [`Dataset`].
+#[derive(Debug)]
+pub struct InMemorySource<'a> {
+    dataset: &'a Dataset,
+    cursor: usize,
+}
+
+impl<'a> InMemorySource<'a> {
+    /// Wraps a dataset.
+    pub fn new(dataset: &'a Dataset) -> Self {
+        Self { dataset, cursor: 0 }
+    }
+}
+
+impl SampleSource for InMemorySource<'_> {
+    fn feature_dim(&self) -> usize {
+        self.dataset.feature_dim()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.dataset.len())
+    }
+
+    fn reset(&mut self) -> Result<(), DataError> {
+        self.cursor = 0;
+        Ok(())
+    }
+
+    fn next_chunk(
+        &mut self,
+        max_samples: usize,
+        chunk: &mut SampleChunk,
+    ) -> Result<usize, DataError> {
+        if max_samples == 0 {
+            return Err(DataError::InvalidParameter(
+                "max_samples must be positive".to_string(),
+            ));
+        }
+        chunk.clear();
+        let end = (self.cursor + max_samples).min(self.dataset.len());
+        for i in self.cursor..end {
+            chunk.push(self.dataset.sample(i).to_vec(), self.dataset.labels()[i]);
+        }
+        let n = end - self.cursor;
+        self.cursor = end;
+        Ok(n)
+    }
+}
+
+/// A [`SampleSource`] reading comma-separated floating-point rows from disk.
+///
+/// Each non-empty line is one sample; when `labeled` the **last** column is
+/// parsed as an integer class label. The feature dimension is taken from the
+/// first row and enforced on every subsequent row.
+#[derive(Debug)]
+pub struct CsvSource {
+    path: PathBuf,
+    reader: BufReader<File>,
+    labeled: bool,
+    feature_dim: usize,
+    line_buf: String,
+    line_no: usize,
+}
+
+impl CsvSource {
+    /// Opens a CSV file and probes the first row for the feature dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Io`] for unreadable files and
+    /// [`DataError::EmptyDataset`] for files with no rows.
+    pub fn open(path: impl AsRef<Path>, labeled: bool) -> Result<Self, DataError> {
+        let path = path.as_ref().to_path_buf();
+        let mut source = Self {
+            reader: BufReader::new(File::open(&path)?),
+            path,
+            labeled,
+            feature_dim: 0,
+            line_buf: String::new(),
+            line_no: 0,
+        };
+        // Probe the first record for its width, then rewind.
+        let mut chunk = SampleChunk::new();
+        if source.next_chunk(1, &mut chunk)? == 0 {
+            return Err(DataError::EmptyDataset);
+        }
+        source.feature_dim = chunk.samples()[0].len();
+        source.reset()?;
+        Ok(source)
+    }
+
+    fn parse_line(&self, line: &str, chunk: &mut SampleChunk) -> Result<bool, DataError> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Ok(false);
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        let (value_fields, label) = if self.labeled {
+            let (label_field, values) = fields.split_last().expect("split produced >= 1 field");
+            let label = label_field.parse::<usize>().map_err(|_| {
+                DataError::Io(format!(
+                    "{}:{}: label column {label_field:?} is not a non-negative integer",
+                    self.path.display(),
+                    self.line_no
+                ))
+            })?;
+            (values, label)
+        } else {
+            (fields.as_slice(), 0)
+        };
+        let mut sample = Vec::with_capacity(value_fields.len());
+        for field in value_fields {
+            sample.push(field.parse::<f64>().map_err(|_| {
+                DataError::Io(format!(
+                    "{}:{}: field {field:?} is not a number",
+                    self.path.display(),
+                    self.line_no
+                ))
+            })?);
+        }
+        if self.feature_dim != 0 && sample.len() != self.feature_dim {
+            return Err(DataError::DimensionMismatch {
+                expected: self.feature_dim,
+                found: sample.len(),
+            });
+        }
+        chunk.push(sample, label);
+        Ok(true)
+    }
+}
+
+impl SampleSource for CsvSource {
+    fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    fn reset(&mut self) -> Result<(), DataError> {
+        self.reader.seek(SeekFrom::Start(0))?;
+        self.line_no = 0;
+        Ok(())
+    }
+
+    fn next_chunk(
+        &mut self,
+        max_samples: usize,
+        chunk: &mut SampleChunk,
+    ) -> Result<usize, DataError> {
+        if max_samples == 0 {
+            return Err(DataError::InvalidParameter(
+                "max_samples must be positive".to_string(),
+            ));
+        }
+        chunk.clear();
+        while chunk.len() < max_samples {
+            self.line_buf.clear();
+            if self.reader.read_line(&mut self.line_buf)? == 0 {
+                break;
+            }
+            self.line_no += 1;
+            let line = std::mem::take(&mut self.line_buf);
+            let pushed = self.parse_line(&line, chunk)?;
+            self.line_buf = line;
+            let _ = pushed;
+        }
+        Ok(chunk.len())
+    }
+}
+
+/// Magic bytes opening every [`BinarySource`] file.
+const BINARY_MAGIC: &[u8; 4] = b"ENQB";
+
+/// Writes samples (and labels) in the fixed-record binary layout
+/// [`BinarySource`] reads: a 17-byte header (`ENQB`, u64-LE sample count,
+/// u32-LE dim, u8 has-labels flag) followed by one record per sample —
+/// `dim` little-endian `f64`s plus, when labelled, a u64-LE label.
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`] for write failures and
+/// [`DataError::DimensionMismatch`] for ragged samples or a label/sample
+/// count mismatch.
+pub fn write_binary_dataset(
+    path: impl AsRef<Path>,
+    samples: &[Vec<f64>],
+    labels: Option<&[usize]>,
+) -> Result<(), DataError> {
+    if samples.is_empty() {
+        return Err(DataError::EmptyDataset);
+    }
+    let dim = samples[0].len();
+    if let Some(labels) = labels {
+        if labels.len() != samples.len() {
+            return Err(DataError::DimensionMismatch {
+                expected: samples.len(),
+                found: labels.len(),
+            });
+        }
+    }
+    let mut writer = std::io::BufWriter::new(File::create(path)?);
+    writer.write_all(BINARY_MAGIC)?;
+    writer.write_all(&(samples.len() as u64).to_le_bytes())?;
+    writer.write_all(&(dim as u32).to_le_bytes())?;
+    writer.write_all(&[u8::from(labels.is_some())])?;
+    for (i, sample) in samples.iter().enumerate() {
+        if sample.len() != dim {
+            return Err(DataError::DimensionMismatch {
+                expected: dim,
+                found: sample.len(),
+            });
+        }
+        for v in sample {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+        if let Some(labels) = labels {
+            writer.write_all(&(labels[i] as u64).to_le_bytes())?;
+        }
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// A [`SampleSource`] over the fixed-record binary layout produced by
+/// [`write_binary_dataset`].
+#[derive(Debug)]
+pub struct BinarySource {
+    reader: BufReader<File>,
+    num_samples: u64,
+    feature_dim: usize,
+    labeled: bool,
+    cursor: u64,
+}
+
+impl BinarySource {
+    /// Header length in bytes: magic + count + dim + label flag.
+    const HEADER_LEN: u64 = 4 + 8 + 4 + 1;
+
+    /// Opens a binary sample file and validates its header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Io`] for unreadable or malformed files.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, DataError> {
+        let path = path.as_ref();
+        let mut reader = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if &magic != BINARY_MAGIC {
+            return Err(DataError::Io(format!(
+                "{}: not an ENQB binary sample file",
+                path.display()
+            )));
+        }
+        let mut u64_buf = [0u8; 8];
+        reader.read_exact(&mut u64_buf)?;
+        let num_samples = u64::from_le_bytes(u64_buf);
+        let mut u32_buf = [0u8; 4];
+        reader.read_exact(&mut u32_buf)?;
+        let feature_dim = u32::from_le_bytes(u32_buf) as usize;
+        let mut flag = [0u8; 1];
+        reader.read_exact(&mut flag)?;
+        if feature_dim == 0 {
+            return Err(DataError::Io(format!(
+                "{}: header declares zero-dimensional samples",
+                path.display()
+            )));
+        }
+        Ok(Self {
+            reader,
+            num_samples,
+            feature_dim,
+            labeled: flag[0] != 0,
+            cursor: 0,
+        })
+    }
+
+    /// Whether each record carries a class label.
+    pub fn is_labeled(&self) -> bool {
+        self.labeled
+    }
+}
+
+impl SampleSource for BinarySource {
+    fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.num_samples as usize)
+    }
+
+    fn reset(&mut self) -> Result<(), DataError> {
+        self.reader.seek(SeekFrom::Start(Self::HEADER_LEN))?;
+        self.cursor = 0;
+        Ok(())
+    }
+
+    fn next_chunk(
+        &mut self,
+        max_samples: usize,
+        chunk: &mut SampleChunk,
+    ) -> Result<usize, DataError> {
+        if max_samples == 0 {
+            return Err(DataError::InvalidParameter(
+                "max_samples must be positive".to_string(),
+            ));
+        }
+        chunk.clear();
+        let mut f64_buf = [0u8; 8];
+        while chunk.len() < max_samples && self.cursor < self.num_samples {
+            let mut sample = Vec::with_capacity(self.feature_dim);
+            for _ in 0..self.feature_dim {
+                self.reader.read_exact(&mut f64_buf)?;
+                sample.push(f64::from_le_bytes(f64_buf));
+            }
+            let label = if self.labeled {
+                self.reader.read_exact(&mut f64_buf)?;
+                u64::from_le_bytes(f64_buf) as usize
+            } else {
+                0
+            };
+            chunk.push(sample, label);
+            self.cursor += 1;
+        }
+        Ok(chunk.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> Dataset {
+        Dataset::new(
+            "toy",
+            (0..10)
+                .map(|i| vec![i as f64, (i * i) as f64 * 0.5, -(i as f64)])
+                .collect(),
+            (0..10).map(|i| i % 3).collect(),
+        )
+        .unwrap()
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("enq_stream_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn in_memory_source_chunks_and_resets() {
+        let data = toy_dataset();
+        let mut source = InMemorySource::new(&data);
+        assert_eq!(source.feature_dim(), 3);
+        assert_eq!(source.len_hint(), Some(10));
+        let mut chunk = SampleChunk::new();
+        assert_eq!(source.next_chunk(4, &mut chunk).unwrap(), 4);
+        assert_eq!(chunk.samples()[0], data.sample(0));
+        assert_eq!(source.next_chunk(4, &mut chunk).unwrap(), 4);
+        assert_eq!(source.next_chunk(4, &mut chunk).unwrap(), 2);
+        assert_eq!(source.next_chunk(4, &mut chunk).unwrap(), 0);
+        source.reset().unwrap();
+        let round_trip = materialize(&mut source, "copy").unwrap();
+        assert_eq!(round_trip.samples(), data.samples());
+        assert_eq!(round_trip.labels(), data.labels());
+    }
+
+    #[test]
+    fn for_each_chunk_covers_every_sample_once() {
+        let data = toy_dataset();
+        let mut source = InMemorySource::new(&data);
+        let mut seen = 0usize;
+        for_each_chunk(&mut source, 3, |chunk| {
+            seen += chunk.len();
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, 10);
+        assert!(for_each_chunk(&mut source, 0, |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn csv_source_round_trips() {
+        let data = toy_dataset();
+        let path = temp_path("roundtrip.csv");
+        let mut text = String::new();
+        for (s, l) in data.samples().iter().zip(data.labels()) {
+            for v in s {
+                text.push_str(&format!("{v},"));
+            }
+            text.push_str(&format!("{l}\n"));
+        }
+        std::fs::write(&path, text).unwrap();
+        let mut source = CsvSource::open(&path, true).unwrap();
+        assert_eq!(source.feature_dim(), 3);
+        let copy = materialize(&mut source, "csv").unwrap();
+        assert_eq!(copy.labels(), data.labels());
+        for (a, b) in copy.samples().iter().zip(data.samples()) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+        // A second pass after reset yields the same samples.
+        source.reset().unwrap();
+        let copy2 = materialize(&mut source, "csv2").unwrap();
+        assert_eq!(copy.samples(), copy2.samples());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn csv_source_rejects_malformed_rows() {
+        let path = temp_path("bad.csv");
+        std::fs::write(&path, "1.0,2.0,0\n1.0,oops,1\n").unwrap();
+        let mut source = CsvSource::open(&path, true).unwrap();
+        let mut chunk = SampleChunk::new();
+        let err = source.next_chunk(8, &mut chunk).unwrap_err();
+        assert!(matches!(err, DataError::Io(_)), "{err}");
+
+        let ragged = temp_path("ragged.csv");
+        std::fs::write(&ragged, "1.0,2.0\n1.0,2.0,3.0\n").unwrap();
+        let mut source = CsvSource::open(&ragged, false).unwrap();
+        let err = source.next_chunk(8, &mut chunk).unwrap_err();
+        assert!(matches!(err, DataError::DimensionMismatch { .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&ragged).unwrap();
+    }
+
+    #[test]
+    fn binary_source_round_trips() {
+        let data = toy_dataset();
+        let path = temp_path("roundtrip.enqb");
+        write_binary_dataset(&path, data.samples(), Some(data.labels())).unwrap();
+        let mut source = BinarySource::open(&path).unwrap();
+        assert!(source.is_labeled());
+        assert_eq!(source.feature_dim(), 3);
+        assert_eq!(source.len_hint(), Some(10));
+        let copy = materialize(&mut source, "bin").unwrap();
+        // f64 round-trip through to_le_bytes is exact.
+        assert_eq!(copy.samples(), data.samples());
+        assert_eq!(copy.labels(), data.labels());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn binary_source_unlabeled_and_bad_magic() {
+        let data = toy_dataset();
+        let path = temp_path("unlabeled.enqb");
+        write_binary_dataset(&path, data.samples(), None).unwrap();
+        let mut source = BinarySource::open(&path).unwrap();
+        assert!(!source.is_labeled());
+        let copy = materialize(&mut source, "bin").unwrap();
+        assert!(copy.labels().iter().all(|&l| l == 0));
+
+        let bad = temp_path("bad.enqb");
+        std::fs::write(&bad, b"NOPE............................").unwrap();
+        assert!(matches!(BinarySource::open(&bad), Err(DataError::Io(_))));
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&bad).unwrap();
+    }
+}

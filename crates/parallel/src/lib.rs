@@ -82,6 +82,30 @@ where
         .collect()
 }
 
+/// Applies `f` to fixed-size contiguous shards of `items` in parallel and
+/// returns the per-shard results **in shard order**.
+///
+/// The shard boundaries depend only on `items.len()` and `shard_size` — never
+/// on the worker count — so a caller that reduces the returned vector
+/// sequentially gets a bit-identical reduction for any thread count. This is
+/// the primitive the streaming fits (mini-batch k-means assignment, streaming
+/// Lloyd accumulation, incremental-PCA Gram products) build their
+/// deterministic parallel reductions on.
+///
+/// # Panics
+///
+/// Panics if `shard_size` is zero.
+pub fn par_chunk_map<T, R, F>(threads: NonZeroUsize, items: &[T], shard_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(shard_size > 0, "shard_size must be positive");
+    let shards: Vec<&[T]> = items.chunks(shard_size).collect();
+    par_map_with_threads(threads, &shards, |i, shard| f(i, shard))
+}
+
 /// Applies a fallible `f` in parallel. On success returns all results in
 /// input order; on failure returns the lowest-index error **among the items
 /// that ran** — once any worker observes a failure, items not yet claimed
@@ -174,6 +198,44 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(par_map(&empty, |_, &x| x).is_empty());
         assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_chunk_map_shards_are_thread_count_invariant() {
+        let items: Vec<f64> = (0..1000).map(|i| (i as f64) * 0.25 - 100.0).collect();
+        // A floating-point reduction whose result depends on summation
+        // order: identical shard boundaries must give identical partials.
+        let partial_sums = |threads: usize| -> Vec<f64> {
+            par_chunk_map(
+                NonZeroUsize::new(threads).unwrap(),
+                &items,
+                64,
+                |_, shard| shard.iter().map(|v| v * 1.000_000_1).sum::<f64>(),
+            )
+        };
+        let one = partial_sums(1);
+        assert_eq!(one.len(), 1000usize.div_ceil(64));
+        for threads in [2, 3, 8] {
+            let many = partial_sums(threads);
+            for (a, b) in one.iter().zip(many.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunk_map_covers_every_item_in_order() {
+        let items: Vec<usize> = (0..103).collect();
+        let shards = par_chunk_map(NonZeroUsize::new(4).unwrap(), &items, 10, |i, shard| {
+            (i, shard.to_vec())
+        });
+        assert_eq!(shards.len(), 11);
+        let mut flat = Vec::new();
+        for (i, (idx, shard)) in shards.into_iter().enumerate() {
+            assert_eq!(i, idx);
+            flat.extend(shard);
+        }
+        assert_eq!(flat, items);
     }
 
     #[test]

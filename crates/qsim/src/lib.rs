@@ -9,7 +9,7 @@
 //!   fidelity (Fig. 8b),
 //! * [`NoiseChannel`] — the depolarizing / damping / thermal-relaxation
 //!   channels those models are built from,
-//! * pure and Jozsa mixed-state [fidelity](crate::fidelity) measures.
+//! * pure and Jozsa mixed-state [`fidelity`] measures.
 //!
 //! ## Example
 //!

@@ -1,0 +1,290 @@
+//! Streaming-vs-exact equivalence suite: the out-of-core training path must
+//! match the in-memory reference wherever the mathematics says it can.
+//!
+//! * incremental PCA reproduces `Pca::fit` (up to component sign) on
+//!   single-chunk input and on multi-chunk data whose rank fits the sketch,
+//! * mini-batch k-means is bit-identical across thread counts for a fixed
+//!   seed and chunk size, and its inertia stays within tolerance of
+//!   full-batch Lloyd on small datasets,
+//! * every on-disk/streaming source materialises to exactly the dataset it
+//!   was written from.
+
+use enq_data::{
+    kmeans, minibatch_kmeans_with_threads, BinarySource, CsvSource, Dataset, InMemorySource,
+    IncrementalPca, KMeansConfig, MiniBatchKMeansConfig, Pca, SampleSource,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::num::NonZeroUsize;
+
+/// Samples lying exactly in a `rank`-dimensional affine subspace, where both
+/// the randomized full-batch PCA and the incremental PCA are exact.
+fn exact_rank_samples(n: usize, dim: usize, rank: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let basis: Vec<Vec<f64>> = (0..rank)
+        .map(|r| {
+            (0..dim)
+                .map(|i| ((i as f64 + 0.9) * (r as f64 * 1.1 + 0.6)).sin())
+                .collect()
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            let weights: Vec<f64> = (0..rank)
+                .map(|r| rng.gen_range(-2.0..2.0) * (rank - r) as f64)
+                .collect();
+            (0..dim)
+                .map(|i| {
+                    1.5 + weights
+                        .iter()
+                        .zip(basis.iter())
+                        .map(|(w, b)| w * b[i])
+                        .sum::<f64>()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Maximum |projection difference| between two PCA models over the samples,
+/// allowing an independent sign flip per component.
+fn max_projection_gap(a: &Pca, b: &Pca, samples: &[Vec<f64>]) -> f64 {
+    assert_eq!(a.num_components(), b.num_components());
+    let k = a.num_components();
+    let signs: Vec<f64> = (0..k)
+        .map(|c| {
+            let d: f64 = a.components()[c]
+                .iter()
+                .zip(b.components()[c].iter())
+                .map(|(x, y)| x * y)
+                .sum();
+            if d < 0.0 {
+                -1.0
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let mut worst = 0.0f64;
+    for s in samples {
+        let pa = a.transform(s).unwrap();
+        let pb = b.transform(s).unwrap();
+        for c in 0..k {
+            worst = worst.max((pa[c] - signs[c] * pb[c]).abs());
+        }
+    }
+    worst
+}
+
+#[test]
+fn incremental_pca_single_chunk_matches_exact_fit() {
+    let samples = exact_rank_samples(56, 14, 4, 0xA11CE);
+    let exact = Pca::fit(&samples, 4).unwrap();
+    let mut ipca = IncrementalPca::new(14, 4).unwrap();
+    ipca.partial_fit(&samples).unwrap();
+    let streamed = ipca.finalize().unwrap();
+    let gap = max_projection_gap(&exact, &streamed, &samples);
+    assert!(gap < 1e-8, "single-chunk projection gap {gap:.3e}");
+    for (a, b) in exact
+        .explained_variance()
+        .iter()
+        .zip(streamed.explained_variance())
+    {
+        assert!(
+            (a - b).abs() < 1e-8 * a.max(1.0),
+            "variance drift: {a} vs {b}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn incremental_pca_matches_exact_fit_for_any_chunking(
+        seed in 0u64..1000,
+        chunk in 5usize..40,
+    ) {
+        let samples = exact_rank_samples(60, 11, 3, seed);
+        let exact = Pca::fit(&samples, 3).unwrap();
+        let mut ipca = IncrementalPca::new(11, 3).unwrap();
+        for part in samples.chunks(chunk) {
+            ipca.partial_fit(part).unwrap();
+        }
+        let streamed = ipca.finalize().unwrap();
+        let gap = max_projection_gap(&exact, &streamed, &samples);
+        prop_assert!(gap < 1e-8, "chunk {} gap {:.3e}", chunk, gap);
+    }
+
+    #[test]
+    fn minibatch_kmeans_is_seeded_deterministic_across_thread_counts(
+        seed in 0u64..1000,
+        chunk in 8usize..32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<Vec<f64>> = (0..90)
+            .map(|i| {
+                let center = (i % 3) as f64 * 8.0;
+                vec![
+                    center + rng.gen_range(-0.5..0.5),
+                    -center + rng.gen_range(-0.5..0.5),
+                ]
+            })
+            .collect();
+        let labels = vec![0usize; samples.len()];
+        let data = Dataset::new("prop", samples, labels).unwrap();
+        let config = MiniBatchKMeansConfig {
+            k: 3,
+            chunk_size: chunk,
+            passes: 2,
+            polish_passes: 2,
+            seed,
+            ..Default::default()
+        };
+        let fit = |threads: usize| {
+            let mut source = InMemorySource::new(&data);
+            minibatch_kmeans_with_threads(
+                &mut source,
+                &config,
+                NonZeroUsize::new(threads).unwrap(),
+            )
+            .unwrap()
+        };
+        let reference = fit(1);
+        for threads in [2usize, 4, 6] {
+            let other = fit(threads);
+            prop_assert_eq!(&reference, &other);
+        }
+    }
+
+    #[test]
+    fn minibatch_inertia_within_tolerance_of_lloyd(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB10B);
+        let centers = [[0.0, 0.0, 0.0], [12.0, 0.0, 4.0], [0.0, 12.0, -4.0]];
+        let samples: Vec<Vec<f64>> = (0..120)
+            .map(|i| {
+                let c = &centers[i % 3];
+                c.iter().map(|v| v + rng.gen_range(-0.8..0.8)).collect()
+            })
+            .collect();
+        let data = Dataset::new("blobs", samples, vec![0; 120]).unwrap();
+        let mut source = InMemorySource::new(&data);
+        let streaming = minibatch_kmeans_with_threads(
+            &mut source,
+            &MiniBatchKMeansConfig {
+                k: 3,
+                chunk_size: 20,
+                passes: 3,
+                polish_passes: 4,
+                seed,
+                ..Default::default()
+            },
+            NonZeroUsize::new(2).unwrap(),
+        )
+        .unwrap();
+        let full = kmeans(
+            data.samples(),
+            &KMeansConfig {
+                k: 3,
+                seed,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        prop_assert!(
+            streaming.inertia() <= full.inertia() * 1.05 + 1e-9,
+            "streaming {} vs Lloyd {}",
+            streaming.inertia(),
+            full.inertia()
+        );
+    }
+}
+
+#[test]
+fn disk_sources_round_trip_through_every_format() {
+    let samples = exact_rank_samples(25, 6, 3, 7);
+    let labels: Vec<usize> = (0..25).map(|i| i % 4).collect();
+    let data = Dataset::new("roundtrip", samples, labels).unwrap();
+
+    let dir = std::env::temp_dir();
+    let bin_path = dir.join(format!("enq_equiv_{}.enqb", std::process::id()));
+    let csv_path = dir.join(format!("enq_equiv_{}.csv", std::process::id()));
+
+    enq_data::write_binary_dataset(&bin_path, data.samples(), Some(data.labels())).unwrap();
+    let mut csv_text = String::new();
+    for (s, l) in data.samples().iter().zip(data.labels()) {
+        for v in s {
+            // 17 significant digits round-trip f64 exactly.
+            csv_text.push_str(&format!("{v:.17e},"));
+        }
+        csv_text.push_str(&format!("{l}\n"));
+    }
+    std::fs::write(&csv_path, csv_text).unwrap();
+
+    let mut in_memory = InMemorySource::new(&data);
+    let mut binary = BinarySource::open(&bin_path).unwrap();
+    let mut csv = CsvSource::open(&csv_path, true).unwrap();
+    let a = enq_data::materialize(&mut in_memory, "a").unwrap();
+    let b = enq_data::materialize(&mut binary, "b").unwrap();
+    let c = enq_data::materialize(&mut csv, "c").unwrap();
+    assert_eq!(a.samples(), b.samples());
+    assert_eq!(a.labels(), b.labels());
+    assert_eq!(a.labels(), c.labels());
+    for (x, y) in a.samples().iter().zip(c.samples()) {
+        for (p, q) in x.iter().zip(y) {
+            assert_eq!(p.to_bits(), q.to_bits(), "CSV round-trip drifted");
+        }
+    }
+
+    // Feeding any of the sources through the same streaming fit gives
+    // bit-identical PCA models.
+    let fit = |source: &mut dyn SampleSource| {
+        let mut ipca = IncrementalPca::new(6, 3).unwrap();
+        source.reset().unwrap();
+        enq_data::for_each_chunk(source, 9, |chunk| ipca.partial_fit(chunk.samples())).unwrap();
+        ipca.finalize().unwrap()
+    };
+    let mut in_memory = InMemorySource::new(&data);
+    let from_memory = fit(&mut in_memory);
+    let mut binary = BinarySource::open(&bin_path).unwrap();
+    let from_binary = fit(&mut binary);
+    assert_eq!(from_memory, from_binary);
+
+    std::fs::remove_file(&bin_path).unwrap();
+    std::fs::remove_file(&csv_path).unwrap();
+}
+
+#[test]
+fn pca_rank_deficiency_is_error_not_silent_garbage() {
+    // Regression for the randomized fit: requesting more components than
+    // the data's effective rank used to silently emit degenerate,
+    // unnormalised components *and* corrupt the leading eigenvalues.
+    let samples = exact_rank_samples(30, 9, 2, 99);
+    match Pca::fit(&samples, 6) {
+        Err(enq_data::DataError::RankDeficient {
+            requested,
+            effective,
+        }) => {
+            assert_eq!(requested, 6);
+            assert_eq!(effective, 2);
+        }
+        other => panic!("expected RankDeficient, got {other:?}"),
+    }
+    // The truncating fit keeps exactly the real directions, unit-norm.
+    let truncated = Pca::fit_truncated(&samples, 6).unwrap();
+    assert_eq!(truncated.num_components(), 2);
+    for axis in truncated.components() {
+        let norm: f64 = axis.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9, "component norm {norm}");
+    }
+    // And its leading variances agree with an exact fit of rank width.
+    let exact = Pca::fit(&samples, 2).unwrap();
+    for (a, b) in exact
+        .explained_variance()
+        .iter()
+        .zip(truncated.explained_variance())
+    {
+        assert!((a - b).abs() < 1e-8 * a.max(1.0));
+    }
+}
