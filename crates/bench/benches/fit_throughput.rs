@@ -1,16 +1,22 @@
 //! Fit-throughput benchmark: streaming (out-of-core) training vs the
-//! full-batch in-memory reference.
+//! full-batch in-memory reference, the pipelined-vs-synchronous ingestion
+//! comparison, and the adaptive fidelity-threshold cluster search.
 //!
 //! Run with `cargo bench -p enq_bench --bench fit_throughput`. Writes
 //! `BENCH_fit.json` at the repository root and enforces the acceptance
 //! gates:
 //!
-//! * the trained dataset is ≥ 10× the streaming chunk budget, and
-//! * streaming k-means inertia stays ≤ 1.05× the full-batch Lloyd inertia
-//!   on the held-in reference set.
+//! * the trained dataset is ≥ 10× the streaming chunk budget,
+//! * streaming k-means inertia stays ≤ 1.05× the full-batch Lloyd inertia,
+//! * the pipelined engine (prefetch + feature spill) is ≥ 1.3× faster than
+//!   the synchronous streaming baseline on the ingestion-bound workload
+//!   (full shape only — sub-second smoke timings are noise), and
+//! * the adaptive audit reports every cluster fidelity ≥ its threshold.
 //!
 //! Set `ENQ_FIT_BENCH_TINY=1` for a smoke run (used by CI to keep the
-//! regeneration path from rotting without paying the full measurement).
+//! regeneration path from rotting without paying the full measurement; the
+//! smoke run exercises prefetched ingestion, the spill path, and the
+//! adaptive audit end to end).
 
 use enq_bench::fit::{run, FitBenchConfig};
 use std::path::Path;
@@ -39,9 +45,8 @@ fn main() {
 
     let inertia_ratio = result.inertia_ratio();
     let scale = result.dataset_over_chunk();
-    // Both shapes satisfy the gates by construction; assert in smoke mode
-    // too so a regression in the streaming fit is caught even by the cheap
-    // CI run.
+    // The shape-invariant gates hold even in smoke mode so a regression in
+    // the streaming fit is caught by the cheap CI run too.
     assert!(
         scale >= 10.0,
         "acceptance: the dataset must be >= 10x the chunk budget (got {scale:.1}x)"
@@ -51,4 +56,19 @@ fn main() {
         "acceptance: streaming fit must reach <= 1.05x the full-batch k-means \
          inertia (got {inertia_ratio:.4}x)"
     );
+    assert!(
+        result.adaptive.min_fidelity >= result.adaptive.threshold,
+        "acceptance: adaptive audit must end with every cluster fidelity >= {} \
+         (got {:.4})",
+        result.adaptive.threshold,
+        result.adaptive.min_fidelity
+    );
+    if !tiny {
+        let speedup = result.pipelined_speedup();
+        assert!(
+            speedup >= 1.3,
+            "acceptance: pipelined ingestion must be >= 1.3x the synchronous \
+             streaming baseline (got {speedup:.2}x)"
+        );
+    }
 }

@@ -120,6 +120,25 @@ pub fn default_gates() -> Vec<GateSpec> {
             direction: Direction::AtLeast,
             threshold: Threshold::Fixed(10.0),
         },
+        // Pipelined streaming engine: prefetched ingestion + feature spill
+        // must beat the synchronous re-streaming baseline by ≥ 1.3× on the
+        // ingestion-bound benchmark (bit-identical results, pure
+        // wall-clock).
+        GateSpec {
+            file: "BENCH_fit.json",
+            key: "pipelined_speedup",
+            direction: Direction::AtLeast,
+            threshold: Threshold::Fixed(1.3),
+        },
+        // Adaptive fidelity-threshold search: every audited cluster
+        // fidelity ends at or above the recorded threshold (the per-class
+        // cap is sized so it never binds on the benchmark dataset).
+        GateSpec {
+            file: "BENCH_fit.json",
+            key: "audit_min_fidelity",
+            direction: Direction::AtLeast,
+            threshold: Threshold::FromKey("audit_threshold"),
+        },
     ]
 }
 

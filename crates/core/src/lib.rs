@@ -50,6 +50,7 @@
 
 mod ansatz;
 mod baseline;
+mod driver;
 mod error;
 pub mod evaluation;
 mod loss;
@@ -61,6 +62,7 @@ pub use ansatz::{AnsatzConfig, EntanglerKind};
 pub use baseline::{
     target_state, BaselineEmbedder, BaselineEmbedding, BASELINE_SYNTHESIS_TOLERANCE,
 };
+pub use driver::{ClassAudit, ClusterAudit, FidelityAudit, StageReport, StreamDriver, StreamStage};
 pub use error::EnqodeError;
 pub use evaluation::{evaluate_baseline_sample, evaluate_enqode_sample, SampleEvaluation};
 pub use loss::FidelityObjective;

@@ -6,37 +6,58 @@
 //! class, for unlabelled inference data). Per-class training is independent,
 //! so [`EnqodePipeline::build`] fits all class models in parallel.
 
+use crate::driver::StreamDriver;
 use crate::error::EnqodeError;
 use crate::model::{Embedding, EnqodeConfig, EnqodeModel};
 use crate::symbolic::SymbolicState;
-use enq_data::{
-    for_each_chunk, Dataset, FeaturePipeline, IncrementalPca, MiniBatchKMeans,
-    MiniBatchKMeansConfig, SampleSource,
-};
-use std::collections::BTreeMap;
+use enq_data::{Dataset, FeaturePipeline, IngestMode, SampleSource};
 use std::num::NonZeroUsize;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Shape of an out-of-core [`EnqodePipeline::build_streaming`] fit.
+/// Shape of an out-of-core streaming fit ([`EnqodePipeline::build_streaming`]
+/// / [`crate::StreamDriver`]).
 ///
 /// The streaming build holds one chunk of raw samples plus `O(k × dim)`
-/// model state resident, so memory is independent of the source length. It
-/// trades the in-memory build's adaptive fidelity-threshold cluster-count
-/// search for a fixed `clusters_per_class` (scanning `k` upward would need a
-/// full pass per candidate).
+/// model state resident, so memory is independent of the source length.
+/// Setting [`StreamingFitConfig::fidelity_threshold`] recovers the paper's
+/// adaptive cluster-count rule out-of-core: after clustering, an audit pass
+/// measures each cluster's representative fidelity and offending clusters
+/// are split until every cluster clears the threshold or
+/// [`StreamingFitConfig::max_clusters_per_class`] is reached.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamingFitConfig {
     /// Samples held resident per chunk.
     pub chunk_size: usize,
-    /// Clusters trained per class (the streaming replacement for the
-    /// fidelity-threshold `k` search of the in-memory build).
+    /// Clusters trained per class — the fixed count when
+    /// `fidelity_threshold` is `None`, the starting count of the adaptive
+    /// search otherwise.
     pub clusters_per_class: usize,
     /// Mini-batch SGD passes over the source.
     pub passes: usize,
     /// Maximum exact streaming-Lloyd refinement passes (early-stopped once
     /// centroids move less than the mini-batch tolerance).
     pub polish_passes: usize,
+    /// How source passes are driven: synchronous chunk reads between compute
+    /// steps, or double-buffered prefetch (bit-identical; the default
+    /// overlaps ingestion with compute).
+    pub ingest: IngestMode,
+    /// When `true` (the default), the PCA-transformed feature stream is
+    /// spilled once to an mmap-backed temp file after the feature stage, and
+    /// every later clustering/audit pass reads the spilled features instead
+    /// of re-reading (and re-projecting) the raw source. Disk usage is
+    /// `O(N × features)`; resident memory stays `O(chunk)`. Bit-identical to
+    /// re-streaming (features round-trip losslessly through the `ENQB`
+    /// layout).
+    pub spill_features: bool,
+    /// Minimum per-cluster representative fidelity (the closed-form
+    /// `⟨x̂, ĉ⟩²` amplitude-embedding fidelity between each member and its
+    /// centroid, an upper bound on the post-ansatz fidelity). `Some(t)`
+    /// enables the streaming fidelity-threshold `k` search; `None` keeps the
+    /// fixed `clusters_per_class` behaviour.
+    pub fidelity_threshold: Option<f64>,
+    /// Upper bound on clusters per class for the adaptive search.
+    pub max_clusters_per_class: usize,
 }
 
 impl Default for StreamingFitConfig {
@@ -46,7 +67,62 @@ impl Default for StreamingFitConfig {
             clusters_per_class: 8,
             passes: 3,
             polish_passes: 2,
+            ingest: IngestMode::default(),
+            spill_features: true,
+            fidelity_threshold: None,
+            max_clusters_per_class: 64,
         }
+    }
+}
+
+impl StreamingFitConfig {
+    /// Validates the configuration, returning a descriptive
+    /// [`EnqodeError::InvalidConfig`] instead of letting a degenerate value
+    /// panic (zero chunk reads) or silently produce a broken fit (zero
+    /// clusters, NaN thresholds) downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::InvalidConfig`] for a zero `chunk_size`,
+    /// `clusters_per_class`, or `passes`; a non-finite or out-of-range
+    /// (`(0, 1]`) `fidelity_threshold`; or an adaptive cap below the
+    /// starting cluster count.
+    pub fn validate(&self) -> Result<(), EnqodeError> {
+        if self.chunk_size == 0 {
+            return Err(EnqodeError::InvalidConfig(
+                "streaming fit: chunk_size must be positive".to_string(),
+            ));
+        }
+        if self.clusters_per_class == 0 {
+            return Err(EnqodeError::InvalidConfig(
+                "streaming fit: clusters_per_class must be positive".to_string(),
+            ));
+        }
+        if self.passes == 0 {
+            return Err(EnqodeError::InvalidConfig(
+                "streaming fit: at least one mini-batch pass is required".to_string(),
+            ));
+        }
+        if let Some(threshold) = self.fidelity_threshold {
+            if !threshold.is_finite() {
+                return Err(EnqodeError::InvalidConfig(format!(
+                    "streaming fit: fidelity_threshold must be finite, got {threshold}"
+                )));
+            }
+            if !(0.0..=1.0).contains(&threshold) || threshold == 0.0 {
+                return Err(EnqodeError::InvalidConfig(format!(
+                    "streaming fit: fidelity_threshold {threshold} must be in (0, 1]"
+                )));
+            }
+            if self.max_clusters_per_class < self.clusters_per_class {
+                return Err(EnqodeError::InvalidConfig(format!(
+                    "streaming fit: max_clusters_per_class ({}) is below the starting \
+                     clusters_per_class ({})",
+                    self.max_clusters_per_class, self.clusters_per_class
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -116,169 +192,50 @@ impl EnqodePipeline {
     }
 
     /// Builds the pipeline out-of-core from a [`SampleSource`], holding at
-    /// most one chunk of raw samples resident:
+    /// most one chunk of raw samples resident. This is the one-call wrapper
+    /// over the staged [`StreamDriver`]:
     ///
-    /// 1. one pass fits the PCA features incrementally
-    ///    ([`IncrementalPca`]) and discovers the label set,
-    /// 2. `passes` mini-batch k-means passes (plus up to `polish_passes`
-    ///    exact streaming-Lloyd refinements) cluster each class's
-    ///    feature vectors with `O(clusters × dim)` state,
-    /// 3. each class's centroids are trained into an [`EnqodeModel`] via
-    ///    [`EnqodeModel::fit_from_centroids`] — ansatz optimisation only
-    ///    ever touches centroids, never samples.
+    /// 1. **Features** — one prefetched pass fits the PCA incrementally
+    ///    ([`enq_data::IncrementalPca`]) and discovers the label set (plus
+    ///    one spill pass when `stream.spill_features` is on),
+    /// 2. **Clustering** — `passes` mini-batch k-means passes (plus up to
+    ///    `polish_passes` exact streaming-Lloyd refinements) cluster each
+    ///    class's feature vectors with `O(clusters × dim)` state,
+    /// 3. **Fidelity audit** (only with
+    ///    [`StreamingFitConfig::fidelity_threshold`]) — audit-and-split
+    ///    rounds recover the paper's adaptive cluster-count rule,
+    /// 4. **Training** — each class's centroids are trained into an
+    ///    [`EnqodeModel`] via [`EnqodeModel::fit_from_centroids`]; ansatz
+    ///    optimisation only ever touches centroids, never samples.
     ///
     /// The resulting pipeline serves every embed path exactly like one from
     /// [`EnqodePipeline::build`]; the fits differ only in how the PCA basis
-    /// and centroids were estimated (incremental vs full-batch — identical
-    /// on data whose rank fits the incremental sketch and whose clustering
-    /// converges to the same optimum). The fit is deterministic for a fixed
-    /// `(config.seed, chunk_size)` across thread counts.
+    /// and centroids were estimated. The fit is deterministic for a fixed
+    /// `(config.seed, chunk_size)` across thread counts **and across every
+    /// `ingest`/`spill_features` combination**.
     ///
     /// # Errors
     ///
     /// Propagates source, feature-fit, clustering, and training errors; an
     /// empty source yields the underlying
-    /// [`enq_data::DataError::EmptyDataset`].
+    /// [`enq_data::DataError::EmptyDataset`]; invalid streaming parameters
+    /// are rejected by [`StreamingFitConfig::validate`].
     pub fn build_streaming(
         source: &mut dyn SampleSource,
         config: EnqodeConfig,
         stream: &StreamingFitConfig,
     ) -> Result<Self, EnqodeError> {
-        config.ansatz.validate()?;
-        let num_features = config.ansatz.dimension();
-        let threads = enq_parallel::default_threads();
+        StreamDriver::new(source, config, stream.clone())?.run()
+    }
 
-        // Pass 1: incremental PCA + label discovery.
-        let mut ipca = IncrementalPca::with_threads(source.feature_dim(), num_features, threads)?;
-        let mut label_set = std::collections::BTreeSet::new();
-        source.reset()?;
-        for_each_chunk(source, stream.chunk_size, |chunk| {
-            ipca.partial_fit(chunk.samples())?;
-            label_set.extend(chunk.labels().iter().copied());
-            Ok(())
-        })
-        .map_err(EnqodeError::from)?;
-        if label_set.is_empty() {
-            return Err(EnqodeError::Data(enq_data::DataError::EmptyDataset));
-        }
-        let features = FeaturePipeline::from_pca(ipca.finalize_truncated()?, num_features)?;
-
-        // Passes 2..: per-class mini-batch k-means over the normalised
-        // feature stream. Every class keeps one bounded accumulator; chunks
-        // are transformed once and partitioned by label.
-        let mut accumulators: BTreeMap<usize, MiniBatchKMeans> = BTreeMap::new();
-        for &label in &label_set {
-            let mb_config = MiniBatchKMeansConfig {
-                k: stream.clusters_per_class,
-                chunk_size: stream.chunk_size,
-                passes: stream.passes,
-                polish_passes: stream.polish_passes,
-                // Independent, label-derived stream per class (golden-gamma
-                // salting so nearby labels decorrelate; the accumulator's
-                // own mix finalises it).
-                seed: config.seed ^ (label as u64).wrapping_mul(enq_data::seed::GOLDEN_GAMMA),
-                ..MiniBatchKMeansConfig::default()
-            };
-            accumulators.insert(
-                label,
-                MiniBatchKMeans::new(mb_config, num_features, threads)?,
-            );
-        }
-        let mut partitions: BTreeMap<usize, Vec<Vec<f64>>> = BTreeMap::new();
-        let partition_chunk = |features: &FeaturePipeline,
-                               chunk: &enq_data::SampleChunk,
-                               partitions: &mut BTreeMap<usize, Vec<Vec<f64>>>|
-         -> Result<(), enq_data::DataError> {
-            for bucket in partitions.values_mut() {
-                bucket.clear();
-            }
-            for (sample, &label) in chunk.samples().iter().zip(chunk.labels()) {
-                partitions
-                    .entry(label)
-                    .or_default()
-                    .push(features.apply(sample)?);
-            }
-            Ok(())
-        };
-
-        for _ in 0..stream.passes {
-            source.reset()?;
-            for_each_chunk(source, stream.chunk_size, |chunk| {
-                partition_chunk(&features, chunk, &mut partitions)?;
-                for (label, bucket) in &partitions {
-                    if !bucket.is_empty() {
-                        accumulators
-                            .get_mut(label)
-                            .expect("labels discovered in pass 1")
-                            .feed(bucket)?;
-                    }
-                }
-                Ok(())
-            })
-            .map_err(EnqodeError::from)?;
-            for acc in accumulators.values_mut() {
-                acc.end_pass();
-            }
-        }
-        for acc in accumulators.values_mut() {
-            acc.ensure_initialized()?;
-        }
-
-        // Polish: exact streaming-Lloyd refinement, early-stopped when every
-        // class has converged.
-        for _ in 0..stream.polish_passes {
-            for acc in accumulators.values_mut() {
-                acc.begin_polish()?;
-            }
-            source.reset()?;
-            for_each_chunk(source, stream.chunk_size, |chunk| {
-                partition_chunk(&features, chunk, &mut partitions)?;
-                for (label, bucket) in &partitions {
-                    if !bucket.is_empty() {
-                        accumulators
-                            .get_mut(label)
-                            .expect("labels discovered in pass 1")
-                            .feed_polish(bucket)?;
-                    }
-                }
-                Ok(())
-            })
-            .map_err(EnqodeError::from)?;
-            let mut total_movement = 0.0;
-            for acc in accumulators.values_mut() {
-                let (movement, _) = acc.end_polish()?;
-                total_movement += movement;
-            }
-            if total_movement < 1e-9 {
-                break;
-            }
-        }
-
-        // Ansatz training: centroids only — the samples are long gone.
-        let labels: Vec<usize> = accumulators.keys().copied().collect();
-        let class_centroids: Vec<Vec<Vec<f64>>> = accumulators
-            .into_values()
-            .map(MiniBatchKMeans::into_centroids)
-            .collect::<Result<_, _>>()?;
-        let per_class = NonZeroUsize::new(threads.get().div_ceil(labels.len().max(1)))
-            .unwrap_or(NonZeroUsize::MIN);
-        let symbolic = Arc::new(SymbolicState::from_ansatz(&config.ansatz)?);
-        let class_models = enq_parallel::try_par_map(&class_centroids, |i, centroids| {
-            let model = EnqodeModel::fit_from_centroids(
-                centroids,
-                config.clone(),
-                per_class,
-                Arc::clone(&symbolic),
-            )?;
-            Ok::<ClassModel, EnqodeError>(ClassModel {
-                label: labels[i],
-                model,
-            })
-        })?;
-        Ok(Self {
+    /// Assembles a pipeline from an already-fitted feature pipeline and
+    /// trained class models (the [`StreamDriver`] training stage's exit
+    /// point).
+    pub(crate) fn from_parts(features: FeaturePipeline, class_models: Vec<ClassModel>) -> Self {
+        Self {
             features,
             class_models,
-        })
+        }
     }
 
     /// Returns the fitted feature pipeline.
@@ -567,6 +524,7 @@ mod tests {
             clusters_per_class: 2,
             passes: 2,
             polish_passes: 2,
+            ..Default::default()
         };
         let mut source = enq_data::InMemorySource::new(&dataset);
         let pipeline = EnqodePipeline::build_streaming(&mut source, config, &stream).unwrap();
@@ -624,6 +582,7 @@ mod tests {
             clusters_per_class: 2,
             passes: 2,
             polish_passes: 1,
+            ..Default::default()
         };
         let build = || {
             let mut source = enq_data::InMemorySource::new(&dataset);

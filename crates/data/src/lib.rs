@@ -11,8 +11,11 @@
 //! * [`kmeans`] / [`fit_with_fidelity_threshold`] — k-means clustering with
 //!   the paper's "minimum 0.95 embedding fidelity" rule for choosing `k`,
 //! * [`SampleSource`] and its readers ([`InMemorySource`],
-//!   [`SyntheticSource`], [`CsvSource`], [`BinarySource`]) — chunked
-//!   out-of-core ingestion feeding,
+//!   [`SyntheticSource`], [`CsvSource`], [`BinarySource`] — mmap-backed on
+//!   Unix) — chunked out-of-core ingestion feeding,
+//! * [`ChunkPrefetcher`] / [`IngestMode`] — double-buffered ingestion: a
+//!   reader thread fills chunk `N + 1` while compute consumes chunk `N`,
+//!   bit-identical to the synchronous loop,
 //! * [`minibatch_kmeans`] / [`IncrementalPca`] /
 //!   [`FeaturePipeline::fit_streaming`] — bounded-memory streaming fits that
 //!   train with `O(chunk × dim)` resident samples instead of `O(N × dim)`,
@@ -45,6 +48,7 @@ mod incremental;
 mod kmeans;
 mod minibatch;
 mod pca;
+mod prefetch;
 mod preprocess;
 pub mod seed;
 mod stream;
@@ -61,10 +65,11 @@ pub use minibatch::{
     MiniBatchKMeansConfig, MiniBatchKMeansModel,
 };
 pub use pca::Pca;
+pub use prefetch::{drive_chunks, ChunkPrefetcher, IngestMode, DEFAULT_PREFETCH_DEPTH};
 pub use preprocess::{l2_normalize, FeaturePipeline, TransformedSource};
 pub use stream::{
-    for_each_chunk, materialize, write_binary_dataset, BinarySource, CsvSource, InMemorySource,
-    SampleChunk, SampleSource,
+    for_each_chunk, materialize, write_binary_dataset, BinaryDatasetWriter, BinarySource,
+    CsvSource, InMemorySource, SampleChunk, SampleSource,
 };
 pub use synthetic::{generate_synthetic, SyntheticConfig, SyntheticSource};
 

@@ -23,7 +23,8 @@
 
 use crate::error::DataError;
 use crate::kmeans::{kmeans_plus_plus_init, squared_distance, KMeansConfig};
-use crate::stream::{for_each_chunk, SampleSource};
+use crate::prefetch::{drive_chunks, IngestMode};
+use crate::stream::SampleSource;
 use enq_parallel::par_chunk_map;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -56,6 +57,11 @@ pub struct MiniBatchKMeansConfig {
     pub tolerance: f64,
     /// Seed for initialisation and per-batch shuffling.
     pub seed: u64,
+    /// How source passes are driven: synchronous reads or double-buffered
+    /// prefetch ([`IngestMode::Prefetched`] by default). Both modes are
+    /// bit-identical; prefetch overlaps ingestion with the SGD/polish
+    /// compute.
+    pub ingest: IngestMode,
 }
 
 impl Default for MiniBatchKMeansConfig {
@@ -68,6 +74,7 @@ impl Default for MiniBatchKMeansConfig {
             polish_passes: 2,
             tolerance: 1e-6,
             seed: 17,
+            ingest: IngestMode::default(),
         }
     }
 }
@@ -260,6 +267,45 @@ impl MiniBatchKMeans {
     /// Returns the current centroids (`None` until initialisation has run).
     pub fn centroids(&self) -> Option<&[Vec<f64>]> {
         self.centroids.as_deref()
+    }
+
+    /// Current number of clusters (grows when centroids are added via
+    /// [`MiniBatchKMeans::add_centroid`]).
+    pub fn num_clusters(&self) -> usize {
+        self.config.k
+    }
+
+    /// Appends a new centroid — the streaming *split* primitive of the
+    /// fidelity-threshold `k` search: the adaptive driver audits each
+    /// cluster's representative fidelity and, for an offending cluster,
+    /// plants a new centroid at its worst-explained member, then re-polishes.
+    /// The new centroid starts with an SGD count of 1 so any further
+    /// mini-batch updates adapt it quickly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyDataset`] before initialisation,
+    /// [`DataError::InvalidParameter`] during a polish pass (the pass
+    /// accumulators are sized to the old `k`), and
+    /// [`DataError::DimensionMismatch`] for a centroid of the wrong length.
+    pub fn add_centroid(&mut self, centroid: Vec<f64>) -> Result<(), DataError> {
+        if centroid.len() != self.dim {
+            return Err(DataError::DimensionMismatch {
+                expected: self.dim,
+                found: centroid.len(),
+            });
+        }
+        if self.polish.is_some() {
+            return Err(DataError::InvalidParameter(
+                "cannot add a centroid during a polish pass".to_string(),
+            ));
+        }
+        let centroids = self.centroids.as_mut().ok_or(DataError::EmptyDataset)?;
+        centroids.push(centroid);
+        self.counts.push(1);
+        self.pass_members.push(0);
+        self.config.k += 1;
+        Ok(())
     }
 
     fn check_dims(&self, samples: &[Vec<f64>]) -> Result<(), DataError> {
@@ -582,7 +628,7 @@ pub fn minibatch_kmeans_with_threads(
     for pass in 0..config.passes {
         source.reset()?;
         let mut seen = 0usize;
-        for_each_chunk(source, config.chunk_size, |chunk| {
+        drive_chunks(source, config.chunk_size, config.ingest, |chunk| {
             seen += chunk.len();
             acc.feed(chunk.samples())
         })?;
@@ -597,7 +643,7 @@ pub fn minibatch_kmeans_with_threads(
     for _ in 0..config.polish_passes {
         source.reset()?;
         acc.begin_polish()?;
-        for_each_chunk(source, config.chunk_size, |chunk| {
+        drive_chunks(source, config.chunk_size, config.ingest, |chunk| {
             acc.feed_polish(chunk.samples())
         })?;
         let (movement, _) = acc.end_polish()?;
@@ -610,7 +656,7 @@ pub fn minibatch_kmeans_with_threads(
     // Dedicated final pass: inertia against the *final* centroids.
     source.reset()?;
     let mut inertia = 0.0;
-    for_each_chunk(source, config.chunk_size, |chunk| {
+    drive_chunks(source, config.chunk_size, config.ingest, |chunk| {
         inertia += acc.chunk_inertia(chunk.samples())?;
         Ok(())
     })?;
@@ -774,6 +820,58 @@ mod tests {
             let (_, d) = model.nearest_centroid(&center).unwrap();
             assert!(d < 1.0, "blob at {center:?} has no centroid (d² = {d})");
         }
+    }
+
+    #[test]
+    fn prefetched_ingestion_is_bit_identical_to_synchronous() {
+        let data = blob_dataset(30);
+        for chunk_size in [8, 16, 33] {
+            let fit = |ingest: IngestMode| {
+                let mut source = InMemorySource::new(&data);
+                minibatch_kmeans(
+                    &mut source,
+                    &MiniBatchKMeansConfig {
+                        ingest,
+                        chunk_size,
+                        ..config(3)
+                    },
+                )
+                .unwrap()
+            };
+            let sync = fit(IngestMode::Synchronous);
+            let prefetched = fit(IngestMode::Prefetched);
+            assert_eq!(sync, prefetched, "chunk size {chunk_size} diverged");
+        }
+    }
+
+    #[test]
+    fn add_centroid_splits_and_guards_phases() {
+        let mut acc =
+            MiniBatchKMeans::new(MiniBatchKMeansConfig::default(), 2, NonZeroUsize::MIN).unwrap();
+        // Before initialisation: no centroids to split.
+        assert!(matches!(
+            acc.add_centroid(vec![0.0, 0.0]),
+            Err(DataError::EmptyDataset)
+        ));
+        acc.feed(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![9.0, 9.0]])
+            .unwrap();
+        acc.ensure_initialized().unwrap();
+        let k = acc.num_clusters();
+        assert!(acc.add_centroid(vec![1.0]).is_err(), "wrong dimension");
+        acc.add_centroid(vec![5.0, 5.0]).unwrap();
+        assert_eq!(acc.num_clusters(), k + 1);
+        assert_eq!(acc.centroids().unwrap().len(), k + 1);
+        // Mid-polish splits are rejected (accumulators are sized to old k).
+        acc.begin_polish().unwrap();
+        assert!(acc.add_centroid(vec![2.0, 2.0]).is_err());
+        acc.feed_polish(&[vec![5.1, 5.2]]).unwrap();
+        acc.end_polish().unwrap();
+        // After the pass it works again, and further passes accept the
+        // grown model.
+        acc.add_centroid(vec![-3.0, 4.0]).unwrap();
+        acc.begin_polish().unwrap();
+        acc.feed_polish(&[vec![-3.0, 4.1]]).unwrap();
+        acc.end_polish().unwrap();
     }
 
     #[test]

@@ -5,7 +5,8 @@ use crate::dataset::Dataset;
 use crate::error::DataError;
 use crate::incremental::IncrementalPca;
 use crate::pca::Pca;
-use crate::stream::{for_each_chunk, SampleChunk, SampleSource};
+use crate::prefetch::{drive_chunks, IngestMode};
+use crate::stream::{SampleChunk, SampleSource};
 use std::num::NonZeroUsize;
 
 /// Returns an L2-normalised copy of a vector.
@@ -117,9 +118,33 @@ impl FeaturePipeline {
         chunk_size: usize,
         threads: NonZeroUsize,
     ) -> Result<Self, DataError> {
+        Self::fit_streaming_with_options(
+            source,
+            output_dim,
+            chunk_size,
+            threads,
+            IngestMode::default(),
+        )
+    }
+
+    /// [`FeaturePipeline::fit_streaming_with_threads`] with an explicit
+    /// [`IngestMode`]: prefetched ingestion overlaps reading/generating the
+    /// next chunk with the incremental-PCA merge of the current one, and is
+    /// bit-identical to the synchronous mode.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FeaturePipeline::fit_streaming`].
+    pub fn fit_streaming_with_options(
+        source: &mut dyn SampleSource,
+        output_dim: usize,
+        chunk_size: usize,
+        threads: NonZeroUsize,
+        ingest: IngestMode,
+    ) -> Result<Self, DataError> {
         let mut ipca = IncrementalPca::with_threads(source.feature_dim(), output_dim, threads)?;
         source.reset()?;
-        for_each_chunk(source, chunk_size, |chunk| {
+        drive_chunks(source, chunk_size, ingest, |chunk| {
             ipca.partial_fit(chunk.samples())
         })?;
         Self::from_pca(ipca.finalize_truncated()?, output_dim)

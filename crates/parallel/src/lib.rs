@@ -19,7 +19,7 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{mpsc, OnceLock};
 
 /// Returns the worker count used by [`par_map`]: the `ENQODE_THREADS`
 /// environment variable when set, otherwise [`std::thread::available_parallelism`].
@@ -167,6 +167,93 @@ where
     Ok(out)
 }
 
+/// Runs a producer and a consumer concurrently over a pool of recycled
+/// buffers — the double-buffered executor behind `enq_data`'s
+/// `ChunkPrefetcher`.
+///
+/// The producer runs on a dedicated scoped thread and fills buffers; the
+/// consumer runs on the **calling** thread and observes every produced
+/// buffer **in production order**, which is what lets chunked-ingestion
+/// pipelines overlap I/O (or generation) with compute while staying
+/// bit-identical to a synchronous loop. `depth` bounds the number of filled
+/// buffers in flight (backpressure): the producer blocks once `depth`
+/// buffers await consumption, so resident memory is `depth + 1` buffers
+/// regardless of how fast the producer runs ahead.
+///
+/// Contract:
+///
+/// * `produce(&mut buffer)` fills a recycled buffer; `Ok(true)` hands it to
+///   the consumer, `Ok(false)` ends the stream (the buffer's contents are
+///   discarded), `Err` aborts the run.
+/// * `consume(&buffer)` sees each produced buffer exactly once, in order.
+/// * The first error from either side aborts the pipeline: the other side is
+///   cancelled at its next buffer hand-off and that error is returned.
+///   A producer panic propagates to the caller when the scope joins.
+///
+/// # Errors
+///
+/// Returns the first error produced by either closure.
+pub fn double_buffered<B, E, P, C>(depth: NonZeroUsize, produce: P, mut consume: C) -> Result<(), E>
+where
+    B: Default + Send,
+    E: Send,
+    P: FnMut(&mut B) -> Result<bool, E> + Send,
+    C: FnMut(&B) -> Result<(), E>,
+{
+    let (free_tx, free_rx) = mpsc::channel::<B>();
+    let (filled_tx, filled_rx) = mpsc::sync_channel::<Result<B, E>>(depth.get());
+    // depth in-flight buffers plus the one the consumer is reading.
+    for _ in 0..depth.get() + 1 {
+        free_tx.send(B::default()).expect("receiver is alive");
+    }
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut produce = produce;
+            // A closed free list means the consumer bailed out (its error is
+            // already on the way back to the caller); a failed send means the
+            // same. Both are cooperative cancellation, not errors here.
+            while let Ok(mut buffer) = free_rx.recv() {
+                match produce(&mut buffer) {
+                    Ok(true) => {
+                        if filled_tx.send(Ok(buffer)).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(false) => break,
+                    Err(e) => {
+                        let _ = filled_tx.send(Err(e));
+                        break;
+                    }
+                }
+            }
+            // Dropping `filled_tx` wakes a consumer blocked on `recv`.
+        });
+        let mut outcome = Ok(());
+        while let Ok(item) = filled_rx.recv() {
+            match item {
+                Ok(buffer) => {
+                    if let Err(e) = consume(&buffer) {
+                        outcome = Err(e);
+                        break;
+                    }
+                    // The producer may already have exited; recycling is
+                    // best-effort.
+                    let _ = free_tx.send(buffer);
+                }
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        // Unblock a producer waiting on either channel so the scope can
+        // join: close the free list and the filled queue.
+        drop(free_tx);
+        drop(filled_rx);
+        outcome
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +357,84 @@ mod tests {
             4,
             "items after the first error must not run"
         );
+    }
+
+    #[test]
+    fn double_buffered_preserves_order_and_recycles_buffers() {
+        let mut next = 0u32;
+        let mut seen = Vec::new();
+        double_buffered::<Vec<u32>, (), _, _>(
+            NonZeroUsize::new(2).unwrap(),
+            move |buf| {
+                buf.clear();
+                if next >= 100 {
+                    return Ok(false);
+                }
+                for _ in 0..7 {
+                    buf.push(next);
+                    next += 1;
+                }
+                Ok(true)
+            },
+            |buf| {
+                seen.extend_from_slice(buf);
+                Ok(())
+            },
+        )
+        .unwrap();
+        // 15 batches of 7 = 105 values (the producer checks before filling).
+        assert_eq!(seen, (0..105).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn double_buffered_propagates_producer_and_consumer_errors() {
+        let mut n = 0;
+        let produced = AtomicUsize::new(0);
+        let err = double_buffered::<Vec<u8>, &'static str, _, _>(
+            NonZeroUsize::new(2).unwrap(),
+            |buf| {
+                buf.clear();
+                buf.push(0);
+                n += 1;
+                if n > 3 {
+                    Err("producer failed")
+                } else {
+                    Ok(true)
+                }
+            },
+            |_| {
+                produced.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            },
+        );
+        assert_eq!(err, Err("producer failed"));
+        assert_eq!(produced.load(Ordering::Relaxed), 3);
+
+        // Consumer errors cancel the producer instead of deadlocking it.
+        let err = double_buffered::<Vec<u8>, &'static str, _, _>(
+            NonZeroUsize::new(1).unwrap(),
+            |buf| {
+                buf.clear();
+                buf.push(1);
+                Ok(true)
+            },
+            |_| Err("consumer failed"),
+        );
+        assert_eq!(err, Err("consumer failed"));
+    }
+
+    #[test]
+    fn double_buffered_handles_empty_streams() {
+        let mut consumed = 0usize;
+        double_buffered::<Vec<u8>, (), _, _>(
+            NonZeroUsize::new(2).unwrap(),
+            |_| Ok(false),
+            |_| {
+                consumed += 1;
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(consumed, 0);
     }
 }

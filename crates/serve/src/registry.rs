@@ -12,7 +12,8 @@
 //! request path (the pipeline itself shares one symbolic table across its
 //! class models, see [`EnqodePipeline::shared_symbolic`]).
 
-use enqode::EnqodePipeline;
+use enq_data::SampleSource;
+use enqode::{EnqodeConfig, EnqodeError, EnqodePipeline, StreamDriver, StreamingFitConfig};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -137,6 +138,37 @@ impl ModelRegistry {
         self.len() == 0
     }
 
+    /// Retrains the model registered under `model_id` out-of-core from a
+    /// [`SampleSource`] and atomically swaps it in under the **same id** —
+    /// the unchanged-API rebuild path: callers keep resolving `model_id`
+    /// throughout; in-flight requests finish on the old pipeline (their
+    /// `Arc` stays alive), new requests see the new one, and the fresh
+    /// registration generation makes solutions cached against the old
+    /// pipeline unreachable (see [`ModelRegistry::get_with_generation`]).
+    ///
+    /// Training runs on the calling thread via the staged
+    /// [`StreamDriver`] (prefetched ingestion, feature spill, optional
+    /// adaptive cluster search) **before** any registry lock is touched, so
+    /// serving never blocks on a rebuild.
+    ///
+    /// Returns the freshly trained pipeline handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates streaming-fit errors; on error the registry is untouched
+    /// (the previous registration, if any, keeps serving).
+    pub fn rebuild_streaming(
+        &self,
+        model_id: impl Into<String>,
+        source: &mut dyn SampleSource,
+        config: EnqodeConfig,
+        stream: &StreamingFitConfig,
+    ) -> Result<Arc<EnqodePipeline>, EnqodeError> {
+        let pipeline = Arc::new(StreamDriver::new(source, config, stream.clone())?.run()?);
+        self.insert(model_id, Arc::clone(&pipeline));
+        Ok(pipeline)
+    }
+
     /// Returns all registered model ids (sorted, so the listing is stable
     /// regardless of shard layout).
     pub fn model_ids(&self) -> Vec<String> {
@@ -218,6 +250,75 @@ mod tests {
         }
         assert_eq!(registry.model_ids(), vec!["alpha", "mid", "zeta"]);
         assert_eq!(registry.len(), 3);
+    }
+
+    #[test]
+    fn rebuild_streaming_swaps_under_the_same_id_with_a_fresh_generation() {
+        let registry = ModelRegistry::with_shards(2);
+        let old = tiny_pipeline(7);
+        registry.insert("live", Arc::clone(&old));
+        let (_, old_generation) = registry.get_with_generation("live").unwrap();
+
+        let dataset = generate_synthetic(
+            DatasetKind::MnistLike,
+            &SyntheticConfig {
+                classes: 2,
+                samples_per_class: 6,
+                seed: 8,
+            },
+        )
+        .unwrap();
+        let mut source = enq_data::InMemorySource::new(&dataset);
+        let config = EnqodeConfig {
+            ansatz: enqode::AnsatzConfig {
+                num_qubits: 2,
+                num_layers: 2,
+                entangler: EntanglerKind::Cy,
+            },
+            offline_max_iterations: 20,
+            offline_restarts: 1,
+            online_max_iterations: 10,
+            seed: 8,
+            ..EnqodeConfig::default()
+        };
+        let stream = StreamingFitConfig {
+            chunk_size: 4,
+            clusters_per_class: 1,
+            passes: 1,
+            polish_passes: 1,
+            ..StreamingFitConfig::default()
+        };
+        let rebuilt = registry
+            .rebuild_streaming("live", &mut source, config, &stream)
+            .unwrap();
+        // Same id, new pipeline, bumped generation; the old handle is still
+        // usable by in-flight requests.
+        let (current, new_generation) = registry.get_with_generation("live").unwrap();
+        assert!(Arc::ptr_eq(&rebuilt, &current));
+        assert!(!Arc::ptr_eq(&old, &current));
+        assert!(new_generation > old_generation);
+        assert_eq!(current.class_models().len(), 2);
+        let (_, embedding) = current.embed(dataset.sample(0)).unwrap();
+        assert!(embedding.ideal_fidelity > 0.0);
+        // A failing rebuild leaves the registration untouched.
+        let bad = StreamingFitConfig {
+            chunk_size: 0,
+            ..StreamingFitConfig::default()
+        };
+        let config2 = EnqodeConfig {
+            ansatz: enqode::AnsatzConfig {
+                num_qubits: 2,
+                num_layers: 2,
+                entangler: EntanglerKind::Cy,
+            },
+            ..EnqodeConfig::default()
+        };
+        assert!(registry
+            .rebuild_streaming("live", &mut source, config2, &bad)
+            .is_err());
+        let (after_failure, generation_after) = registry.get_with_generation("live").unwrap();
+        assert!(Arc::ptr_eq(&after_failure, &rebuilt));
+        assert_eq!(generation_after, new_generation);
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! Pipelined-engine equivalence and adaptive-search property suite.
+//!
+//! The streaming engine's contract has two halves:
+//!
+//! * **Ingestion is invisible to the mathematics** — prefetched
+//!   (double-buffered) ingestion and the mmap feature spill must be
+//!   bit-identical to the synchronous re-streaming path, for every chunk
+//!   size and thread count, across `minibatch_kmeans`,
+//!   `FeaturePipeline::fit_streaming`, and the full
+//!   `EnqodePipeline::build_streaming`.
+//! * **The adaptive fidelity-threshold `k` search is deterministic and
+//!   monotone** — identical runs agree bit for bit, a tighter threshold
+//!   never produces fewer clusters (the audit-and-split state sequence is
+//!   threshold-independent by construction), and the search's postcondition
+//!   holds: every audited cluster fidelity clears the threshold or the
+//!   per-class cap is reached.
+
+use enq_data::{
+    minibatch_kmeans, Dataset, FeaturePipeline, InMemorySource, IngestMode, MiniBatchKMeansConfig,
+};
+use enqode::{
+    AnsatzConfig, EnqodeConfig, EnqodePipeline, EntanglerKind, StreamDriver, StreamingFitConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::num::NonZeroUsize;
+
+/// Labelled 8-dimensional blob data: `classes` classes, two lobes per class
+/// so adaptive splitting has real structure to find.
+fn blob_dataset(classes: usize, per_class: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::new();
+    let mut labels = Vec::new();
+    for class in 0..classes {
+        for i in 0..per_class {
+            let lobe = (i % 2) as f64;
+            let sample: Vec<f64> = (0..8)
+                .map(|d| {
+                    let center = ((class * 8 + d) as f64 * 0.9 + lobe * 2.3).sin() + 0.2;
+                    center + rng.gen_range(-0.15..0.15)
+                })
+                .collect();
+            samples.push(sample);
+            labels.push(class);
+        }
+    }
+    Dataset::new("blobs", samples, labels).unwrap()
+}
+
+fn tiny_enqode_config(seed: u64) -> EnqodeConfig {
+    EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 4,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.9,
+        max_clusters: 4,
+        offline_max_iterations: 30,
+        offline_restarts: 1,
+        online_max_iterations: 10,
+        offline_rescue: false,
+        seed,
+    }
+}
+
+/// Runs the driver through the audit stage (no ansatz training) and returns
+/// `(per-class cluster counts, audit)`.
+fn adaptive_clusters(
+    data: &Dataset,
+    seed: u64,
+    stream: StreamingFitConfig,
+    threads: usize,
+) -> (Vec<(usize, usize)>, enqode::FidelityAudit) {
+    let mut source = InMemorySource::new(data);
+    let mut driver = StreamDriver::with_threads(
+        &mut source,
+        tiny_enqode_config(seed),
+        stream,
+        NonZeroUsize::new(threads).unwrap(),
+    )
+    .unwrap();
+    driver.run_features().unwrap();
+    driver.run_clustering().unwrap();
+    driver.run_fidelity_audit().unwrap();
+    (driver.clusters_per_class(), driver.audit().unwrap().clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Prefetched mini-batch k-means is bit-identical to the synchronous
+    // path for any chunk size, across thread counts.
+    #[test]
+    fn prefetched_minibatch_is_bit_identical_across_chunkings_and_threads(
+        seed in 0u64..500,
+        chunk in 5usize..40,
+    ) {
+        let data = blob_dataset(1, 90, seed);
+        let fit = |ingest: IngestMode, threads: usize| {
+            let mut source = InMemorySource::new(&data);
+            enq_data::minibatch_kmeans_with_threads(
+                &mut source,
+                &MiniBatchKMeansConfig {
+                    k: 3,
+                    chunk_size: chunk,
+                    passes: 2,
+                    polish_passes: 2,
+                    seed,
+                    ingest,
+                    ..Default::default()
+                },
+                NonZeroUsize::new(threads).unwrap(),
+            )
+            .unwrap()
+        };
+        let reference = fit(IngestMode::Synchronous, 1);
+        for threads in [1usize, 2, 5] {
+            prop_assert_eq!(&reference, &fit(IngestMode::Prefetched, threads));
+            prop_assert_eq!(&reference, &fit(IngestMode::Synchronous, threads));
+        }
+    }
+
+    // Prefetched streaming PCA fits are bit-identical to synchronous ones.
+    #[test]
+    fn prefetched_feature_fit_is_bit_identical(
+        seed in 0u64..500,
+        chunk in 4usize..32,
+    ) {
+        let data = blob_dataset(2, 40, seed);
+        let fit = |ingest: IngestMode| {
+            let mut source = InMemorySource::new(&data);
+            FeaturePipeline::fit_streaming_with_options(
+                &mut source,
+                8,
+                chunk,
+                NonZeroUsize::new(2).unwrap(),
+                ingest,
+            )
+            .unwrap()
+        };
+        let sync = fit(IngestMode::Synchronous);
+        let prefetched = fit(IngestMode::Prefetched);
+        prop_assert_eq!(sync.pca(), prefetched.pca());
+    }
+
+    // The adaptive fidelity-threshold search is deterministic (bit-stable
+    // across repeats and thread counts) and its postcondition holds.
+    #[test]
+    fn adaptive_search_is_deterministic_with_valid_postcondition(
+        seed in 0u64..300,
+    ) {
+        let data = blob_dataset(2, 48, seed);
+        let stream = StreamingFitConfig {
+            chunk_size: 16,
+            clusters_per_class: 1,
+            passes: 2,
+            polish_passes: 2,
+            fidelity_threshold: Some(0.85),
+            max_clusters_per_class: 12,
+            ..Default::default()
+        };
+        let (counts_a, audit_a) = adaptive_clusters(&data, seed, stream.clone(), 1);
+        let (counts_b, audit_b) = adaptive_clusters(&data, seed, stream.clone(), 3);
+        prop_assert_eq!(&counts_a, &counts_b);
+        prop_assert_eq!(audit_a.rounds, audit_b.rounds);
+        prop_assert_eq!(audit_a.splits, audit_b.splits);
+        prop_assert_eq!(
+            audit_a.min_fidelity().to_bits(),
+            audit_b.min_fidelity().to_bits()
+        );
+        // Postcondition: every class passed the threshold or hit the cap.
+        prop_assert!(audit_a.satisfied());
+        for class in &audit_a.classes {
+            let class_ok = class
+                .clusters
+                .iter()
+                .filter(|c| c.members > 0)
+                .all(|c| c.min_fidelity >= 0.85);
+            prop_assert!(
+                class_ok || class.clusters.len() == 12,
+                "class {} neither satisfied nor capped",
+                class.label
+            );
+        }
+    }
+
+    // Monotonicity: a tighter threshold never yields fewer clusters. The
+    // audit-and-split sequence (always split the per-class worst cluster)
+    // is threshold-independent, so a tighter threshold just stops later.
+    #[test]
+    fn adaptive_search_is_monotone_in_the_threshold(
+        seed in 0u64..300,
+    ) {
+        let data = blob_dataset(2, 48, seed);
+        let mut previous_total = 0usize;
+        for threshold in [0.5f64, 0.7, 0.85, 0.95] {
+            let stream = StreamingFitConfig {
+                chunk_size: 16,
+                clusters_per_class: 1,
+                passes: 2,
+                polish_passes: 2,
+                fidelity_threshold: Some(threshold),
+                max_clusters_per_class: 16,
+                ..Default::default()
+            };
+            let (counts, audit) = adaptive_clusters(&data, seed, stream, 2);
+            let total: usize = counts.iter().map(|(_, k)| k).sum();
+            prop_assert!(
+                total >= previous_total,
+                "threshold {} produced {} clusters, looser run had {}",
+                threshold,
+                total,
+                previous_total
+            );
+            prop_assert!(audit.satisfied());
+            previous_total = total;
+        }
+    }
+}
+
+/// The four ingestion configurations of the full streaming build produce
+/// bit-identical trained pipelines.
+#[test]
+fn full_streaming_build_is_ingestion_invariant() {
+    let data = blob_dataset(2, 24, 0xBEEF);
+    let fit = |ingest: IngestMode, spill: bool| {
+        let mut source = InMemorySource::new(&data);
+        let stream = StreamingFitConfig {
+            chunk_size: 7,
+            clusters_per_class: 2,
+            passes: 2,
+            polish_passes: 2,
+            ingest,
+            spill_features: spill,
+            ..Default::default()
+        };
+        EnqodePipeline::build_streaming(&mut source, tiny_enqode_config(0xBEEF), &stream).unwrap()
+    };
+    let reference = fit(IngestMode::Synchronous, false);
+    for (ingest, spill) in [
+        (IngestMode::Synchronous, true),
+        (IngestMode::Prefetched, false),
+        (IngestMode::Prefetched, true),
+    ] {
+        let other = fit(ingest, spill);
+        assert_eq!(reference.class_models().len(), other.class_models().len());
+        for (a, b) in reference.class_models().iter().zip(other.class_models()) {
+            assert_eq!(a.label, b.label);
+            for (ka, kb) in a.model.clusters().iter().zip(b.model.clusters()) {
+                assert_eq!(ka.centroid, kb.centroid, "{ingest:?} spill={spill}");
+                assert_eq!(ka.parameters, kb.parameters, "{ingest:?} spill={spill}");
+                assert_eq!(ka.fidelity.to_bits(), kb.fidelity.to_bits());
+            }
+        }
+    }
+}
+
+/// Adaptive builds embed end to end: the trained pipeline carries the grown
+/// cluster counts and every embed path works.
+#[test]
+fn adaptive_build_trains_and_embeds() {
+    let data = blob_dataset(2, 24, 7);
+    let mut source = InMemorySource::new(&data);
+    let stream = StreamingFitConfig {
+        chunk_size: 8,
+        clusters_per_class: 1,
+        passes: 2,
+        polish_passes: 2,
+        fidelity_threshold: Some(0.8),
+        max_clusters_per_class: 6,
+        ..Default::default()
+    };
+    let pipeline =
+        EnqodePipeline::build_streaming(&mut source, tiny_enqode_config(7), &stream).unwrap();
+    assert_eq!(pipeline.class_models().len(), 2);
+    // The adaptive search had to split at least once on two-lobed classes at
+    // this threshold; all classes stay within the cap.
+    assert!(pipeline.total_clusters() > 2, "no splits happened");
+    assert!(pipeline.total_clusters() <= 12);
+    let (label, embedding) = pipeline.embed(data.sample(0)).unwrap();
+    assert!(label < 2);
+    assert!(embedding.ideal_fidelity > 0.5);
+}
+
+/// Degenerate streaming configurations fail fast with a descriptive error
+/// instead of panicking or fitting garbage downstream.
+#[test]
+fn streaming_config_validation_rejects_degenerate_values() {
+    let cases: Vec<(StreamingFitConfig, &str)> = vec![
+        (
+            StreamingFitConfig {
+                chunk_size: 0,
+                ..Default::default()
+            },
+            "chunk_size",
+        ),
+        (
+            StreamingFitConfig {
+                clusters_per_class: 0,
+                ..Default::default()
+            },
+            "clusters_per_class",
+        ),
+        (
+            StreamingFitConfig {
+                passes: 0,
+                ..Default::default()
+            },
+            "pass",
+        ),
+        (
+            StreamingFitConfig {
+                fidelity_threshold: Some(f64::NAN),
+                ..Default::default()
+            },
+            "finite",
+        ),
+        (
+            StreamingFitConfig {
+                fidelity_threshold: Some(f64::INFINITY),
+                ..Default::default()
+            },
+            "finite",
+        ),
+        (
+            StreamingFitConfig {
+                fidelity_threshold: Some(0.0),
+                ..Default::default()
+            },
+            "(0, 1]",
+        ),
+        (
+            StreamingFitConfig {
+                fidelity_threshold: Some(1.5),
+                ..Default::default()
+            },
+            "(0, 1]",
+        ),
+        (
+            StreamingFitConfig {
+                fidelity_threshold: Some(-0.2),
+                ..Default::default()
+            },
+            "(0, 1]",
+        ),
+        (
+            StreamingFitConfig {
+                clusters_per_class: 8,
+                fidelity_threshold: Some(0.9),
+                max_clusters_per_class: 4,
+                ..Default::default()
+            },
+            "max_clusters_per_class",
+        ),
+    ];
+    let data = blob_dataset(1, 8, 1);
+    for (stream, needle) in cases {
+        let err = stream.validate().unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains(needle),
+            "error {message:?} does not mention {needle:?}"
+        );
+        // The same rejection surfaces through the one-call build.
+        let mut source = InMemorySource::new(&data);
+        assert!(
+            EnqodePipeline::build_streaming(&mut source, tiny_enqode_config(1), &stream).is_err()
+        );
+    }
+    // The default configuration (and a threshold-free max below the start)
+    // validate cleanly.
+    StreamingFitConfig::default().validate().unwrap();
+    StreamingFitConfig {
+        clusters_per_class: 8,
+        max_clusters_per_class: 4,
+        fidelity_threshold: None,
+        ..Default::default()
+    }
+    .validate()
+    .unwrap();
+    // Sanity: minibatch over a valid config still works after all the
+    // rejected ones (no global state was poisoned).
+    let mut source = InMemorySource::new(&data);
+    minibatch_kmeans(
+        &mut source,
+        &MiniBatchKMeansConfig {
+            k: 2,
+            chunk_size: 4,
+            passes: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+}
