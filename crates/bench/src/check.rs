@@ -106,6 +106,15 @@ pub fn default_gates() -> Vec<GateSpec> {
             direction: Direction::AtLeast,
             threshold: Threshold::Fixed(10.0),
         },
+        // Model lifecycle: a background rebuild competes for cores but must
+        // never block the serve control plane — p99 compute-path latency
+        // while a rebuild trains on a worker thread stays within 3× idle.
+        GateSpec {
+            file: "BENCH_serve.json",
+            key: "rebuild_p99_ratio",
+            direction: Direction::AtMost,
+            threshold: Threshold::Fixed(3.0),
+        },
         // Streaming fit: clustering quality within 1.05× of full-batch
         // Lloyd, trained on a dataset ≥ 10× the chunk budget.
         GateSpec {

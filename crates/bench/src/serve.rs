@@ -15,7 +15,12 @@
 //! * `serve_batched` — the full registry + cache + batcher path, where
 //!   repeated samples skip fine-tuning (the reported `cache_hit_rate` shows
 //!   exactly how much of the win the cache provided);
-//! * `hot_path` — steady-state latency of a pure cache hit.
+//! * `hot_path` — steady-state latency of a pure cache hit;
+//! * `rebuild_under_load` — the same compute-path workload (cache off, so
+//!   every request fine-tunes) with and without a **background model
+//!   rebuild** running on a worker thread. The p99 ratio is the lifecycle
+//!   acceptance gate: a rebuild must degrade tail latency by at most 3×,
+//!   i.e. it competes for cores but never blocks the serve control plane.
 
 use crate::report::markdown_table;
 use enq_data::{generate_synthetic, Dataset, DatasetKind, SyntheticConfig};
@@ -45,6 +50,9 @@ pub struct ServeBenchConfig {
     pub batch_sizes: Vec<usize>,
     /// Online fine-tuning iteration budget (dominates per-request cost).
     pub online_iterations: usize,
+    /// Samples per class of the synthetic corpus the background rebuild
+    /// trains over (sized so the rebuild outlasts the measured passes).
+    pub rebuild_samples_per_class: usize,
     /// RNG seed for training data, perturbations, and stream shuffling.
     pub seed: u64,
 }
@@ -60,6 +68,7 @@ impl ServeBenchConfig {
             clients: 8,
             batch_sizes: vec![1, 8, 32],
             online_iterations: 20,
+            rebuild_samples_per_class: 1500,
             seed: 0x5EEE,
         }
     }
@@ -74,6 +83,7 @@ impl ServeBenchConfig {
             clients: 4,
             batch_sizes: vec![1, 4],
             online_iterations: 10,
+            rebuild_samples_per_class: 40,
             seed: 0x5EEE,
         }
     }
@@ -103,6 +113,29 @@ pub struct BatchedRow {
     pub largest_batch: u64,
 }
 
+/// The rebuild-under-load leg: compute-path latency with and without a
+/// background rebuild competing for cores.
+#[derive(Debug, Clone, Copy)]
+pub struct RebuildUnderLoad {
+    /// Cache-off serve latency with nothing else running.
+    pub idle: PassStats,
+    /// The same workload while a background rebuild trains on a worker
+    /// thread.
+    pub under_rebuild: PassStats,
+    /// Whether the rebuild was still in flight when the measured passes
+    /// ended (it is cancelled afterwards either way). `false` means the
+    /// contention window did not cover the whole measurement — resize
+    /// [`ServeBenchConfig::rebuild_samples_per_class`].
+    pub rebuild_outlasted_measurement: bool,
+}
+
+impl RebuildUnderLoad {
+    /// The gated ratio: p99 under rebuild over idle p99.
+    pub fn p99_ratio(&self) -> f64 {
+        self.under_rebuild.p99_us / self.idle.p99_us.max(1e-9)
+    }
+}
+
 /// The full serve benchmark result.
 #[derive(Debug, Clone)]
 pub struct ServeBenchResult {
@@ -120,6 +153,8 @@ pub struct ServeBenchResult {
     pub batched: Vec<BatchedRow>,
     /// Steady-state cache-hit latency (service warm, every request hits).
     pub hot: PassStats,
+    /// Tail latency with a background model rebuild competing for cores.
+    pub rebuild: RebuildUnderLoad,
 }
 
 impl ServeBenchResult {
@@ -138,6 +173,12 @@ impl ServeBenchResult {
     /// latency.
     pub fn cold_over_hot_p50(&self) -> f64 {
         self.sequential.p50_us / self.hot.p50_us
+    }
+
+    /// Headline ratio: p99 compute-path latency during a background rebuild
+    /// over idle p99 (gated ≤ 3×).
+    pub fn rebuild_p99_ratio(&self) -> f64 {
+        self.rebuild.p99_ratio()
     }
 
     /// Renders the result as the `BENCH_serve.json` document.
@@ -167,7 +208,10 @@ impl ServeBenchResult {
              \"serve_no_cache\": {},\n  \
              \"serve_batched\": [\n{}\n  ],\n  \
              \"cache_hot_path\": {},\n  \
-             \"acceptance\": {{\"batched_over_sequential\": {:.2}, \"cold_over_hot_p50\": {:.2}}}\n}}\n",
+             \"rebuild_under_load\": {{\"rebuild_idle_p99_us\": {:.1}, \
+             \"rebuild_under_p99_us\": {:.1}, \"rebuild_outlasted_measurement\": {}}},\n  \
+             \"acceptance\": {{\"batched_over_sequential\": {:.2}, \"cold_over_hot_p50\": {:.2}, \
+             \"rebuild_p99_ratio\": {:.2}}}\n}}\n",
             self.config.num_qubits,
             self.config.num_layers,
             self.cores,
@@ -181,8 +225,12 @@ impl ServeBenchResult {
             json_pass(&self.no_cache),
             batched_rows.join(",\n"),
             json_pass(&self.hot),
+            self.rebuild.idle.p99_us,
+            self.rebuild.under_rebuild.p99_us,
+            self.rebuild.rebuild_outlasted_measurement,
             self.batched_over_sequential(),
             self.cold_over_hot_p50(),
+            self.rebuild_p99_ratio(),
         )
     }
 
@@ -220,6 +268,20 @@ impl ServeBenchResult {
             format!("{:.0}", self.hot.p99_us),
             "100%".to_string(),
         ]);
+        rows.push(vec![
+            "compute path, idle".to_string(),
+            format!("{:.0}", self.rebuild.idle.rps),
+            format!("{:.0}", self.rebuild.idle.p50_us),
+            format!("{:.0}", self.rebuild.idle.p99_us),
+            "0".to_string(),
+        ]);
+        rows.push(vec![
+            "compute path, rebuild running".to_string(),
+            format!("{:.0}", self.rebuild.under_rebuild.rps),
+            format!("{:.0}", self.rebuild.under_rebuild.p50_us),
+            format!("{:.0}", self.rebuild.under_rebuild.p99_us),
+            "0".to_string(),
+        ]);
         markdown_table(
             &["path", "req/s", "p50 (µs)", "p99 (µs)", "hit rate"],
             &rows,
@@ -242,9 +304,16 @@ impl fmt::Display for ServeBenchResult {
         writeln!(f, "{}", self.to_markdown())?;
         writeln!(
             f,
-            "batched serve vs sequential loop: {:.2}x; cold vs hot p50: {:.1}x",
+            "batched serve vs sequential loop: {:.2}x; cold vs hot p50: {:.1}x; \
+             p99 under background rebuild: {:.2}x idle{}",
             self.batched_over_sequential(),
-            self.cold_over_hot_p50()
+            self.cold_over_hot_p50(),
+            self.rebuild_p99_ratio(),
+            if self.rebuild.rebuild_outlasted_measurement {
+                ""
+            } else {
+                " (rebuild finished early!)"
+            },
         )
     }
 }
@@ -453,6 +522,77 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchResult, EnqodeError> {
         pass_stats(latencies, hot_start.elapsed())
     };
 
+    // Rebuild-under-load: the compute path (cache off, every request
+    // fine-tunes) measured idle, then again with a background rebuild of
+    // the same model id training on a worker thread. The rebuild is sized
+    // to outlast the measured passes and cancelled afterwards, so no swap
+    // perturbs the measurement — the leg isolates pure core contention.
+    let rebuild = {
+        let service = Arc::new(EmbedService::new(serve_config(
+            config.batch_sizes.last().copied().unwrap_or(32),
+            0,
+        )));
+        service.register_model("bench", Arc::clone(&pipeline));
+        let measure = |service: &Arc<EmbedService>| {
+            let mut latencies = Vec::new();
+            let mut wall = Duration::ZERO;
+            for _ in 0..2 {
+                let (pass_wall, pass_latencies) = drive_service(service, &stream, config.clients);
+                wall += pass_wall;
+                latencies.extend(pass_latencies);
+            }
+            pass_stats(latencies, wall)
+        };
+        let idle = measure(&service);
+        let rebuild_source = enq_data::SyntheticSource::new(
+            DatasetKind::MnistLike,
+            &SyntheticConfig {
+                classes: 2,
+                samples_per_class: config.rebuild_samples_per_class,
+                seed: config.seed ^ 0xBEEF,
+            },
+        )?;
+        let ticket = match service.rebuild_controller().start(
+            "bench",
+            rebuild_source,
+            enq_serve::RebuildSpec::new(
+                EnqodeConfig {
+                    ansatz: AnsatzConfig {
+                        num_qubits: config.num_qubits,
+                        num_layers: config.num_layers,
+                        entangler: EntanglerKind::Cy,
+                    },
+                    offline_max_iterations: 80,
+                    offline_restarts: 1,
+                    online_max_iterations: config.online_iterations,
+                    offline_rescue: false,
+                    seed: config.seed,
+                    ..EnqodeConfig::default()
+                },
+                enqode::StreamingFitConfig {
+                    chunk_size: 128,
+                    clusters_per_class: 3,
+                    passes: 2,
+                    polish_passes: 1,
+                    ..Default::default()
+                },
+            ),
+        ) {
+            Ok(ticket) => ticket,
+            Err(enq_serve::ServeError::Embed(e)) => return Err(e),
+            Err(e) => return Err(EnqodeError::InvalidConfig(e.to_string())),
+        };
+        let under_rebuild = measure(&service);
+        let rebuild_outlasted_measurement = !ticket.is_finished();
+        ticket.cancel();
+        let _ = ticket.wait();
+        RebuildUnderLoad {
+            idle,
+            under_rebuild,
+            rebuild_outlasted_measurement,
+        }
+    };
+
     Ok(ServeBenchResult {
         config: config.clone(),
         cores,
@@ -461,6 +601,7 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchResult, EnqodeError> {
         no_cache,
         batched,
         hot,
+        rebuild,
     })
 }
 
@@ -484,9 +625,15 @@ mod tests {
         }
         assert!(result.hot.p50_us > 0.0);
         assert!(result.cold_over_hot_p50() > 1.0);
+        assert!(result.rebuild.idle.p99_us > 0.0);
+        assert!(result.rebuild.under_rebuild.p99_us > 0.0);
+        assert!(result.rebuild_p99_ratio() > 0.0);
         let json = result.to_json();
         assert!(json.contains("\"serve_batched\""));
         assert!(json.contains("\"acceptance\""));
+        assert!(json.contains("\"rebuild_p99_ratio\""));
+        assert!(json.contains("\"rebuild_under_load\""));
         assert!(result.to_string().contains("Serve throughput"));
+        assert!(result.to_string().contains("background rebuild"));
     }
 }

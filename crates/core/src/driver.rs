@@ -45,6 +45,7 @@ use enq_data::{
     FeaturePipeline, IncrementalPca, MiniBatchKMeans, MiniBatchKMeansConfig, SampleChunk,
     SampleSource,
 };
+use enq_parallel::CancelToken;
 use std::collections::{BTreeMap, BTreeSet};
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
@@ -261,6 +262,13 @@ pub struct StreamDriver<'s> {
     stream: StreamingFitConfig,
     threads: NonZeroUsize,
     progress: Option<ProgressHook<'s>>,
+    /// Cooperative cancellation flag, polled between chunks, audit rounds,
+    /// and training items (see [`StreamDriver::set_cancel`]).
+    cancel: Option<CancelToken>,
+    /// An adopted, already-fitted feature pipeline: the source is treated as
+    /// yielding **feature-space** records and the feature stage skips the
+    /// PCA fit (see [`StreamDriver::preset_features`]).
+    preset: Option<FeaturePipeline>,
     features: Option<FeaturePipeline>,
     /// Label set discovered by the feature stage — the clustering stage
     /// (re)creates its accumulators from this, so clustering can rerun
@@ -321,6 +329,8 @@ impl<'s> StreamDriver<'s> {
             stream,
             threads,
             progress: None,
+            cancel: None,
+            preset: None,
             features: None,
             labels: Vec::new(),
             spill: None,
@@ -336,6 +346,76 @@ impl<'s> StreamDriver<'s> {
     /// to attribute wall-clock per stage).
     pub fn set_progress(&mut self, hook: impl FnMut(&StageReport) + 's) {
         self.progress = Some(Box::new(hook));
+    }
+
+    /// Installs a cooperative cancellation token. The driver polls it at
+    /// every natural yield point — per ingested chunk, per audit round, and
+    /// per training item — and winds down with [`EnqodeError::Cancelled`]
+    /// when it observes the flag. Cancellation never publishes partial
+    /// results: the pipeline is only returned by a fully completed
+    /// [`StreamDriver::run_training`], and the feature-spill temp file is
+    /// removed when the driver drops.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Adopts an already-fitted feature pipeline and treats the source as
+    /// yielding **feature-space** records (post-PCA, L2-normalised — exactly
+    /// what [`crate::EnqodePipeline::extract_features`] produces, and what a
+    /// serving process's traffic accumulator spills to disk).
+    ///
+    /// With a preset, the feature stage skips the incremental-PCA fit and
+    /// runs a single label-discovery pass (merged with the optional verbatim
+    /// feature spill); clustering, auditing, and training consume the source
+    /// records directly. This is the traffic-refresh path: the model's PCA
+    /// basis stays fixed while centroids and ansatz parameters retrain from
+    /// live traffic.
+    ///
+    /// Must be called before [`StreamDriver::run_features`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::InvalidConfig`] when the pipeline's output
+    /// dimension disagrees with the ansatz dimension or with the source's
+    /// record dimension.
+    pub fn preset_features(&mut self, features: FeaturePipeline) -> Result<(), EnqodeError> {
+        let want = self.config.ansatz.dimension();
+        if features.output_dim() != want {
+            return Err(EnqodeError::InvalidConfig(format!(
+                "preset feature pipeline produces {} features but the ansatz embeds {want}",
+                features.output_dim()
+            )));
+        }
+        if self.source.feature_dim() != want {
+            return Err(EnqodeError::InvalidConfig(format!(
+                "preset features require a feature-space source: source records have \
+                 dimension {} but the feature space is {want}",
+                self.source.feature_dim()
+            )));
+        }
+        self.preset = Some(features);
+        Ok(())
+    }
+
+    /// A chunk-callback cancellation probe bound to this driver's token.
+    fn cancel_probe(&self) -> impl Fn() -> Result<(), DataError> + Send {
+        let cancel = self.cancel.clone();
+        move || {
+            if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                Err(DataError::Cancelled)
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    /// Stage-boundary cancellation check.
+    fn check_cancelled(&self) -> Result<(), EnqodeError> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            Err(EnqodeError::Cancelled)
+        } else {
+            Ok(())
+        }
     }
 
     /// Reports of every stage completed so far, in completion order.
@@ -390,6 +470,7 @@ impl<'s> StreamDriver<'s> {
     /// Propagates source and PCA errors; an empty source yields
     /// [`enq_data::DataError::EmptyDataset`].
     pub fn run_features(&mut self) -> Result<(), EnqodeError> {
+        self.check_cancelled()?;
         let start = Instant::now();
         let num_features = self.config.ansatz.dimension();
         let chunk_size = self.stream.chunk_size;
@@ -399,12 +480,63 @@ impl<'s> StreamDriver<'s> {
         self.spill = None;
         self.spill_reader = None;
         self.labels.clear();
+        let probe = self.cancel_probe();
+
+        if let Some(preset) = self.preset.clone() {
+            // Adopted features: the source already yields feature-space
+            // records, so one pass discovers the label set and (optionally)
+            // spills the records verbatim — no PCA fit at all.
+            let mut label_set = BTreeSet::new();
+            let spill = self.stream.spill_features.then(|| FeatureSpill {
+                path: FeatureSpill::fresh_path(),
+            });
+            let mut writer = spill
+                .as_ref()
+                .map(|s| BinaryDatasetWriter::create(&s.path, num_features, true))
+                .transpose()?;
+            self.source.reset()?;
+            drive_chunks(&mut *self.source, chunk_size, ingest, |chunk| {
+                probe()?;
+                label_set.extend(chunk.labels().iter().copied());
+                if let Some(writer) = writer.as_mut() {
+                    for (sample, &label) in chunk.samples().iter().zip(chunk.labels()) {
+                        writer.append(sample, label)?;
+                    }
+                }
+                Ok(())
+            })
+            .map_err(EnqodeError::from)?;
+            if label_set.is_empty() {
+                return Err(EnqodeError::Data(DataError::EmptyDataset));
+            }
+            if let Some(writer) = writer {
+                writer.finish()?;
+                let spill = spill.expect("writer implies spill");
+                self.spill_reader = Some(BinarySource::open(&spill.path)?);
+                self.spill = Some(spill);
+            }
+            let detail = format!(
+                "{} classes, {} features (preset pipeline, PCA fit skipped){}",
+                label_set.len(),
+                num_features,
+                if self.stream.spill_features {
+                    ", features spilled"
+                } else {
+                    ""
+                },
+            );
+            self.features = Some(preset);
+            self.labels = label_set.into_iter().collect();
+            self.finish_stage(StreamStage::Features, start, 1, detail);
+            return Ok(());
+        }
 
         let mut ipca =
             IncrementalPca::with_threads(self.source.feature_dim(), num_features, self.threads)?;
         let mut label_set = BTreeSet::new();
         self.source.reset()?;
         drive_chunks(&mut *self.source, chunk_size, ingest, |chunk| {
+            probe()?;
             ipca.partial_fit(chunk.samples())?;
             label_set.extend(chunk.labels().iter().copied());
             Ok(())
@@ -425,6 +557,7 @@ impl<'s> StreamDriver<'s> {
             self.source.reset()?;
             let features_ref = &features;
             drive_chunks(&mut *self.source, chunk_size, ingest, |chunk| {
+                probe()?;
                 for (sample, &label) in chunk.samples().iter().zip(chunk.labels()) {
                     writer.append(&features_ref.apply(sample)?, label)?;
                 }
@@ -481,7 +614,7 @@ impl<'s> StreamDriver<'s> {
     /// the fly. Either way the chunks are identical.
     fn for_each_feature_chunk(
         &mut self,
-        f: impl FnMut(&SampleChunk) -> Result<(), DataError>,
+        mut f: impl FnMut(&SampleChunk) -> Result<(), DataError>,
     ) -> Result<(), EnqodeError> {
         let features = self
             .features
@@ -489,13 +622,23 @@ impl<'s> StreamDriver<'s> {
             .ok_or_else(|| stage_order_error("features"))?;
         let chunk_size = self.stream.chunk_size;
         let ingest = self.stream.ingest;
+        let probe = self.cancel_probe();
+        let mut f = move |chunk: &SampleChunk| {
+            probe()?;
+            f(chunk)
+        };
         if let Some(spilled) = &mut self.spill_reader {
             spilled.reset()?;
-            drive_chunks(spilled, chunk_size, ingest, f).map_err(EnqodeError::from)
+            drive_chunks(spilled, chunk_size, ingest, &mut f).map_err(EnqodeError::from)
+        } else if self.preset.is_some() {
+            // Adopted features with no spill: the raw source *is* the
+            // feature stream.
+            self.source.reset()?;
+            drive_chunks(&mut *self.source, chunk_size, ingest, &mut f).map_err(EnqodeError::from)
         } else {
             self.source.reset()?;
             let mut transformed = features.stream_features(&mut *self.source);
-            drive_chunks(&mut transformed, chunk_size, ingest, f).map_err(EnqodeError::from)
+            drive_chunks(&mut transformed, chunk_size, ingest, &mut f).map_err(EnqodeError::from)
         }
     }
 
@@ -626,6 +769,7 @@ impl<'s> StreamDriver<'s> {
     /// Returns [`EnqodeError::InvalidConfig`] if the feature stage has not
     /// run; propagates source and clustering errors.
     pub fn run_clustering(&mut self) -> Result<(), EnqodeError> {
+        self.check_cancelled()?;
         if self.features.is_none() {
             return Err(stage_order_error("features"));
         }
@@ -738,6 +882,7 @@ impl<'s> StreamDriver<'s> {
     /// Returns [`EnqodeError::InvalidConfig`] if clustering has not run;
     /// propagates source errors.
     pub fn run_fidelity_audit(&mut self) -> Result<(), EnqodeError> {
+        self.check_cancelled()?;
         if self.accumulators.is_empty()
             || self
                 .accumulators
@@ -753,6 +898,7 @@ impl<'s> StreamDriver<'s> {
         let mut splits = 0usize;
         let mut passes = 0usize;
         let final_stats = loop {
+            self.check_cancelled()?;
             let stats = self.audit_pass()?;
             rounds += 1;
             passes += 1;
@@ -853,6 +999,7 @@ impl<'s> StreamDriver<'s> {
     /// Returns [`EnqodeError::InvalidConfig`] if clustering has not run;
     /// propagates training errors.
     pub fn run_training(&mut self) -> Result<EnqodePipeline, EnqodeError> {
+        self.check_cancelled()?;
         if self.features.is_none()
             || self.accumulators.is_empty()
             || self
@@ -873,7 +1020,13 @@ impl<'s> StreamDriver<'s> {
             .unwrap_or(NonZeroUsize::MIN);
         let symbolic = Arc::new(SymbolicState::from_ansatz(&self.config.ansatz)?);
         let config = &self.config;
+        let cancel = self.cancel.clone();
         let class_models = enq_parallel::try_par_map(&class_centroids, |i, centroids| {
+            // Training is the longest stage; a cancellation observed here
+            // skips the remaining class fits instead of finishing them.
+            if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                return Err(EnqodeError::Cancelled);
+            }
             let model = EnqodeModel::fit_from_centroids(
                 centroids,
                 config.clone(),
@@ -1073,6 +1226,145 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn preset_features_retrain_clusters_against_a_feature_space_source() {
+        let data = generate_synthetic(
+            DatasetKind::MnistLike,
+            &SyntheticConfig {
+                classes: 2,
+                samples_per_class: 8,
+                seed: 11,
+            },
+        )
+        .unwrap();
+        // Fit a reference pipeline, then re-train from its *feature* stream,
+        // exactly what the traffic-refresh path does.
+        let mut source = InMemorySource::new(&data);
+        let reference = StreamDriver::new(&mut source, tiny_config(11), tiny_stream())
+            .unwrap()
+            .run()
+            .unwrap();
+        let features: Vec<Vec<f64>> = data
+            .samples()
+            .iter()
+            .map(|s| reference.extract_features(s).unwrap())
+            .collect();
+        let feature_data =
+            enq_data::Dataset::new("features", features, data.labels().to_vec()).unwrap();
+
+        for spill in [false, true] {
+            let mut feature_source = InMemorySource::new(&feature_data);
+            let stream = StreamingFitConfig {
+                spill_features: spill,
+                ..tiny_stream()
+            };
+            let mut driver =
+                StreamDriver::new(&mut feature_source, tiny_config(11), stream).unwrap();
+            driver
+                .preset_features(reference.features().clone())
+                .unwrap();
+            let refreshed = driver.run().unwrap();
+            assert_eq!(refreshed.class_models().len(), 2);
+            // The adopted feature pipeline is untouched: both pipelines
+            // extract bit-identical features from a raw sample.
+            let a = reference.extract_features(data.sample(0)).unwrap();
+            let b = refreshed.extract_features(data.sample(0)).unwrap();
+            assert_eq!(a, b, "spill={spill}");
+            // And the refreshed fit matches the reference fit bit for bit:
+            // the feature stream it saw is exactly what the reference
+            // clustering stage saw.
+            for (ca, cb) in reference
+                .class_models()
+                .iter()
+                .zip(refreshed.class_models())
+            {
+                assert_eq!(ca.label, cb.label);
+                for (ka, kb) in ca.model.clusters().iter().zip(cb.model.clusters()) {
+                    assert_eq!(ka.centroid, kb.centroid, "spill={spill}");
+                    assert_eq!(ka.parameters, kb.parameters, "spill={spill}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preset_features_reject_mismatched_dimensions() {
+        let data = generate_synthetic(
+            DatasetKind::MnistLike,
+            &SyntheticConfig {
+                classes: 1,
+                samples_per_class: 4,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let mut source = InMemorySource::new(&data);
+        let pipeline = StreamDriver::new(&mut source, tiny_config(3), tiny_stream())
+            .unwrap()
+            .run()
+            .unwrap();
+        // A raw 784-dim source is not a feature-space source.
+        let mut raw = InMemorySource::new(&data);
+        let mut driver = StreamDriver::new(&mut raw, tiny_config(3), tiny_stream()).unwrap();
+        assert!(matches!(
+            driver.preset_features(pipeline.features().clone()),
+            Err(EnqodeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn cancellation_winds_down_between_chunks_without_leaking_spills() {
+        let data = generate_synthetic(
+            DatasetKind::MnistLike,
+            &SyntheticConfig {
+                classes: 2,
+                samples_per_class: 8,
+                seed: 13,
+            },
+        )
+        .unwrap();
+        let spill_count = || {
+            std::fs::read_dir(std::env::temp_dir())
+                .unwrap()
+                .filter_map(Result::ok)
+                .filter(|e| {
+                    e.file_name()
+                        .to_string_lossy()
+                        .starts_with(&format!("enq_stream_spill_{}_", std::process::id()))
+                })
+                .count()
+        };
+        let spills_before = spill_count();
+        let mut source = InMemorySource::new(&data);
+        let token = CancelToken::new();
+        {
+            let mut driver =
+                StreamDriver::new(&mut source, tiny_config(13), tiny_stream()).unwrap();
+            driver.set_cancel(token.clone());
+            // Features complete, then cancellation lands: the next stage
+            // must refuse to run and no pipeline is ever produced.
+            driver.run_features().unwrap();
+            assert!(driver.spill_reader.is_some(), "spill file exists mid-fit");
+            token.cancel();
+            assert!(matches!(
+                driver.run_clustering(),
+                Err(EnqodeError::Cancelled)
+            ));
+            assert!(matches!(driver.run_training(), Err(EnqodeError::Cancelled)));
+        }
+        // Dropping the cancelled driver removed its spill file.
+        assert_eq!(spill_count(), spills_before);
+
+        // A token cancelled before the first chunk stops the feature stage
+        // itself.
+        let mut source = InMemorySource::new(&data);
+        let mut driver = StreamDriver::new(&mut source, tiny_config(13), tiny_stream()).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        driver.set_cancel(token);
+        assert!(matches!(driver.run_features(), Err(EnqodeError::Cancelled)));
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub enum EnqodeError {
     StatePrep(enq_stateprep::StatePrepError),
     /// An error from the linear-algebra layer.
     Linalg(enq_linalg::LinalgError),
+    /// A streaming fit wound down after a cooperative cancellation request
+    /// (see [`crate::StreamDriver::set_cancel`]). Not a failure: the caller
+    /// asked for the work to stop, and no partial results were published.
+    Cancelled,
 }
 
 impl fmt::Display for EnqodeError {
@@ -47,6 +51,7 @@ impl fmt::Display for EnqodeError {
             EnqodeError::Data(e) => write!(f, "data error: {e}"),
             EnqodeError::StatePrep(e) => write!(f, "state preparation error: {e}"),
             EnqodeError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            EnqodeError::Cancelled => write!(f, "the streaming fit was cancelled"),
         }
     }
 }
@@ -78,7 +83,13 @@ impl From<enq_qsim::QsimError> for EnqodeError {
 
 impl From<enq_data::DataError> for EnqodeError {
     fn from(e: enq_data::DataError) -> Self {
-        EnqodeError::Data(e)
+        match e {
+            // A cancellation surfacing through a chunk callback is this
+            // crate's cancellation, not a data failure: collapse the two so
+            // every caller matches one variant.
+            enq_data::DataError::Cancelled => EnqodeError::Cancelled,
+            e => EnqodeError::Data(e),
+        }
     }
 }
 

@@ -32,6 +32,10 @@ pub enum DataError {
     Io(String),
     /// An underlying linear-algebra routine failed.
     Linalg(enq_linalg::LinalgError),
+    /// A streaming pass was cancelled cooperatively (see
+    /// `enq_parallel::CancelToken`): not a data failure — the consumer asked
+    /// the pass to wind down early.
+    Cancelled,
 }
 
 impl fmt::Display for DataError {
@@ -55,6 +59,7 @@ impl fmt::Display for DataError {
             ),
             DataError::Io(msg) => write!(f, "ingestion error: {msg}"),
             DataError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            DataError::Cancelled => write!(f, "the streaming pass was cancelled"),
         }
     }
 }

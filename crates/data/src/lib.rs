@@ -47,6 +47,7 @@ mod error;
 mod incremental;
 mod kmeans;
 mod minibatch;
+mod multi;
 mod pca;
 mod prefetch;
 mod preprocess;
@@ -64,6 +65,7 @@ pub use minibatch::{
     inertia_of, minibatch_kmeans, minibatch_kmeans_with_threads, MiniBatchKMeans,
     MiniBatchKMeansConfig, MiniBatchKMeansModel,
 };
+pub use multi::{ChainedSource, ShardedSource};
 pub use pca::Pca;
 pub use prefetch::{drive_chunks, ChunkPrefetcher, IngestMode, DEFAULT_PREFETCH_DEPTH};
 pub use preprocess::{l2_normalize, FeaturePipeline, TransformedSource};

@@ -1,0 +1,450 @@
+//! Multi-source combinators: training over partitioned on-disk corpora.
+//!
+//! Production traffic accumulates as **shards** — one binary file per day,
+//! per ingestion node, or per spill of a serving process's traffic buffer —
+//! and the streaming fits want to see them as *one* deterministic sample
+//! stream. Two combinators compose arbitrary [`SampleSource`]s into one:
+//!
+//! * [`ChainedSource`] — plain concatenation: shard 0 in full, then shard 1,
+//!   … Chunks freely straddle shard boundaries, so the chunk sequence is
+//!   **bit-identical to a single source holding the concatenated samples**
+//!   for every chunk size (the equivalence the lifecycle proptests pin).
+//! * [`ShardedSource`] — deterministic block-round-robin interleave: `block`
+//!   samples from shard 0, `block` from shard 1, …, wrapping until every
+//!   shard is exhausted (shards that run dry simply drop out of the
+//!   rotation). Interleaving decorrelates time-ordered shards (e.g. one
+//!   shard per day of traffic) so multi-pass mini-batch fits do not see one
+//!   distribution for the first half of every pass and another for the
+//!   second.
+//!
+//! Both combinators define their sample sequence independently of the chunk
+//! size they are driven at — the sequence depends only on the shard order,
+//! the block size, and each shard's own (deterministic, chunk-size-invariant
+//! by the [`SampleSource`] contract) sample order. They therefore compose
+//! with [`crate::ChunkPrefetcher`] exactly like any single source: a
+//! prefetched pass is bit-identical to a synchronous one, and per-shard
+//! open/seek latency hides behind compute.
+
+use crate::error::DataError;
+use crate::stream::{SampleChunk, SampleSource};
+
+/// Validates a shard list and returns the common feature dimension.
+fn common_dim(shards: &[Box<dyn SampleSource + '_>]) -> Result<usize, DataError> {
+    let first = shards.first().ok_or(DataError::EmptyDataset)?;
+    let dim = first.feature_dim();
+    for shard in shards.iter().skip(1) {
+        if shard.feature_dim() != dim {
+            return Err(DataError::DimensionMismatch {
+                expected: dim,
+                found: shard.feature_dim(),
+            });
+        }
+    }
+    Ok(dim)
+}
+
+/// Sum of the shard length hints (`None` if any shard cannot say).
+fn summed_hint(shards: &[Box<dyn SampleSource + '_>]) -> Option<usize> {
+    shards.iter().map(|s| s.len_hint()).sum()
+}
+
+/// Sequential concatenation of several [`SampleSource`]s.
+///
+/// The sample sequence is shard 0's samples, then shard 1's, and so on; a
+/// chunk that exhausts one shard keeps filling from the next, so chunking is
+/// bit-identical to chunking one source that held all samples back to back.
+///
+/// # Examples
+///
+/// ```
+/// use enq_data::{ChainedSource, Dataset, InMemorySource, SampleSource};
+///
+/// let a = Dataset::new("a", vec![vec![1.0], vec![2.0]], vec![0, 0])?;
+/// let b = Dataset::new("b", vec![vec![3.0]], vec![1])?;
+/// let mut chained = ChainedSource::new(vec![
+///     Box::new(InMemorySource::new(&a)),
+///     Box::new(InMemorySource::new(&b)),
+/// ])?;
+/// assert_eq!(chained.len_hint(), Some(3));
+/// let all = enq_data::materialize(&mut chained, "all")?;
+/// assert_eq!(all.samples(), &[vec![1.0], vec![2.0], vec![3.0]]);
+/// # Ok::<(), enq_data::DataError>(())
+/// ```
+pub struct ChainedSource<'s> {
+    shards: Vec<Box<dyn SampleSource + 's>>,
+    current: usize,
+    feature_dim: usize,
+    scratch: SampleChunk,
+}
+
+impl<'s> ChainedSource<'s> {
+    /// Chains the shards in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyDataset`] for an empty shard list and
+    /// [`DataError::DimensionMismatch`] when the shards disagree on the
+    /// feature dimension.
+    pub fn new(shards: Vec<Box<dyn SampleSource + 's>>) -> Result<Self, DataError> {
+        let feature_dim = common_dim(&shards)?;
+        Ok(Self {
+            shards,
+            current: 0,
+            feature_dim,
+            scratch: SampleChunk::new(),
+        })
+    }
+
+    /// Number of underlying shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl std::fmt::Debug for ChainedSource<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainedSource")
+            .field("shards", &self.shards.len())
+            .field("current", &self.current)
+            .field("feature_dim", &self.feature_dim)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SampleSource for ChainedSource<'_> {
+    fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        summed_hint(&self.shards)
+    }
+
+    fn reset(&mut self) -> Result<(), DataError> {
+        for shard in &mut self.shards {
+            shard.reset()?;
+        }
+        self.current = 0;
+        Ok(())
+    }
+
+    fn next_chunk(
+        &mut self,
+        max_samples: usize,
+        chunk: &mut SampleChunk,
+    ) -> Result<usize, DataError> {
+        if max_samples == 0 {
+            return Err(DataError::InvalidParameter(
+                "max_samples must be positive".to_string(),
+            ));
+        }
+        chunk.clear();
+        while chunk.len() < max_samples && self.current < self.shards.len() {
+            let want = max_samples - chunk.len();
+            let n = self.shards[self.current].next_chunk(want, &mut self.scratch)?;
+            if n == 0 {
+                self.current += 1;
+                continue;
+            }
+            self.scratch.drain_into(chunk);
+        }
+        Ok(chunk.len())
+    }
+}
+
+/// Deterministic block-round-robin interleave of several [`SampleSource`]s.
+///
+/// The sample sequence takes [`block`](ShardedSource::block) samples from
+/// shard 0, then `block` from shard 1, …, wrapping around until every shard
+/// is exhausted; a shard that runs dry mid-rotation drops out and the
+/// remaining shards keep rotating. The sequence depends only on the shard
+/// order and `block` — never on the chunk size the combinator is driven at —
+/// so chunking is bit-identical to chunking one source holding the
+/// interleaved samples.
+///
+/// # Examples
+///
+/// ```
+/// use enq_data::{Dataset, InMemorySource, SampleSource, ShardedSource};
+///
+/// let a = Dataset::new("a", vec![vec![1.0], vec![2.0], vec![3.0]], vec![0, 0, 0])?;
+/// let b = Dataset::new("b", vec![vec![9.0]], vec![1])?;
+/// let mut sharded = ShardedSource::new(
+///     vec![
+///         Box::new(InMemorySource::new(&a)),
+///         Box::new(InMemorySource::new(&b)),
+///     ],
+///     1,
+/// )?;
+/// let all = enq_data::materialize(&mut sharded, "interleaved")?;
+/// // Round-robin 1-blocks: a, b, a (b exhausted), a.
+/// assert_eq!(all.samples(), &[vec![1.0], vec![9.0], vec![2.0], vec![3.0]]);
+/// # Ok::<(), enq_data::DataError>(())
+/// ```
+pub struct ShardedSource<'s> {
+    shards: Vec<Box<dyn SampleSource + 's>>,
+    block: usize,
+    /// Shard the rotation currently draws from.
+    cursor: usize,
+    /// Samples still owed by the current block of the current shard.
+    block_remaining: usize,
+    exhausted: Vec<bool>,
+    live: usize,
+    feature_dim: usize,
+    scratch: SampleChunk,
+}
+
+impl<'s> ShardedSource<'s> {
+    /// Interleaves the shards in `block`-sample runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyDataset`] for an empty shard list,
+    /// [`DataError::DimensionMismatch`] when the shards disagree on the
+    /// feature dimension, and [`DataError::InvalidParameter`] for a zero
+    /// `block`.
+    pub fn new(shards: Vec<Box<dyn SampleSource + 's>>, block: usize) -> Result<Self, DataError> {
+        if block == 0 {
+            return Err(DataError::InvalidParameter(
+                "interleave block must be positive".to_string(),
+            ));
+        }
+        let feature_dim = common_dim(&shards)?;
+        let live = shards.len();
+        let exhausted = vec![false; shards.len()];
+        Ok(Self {
+            shards,
+            block,
+            cursor: 0,
+            block_remaining: block,
+            exhausted,
+            live,
+            feature_dim,
+            scratch: SampleChunk::new(),
+        })
+    }
+
+    /// Number of underlying shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Samples taken from a shard per rotation turn.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Moves the rotation to the next shard with a fresh block.
+    fn advance(&mut self) {
+        self.cursor = (self.cursor + 1) % self.shards.len();
+        self.block_remaining = self.block;
+    }
+}
+
+impl std::fmt::Debug for ShardedSource<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSource")
+            .field("shards", &self.shards.len())
+            .field("block", &self.block)
+            .field("cursor", &self.cursor)
+            .field("live", &self.live)
+            .field("feature_dim", &self.feature_dim)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SampleSource for ShardedSource<'_> {
+    fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        summed_hint(&self.shards)
+    }
+
+    fn reset(&mut self) -> Result<(), DataError> {
+        for shard in &mut self.shards {
+            shard.reset()?;
+        }
+        self.cursor = 0;
+        self.block_remaining = self.block;
+        self.exhausted.fill(false);
+        self.live = self.shards.len();
+        Ok(())
+    }
+
+    fn next_chunk(
+        &mut self,
+        max_samples: usize,
+        chunk: &mut SampleChunk,
+    ) -> Result<usize, DataError> {
+        if max_samples == 0 {
+            return Err(DataError::InvalidParameter(
+                "max_samples must be positive".to_string(),
+            ));
+        }
+        chunk.clear();
+        while chunk.len() < max_samples && self.live > 0 {
+            if self.exhausted[self.cursor] {
+                self.advance();
+                continue;
+            }
+            // Never over-draw the block: a chunk boundary mid-block leaves
+            // `block_remaining` owed by the same shard, so the interleaved
+            // sequence is independent of the chunk size.
+            let want = self.block_remaining.min(max_samples - chunk.len());
+            let n = self.shards[self.cursor].next_chunk(want, &mut self.scratch)?;
+            if n == 0 {
+                self.exhausted[self.cursor] = true;
+                self.live -= 1;
+                self.advance();
+                continue;
+            }
+            self.scratch.drain_into(chunk);
+            self.block_remaining -= n;
+            if self.block_remaining == 0 {
+                self.advance();
+            }
+        }
+        Ok(chunk.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::prefetch::{drive_chunks, IngestMode};
+    use crate::stream::{materialize, InMemorySource};
+
+    fn shard(tag: f64, n: usize) -> Dataset {
+        Dataset::new(
+            format!("shard{tag}"),
+            (0..n).map(|i| vec![tag, i as f64]).collect(),
+            (0..n).map(|i| i % 2).collect(),
+        )
+        .unwrap()
+    }
+
+    fn boxed<'a>(datasets: &'a [Dataset]) -> Vec<Box<dyn SampleSource + 'a>> {
+        datasets
+            .iter()
+            .map(|d| Box::new(InMemorySource::new(d)) as Box<dyn SampleSource + 'a>)
+            .collect()
+    }
+
+    #[test]
+    fn chained_source_concatenates_and_straddles_boundaries() {
+        let datasets = vec![shard(1.0, 3), shard(2.0, 5), shard(3.0, 2)];
+        let mut chained = ChainedSource::new(boxed(&datasets)).unwrap();
+        assert_eq!(chained.num_shards(), 3);
+        assert_eq!(chained.len_hint(), Some(10));
+        assert_eq!(chained.feature_dim(), 2);
+        // A chunk of 4 crosses the 3-sample boundary of shard 0.
+        let mut chunk = SampleChunk::new();
+        assert_eq!(chained.next_chunk(4, &mut chunk).unwrap(), 4);
+        assert_eq!(chunk.samples()[2], vec![1.0, 2.0]);
+        assert_eq!(chunk.samples()[3], vec![2.0, 0.0]);
+        chained.reset().unwrap();
+        let all = materialize(&mut chained, "all").unwrap();
+        let expected: Vec<Vec<f64>> = datasets.iter().flat_map(|d| d.samples().to_vec()).collect();
+        assert_eq!(all.samples(), &expected[..]);
+    }
+
+    #[test]
+    fn sharded_source_interleaves_deterministically() {
+        let datasets = vec![shard(1.0, 4), shard(2.0, 2)];
+        let mut sharded = ShardedSource::new(boxed(&datasets), 2).unwrap();
+        assert_eq!(sharded.block(), 2);
+        let all = materialize(&mut sharded, "interleaved").unwrap();
+        // Blocks of 2: a0 a1, b0 b1, a2 a3 (b exhausted).
+        let expected = [
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![2.0, 0.0],
+            vec![2.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ];
+        assert_eq!(all.samples(), &expected[..]);
+        assert_eq!(all.labels(), &[0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn interleaved_sequence_is_chunk_size_invariant() {
+        let datasets = vec![shard(1.0, 7), shard(2.0, 3), shard(3.0, 5)];
+        let reference = {
+            let mut s = ShardedSource::new(boxed(&datasets), 2).unwrap();
+            materialize(&mut s, "ref").unwrap()
+        };
+        for chunk_size in [1, 2, 3, 5, 64] {
+            let mut s = ShardedSource::new(boxed(&datasets), 2).unwrap();
+            let mut samples = Vec::new();
+            let mut labels = Vec::new();
+            drive_chunks(&mut s, chunk_size, IngestMode::Synchronous, |chunk| {
+                samples.extend_from_slice(chunk.samples());
+                labels.extend_from_slice(chunk.labels());
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(samples, reference.samples(), "chunk size {chunk_size}");
+            assert_eq!(labels, reference.labels(), "chunk size {chunk_size}");
+            // A second pass after reset replays the identical sequence.
+            s.reset().unwrap();
+            let again = materialize(&mut s, "again").unwrap();
+            assert_eq!(again.samples(), reference.samples());
+        }
+    }
+
+    #[test]
+    fn combinators_compose_with_the_prefetcher() {
+        let datasets = vec![shard(1.0, 6), shard(2.0, 4)];
+        let collect = |mode: IngestMode| {
+            let mut s = ShardedSource::new(boxed(&datasets), 3).unwrap();
+            let mut samples = Vec::new();
+            drive_chunks(&mut s, 4, mode, |chunk| {
+                samples.extend_from_slice(chunk.samples());
+                Ok(())
+            })
+            .unwrap();
+            samples
+        };
+        assert_eq!(
+            collect(IngestMode::Synchronous),
+            collect(IngestMode::Prefetched)
+        );
+    }
+
+    #[test]
+    fn invalid_shard_lists_are_rejected() {
+        assert!(matches!(
+            ChainedSource::new(Vec::new()),
+            Err(DataError::EmptyDataset)
+        ));
+        assert!(matches!(
+            ShardedSource::new(Vec::new(), 1),
+            Err(DataError::EmptyDataset)
+        ));
+        let narrow = Dataset::new("n", vec![vec![1.0]], vec![0]).unwrap();
+        let wide = Dataset::new("w", vec![vec![1.0, 2.0]], vec![0]).unwrap();
+        let mismatched: Vec<Box<dyn SampleSource + '_>> = vec![
+            Box::new(InMemorySource::new(&narrow)),
+            Box::new(InMemorySource::new(&wide)),
+        ];
+        assert!(matches!(
+            ChainedSource::new(mismatched),
+            Err(DataError::DimensionMismatch {
+                expected: 1,
+                found: 2
+            })
+        ));
+        let one = Dataset::new("o", vec![vec![1.0]], vec![0]).unwrap();
+        assert!(matches!(
+            ShardedSource::new(vec![Box::new(InMemorySource::new(&one))], 0),
+            Err(DataError::InvalidParameter(_))
+        ));
+        let mut ok = ChainedSource::new(vec![Box::new(InMemorySource::new(&one))]).unwrap();
+        let mut chunk = SampleChunk::new();
+        assert!(ok.next_chunk(0, &mut chunk).is_err());
+    }
+}

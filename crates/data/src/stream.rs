@@ -70,6 +70,15 @@ impl SampleChunk {
         self.samples.push(sample);
         self.labels.push(label);
     }
+
+    /// Moves every sample of this chunk onto the end of `target`, leaving
+    /// this chunk empty. The per-sample `Vec` allocations are moved, not
+    /// cloned — this is how the multi-source combinators splice inner-shard
+    /// reads into one output chunk without copying samples.
+    pub fn drain_into(&mut self, target: &mut SampleChunk) {
+        target.samples.append(&mut self.samples);
+        target.labels.append(&mut self.labels);
+    }
 }
 
 /// A rewindable source of labelled samples, read one bounded chunk at a time.

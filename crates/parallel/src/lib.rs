@@ -18,8 +18,9 @@
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, OnceLock};
+use std::thread::JoinHandle;
 
 /// Returns the worker count used by [`par_map`]: the `ENQODE_THREADS`
 /// environment variable when set, otherwise [`std::thread::available_parallelism`].
@@ -165,6 +166,126 @@ where
         }
     }
     Ok(out)
+}
+
+/// A shared cooperative-cancellation flag.
+///
+/// Long-running work (a streaming fit on a worker thread, a multi-pass
+/// ingestion loop) polls the token at its natural yield points — typically
+/// once per chunk or stage — and winds down cleanly when it observes a
+/// cancellation. Cancellation is **sticky** (there is no un-cancel) and
+/// cloning is cheap: every clone observes the same flag.
+///
+/// # Examples
+///
+/// ```
+/// use enq_parallel::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; every clone of the token observes
+    /// it on its next [`CancelToken::is_cancelled`] poll.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// A handle to a cancellable background worker thread (see [`spawn_worker`]).
+///
+/// The worker receives a [`CancelToken`] clone and is expected to poll it;
+/// [`WorkerHandle::cancel`] only *requests* the wind-down — the thread keeps
+/// running until it next observes the flag. Dropping the handle cancels the
+/// worker but does **not** join it (the thread detaches and finishes its
+/// wind-down on its own); call [`WorkerHandle::join`] to wait for the result.
+#[derive(Debug)]
+pub struct WorkerHandle<T> {
+    token: CancelToken,
+    handle: Option<JoinHandle<T>>,
+}
+
+impl<T> WorkerHandle<T> {
+    /// The worker's cancellation token (clone it to cancel from elsewhere).
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Requests cooperative cancellation of the worker.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Whether the worker thread has finished (normally or by winding down
+    /// after a cancellation).
+    pub fn is_finished(&self) -> bool {
+        self.handle.as_ref().is_none_or(JoinHandle::is_finished)
+    }
+
+    /// Blocks until the worker finishes and returns its result (an `Err`
+    /// carries the worker's panic payload, as with
+    /// [`std::thread::JoinHandle::join`]).
+    pub fn join(mut self) -> std::thread::Result<T> {
+        self.handle
+            .take()
+            .expect("join consumes the only handle")
+            .join()
+    }
+}
+
+impl<T> Drop for WorkerHandle<T> {
+    fn drop(&mut self) {
+        // Dropping the handle abandons interest in the result: request the
+        // wind-down and let the thread detach.
+        self.token.cancel();
+    }
+}
+
+/// Spawns `f` on a named background thread with a fresh [`CancelToken`].
+///
+/// The closure owns a clone of the token; the returned [`WorkerHandle`]
+/// holds the other end. Use it when one owner holds the handle for the
+/// worker's whole life (cancel-on-drop is the safety net). Consumers whose
+/// cancellation outlives any single owner — e.g. the serve layer's rebuild
+/// tickets, which are cloneable and detached — share a [`CancelToken`]
+/// directly and manage their thread themselves.
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn a thread.
+pub fn spawn_worker<T, F>(name: &str, f: F) -> WorkerHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce(CancelToken) -> T + Send + 'static,
+{
+    let token = CancelToken::new();
+    let worker_token = token.clone();
+    let handle = std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(move || f(worker_token))
+        .expect("spawning a worker thread");
+    WorkerHandle {
+        token,
+        handle: Some(handle),
+    }
 }
 
 /// Runs a producer and a consumer concurrently over a pool of recycled
@@ -421,6 +542,65 @@ mod tests {
             |_| Err("consumer failed"),
         );
         assert_eq!(err, Err("consumer failed"));
+    }
+
+    #[test]
+    fn cancel_token_is_sticky_and_shared() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        clone.cancel(); // idempotent
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn worker_runs_to_completion_without_cancellation() {
+        let worker = spawn_worker("test-worker", |token| {
+            assert!(!token.is_cancelled());
+            21u32 * 2
+        });
+        assert_eq!(worker.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn worker_observes_cancellation_and_winds_down() {
+        let worker = spawn_worker("test-cancel", |token| {
+            let mut polls = 0u64;
+            while !token.is_cancelled() {
+                polls += 1;
+                std::thread::yield_now();
+            }
+            polls
+        });
+        worker.cancel();
+        let polls = worker.join().unwrap();
+        // The worker exited through the cancellation path (any poll count).
+        let _ = polls;
+    }
+
+    #[test]
+    fn dropping_the_handle_cancels_but_detaches() {
+        let (tx, rx) = mpsc::channel::<bool>();
+        let worker = spawn_worker("test-drop", move |token| {
+            while !token.is_cancelled() {
+                std::thread::yield_now();
+            }
+            tx.send(true).expect("receiver outlives the worker");
+        });
+        let token = worker.token().clone();
+        drop(worker);
+        assert!(token.is_cancelled(), "drop requests cancellation");
+        // The detached thread still winds down and reports.
+        assert!(rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap());
+    }
+
+    #[test]
+    fn worker_panics_surface_through_join() {
+        let worker = spawn_worker("test-panic", |_| panic!("worker failed"));
+        assert!(worker.join().is_err());
     }
 
     #[test]

@@ -16,6 +16,17 @@ pub enum ServeError {
     /// The service is shutting down and no longer accepts requests, or shut
     /// down while this request was queued.
     ShuttingDown,
+    /// A background rebuild is already running for this model id; one
+    /// in-flight rebuild per id keeps generation swaps linearisable.
+    RebuildInProgress(String),
+    /// No recorded traffic is available to refresh this model from.
+    NoTraffic(String),
+    /// Reading or writing traffic shards failed.
+    Traffic(enq_data::DataError),
+    /// A background rebuild could not be started (e.g. the worker thread
+    /// failed to spawn under resource exhaustion). The ticket, if any, is
+    /// finished as failed and the id is free to retry.
+    Rebuild(String),
 }
 
 impl fmt::Display for ServeError {
@@ -24,6 +35,17 @@ impl fmt::Display for ServeError {
             ServeError::ModelNotFound(id) => write!(f, "no model registered under id {id:?}"),
             ServeError::Embed(e) => write!(f, "embedding failed: {e}"),
             ServeError::ShuttingDown => write!(f, "the embedding service is shutting down"),
+            ServeError::RebuildInProgress(id) => {
+                write!(
+                    f,
+                    "a background rebuild is already running for model {id:?}"
+                )
+            }
+            ServeError::NoTraffic(id) => {
+                write!(f, "no recorded traffic to refresh model {id:?} from")
+            }
+            ServeError::Traffic(e) => write!(f, "traffic shard error: {e}"),
+            ServeError::Rebuild(msg) => write!(f, "background rebuild error: {msg}"),
         }
     }
 }
@@ -32,6 +54,7 @@ impl Error for ServeError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ServeError::Embed(e) => Some(e),
+            ServeError::Traffic(e) => Some(e),
             _ => None,
         }
     }

@@ -44,18 +44,41 @@
 //! the batcher changes scheduling, never math. With the cache enabled, a hit
 //! returns the exact solution object computed for the first request of its
 //! quantization bucket.
+//!
+//! ## Model lifecycle
+//!
+//! Serving is only half of a production system; the other half is getting
+//! fresh models *back in* without pausing the first half. Three pieces close
+//! the loop:
+//!
+//! * [`TrafficAccumulator`] — every request that pays for feature
+//!   extraction records its post-PCA feature vector (and served label) into
+//!   a bounded per-model buffer that spills to `ENQB` shards on disk;
+//! * [`RebuildController`] — runs the staged [`enqode::StreamDriver`] on a
+//!   worker thread with per-stage progress, cooperative cancellation, and a
+//!   generation-bumped atomic swap on success (registry untouched on
+//!   cancel/error);
+//! * [`EmbedService::refresh_from_traffic`] — the one-call loop: snapshot
+//!   the traffic shards, retrain clusters + ansatz parameters against the
+//!   model's existing PCA basis in the background, swap.
 
 #![warn(missing_docs)]
 
 mod batcher;
 mod cache;
 mod error;
+mod rebuild;
 mod registry;
 mod service;
 mod solution;
+mod traffic;
 
 pub use cache::{quantize_features, CacheConfig, CacheKey, CacheStats, SolutionCache};
 pub use error::ServeError;
+pub use rebuild::{RebuildController, RebuildSpec, RebuildStatus, RebuildTicket, StageProgress};
 pub use registry::{ModelRegistry, DEFAULT_REGISTRY_SHARDS};
 pub use service::{EmbedResponse, EmbedService, ServeConfig, ServiceStats, SolutionSource};
 pub use solution::Solution;
+pub use traffic::{
+    TrafficAccumulator, TrafficConfig, TrafficCorpus, TrafficShard, TrafficSource, TrafficStats,
+};

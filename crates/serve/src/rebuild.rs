@@ -1,0 +1,541 @@
+//! Non-blocking background model rebuilds.
+//!
+//! [`ModelRegistry::rebuild_streaming`] trains on the calling thread — fine
+//! for an offline deploy tool, unacceptable inside a serving process whose
+//! control plane must keep answering health checks and deploys. The
+//! [`RebuildController`] runs the same staged [`StreamDriver`] on a
+//! dedicated worker thread instead:
+//!
+//! * **Progress** — the driver's per-stage `set_progress` hook streams
+//!   [`StageProgress`] records into the returned [`RebuildTicket`], so the
+//!   control plane can report "features done, clustering 2/4 passes" without
+//!   touching the worker.
+//! * **Cancellation** — [`RebuildTicket::cancel`] trips a cooperative
+//!   [`CancelToken`] polled by the driver between chunks, audit rounds, and
+//!   training items; the worker winds down, the registry is untouched, and
+//!   the feature-spill temp file is removed with the driver.
+//! * **Atomic swap** — only a fully trained pipeline is published, via
+//!   [`ModelRegistry::insert`] under the same id: the registration
+//!   generation bumps, so in-flight requests finish on the pipeline they
+//!   resolved while new requests (and all cache keys) see exactly one
+//!   consistent model. On *any* failure — and on a cancellation that lands
+//!   after training finished but before the swap — the registry keeps
+//!   serving the previous generation.
+//!
+//! One rebuild may be in flight per model id ([`ServeError::RebuildInProgress`]
+//! otherwise); different ids rebuild concurrently.
+
+use crate::error::ServeError;
+use crate::registry::ModelRegistry;
+use enq_data::{FeaturePipeline, SampleSource};
+use enq_parallel::CancelToken;
+use enqode::{EnqodeConfig, EnqodeError, EnqodePipeline, StreamDriver, StreamingFitConfig};
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Everything a background rebuild needs besides its sample source.
+#[derive(Debug, Clone)]
+pub struct RebuildSpec {
+    /// Model/ansatz configuration of the retrained pipeline.
+    pub config: EnqodeConfig,
+    /// Streaming-fit shape (chunk size, passes, audit threshold, …).
+    pub stream: StreamingFitConfig,
+    /// An already-fitted feature pipeline to adopt: the source is then read
+    /// as **feature-space** records (the traffic-refresh path — see
+    /// [`StreamDriver::preset_features`]). `None` fits a fresh PCA from the
+    /// raw source.
+    pub features: Option<FeaturePipeline>,
+    /// Worker threads for the fit; `None` uses
+    /// [`enq_parallel::default_threads`]. Stage results are bit-identical
+    /// for every value.
+    pub threads: Option<NonZeroUsize>,
+}
+
+impl RebuildSpec {
+    /// A spec that fits everything (PCA included) from the raw source.
+    pub fn new(config: EnqodeConfig, stream: StreamingFitConfig) -> Self {
+        Self {
+            config,
+            stream,
+            features: None,
+            threads: None,
+        }
+    }
+}
+
+/// Terminal-or-running state of one background rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebuildStatus {
+    /// The worker is still fitting.
+    Running,
+    /// The new pipeline was trained and swapped into the registry.
+    Succeeded,
+    /// The rebuild observed a cancellation and wound down; the registry was
+    /// left untouched.
+    Cancelled,
+    /// The fit failed (message from the underlying error); the registry was
+    /// left untouched.
+    Failed(String),
+}
+
+impl RebuildStatus {
+    /// Whether the rebuild has reached a terminal state.
+    pub fn is_finished(&self) -> bool {
+        !matches!(self, RebuildStatus::Running)
+    }
+}
+
+/// One completed driver stage, as surfaced through a [`RebuildTicket`].
+#[derive(Debug, Clone)]
+pub struct StageProgress {
+    /// Stable stage name (`features`, `clustering`, `fidelity-audit`,
+    /// `training`).
+    pub stage: &'static str,
+    /// Wall-clock duration of the stage.
+    pub duration: Duration,
+    /// Human-readable stage summary from the driver.
+    pub detail: String,
+}
+
+#[derive(Debug)]
+struct TicketState {
+    status: RebuildStatus,
+    stages: Vec<StageProgress>,
+}
+
+#[derive(Debug)]
+struct TicketShared {
+    model_id: String,
+    state: Mutex<TicketState>,
+    finished: Condvar,
+    token: CancelToken,
+}
+
+/// A cloneable handle to one background rebuild.
+#[derive(Debug, Clone)]
+pub struct RebuildTicket {
+    shared: Arc<TicketShared>,
+}
+
+impl RebuildTicket {
+    /// The model id being rebuilt.
+    pub fn model_id(&self) -> &str {
+        &self.shared.model_id
+    }
+
+    /// Requests cooperative cancellation. The worker winds down at its next
+    /// poll point; the registry is left untouched even if training already
+    /// finished.
+    pub fn cancel(&self) {
+        self.shared.token.cancel();
+    }
+
+    /// Current status snapshot.
+    pub fn status(&self) -> RebuildStatus {
+        self.shared
+            .state
+            .lock()
+            .expect("rebuild ticket poisoned")
+            .status
+            .clone()
+    }
+
+    /// Whether the rebuild has reached a terminal state.
+    pub fn is_finished(&self) -> bool {
+        self.status().is_finished()
+    }
+
+    /// Stages completed so far, in completion order.
+    pub fn progress(&self) -> Vec<StageProgress> {
+        self.shared
+            .state
+            .lock()
+            .expect("rebuild ticket poisoned")
+            .stages
+            .clone()
+    }
+
+    /// Blocks until the rebuild reaches a terminal state and returns it.
+    pub fn wait(&self) -> RebuildStatus {
+        let mut state = self.shared.state.lock().expect("rebuild ticket poisoned");
+        while !state.status.is_finished() {
+            state = self
+                .shared
+                .finished
+                .wait(state)
+                .expect("rebuild ticket poisoned");
+        }
+        state.status.clone()
+    }
+
+    fn finish(&self, status: RebuildStatus) {
+        let mut state = self.shared.state.lock().expect("rebuild ticket poisoned");
+        state.status = status;
+        self.shared.finished.notify_all();
+    }
+
+    fn push_stage(&self, progress: StageProgress) {
+        self.shared
+            .state
+            .lock()
+            .expect("rebuild ticket poisoned")
+            .stages
+            .push(progress);
+    }
+}
+
+/// Hook run after a successful swap with `(model_id, kept_feature_basis)`.
+/// `kept_feature_basis` is `true` when the rebuild adopted an existing
+/// feature pipeline ([`RebuildSpec::features`]) — recorded traffic stays
+/// valid for the new model — and `false` when a fresh PCA basis was fitted,
+/// in which case previously recorded feature vectors live in the *old*
+/// basis and must be discarded (the service clears its traffic buffer).
+type SwapHook = Arc<dyn Fn(&str, bool) + Send + Sync>;
+
+/// The background-rebuild coordinator of one registry (module docs have the
+/// full design).
+pub struct RebuildController {
+    registry: Arc<ModelRegistry>,
+    active: Mutex<HashMap<String, RebuildTicket>>,
+    swap_hook: Option<SwapHook>,
+}
+
+impl std::fmt::Debug for RebuildController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let active = self.active.lock().expect("rebuild controller poisoned");
+        f.debug_struct("RebuildController")
+            .field("active", &active.len())
+            .field("has_swap_hook", &self.swap_hook.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RebuildController {
+    /// Creates a controller swapping rebuilt models into `registry`.
+    pub fn new(registry: Arc<ModelRegistry>) -> Self {
+        Self {
+            registry,
+            active: Mutex::new(HashMap::new()),
+            swap_hook: None,
+        }
+    }
+
+    /// [`RebuildController::new`] plus a hook invoked after every successful
+    /// swap with `(model_id, kept_feature_basis)`: the flag is `true` when
+    /// the rebuild adopted an existing feature pipeline
+    /// ([`RebuildSpec::features`]) and `false` when a fresh PCA basis was
+    /// fitted — in which case feature vectors recorded under the old basis
+    /// are no longer valid training data. [`crate::EmbedService`] wires its
+    /// cache sweep (and, on a basis change, its traffic-buffer
+    /// invalidation) through this.
+    pub fn with_swap_hook(
+        registry: Arc<ModelRegistry>,
+        hook: impl Fn(&str, bool) + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            registry,
+            active: Mutex::new(HashMap::new()),
+            swap_hook: Some(Arc::new(hook)),
+        }
+    }
+
+    /// The registry rebuilt models are swapped into.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The ticket of `model_id`'s in-flight rebuild, if one is running.
+    pub fn active_rebuild(&self, model_id: &str) -> Option<RebuildTicket> {
+        self.active
+            .lock()
+            .expect("rebuild controller poisoned")
+            .get(model_id)
+            .filter(|t| !t.is_finished())
+            .cloned()
+    }
+
+    /// Starts a background rebuild of `model_id` from `source` and returns
+    /// its ticket immediately. The worker trains via the staged
+    /// [`StreamDriver`] and, on success, swaps the pipeline into the
+    /// registry under the same id with a fresh generation. On failure or
+    /// cancellation the registry is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::RebuildInProgress`] when `model_id` already has
+    /// an unfinished rebuild, and configuration errors
+    /// ([`ServeError::Embed`]) detected before the worker spawns.
+    pub fn start<S>(
+        &self,
+        model_id: impl Into<String>,
+        source: S,
+        spec: RebuildSpec,
+    ) -> Result<RebuildTicket, ServeError>
+    where
+        S: SampleSource + 'static,
+    {
+        let model_id = model_id.into();
+        // Validate eagerly so obviously broken specs fail at the call site
+        // instead of asynchronously on the ticket.
+        spec.config.ansatz.validate().map_err(ServeError::Embed)?;
+        spec.stream.validate().map_err(ServeError::Embed)?;
+
+        let mut active = self.active.lock().expect("rebuild controller poisoned");
+        if active.get(&model_id).is_some_and(|t| !t.is_finished()) {
+            return Err(ServeError::RebuildInProgress(model_id));
+        }
+
+        let shared = Arc::new(TicketShared {
+            model_id: model_id.clone(),
+            state: Mutex::new(TicketState {
+                status: RebuildStatus::Running,
+                stages: Vec::new(),
+            }),
+            finished: Condvar::new(),
+            token: CancelToken::new(),
+        });
+        let ticket = RebuildTicket { shared };
+        active.insert(model_id.clone(), ticket.clone());
+        drop(active);
+
+        let registry = Arc::clone(&self.registry);
+        let swap_hook = self.swap_hook.clone();
+        let worker_ticket = ticket.clone();
+        let token = ticket.shared.token.clone();
+        let threads = spec.threads.unwrap_or_else(enq_parallel::default_threads);
+        let spawned = std::thread::Builder::new()
+            .name(format!("enq-rebuild-{model_id}"))
+            .spawn(move || {
+                let mut source = source;
+                let kept_feature_basis = spec.features.is_some();
+                let outcome = run_rebuild(&mut source, &spec, threads, &token, &worker_ticket);
+                // Release the source before publishing the terminal status:
+                // a ticket observed finished guarantees the rebuild no
+                // longer holds source resources (open shard files, traffic
+                // corpus references), so callers can clear/compact them.
+                drop(source);
+                let status = match outcome {
+                    // A cancellation that lands after training finished but
+                    // before the swap still leaves the registry untouched —
+                    // the caller asked for no new model to be published.
+                    Ok(_) if token.is_cancelled() => RebuildStatus::Cancelled,
+                    Ok(pipeline) => {
+                        registry.insert(&*worker_ticket.shared.model_id, Arc::new(pipeline));
+                        if let Some(hook) = &swap_hook {
+                            hook(&worker_ticket.shared.model_id, kept_feature_basis);
+                        }
+                        RebuildStatus::Succeeded
+                    }
+                    Err(EnqodeError::Cancelled) => RebuildStatus::Cancelled,
+                    Err(e) => RebuildStatus::Failed(e.to_string()),
+                };
+                worker_ticket.finish(status);
+            });
+        if let Err(e) = spawned {
+            // Thread exhaustion — the exact degraded condition rebuilds run
+            // in. Fail the ticket (so clones are never stuck Running) and
+            // free the id for a retry instead of panicking with the map
+            // entry locked at Running forever.
+            ticket.finish(RebuildStatus::Failed(format!(
+                "spawning the rebuild worker failed: {e}"
+            )));
+            self.active
+                .lock()
+                .expect("rebuild controller poisoned")
+                .remove(&model_id);
+            return Err(ServeError::Rebuild(format!(
+                "could not spawn the rebuild worker for {model_id:?}: {e}"
+            )));
+        }
+        Ok(ticket)
+    }
+}
+
+/// The worker body: drive all stages with progress + cancellation wired.
+fn run_rebuild(
+    source: &mut dyn SampleSource,
+    spec: &RebuildSpec,
+    threads: NonZeroUsize,
+    token: &CancelToken,
+    ticket: &RebuildTicket,
+) -> Result<EnqodePipeline, EnqodeError> {
+    let mut driver =
+        StreamDriver::with_threads(source, spec.config.clone(), spec.stream.clone(), threads)?;
+    if let Some(features) = &spec.features {
+        driver.preset_features(features.clone())?;
+    }
+    driver.set_cancel(token.clone());
+    let progress_ticket = ticket.clone();
+    driver.set_progress(move |report| {
+        progress_ticket.push_stage(StageProgress {
+            stage: report.stage.name(),
+            duration: report.duration,
+            detail: report.detail.clone(),
+        });
+    });
+    driver.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enq_data::{DataError, SampleChunk, SyntheticConfig, SyntheticSource};
+    use enqode::{AnsatzConfig, EntanglerKind};
+
+    fn tiny_config(seed: u64) -> EnqodeConfig {
+        EnqodeConfig {
+            ansatz: AnsatzConfig {
+                num_qubits: 2,
+                num_layers: 2,
+                entangler: EntanglerKind::Cy,
+            },
+            fidelity_threshold: 0.5,
+            max_clusters: 2,
+            offline_max_iterations: 15,
+            offline_restarts: 1,
+            online_max_iterations: 5,
+            offline_rescue: false,
+            seed,
+        }
+    }
+
+    fn tiny_stream() -> StreamingFitConfig {
+        StreamingFitConfig {
+            chunk_size: 4,
+            clusters_per_class: 1,
+            passes: 1,
+            polish_passes: 1,
+            ..Default::default()
+        }
+    }
+
+    fn synthetic(seed: u64, per_class: usize) -> SyntheticSource {
+        SyntheticSource::new(
+            enq_data::DatasetKind::MnistLike,
+            &SyntheticConfig {
+                classes: 2,
+                samples_per_class: per_class,
+                seed,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rebuild_succeeds_swaps_and_reports_progress() {
+        let registry = Arc::new(ModelRegistry::with_shards(2));
+        let swept = Arc::new(Mutex::new(Vec::<String>::new()));
+        let swept_ref = Arc::clone(&swept);
+        let controller =
+            RebuildController::with_swap_hook(Arc::clone(&registry), move |id, kept| {
+                assert!(!kept, "this rebuild fits a fresh basis");
+                swept_ref.lock().unwrap().push(id.to_string());
+            });
+        let ticket = controller
+            .start(
+                "fresh",
+                synthetic(5, 6),
+                RebuildSpec::new(tiny_config(5), tiny_stream()),
+            )
+            .unwrap();
+        assert_eq!(ticket.model_id(), "fresh");
+        assert_eq!(ticket.wait(), RebuildStatus::Succeeded);
+        assert!(ticket.is_finished());
+        let pipeline = registry.get("fresh").expect("swapped in");
+        assert_eq!(pipeline.class_models().len(), 2);
+        let stages: Vec<&str> = ticket.progress().iter().map(|s| s.stage).collect();
+        assert_eq!(stages, vec!["features", "clustering", "training"]);
+        assert_eq!(*swept.lock().unwrap(), vec!["fresh".to_string()]);
+        assert!(controller.active_rebuild("fresh").is_none());
+    }
+
+    #[test]
+    fn only_one_rebuild_per_id_and_ids_are_independent() {
+        /// A source that parks until told to proceed, keeping the rebuild
+        /// in-flight deterministically.
+        struct GatedSource {
+            inner: SyntheticSource,
+            gate: Arc<std::sync::atomic::AtomicBool>,
+        }
+        impl SampleSource for GatedSource {
+            fn feature_dim(&self) -> usize {
+                self.inner.feature_dim()
+            }
+            fn reset(&mut self) -> Result<(), DataError> {
+                self.inner.reset()
+            }
+            fn next_chunk(
+                &mut self,
+                max_samples: usize,
+                chunk: &mut SampleChunk,
+            ) -> Result<usize, DataError> {
+                while !self.gate.load(std::sync::atomic::Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                self.inner.next_chunk(max_samples, chunk)
+            }
+        }
+
+        let registry = Arc::new(ModelRegistry::with_shards(2));
+        let controller = RebuildController::new(Arc::clone(&registry));
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let slow = GatedSource {
+            inner: synthetic(7, 4),
+            gate: Arc::clone(&gate),
+        };
+        let ticket = controller
+            .start("a", slow, RebuildSpec::new(tiny_config(7), tiny_stream()))
+            .unwrap();
+        assert_eq!(ticket.status(), RebuildStatus::Running);
+        assert!(controller.active_rebuild("a").is_some());
+        // Same id: refused while in flight.
+        assert!(matches!(
+            controller.start(
+                "a",
+                synthetic(8, 4),
+                RebuildSpec::new(tiny_config(8), tiny_stream())
+            ),
+            Err(ServeError::RebuildInProgress(id)) if id == "a"
+        ));
+        // Different id: runs concurrently.
+        let other = controller
+            .start(
+                "b",
+                synthetic(9, 4),
+                RebuildSpec::new(tiny_config(9), tiny_stream()),
+            )
+            .unwrap();
+        assert_eq!(other.wait(), RebuildStatus::Succeeded);
+        gate.store(true, std::sync::atomic::Ordering::Release);
+        assert_eq!(ticket.wait(), RebuildStatus::Succeeded);
+        // A finished id can rebuild again.
+        let again = controller
+            .start(
+                "a",
+                synthetic(10, 4),
+                RebuildSpec::new(tiny_config(10), tiny_stream()),
+            )
+            .unwrap();
+        assert_eq!(again.wait(), RebuildStatus::Succeeded);
+    }
+
+    #[test]
+    fn invalid_specs_fail_at_the_call_site() {
+        let controller = RebuildController::new(Arc::new(ModelRegistry::new()));
+        let bad_stream = StreamingFitConfig {
+            chunk_size: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            controller.start(
+                "x",
+                synthetic(1, 4),
+                RebuildSpec::new(tiny_config(1), bad_stream)
+            ),
+            Err(ServeError::Embed(_))
+        ));
+        assert!(controller.active_rebuild("x").is_none());
+    }
+}

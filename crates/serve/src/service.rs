@@ -20,9 +20,11 @@
 use crate::batcher::{BatchQueue, PendingRequest, ReplySlot};
 use crate::cache::{CacheConfig, CacheKey, CacheStats, SolutionCache};
 use crate::error::ServeError;
+use crate::rebuild::{RebuildController, RebuildSpec, RebuildTicket};
 use crate::registry::{ModelRegistry, DEFAULT_REGISTRY_SHARDS};
 use crate::solution::Solution;
-use enqode::{EnqodeError, EnqodePipeline};
+use crate::traffic::{TrafficAccumulator, TrafficConfig};
+use enqode::{EnqodeConfig, EnqodeError, EnqodePipeline, StreamingFitConfig};
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -88,6 +90,11 @@ pub struct ServeConfig {
     /// Worker threads for the per-batch fan-out; `None` uses
     /// [`enq_parallel::default_threads`].
     pub threads: Option<NonZeroUsize>,
+    /// Traffic capture for model refresh: every request that pays for
+    /// feature extraction records its post-PCA feature vector (and served
+    /// label) into the per-model [`TrafficAccumulator`]. Disabled by
+    /// default.
+    pub traffic: TrafficConfig,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +105,7 @@ impl Default for ServeConfig {
             cache: CacheConfig::default(),
             registry_shards: DEFAULT_REGISTRY_SHARDS,
             threads: None,
+            traffic: TrafficConfig::default(),
         }
     }
 }
@@ -163,6 +171,12 @@ pub struct EmbedService {
     memo: Arc<SolutionCache>,
     queue: Arc<BatchQueue>,
     counters: Arc<Counters>,
+    /// Per-model capture of served feature vectors — the training side of
+    /// the model lifecycle (see [`EmbedService::refresh_from_traffic`]).
+    traffic: Arc<TrafficAccumulator>,
+    /// Background-rebuild coordinator over the shared registry, wired to
+    /// sweep this service's cache tiers after every swap.
+    rebuilds: RebuildController,
     worker: Option<JoinHandle<()>>,
     config: ServeConfig,
 }
@@ -184,12 +198,34 @@ impl EmbedService {
         }));
         let queue = Arc::new(BatchQueue::new());
         let counters = Arc::new(Counters::default());
+        let traffic = Arc::new(TrafficAccumulator::new(config.traffic.clone()));
+        let rebuilds = {
+            let cache = Arc::clone(&cache);
+            let memo = Arc::clone(&memo);
+            let traffic = Arc::clone(&traffic);
+            RebuildController::with_swap_hook(
+                Arc::clone(&registry),
+                move |model_id, kept_feature_basis| {
+                    // Generation-scoped keys already make old entries
+                    // unreachable; the sweep reclaims their memory promptly.
+                    cache.invalidate_model(model_id);
+                    memo.invalidate_model(model_id);
+                    // A rebuild that fitted a fresh PCA basis invalidates the
+                    // recorded traffic too: those feature vectors live in the
+                    // *old* basis and would poison the next refresh.
+                    if !kept_feature_basis {
+                        traffic.clear(model_id);
+                    }
+                },
+            )
+        };
         let worker = {
             let registry = Arc::clone(&registry);
             let cache = Arc::clone(&cache);
             let memo = Arc::clone(&memo);
             let queue = Arc::clone(&queue);
             let counters = Arc::clone(&counters);
+            let traffic = Arc::clone(&traffic);
             let max_batch = config.max_batch_size.max(1);
             let flush = config.flush_deadline;
             let threads = config.threads.unwrap_or_else(enq_parallel::default_threads);
@@ -205,7 +241,9 @@ impl EmbedService {
                         // `ShuttingDown`.
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                process_batch(batch, &registry, &cache, &memo, &counters, threads)
+                                process_batch(
+                                    batch, &registry, &cache, &memo, &traffic, &counters, threads,
+                                )
                             }));
                         if outcome.is_err() {
                             queue.shutdown();
@@ -224,6 +262,8 @@ impl EmbedService {
             memo,
             queue,
             counters,
+            traffic,
+            rebuilds,
             worker: Some(worker),
             config,
         }
@@ -237,7 +277,12 @@ impl EmbedService {
     /// flight during the swap — are unreachable from the moment the new
     /// registration lands. The old entries are additionally swept from both
     /// cache tiers here to reclaim their memory promptly (LRU eviction
-    /// would reclaim them eventually regardless).
+    /// would reclaim them eventually regardless). A **replace** also clears
+    /// the model's recorded traffic: an operator-deployed pipeline carries
+    /// its own PCA basis, and feature vectors recorded under the previous
+    /// basis would poison a later [`EmbedService::refresh_from_traffic`]
+    /// (basis-preserving background refreshes keep the traffic — see
+    /// [`RebuildController::with_swap_hook`]).
     pub fn register_model(
         &self,
         model_id: impl Into<String>,
@@ -247,15 +292,18 @@ impl EmbedService {
         let previous = self.registry.insert(model_id.clone(), pipeline.into());
         if previous.is_some() {
             self.invalidate_model(&model_id);
+            self.traffic.clear(&model_id);
         }
         previous
     }
 
-    /// Removes a model from the registry and sweeps its cached solutions.
-    /// In-flight requests holding the pipeline finish normally.
+    /// Removes a model from the registry and sweeps its cached solutions
+    /// and recorded traffic. In-flight requests holding the pipeline finish
+    /// normally.
     pub fn unregister_model(&self, model_id: &str) -> Option<Arc<EnqodePipeline>> {
         let previous = self.registry.remove(model_id);
         self.invalidate_model(model_id);
+        self.traffic.clear(model_id);
         previous
     }
 
@@ -327,6 +375,7 @@ impl EmbedService {
             raw_sample,
             &self.cache,
             &self.memo,
+            &self.traffic,
         );
         match outcome {
             Ok((solution, source)) => {
@@ -373,6 +422,65 @@ impl EmbedService {
     pub fn memo_stats(&self) -> CacheStats {
         self.memo.stats()
     }
+
+    /// Returns the traffic accumulator: every request that paid for feature
+    /// extraction (computed solutions and feature-cache hits; literal
+    /// repeats answered by the memo tier skip extraction and are not
+    /// re-recorded) has its post-PCA feature vector and served label
+    /// captured here, ready to retrain from.
+    pub fn traffic(&self) -> &Arc<TrafficAccumulator> {
+        &self.traffic
+    }
+
+    /// Returns the background-rebuild coordinator bound to this service's
+    /// registry. Successful swaps sweep this service's cache tiers; the
+    /// generation bump makes stale entries unreachable regardless.
+    pub fn rebuild_controller(&self) -> &RebuildController {
+        &self.rebuilds
+    }
+
+    /// Starts a **background** retrain of `model_id` from the traffic it
+    /// served — the full lifecycle loop: the accumulated feature shards are
+    /// snapshotted ([`TrafficAccumulator::corpus`]), streamed through the
+    /// staged driver on a worker thread with the model's **existing PCA
+    /// basis adopted** (only centroids and ansatz parameters refresh), and
+    /// the result is atomically swapped in under the same id with a fresh
+    /// generation. Serving never blocks; the returned ticket reports
+    /// progress and accepts cancellation.
+    ///
+    /// The spec's `spill_features` knob is ignored (forced off): the corpus
+    /// already *is* an mmap-backed feature stream, so spilling would only
+    /// duplicate it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ModelNotFound`] for unknown ids,
+    /// [`ServeError::NoTraffic`] when nothing was recorded,
+    /// [`ServeError::RebuildInProgress`] when a rebuild of this id is
+    /// already in flight, and [`ServeError::Traffic`] for unreadable shard
+    /// files.
+    pub fn refresh_from_traffic(
+        &self,
+        model_id: &str,
+        config: EnqodeConfig,
+        stream: StreamingFitConfig,
+    ) -> Result<RebuildTicket, ServeError> {
+        let Some(pipeline) = self.registry.get(model_id) else {
+            return Err(ServeError::ModelNotFound(model_id.to_string()));
+        };
+        let corpus = self.traffic.corpus(model_id)?;
+        let source = corpus.chronological_source()?;
+        let spec = RebuildSpec {
+            config,
+            stream: StreamingFitConfig {
+                spill_features: false,
+                ..stream
+            },
+            features: Some(pipeline.features().clone()),
+            threads: self.config.threads,
+        };
+        self.rebuilds.start(model_id, source, spec)
+    }
 }
 
 impl Drop for EmbedService {
@@ -395,6 +503,7 @@ fn serve_one(
     raw_sample: &[f64],
     cache: &SolutionCache,
     memo: &SolutionCache,
+    traffic: &TrafficAccumulator,
 ) -> Result<(Arc<Solution>, SolutionSource), EnqodeError> {
     // Tier 1: a literal repeat of a served sample skips feature extraction
     // (the dominant classical cost of a hit) entirely.
@@ -416,11 +525,13 @@ fn serve_one(
             if let Some(memo_key) = memo_key {
                 memo.insert_key(memo_key, Arc::clone(&hit));
             }
+            traffic.record(model_id, &features, hit.label);
             return Ok((hit, SolutionSource::CacheHit));
         }
         missed_key = Some(key);
     }
     let (label, embedding) = pipeline.embed_features(&features)?;
+    traffic.record(model_id, &features, label);
     let solution = Arc::new(Solution { label, embedding });
     if let Some(key) = missed_key {
         cache.insert_key(key, Arc::clone(&solution));
@@ -430,6 +541,11 @@ fn serve_one(
     }
     Ok((solution, SolutionSource::Computed))
 }
+
+/// A deduplicated batch mate: request index, its raw-keyed memo slot, and
+/// the feature vector it extracted (recorded into the traffic accumulator
+/// once the leader's solution lands).
+type Follower = (usize, Option<CacheKey>, Vec<f64>);
 
 /// One batch entry that missed the cache and needs the optimiser.
 struct ColdJob {
@@ -448,6 +564,7 @@ fn process_batch(
     registry: &ModelRegistry,
     cache: &SolutionCache,
     memo: &SolutionCache,
+    traffic: &TrafficAccumulator,
     counters: &Counters,
     threads: NonZeroUsize,
 ) {
@@ -485,8 +602,10 @@ fn process_batch(
 
     // Phase 1 (sequential, cheap): resolve models, extract features, check
     // the cache, and group duplicates behind one leader per quantized key.
+    // Followers keep their own feature vector so every request that paid
+    // for extraction is recorded into the traffic accumulator.
     let mut cold: Vec<ColdJob> = Vec::new();
-    let mut followers: Vec<Vec<(usize, Option<CacheKey>)>> = Vec::new();
+    let mut followers: Vec<Vec<Follower>> = Vec::new();
     let mut leader_of: HashMap<CacheKey, usize> = HashMap::new();
     for (i, request) in batch.iter().enumerate() {
         let Some((pipeline, generation)) = registry.get_with_generation(&request.model_id) else {
@@ -522,11 +641,12 @@ fn process_batch(
                 if let Some(memo_key) = memo_key {
                     memo.insert_key(memo_key, Arc::clone(&hit));
                 }
+                traffic.record(&request.model_id, &features, hit.label);
                 reply_to(request, Ok((hit, SolutionSource::CacheHit)));
                 continue;
             }
             if let Some(&leader) = leader_of.get(&key) {
-                followers[leader].push((i, memo_key));
+                followers[leader].push((i, memo_key, features));
                 continue;
             }
             leader_of.insert(key.clone(), cold.len());
@@ -562,14 +682,16 @@ fn process_batch(
                 if let Some(key) = &job.memo_key {
                     memo.insert_key(key.clone(), Arc::clone(&solution));
                 }
+                traffic.record(&batch[job.request_index].model_id, &job.features, label);
                 reply_to(
                     &batch[job.request_index],
                     Ok((Arc::clone(&solution), SolutionSource::Computed)),
                 );
-                for (mate, mate_memo_key) in mates {
+                for (mate, mate_memo_key, mate_features) in mates {
                     if let Some(key) = mate_memo_key {
                         memo.insert_key(key, Arc::clone(&solution));
                     }
+                    traffic.record(&batch[mate].model_id, &mate_features, label);
                     reply_to(
                         &batch[mate],
                         Ok((Arc::clone(&solution), SolutionSource::BatchDedup)),
@@ -577,7 +699,9 @@ fn process_batch(
                 }
             }
             Err(e) => {
-                for (index, _) in std::iter::once((job.request_index, None)).chain(mates) {
+                for (index, ..) in
+                    std::iter::once((job.request_index, None, Vec::new())).chain(mates)
+                {
                     reply_to(&batch[index], Err(ServeError::Embed(e.clone())));
                 }
             }
@@ -735,6 +859,72 @@ mod tests {
             Err(ServeError::ModelNotFound(_))
         ));
         assert_eq!(service.invalidate_model("tiny"), 0, "already invalidated");
+    }
+
+    #[test]
+    fn traffic_refresh_retrains_and_swaps_in_the_background() {
+        let (pipeline, dataset) = tiny_pipeline(5);
+        let service = EmbedService::new(ServeConfig {
+            flush_deadline: Duration::ZERO,
+            traffic: crate::traffic::TrafficConfig {
+                enabled: true,
+                buffer_samples: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        service.register_model("tiny", pipeline);
+        // Serve a deterministic stream: every request pays for feature
+        // extraction once and is recorded (repeats hit the memo tier and
+        // are not re-recorded).
+        for i in 0..dataset.len() {
+            service.embed("tiny", dataset.sample(i)).unwrap();
+        }
+        let stats = service.traffic().stats("tiny");
+        assert_eq!(stats.recorded, dataset.len() as u64);
+        assert!(stats.shards >= 1, "budget of 4 forces spills");
+
+        let (_, old_generation) = service.registry().get_with_generation("tiny").unwrap();
+        let config = EnqodeConfig {
+            ansatz: enqode::AnsatzConfig {
+                num_qubits: 3,
+                num_layers: 4,
+                entangler: EntanglerKind::Cy,
+            },
+            offline_max_iterations: 30,
+            offline_restarts: 1,
+            online_max_iterations: 10,
+            offline_rescue: false,
+            seed: 55,
+            ..EnqodeConfig::default()
+        };
+        let stream = enqode::StreamingFitConfig {
+            chunk_size: 4,
+            clusters_per_class: 1,
+            passes: 1,
+            polish_passes: 1,
+            ..Default::default()
+        };
+        let ticket = service
+            .refresh_from_traffic("tiny", config, stream)
+            .unwrap();
+        assert_eq!(ticket.wait(), crate::rebuild::RebuildStatus::Succeeded);
+        let (refreshed, new_generation) = service.registry().get_with_generation("tiny").unwrap();
+        assert!(new_generation > old_generation, "swap bumps the generation");
+        // The refreshed model adopted the serving pipeline's PCA basis and
+        // serves every embed path.
+        assert_eq!(refreshed.feature_dimension(), 8);
+        let response = service.embed("tiny", dataset.sample(0)).unwrap();
+        assert_eq!(response.source, SolutionSource::Computed, "caches swept");
+        // Refresh knows about ids and traffic it does not have.
+        assert!(matches!(
+            service.refresh_from_traffic(
+                "nope",
+                EnqodeConfig::default(),
+                enqode::StreamingFitConfig::default()
+            ),
+            Err(ServeError::ModelNotFound(_))
+        ));
     }
 
     #[test]
