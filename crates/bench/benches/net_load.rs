@@ -1,0 +1,73 @@
+//! Network-tier load benchmark at the paper shape (8 qubits, 8 layers).
+//!
+//! Run with `cargo bench -p enq_bench --bench net_load`. Spawns a live
+//! `enqd` front door (solution cache off, small `max_pending`), probes its
+//! closed-loop capacity, then offers 1×/2×/4× that capacity open-loop.
+//! Writes `BENCH_net.json` at the repository root and enforces the
+//! acceptance gates:
+//!
+//! * admitted p99 at 4× overload ≤ 5× the un-overloaded p99 (shedding
+//!   bounds the tail instead of letting the queue grow),
+//! * goodput at 4× overload ≥ 1 req/s (the server keeps doing useful work
+//!   while shedding), and
+//! * every rejected request carries a typed retryable error — the typed
+//!   reject fraction is exactly 1.0.
+//!
+//! Set `ENQ_NET_BENCH_TINY=1` for a smoke run (used by CI to keep the
+//! regeneration path from rotting without paying the full measurement).
+
+use enq_bench::net::{run, NetBenchConfig};
+use std::path::Path;
+
+fn main() {
+    let tiny = std::env::var("ENQ_NET_BENCH_TINY").is_ok_and(|v| v == "1");
+    let config = if tiny {
+        NetBenchConfig::tiny()
+    } else {
+        NetBenchConfig::paper()
+    };
+    let result = run(&config).expect("network load benchmark runs");
+    println!("{result}");
+
+    let json = result.to_json();
+    let out_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_net.json");
+    if tiny {
+        // Smoke mode validates the full regeneration path without
+        // overwriting the measured numbers with toy-shape ones.
+        println!("(tiny smoke run; BENCH_net.json left untouched)");
+        println!("{json}");
+    } else {
+        std::fs::write(&out_path, &json).expect("writing BENCH_net.json");
+        println!("wrote {}", out_path.display());
+    }
+
+    let p99_ratio = result.overload_admitted_p99_ratio();
+    let goodput = result.overload_goodput_rps();
+    let typed_fraction = result.overload_typed_reject_fraction();
+    if tiny {
+        // The smoke run exercises the regeneration path end to end; the
+        // latency thresholds are calibrated for the paper shape only. The
+        // typed-reject contract holds at any shape.
+        println!(
+            "smoke ratios (not gated): admitted p99 {p99_ratio:.2}x idle, \
+             goodput {goodput:.0} req/s, typed fraction {typed_fraction:.3}"
+        );
+        assert!(
+            (typed_fraction - 1.0).abs() < f64::EPSILON,
+            "every reject must be typed, even at smoke shape (got {typed_fraction:.4})"
+        );
+        return;
+    }
+    assert!(
+        p99_ratio <= 5.0,
+        "acceptance: admitted p99 at 4x overload must stay <= 5x idle p99 (got {p99_ratio:.2}x)"
+    );
+    assert!(
+        goodput >= 1.0,
+        "acceptance: goodput at 4x overload must stay nonzero (got {goodput:.1} req/s)"
+    );
+    assert!(
+        (typed_fraction - 1.0).abs() < f64::EPSILON,
+        "acceptance: every rejected request must carry a typed retryable error (got {typed_fraction:.4})"
+    );
+}

@@ -139,6 +139,29 @@ pub fn default_gates() -> Vec<GateSpec> {
             direction: Direction::AtLeast,
             threshold: Threshold::Fixed(1.3),
         },
+        // Network serving tier: the enqd front door under 4× offered
+        // overload. Shedding must bound the admitted tail (p99 ≤ 5× the
+        // un-overloaded p99), keep goodput nonzero, and answer every
+        // turned-away request with a typed retryable error (fraction is
+        // exactly 1.0 — a single silently dropped request fails the gate).
+        GateSpec {
+            file: "BENCH_net.json",
+            key: "overload_admitted_p99_ratio",
+            direction: Direction::AtMost,
+            threshold: Threshold::Fixed(5.0),
+        },
+        GateSpec {
+            file: "BENCH_net.json",
+            key: "overload_goodput_rps",
+            direction: Direction::AtLeast,
+            threshold: Threshold::Fixed(1.0),
+        },
+        GateSpec {
+            file: "BENCH_net.json",
+            key: "overload_typed_reject_fraction",
+            direction: Direction::AtLeast,
+            threshold: Threshold::Fixed(1.0),
+        },
         // Adaptive fidelity-threshold search: every audited cluster
         // fidelity ends at or above the recorded threshold (the per-class
         // cap is sized so it never binds on the benchmark dataset).

@@ -14,6 +14,9 @@
 //!   regenerates `BENCH_serve.json`),
 //! * [`fit`] — streaming (out-of-core) training vs the full-batch reference
 //!   (incremental PCA + mini-batch k-means; regenerates `BENCH_fit.json`),
+//! * [`net`] — the `enqd` TCP front door under controlled overload:
+//!   goodput, admitted-tail latency, and typed-shed behaviour at 1×/2×/4×
+//!   the measured capacity (regenerates `BENCH_net.json`),
 //! * [`check`] — the `bench_check` regression gates CI enforces over every
 //!   committed `BENCH_*.json` artifact.
 //!
@@ -41,5 +44,6 @@ pub mod fig67;
 pub mod fig8;
 pub mod fig9;
 pub mod fit;
+pub mod net;
 pub mod report;
 pub mod serve;

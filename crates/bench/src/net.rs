@@ -1,0 +1,623 @@
+//! Network-tier load benchmark: goodput, latency percentiles, and shed
+//! behaviour of the `enqd` TCP front door under controlled overload.
+//!
+//! The run has two phases against one live [`EnqdServer`] (solution cache
+//! off, so every admitted request pays real fine-tuning compute):
+//!
+//! 1. **Closed-loop capacity probe** — a small pool of blocking clients
+//!    (few enough that the queue never reaches the shed threshold) measures
+//!    the service's sustainable rate (`capacity_rps`) and its un-overloaded
+//!    (idle) latency percentiles.
+//! 2. **Open-loop overload levels** — paced sender fleets offer 1×, 2×,
+//!    and 4× the measured capacity. The fleet grows with the factor, so
+//!    outstanding requests genuinely exceed `max_pending` and the front
+//!    door must shed. Every outcome is classified: an `EmbedReply`
+//!    (admitted, latency recorded), a typed retryable reject
+//!    (`RetryAfter`/`RateLimited` — the overload contract), or an untyped
+//!    failure (transport/protocol — must be zero).
+//!
+//! The acceptance numbers recorded in `BENCH_net.json` and gated by
+//! `bench_check`:
+//!
+//! * `overload_admitted_p99_ratio` — p99 of **admitted** requests at 4×
+//!   overload over the idle p99, ≤ 5×: shedding keeps tail latency bounded
+//!   instead of letting the queue grow.
+//! * `overload_goodput_rps` — completed requests/sec at 4× overload, ≥ 1:
+//!   the server keeps doing useful work while shedding.
+//! * `overload_typed_reject_fraction` — typed rejects over all rejects at
+//!   4× overload, ≥ 1.0: every turned-away request got a typed
+//!   `RetryAfter`-style answer, never a dropped connection.
+
+use crate::report::markdown_table;
+use enq_data::{generate_synthetic, DatasetKind, SyntheticConfig};
+use enq_net::{ClientError, EnqClient, EnqdServer, FaultPlan, NetConfig, RetryPolicy};
+use enq_serve::{CacheConfig, EmbedService, ServeConfig};
+use enqode::{AnsatzConfig, EnqodeConfig, EnqodeError, EnqodePipeline, EntanglerKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shape and workload of one network load benchmark run.
+#[derive(Debug, Clone)]
+pub struct NetBenchConfig {
+    /// Ansatz qubit count (the paper shape is 8).
+    pub num_qubits: usize,
+    /// Ansatz layer count.
+    pub num_layers: usize,
+    /// Unique samples cycled by the senders (cache is off; uniqueness only
+    /// de-correlates per-request convergence).
+    pub unique_samples: usize,
+    /// Base sender-thread count: the capacity probe uses half of it, the
+    /// overload fleet at factor `f` uses `f × clients`.
+    pub clients: usize,
+    /// Online fine-tuning iteration budget (dominates per-request cost).
+    pub online_iterations: usize,
+    /// Requests issued by the closed-loop capacity probe.
+    pub capacity_requests: usize,
+    /// Wall-clock length of each open-loop offered-load level.
+    pub level_duration: Duration,
+    /// The server's queue-depth shed threshold.
+    pub max_pending: usize,
+    /// Offered-load multipliers over the measured capacity (the last one
+    /// is the gated overload level).
+    pub overload_factors: Vec<f64>,
+    /// RNG seed for training data and sample perturbations.
+    pub seed: u64,
+}
+
+impl NetBenchConfig {
+    /// The paper shape (8 qubits) at a scale that finishes in seconds.
+    pub fn paper() -> Self {
+        Self {
+            num_qubits: 8,
+            num_layers: 8,
+            unique_samples: 64,
+            clients: 8,
+            online_iterations: 20,
+            capacity_requests: 48,
+            level_duration: Duration::from_secs(2),
+            max_pending: 10,
+            overload_factors: vec![1.0, 2.0, 4.0],
+            seed: 0x2E7B,
+        }
+    }
+
+    /// A seconds-scale smoke shape for tests and CI.
+    pub fn tiny() -> Self {
+        Self {
+            num_qubits: 3,
+            num_layers: 4,
+            unique_samples: 8,
+            clients: 4,
+            online_iterations: 10,
+            capacity_requests: 16,
+            level_duration: Duration::from_millis(400),
+            max_pending: 4,
+            overload_factors: vec![1.0, 4.0],
+            seed: 0x2E7B,
+        }
+    }
+}
+
+/// One request's classified outcome.
+enum Outcome {
+    /// An `EmbedReply`; the client-observed latency rides along.
+    Admitted(Duration),
+    /// A typed retryable reject (`RetryAfter`, `RateLimited`, `Draining`).
+    TypedReject,
+    /// Anything else: transport errors, protocol violations, terminal
+    /// codes. The overload contract says this never happens.
+    Untyped,
+}
+
+/// Merged counters of one driven load level.
+struct RawLevel {
+    admitted: Vec<Duration>,
+    typed_rejects: u64,
+    untyped_failures: u64,
+    sent: u64,
+    wall: Duration,
+}
+
+/// One open-loop offered-load level, reduced.
+#[derive(Debug, Clone)]
+pub struct LevelStats {
+    /// Offered load as a multiple of measured capacity.
+    pub factor: f64,
+    /// The nominal paced rate (requests/sec).
+    pub offered_rps: f64,
+    /// The rate the senders actually achieved (pacing slips when admitted
+    /// requests block a sender).
+    pub achieved_rps: f64,
+    /// Completed (admitted and answered) requests per second.
+    pub goodput_rps: f64,
+    /// Fraction of sent requests that were shed with a typed reject.
+    pub shed_rate: f64,
+    /// Median latency of admitted requests, microseconds.
+    pub admitted_p50_us: f64,
+    /// 99th-percentile latency of admitted requests, microseconds.
+    pub admitted_p99_us: f64,
+    /// Requests sent at this level.
+    pub sent: u64,
+    /// Requests answered with an `EmbedReply`.
+    pub admitted: u64,
+    /// Requests rejected with a typed retryable error.
+    pub typed_rejects: u64,
+    /// Requests that failed any other way (must be zero).
+    pub untyped_failures: u64,
+}
+
+/// The closed-loop capacity probe's result.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityStats {
+    /// Sustainable closed-loop throughput, requests/sec.
+    pub rps: f64,
+    /// Median latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// The full network load benchmark result.
+#[derive(Debug, Clone)]
+pub struct NetBenchResult {
+    /// The configuration that produced this result.
+    pub config: NetBenchConfig,
+    /// Cores visible to the process.
+    pub cores: usize,
+    /// Offline training time for the served pipeline (seconds).
+    pub offline_seconds: f64,
+    /// The closed-loop capacity probe (the un-overloaded baseline).
+    pub capacity: CapacityStats,
+    /// The open-loop offered-load sweep, in factor order.
+    pub levels: Vec<LevelStats>,
+}
+
+impl NetBenchResult {
+    /// The gated overload level (the largest offered factor).
+    fn overload(&self) -> &LevelStats {
+        self.levels.last().expect("at least one load level")
+    }
+
+    /// Gated: admitted p99 at the overload level over idle p99.
+    pub fn overload_admitted_p99_ratio(&self) -> f64 {
+        self.overload().admitted_p99_us / self.capacity.p99_us.max(1e-9)
+    }
+
+    /// Gated: goodput at the overload level, requests/sec.
+    pub fn overload_goodput_rps(&self) -> f64 {
+        self.overload().goodput_rps
+    }
+
+    /// Gated: typed rejects over all rejects at the overload level (1.0
+    /// when nothing needed rejecting).
+    pub fn overload_typed_reject_fraction(&self) -> f64 {
+        let o = self.overload();
+        let rejected = o.typed_rejects + o.untyped_failures;
+        if rejected == 0 {
+            1.0
+        } else {
+            o.typed_rejects as f64 / rejected as f64
+        }
+    }
+
+    /// Renders the result as the `BENCH_net.json` document.
+    pub fn to_json(&self) -> String {
+        let level_rows: Vec<String> = self
+            .levels
+            .iter()
+            .map(|l| {
+                format!(
+                    "    {{\"factor\": {:.1}, \"offered_rps\": {:.1}, \"achieved_rps\": {:.1}, \
+                     \"goodput_rps\": {:.1}, \"shed_rate\": {:.4}, \"admitted_p50_us\": {:.1}, \
+                     \"admitted_p99_us\": {:.1}, \"sent\": {}, \"admitted\": {}, \
+                     \"typed_rejects\": {}, \"untyped_failures\": {}}}",
+                    l.factor,
+                    l.offered_rps,
+                    l.achieved_rps,
+                    l.goodput_rps,
+                    l.shed_rate,
+                    l.admitted_p50_us,
+                    l.admitted_p99_us,
+                    l.sent,
+                    l.admitted,
+                    l.typed_rejects,
+                    l.untyped_failures,
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"name\": \"net_load_{}q{}l\",\n  \"cores\": {},\n  \
+             \"workload\": {{\"unique_samples\": {}, \"clients\": {}, \
+             \"online_iterations\": {}, \"max_pending\": {}, \"level_duration_ms\": {}}},\n  \
+             \"offline_train_s\": {:.3},\n  \
+             \"capacity\": {{\"capacity_rps\": {:.1}, \"idle_p50_us\": {:.1}, \
+             \"idle_p99_us\": {:.1}}},\n  \
+             \"levels\": [\n{}\n  ],\n  \
+             \"acceptance\": {{\"overload_admitted_p99_ratio\": {:.2}, \
+             \"overload_goodput_rps\": {:.1}, \
+             \"overload_typed_reject_fraction\": {:.4}}}\n}}\n",
+            self.config.num_qubits,
+            self.config.num_layers,
+            self.cores,
+            self.config.unique_samples,
+            self.config.clients,
+            self.config.online_iterations,
+            self.config.max_pending,
+            self.config.level_duration.as_millis(),
+            self.offline_seconds,
+            self.capacity.rps,
+            self.capacity.p50_us,
+            self.capacity.p99_us,
+            level_rows.join(",\n"),
+            self.overload_admitted_p99_ratio(),
+            self.overload_goodput_rps(),
+            self.overload_typed_reject_fraction(),
+        )
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn to_markdown(&self) -> String {
+        let mut rows = vec![vec![
+            "closed-loop probe".to_string(),
+            format!("{:.0}", self.capacity.rps),
+            format!("{:.0}", self.capacity.rps),
+            "0%".to_string(),
+            format!("{:.0}", self.capacity.p50_us),
+            format!("{:.0}", self.capacity.p99_us),
+        ]];
+        for l in &self.levels {
+            rows.push(vec![
+                format!("open loop {:.0}x", l.factor),
+                format!("{:.0}", l.achieved_rps),
+                format!("{:.0}", l.goodput_rps),
+                format!("{:.0}%", l.shed_rate * 100.0),
+                format!("{:.0}", l.admitted_p50_us),
+                format!("{:.0}", l.admitted_p99_us),
+            ]);
+        }
+        markdown_table(
+            &[
+                "load",
+                "offered req/s",
+                "goodput req/s",
+                "shed",
+                "adm p50 (µs)",
+                "adm p99 (µs)",
+            ],
+            &rows,
+        )
+    }
+}
+
+impl fmt::Display for NetBenchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== Network serving under load ({}q/{}l, max_pending {}, {} core(s)) ==",
+            self.config.num_qubits, self.config.num_layers, self.config.max_pending, self.cores
+        )?;
+        writeln!(f, "{}", self.to_markdown())?;
+        writeln!(
+            f,
+            "overload ({}x): admitted p99 {:.2}x idle, goodput {:.0} req/s, \
+             typed-reject fraction {:.3}",
+            self.overload().factor,
+            self.overload_admitted_p99_ratio(),
+            self.overload_goodput_rps(),
+            self.overload_typed_reject_fraction(),
+        )
+    }
+}
+
+fn percentile_us(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e6
+}
+
+fn no_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 1,
+        ..RetryPolicy::default()
+    }
+}
+
+fn classify(result: Result<enq_net::WireEmbedding, ClientError>, started: Instant) -> Outcome {
+    match result {
+        Ok(_) => Outcome::Admitted(started.elapsed()),
+        Err(ClientError::RetriesExhausted {
+            last_code: Some(code),
+            ..
+        }) if code.is_retryable() => Outcome::TypedReject,
+        Err(_) => Outcome::Untyped,
+    }
+}
+
+/// The trained pipeline, the sender sample pool, and the offline fit time.
+type Workload = (Arc<EnqodePipeline>, Vec<Vec<f64>>, f64);
+
+/// Builds the served pipeline and the sender sample pool.
+fn build_workload(config: &NetBenchConfig) -> Result<Workload, EnqodeError> {
+    let dataset = generate_synthetic(
+        DatasetKind::MnistLike,
+        &SyntheticConfig {
+            classes: 2,
+            samples_per_class: 12,
+            seed: config.seed,
+        },
+    )?;
+    let model_config = EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: config.num_qubits,
+            num_layers: config.num_layers,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.85,
+        max_clusters: 3,
+        offline_max_iterations: 80,
+        offline_restarts: 1,
+        online_max_iterations: config.online_iterations,
+        offline_rescue: false,
+        seed: config.seed,
+    };
+    let train_start = Instant::now();
+    let pipeline = Arc::new(EnqodePipeline::build(&dataset, model_config)?);
+    let offline_seconds = train_start.elapsed().as_secs_f64();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xAB);
+    let pool: Vec<Vec<f64>> = (0..config.unique_samples)
+        .map(|i| {
+            dataset
+                .sample(i % dataset.len())
+                .iter()
+                .map(|v| v + rng.gen_range(-0.02..0.02))
+                .collect()
+        })
+        .collect();
+    Ok((pipeline, pool, offline_seconds))
+}
+
+/// Closed-loop capacity probe: `threads` blocking clients issue
+/// `requests` total; returns the sustained rate and latency percentiles.
+fn closed_loop_probe(addr: &str, pool: &[Vec<f64>], threads: usize, requests: usize) -> RawLevel {
+    let threads = threads.max(1);
+    let per_thread = requests.div_ceil(threads);
+    let start = Instant::now();
+    let admitted: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    // The probe retries (it measures capacity, not
+                    // shedding), so transient sheds at the probe's own
+                    // concurrency don't poison the baseline.
+                    let mut client = EnqClient::new(addr.to_string(), RetryPolicy::default());
+                    (0..per_thread)
+                        .map(|i| {
+                            let sample = &pool[(t + i * threads) % pool.len()];
+                            let t0 = Instant::now();
+                            client
+                                .embed("bench", "m", sample, 0)
+                                .expect("capacity probe requests are valid");
+                            t0.elapsed()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("probe thread"))
+            .collect()
+    });
+    let sent = admitted.len() as u64;
+    RawLevel {
+        admitted,
+        typed_rejects: 0,
+        untyped_failures: 0,
+        sent,
+        wall: start.elapsed(),
+    }
+}
+
+/// Open-loop level: `threads` paced senders offer `offered_rps` in
+/// aggregate for `duration`. No retries — every outcome is classified raw.
+fn open_loop_level(
+    addr: &str,
+    pool: &[Vec<f64>],
+    threads: usize,
+    offered_rps: f64,
+    duration: Duration,
+) -> RawLevel {
+    let threads = threads.max(1);
+    let interval = Duration::from_secs_f64(threads as f64 / offered_rps.max(1.0));
+    let start = Instant::now();
+    let merged: Vec<(Vec<Duration>, u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = EnqClient::new(addr.to_string(), no_retry());
+                    let mut admitted = Vec::new();
+                    let (mut typed, mut untyped, mut sent) = (0u64, 0u64, 0u64);
+                    // Stagger thread start phases across one interval so the
+                    // fleet's sends spread out instead of arriving in waves.
+                    let mut next = start + interval.mul_f64(t as f64 / threads as f64);
+                    let end = start + duration;
+                    let mut i = t;
+                    loop {
+                        let now = Instant::now();
+                        if now >= end {
+                            break;
+                        }
+                        if now < next {
+                            std::thread::sleep(next - now);
+                        }
+                        next += interval;
+                        let sample = &pool[i % pool.len()];
+                        i += threads;
+                        let t0 = Instant::now();
+                        match classify(client.embed("bench", "m", sample, 0), t0) {
+                            Outcome::Admitted(latency) => admitted.push(latency),
+                            Outcome::TypedReject => typed += 1,
+                            Outcome::Untyped => untyped += 1,
+                        }
+                        sent += 1;
+                    }
+                    (admitted, typed, untyped, sent)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sender thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let mut raw = RawLevel {
+        admitted: Vec::new(),
+        typed_rejects: 0,
+        untyped_failures: 0,
+        sent: 0,
+        wall,
+    };
+    for (admitted, typed, untyped, sent) in merged {
+        raw.admitted.extend(admitted);
+        raw.typed_rejects += typed;
+        raw.untyped_failures += untyped;
+        raw.sent += sent;
+    }
+    raw
+}
+
+fn reduce_level(factor: f64, offered_rps: f64, mut raw: RawLevel) -> LevelStats {
+    raw.admitted.sort_unstable();
+    let wall_s = raw.wall.as_secs_f64().max(1e-12);
+    LevelStats {
+        factor,
+        offered_rps,
+        achieved_rps: raw.sent as f64 / wall_s,
+        goodput_rps: raw.admitted.len() as f64 / wall_s,
+        shed_rate: if raw.sent == 0 {
+            0.0
+        } else {
+            raw.typed_rejects as f64 / raw.sent as f64
+        },
+        admitted_p50_us: percentile_us(&raw.admitted, 0.50),
+        admitted_p99_us: percentile_us(&raw.admitted, 0.99),
+        sent: raw.sent,
+        admitted: raw.admitted.len() as u64,
+        typed_rejects: raw.typed_rejects,
+        untyped_failures: raw.untyped_failures,
+    }
+}
+
+/// Runs the network load benchmark.
+///
+/// # Errors
+///
+/// Propagates training errors; panics on transport failures in the
+/// capacity probe (they mean the harness itself is broken).
+pub fn run(config: &NetBenchConfig) -> Result<NetBenchResult, EnqodeError> {
+    let (pipeline, pool, offline_seconds) = build_workload(config)?;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Cache off: every admitted request pays compute, so capacity is the
+    // compute rate and overload is real.
+    let service = Arc::new(EmbedService::new(ServeConfig {
+        flush_deadline: Duration::ZERO,
+        cache: CacheConfig {
+            capacity: 0,
+            ..CacheConfig::default()
+        },
+        ..ServeConfig::default()
+    }));
+    service.register_model("m", Arc::clone(&pipeline));
+    let max_factor = config
+        .overload_factors
+        .iter()
+        .copied()
+        .fold(1.0f64, f64::max);
+    let handle = EnqdServer::spawn(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        NetConfig {
+            max_pending: config.max_pending,
+            // Room for the largest fleet plus probe stragglers.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            max_connections: (config.clients * (max_factor.ceil() as usize + 1)).max(16),
+            ..NetConfig::default()
+        },
+        FaultPlan::none(),
+    )
+    .expect("binding the benchmark server");
+    let addr = handle.addr().to_string();
+
+    // Phase 1: closed-loop capacity probe at half the base concurrency —
+    // low enough that the queue stays under max_pending and nothing sheds.
+    let probe_threads = (config.clients / 2).max(1);
+    let mut probe = closed_loop_probe(&addr, &pool, probe_threads, config.capacity_requests);
+    probe.admitted.sort_unstable();
+    let capacity = CapacityStats {
+        rps: probe.sent as f64 / probe.wall.as_secs_f64().max(1e-12),
+        p50_us: percentile_us(&probe.admitted, 0.50),
+        p99_us: percentile_us(&probe.admitted, 0.99),
+    };
+
+    // Phase 2: open-loop offered-load sweep. The fleet grows with the
+    // factor so outstanding requests can actually exceed max_pending.
+    let mut levels = Vec::new();
+    for &factor in &config.overload_factors {
+        let offered_rps = capacity.rps * factor;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let threads = (config.clients as f64 * factor).ceil() as usize;
+        let raw = open_loop_level(&addr, &pool, threads, offered_rps, config.level_duration);
+        levels.push(reduce_level(factor, offered_rps, raw));
+    }
+    handle.join();
+
+    Ok(NetBenchResult {
+        config: config.clone(),
+        cores,
+        offline_seconds,
+        capacity,
+        levels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_net_bench_produces_consistent_results() {
+        let result = run(&NetBenchConfig::tiny()).unwrap();
+        assert!(result.capacity.rps > 0.0);
+        assert!(result.capacity.p99_us >= result.capacity.p50_us);
+        assert_eq!(result.levels.len(), 2);
+        for level in &result.levels {
+            assert_eq!(
+                level.untyped_failures, 0,
+                "every failure must be a typed reject"
+            );
+            assert_eq!(
+                level.admitted + level.typed_rejects,
+                level.sent,
+                "every sent request must be classified"
+            );
+        }
+        assert!(result.overload_goodput_rps() > 0.0);
+        assert!(
+            (result.overload_typed_reject_fraction() - 1.0).abs() < f64::EPSILON,
+            "typed fraction must be exactly 1.0"
+        );
+        let json = result.to_json();
+        assert!(json.contains("\"overload_admitted_p99_ratio\""));
+        assert!(json.contains("\"overload_goodput_rps\""));
+        assert!(json.contains("\"overload_typed_reject_fraction\""));
+        assert!(json.contains("\"levels\""));
+        assert!(result.to_string().contains("Network serving under load"));
+    }
+}

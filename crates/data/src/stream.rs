@@ -598,9 +598,17 @@ enum BinaryBackend {
 pub struct BinarySource {
     backend: BinaryBackend,
     num_samples: u64,
-    feature_dim: usize,
+    /// On-disk per-record feature width (the record layout).
+    file_dim: usize,
+    /// Columns served to consumers: `None` yields full-width records,
+    /// `Some` yields exactly those columns, in order (strictly increasing
+    /// file indices — validated at open).
+    columns: Option<Vec<usize>>,
     labeled: bool,
     cursor: u64,
+    /// Scratch record buffer for the buffered backend's pruned reads (one
+    /// on-disk record; recycled across samples).
+    record_buf: Vec<u8>,
 }
 
 impl BinarySource {
@@ -615,8 +623,33 @@ impl BinarySource {
     /// Returns [`DataError::Io`] for unreadable, malformed, or truncated
     /// files.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, DataError> {
+        Self::open_pruned(path, None)
+    }
+
+    /// [`BinarySource::open`] restricted to a **column subset**: every
+    /// served record contains exactly `columns` (strictly increasing
+    /// on-disk indices), so feature-subset pipelines stop materialising
+    /// full-width samples. On the mapped backend unselected columns are
+    /// never read at all; the buffered backend must still consume the
+    /// record's bytes (it is a sequential stream) but decodes only the
+    /// selected ones. Both backends serve chunks **bit-identical** to
+    /// reading full-width records and pruning post hoc.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`BinarySource::open`] returns, plus
+    /// [`DataError::InvalidParameter`] for an empty, unsorted, duplicated,
+    /// or out-of-range column list.
+    pub fn open_with_columns(
+        path: impl AsRef<Path>,
+        columns: Vec<usize>,
+    ) -> Result<Self, DataError> {
+        Self::open_pruned(path, Some(columns))
+    }
+
+    fn open_pruned(path: impl AsRef<Path>, columns: Option<Vec<usize>>) -> Result<Self, DataError> {
         let path = path.as_ref();
-        let mut source = Self::open_buffered(path)?;
+        let mut source = Self::open_buffered_pruned(path, columns)?;
         #[cfg(all(unix, target_pointer_width = "64"))]
         {
             let BinaryBackend::Buffered(reader) = &source.backend else {
@@ -647,6 +680,25 @@ impl BinarySource {
     /// files (the header's sample count must fit in the file, so multi-pass
     /// training fails at open instead of mid-stream).
     pub fn open_buffered(path: impl AsRef<Path>) -> Result<Self, DataError> {
+        Self::open_buffered_pruned(path, None)
+    }
+
+    /// [`BinarySource::open_with_columns`] on the buffered backend only.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BinarySource::open_with_columns`].
+    pub fn open_buffered_with_columns(
+        path: impl AsRef<Path>,
+        columns: Vec<usize>,
+    ) -> Result<Self, DataError> {
+        Self::open_buffered_pruned(path, Some(columns))
+    }
+
+    fn open_buffered_pruned(
+        path: impl AsRef<Path>,
+        columns: Option<Vec<usize>>,
+    ) -> Result<Self, DataError> {
         let path = path.as_ref();
         let mut reader = BufReader::new(File::open(path)?);
         let mut magic = [0u8; 4];
@@ -662,17 +714,35 @@ impl BinarySource {
         let num_samples = u64::from_le_bytes(u64_buf);
         let mut u32_buf = [0u8; 4];
         reader.read_exact(&mut u32_buf)?;
-        let feature_dim = u32::from_le_bytes(u32_buf) as usize;
+        let file_dim = u32::from_le_bytes(u32_buf) as usize;
         let mut flag = [0u8; 1];
         reader.read_exact(&mut flag)?;
-        if feature_dim == 0 {
+        if file_dim == 0 {
             return Err(DataError::Io(format!(
                 "{}: header declares zero-dimensional samples",
                 path.display()
             )));
         }
+        if let Some(columns) = &columns {
+            if columns.is_empty() {
+                return Err(DataError::InvalidParameter(
+                    "column selection must name at least one column".to_string(),
+                ));
+            }
+            if !columns.windows(2).all(|w| w[0] < w[1]) {
+                return Err(DataError::InvalidParameter(
+                    "column selection must be strictly increasing".to_string(),
+                ));
+            }
+            if *columns.last().expect("non-empty") >= file_dim {
+                return Err(DataError::InvalidParameter(format!(
+                    "column {} out of range for {file_dim}-wide records",
+                    columns.last().expect("non-empty")
+                )));
+            }
+        }
         let labeled = flag[0] != 0;
-        let record_len = feature_dim * 8 + usize::from(labeled) * 8;
+        let record_len = file_dim * 8 + usize::from(labeled) * 8;
         let needed = Self::HEADER_LEN as u128 + num_samples as u128 * record_len as u128;
         let actual = reader.get_ref().metadata()?.len() as u128;
         if actual < needed {
@@ -684,15 +754,22 @@ impl BinarySource {
         Ok(Self {
             backend: BinaryBackend::Buffered(reader),
             num_samples,
-            feature_dim,
+            file_dim,
+            columns,
             labeled,
             cursor: 0,
+            record_buf: Vec::new(),
         })
     }
 
     /// Whether each record carries a class label.
     pub fn is_labeled(&self) -> bool {
         self.labeled
+    }
+
+    /// The column subset this source serves (`None` = full-width records).
+    pub fn selected_columns(&self) -> Option<&[usize]> {
+        self.columns.as_deref()
     }
 
     /// Whether records are served from a memory mapping (false = buffered
@@ -705,15 +782,45 @@ impl BinarySource {
         }
     }
 
-    /// Bytes per record.
+    /// Bytes per on-disk record (always full width — pruning changes what
+    /// is decoded, never the file layout).
     fn record_len(&self) -> usize {
-        self.feature_dim * 8 + usize::from(self.labeled) * 8
+        self.file_dim * 8 + usize::from(self.labeled) * 8
+    }
+}
+
+/// Decodes the served columns of one on-disk record into a fresh sample.
+fn decode_record_sample(record: &[u8], file_dim: usize, columns: Option<&[usize]>) -> Vec<f64> {
+    match columns {
+        None => record[..file_dim * 8]
+            .chunks_exact(8)
+            .map(|v| f64::from_le_bytes(v.try_into().expect("8-byte chunk")))
+            .collect(),
+        Some(columns) => columns
+            .iter()
+            .map(|&c| {
+                let at = c * 8;
+                f64::from_le_bytes(record[at..at + 8].try_into().expect("8-byte column"))
+            })
+            .collect(),
+    }
+}
+
+/// Decodes the label field of one on-disk record (0 when unlabelled).
+fn decode_record_label(record: &[u8], file_dim: usize, labeled: bool) -> usize {
+    if labeled {
+        let at = file_dim * 8;
+        u64::from_le_bytes(record[at..at + 8].try_into().expect("8-byte label")) as usize
+    } else {
+        0
     }
 }
 
 impl SampleSource for BinarySource {
     fn feature_dim(&self) -> usize {
-        self.feature_dim
+        self.columns
+            .as_ref()
+            .map_or(self.file_dim, |columns| columns.len())
     }
 
     fn len_hint(&self) -> Option<usize> {
@@ -739,48 +846,49 @@ impl SampleSource for BinarySource {
             ));
         }
         chunk.clear();
-        match &mut self.backend {
+        let record_len = self.record_len();
+        // Disjoint field borrows: the backend is driven mutably while the
+        // column selection is read immutably.
+        let Self {
+            backend,
+            num_samples,
+            file_dim,
+            columns,
+            labeled,
+            cursor,
+            record_buf,
+        } = self;
+        let columns = columns.as_deref();
+        match backend {
             BinaryBackend::Buffered(reader) => {
-                let mut f64_buf = [0u8; 8];
-                while chunk.len() < max_samples && self.cursor < self.num_samples {
-                    let mut sample = Vec::with_capacity(self.feature_dim);
-                    for _ in 0..self.feature_dim {
-                        reader.read_exact(&mut f64_buf)?;
-                        sample.push(f64::from_le_bytes(f64_buf));
-                    }
-                    let label = if self.labeled {
-                        reader.read_exact(&mut f64_buf)?;
-                        u64::from_le_bytes(f64_buf) as usize
-                    } else {
-                        0
-                    };
-                    chunk.push(sample, label);
-                    self.cursor += 1;
+                record_buf.resize(record_len, 0);
+                while chunk.len() < max_samples && *cursor < *num_samples {
+                    // One sequential read per record; only the selected
+                    // columns are decoded into f64s.
+                    reader.read_exact(record_buf)?;
+                    chunk.push(
+                        decode_record_sample(record_buf, *file_dim, columns),
+                        decode_record_label(record_buf, *file_dim, *labeled),
+                    );
+                    *cursor += 1;
                 }
             }
             #[cfg(all(unix, target_pointer_width = "64"))]
             BinaryBackend::Mapped(map) => {
-                let record_len = self.feature_dim * 8 + usize::from(self.labeled) * 8;
                 let bytes = map.as_slice();
-                let end = (self.cursor + max_samples as u64).min(self.num_samples);
-                for i in self.cursor..end {
+                let end = (*cursor + max_samples as u64).min(*num_samples);
+                for i in *cursor..end {
                     // In bounds: `open` validated the mapping covers every
-                    // record the header promises.
+                    // record the header promises. With a column selection,
+                    // unselected bytes of the record are never touched.
                     let at = Self::HEADER_LEN as usize + (i as usize) * record_len;
                     let record = &bytes[at..at + record_len];
-                    let mut sample = Vec::with_capacity(self.feature_dim);
-                    for v in record[..self.feature_dim * 8].chunks_exact(8) {
-                        sample.push(f64::from_le_bytes(v.try_into().expect("8-byte chunk")));
-                    }
-                    let label = if self.labeled {
-                        let raw = &record[self.feature_dim * 8..];
-                        u64::from_le_bytes(raw.try_into().expect("8-byte label")) as usize
-                    } else {
-                        0
-                    };
-                    chunk.push(sample, label);
+                    chunk.push(
+                        decode_record_sample(record, *file_dim, columns),
+                        decode_record_label(record, *file_dim, *labeled),
+                    );
                 }
-                self.cursor = end;
+                *cursor = end;
             }
         }
         Ok(chunk.len())
@@ -933,6 +1041,74 @@ mod tests {
                     break;
                 }
             }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn column_pruning_matches_post_hoc_pruning_bit_for_bit() {
+        let data = toy_dataset();
+        let path = temp_path("pruned.enqb");
+        write_binary_dataset(&path, data.samples(), Some(data.labels())).unwrap();
+        for columns in [vec![0], vec![2], vec![0, 2], vec![0, 1, 2]] {
+            for buffered_only in [false, true] {
+                let (mut pruned, mut full) = if buffered_only {
+                    (
+                        BinarySource::open_buffered_with_columns(&path, columns.clone()).unwrap(),
+                        BinarySource::open_buffered(&path).unwrap(),
+                    )
+                } else {
+                    (
+                        BinarySource::open_with_columns(&path, columns.clone()).unwrap(),
+                        BinarySource::open(&path).unwrap(),
+                    )
+                };
+                assert_eq!(pruned.selected_columns(), Some(columns.as_slice()));
+                assert_eq!(pruned.feature_dim(), columns.len());
+                for chunk_size in [1, 3, 64] {
+                    pruned.reset().unwrap();
+                    full.reset().unwrap();
+                    let mut a = SampleChunk::new();
+                    let mut b = SampleChunk::new();
+                    loop {
+                        let na = pruned.next_chunk(chunk_size, &mut a).unwrap();
+                        let nb = full.next_chunk(chunk_size, &mut b).unwrap();
+                        assert_eq!(na, nb);
+                        assert_eq!(a.labels(), b.labels());
+                        for (x, y) in a.samples().iter().zip(b.samples()) {
+                            // Post-hoc pruning of the full-width record.
+                            let reference: Vec<f64> = columns.iter().map(|&c| y[c]).collect();
+                            assert_eq!(x.len(), reference.len());
+                            for (p, q) in x.iter().zip(&reference) {
+                                assert_eq!(p.to_bits(), q.to_bits());
+                            }
+                        }
+                        if na == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn column_pruning_rejects_bad_selections() {
+        let data = toy_dataset();
+        let path = temp_path("pruned_bad.enqb");
+        write_binary_dataset(&path, data.samples(), Some(data.labels())).unwrap();
+        for bad in [vec![], vec![1, 0], vec![1, 1], vec![3], vec![0, 7]] {
+            let err = BinarySource::open_with_columns(&path, bad.clone()).unwrap_err();
+            assert!(
+                matches!(err, DataError::InvalidParameter(_)),
+                "{bad:?}: {err}"
+            );
+            let err = BinarySource::open_buffered_with_columns(&path, bad.clone()).unwrap_err();
+            assert!(
+                matches!(err, DataError::InvalidParameter(_)),
+                "{bad:?}: {err}"
+            );
         }
         std::fs::remove_file(&path).unwrap();
     }

@@ -1,0 +1,194 @@
+//! Per-tenant token-bucket admission control.
+//!
+//! Every [`EmbedRequest`](crate::Frame::EmbedRequest) names a tenant; each
+//! tenant gets an independent token bucket so one chatty tenant exhausts
+//! *its own* budget instead of starving the rest. A rejected request is
+//! told **when** to come back ([`AdmissionControl::try_admit`] returns the
+//! time until a token accrues), which the wire layer forwards as
+//! `retry_after_ms` — clients never have to guess a backoff.
+//!
+//! The bucket is the classic continuous-refill kind: `burst` tokens of
+//! capacity, refilled at `rate_per_sec`, both measured against a
+//! monotonic clock at admit time (no background refill thread).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Admission-control knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionConfig {
+    /// Sustained tokens (requests) per second per tenant. `0.0` or less
+    /// disables admission control entirely — every request is admitted.
+    pub rate_per_sec: f64,
+    /// Bucket capacity: how many requests a tenant can burst above the
+    /// sustained rate. Clamped to at least 1 token.
+    pub burst: f64,
+    /// Upper bound on tracked tenants. When a new tenant arrives at
+    /// capacity, the least-recently-active tenant's bucket is evicted (it
+    /// re-forms, full, on that tenant's next request — eviction can only
+    /// ever be *generous*).
+    pub max_tenants: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            rate_per_sec: 0.0,
+            burst: 8.0,
+            max_tenants: 1024,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Bucket {
+    /// Tokens currently available, `<= burst`.
+    tokens: f64,
+    /// When `tokens` was last brought up to date.
+    refilled_at: Instant,
+}
+
+/// The per-tenant token-bucket table. Interior-mutable and `Sync`: every
+/// connection thread shares one instance.
+#[derive(Debug)]
+pub struct AdmissionControl {
+    config: AdmissionConfig,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl AdmissionControl {
+    /// Creates the table. `burst` is clamped to at least one token so an
+    /// enabled limiter can always admit *something*.
+    pub fn new(config: AdmissionConfig) -> Self {
+        let config = AdmissionConfig {
+            burst: config.burst.max(1.0),
+            ..config
+        };
+        Self {
+            config,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether admission control is enabled at all.
+    pub fn is_enabled(&self) -> bool {
+        self.config.rate_per_sec > 0.0
+    }
+
+    /// Tries to take one token from `tenant`'s bucket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the time until the next token accrues — the retry hint a
+    /// shed reply carries. Never errors when the limiter is disabled.
+    pub fn try_admit(&self, tenant: &str) -> Result<(), Duration> {
+        if !self.is_enabled() {
+            return Ok(());
+        }
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().expect("admission table poisoned");
+        if !buckets.contains_key(tenant) && buckets.len() >= self.config.max_tenants.max(1) {
+            // Evict the least-recently-active tenant to stay bounded. The
+            // evictee loses nothing durable: its bucket re-forms full.
+            let stalest = buckets
+                .iter()
+                .min_by_key(|(_, b)| b.refilled_at)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty at capacity");
+            buckets.remove(&stalest);
+        }
+        let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
+            tokens: self.config.burst,
+            refilled_at: now,
+        });
+        // Continuous refill since the last touch, capped at the burst size.
+        let accrued =
+            now.duration_since(bucket.refilled_at).as_secs_f64() * self.config.rate_per_sec;
+        bucket.tokens = (bucket.tokens + accrued).min(self.config.burst);
+        bucket.refilled_at = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            Err(Duration::from_secs_f64(deficit / self.config.rate_per_sec))
+        }
+    }
+
+    /// Number of tenants currently tracked.
+    pub fn tracked_tenants(&self) -> usize {
+        self.buckets.lock().expect("admission table poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_limiter_admits_everything() {
+        let ac = AdmissionControl::new(AdmissionConfig::default());
+        assert!(!ac.is_enabled());
+        for _ in 0..10_000 {
+            ac.try_admit("anyone").unwrap();
+        }
+        assert_eq!(ac.tracked_tenants(), 0);
+    }
+
+    #[test]
+    fn burst_then_reject_with_positive_retry_hint() {
+        let ac = AdmissionControl::new(AdmissionConfig {
+            rate_per_sec: 10.0,
+            burst: 2.0,
+            max_tenants: 16,
+        });
+        ac.try_admit("t").unwrap();
+        ac.try_admit("t").unwrap();
+        let wait = ac.try_admit("t").unwrap_err();
+        assert!(wait > Duration::ZERO);
+        // One token accrues every 100 ms at 10/s; the hint can't promise
+        // more than that.
+        assert!(wait <= Duration::from_millis(110), "{wait:?}");
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let ac = AdmissionControl::new(AdmissionConfig {
+            rate_per_sec: 1.0,
+            burst: 1.0,
+            max_tenants: 16,
+        });
+        ac.try_admit("noisy").unwrap();
+        assert!(ac.try_admit("noisy").is_err());
+        // A different tenant still has its full burst.
+        ac.try_admit("quiet").unwrap();
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let ac = AdmissionControl::new(AdmissionConfig {
+            rate_per_sec: 1000.0,
+            burst: 1.0,
+            max_tenants: 16,
+        });
+        ac.try_admit("t").unwrap();
+        let wait = ac.try_admit("t").unwrap_err();
+        std::thread::sleep(wait + Duration::from_millis(2));
+        ac.try_admit("t")
+            .expect("token accrued after the hinted wait");
+    }
+
+    #[test]
+    fn tenant_table_stays_bounded() {
+        let ac = AdmissionControl::new(AdmissionConfig {
+            rate_per_sec: 100.0,
+            burst: 4.0,
+            max_tenants: 8,
+        });
+        for i in 0..100 {
+            ac.try_admit(&format!("tenant-{i}")).unwrap();
+        }
+        assert!(ac.tracked_tenants() <= 8);
+    }
+}

@@ -1,0 +1,243 @@
+//! `enqd` — the EnQode network serving daemon.
+//!
+//! Binds a TCP front door over an [`enq_serve::EmbedService`], trains (or
+//! loads) its models, prints `ENQD LISTENING <addr>` once ready, and
+//! serves until a graceful drain — triggered by SIGTERM/SIGINT or a
+//! `Drain` control frame — after which it finishes in-flight admitted
+//! requests and exits 0.
+//!
+//! ```text
+//! enqd [--addr HOST:PORT] [--model ID] [--data PATH.enqb] [--seed N]
+//!      [--max-pending N] [--max-conns N] [--rate R] [--burst B]
+//!      [--read-timeout-ms N]
+//! ```
+//!
+//! With `--data`, the model is trained from the named `ENQB` binary
+//! dataset; otherwise a small synthetic MNIST-like dataset keeps the
+//! daemon self-contained (smoke tests, demos).
+
+use enq_data::{generate_synthetic, Dataset, DatasetKind, SyntheticConfig};
+use enq_net::{AdmissionConfig, EnqdServer, FaultPlan, NetConfig};
+use enq_serve::{EmbedService, ServeConfig};
+use enqode::{AnsatzConfig, EnqodeConfig, EnqodePipeline, EntanglerKind};
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Raw signal(2) bindings: the libc surface this daemon needs for graceful
+/// drain, bound directly (same pattern as `enq_data`'s mmap bindings) so
+/// the build stays free of external crates.
+#[cfg(unix)]
+mod sig {
+    use super::{AtomicBool, Ordering};
+
+    /// Set from the signal handler; polled by the main loop.
+    pub static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_term(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        TERM_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs the drain handler for SIGTERM and SIGINT.
+    pub fn install() {
+        let handler = on_term as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    pub fn term_requested() -> bool {
+        TERM_REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn term_requested() -> bool {
+        false
+    }
+}
+
+struct Args {
+    addr: String,
+    model: String,
+    data: Option<String>,
+    seed: u64,
+    max_pending: usize,
+    max_conns: usize,
+    rate: f64,
+    burst: f64,
+    read_timeout_ms: u64,
+}
+
+impl Args {
+    fn parse() -> Result<Self, String> {
+        let mut args = Self {
+            addr: "127.0.0.1:0".into(),
+            model: "default".into(),
+            data: None,
+            seed: 7,
+            max_pending: 256,
+            max_conns: 64,
+            rate: 0.0,
+            burst: 8.0,
+            read_timeout_ms: 2_000,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .ok_or_else(|| format!("flag {name} needs a value"))
+            };
+            match flag.as_str() {
+                "--addr" => args.addr = value("--addr")?,
+                "--model" => args.model = value("--model")?,
+                "--data" => args.data = Some(value("--data")?),
+                "--seed" => {
+                    args.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--max-pending" => {
+                    args.max_pending = value("--max-pending")?
+                        .parse()
+                        .map_err(|e| format!("--max-pending: {e}"))?;
+                }
+                "--max-conns" => {
+                    args.max_conns = value("--max-conns")?
+                        .parse()
+                        .map_err(|e| format!("--max-conns: {e}"))?;
+                }
+                "--rate" => {
+                    args.rate = value("--rate")?
+                        .parse()
+                        .map_err(|e| format!("--rate: {e}"))?;
+                }
+                "--burst" => {
+                    args.burst = value("--burst")?
+                        .parse()
+                        .map_err(|e| format!("--burst: {e}"))?;
+                }
+                "--read-timeout-ms" => {
+                    args.read_timeout_ms = value("--read-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--read-timeout-ms: {e}"))?;
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+/// A small self-contained training config: 3 qubits, 2 clusters — enough
+/// to serve real embeddings in well under a second of training.
+fn demo_config(seed: u64) -> EnqodeConfig {
+    EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 4,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.8,
+        max_clusters: 2,
+        offline_max_iterations: 40,
+        offline_restarts: 1,
+        online_max_iterations: 15,
+        offline_rescue: false,
+        seed,
+    }
+}
+
+fn train_model(args: &Args) -> Result<EnqodePipeline, String> {
+    let dataset = match &args.data {
+        Some(path) => {
+            let mut source =
+                enq_data::BinarySource::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+            enq_data::materialize(&mut source, "enqd-data")
+                .map_err(|e| format!("reading {path}: {e}"))?
+        }
+        None => demo_dataset(args.seed),
+    };
+    EnqodePipeline::build(&dataset, demo_config(args.seed)).map_err(|e| format!("training: {e}"))
+}
+
+fn demo_dataset(seed: u64) -> Dataset {
+    generate_synthetic(
+        DatasetKind::MnistLike,
+        &SyntheticConfig {
+            classes: 2,
+            samples_per_class: 6,
+            seed,
+        },
+    )
+    .expect("synthetic dataset generation")
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("enqd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    sig::install();
+    let pipeline = match train_model(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("enqd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = Arc::new(EmbedService::new(ServeConfig::default()));
+    service.register_model(args.model.clone(), pipeline);
+    let config = NetConfig {
+        max_connections: args.max_conns,
+        max_pending: args.max_pending,
+        read_timeout: Duration::from_millis(args.read_timeout_ms),
+        admission: AdmissionConfig {
+            rate_per_sec: args.rate,
+            burst: args.burst,
+            ..AdmissionConfig::default()
+        },
+        ..NetConfig::default()
+    };
+    let handle = match EnqdServer::spawn(service, &args.addr, config, FaultPlan::none()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("enqd: binding {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The readiness line smoke tests and orchestration scripts key on.
+    println!("ENQD LISTENING {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    loop {
+        if sig::term_requested() {
+            handle.drain();
+        }
+        if handle.is_finished() || handle.is_draining() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let stats = handle.join();
+    println!(
+        "ENQD DRAINED served={} shed={} rate_limited={} hostile_closes={}",
+        stats.served, stats.shed, stats.rate_limited, stats.hostile_closes
+    );
+    ExitCode::SUCCESS
+}

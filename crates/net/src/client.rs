@@ -1,0 +1,400 @@
+//! `enq_client`: the blocking client library for the `enqd` wire protocol.
+//!
+//! [`EnqClient::embed`] is the one-call API: it sends the request, waits
+//! for the reply, and on **retryable** failures (typed
+//! [`ErrorCode`]s with [`ErrorCode::is_retryable`], connection resets,
+//! torn replies) retries with bounded exponential backoff plus
+//! deterministic jitter. A server-provided `retry_after_ms` hint is
+//! honoured as a *floor* on the next delay — the server knows its own
+//! backlog better than any client-side curve. Terminal error codes and
+//! exhausted budgets surface as typed [`ClientError`]s; the client never
+//! retries work the server said cannot succeed.
+
+use crate::protocol::{decode_frame, DecodeError, ErrorCode, Frame, MAX_FRAME_LEN};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Retry/backoff policy for [`EnqClient::embed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff delay.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream (same seed + same failure
+    /// sequence = same delays; vary per client instance in production).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0x51ab_17e5,
+        }
+    }
+}
+
+/// A successful embedding as seen over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireEmbedding {
+    /// The class label the server chose.
+    pub label: u64,
+    /// Noiseless fidelity of the prepared state.
+    pub ideal_fidelity: f64,
+    /// The ansatz rotation parameters, bit-exact.
+    pub parameters: Vec<f64>,
+    /// Solution provenance: 0 computed, 1 cache hit, 2 batch dedup.
+    pub source: u8,
+    /// Attempts spent (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// Why an [`EnqClient`] call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure after all retries.
+    Io(io::Error),
+    /// The server answered with a **terminal** typed error.
+    Server {
+        /// The typed code.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// Every attempt failed retryably; the last typed code (if the last
+    /// failure was typed) rides along.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The last retryable code observed, if the last failure was a
+        /// typed reject rather than a transport error.
+        last_code: Option<ErrorCode>,
+    },
+    /// The server broke the protocol (bad frame, wrong reply id, torn
+    /// bytes). Fail closed.
+    Protocol(DecodeError),
+    /// The server replied with an unexpected frame type.
+    UnexpectedFrame,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server rejected the request ({code:?}): {message}")
+            }
+            ClientError::RetriesExhausted {
+                attempts,
+                last_code,
+            } => write!(
+                f,
+                "no success after {attempts} attempts (last typed code: {last_code:?})"
+            ),
+            ClientError::Protocol(e) => write!(f, "protocol violation from server: {e}"),
+            ClientError::UnexpectedFrame => write!(f, "unexpected reply frame type"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A blocking `enqd` client holding one connection (re-established as
+/// needed across retries).
+#[derive(Debug)]
+pub struct EnqClient {
+    addr: String,
+    policy: RetryPolicy,
+    stream: Option<TcpStream>,
+    read_buf: Vec<u8>,
+    next_id: u64,
+    /// xorshift64* state for jitter.
+    rng: u64,
+    /// Per-reply read timeout.
+    io_timeout: Duration,
+}
+
+impl EnqClient {
+    /// Creates a client for `addr`. No connection is made until the first
+    /// call.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        let rng = policy.jitter_seed | 1; // xorshift state must be non-zero
+        Self {
+            addr: addr.into(),
+            policy,
+            stream: None,
+            read_buf: Vec::new(),
+            next_id: 1,
+            rng,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Overrides the per-reply I/O timeout (default 10 s).
+    pub fn set_io_timeout(&mut self, timeout: Duration) {
+        self.io_timeout = timeout;
+        self.stream = None; // re-apply on next connect
+    }
+
+    /// Sends one frame and reads exactly one reply frame, reconnecting
+    /// first if needed. Any failure discards the connection — after a
+    /// framing hiccup the byte stream can't be trusted.
+    fn round_trip(&mut self, frame: &Frame) -> Result<Frame, ClientError> {
+        let bytes = frame.encode();
+        let deadline = Instant::now() + self.io_timeout;
+        if self.stream.is_none() {
+            let addr = self
+                .addr
+                .to_socket_addrs()
+                .map_err(ClientError::Io)?
+                .next()
+                .ok_or_else(|| {
+                    ClientError::Io(io::Error::new(io::ErrorKind::NotFound, "no address"))
+                })?;
+            let stream =
+                TcpStream::connect_timeout(&addr, self.io_timeout).map_err(ClientError::Io)?;
+            stream
+                .set_read_timeout(Some(Duration::from_millis(20)))
+                .map_err(ClientError::Io)?;
+            let _ = stream.set_nodelay(true);
+            self.read_buf.clear();
+            self.stream = Some(stream);
+        }
+        let mut stream = self.stream.take().expect("connected above");
+        let result = Self::round_trip_on(&mut stream, &mut self.read_buf, &bytes, deadline);
+        if result.is_ok() {
+            self.stream = Some(stream);
+        }
+        result
+    }
+
+    fn round_trip_on(
+        stream: &mut TcpStream,
+        read_buf: &mut Vec<u8>,
+        bytes: &[u8],
+        deadline: Instant,
+    ) -> Result<Frame, ClientError> {
+        stream.write_all(bytes).map_err(ClientError::Io)?;
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            match decode_frame(read_buf).map_err(ClientError::Protocol)? {
+                Some((reply, consumed)) => {
+                    read_buf.drain(..consumed);
+                    return Ok(reply);
+                }
+                None => {
+                    if Instant::now() >= deadline {
+                        return Err(ClientError::Io(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "reply timed out",
+                        )));
+                    }
+                    match stream.read(&mut scratch) {
+                        Ok(0) => {
+                            // Peer closed mid-reply: a torn/absent reply is
+                            // a transport failure, retryable.
+                            return Err(ClientError::Io(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "connection closed before a full reply",
+                            )));
+                        }
+                        Ok(n) => {
+                            if read_buf.len() + n > MAX_FRAME_LEN + 4 {
+                                return Err(ClientError::Protocol(DecodeError::Oversized {
+                                    declared: (read_buf.len() + n) as u64,
+                                }));
+                            }
+                            read_buf.extend_from_slice(&scratch[..n]);
+                        }
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut
+                                || e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(ClientError::Io(e)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Next jitter sample in `[0, 1)` (xorshift64*).
+    fn jitter(&mut self) -> f64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
+        bits as f64 / (1u64 << 53) as f64
+    }
+
+    /// The delay before retry number `attempt` (1-based), honouring the
+    /// server hint as a floor.
+    fn backoff_delay(&mut self, attempt: u32, server_hint_ms: u64) -> Duration {
+        let exp = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.policy.max_backoff);
+        // Up to +50% jitter de-synchronises retry herds.
+        let jittered = exp.mul_f64(1.0 + 0.5 * self.jitter());
+        jittered.max(Duration::from_millis(server_hint_ms))
+    }
+
+    /// Embeds one sample, retrying retryable failures per the policy.
+    ///
+    /// `deadline_ms = 0` means no server-side deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for terminal typed rejections,
+    /// [`ClientError::RetriesExhausted`] when the budget runs out,
+    /// [`ClientError::Io`]/[`ClientError::Protocol`] for unrecoverable
+    /// transport problems.
+    pub fn embed(
+        &mut self,
+        tenant: &str,
+        model_id: &str,
+        sample: &[f64],
+        deadline_ms: u32,
+    ) -> Result<WireEmbedding, ClientError> {
+        let mut last_code: Option<ErrorCode> = None;
+        for attempt in 1..=self.policy.max_attempts.max(1) {
+            let id = self.next_id;
+            self.next_id += 1;
+            let request = Frame::EmbedRequest {
+                id,
+                deadline_ms,
+                tenant: tenant.to_string(),
+                model_id: model_id.to_string(),
+                sample: sample.to_vec(),
+            };
+            let failure_hint_ms = match self.round_trip(&request) {
+                Ok(Frame::EmbedReply {
+                    id: reply_id,
+                    label,
+                    ideal_fidelity,
+                    parameters,
+                    source,
+                }) => {
+                    if reply_id != id {
+                        return Err(ClientError::UnexpectedFrame);
+                    }
+                    return Ok(WireEmbedding {
+                        label,
+                        ideal_fidelity,
+                        parameters,
+                        source,
+                        attempts: attempt,
+                    });
+                }
+                Ok(Frame::ErrorReply {
+                    code,
+                    retry_after_ms,
+                    message,
+                    ..
+                }) => {
+                    if !code.is_retryable() {
+                        return Err(ClientError::Server { code, message });
+                    }
+                    last_code = Some(code);
+                    retry_after_ms
+                }
+                Ok(_) => return Err(ClientError::UnexpectedFrame),
+                Err(ClientError::Io(_)) => {
+                    // Transport failures (reset, torn reply, refused while a
+                    // drained server restarts) are retryable.
+                    last_code = None;
+                    0
+                }
+                Err(e) => return Err(e),
+            };
+            if attempt < self.policy.max_attempts.max(1) {
+                let delay = self.backoff_delay(attempt, failure_hint_ms);
+                std::thread::sleep(delay);
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts: self.policy.max_attempts.max(1),
+            last_code,
+        })
+    }
+
+    /// Liveness probe: one Ping/Pong round trip, no retries.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or protocol failure.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Frame::Ping)? {
+            Frame::Pong => Ok(()),
+            _ => Err(ClientError::UnexpectedFrame),
+        }
+    }
+
+    /// Sends the drain control frame and waits for the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or protocol failure.
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Frame::Drain)? {
+            Frame::DrainAck => Ok(()),
+            _ => Err(ClientError::UnexpectedFrame),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mut a = EnqClient::new("127.0.0.1:1", RetryPolicy::default());
+        let mut b = EnqClient::new("127.0.0.1:1", RetryPolicy::default());
+        for _ in 0..32 {
+            let (x, y) = (a.jitter(), b.jitter());
+            assert_eq!(x.to_bits(), y.to_bits());
+            assert!((0.0..1.0).contains(&x));
+        }
+        let mut c = EnqClient::new(
+            "127.0.0.1:1",
+            RetryPolicy {
+                jitter_seed: 999,
+                ..RetryPolicy::default()
+            },
+        );
+        assert_ne!(a.jitter().to_bits(), c.jitter().to_bits());
+    }
+
+    #[test]
+    fn backoff_grows_is_capped_and_honours_server_floor() {
+        let mut client = EnqClient::new(
+            "127.0.0.1:1",
+            RetryPolicy {
+                max_attempts: 10,
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(200),
+                jitter_seed: 7,
+            },
+        );
+        let d1 = client.backoff_delay(1, 0);
+        assert!(d1 >= Duration::from_millis(20), "{d1:?}");
+        // Jitter adds at most 50%.
+        assert!(d1 <= Duration::from_millis(30), "{d1:?}");
+        // Deep attempts saturate at max_backoff (+ jitter).
+        let deep = client.backoff_delay(9, 0);
+        assert!(deep <= Duration::from_millis(300), "{deep:?}");
+        // The server's hint is a floor.
+        let floored = client.backoff_delay(1, 5_000);
+        assert!(floored >= Duration::from_secs(5), "{floored:?}");
+    }
+}

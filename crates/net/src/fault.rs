@@ -1,0 +1,184 @@
+//! Injectable faults for the server's connection I/O path.
+//!
+//! The fault harness answers one question: *does the server survive its
+//! own failure modes?* A [`FaultPlan`] is threaded into
+//! [`EnqdServer`](crate::EnqdServer) at spawn time and consulted at the
+//! two spots where a real deployment bleeds — reading a request and
+//! writing a reply. Tests arm a fault, drive traffic, then assert the
+//! registry/cache/batcher invariants still hold and a follow-up request
+//! returns bit-identical results to an unfaulted run.
+//!
+//! All knobs are atomics on a shared `Arc`, so a test can re-arm faults
+//! while the server is live.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What the server should do at an I/O point (the fault layer's verdict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// No fault: write the reply normally.
+    None,
+    /// Drop the connection without writing (simulates a peer RST / a
+    /// crashed proxy mid-reply).
+    CloseConnection,
+    /// Fail the write with an I/O error (simulates a full send buffer on
+    /// a dead peer).
+    IoError,
+    /// Write only the first half of the encoded reply, then close
+    /// (simulates a torn write — the *client* must fail closed).
+    Truncate,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Remaining replies to write before the armed write fault fires
+    /// (`u64::MAX` = disarmed).
+    write_fault_after: AtomicU64,
+    /// Which [`WriteFault`] fires when the countdown hits zero (encoded as
+    /// u8; 0 = None).
+    write_fault_kind: AtomicU64,
+    /// Artificial pre-read delay in microseconds (0 = none) — slows the
+    /// server's read loop to widen race windows.
+    read_delay_us: AtomicU64,
+    /// Count of faults actually fired (test observability).
+    fired: AtomicUsize,
+}
+
+/// A shareable, re-armable fault plan. `FaultPlan::default()` is the
+/// no-fault plan production uses.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    state: Arc<FaultState>,
+}
+
+const KIND_NONE: u64 = 0;
+const KIND_CLOSE: u64 = 1;
+const KIND_IO_ERROR: u64 = 2;
+const KIND_TRUNCATE: u64 = 3;
+
+impl FaultPlan {
+    /// The no-fault plan.
+    pub fn none() -> Self {
+        let plan = Self::default();
+        plan.state
+            .write_fault_after
+            .store(u64::MAX, Ordering::SeqCst);
+        plan
+    }
+
+    /// Arms a write fault: the `after`-th reply write (0-based) is
+    /// replaced by `kind`. One-shot — the plan disarms after firing.
+    pub fn arm_write_fault(&self, after: u64, kind: WriteFault) {
+        let encoded = match kind {
+            WriteFault::None => KIND_NONE,
+            WriteFault::CloseConnection => KIND_CLOSE,
+            WriteFault::IoError => KIND_IO_ERROR,
+            WriteFault::Truncate => KIND_TRUNCATE,
+        };
+        self.state.write_fault_kind.store(encoded, Ordering::SeqCst);
+        self.state.write_fault_after.store(after, Ordering::SeqCst);
+    }
+
+    /// Slows every connection read by `delay` (0 disables).
+    pub fn set_read_delay(&self, delay: Duration) {
+        self.state.read_delay_us.store(
+            u64::try_from(delay.as_micros()).unwrap_or(u64::MAX),
+            Ordering::SeqCst,
+        );
+    }
+
+    /// How many armed faults have fired so far.
+    pub fn fired(&self) -> usize {
+        self.state.fired.load(Ordering::SeqCst)
+    }
+
+    /// Server hook: consulted before each reply write. Counts down the
+    /// armed fault and fires it exactly once.
+    pub(crate) fn on_write(&self) -> WriteFault {
+        let remaining = self.state.write_fault_after.load(Ordering::SeqCst);
+        if remaining == u64::MAX {
+            return WriteFault::None;
+        }
+        let previous =
+            self.state
+                .write_fault_after
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| match v {
+                    u64::MAX => None,
+                    0 => Some(u64::MAX), // fire and disarm
+                    n => Some(n - 1),
+                });
+        match previous {
+            Ok(0) => {
+                self.state.fired.fetch_add(1, Ordering::SeqCst);
+                match self.state.write_fault_kind.load(Ordering::SeqCst) {
+                    KIND_CLOSE => WriteFault::CloseConnection,
+                    KIND_IO_ERROR => WriteFault::IoError,
+                    KIND_TRUNCATE => WriteFault::Truncate,
+                    _ => WriteFault::None,
+                }
+            }
+            _ => WriteFault::None,
+        }
+    }
+
+    /// Server hook: the artificial delay to apply before each read poll.
+    pub(crate) fn read_delay(&self) -> Option<Duration> {
+        match self.state.read_delay_us.load(Ordering::SeqCst) {
+            0 => None,
+            us => Some(Duration::from_micros(us)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_plan_never_faults() {
+        let plan = FaultPlan::none();
+        for _ in 0..100 {
+            assert_eq!(plan.on_write(), WriteFault::None);
+        }
+        assert_eq!(plan.fired(), 0);
+        assert_eq!(plan.read_delay(), None);
+    }
+
+    #[test]
+    fn armed_write_fault_fires_exactly_once_at_the_countdown() {
+        let plan = FaultPlan::none();
+        plan.arm_write_fault(2, WriteFault::IoError);
+        assert_eq!(plan.on_write(), WriteFault::None);
+        assert_eq!(plan.on_write(), WriteFault::None);
+        assert_eq!(plan.on_write(), WriteFault::IoError);
+        assert_eq!(plan.fired(), 1);
+        // Disarmed afterwards.
+        for _ in 0..10 {
+            assert_eq!(plan.on_write(), WriteFault::None);
+        }
+        // Re-armable.
+        plan.arm_write_fault(0, WriteFault::Truncate);
+        assert_eq!(plan.on_write(), WriteFault::Truncate);
+        assert_eq!(plan.fired(), 2);
+    }
+
+    #[test]
+    fn read_delay_round_trips() {
+        let plan = FaultPlan::none();
+        plan.set_read_delay(Duration::from_micros(250));
+        assert_eq!(plan.read_delay(), Some(Duration::from_micros(250)));
+        plan.set_read_delay(Duration::ZERO);
+        assert_eq!(plan.read_delay(), None);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let plan = FaultPlan::none();
+        let clone = plan.clone();
+        plan.arm_write_fault(0, WriteFault::CloseConnection);
+        assert_eq!(clone.on_write(), WriteFault::CloseConnection);
+        assert_eq!(plan.fired(), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # enq-net
+//!
+//! The **network serving tier** of the EnQode reproduction: `enqd`, a TCP
+//! front door over [`enq_serve::EmbedService`], built for survival rather
+//! than features. Everything is hand-rolled on `std::net` — the offline
+//! build has zero external RPC dependencies.
+//!
+//! * [`protocol`] — the length-prefixed binary wire format
+//!   ([`Frame`]/[`decode_frame`]), fail-closed on anything malformed,
+//!   oversized or trailing-garbage.
+//! * [`AdmissionControl`] — per-tenant token buckets; a rejected request
+//!   is told exactly when a token accrues.
+//! * [`EnqdServer`] — the acceptor + per-connection frame loops (on
+//!   [`enq_parallel`] worker threads) feeding the shared micro-batcher;
+//!   queue-depth load shedding with typed
+//!   [`RetryAfter`](ErrorCode::RetryAfter) replies; per-request deadlines
+//!   propagated into the batcher so expired work is dropped before
+//!   compute; graceful drain that completes in-flight admitted requests.
+//! * [`EnqClient`] — the blocking client with bounded
+//!   exponential-backoff-plus-jitter retries that honour server
+//!   `retry_after_ms` hints as a floor and never retry terminal codes.
+//! * [`FaultPlan`] — the injectable fault layer behind the fault-injection
+//!   harness: torn writes, dropped connections and slowed reads on the
+//!   live server, so tests can prove the service invariants survive.
+//!
+//! ```text
+//!  client ──TCP──► acceptor ──► conn loop ──► drain? admit? shed? ──► EmbedService
+//!                                  ▲                 │ typed ErrorReply    │
+//!                                  └── FaultPlan ────┴─── EmbedReply ◄─────┘
+//! ```
+
+#![warn(missing_docs)]
+
+mod admission;
+mod client;
+mod fault;
+pub mod protocol;
+mod server;
+
+pub use admission::{AdmissionConfig, AdmissionControl};
+pub use client::{ClientError, EnqClient, RetryPolicy, WireEmbedding};
+pub use fault::{FaultPlan, WriteFault};
+pub use protocol::{decode_frame, wire_error, DecodeError, ErrorCode, Frame, MAX_FRAME_LEN};
+pub use server::{EnqdServer, NetConfig, NetStats, ServerHandle};

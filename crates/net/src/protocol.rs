@@ -1,0 +1,694 @@
+//! The `enqd` wire protocol: a small length-prefixed binary framing over
+//! TCP, hand-rolled so the serving tier has **zero** external RPC
+//! dependencies.
+//!
+//! # Framing
+//!
+//! ```text
+//! [u32 LE frame_len] [u8 frame_type] [payload …]
+//! ```
+//!
+//! `frame_len` counts everything after the length word (the type byte plus
+//! the payload), and is capped at [`MAX_FRAME_LEN`] — a longer length
+//! prefix is rejected **before** any allocation, so a hostile 4-byte
+//! header cannot reserve gigabytes. Inside payloads:
+//!
+//! * strings are `[u16 LE len][utf8 bytes]`;
+//! * f64 vectors are `[u32 LE count][count × f64 LE]` (bit-exact: values
+//!   round-trip through [`f64::to_le_bytes`], NaN payloads included);
+//! * integers are fixed-width little-endian.
+//!
+//! Decoding is **fail-closed**: truncated fields, trailing bytes, unknown
+//! frame types, invalid UTF-8 and oversized declarations all surface a
+//! typed [`DecodeError`] — never a panic, never a partial frame.
+
+use enq_serve::ServeError;
+use std::fmt;
+use std::time::Duration;
+
+/// Hard cap on `frame_len` (type byte + payload). One embed request for a
+/// 64-qubit-scale sample is a few KiB; 1 MiB leaves two orders of
+/// magnitude of headroom while bounding what a hostile length prefix can
+/// make the server buffer.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Typed error codes carried by [`Frame::ErrorReply`].
+///
+/// The split that matters to clients is [`ErrorCode::is_retryable`]:
+/// retryable codes mean *this exact request can succeed later* (back off
+/// and resend, honouring `retry_after_ms`); terminal codes mean resending
+/// the same request is pointless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The request frame was malformed (decode failure, bad field).
+    /// Terminal.
+    BadRequest = 1,
+    /// The request named a model id with no registered pipeline. Terminal.
+    ModelNotFound = 2,
+    /// The embedding itself failed (dimension mismatch, zero vector, …).
+    /// Terminal.
+    EmbedFailed = 3,
+    /// The server shed the request under queue-depth overload. Retryable
+    /// after `retry_after_ms`.
+    RetryAfter = 4,
+    /// The tenant's token bucket is empty. Retryable after
+    /// `retry_after_ms`.
+    RateLimited = 5,
+    /// The server is draining and no longer accepts new work. Retryable
+    /// (against a replacement instance, or after the drain).
+    Draining = 6,
+    /// The request's deadline expired while it was queued; no compute was
+    /// spent on it. Terminal — the deadline has passed, resending the same
+    /// expired intent cannot succeed.
+    DeadlineExceeded = 7,
+    /// A background rebuild is in flight for the model; `retry_after_ms`
+    /// carries the rebuild's estimated remaining time. Retryable.
+    RebuildInProgress = 8,
+    /// No recorded traffic exists to refresh the model from. Terminal —
+    /// retrying cannot conjure traffic.
+    NoTraffic = 9,
+    /// Internal server error. Terminal.
+    Internal = 10,
+}
+
+impl ErrorCode {
+    /// Decodes a wire code, rejecting unknown values (fail closed).
+    pub fn from_u16(code: u16) -> Option<Self> {
+        Some(match code {
+            1 => Self::BadRequest,
+            2 => Self::ModelNotFound,
+            3 => Self::EmbedFailed,
+            4 => Self::RetryAfter,
+            5 => Self::RateLimited,
+            6 => Self::Draining,
+            7 => Self::DeadlineExceeded,
+            8 => Self::RebuildInProgress,
+            9 => Self::NoTraffic,
+            10 => Self::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Whether a client should back off and resend the same request.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            Self::RetryAfter | Self::RateLimited | Self::Draining | Self::RebuildInProgress
+        )
+    }
+}
+
+/// Maps a serve-layer error onto its wire representation: the typed code,
+/// the retry hint (0 for terminal codes unless the serve layer supplied
+/// one) and a human-readable message.
+///
+/// The retryable/terminal split mirrors the serve layer's semantics:
+/// [`ServeError::RebuildInProgress`] is retryable and forwards the
+/// rebuild's [estimated remaining time](enq_serve::RebuildTicket::estimated_remaining)
+/// as the hint; [`ServeError::NoTraffic`] is terminal (retrying cannot
+/// conjure recorded traffic).
+pub fn wire_error(error: &ServeError) -> (ErrorCode, u64, String) {
+    let message = error.to_string();
+    match error {
+        ServeError::ModelNotFound(_) => (ErrorCode::ModelNotFound, 0, message),
+        ServeError::Embed(_) => (ErrorCode::EmbedFailed, 0, message),
+        ServeError::ShuttingDown => (ErrorCode::Draining, 100, message),
+        ServeError::DeadlineExceeded { .. } => (ErrorCode::DeadlineExceeded, 0, message),
+        ServeError::RebuildInProgress { retry_after, .. } => (
+            ErrorCode::RebuildInProgress,
+            duration_to_retry_ms(*retry_after),
+            message,
+        ),
+        ServeError::NoTraffic(_) => (ErrorCode::NoTraffic, 0, message),
+        _ => (ErrorCode::Internal, 0, message),
+    }
+}
+
+/// Converts a retry hint to whole milliseconds, rounding sub-millisecond
+/// hints **up** so a positive hint never degrades to "retry immediately".
+pub fn duration_to_retry_ms(d: Duration) -> u64 {
+    if d.is_zero() {
+        0
+    } else {
+        u64::try_from(d.as_millis()).unwrap_or(u64::MAX).max(1)
+    }
+}
+
+/// One protocol frame. See the [module docs](self) for the byte layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: embed one sample.
+    EmbedRequest {
+        /// Client-chosen correlation id, echoed in the reply.
+        id: u64,
+        /// Request deadline in milliseconds from receipt; `0` = no
+        /// deadline. Propagated into the batcher so expired work is
+        /// dropped before compute.
+        deadline_ms: u32,
+        /// Tenant name for per-tenant admission control.
+        tenant: String,
+        /// Which registered model serves the request.
+        model_id: String,
+        /// The raw (pre-feature-extraction) sample.
+        sample: Vec<f64>,
+    },
+    /// Server → client: a successful embedding.
+    EmbedReply {
+        /// Echo of the request id.
+        id: u64,
+        /// The class label the pipeline chose.
+        label: u64,
+        /// Noiseless fidelity of the prepared state.
+        ideal_fidelity: f64,
+        /// The ansatz rotation parameters (bit-exact).
+        parameters: Vec<f64>,
+        /// How the solution was obtained: 0 computed, 1 cache hit, 2 batch
+        /// dedup.
+        source: u8,
+    },
+    /// Server → client: a typed failure.
+    ErrorReply {
+        /// Echo of the request id (`0` when no request could be parsed).
+        id: u64,
+        /// The typed error code.
+        code: ErrorCode,
+        /// Retry hint in milliseconds (`0` = none / terminal).
+        retry_after_ms: u64,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Liveness answer.
+    Pong,
+    /// Control command: begin a graceful drain.
+    Drain,
+    /// Drain acknowledged; the server stops accepting and finishes
+    /// in-flight work.
+    DrainAck,
+}
+
+const TYPE_EMBED_REQUEST: u8 = 0x01;
+const TYPE_EMBED_REPLY: u8 = 0x02;
+const TYPE_ERROR_REPLY: u8 = 0x03;
+const TYPE_PING: u8 = 0x04;
+const TYPE_PONG: u8 = 0x05;
+const TYPE_DRAIN: u8 = 0x06;
+const TYPE_DRAIN_ACK: u8 = 0x07;
+
+/// Why a byte sequence failed to decode as a frame. Every variant closes
+/// the connection — a peer that framed one message wrong cannot be trusted
+/// to frame the next one right.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] (rejected before any
+    /// payload is buffered).
+    Oversized {
+        /// The declared frame length.
+        declared: u64,
+    },
+    /// The length prefix is too short to hold even the type byte.
+    EmptyFrame,
+    /// The frame type byte is not a known frame.
+    UnknownType(u8),
+    /// A field ran past the end of the frame.
+    Truncated(&'static str),
+    /// The frame decoded cleanly but left unconsumed payload bytes —
+    /// treated as corruption, not as forward-compatible padding.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A string field held invalid UTF-8.
+    InvalidUtf8(&'static str),
+    /// An error reply carried an unknown error code.
+    UnknownErrorCode(u16),
+    /// A declared element count does not fit in the frame.
+    CountOverflow(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Oversized { declared } => {
+                write!(f, "frame declares {declared} bytes (cap {MAX_FRAME_LEN})")
+            }
+            DecodeError::EmptyFrame => write!(f, "frame too short to hold a type byte"),
+            DecodeError::UnknownType(t) => write!(f, "unknown frame type {t:#04x}"),
+            DecodeError::Truncated(field) => write!(f, "frame truncated inside field {field:?}"),
+            DecodeError::TrailingBytes { extra } => {
+                write!(f, "{extra} unconsumed bytes after the frame payload")
+            }
+            DecodeError::InvalidUtf8(field) => write!(f, "field {field:?} is not valid UTF-8"),
+            DecodeError::UnknownErrorCode(code) => write!(f, "unknown error code {code}"),
+            DecodeError::CountOverflow(field) => {
+                write!(
+                    f,
+                    "field {field:?} declares more elements than the frame holds"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("string field over 64 KiB");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f64s(out: &mut Vec<u8>, values: &[f64]) {
+    let count = u32::try_from(values.len()).expect("f64 vector over u32::MAX");
+    out.extend_from_slice(&count.to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl Frame {
+    /// Encodes the frame, length prefix included, ready to write to a
+    /// socket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a string field exceeds 64 KiB or the encoded frame would
+    /// exceed [`MAX_FRAME_LEN`] — both are caller bugs (the server never
+    /// builds such frames; clients validate their inputs).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(64);
+        match self {
+            Frame::EmbedRequest {
+                id,
+                deadline_ms,
+                tenant,
+                model_id,
+                sample,
+            } => {
+                body.push(TYPE_EMBED_REQUEST);
+                body.extend_from_slice(&id.to_le_bytes());
+                body.extend_from_slice(&deadline_ms.to_le_bytes());
+                put_str(&mut body, tenant);
+                put_str(&mut body, model_id);
+                put_f64s(&mut body, sample);
+            }
+            Frame::EmbedReply {
+                id,
+                label,
+                ideal_fidelity,
+                parameters,
+                source,
+            } => {
+                body.push(TYPE_EMBED_REPLY);
+                body.extend_from_slice(&id.to_le_bytes());
+                body.extend_from_slice(&label.to_le_bytes());
+                body.extend_from_slice(&ideal_fidelity.to_le_bytes());
+                put_f64s(&mut body, parameters);
+                body.push(*source);
+            }
+            Frame::ErrorReply {
+                id,
+                code,
+                retry_after_ms,
+                message,
+            } => {
+                body.push(TYPE_ERROR_REPLY);
+                body.extend_from_slice(&id.to_le_bytes());
+                body.extend_from_slice(&(*code as u16).to_le_bytes());
+                body.extend_from_slice(&retry_after_ms.to_le_bytes());
+                put_str(&mut body, message);
+            }
+            Frame::Ping => body.push(TYPE_PING),
+            Frame::Pong => body.push(TYPE_PONG),
+            Frame::Drain => body.push(TYPE_DRAIN),
+            Frame::DrainAck => body.push(TYPE_DRAIN_ACK),
+        }
+        assert!(body.len() <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked forward cursor over one frame's payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or(DecodeError::Truncated(field))?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn u16(&mut self, field: &'static str) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, field)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, field)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, field)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self, field: &'static str) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(
+            self.take(8, field)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self, field: &'static str) -> Result<String, DecodeError> {
+        let len = self.u16(field)? as usize;
+        let bytes = self.take(len, field)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8(field))
+    }
+
+    fn f64s(&mut self, field: &'static str) -> Result<Vec<f64>, DecodeError> {
+        let count = self.u32(field)? as usize;
+        // The count must fit in the bytes actually present — a hostile
+        // count cannot reserve memory beyond the (already capped) frame.
+        if count > (self.bytes.len() - self.at) / 8 {
+            return Err(DecodeError::CountOverflow(field));
+        }
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            values.push(self.f64(field)?);
+        }
+        Ok(values)
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        let extra = self.bytes.len() - self.at;
+        if extra == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes { extra })
+        }
+    }
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// * `Ok(None)` — `buf` holds a prefix of a valid-so-far frame; read more
+///   bytes and call again.
+/// * `Ok(Some((frame, consumed)))` — one complete frame; drop `consumed`
+///   bytes from the front of `buf` before the next call.
+/// * `Err(_)` — the stream is corrupt or hostile; fail closed (close the
+///   connection).
+///
+/// # Errors
+///
+/// Any [`DecodeError`]; oversized length prefixes are rejected from the
+/// first 4 bytes, before the payload arrives.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let declared = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as u64;
+    if declared as usize > MAX_FRAME_LEN {
+        return Err(DecodeError::Oversized { declared });
+    }
+    if declared == 0 {
+        return Err(DecodeError::EmptyFrame);
+    }
+    let total = 4 + declared as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let mut cursor = Cursor {
+        bytes: &buf[4..total],
+        at: 0,
+    };
+    let frame_type = cursor.u8("frame_type")?;
+    let frame = match frame_type {
+        TYPE_EMBED_REQUEST => Frame::EmbedRequest {
+            id: cursor.u64("id")?,
+            deadline_ms: cursor.u32("deadline_ms")?,
+            tenant: cursor.string("tenant")?,
+            model_id: cursor.string("model_id")?,
+            sample: cursor.f64s("sample")?,
+        },
+        TYPE_EMBED_REPLY => Frame::EmbedReply {
+            id: cursor.u64("id")?,
+            label: cursor.u64("label")?,
+            ideal_fidelity: cursor.f64("ideal_fidelity")?,
+            parameters: cursor.f64s("parameters")?,
+            source: cursor.u8("source")?,
+        },
+        TYPE_ERROR_REPLY => {
+            let id = cursor.u64("id")?;
+            let raw_code = cursor.u16("code")?;
+            let code =
+                ErrorCode::from_u16(raw_code).ok_or(DecodeError::UnknownErrorCode(raw_code))?;
+            Frame::ErrorReply {
+                id,
+                code,
+                retry_after_ms: cursor.u64("retry_after_ms")?,
+                message: cursor.string("message")?,
+            }
+        }
+        TYPE_PING => Frame::Ping,
+        TYPE_PONG => Frame::Pong,
+        TYPE_DRAIN => Frame::Drain,
+        TYPE_DRAIN_ACK => Frame::DrainAck,
+        other => return Err(DecodeError::UnknownType(other)),
+    };
+    cursor.finish()?;
+    Ok(Some((frame, total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = frame.encode();
+        let (decoded, consumed) = decode_frame(&bytes).unwrap().expect("complete frame");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn every_frame_type_round_trips() {
+        roundtrip(Frame::EmbedRequest {
+            id: 42,
+            deadline_ms: 1500,
+            tenant: "acme".into(),
+            model_id: "mnist".into(),
+            sample: vec![0.25, -1.5, f64::MIN_POSITIVE, 0.0],
+        });
+        roundtrip(Frame::EmbedReply {
+            id: 42,
+            label: 7,
+            ideal_fidelity: 0.998,
+            parameters: vec![1.0, -2.0, 3.5],
+            source: 1,
+        });
+        roundtrip(Frame::ErrorReply {
+            id: 9,
+            code: ErrorCode::RetryAfter,
+            retry_after_ms: 250,
+            message: "shed".into(),
+        });
+        roundtrip(Frame::Ping);
+        roundtrip(Frame::Pong);
+        roundtrip(Frame::Drain);
+        roundtrip(Frame::DrainAck);
+    }
+
+    #[test]
+    fn nan_payloads_round_trip_bit_exactly() {
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+        let frame = Frame::EmbedRequest {
+            id: 1,
+            deadline_ms: 0,
+            tenant: String::new(),
+            model_id: "m".into(),
+            sample: vec![weird],
+        };
+        let bytes = frame.encode();
+        let (decoded, _) = decode_frame(&bytes).unwrap().unwrap();
+        let Frame::EmbedRequest { sample, .. } = decoded else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(sample[0].to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn partial_frames_ask_for_more_bytes() {
+        let bytes = Frame::Ping.encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_frame(&bytes[..cut]).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_payload() {
+        let mut buf = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+        buf.push(TYPE_PING);
+        assert!(matches!(
+            decode_frame(&buf),
+            Err(DecodeError::Oversized { .. })
+        ));
+        // u32::MAX too — no overflow on 32-bit-adjacent arithmetic.
+        let buf = u32::MAX.to_le_bytes();
+        assert!(matches!(
+            decode_frame(&buf),
+            Err(DecodeError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_frames_fail_closed() {
+        // Zero-length frame.
+        assert_eq!(
+            decode_frame(&0u32.to_le_bytes()),
+            Err(DecodeError::EmptyFrame)
+        );
+        // Unknown type.
+        let mut buf = 1u32.to_le_bytes().to_vec();
+        buf.push(0x7f);
+        assert_eq!(decode_frame(&buf), Err(DecodeError::UnknownType(0x7f)));
+        // Trailing garbage after a Ping payload.
+        let mut buf = 3u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[TYPE_PING, 0xAA, 0xBB]);
+        assert_eq!(
+            decode_frame(&buf),
+            Err(DecodeError::TrailingBytes { extra: 2 })
+        );
+        // Truncated embed request (id field cut off mid-frame).
+        let mut buf = 5u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[TYPE_EMBED_REQUEST, 1, 2, 3, 4]);
+        assert_eq!(decode_frame(&buf), Err(DecodeError::Truncated("id")));
+        // Hostile element count: frame says 1000 floats, holds none.
+        let mut body = vec![TYPE_EMBED_REQUEST];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&0u16.to_le_bytes()); // tenant ""
+        body.extend_from_slice(&1u16.to_le_bytes()); // model_id "m"
+        body.push(b'm');
+        body.extend_from_slice(&1000u32.to_le_bytes()); // sample count lie
+        let mut buf = (body.len() as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&body);
+        assert_eq!(
+            decode_frame(&buf),
+            Err(DecodeError::CountOverflow("sample"))
+        );
+        // Invalid UTF-8 in a string field.
+        let mut body = vec![TYPE_EMBED_REQUEST];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&2u16.to_le_bytes());
+        body.extend_from_slice(&[0xff, 0xfe]); // not UTF-8
+        body.extend_from_slice(&1u16.to_le_bytes());
+        body.push(b'm');
+        body.extend_from_slice(&0u32.to_le_bytes());
+        let mut buf = (body.len() as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&body);
+        assert_eq!(decode_frame(&buf), Err(DecodeError::InvalidUtf8("tenant")));
+    }
+
+    #[test]
+    fn wire_error_mapping_covers_every_serve_variant() {
+        use enqode::EnqodeError;
+        let cases: Vec<(ServeError, ErrorCode, bool)> = vec![
+            (
+                ServeError::ModelNotFound("m".into()),
+                ErrorCode::ModelNotFound,
+                false,
+            ),
+            (
+                ServeError::Embed(EnqodeError::NotTrained),
+                ErrorCode::EmbedFailed,
+                false,
+            ),
+            (ServeError::ShuttingDown, ErrorCode::Draining, true),
+            (
+                ServeError::DeadlineExceeded {
+                    waited: Duration::from_millis(7),
+                },
+                ErrorCode::DeadlineExceeded,
+                false,
+            ),
+            (
+                ServeError::RebuildInProgress {
+                    model_id: "m".into(),
+                    retry_after: Duration::from_millis(123),
+                },
+                ErrorCode::RebuildInProgress,
+                true,
+            ),
+            (
+                ServeError::NoTraffic("m".into()),
+                ErrorCode::NoTraffic,
+                false,
+            ),
+            (
+                ServeError::Traffic(enq_data::DataError::Io("disk".into())),
+                ErrorCode::Internal,
+                false,
+            ),
+            (
+                ServeError::Rebuild("spawn failed".into()),
+                ErrorCode::Internal,
+                false,
+            ),
+        ];
+        for (error, expected_code, expected_retryable) in cases {
+            let (code, _, message) = wire_error(&error);
+            assert_eq!(code, expected_code, "{error}");
+            assert_eq!(code.is_retryable(), expected_retryable, "{error}");
+            assert!(!message.is_empty());
+        }
+        // The rebuild hint forwards the ticket's estimate.
+        let (_, retry_ms, _) = wire_error(&ServeError::RebuildInProgress {
+            model_id: "m".into(),
+            retry_after: Duration::from_millis(123),
+        });
+        assert_eq!(retry_ms, 123);
+        // Sub-millisecond hints round up, never to zero.
+        assert_eq!(duration_to_retry_ms(Duration::from_micros(10)), 1);
+        assert_eq!(duration_to_retry_ms(Duration::ZERO), 0);
+    }
+
+    #[test]
+    fn error_code_wire_values_are_stable() {
+        for code in 1..=10u16 {
+            let decoded = ErrorCode::from_u16(code).expect("known code");
+            assert_eq!(decoded as u16, code);
+        }
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(11), None);
+        assert_eq!(ErrorCode::from_u16(u16::MAX), None);
+    }
+}

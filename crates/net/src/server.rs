@@ -1,0 +1,511 @@
+//! The `enqd` TCP front door.
+//!
+//! [`EnqdServer::spawn`] binds a listener and runs an acceptor on an
+//! [`enq_parallel`] worker thread; each accepted connection gets its own
+//! worker running a frame loop that feeds the shared
+//! [`EmbedService`] micro-batcher — concurrent connections are what lets
+//! the batcher form real batches. The front door's job is *survival*, in
+//! three layers, checked in order for every embed request:
+//!
+//! 1. **drain** — a draining server answers [`ErrorCode::Draining`] and
+//!    closes; in-flight admitted work still completes.
+//! 2. **admission** — the tenant's token bucket
+//!    ([`AdmissionControl`]) answers [`ErrorCode::RateLimited`] with the
+//!    exact wait until a token accrues.
+//! 3. **load shedding** — when the batcher's queue depth reaches
+//!    [`NetConfig::max_pending`], the request is shed with
+//!    [`ErrorCode::RetryAfter`] and a hint derived from an EWMA of
+//!    observed service time × current depth. Shedding costs no compute:
+//!    the request never enters the queue.
+//!
+//! Hostile input never reaches the service: malformed, oversized and
+//! trailing-garbage frames fail closed with a best-effort
+//! [`ErrorCode::BadRequest`] and a connection close; a half-sent frame
+//! that stops making progress (slowloris) is timed out from the moment
+//! its first byte arrived, so trickling one byte per tick buys nothing.
+
+use crate::admission::{AdmissionConfig, AdmissionControl};
+use crate::fault::{FaultPlan, WriteFault};
+use crate::protocol::{decode_frame, duration_to_retry_ms, wire_error, ErrorCode, Frame};
+use enq_parallel::{spawn_worker, WorkerHandle};
+use enq_serve::{EmbedService, SolutionSource};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Front-door knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Maximum concurrent connections; further accepts are answered with a
+    /// typed [`ErrorCode::RetryAfter`] and closed.
+    pub max_connections: usize,
+    /// Queue-depth shed threshold: an embed request arriving while the
+    /// batcher already holds this many queued requests is shed.
+    pub max_pending: usize,
+    /// Slowloris guard: a connection whose partially-received frame is
+    /// older than this is closed, no matter how slowly it trickles bytes.
+    pub read_timeout: Duration,
+    /// Socket poll granularity (read timeout on the connection socket);
+    /// bounds how fast drain and slowloris checks are noticed.
+    pub tick: Duration,
+    /// Per-tenant admission control (disabled by default).
+    pub admission: AdmissionConfig,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            max_pending: 256,
+            read_timeout: Duration::from_secs(2),
+            tick: Duration::from_millis(10),
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// Monotonic front-door counters (see [`ServerHandle::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Connections accepted into a frame loop.
+    pub connections_accepted: u64,
+    /// Connections refused at the cap (typed reject, then close).
+    pub connections_refused: u64,
+    /// Embed requests answered successfully.
+    pub served: u64,
+    /// Embed requests shed at the queue-depth door.
+    pub shed: u64,
+    /// Embed requests refused by admission control.
+    pub rate_limited: u64,
+    /// Connections closed for protocol violations or slowloris timeouts.
+    pub hostile_closes: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    draining: AtomicBool,
+    active_connections: AtomicUsize,
+    connections_accepted: AtomicU64,
+    connections_refused: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    rate_limited: AtomicU64,
+    hostile_closes: AtomicU64,
+    /// EWMA of observed embed service time, microseconds. Seeds shed
+    /// retry hints.
+    ewma_service_us: AtomicU64,
+}
+
+impl Shared {
+    fn stats(&self) -> NetStats {
+        NetStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_refused: self.connections_refused.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            hostile_closes: self.hostile_closes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn observe_service_time(&self, elapsed: Duration) {
+        let sample = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        // Racy read-modify-write is fine: this is a smoothing hint, not an
+        // invariant.
+        let old = self.ewma_service_us.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            (old * 4 + sample) / 5
+        };
+        self.ewma_service_us.store(new, Ordering::Relaxed);
+    }
+
+    /// Retry hint for a shed request: roughly how long the current
+    /// backlog takes to clear at the observed service rate.
+    fn shed_retry_hint(&self, depth: usize) -> u64 {
+        let per_request_us = self.ewma_service_us.load(Ordering::Relaxed).max(100);
+        (per_request_us.saturating_mul(depth as u64 + 1) / 1000).clamp(1, 10_000)
+    }
+}
+
+/// The `enqd` server. Construct with [`EnqdServer::spawn`]; the returned
+/// [`ServerHandle`] is the only handle.
+#[derive(Debug)]
+pub struct EnqdServer;
+
+/// A running server: address, drain control, stats.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: WorkerHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound address (real port, even when spawned on port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins a graceful drain: the listener stops accepting, every
+    /// connection finishes the request it is processing (admitted work is
+    /// never abandoned) and closes, then the acceptor exits. Idempotent;
+    /// also triggered by a [`Frame::Drain`] control frame.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested (by [`ServerHandle::drain`] or a
+    /// control frame).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Whether the server has fully wound down (listener closed, all
+    /// connections finished).
+    pub fn is_finished(&self) -> bool {
+        self.acceptor.is_finished()
+    }
+
+    /// Current front-door counters.
+    pub fn stats(&self) -> NetStats {
+        self.shared.stats()
+    }
+
+    /// Number of live connections.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active_connections.load(Ordering::SeqCst)
+    }
+
+    /// Drains (if not already draining) and blocks until the server has
+    /// fully wound down, returning the final counters.
+    pub fn join(self) -> NetStats {
+        self.drain();
+        let shared = Arc::clone(&self.shared);
+        // A panicking acceptor still yields the shared counters.
+        let _ = self.acceptor.join();
+        shared.stats()
+    }
+}
+
+impl EnqdServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and spawns the
+    /// acceptor. The server serves until [`ServerHandle::drain`] (or a
+    /// [`Frame::Drain`] control frame) winds it down.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from binding the listener.
+    pub fn spawn(
+        service: Arc<EmbedService>,
+        addr: &str,
+        config: NetConfig,
+        faults: FaultPlan,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared::default());
+        let admission = Arc::new(AdmissionControl::new(config.admission.clone()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            spawn_worker("enqd-acceptor", move |token| {
+                let mut conns: Vec<WorkerHandle<()>> = Vec::new();
+                let mut conn_seq = 0u64;
+                loop {
+                    if token.is_cancelled() || shared.draining.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            conns.retain(|h| !h.is_finished());
+                            if conns.len() >= config.max_connections {
+                                shared.connections_refused.fetch_add(1, Ordering::Relaxed);
+                                refuse_connection(stream);
+                                continue;
+                            }
+                            shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                            shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                            let service = Arc::clone(&service);
+                            let shared = Arc::clone(&shared);
+                            let admission = Arc::clone(&admission);
+                            let faults = faults.clone();
+                            let config = config.clone();
+                            conn_seq += 1;
+                            conns.push(spawn_worker(
+                                &format!("enqd-conn-{conn_seq}"),
+                                move |conn_token| {
+                                    connection_loop(
+                                        stream,
+                                        &service,
+                                        &shared,
+                                        &admission,
+                                        &faults,
+                                        &config,
+                                        &conn_token,
+                                    );
+                                    shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                                },
+                            ));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(config.tick.min(Duration::from_millis(5)));
+                        }
+                        Err(_) => {
+                            // Transient accept failure (EMFILE, ECONNABORTED):
+                            // back off and keep serving.
+                            std::thread::sleep(config.tick);
+                        }
+                    }
+                }
+                // Graceful drain: the listener is closed (dropped) and every
+                // connection finishes its in-flight request before exiting.
+                drop(listener);
+                for conn in conns {
+                    let _ = conn.join();
+                }
+            })
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor,
+        })
+    }
+}
+
+/// Best-effort typed reject for a connection refused at the cap.
+fn refuse_connection(mut stream: TcpStream) {
+    let reply = Frame::ErrorReply {
+        id: 0,
+        code: ErrorCode::RetryAfter,
+        retry_after_ms: 50,
+        message: "connection limit reached".into(),
+    };
+    let _ = stream.write_all(&reply.encode());
+}
+
+/// What the frame handler tells the connection loop to do next.
+enum Disposition {
+    /// Keep serving this connection.
+    KeepOpen,
+    /// Close the connection (handler already wrote whatever it wanted).
+    Close,
+}
+
+#[allow(clippy::too_many_lines)]
+fn connection_loop(
+    mut stream: TcpStream,
+    service: &EmbedService,
+    shared: &Shared,
+    admission: &AdmissionControl,
+    faults: &FaultPlan,
+    config: &NetConfig,
+    token: &enq_parallel::CancelToken,
+) {
+    if stream.set_read_timeout(Some(config.tick)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 16 * 1024];
+    // Slowloris guard: measured from the first byte of the pending frame,
+    // not from the last byte received — trickling resets nothing.
+    let mut frame_started: Option<Instant> = None;
+    loop {
+        if token.is_cancelled() || shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(delay) = faults.read_delay() {
+            std::thread::sleep(delay);
+        }
+        // Drain every complete frame already buffered.
+        loop {
+            match decode_frame(&buf) {
+                Ok(Some((frame, consumed))) => {
+                    buf.drain(..consumed);
+                    frame_started = if buf.is_empty() {
+                        None
+                    } else {
+                        Some(Instant::now())
+                    };
+                    match handle_frame(
+                        frame,
+                        &mut stream,
+                        service,
+                        shared,
+                        admission,
+                        faults,
+                        config,
+                    ) {
+                        Disposition::KeepOpen => {}
+                        Disposition::Close => return,
+                    }
+                    if shared.draining.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Fail closed: typed best-effort reject, then close.
+                    shared.hostile_closes.fetch_add(1, Ordering::Relaxed);
+                    let reply = Frame::ErrorReply {
+                        id: 0,
+                        code: ErrorCode::BadRequest,
+                        retry_after_ms: 0,
+                        message: e.to_string(),
+                    };
+                    let _ = stream.write_all(&reply.encode());
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                if buf.is_empty() {
+                    frame_started = Some(Instant::now());
+                }
+                buf.extend_from_slice(&scratch[..n]);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+        if let Some(started) = frame_started {
+            if started.elapsed() >= config.read_timeout {
+                // Slowloris: a frame has been pending too long.
+                shared.hostile_closes.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+fn handle_frame(
+    frame: Frame,
+    stream: &mut TcpStream,
+    service: &EmbedService,
+    shared: &Shared,
+    admission: &AdmissionControl,
+    faults: &FaultPlan,
+    config: &NetConfig,
+) -> Disposition {
+    match frame {
+        Frame::Ping => write_reply(stream, &Frame::Pong, faults),
+        Frame::Drain => {
+            shared.draining.store(true, Ordering::SeqCst);
+            let _ = write_reply(stream, &Frame::DrainAck, faults);
+            Disposition::Close
+        }
+        Frame::EmbedRequest {
+            id,
+            deadline_ms,
+            tenant,
+            model_id,
+            sample,
+        } => {
+            if shared.draining.load(Ordering::SeqCst) {
+                let reply = Frame::ErrorReply {
+                    id,
+                    code: ErrorCode::Draining,
+                    retry_after_ms: 100,
+                    message: "server is draining".into(),
+                };
+                let _ = write_reply(stream, &reply, faults);
+                return Disposition::Close;
+            }
+            if let Err(wait) = admission.try_admit(&tenant) {
+                shared.rate_limited.fetch_add(1, Ordering::Relaxed);
+                let reply = Frame::ErrorReply {
+                    id,
+                    code: ErrorCode::RateLimited,
+                    retry_after_ms: duration_to_retry_ms(wait).max(1),
+                    message: format!("tenant {tenant:?} is over its admission rate"),
+                };
+                return write_reply(stream, &reply, faults);
+            }
+            let depth = service.queue_depth();
+            if depth >= config.max_pending.max(1) {
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                let reply = Frame::ErrorReply {
+                    id,
+                    code: ErrorCode::RetryAfter,
+                    retry_after_ms: shared.shed_retry_hint(depth),
+                    message: format!("queue depth {depth} at capacity"),
+                };
+                return write_reply(stream, &reply, faults);
+            }
+            let deadline = (deadline_ms > 0)
+                .then(|| Instant::now() + Duration::from_millis(deadline_ms.into()));
+            let started = Instant::now();
+            let reply = match service.embed_with_deadline(&model_id, &sample, deadline) {
+                Ok(response) => {
+                    shared.served.fetch_add(1, Ordering::Relaxed);
+                    shared.observe_service_time(started.elapsed());
+                    Frame::EmbedReply {
+                        id,
+                        label: response.label() as u64,
+                        ideal_fidelity: response.embedding().ideal_fidelity,
+                        parameters: response.embedding().parameters.clone(),
+                        source: match response.source {
+                            SolutionSource::Computed => 0,
+                            SolutionSource::CacheHit => 1,
+                            SolutionSource::BatchDedup => 2,
+                        },
+                    }
+                }
+                Err(e) => {
+                    let (code, retry_after_ms, message) = wire_error(&e);
+                    Frame::ErrorReply {
+                        id,
+                        code,
+                        retry_after_ms,
+                        message,
+                    }
+                }
+            };
+            write_reply(stream, &reply, faults)
+        }
+        // A client has no business sending server-side frames; treat as
+        // hostile and close.
+        Frame::EmbedReply { .. } | Frame::ErrorReply { .. } | Frame::Pong | Frame::DrainAck => {
+            shared.hostile_closes.fetch_add(1, Ordering::Relaxed);
+            let reply = Frame::ErrorReply {
+                id: 0,
+                code: ErrorCode::BadRequest,
+                retry_after_ms: 0,
+                message: "unexpected server-side frame from client".into(),
+            };
+            let _ = stream.write_all(&reply.encode());
+            Disposition::Close
+        }
+    }
+}
+
+/// Writes one reply through the fault layer. Any fault or write failure
+/// closes the connection — a half-written frame can never be recovered by
+/// the peer.
+fn write_reply(stream: &mut TcpStream, frame: &Frame, faults: &FaultPlan) -> Disposition {
+    let bytes = frame.encode();
+    match faults.on_write() {
+        WriteFault::None => {
+            if stream.write_all(&bytes).is_ok() {
+                Disposition::KeepOpen
+            } else {
+                Disposition::Close
+            }
+        }
+        WriteFault::CloseConnection => Disposition::Close,
+        WriteFault::IoError => Disposition::Close,
+        WriteFault::Truncate => {
+            let _ = stream.write_all(&bytes[..bytes.len() / 2]);
+            Disposition::Close
+        }
+    }
+}

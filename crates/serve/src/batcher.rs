@@ -69,8 +69,19 @@ pub(crate) struct PendingRequest {
     pub raw_sample: Vec<f64>,
     /// When the request entered the queue (latency measurement starts here).
     pub enqueued_at: Instant,
+    /// Absolute expiry: a request still queued past this instant is
+    /// completed with [`ServeError::DeadlineExceeded`] *before* any compute
+    /// is spent on it. `None` never expires.
+    pub deadline: Option<Instant>,
     /// Where to deliver the result.
     pub reply: ReplySlot,
+}
+
+impl PendingRequest {
+    /// Whether the request's deadline has passed at `now`.
+    pub fn is_expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
 }
 
 impl Drop for PendingRequest {
@@ -168,8 +179,10 @@ impl BatchQueue {
         self.cv.notify_all();
     }
 
-    #[cfg(test)]
-    fn depth(&self) -> usize {
+    /// Number of requests currently queued (not yet claimed by the batcher).
+    /// The load-shedding front door reads this to decide when to stop
+    /// admitting work.
+    pub(crate) fn depth(&self) -> usize {
         self.state.lock().expect("batch queue poisoned").queue.len()
     }
 }
@@ -183,8 +196,20 @@ mod tests {
             model_id: Arc::from("m"),
             raw_sample: vec![tag as f64],
             enqueued_at: Instant::now(),
+            deadline: None,
             reply: ReplySlot::new(),
         }
+    }
+
+    #[test]
+    fn deadline_expiry_is_observable() {
+        let mut r = request(0);
+        assert!(!r.is_expired(Instant::now()), "no deadline never expires");
+        let now = Instant::now();
+        r.deadline = Some(now);
+        assert!(r.is_expired(now));
+        r.deadline = Some(now + Duration::from_secs(60));
+        assert!(!r.is_expired(now));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use enqode::EnqodeError;
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// Errors returned by [`crate::EmbedService`].
 #[derive(Debug, Clone, PartialEq)]
@@ -16,9 +17,27 @@ pub enum ServeError {
     /// The service is shutting down and no longer accepts requests, or shut
     /// down while this request was queued.
     ShuttingDown,
+    /// The request's deadline expired while it was queued; the batcher
+    /// completed the waiter with this error **before** spending compute on
+    /// it (expired work is dropped pre-optimiser, never silently).
+    DeadlineExceeded {
+        /// How long the request had been queued when the expiry was
+        /// observed.
+        waited: Duration,
+    },
     /// A background rebuild is already running for this model id; one
     /// in-flight rebuild per id keeps generation swaps linearisable.
-    RebuildInProgress(String),
+    /// `retry_after` estimates when the in-flight rebuild will finish,
+    /// derived from its [`crate::StageProgress`] history (completed-stage
+    /// mean × stages remaining; see
+    /// [`crate::RebuildTicket::estimated_remaining`]).
+    RebuildInProgress {
+        /// The model id whose rebuild is in flight.
+        model_id: String,
+        /// Estimated time until the in-flight rebuild reaches a terminal
+        /// state — a retry hint, not a guarantee.
+        retry_after: Duration,
+    },
     /// No recorded traffic is available to refresh this model from.
     NoTraffic(String),
     /// Reading or writing traffic shards failed.
@@ -35,10 +54,22 @@ impl fmt::Display for ServeError {
             ServeError::ModelNotFound(id) => write!(f, "no model registered under id {id:?}"),
             ServeError::Embed(e) => write!(f, "embedding failed: {e}"),
             ServeError::ShuttingDown => write!(f, "the embedding service is shutting down"),
-            ServeError::RebuildInProgress(id) => {
+            ServeError::DeadlineExceeded { waited } => {
                 write!(
                     f,
-                    "a background rebuild is already running for model {id:?}"
+                    "request deadline expired after {:.3} ms in the queue",
+                    waited.as_secs_f64() * 1e3
+                )
+            }
+            ServeError::RebuildInProgress {
+                model_id,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "a background rebuild is already running for model {model_id:?} \
+                     (estimated {:.0} ms remaining)",
+                    retry_after.as_secs_f64() * 1e3
                 )
             }
             ServeError::NoTraffic(id) => {

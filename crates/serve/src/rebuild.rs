@@ -33,7 +33,7 @@ use enqode::{EnqodeConfig, EnqodeError, EnqodePipeline, StreamDriver, StreamingF
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Everything a background rebuild needs besides its sample source.
 #[derive(Debug, Clone)]
@@ -111,6 +111,12 @@ struct TicketShared {
     state: Mutex<TicketState>,
     finished: Condvar,
     token: CancelToken,
+    /// When the rebuild was started (the ETA estimate anchors here).
+    started_at: Instant,
+    /// How many driver stages this rebuild will run (3, plus the fidelity
+    /// audit when the spec sets a threshold) — the denominator of the ETA
+    /// estimate.
+    expected_stages: usize,
 }
 
 /// A cloneable handle to one background rebuild.
@@ -155,6 +161,38 @@ impl RebuildTicket {
             .expect("rebuild ticket poisoned")
             .stages
             .clone()
+    }
+
+    /// Estimates how long until this rebuild reaches a terminal state, from
+    /// its [`StageProgress`] history: mean completed-stage duration × stages
+    /// remaining. Before any stage completes there is no signal, so the
+    /// estimate is "at least as long as it has already run" (floored at
+    /// 50 ms); once every expected stage has reported, a nominal 1 ms covers
+    /// the swap-and-publish tail. A finished rebuild estimates
+    /// [`Duration::ZERO`].
+    ///
+    /// This is the `retry_after` carried by
+    /// [`ServeError::RebuildInProgress`] — a scheduling hint for callers
+    /// (and the wire protocol's retryable error mapping), never a guarantee.
+    pub fn estimated_remaining(&self) -> Duration {
+        let state = self.shared.state.lock().expect("rebuild ticket poisoned");
+        if state.status.is_finished() {
+            return Duration::ZERO;
+        }
+        let done = state.stages.len();
+        if done == 0 {
+            return self
+                .shared
+                .started_at
+                .elapsed()
+                .max(Duration::from_millis(50));
+        }
+        let spent: Duration = state.stages.iter().map(|s| s.duration).sum();
+        let remaining = self.shared.expected_stages.saturating_sub(done);
+        if remaining == 0 {
+            return Duration::from_millis(1);
+        }
+        (spent / done as u32 * remaining as u32).max(Duration::from_millis(1))
     }
 
     /// Blocks until the rebuild reaches a terminal state and returns it.
@@ -283,8 +321,15 @@ impl RebuildController {
         spec.stream.validate().map_err(ServeError::Embed)?;
 
         let mut active = self.active.lock().expect("rebuild controller poisoned");
-        if active.get(&model_id).is_some_and(|t| !t.is_finished()) {
-            return Err(ServeError::RebuildInProgress(model_id));
+        if let Some(ticket) = active.get(&model_id).filter(|t| !t.is_finished()) {
+            // Refusal carries a schedule, not just a fact: estimate when the
+            // in-flight rebuild will finish from its stage history so the
+            // caller (and the wire protocol) can surface a typed retry-after.
+            let retry_after = ticket.estimated_remaining();
+            return Err(ServeError::RebuildInProgress {
+                model_id,
+                retry_after,
+            });
         }
 
         let shared = Arc::new(TicketShared {
@@ -295,6 +340,8 @@ impl RebuildController {
             }),
             finished: Condvar::new(),
             token: CancelToken::new(),
+            started_at: Instant::now(),
+            expected_stages: 3 + usize::from(spec.stream.fidelity_threshold.is_some()),
         });
         let ticket = RebuildTicket { shared };
         active.insert(model_id.clone(), ticket.clone());
@@ -447,6 +494,7 @@ mod tests {
         assert_eq!(pipeline.class_models().len(), 2);
         let stages: Vec<&str> = ticket.progress().iter().map(|s| s.stage).collect();
         assert_eq!(stages, vec!["features", "clustering", "training"]);
+        assert_eq!(ticket.estimated_remaining(), Duration::ZERO);
         assert_eq!(*swept.lock().unwrap(), vec!["fresh".to_string()]);
         assert!(controller.active_rebuild("fresh").is_none());
     }
@@ -490,15 +538,19 @@ mod tests {
             .unwrap();
         assert_eq!(ticket.status(), RebuildStatus::Running);
         assert!(controller.active_rebuild("a").is_some());
-        // Same id: refused while in flight.
+        // Same id: refused while in flight, with an estimated retry-after
+        // (no stage has completed yet, so the estimate is the elapsed-time
+        // floor — strictly positive either way).
         assert!(matches!(
             controller.start(
                 "a",
                 synthetic(8, 4),
                 RebuildSpec::new(tiny_config(8), tiny_stream())
             ),
-            Err(ServeError::RebuildInProgress(id)) if id == "a"
+            Err(ServeError::RebuildInProgress { model_id, retry_after })
+                if model_id == "a" && retry_after > Duration::ZERO
         ));
+        assert!(ticket.estimated_remaining() > Duration::ZERO);
         // Different id: runs concurrently.
         let other = controller
             .start(

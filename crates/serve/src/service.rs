@@ -125,6 +125,10 @@ pub struct ServiceStats {
     pub batch_dedup_hits: u64,
     /// Requests answered with an error.
     pub errors: u64,
+    /// Requests whose deadline expired while queued: completed with
+    /// [`ServeError::DeadlineExceeded`] before compute (also counted in
+    /// `errors`).
+    pub deadline_expired: u64,
     /// Largest micro-batch observed.
     pub largest_batch: u64,
 }
@@ -137,6 +141,7 @@ struct Counters {
     cache_hits: AtomicU64,
     batch_dedup_hits: AtomicU64,
     errors: AtomicU64,
+    deadline_expired: AtomicU64,
     largest_batch: AtomicU64,
 }
 
@@ -337,15 +342,44 @@ impl EmbedService {
     /// for embedding failures, [`ServeError::ShuttingDown`] once the service
     /// is being dropped.
     pub fn embed(&self, model_id: &str, raw_sample: &[f64]) -> Result<EmbedResponse, ServeError> {
+        self.embed_with_deadline(model_id, raw_sample, None)
+    }
+
+    /// [`EmbedService::embed`] with an absolute expiry: if `deadline` passes
+    /// while the request is still queued, the batcher completes it with
+    /// [`ServeError::DeadlineExceeded`] **before** spending optimiser time
+    /// on it. A request whose compute already started when the deadline
+    /// passes finishes normally (the work is paid for either way). `None`
+    /// never expires.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EmbedService::embed`], plus
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn embed_with_deadline(
+        &self,
+        model_id: &str,
+        raw_sample: &[f64],
+        deadline: Option<Instant>,
+    ) -> Result<EmbedResponse, ServeError> {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let reply = ReplySlot::new();
         self.queue.push(PendingRequest {
             model_id: Arc::from(model_id),
             raw_sample: raw_sample.to_vec(),
             enqueued_at: Instant::now(),
+            deadline,
             reply: reply.clone(),
         })?;
         reply.wait()
+    }
+
+    /// Number of requests queued behind the batcher right now (excludes the
+    /// batch currently being processed). The network front door reads this
+    /// to decide when to shed load instead of letting the queue grow without
+    /// bound.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
     }
 
     /// Embeds one sample on the calling thread, bypassing the batcher but
@@ -408,6 +442,7 @@ impl EmbedService {
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
             batch_dedup_hits: self.counters.batch_dedup_hits.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
+            deadline_expired: self.counters.deadline_expired.load(Ordering::Relaxed),
             largest_batch: self.counters.largest_batch.load(Ordering::Relaxed),
         }
     }
@@ -607,7 +642,22 @@ fn process_batch(
     let mut cold: Vec<ColdJob> = Vec::new();
     let mut followers: Vec<Vec<Follower>> = Vec::new();
     let mut leader_of: HashMap<CacheKey, usize> = HashMap::new();
+    let dequeued_at = Instant::now();
     for (i, request) in batch.iter().enumerate() {
+        // Expired work is dropped *before* compute: a request whose deadline
+        // passed while it sat in the queue (a flush window, a long batch
+        // ahead of it) completes its waiter with a typed error — never
+        // silently, and never after burning optimiser time it can't use.
+        if request.is_expired(dequeued_at) {
+            counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            reply_to(
+                request,
+                Err(ServeError::DeadlineExceeded {
+                    waited: dequeued_at.saturating_duration_since(request.enqueued_at),
+                }),
+            );
+            continue;
+        }
         let Some((pipeline, generation)) = registry.get_with_generation(&request.model_id) else {
             reply_to(
                 request,
@@ -925,6 +975,67 @@ mod tests {
             ),
             Err(ServeError::ModelNotFound(_))
         ));
+    }
+
+    #[test]
+    fn expired_deadlines_complete_with_a_typed_error_before_compute() {
+        let (service, dataset) = service_with_model(ServeConfig {
+            flush_deadline: Duration::ZERO,
+            ..Default::default()
+        });
+        let sample = dataset.sample(0);
+        // A deadline already in the past when the batcher dequeues the
+        // request: the waiter must complete with DeadlineExceeded — not hang,
+        // not be silently dropped, and not burn optimiser time (computed
+        // counter stays untouched).
+        let expired = Instant::now() - Duration::from_millis(1);
+        let err = service
+            .embed_with_deadline("tiny", sample, Some(expired))
+            .unwrap_err();
+        assert!(
+            matches!(err, ServeError::DeadlineExceeded { .. }),
+            "got {err:?}"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.computed, 0, "expired work must not reach compute");
+
+        // Queue several expired requests behind one live one from concurrent
+        // threads: every expired waiter gets the typed error, the live one
+        // is served, and the service keeps serving afterwards.
+        let service = Arc::new(service);
+        let outcomes: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let service = Arc::clone(&service);
+                    let sample = sample.to_vec();
+                    scope.spawn(move || {
+                        let deadline = (i != 0).then(|| Instant::now() - Duration::from_millis(1));
+                        service.embed_with_deadline("tiny", &sample, deadline)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let expired_count = outcomes
+            .iter()
+            .filter(|o| matches!(o, Err(ServeError::DeadlineExceeded { waited }) if *waited < Duration::from_secs(60)))
+            .count();
+        let served = outcomes.iter().filter(|o| o.is_ok()).count();
+        assert_eq!(expired_count, 3);
+        assert_eq!(served, 1);
+        // A generous unexpired deadline serves normally.
+        let far = Instant::now() + Duration::from_secs(60);
+        assert!(service
+            .embed_with_deadline("tiny", sample, Some(far))
+            .is_ok());
+    }
+
+    #[test]
+    fn queue_depth_reports_backlog() {
+        let (service, _) = service_with_model(ServeConfig::default());
+        assert_eq!(service.queue_depth(), 0);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! End-to-end smoke tests for the `enqd` binary: spawn the real daemon as
+//! a child process, speak the wire protocol to it, and wind it down both
+//! ways — a `Drain` control frame and a SIGTERM — asserting a clean exit
+//! with the drained-stats banner either way.
+
+use enq_data::{generate_synthetic, DatasetKind, SyntheticConfig};
+use enq_net::{ClientError, EnqClient, ErrorCode, RetryPolicy};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Spawns `enqd` on an ephemeral port and returns the child plus the bound
+/// address parsed from its readiness line.
+fn spawn_enqd(extra_args: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_enqd"))
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawning enqd");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut ready = String::new();
+    reader
+        .read_line(&mut ready)
+        .expect("reading enqd readiness line");
+    let addr = ready
+        .trim_end()
+        .strip_prefix("ENQD LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected readiness line: {ready:?}"))
+        .to_string();
+    // Hand the handle back so the drained banner can be read later (the
+    // daemon writes nothing between the readiness line and the banner, so
+    // dropping the empty buffer loses nothing).
+    child.stdout = Some(reader.into_inner());
+    (child, addr)
+}
+
+/// Waits (bounded) for the child to exit and returns (exit-ok, stdout rest).
+fn wait_for_exit(mut child: Child) -> (bool, String) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                let mut rest = String::new();
+                if let Some(mut stdout) = child.stdout.take() {
+                    let _ = stdout.read_to_string(&mut rest);
+                }
+                return (status.success(), rest);
+            }
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("enqd did not exit within 30s of the drain");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// The same synthetic dataset `enqd` trains on by default (MNIST-like,
+/// 2 classes x 6 samples, seed 7), regenerated for valid 784-dim inputs.
+fn default_samples() -> Vec<Vec<f64>> {
+    generate_synthetic(
+        DatasetKind::MnistLike,
+        &SyntheticConfig {
+            classes: 2,
+            samples_per_class: 6,
+            seed: 7,
+        },
+    )
+    .unwrap()
+    .samples()
+    .to_vec()
+}
+
+#[test]
+fn enqd_serves_embeds_rejects_garbage_and_drains_on_control_frame() {
+    let (child, addr) = spawn_enqd(&[]);
+    let samples = default_samples();
+    let mut client = EnqClient::new(addr.clone(), RetryPolicy::default());
+
+    client.ping().expect("ping");
+
+    // A real embedding, twice: the repeat must be answered from the
+    // solution cache with bit-identical parameters.
+    let first = client.embed("smoke", "default", &samples[0], 0).unwrap();
+    assert!(!first.parameters.is_empty());
+    assert!(first.ideal_fidelity.is_finite());
+    let again = client.embed("smoke", "default", &samples[0], 0).unwrap();
+    assert_eq!(again.source, 1, "repeat should be a cache hit");
+    assert_eq!(again.label, first.label);
+    for (a, b) in again.parameters.iter().zip(&first.parameters) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    // Terminal typed rejections: wrong model, wrong dimensionality.
+    match client.embed("smoke", "no-such-model", &samples[0], 0) {
+        Err(ClientError::Server {
+            code: ErrorCode::ModelNotFound,
+            ..
+        }) => {}
+        other => panic!("expected ModelNotFound, got {other:?}"),
+    }
+    match client.embed("smoke", "default", &[1.0, 2.0, 3.0], 0) {
+        Err(ClientError::Server {
+            code: ErrorCode::EmbedFailed,
+            ..
+        }) => {}
+        other => panic!("expected EmbedFailed, got {other:?}"),
+    }
+
+    // A hostile peer sending garbage gets a typed reject and a close —
+    // and the daemon keeps serving afterwards.
+    let mut hostile = TcpStream::connect(&addr).unwrap();
+    hostile.write_all(&[0xFF; 64]).unwrap();
+    hostile
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reply = Vec::new();
+    let _ = hostile.read_to_end(&mut reply);
+    assert!(
+        !reply.is_empty(),
+        "hostile close should carry a typed reject"
+    );
+    drop(hostile);
+    client.ping().expect("ping after hostile client");
+
+    // Wind down over the wire.
+    client.drain().expect("drain ack");
+    let (ok, rest) = wait_for_exit(child);
+    assert!(ok, "enqd must exit 0 after a drain");
+    assert!(
+        rest.contains("ENQD DRAINED"),
+        "missing drained banner in {rest:?}"
+    );
+    assert!(
+        rest.contains("served="),
+        "banner must carry counters: {rest:?}"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn enqd_drains_gracefully_on_sigterm() {
+    let (child, addr) = spawn_enqd(&["--max-pending", "8"]);
+    let samples = default_samples();
+    let mut client = EnqClient::new(addr, RetryPolicy::default());
+    client.embed("smoke", "default", &samples[1], 0).unwrap();
+
+    let status = Command::new("kill")
+        .arg("-TERM")
+        .arg(child.id().to_string())
+        .status()
+        .expect("sending SIGTERM");
+    assert!(status.success());
+
+    let (ok, rest) = wait_for_exit(child);
+    assert!(ok, "enqd must exit 0 on SIGTERM");
+    assert!(
+        rest.contains("ENQD DRAINED"),
+        "missing drained banner in {rest:?}"
+    );
+}

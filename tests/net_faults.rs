@@ -1,0 +1,475 @@
+//! Fault-injection harness for the `enqd` front door.
+//!
+//! Every scenario arms a hostile-client behaviour (slowloris half-frames,
+//! mid-request disconnects, deadline storms) or an injected server-side
+//! fault ([`FaultPlan`]: torn writes, dropped connections, slowed reads)
+//! against a live server, then asserts the survival contract: the
+//! registry/cache/batcher invariants hold (queue drained, no stuck
+//! waiters), the server keeps serving, and a follow-up request returns
+//! results **bit-identical** to an unfaulted run. Graceful drain
+//! completes in-flight admitted work.
+
+use enq_data::{generate_synthetic, DatasetKind, SyntheticConfig};
+use enq_net::{
+    AdmissionConfig, ClientError, EnqClient, EnqdServer, ErrorCode, FaultPlan, Frame, NetConfig,
+    RetryPolicy, ServerHandle, WriteFault,
+};
+use enq_serve::{EmbedService, ServeConfig};
+use enqode::{AnsatzConfig, EnqodeConfig, EnqodePipeline, EntanglerKind};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier, OnceLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+fn tiny_config(seed: u64) -> EnqodeConfig {
+    EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 4,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.8,
+        max_clusters: 2,
+        offline_max_iterations: 40,
+        offline_restarts: 1,
+        online_max_iterations: 15,
+        offline_rescue: false,
+        seed,
+    }
+}
+
+/// One pipeline trained once and shared by every scenario server, so all
+/// scenarios serve from identical model state.
+fn shared_pipeline() -> &'static (Arc<EnqodePipeline>, Vec<Vec<f64>>) {
+    static PIPELINE: OnceLock<(Arc<EnqodePipeline>, Vec<Vec<f64>>)> = OnceLock::new();
+    PIPELINE.get_or_init(|| {
+        let dataset = generate_synthetic(
+            DatasetKind::MnistLike,
+            &SyntheticConfig {
+                classes: 2,
+                samples_per_class: 6,
+                seed: 23,
+            },
+        )
+        .unwrap();
+        let samples = dataset.samples().to_vec();
+        (
+            Arc::new(EnqodePipeline::build(&dataset, tiny_config(23)).unwrap()),
+            samples,
+        )
+    })
+}
+
+fn spawn_scenario_server_with(
+    serve_config: ServeConfig,
+    net_config: NetConfig,
+    faults: FaultPlan,
+) -> (ServerHandle, Arc<EmbedService>) {
+    let (pipeline, _) = shared_pipeline();
+    let service = Arc::new(EmbedService::new(serve_config));
+    service.register_model("m", Arc::clone(pipeline));
+    let handle =
+        EnqdServer::spawn(Arc::clone(&service), "127.0.0.1:0", net_config, faults).unwrap();
+    (handle, service)
+}
+
+fn spawn_scenario_server(
+    net_config: NetConfig,
+    faults: FaultPlan,
+) -> (ServerHandle, Arc<EmbedService>) {
+    spawn_scenario_server_with(ServeConfig::default(), net_config, faults)
+}
+
+fn fast_net_config() -> NetConfig {
+    NetConfig {
+        read_timeout: Duration::from_millis(250),
+        tick: Duration::from_millis(5),
+        ..NetConfig::default()
+    }
+}
+
+fn no_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 1,
+        ..RetryPolicy::default()
+    }
+}
+
+/// The reference answer from an unfaulted server, computed once.
+fn reference_embedding() -> &'static (u64, Vec<f64>) {
+    static REFERENCE: OnceLock<(u64, Vec<f64>)> = OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        let (handle, _service) = spawn_scenario_server(fast_net_config(), FaultPlan::none());
+        let mut client = EnqClient::new(handle.addr().to_string(), RetryPolicy::default());
+        let sample = &shared_pipeline().1[0];
+        let reply = client.embed("t", "m", sample, 0).unwrap();
+        handle.join();
+        (reply.label, reply.parameters)
+    })
+}
+
+/// The survival contract, asserted after every scenario: queue drained,
+/// server still answering, and the follow-up answer bit-identical to the
+/// unfaulted reference.
+fn assert_still_serving_bit_identical(handle: &ServerHandle, service: &EmbedService) {
+    assert_eq!(service.queue_depth(), 0, "batcher queue must be drained");
+    let (ref_label, ref_parameters) = reference_embedding();
+    let sample = &shared_pipeline().1[0];
+    let mut client = EnqClient::new(handle.addr().to_string(), RetryPolicy::default());
+    let reply = client
+        .embed("t", "m", sample, 0)
+        .expect("server must keep serving after the fault");
+    assert_eq!(reply.label, *ref_label);
+    assert_eq!(reply.parameters.len(), ref_parameters.len());
+    for (a, b) in reply.parameters.iter().zip(ref_parameters) {
+        assert_eq!(a.to_bits(), b.to_bits(), "parameters diverged after fault");
+    }
+}
+
+fn encoded_request(sample: &[f64]) -> Vec<u8> {
+    Frame::EmbedRequest {
+        id: 1,
+        deadline_ms: 0,
+        tenant: "t".into(),
+        model_id: "m".into(),
+        sample: sample.to_vec(),
+    }
+    .encode()
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-client scenarios
+// ---------------------------------------------------------------------------
+
+#[test]
+fn slowloris_half_frame_is_timed_out_and_the_server_keeps_serving() {
+    let (handle, service) = spawn_scenario_server(fast_net_config(), FaultPlan::none());
+    let request = encoded_request(&shared_pipeline().1[0]);
+
+    // Hold the connection open with half a frame, then trickle nothing.
+    let mut slow = TcpStream::connect(handle.addr()).unwrap();
+    slow.write_all(&request[..request.len() / 2]).unwrap();
+    slow.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let started = Instant::now();
+    let mut scratch = [0u8; 256];
+    let n = slow.read(&mut scratch).unwrap_or(0);
+    assert_eq!(n, 0, "server must close the slowloris connection");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "close must come from the slowloris guard, not the socket timeout"
+    );
+    assert!(handle.stats().hostile_closes >= 1);
+    assert_still_serving_bit_identical(&handle, &service);
+    handle.join();
+}
+
+#[test]
+fn trickled_bytes_do_not_reset_the_slowloris_clock() {
+    let (handle, service) = spawn_scenario_server(fast_net_config(), FaultPlan::none());
+    let request = encoded_request(&shared_pipeline().1[0]);
+    // One byte every ~50 ms: progress, but far too slow to finish a frame
+    // inside read_timeout (250 ms). The guard measures from the frame's
+    // *first* byte, so the trickle must still be cut off.
+    let mut slow = TcpStream::connect(handle.addr()).unwrap();
+    slow.set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let started = Instant::now();
+    let mut closed = false;
+    for byte in request.iter().take(64) {
+        if slow.write_all(std::slice::from_ref(byte)).is_err() {
+            closed = true;
+            break;
+        }
+        if let Ok(0) = slow.read(&mut [0u8; 64]) {
+            closed = true;
+            break;
+        }
+        if started.elapsed() > Duration::from_secs(5) {
+            break;
+        }
+    }
+    assert!(
+        closed,
+        "a one-byte-per-tick trickle must not defeat the guard"
+    );
+    assert!(handle.stats().hostile_closes >= 1);
+    assert_still_serving_bit_identical(&handle, &service);
+    handle.join();
+}
+
+#[test]
+fn mid_request_disconnects_leave_no_stuck_state() {
+    let (handle, service) = spawn_scenario_server(fast_net_config(), FaultPlan::none());
+    let request = encoded_request(&shared_pipeline().1[1]);
+    for cut in [4usize, 5, 40, request.len() / 2, request.len() - 1] {
+        // Part of a frame, then vanish.
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.write_all(&request[..cut]).unwrap();
+        drop(stream);
+    }
+    // A full request, then close before the reply: the server computes the
+    // answer and its reply write hits a dead peer.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(&request).unwrap();
+    drop(stream);
+    // Give the server a moment to process the orphaned request.
+    std::thread::sleep(Duration::from_millis(300));
+    assert_still_serving_bit_identical(&handle, &service);
+    handle.join();
+}
+
+#[test]
+fn deadline_storm_yields_typed_errors_and_no_stalls() {
+    let (handle, service) = spawn_scenario_server(fast_net_config(), FaultPlan::none());
+    let samples = &shared_pipeline().1;
+    // Storm: many threads, every request carrying a 1 ms deadline and a
+    // distinct (cache-missing) sample. Requests that expire in the queue
+    // must come back as typed DeadlineExceeded errors — never hang, never
+    // vanish silently.
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let addr = handle.addr().to_string();
+            // Never sample 0 (the bit-identicality follow-up uses it, and a
+            // tiny perturbation of it would collide in the solution cache),
+            // and perturb hard enough that each thread's sample is its own
+            // cache entry.
+            let mut sample = samples[1 + (i % (samples.len() - 1))].clone();
+            sample[0] += 1e-3 * (i as f64 + 1.0);
+            std::thread::spawn(move || {
+                let mut client = EnqClient::new(addr, no_retry());
+                (0..4)
+                    .map(|_| client.embed("t", "m", &sample, 1))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut ok = 0u64;
+    let mut deadline_exceeded = 0u64;
+    for t in threads {
+        for outcome in t.join().unwrap() {
+            match outcome {
+                Ok(_) => ok += 1,
+                Err(ClientError::Server {
+                    code: ErrorCode::DeadlineExceeded,
+                    ..
+                }) => deadline_exceeded += 1,
+                Err(other) => panic!("storm produced an untyped failure: {other}"),
+            }
+        }
+    }
+    assert_eq!(ok + deadline_exceeded, 32, "every request must complete");
+    // Every wire-visible DeadlineExceeded is one batcher-side expiry: the
+    // work was dropped before compute, as a typed error, not silently.
+    assert_eq!(deadline_exceeded, service.stats().deadline_expired);
+    assert_still_serving_bit_identical(&handle, &service);
+    handle.join();
+}
+
+// ---------------------------------------------------------------------------
+// Injected server-side faults
+// ---------------------------------------------------------------------------
+
+#[test]
+fn torn_reply_writes_are_survived_by_client_retry() {
+    let faults = FaultPlan::none();
+    let (handle, service) = spawn_scenario_server(fast_net_config(), faults.clone());
+    let sample = &shared_pipeline().1[0];
+    for kind in [
+        WriteFault::Truncate,
+        WriteFault::CloseConnection,
+        WriteFault::IoError,
+    ] {
+        faults.arm_write_fault(0, kind);
+        let mut client = EnqClient::new(handle.addr().to_string(), RetryPolicy::default());
+        let reply = client
+            .embed("t", "m", sample, 0)
+            .unwrap_or_else(|e| panic!("{kind:?}: retry should recover: {e}"));
+        assert!(reply.attempts > 1, "{kind:?} should have cost an attempt");
+        let (ref_label, ref_parameters) = reference_embedding();
+        assert_eq!(reply.label, *ref_label);
+        for (a, b) in reply.parameters.iter().zip(ref_parameters) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+    assert_eq!(faults.fired(), 3);
+    assert_still_serving_bit_identical(&handle, &service);
+    handle.join();
+}
+
+#[test]
+fn slowed_reads_widen_races_but_break_nothing() {
+    let faults = FaultPlan::none();
+    faults.set_read_delay(Duration::from_millis(2));
+    let (handle, service) = spawn_scenario_server(fast_net_config(), faults);
+    let sample = &shared_pipeline().1[0];
+    let mut client = EnqClient::new(handle.addr().to_string(), RetryPolicy::default());
+    for _ in 0..5 {
+        client.embed("t", "m", sample, 0).unwrap();
+    }
+    assert_still_serving_bit_identical(&handle, &service);
+    handle.join();
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and load shedding over the wire
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rate_limited_tenants_get_typed_retry_hints_and_recover() {
+    let (handle, service) = spawn_scenario_server(
+        NetConfig {
+            admission: AdmissionConfig {
+                rate_per_sec: 2.0,
+                burst: 2.0,
+                max_tenants: 16,
+            },
+            ..fast_net_config()
+        },
+        FaultPlan::none(),
+    );
+    let sample = &shared_pipeline().1[0];
+    // No retries: observe the raw typed rejection.
+    let mut bare = EnqClient::new(handle.addr().to_string(), no_retry());
+    bare.embed("greedy", "m", sample, 0).unwrap();
+    bare.embed("greedy", "m", sample, 0).unwrap();
+    match bare.embed("greedy", "m", sample, 0) {
+        Err(ClientError::RetriesExhausted {
+            last_code: Some(ErrorCode::RateLimited),
+            ..
+        }) => {}
+        other => panic!("expected a RateLimited rejection, got {other:?}"),
+    }
+    // A different tenant has its own bucket and is unaffected.
+    bare.embed("patient", "m", sample, 0).unwrap();
+    // A retrying client honours the server's hint and gets through once a
+    // token accrues.
+    let mut retrying = EnqClient::new(handle.addr().to_string(), RetryPolicy::default());
+    let reply = retrying.embed("greedy", "m", sample, 0).unwrap();
+    assert!(
+        reply.attempts >= 2,
+        "the bucket was empty; a retry was needed"
+    );
+    assert!(handle.stats().rate_limited >= 2);
+    assert_still_serving_bit_identical(&handle, &service);
+    handle.join();
+}
+
+#[test]
+fn queue_overload_sheds_with_typed_retry_after() {
+    // Serialize the batcher (batch size 1) so cold requests queue behind
+    // one another; with max_pending = 1 the front door must shed most of a
+    // synchronized burst.
+    let (handle, service) = spawn_scenario_server_with(
+        ServeConfig {
+            max_batch_size: 1,
+            ..ServeConfig::default()
+        },
+        NetConfig {
+            max_pending: 1,
+            ..fast_net_config()
+        },
+        FaultPlan::none(),
+    );
+    let samples = &shared_pipeline().1;
+    let barrier = Arc::new(Barrier::new(12));
+    let threads: Vec<_> = (0..12)
+        .map(|i| {
+            let addr = handle.addr().to_string();
+            let barrier = Arc::clone(&barrier);
+            // Distinct cold samples, none colliding with the follow-up's
+            // sample 0 in the solution cache.
+            let mut sample = samples[1 + (i % (samples.len() - 1))].clone();
+            sample[1] += 1e-3 * (i as f64 + 1.0);
+            std::thread::spawn(move || {
+                let mut client = EnqClient::new(addr, no_retry());
+                // Establish the connection first so the burst below hits
+                // live frame loops simultaneously.
+                client.ping().unwrap();
+                barrier.wait();
+                client.embed("t", "m", &sample, 0)
+            })
+        })
+        .collect();
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for t in threads {
+        match t.join().unwrap() {
+            Ok(_) => served += 1,
+            Err(ClientError::RetriesExhausted {
+                last_code: Some(ErrorCode::RetryAfter),
+                ..
+            }) => shed += 1,
+            Err(other) => panic!("overload produced an untyped failure: {other}"),
+        }
+    }
+    assert_eq!(served + shed, 12, "every request must get a typed answer");
+    assert!(served >= 1, "some of the burst must be admitted");
+    assert!(shed >= 1, "a 12-deep burst against max_pending=1 must shed");
+    assert_eq!(shed, handle.stats().shed);
+    assert_still_serving_bit_identical(&handle, &service);
+    handle.join();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain
+// ---------------------------------------------------------------------------
+
+#[test]
+fn graceful_drain_completes_in_flight_requests() {
+    let (handle, service) = spawn_scenario_server(fast_net_config(), FaultPlan::none());
+    let samples = &shared_pipeline().1;
+    // In-flight work: cold samples spend real time in the batcher while
+    // the drain lands.
+    let in_flight: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = handle.addr().to_string();
+            let mut sample = samples[i % samples.len()].clone();
+            sample[2] += 1e-6 * (i as f64 + 1.0);
+            std::thread::spawn(move || {
+                let mut client = EnqClient::new(addr, no_retry());
+                client.embed("t", "m", &sample, 0)
+            })
+        })
+        .collect();
+    // Let them hit the server, then drain while they are in flight.
+    std::thread::sleep(Duration::from_millis(20));
+    handle.drain();
+    for t in in_flight {
+        match t.join().unwrap() {
+            // Admitted before the drain: must be a real answer.
+            Ok(reply) => assert!(!reply.parameters.is_empty()),
+            // Raced the drain at the front door: typed and retryable.
+            Err(ClientError::RetriesExhausted {
+                last_code: Some(ErrorCode::Draining),
+                ..
+            }) => {}
+            // The drain closed the connection before a reply could be read
+            // (or refused the connection outright): the transport reports
+            // it; the service never dropped admitted work silently.
+            Err(ClientError::Io(_)) => {}
+            Err(other) => panic!("drain produced an unexpected failure: {other}"),
+        }
+    }
+    let stats = handle.join();
+    assert_eq!(service.queue_depth(), 0, "drain must leave the queue empty");
+    assert!(stats.connections_accepted >= 1);
+}
+
+#[test]
+fn drain_control_frame_acks_and_winds_down() {
+    let (handle, _service) = spawn_scenario_server(fast_net_config(), FaultPlan::none());
+    let mut client = EnqClient::new(handle.addr().to_string(), RetryPolicy::default());
+    client.ping().unwrap();
+    client.drain().unwrap();
+    assert!(handle.is_draining());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !handle.is_finished() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(handle.is_finished(), "drain must wind the server down");
+    handle.join();
+}

@@ -1,0 +1,352 @@
+//! Wire-codec battery for the `enqd` protocol.
+//!
+//! * property tests: every frame type round-trips through
+//!   encode→decode bit-exactly, for arbitrary field values; concatenated
+//!   frame streams decode in order; arbitrary prefixes never decode
+//!   spuriously;
+//! * a malformed-input corpus (truncated frames, huge length prefixes,
+//!   garbage bytes, trailing bytes, unknown types) against both the pure
+//!   decoder and a **live server**, asserting the server fails closed with
+//!   a typed error or a clean close — no panic, no stuck connection, no
+//!   batcher stall — and keeps serving bit-identical answers afterwards.
+
+use enq_data::{generate_synthetic, DatasetKind, SyntheticConfig};
+use enq_net::{
+    decode_frame, EnqClient, EnqdServer, ErrorCode, FaultPlan, Frame, NetConfig, RetryPolicy,
+    MAX_FRAME_LEN,
+};
+use enq_serve::{EmbedService, ServeConfig};
+use enqode::{AnsatzConfig, EnqodeConfig, EnqodePipeline, EntanglerKind};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+fn tiny_config(seed: u64) -> EnqodeConfig {
+    EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 4,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.8,
+        max_clusters: 2,
+        offline_max_iterations: 40,
+        offline_restarts: 1,
+        online_max_iterations: 15,
+        offline_rescue: false,
+        seed,
+    }
+}
+
+/// A served model plus one of its training samples (a valid request body).
+fn spawn_test_server() -> (enq_net::ServerHandle, Arc<EmbedService>, Vec<f64>) {
+    let dataset = generate_synthetic(
+        DatasetKind::MnistLike,
+        &SyntheticConfig {
+            classes: 2,
+            samples_per_class: 6,
+            seed: 11,
+        },
+    )
+    .unwrap();
+    let sample = dataset.samples()[0].clone();
+    let pipeline = EnqodePipeline::build(&dataset, tiny_config(11)).unwrap();
+    let service = Arc::new(EmbedService::new(ServeConfig::default()));
+    service.register_model("m", pipeline);
+    let handle = EnqdServer::spawn(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        NetConfig {
+            read_timeout: Duration::from_millis(400),
+            ..NetConfig::default()
+        },
+        FaultPlan::none(),
+    )
+    .unwrap();
+    (handle, service, sample)
+}
+
+fn ascii_string(bytes: &[u8]) -> String {
+    String::from_utf8(bytes.to_vec()).expect("lowercase ascii")
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn embed_request_round_trips(
+        fields in (
+            0..u64::MAX,
+            0..86_400_000u32,
+            collection::vec(97..123u8, 0..8),
+            collection::vec(97..123u8, 1..12),
+            collection::vec(-1e9..1e9f64, 0..64),
+        ),
+    ) {
+        let (id, deadline_ms, tenant, model_id, sample) = fields;
+        let frame = Frame::EmbedRequest {
+            id,
+            deadline_ms,
+            tenant: ascii_string(&tenant),
+            model_id: ascii_string(&model_id),
+            sample,
+        };
+        let bytes = frame.encode();
+        let (decoded, consumed) = decode_frame(&bytes).unwrap().expect("complete");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn embed_reply_and_error_reply_round_trip(
+        reply_fields in (
+            0..u64::MAX,
+            0..u64::MAX,
+            -1.0..2.0f64,
+            collection::vec(-10.0..10.0f64, 0..48),
+            0..3u8,
+        ),
+        error_fields in (
+            1..11u16,
+            0..1_000_000u64,
+            collection::vec(32..127u8, 0..64),
+        ),
+    ) {
+        let (id, label, fidelity, parameters, source) = reply_fields;
+        let (raw_code, retry_ms, msg) = error_fields;
+        let reply = Frame::EmbedReply {
+            id,
+            label,
+            ideal_fidelity: fidelity,
+            parameters,
+            source,
+        };
+        let bytes = reply.encode();
+        prop_assert_eq!(decode_frame(&bytes).unwrap().expect("complete").0, reply);
+
+        let error = Frame::ErrorReply {
+            id,
+            code: ErrorCode::from_u16(raw_code).expect("1..=10 are all valid"),
+            retry_after_ms: retry_ms,
+            message: ascii_string(&msg),
+        };
+        let bytes = error.encode();
+        prop_assert_eq!(decode_frame(&bytes).unwrap().expect("complete").0, error);
+    }
+
+    #[test]
+    fn concatenated_streams_decode_in_order(
+        picks in collection::vec(0..4u8, 1..6),
+        id in 0..u64::MAX,
+    ) {
+        // A stream of control/reply frames decodes to the same sequence.
+        let frames: Vec<Frame> = picks
+            .iter()
+            .map(|p| match p {
+                0 => Frame::Ping,
+                1 => Frame::Pong,
+                2 => Frame::Drain,
+                3 => Frame::DrainAck,
+                _ => unreachable!(),
+            })
+            .chain(std::iter::once(Frame::EmbedReply {
+                id,
+                label: 1,
+                ideal_fidelity: 0.5,
+                parameters: vec![1.0, 2.0],
+                source: 0,
+            }))
+            .collect();
+        let mut stream: Vec<u8> = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        let mut decoded = Vec::new();
+        let mut at = 0usize;
+        while at < stream.len() {
+            let (frame, consumed) = decode_frame(&stream[at..]).unwrap().expect("complete");
+            decoded.push(frame);
+            at += consumed;
+        }
+        prop_assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn prefixes_never_decode_and_mutations_never_panic(
+        sample in collection::vec(-100.0..100.0f64, 1..16),
+        cut_seed in 0..u64::MAX,
+    ) {
+        let frame = Frame::EmbedRequest {
+            id: 5,
+            deadline_ms: 100,
+            tenant: "t".into(),
+            model_id: "m".into(),
+            sample,
+        };
+        let bytes = frame.encode();
+        // Every strict prefix asks for more bytes or fails typed — it
+        // never yields a frame, and it never panics.
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Ok(None) | Err(_) => {}
+                Ok(Some(_)) => prop_assert!(false, "strict prefix decoded at {}", cut),
+            }
+        }
+        // Arbitrary single-byte corruptions decode or fail typed; the
+        // decoder must not panic on any of them.
+        let mut rng = StdRng::seed_from_u64(cut_seed);
+        for _ in 0..16 {
+            let mut corrupt = bytes.clone();
+            let at = rng.gen_range(0..corrupt.len());
+            corrupt[at] ^= 1 << rng.gen_range(0..8u32);
+            let _ = decode_frame(&corrupt);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed corpus against the pure decoder
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_corpus_fails_typed_never_panics() {
+    let mut corpus: Vec<(Vec<u8>, &str)> = vec![
+        // Huge length prefixes (the classic allocation bomb).
+        (u32::MAX.to_le_bytes().to_vec(), "u32::MAX len"),
+        (
+            ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec(),
+            "cap+1 len",
+        ),
+        // Zero-length frame.
+        (0u32.to_le_bytes().to_vec(), "zero len"),
+    ];
+    // Unknown frame types.
+    for t in [0x00u8, 0x08, 0x7f, 0xff] {
+        let mut b = 1u32.to_le_bytes().to_vec();
+        b.push(t);
+        corpus.push((b, "unknown type"));
+    }
+    // Trailing bytes after a valid Ping.
+    let mut b = 2u32.to_le_bytes().to_vec();
+    b.extend_from_slice(&[0x04, 0xaa]);
+    corpus.push((b, "trailing byte"));
+    // Random garbage, deterministic.
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for len in [1usize, 4, 5, 17, 64, 512] {
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen_range(0..256u16) as u8).collect();
+        corpus.push((garbage, "random garbage"));
+    }
+    for (bytes, what) in &corpus {
+        match decode_frame(bytes) {
+            Ok(None) | Err(_) => {} // incomplete or typed failure: both fine
+            Ok(Some((frame, _))) => {
+                // Random garbage can in principle spell a valid frame; the
+                // handcrafted corpus entries cannot.
+                assert_eq!(*what, "random garbage", "{what} decoded to {frame:?}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed corpus against a live server
+// ---------------------------------------------------------------------------
+
+/// Sends raw bytes, then reads whatever the server answers until it closes
+/// the connection (or a short timeout). Returns the decoded reply frames.
+fn hostile_exchange(addr: std::net::SocketAddr, bytes: &[u8]) -> Vec<Frame> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(1500)))
+        .unwrap();
+    stream.write_all(bytes).unwrap();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut buf = Vec::new();
+    let mut scratch = [0u8; 4096];
+    loop {
+        match stream.read(&mut scratch) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&scratch[..n]),
+            Err(_) => break, // timeout: server kept the conn open silently
+        }
+    }
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    while at < buf.len() {
+        match decode_frame(&buf[at..]) {
+            Ok(Some((frame, consumed))) => {
+                frames.push(frame);
+                at += consumed;
+            }
+            _ => break,
+        }
+    }
+    frames
+}
+
+#[test]
+fn live_server_survives_the_malformed_corpus() {
+    let (handle, service, sample) = spawn_test_server();
+    let addr = handle.addr();
+    // Baseline answer before any hostility.
+    let mut client = EnqClient::new(addr.to_string(), RetryPolicy::default());
+    let baseline = client.embed("t", "m", &sample, 0).unwrap();
+
+    // Hostile scripts: every one must produce either a typed BadRequest or
+    // a clean close — and must leave the server serving.
+    let mut hostile: Vec<Vec<u8>> = vec![
+        u32::MAX.to_le_bytes().to_vec(),
+        ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec(),
+        0u32.to_le_bytes().to_vec(),
+    ];
+    let mut unknown = 1u32.to_le_bytes().to_vec();
+    unknown.push(0x7f);
+    hostile.push(unknown);
+    let mut trailing = 2u32.to_le_bytes().to_vec();
+    trailing.extend_from_slice(&[0x04, 0xaa]);
+    hostile.push(trailing);
+    // A client sending a server-side frame is also hostile.
+    hostile.push(Frame::DrainAck.encode());
+    let mut rng = StdRng::seed_from_u64(0xBAD);
+    hostile.push((0..256).map(|_| rng.gen_range(0..256u16) as u8).collect());
+
+    for (i, script) in hostile.iter().enumerate() {
+        let replies = hostile_exchange(addr, script);
+        for reply in &replies {
+            match reply {
+                Frame::ErrorReply { code, .. } => {
+                    assert_eq!(*code, ErrorCode::BadRequest, "script {i}: {reply:?}");
+                }
+                other => panic!("script {i}: unexpected reply {other:?}"),
+            }
+        }
+    }
+    let after = handle.stats();
+    assert!(
+        after.hostile_closes >= 6,
+        "hostile closes should be counted: {after:?}"
+    );
+
+    // The batcher never stalled: the queue is drained and a fresh client
+    // gets a bit-identical answer.
+    assert_eq!(service.queue_depth(), 0);
+    let mut client = EnqClient::new(addr.to_string(), RetryPolicy::default());
+    let again = client.embed("t", "m", &sample, 0).unwrap();
+    assert_eq!(again.label, baseline.label);
+    assert_eq!(again.parameters.len(), baseline.parameters.len());
+    for (a, b) in again.parameters.iter().zip(&baseline.parameters) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    handle.join();
+}
