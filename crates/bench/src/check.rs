@@ -92,6 +92,22 @@ pub fn default_gates() -> Vec<GateSpec> {
             direction: Direction::AtLeast,
             threshold: Threshold::FromKey("acceptance_threshold"),
         },
+        // The runtime-dispatched SIMD backend vs the forced scalar one on
+        // the same sparse kernel (outputs bit-identical; pure wall-clock).
+        GateSpec {
+            file: "BENCH_symbolic.json",
+            key: "simd_speedup",
+            direction: Direction::AtLeast,
+            threshold: Threshold::FromKey("simd_acceptance_threshold"),
+        },
+        // The B=16 batched transform vs 16 per-request solo calls (every
+        // lane bit-identical to the corresponding solo evaluation).
+        GateSpec {
+            file: "BENCH_symbolic.json",
+            key: "batched_speedup",
+            direction: Direction::AtLeast,
+            threshold: Threshold::FromKey("batched_acceptance_threshold"),
+        },
         // Serve layer: micro-batched throughput vs the sequential embed
         // loop, and hot cache-hit latency vs cold embeds.
         GateSpec {

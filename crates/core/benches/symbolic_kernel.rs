@@ -4,12 +4,16 @@
 //! optimiser actually drives.
 //!
 //! Run with `cargo bench -p enqode --bench symbolic_kernel`. The final
-//! section prints the naive/sparse speedup ratio checked by the acceptance
-//! criteria (≥ 3× at the paper shape).
+//! section prints the ratios checked by the acceptance criteria: the
+//! naive/sparse speedup (≥ 3×), the forced-scalar/SIMD dispatch speedup
+//! (≥ 1.5×), and the batched-B=16/solo-loop speedup (≥ 1.3×), all at the
+//! paper shape. After touching any kernel, regenerate `BENCH_symbolic.json`
+//! from these numbers — the `bench_check` gates read the committed file.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use enq_linalg::C64;
-use enqode::{AnsatzConfig, EntanglerKind, SymbolicState, SymbolicWorkspace};
+use enq_simd::ComputeBackend;
+use enqode::{AnsatzConfig, EntanglerKind, SymbolicBatch, SymbolicState, SymbolicWorkspace};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -89,8 +93,11 @@ fn bench_kernels(c: &mut Criterion) {
             calib_iters += 1;
         }
         let iters = calib_iters.max(1) * 4;
+        // Best-of-7: the container shares cores, so a timing batch can land
+        // in an interference window; the minimum over several batches is a
+        // robust estimate of the undisturbed cost.
         let mut best = f64::INFINITY;
-        for _ in 0..3 {
+        for _ in 0..7 {
             let start = Instant::now();
             for _ in 0..iters {
                 f();
@@ -135,6 +142,113 @@ fn bench_kernels(c: &mut Criterion) {
         naive / sparse >= 3.0,
         "acceptance criterion: sparse kernel must be >= 3x the naive dense reference (got {:.2}x)",
         naive / sparse
+    );
+
+    // Dispatch leg: the same sparse kernel under the forced scalar backend
+    // vs the runtime-detected SIMD one (bit-identical outputs, pure speed).
+    let time_sparse_under = |backend: ComputeBackend| -> f64 {
+        let (s, t, y) = paper_shape();
+        let mut ws = SymbolicWorkspace::for_state(&s);
+        let mut grad = vec![C64::ZERO; s.num_parameters()];
+        enq_simd::force_backend(Some(backend));
+        let per_iter = time_per_iter(Box::new(move || {
+            black_box(
+                s.overlap_and_gradient_into(black_box(&y), black_box(&t), &mut ws, &mut grad)
+                    .unwrap(),
+            );
+        }));
+        enq_simd::force_backend(None);
+        per_iter
+    };
+    let scalar_sparse = time_sparse_under(ComputeBackend::Scalar);
+    let simd_sparse = time_sparse_under(enq_simd::detect());
+    let simd_speedup = scalar_sparse / simd_sparse;
+    println!(
+        "symbolic dispatch @ paper shape: scalar {:.3} µs, {} {:.3} µs, simd_speedup {:.2}x",
+        scalar_sparse * 1e6,
+        enq_simd::detect().name(),
+        simd_sparse * 1e6,
+        simd_speedup
+    );
+    println!(
+        "BENCH{{\"name\":\"symbolic_kernel_8q8l/simd_speedup\",\"scalar_s\":{scalar_sparse:e},\"simd_s\":{simd_sparse:e},\"ratio\":{simd_speedup:.3}}}"
+    );
+    if enq_simd::detect() != ComputeBackend::Scalar {
+        assert!(
+            simd_speedup >= 1.5,
+            "acceptance criterion: SIMD dispatch must be >= 1.5x the forced scalar sparse kernel (got {simd_speedup:.2}x)"
+        );
+    }
+
+    // Batched leg: B=16 problems per Walsh sweep vs the per-request solo
+    // loop the micro-batcher replaces — each request brings its own target
+    // and workspace; the batch answers the same B requests in one sweep
+    // (every lane bit-identical to the corresponding solo call).
+    const B: usize = 16;
+    let per_request_targets = |base: &[C64]| -> Vec<Vec<C64>> {
+        (0..B)
+            .map(|b| {
+                base.iter()
+                    .map(|t| C64::new(t.re + 0.001 * b as f64, t.im - 0.001 * b as f64))
+                    .collect()
+            })
+            .collect()
+    };
+    let batched = {
+        let (s, theta, target) = paper_shape();
+        let p = s.num_parameters();
+        let targets = per_request_targets(&target);
+        let target_refs: Vec<&[C64]> = targets.iter().map(|t| t.as_slice()).collect();
+        let mut batch = SymbolicBatch::new(&s, &target_refs).expect("paper-shape batch");
+        let thetas: Vec<f64> = (0..B)
+            .flat_map(|b| theta.iter().map(move |t| t + 0.01 * b as f64))
+            .collect();
+        let mut overlaps = vec![C64::ZERO; B];
+        let mut gradients = vec![C64::ZERO; B * p];
+        time_per_iter(Box::new(move || {
+            batch
+                .overlap_and_gradient(black_box(&thetas), &mut overlaps, &mut gradients)
+                .unwrap();
+            black_box(&overlaps);
+        }))
+    };
+    let looped = {
+        let (s, theta, target) = paper_shape();
+        let p = s.num_parameters();
+        let targets = per_request_targets(&target);
+        let thetas: Vec<f64> = (0..B)
+            .flat_map(|b| theta.iter().map(move |t| t + 0.01 * b as f64))
+            .collect();
+        let mut workspaces: Vec<SymbolicWorkspace> =
+            (0..B).map(|_| SymbolicWorkspace::for_state(&s)).collect();
+        let mut grad = vec![C64::ZERO; p];
+        time_per_iter(Box::new(move || {
+            for b in 0..B {
+                black_box(
+                    s.overlap_and_gradient_into(
+                        black_box(&targets[b]),
+                        black_box(&thetas[b * p..(b + 1) * p]),
+                        &mut workspaces[b],
+                        &mut grad,
+                    )
+                    .unwrap(),
+                );
+            }
+        }))
+    };
+    let batched_speedup = looped / batched;
+    println!(
+        "batched transform @ paper shape, B={B}: looped {:.3} µs, batched {:.3} µs, batched_speedup {:.2}x",
+        looped * 1e6,
+        batched * 1e6,
+        batched_speedup
+    );
+    println!(
+        "BENCH{{\"name\":\"symbolic_kernel_8q8l/batched_speedup\",\"looped_s\":{looped:e},\"batched_s\":{batched:e},\"ratio\":{batched_speedup:.3}}}"
+    );
+    assert!(
+        batched_speedup >= 1.3,
+        "acceptance criterion: B={B} batched transform must be >= 1.3x the solo-call loop (got {batched_speedup:.2}x)"
     );
 }
 

@@ -65,10 +65,10 @@ pub use baseline::{
 pub use driver::{ClassAudit, ClusterAudit, FidelityAudit, StageReport, StreamDriver, StreamStage};
 pub use error::EnqodeError;
 pub use evaluation::{evaluate_baseline_sample, evaluate_enqode_sample, SampleEvaluation};
-pub use loss::FidelityObjective;
+pub use loss::{BatchedFidelityObjective, FidelityObjective};
 pub use model::{Embedding, EnqodeConfig, EnqodeModel, TrainedCluster};
 pub use pipeline::{ClassModel, EnqodePipeline, StreamingFitConfig};
-pub use symbolic::{SymbolicState, SymbolicWorkspace};
+pub use symbolic::{SymbolicBatch, SymbolicState, SymbolicWorkspace};
 
 #[cfg(test)]
 mod proptests {

@@ -13,11 +13,11 @@
 
 use crate::ansatz::AnsatzConfig;
 use crate::error::EnqodeError;
-use crate::loss::FidelityObjective;
+use crate::loss::{BatchedFidelityObjective, FidelityObjective};
 use crate::symbolic::SymbolicState;
 use enq_circuit::QuantumCircuit;
 use enq_data::{fit_with_fidelity_threshold, l2_normalize};
-use enq_optim::{Lbfgs, Optimizer};
+use enq_optim::{Lbfgs, LbfgsDriver, Optimizer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::num::NonZeroUsize;
@@ -564,6 +564,112 @@ impl EnqodeModel {
             duration: start.elapsed(),
             iterations: result.iterations,
         })
+    }
+
+    /// Batched core of the embedding path: fine-tunes `jobs.len()` already
+    /// normalised samples in **lockstep**, one fused
+    /// [`BatchedFidelityObjective`] sweep per optimisation round instead of
+    /// one kernel invocation per sample per round.
+    ///
+    /// Each lane runs an [`LbfgsDriver`] — a bit-exact port of the solo
+    /// L-BFGS loop — against the batched loss, whose per-lane arithmetic is
+    /// bit-identical to the solo objective. Every returned [`Embedding`] is
+    /// therefore **bit-identical** to what [`EnqodeModel::embed_normalized`]
+    /// produces for the same job (apart from wall-clock `duration`), and the
+    /// final `ideal_fidelity` is scored through the same solo objective path.
+    ///
+    /// Errors are per-job: one failing lane does not poison its batchmates.
+    pub(crate) fn embed_normalized_batch(
+        &self,
+        jobs: &[(Vec<f64>, usize, Instant)],
+    ) -> Vec<Result<Embedding, EnqodeError>> {
+        let mut out: Vec<Option<Result<Embedding, EnqodeError>>> =
+            (0..jobs.len()).map(|_| None).collect();
+        // Lanes whose objective constructs successfully join the batch; the
+        // rest resolve to their construction error immediately.
+        let mut live: Vec<usize> = Vec::new();
+        let mut objectives: Vec<FidelityObjective> = Vec::new();
+        for (idx, (normalized, _, _)) in jobs.iter().enumerate() {
+            match FidelityObjective::with_symbolic(
+                Arc::clone(&self.symbolic),
+                &self.config.ansatz,
+                normalized,
+            ) {
+                Ok(objective) => {
+                    live.push(idx);
+                    objectives.push(objective);
+                }
+                Err(e) => out[idx] = Some(Err(e)),
+            }
+        }
+        if !objectives.is_empty() {
+            let refs: Vec<&FidelityObjective> = objectives.iter().collect();
+            let mut batched = BatchedFidelityObjective::new(&refs)
+                .expect("lanes share the model's symbolic state");
+            let lanes = live.len();
+            let p = batched.num_parameters();
+            let params = Lbfgs::with_max_iterations(self.config.online_max_iterations);
+            let mut drivers: Vec<LbfgsDriver> = live
+                .iter()
+                .map(|&idx| {
+                    let cluster_index = jobs[idx].1;
+                    LbfgsDriver::new(params.clone(), &self.clusters[cluster_index].parameters)
+                })
+                .collect();
+            // Lockstep rounds: every driver always has exactly one pending
+            // evaluation, so each round is one batched kernel sweep. Lanes
+            // that finish early keep their last point in the block — the
+            // extra evaluations are discarded and cannot affect other lanes
+            // (all batched arithmetic is element-wise per lane).
+            let mut thetas = vec![0.0; lanes * p];
+            for (b, driver) in drivers.iter().enumerate() {
+                thetas[b * p..(b + 1) * p]
+                    .copy_from_slice(driver.pending().expect("fresh driver is never done"));
+            }
+            let mut values = vec![0.0; lanes];
+            let mut gradients = vec![0.0; lanes * p];
+            while drivers.iter().any(|d| !d.is_done()) {
+                batched
+                    .eval(&thetas, &mut values, &mut gradients)
+                    .expect("batch shapes fixed at construction");
+                for (b, driver) in drivers.iter_mut().enumerate() {
+                    if driver.is_done() {
+                        continue;
+                    }
+                    driver.supply(values[b], &gradients[b * p..(b + 1) * p]);
+                    if let Some(point) = driver.pending() {
+                        thetas[b * p..(b + 1) * p].copy_from_slice(point);
+                    }
+                }
+            }
+            for ((&idx, driver), objective) in
+                live.iter().zip(drivers.iter()).zip(objectives.iter())
+            {
+                let result = driver.result().expect("lockstep loop ran to completion");
+                let (_, cluster_index, start) = &jobs[idx];
+                let (cluster_index, start) = (*cluster_index, *start);
+                // Score through the solo objective so the reported fidelity
+                // is bit-identical to the per-request path.
+                let ideal_fidelity = objective.fidelity(&result.x);
+                out[idx] =
+                    Some(
+                        self.config
+                            .ansatz
+                            .build_bound(&result.x)
+                            .map(|circuit| Embedding {
+                                parameters: result.x.clone(),
+                                circuit,
+                                cluster_index,
+                                ideal_fidelity,
+                                duration: start.elapsed(),
+                                iterations: result.iterations,
+                            }),
+                    );
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every job resolves exactly once"))
+            .collect()
     }
 
     /// Embeds a batch of samples in parallel. Results are returned in input

@@ -11,6 +11,7 @@ use crate::error::EnqodeError;
 use crate::model::{Embedding, EnqodeConfig, EnqodeModel};
 use crate::symbolic::SymbolicState;
 use enq_data::{Dataset, FeaturePipeline, IngestMode, SampleSource};
+use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -364,6 +365,74 @@ impl EnqodePipeline {
         Ok((cm.label, embedding))
     }
 
+    /// Embeds a batch of already feature-extracted samples with one fused
+    /// kernel sweep per optimisation round — the batched counterpart of
+    /// [`EnqodePipeline::embed_features`].
+    ///
+    /// Samples are grouped by their winning class model and each group is
+    /// fine-tuned in lockstep through the batched Walsh kernels (see
+    /// [`crate::SymbolicBatch`]). Every per-sample result — class label,
+    /// parameters, fidelity, iteration count — is **bit-identical** to the
+    /// per-request [`EnqodePipeline::embed_features`] call (apart from
+    /// wall-clock durations), and errors stay per-sample: one bad feature
+    /// vector does not fail its batchmates.
+    pub fn embed_features_batch(
+        &self,
+        features: &[Vec<f64>],
+    ) -> Vec<Result<(usize, Embedding), EnqodeError>> {
+        let mut out: Vec<Option<Result<(usize, Embedding), EnqodeError>>> =
+            (0..features.len()).map(|_| None).collect();
+        // Per-sample prep, mirroring `embed_features` exactly: normalise
+        // once, then cross-class nearest-cluster search with strict `<`.
+        // Group entries: original index, normalised features, cluster index,
+        // and the per-sample start instant.
+        type PreparedGroup = Vec<(usize, Vec<f64>, usize, Instant)>;
+        let mut groups: BTreeMap<usize, PreparedGroup> = BTreeMap::new();
+        for (i, feature) in features.iter().enumerate() {
+            let start = Instant::now();
+            if self.class_models.is_empty() {
+                out[i] = Some(Err(EnqodeError::NotTrained));
+                continue;
+            }
+            let prep = (|| {
+                let normalized = self.class_models[0].model.normalize_checked(feature)?;
+                let mut best: Option<(usize, usize, f64)> = None;
+                for (class_idx, cm) in self.class_models.iter().enumerate() {
+                    let (cluster_idx, dist) =
+                        cm.model.nearest_cluster_of_normalized(&normalized)?;
+                    if best.map(|(_, _, d)| dist < d).unwrap_or(true) {
+                        best = Some((class_idx, cluster_idx, dist));
+                    }
+                }
+                let (class_idx, cluster_idx, _) = best.expect("class_models is non-empty");
+                Ok((class_idx, cluster_idx, normalized))
+            })();
+            match prep {
+                Ok((class_idx, cluster_idx, normalized)) => groups
+                    .entry(class_idx)
+                    .or_default()
+                    .push((i, normalized, cluster_idx, start)),
+                Err(e) => out[i] = Some(Err(e)),
+            }
+        }
+        for (class_idx, group) in groups {
+            let cm = &self.class_models[class_idx];
+            let jobs: Vec<(Vec<f64>, usize, Instant)> = group
+                .iter()
+                .map(|(_, normalized, cluster_idx, start)| {
+                    (normalized.clone(), *cluster_idx, *start)
+                })
+                .collect();
+            let results = cm.model.embed_normalized_batch(&jobs);
+            for ((i, _, _, _), result) in group.into_iter().zip(results) {
+                out[i] = Some(result.map(|embedding| (cm.label, embedding)));
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every sample resolves exactly once"))
+            .collect()
+    }
+
     /// Embeds a batch of raw, unlabelled samples in parallel. Results are in
     /// input order and identical to calling [`EnqodePipeline::embed`] per
     /// sample (apart from wall-clock durations).
@@ -483,6 +552,49 @@ mod tests {
         assert_eq!(a.parameters, b.parameters);
         assert_eq!(a.cluster_index, b.cluster_index);
         assert_eq!(a.ideal_fidelity, b.ideal_fidelity);
+    }
+
+    #[test]
+    fn embed_features_batch_is_bit_identical_to_solo_calls() {
+        let (pipeline, dataset) = tiny_pipeline();
+        let features: Vec<Vec<f64>> = (0..6)
+            .map(|i| pipeline.extract_features(dataset.sample(i)).unwrap())
+            .collect();
+        let batch = pipeline.embed_features_batch(&features);
+        assert_eq!(batch.len(), features.len());
+        for (feature, result) in features.iter().zip(batch.iter()) {
+            let (label, embedding) = result.as_ref().unwrap();
+            let (solo_label, solo) = pipeline.embed_features(feature).unwrap();
+            assert_eq!(*label, solo_label);
+            assert_eq!(embedding.cluster_index, solo.cluster_index);
+            assert_eq!(embedding.iterations, solo.iterations);
+            assert_eq!(embedding.parameters.len(), solo.parameters.len());
+            for (a, b) in embedding.parameters.iter().zip(solo.parameters.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "parameter drift in batch");
+            }
+            assert_eq!(
+                embedding.ideal_fidelity.to_bits(),
+                solo.ideal_fidelity.to_bits(),
+                "fidelity drift in batch"
+            );
+        }
+    }
+
+    #[test]
+    fn embed_features_batch_keeps_errors_per_sample() {
+        let (pipeline, dataset) = tiny_pipeline();
+        let good = pipeline.extract_features(dataset.sample(0)).unwrap();
+        let batch = pipeline.embed_features_batch(&[
+            good.clone(),
+            vec![0.0; 3], // wrong dimension
+            good.clone(),
+        ]);
+        assert!(batch[0].is_ok());
+        assert!(batch[1].is_err());
+        assert!(batch[2].is_ok());
+        let (_, from_batch) = batch[0].as_ref().unwrap();
+        let (_, solo) = pipeline.embed_features(&good).unwrap();
+        assert_eq!(from_batch.parameters, solo.parameters);
     }
 
     #[test]

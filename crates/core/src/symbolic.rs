@@ -35,11 +35,30 @@
 //!   more `O(2^n·n)` transform followed by a `P`-entry gather.
 //!
 //! Amplitudes are evaluated in a structure-of-arrays scratch held by a
-//! reusable [`SymbolicWorkspace`] with one fused [`f64::sin_cos`] per row and
-//! zero heap allocations per evaluation. The seed's dense-walk kernel is
-//! retained as [`SymbolicState::overlap_and_gradient_naive`] — the reference
-//! the equivalence tests and the `symbolic_kernel` micro-benchmark compare
+//! reusable [`SymbolicWorkspace`] with one fused sin/cos per row and zero
+//! heap allocations per evaluation. The seed's dense-walk kernel is retained
+//! as [`SymbolicState::overlap_and_gradient_naive`] — the reference the
+//! equivalence tests and the `symbolic_kernel` micro-benchmark compare
 //! against.
+//!
+//! # Compute backends
+//!
+//! The three loop shapes the kernel spends its time in — Walsh–Hadamard
+//! butterflies, the fused sin/cos row sweep, and the weighted-overlap
+//! accumulation — route through [`enq_simd`]'s runtime-dispatched
+//! [`enq_simd::ComputeBackend`] layer. All backends are bit-identical by
+//! construction (element-wise butterflies, one shared correctly-rounded
+//! sin/cos kernel, and a pinned sequential summation order for the overlap),
+//! so the golden seeded-determinism pins hold no matter which instruction
+//! set the host dispatches to.
+//!
+//! [`SymbolicBatch`] evaluates `B` overlap/gradient problems per butterfly
+//! sweep in an interleaved layout: the micro-batcher amortises one
+//! `O(2^n·n)` table traversal across a whole batch, and every butterfly
+//! touches `B` contiguous lanes — full-width SIMD even at small `2^n` where
+//! the single-problem transform's low stages cannot fill a vector. Each lane
+//! is bit-identical to the corresponding solo
+//! [`SymbolicState::overlap_and_gradient_into`] call.
 
 use crate::ansatz::{AnsatzConfig, EntanglerKind};
 use crate::error::EnqodeError;
@@ -74,10 +93,27 @@ pub struct SymbolicState {
 /// buffers so that repeated evaluations (every L-BFGS iteration of every
 /// restart) perform **zero heap allocations**. One workspace serves any
 /// number of states; buffers grow on demand and are reused in place.
+///
+/// # Grow-only resize audit
+///
+/// The internal `ensure` resize never shrinks, so after serving a large
+/// state the buffers carry a stale tail beyond the current `dim`. That tail
+/// is unobservable by contract: every kernel slices its buffers to
+/// `[..dim]` and fully overwrites that prefix before reading it (`phase` is
+/// zero-filled then scattered; `args`/`sin`/`cos`/`w_re`/`w_im` are written
+/// for every `r < dim` before any read). The `shrink_then_reuse` regression
+/// test poisons the tails with NaN and checks smaller states still match
+/// the naive reference bit-for-bit on the observable prefix.
 #[derive(Debug, Clone, Default)]
 pub struct SymbolicWorkspace {
     /// Phase accumulator; doubles as the Walsh spectrum before the transform.
     phase: Vec<f64>,
+    /// Per-row sin/cos argument `0.5·φ_r + k_r·π/2`.
+    args: Vec<f64>,
+    /// `sin(args[r])`, filled by the dispatched fused sin/cos kernel.
+    sin: Vec<f64>,
+    /// `cos(args[r])`, filled by the dispatched fused sin/cos kernel.
+    cos: Vec<f64>,
     /// Real part of `w_r = conj(y_r)·a_r(θ)`.
     w_re: Vec<f64>,
     /// Imaginary part of `w_r`.
@@ -100,31 +136,38 @@ impl SymbolicWorkspace {
     fn ensure(&mut self, dim: usize) {
         if self.phase.len() < dim {
             self.phase.resize(dim, 0.0);
+            self.args.resize(dim, 0.0);
+            self.sin.resize(dim, 0.0);
+            self.cos.resize(dim, 0.0);
             self.w_re.resize(dim, 0.0);
             self.w_im.resize(dim, 0.0);
         }
     }
+
+    /// Fills `args[..dim]` from the transformed phases and evaluates the
+    /// fused sin/cos sweep through the dispatched backend.
+    fn eval_rows(&mut self, base_phase: &[f64], dim: usize) {
+        enq_simd::scale_add(
+            &self.phase[..dim],
+            0.5,
+            &base_phase[..dim],
+            &mut self.args[..dim],
+        );
+        enq_simd::sin_cos_slice(
+            &self.args[..dim],
+            &mut self.sin[..dim],
+            &mut self.cos[..dim],
+        );
+    }
 }
 
-/// In-place unnormalised Walsh–Hadamard transform:
-/// `out[r] = Σ_m in[m]·(−1)^{popcount(r & m)}`.
-#[inline]
-fn walsh_hadamard_in_place(data: &mut [f64]) {
-    let n = data.len();
-    let mut h = 1;
-    while h < n {
-        let mut block = 0;
-        while block < n {
-            for i in block..block + h {
-                let a = data[i];
-                let b = data[i + h];
-                data[i] = a + b;
-                data[i + h] = a - b;
-            }
-            block += h * 2;
-        }
-        h *= 2;
-    }
+/// Views a `C64` slice as its interleaved `[re, im]` `f64` storage — the
+/// layout the [`enq_simd::weighted_rows`] kernel consumes without a copy.
+fn c64_interleaved(z: &[C64]) -> &[f64] {
+    // SAFETY: `C64` is `#[repr(C)]` with exactly two `f64` fields, so a slice
+    // of `z.len()` values is precisely `2·z.len()` contiguous `f64`s, and
+    // `f64`'s alignment does not exceed `C64`'s.
+    unsafe { std::slice::from_raw_parts(z.as_ptr().cast::<f64>(), z.len() * 2) }
 }
 
 impl SymbolicState {
@@ -230,7 +273,7 @@ impl SymbolicState {
         for (&mask, &t) in self.column_masks.iter().zip(theta.iter()) {
             phase[mask as usize] -= t;
         }
-        walsh_hadamard_in_place(phase);
+        enq_simd::walsh_hadamard(phase);
     }
 
     /// Evaluates the amplitudes `a_r(θ)`.
@@ -245,11 +288,9 @@ impl SymbolicState {
         self.accumulate_phases(theta, &mut ws);
         let dim = self.dim();
         let scale = 1.0 / (dim as f64).sqrt();
+        ws.eval_rows(&self.base_phase, dim);
         let out = (0..dim)
-            .map(|r| {
-                let (s, c) = (0.5 * ws.phase[r] + self.base_phase[r]).sin_cos();
-                C64::new(scale * c, scale * s)
-            })
+            .map(|r| C64::new(scale * ws.cos[r], scale * ws.sin[r]))
             .collect();
         Ok(CVector::new(out))
     }
@@ -271,14 +312,19 @@ impl SymbolicState {
         self.accumulate_phases(theta, ws);
         let dim = self.dim();
         let scale = 1.0 / (dim as f64).sqrt();
-        let mut sum_re = 0.0;
-        let mut sum_im = 0.0;
-        for r in 0..dim {
-            let (s, c) = (0.5 * ws.phase[r] + self.base_phase[r]).sin_cos();
-            let t = target_conj[r];
-            sum_re += t.re * c - t.im * s;
-            sum_im += t.re * s + t.im * c;
-        }
+        ws.eval_rows(&self.base_phase, dim);
+        // Weighted rows through the dispatched backend (w buffers as
+        // scratch); the canonical lane-structured sum is the pinned,
+        // backend-invariant order. Scale applies once at the end, as the
+        // unweighted overlap always has.
+        let (sum_re, sum_im) = enq_simd::weighted_rows(
+            c64_interleaved(target_conj),
+            &ws.sin[..dim],
+            &ws.cos[..dim],
+            1.0,
+            &mut ws.w_re[..dim],
+            &mut ws.w_im[..dim],
+        );
         Ok(C64::new(scale * sum_re, scale * sum_im))
     }
 
@@ -314,26 +360,21 @@ impl SymbolicState {
         self.accumulate_phases(theta, ws);
         let dim = self.dim();
         let scale = 1.0 / (dim as f64).sqrt();
-        let mut sum_re = 0.0;
-        let mut sum_im = 0.0;
-        {
-            let phase = &ws.phase[..dim];
-            let w_re = &mut ws.w_re[..dim];
-            let w_im = &mut ws.w_im[..dim];
-            for r in 0..dim {
-                let (s, c) = (0.5 * phase[r] + self.base_phase[r]).sin_cos();
-                let t = target_conj[r];
-                let re = scale * (t.re * c - t.im * s);
-                let im = scale * (t.re * s + t.im * c);
-                w_re[r] = re;
-                w_im[r] = im;
-                sum_re += re;
-                sum_im += im;
-            }
-        }
+        ws.eval_rows(&self.base_phase, dim);
+        // Weighted rows through the dispatched backend; the canonical
+        // lane-structured sum is the pinned, backend-invariant order, and
+        // [`SymbolicBatch`] reproduces it lane for lane.
+        let (sum_re, sum_im) = enq_simd::weighted_rows(
+            c64_interleaved(target_conj),
+            &ws.sin[..dim],
+            &ws.cos[..dim],
+            scale,
+            &mut ws.w_re[..dim],
+            &mut ws.w_im[..dim],
+        );
         // d_j = Σ_r p_{rj}·w_r = −WHT(w)[m_j]; ∂S/∂θ_j = (i/2)·d_j.
-        walsh_hadamard_in_place(&mut ws.w_re[..dim]);
-        walsh_hadamard_in_place(&mut ws.w_im[..dim]);
+        enq_simd::walsh_hadamard(&mut ws.w_re[..dim]);
+        enq_simd::walsh_hadamard(&mut ws.w_im[..dim]);
         for (g, &mask) in gradient.iter_mut().zip(self.column_masks.iter()) {
             let d_re = -ws.w_re[mask as usize];
             let d_im = -ws.w_im[mask as usize];
@@ -418,6 +459,191 @@ impl SymbolicState {
             });
         }
         self.check_theta(theta)
+    }
+}
+
+/// Batched evaluator: `B` overlap/gradient problems per Walsh–Hadamard
+/// sweep, one shared table traversal.
+///
+/// All per-row buffers are stored **interleaved** — element `r` of problem
+/// `b` lives at `buf[r·B + b]` — so every butterfly and every sin/cos sweep
+/// touches `B` contiguous lanes. The butterfly schedule is walked once per
+/// transform instead of `B` times, and the lanes fill full-width SIMD
+/// vectors even at small `2^n` where the single-problem transform's low
+/// stages cannot.
+///
+/// Every lane is **bit-identical** to the corresponding solo
+/// [`SymbolicState::overlap_and_gradient_into`] call: the batched butterflies
+/// are the same element-wise adds, the sin/cos kernel is shared, and each
+/// lane's overlap accumulates sequentially over `r` in the solo order.
+///
+/// The batch snapshots the state's phase-table metadata and the conjugated
+/// targets at construction; [`SymbolicBatch::overlap_and_gradient`] then
+/// needs only the flat parameter block and performs zero heap allocations.
+#[derive(Debug, Clone)]
+pub struct SymbolicBatch {
+    lanes: usize,
+    num_parameters: usize,
+    scale: f64,
+    base_phase: Vec<f64>,
+    column_masks: Vec<u32>,
+    /// Interleaved real parts of the conjugated targets, fixed per batch.
+    t_re: Vec<f64>,
+    /// Interleaved imaginary parts of the conjugated targets.
+    t_im: Vec<f64>,
+    phase: Vec<f64>,
+    /// Lane-contiguous transpose of the caller's parameter block (scratch).
+    theta_t: Vec<f64>,
+    w_re: Vec<f64>,
+    w_im: Vec<f64>,
+    sum_re: Vec<f64>,
+    sum_im: Vec<f64>,
+}
+
+impl SymbolicBatch {
+    /// Builds a batched evaluator for `targets_conj.len()` problems sharing
+    /// one symbolic state. Each entry of `targets_conj` is the conjugated
+    /// (closing-rotation-adjusted) target of one lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::DimensionMismatch`] if any target's length
+    /// differs from the state dimension, or [`EnqodeError::InvalidConfig`]
+    /// for an empty batch.
+    pub fn new(state: &SymbolicState, targets_conj: &[&[C64]]) -> Result<Self, EnqodeError> {
+        let lanes = targets_conj.len();
+        if lanes == 0 {
+            return Err(EnqodeError::InvalidConfig(
+                "a symbolic batch needs at least one target".to_string(),
+            ));
+        }
+        let dim = state.dim();
+        let mut t_re = vec![0.0; dim * lanes];
+        let mut t_im = vec![0.0; dim * lanes];
+        for (b, target) in targets_conj.iter().enumerate() {
+            if target.len() != dim {
+                return Err(EnqodeError::DimensionMismatch {
+                    expected: dim,
+                    found: target.len(),
+                });
+            }
+            for (r, t) in target.iter().enumerate() {
+                t_re[r * lanes + b] = t.re;
+                t_im[r * lanes + b] = t.im;
+            }
+        }
+        Ok(Self {
+            lanes,
+            num_parameters: state.num_parameters(),
+            scale: 1.0 / (dim as f64).sqrt(),
+            base_phase: state.base_phase.clone(),
+            column_masks: state.column_masks.clone(),
+            t_re,
+            t_im,
+            phase: vec![0.0; dim * lanes],
+            theta_t: vec![0.0; state.num_parameters() * lanes],
+            w_re: vec![0.0; dim * lanes],
+            w_im: vec![0.0; dim * lanes],
+            sum_re: vec![0.0; lanes],
+            sum_im: vec![0.0; lanes],
+        })
+    }
+
+    /// Returns the number of lanes (problems) in the batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Returns the number of parameters per lane.
+    pub fn num_parameters(&self) -> usize {
+        self.num_parameters
+    }
+
+    /// Evaluates all lanes' overlaps and gradients in one sweep.
+    ///
+    /// `thetas` and `gradients` are flat lane-major blocks: lane `b`'s
+    /// parameter `j` sits at index `b·P + j`. `overlaps[b]` receives lane
+    /// `b`'s overlap. Performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::DimensionMismatch`] if any slice length
+    /// disagrees with the batch shape.
+    pub fn overlap_and_gradient(
+        &mut self,
+        thetas: &[f64],
+        overlaps: &mut [C64],
+        gradients: &mut [C64],
+    ) -> Result<(), EnqodeError> {
+        let (lanes, p) = (self.lanes, self.num_parameters);
+        if thetas.len() != lanes * p {
+            return Err(EnqodeError::DimensionMismatch {
+                expected: lanes * p,
+                found: thetas.len(),
+            });
+        }
+        if overlaps.len() != lanes {
+            return Err(EnqodeError::DimensionMismatch {
+                expected: lanes,
+                found: overlaps.len(),
+            });
+        }
+        if gradients.len() != lanes * p {
+            return Err(EnqodeError::DimensionMismatch {
+                expected: lanes * p,
+                found: gradients.len(),
+            });
+        }
+        // Transpose the parameter block to lane-contiguous rows once so the
+        // scatter's inner loop runs over contiguous memory on both sides
+        // (the straight `thetas[b·P + j]` read walks a different cache line
+        // per lane).
+        for (b, lane_thetas) in thetas.chunks_exact(p).enumerate() {
+            for (j, &t) in lane_thetas.iter().enumerate() {
+                self.theta_t[j * lanes + b] = t;
+            }
+        }
+        // Scatter every lane's spectrum, then one batched transform.
+        self.phase.fill(0.0);
+        for (j, &mask) in self.column_masks.iter().enumerate() {
+            let row = mask as usize * lanes;
+            let th = &self.theta_t[j * lanes..(j + 1) * lanes];
+            for (ph, &t) in self.phase[row..row + lanes].iter_mut().zip(th) {
+                *ph -= t;
+            }
+        }
+        enq_simd::walsh_hadamard_batch(&mut self.phase, lanes);
+        // One fused sweep (arguments, sin/cos, products, per-lane sums —
+        // element-wise over the whole interleaved block, intermediates in
+        // registers); each lane reduces in the solo kernel's canonical row
+        // order, so the sums are bit-identical per lane.
+        enq_simd::fused_weighted_rows(
+            &self.phase,
+            &self.base_phase,
+            &self.t_re,
+            &self.t_im,
+            self.scale,
+            lanes,
+            &mut self.w_re,
+            &mut self.w_im,
+            &mut self.sum_re,
+            &mut self.sum_im,
+        );
+        enq_simd::walsh_hadamard_batch(&mut self.w_re, lanes);
+        enq_simd::walsh_hadamard_batch(&mut self.w_im, lanes);
+        for (b, o) in overlaps.iter_mut().enumerate() {
+            *o = C64::new(self.sum_re[b], self.sum_im[b]);
+        }
+        // Row-major gather: every mask row's lanes are contiguous.
+        for (j, &mask) in self.column_masks.iter().enumerate() {
+            let row = mask as usize * lanes;
+            for b in 0..lanes {
+                let d_re = -self.w_re[row + b];
+                let d_im = -self.w_im[row + b];
+                gradients[b * p + j] = C64::new(-0.5 * d_im, 0.5 * d_re);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -766,7 +992,7 @@ mod tests {
     fn walsh_hadamard_matches_direct_sum() {
         let input = [0.5, -1.0, 2.0, 0.25, -0.75, 1.5, 0.0, 3.0];
         let mut data = input;
-        walsh_hadamard_in_place(&mut data);
+        enq_simd::walsh_hadamard(&mut data);
         for r in 0..8usize {
             let direct: f64 = input
                 .iter()
@@ -781,5 +1007,139 @@ mod tests {
                 .sum();
             assert!((data[r] - direct).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn shrink_then_reuse_ignores_poisoned_tails() {
+        // Serve a 6-qubit state, poison every scratch tail with NaN, then
+        // reuse the workspace for a 3-qubit state: the grow-only buffers'
+        // stale region must stay unobservable.
+        let mut ws = SymbolicWorkspace::new();
+        let mut rng = StdRng::seed_from_u64(33);
+        let big = SymbolicState::from_ansatz(&AnsatzConfig {
+            num_qubits: 6,
+            num_layers: 3,
+            entangler: EntanglerKind::Cy,
+        })
+        .unwrap();
+        let theta_big: Vec<f64> = (0..big.num_parameters())
+            .map(|_| rng.gen_range(-2.0..2.0))
+            .collect();
+        let target_big: Vec<C64> = (0..big.dim())
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut grad_big = vec![C64::ZERO; big.num_parameters()];
+        big.overlap_and_gradient_into(&target_big, &theta_big, &mut ws, &mut grad_big)
+            .unwrap();
+
+        for buf in [
+            &mut ws.phase,
+            &mut ws.args,
+            &mut ws.sin,
+            &mut ws.cos,
+            &mut ws.w_re,
+            &mut ws.w_im,
+        ] {
+            buf.fill(f64::NAN);
+        }
+
+        let small = SymbolicState::from_ansatz(&AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 2,
+            entangler: EntanglerKind::Cy,
+        })
+        .unwrap();
+        let theta: Vec<f64> = (0..small.num_parameters())
+            .map(|_| rng.gen_range(-2.0..2.0))
+            .collect();
+        let target: Vec<C64> = (0..small.dim())
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut gradient = vec![C64::ZERO; small.num_parameters()];
+        let s = small
+            .overlap_and_gradient_into(&target, &theta, &mut ws, &mut gradient)
+            .unwrap();
+        assert!(s.re.is_finite() && s.im.is_finite());
+        let (s_ref, g_ref) = small.overlap_and_gradient_naive(&target, &theta).unwrap();
+        assert!(s.approx_eq(s_ref, 1e-12));
+        for (a, b) in gradient.iter().zip(g_ref.iter()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+        // The overlap-only path shares the buffers and must be immune too.
+        let s_only = small.overlap_into(&target, &theta, &mut ws).unwrap();
+        assert!(s_only.approx_eq(s_ref, 1e-12));
+    }
+
+    #[test]
+    fn batched_lanes_are_bit_identical_to_solo_calls() {
+        let config = AnsatzConfig {
+            num_qubits: 5,
+            num_layers: 4,
+            entangler: EntanglerKind::Cy,
+        };
+        let symbolic = SymbolicState::from_ansatz(&config).unwrap();
+        let p = symbolic.num_parameters();
+        let mut rng = StdRng::seed_from_u64(44);
+        for lanes in [1usize, 2, 7, 16] {
+            let targets: Vec<Vec<C64>> = (0..lanes)
+                .map(|_| {
+                    (0..symbolic.dim())
+                        .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[C64]> = targets.iter().map(|t| t.as_slice()).collect();
+            let mut batch = SymbolicBatch::new(&symbolic, &refs).unwrap();
+            let thetas: Vec<f64> = (0..lanes * p).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let mut overlaps = vec![C64::ZERO; lanes];
+            let mut gradients = vec![C64::ZERO; lanes * p];
+            batch
+                .overlap_and_gradient(&thetas, &mut overlaps, &mut gradients)
+                .unwrap();
+            let mut ws = SymbolicWorkspace::for_state(&symbolic);
+            for b in 0..lanes {
+                let mut solo_grad = vec![C64::ZERO; p];
+                let solo = symbolic
+                    .overlap_and_gradient_into(
+                        &targets[b],
+                        &thetas[b * p..(b + 1) * p],
+                        &mut ws,
+                        &mut solo_grad,
+                    )
+                    .unwrap();
+                assert_eq!(overlaps[b].re.to_bits(), solo.re.to_bits(), "lane {b}");
+                assert_eq!(overlaps[b].im.to_bits(), solo.im.to_bits(), "lane {b}");
+                for (j, (bg, sg)) in gradients[b * p..(b + 1) * p]
+                    .iter()
+                    .zip(solo_grad.iter())
+                    .enumerate()
+                {
+                    assert_eq!(bg.re.to_bits(), sg.re.to_bits(), "lane {b} param {j}");
+                    assert_eq!(bg.im.to_bits(), sg.im.to_bits(), "lane {b} param {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rejects_bad_shapes() {
+        let symbolic = SymbolicState::from_ansatz(&AnsatzConfig::with_qubits(3)).unwrap();
+        assert!(SymbolicBatch::new(&symbolic, &[]).is_err());
+        let short = vec![C64::ZERO; symbolic.dim() - 1];
+        assert!(SymbolicBatch::new(&symbolic, &[short.as_slice()]).is_err());
+        let target = vec![C64::ZERO; symbolic.dim()];
+        let mut batch = SymbolicBatch::new(&symbolic, &[target.as_slice()]).unwrap();
+        let p = batch.num_parameters();
+        let mut overlaps = vec![C64::ZERO; 1];
+        let mut gradients = vec![C64::ZERO; p];
+        assert!(batch
+            .overlap_and_gradient(&vec![0.0; p - 1], &mut overlaps, &mut gradients)
+            .is_err());
+        assert!(batch
+            .overlap_and_gradient(&vec![0.0; p], &mut [], &mut gradients)
+            .is_err());
+        assert!(batch
+            .overlap_and_gradient(&vec![0.0; p], &mut overlaps, &mut gradients[..p - 1])
+            .is_err());
     }
 }

@@ -221,15 +221,13 @@ impl Pca {
                 found: sample.len(),
             });
         }
+        // The centered dot product dispatches through `enq_simd` with one
+        // canonical lane-structured summation order, so the projection is
+        // bit-identical on every backend (scalar and vector alike).
         Ok(self
             .components
             .iter()
-            .map(|axis| {
-                axis.iter()
-                    .zip(sample.iter().zip(self.mean.iter()))
-                    .map(|(a, (x, m))| a * (x - m))
-                    .sum()
-            })
+            .map(|axis| enq_simd::dot_centered(axis, sample, &self.mean))
             .collect())
     }
 

@@ -70,6 +70,12 @@ pub enum ErrorCode {
     NoTraffic = 9,
     /// Internal server error. Terminal.
     Internal = 10,
+    /// The request carried a non-finite (NaN or infinite) feature value.
+    /// Terminal — the same sample can never embed; resending it is
+    /// pointless. (The wire format itself round-trips NaN payloads
+    /// bit-exactly; the *serving* layer rejects them before any cache
+    /// tier, and this code carries that rejection back.)
+    InvalidFeatures = 11,
 }
 
 impl ErrorCode {
@@ -86,6 +92,7 @@ impl ErrorCode {
             8 => Self::RebuildInProgress,
             9 => Self::NoTraffic,
             10 => Self::Internal,
+            11 => Self::InvalidFeatures,
             _ => return None,
         })
     }
@@ -120,6 +127,7 @@ pub fn wire_error(error: &ServeError) -> (ErrorCode, u64, String) {
             duration_to_retry_ms(*retry_after),
             message,
         ),
+        ServeError::NonFiniteFeature { .. } => (ErrorCode::InvalidFeatures, 0, message),
         ServeError::NoTraffic(_) => (ErrorCode::NoTraffic, 0, message),
         _ => (ErrorCode::Internal, 0, message),
     }
@@ -649,6 +657,14 @@ mod tests {
                 true,
             ),
             (
+                ServeError::NonFiniteFeature {
+                    index: 3,
+                    value: f64::NAN,
+                },
+                ErrorCode::InvalidFeatures,
+                false,
+            ),
+            (
                 ServeError::NoTraffic("m".into()),
                 ErrorCode::NoTraffic,
                 false,
@@ -683,12 +699,12 @@ mod tests {
 
     #[test]
     fn error_code_wire_values_are_stable() {
-        for code in 1..=10u16 {
+        for code in 1..=11u16 {
             let decoded = ErrorCode::from_u16(code).expect("known code");
             assert_eq!(decoded as u16, code);
         }
         assert_eq!(ErrorCode::from_u16(0), None);
-        assert_eq!(ErrorCode::from_u16(11), None);
+        assert_eq!(ErrorCode::from_u16(12), None);
         assert_eq!(ErrorCode::from_u16(u16::MAX), None);
     }
 }

@@ -1,0 +1,568 @@
+//! A resumable, evaluation-inverted L-BFGS step machine.
+//!
+//! [`Lbfgs::minimize_with`] owns its loop and calls the objective itself;
+//! that shape cannot drive **batched** objective evaluation, where `B`
+//! independent optimisations want their pending points evaluated together in
+//! one fused kernel sweep. [`LbfgsDriver`] inverts the control flow: it
+//! exposes the next point it needs evaluated ([`LbfgsDriver::pending`]), the
+//! caller supplies the value and gradient ([`LbfgsDriver::supply`]), and the
+//! driver advances its internal state until it needs the next evaluation or
+//! finishes.
+//!
+//! The driver is a faithful port of `minimize_with` plus its strong-Wolfe
+//! line search: every arithmetic operation happens in the same order on the
+//! same values, so a driver stepped to completion produces a **bit-identical
+//! [`OptimizeResult`]** to calling [`Lbfgs::minimize_with`] directly (the
+//! `driver_matches_minimize_bitwise` test pins this). That equivalence is
+//! what lets the batched embedding path claim bit-identical outputs to the
+//! per-request path.
+//!
+//! Between [`LbfgsDriver::new`] and completion there is always **exactly one
+//! pending evaluation**, so a lockstep loop over `B` drivers evaluates
+//! exactly `B` points per round.
+
+use crate::lbfgs::Lbfgs;
+use crate::objective::{dot, norm, OptimizeResult};
+
+const C1: f64 = 1e-4;
+const C2: f64 = 0.9;
+const MAX_EVALS: usize = 40;
+const MAX_BRACKET: usize = 10;
+
+/// Where the driver is inside one strong-Wolfe line search.
+#[derive(Debug, Clone, Copy)]
+enum LineStage {
+    /// Bracketing phase (Nocedal & Wright Algorithm 3.5), step `i` of
+    /// [`MAX_BRACKET`].
+    Bracket {
+        i: usize,
+        alpha_prev: f64,
+        f_prev: f64,
+    },
+    /// Bisection zoom (Algorithm 3.6) on the interval `(lo, hi)`.
+    Zoom { lo: f64, f_lo: f64, hi: f64 },
+}
+
+/// In-flight line-search bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct LineState {
+    /// Value at the line-search origin.
+    f0: f64,
+    /// Directional derivative at the origin.
+    d_phi0: f64,
+    /// Step whose evaluation is currently pending.
+    alpha: f64,
+    /// Evaluations consumed by this search (only added to the global count
+    /// if the search succeeds, mirroring `minimize_with`).
+    evals: usize,
+    stage: LineStage,
+}
+
+/// What evaluation the driver is waiting for.
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// Waiting for the value/gradient at the initial point.
+    Initial,
+    /// Waiting for a line-search candidate.
+    Line(LineState),
+    /// Waiting for the conservative fallback step after a failed search.
+    Fallback,
+    /// Finished; the result is available.
+    Done,
+}
+
+/// Resumable L-BFGS optimisation over one problem: ask [`pending`], answer
+/// with [`supply`], repeat until [`is_done`]. See the module docs.
+///
+/// [`pending`]: LbfgsDriver::pending
+/// [`supply`]: LbfgsDriver::supply
+/// [`is_done`]: LbfgsDriver::is_done
+#[derive(Debug, Clone)]
+pub struct LbfgsDriver {
+    params: Lbfgs,
+    n: usize,
+    memory: usize,
+    /// Current iterate and its gradient.
+    x: Vec<f64>,
+    g: Vec<f64>,
+    /// Accepted next iterate (scratch for the curvature-pair update).
+    new_x: Vec<f64>,
+    /// Gradient at the most recently supplied evaluation.
+    new_g: Vec<f64>,
+    /// Two-loop recursion scratch.
+    q: Vec<f64>,
+    direction: Vec<f64>,
+    /// The point whose evaluation is pending.
+    point: Vec<f64>,
+    alphas: Vec<f64>,
+    s_hist: Vec<Vec<f64>>,
+    y_hist: Vec<Vec<f64>>,
+    rho_hist: Vec<f64>,
+    hist_len: usize,
+    hist_head: usize,
+    f: f64,
+    evaluations: usize,
+    iterations: usize,
+    /// Iterations started so far (the `for iter in 0..max_iterations`
+    /// counter).
+    iter: usize,
+    converged: bool,
+    phase: Phase,
+}
+
+impl LbfgsDriver {
+    /// Starts an optimisation of an `x0.len()`-dimensional problem from
+    /// `x0`. The first pending evaluation is `x0` itself.
+    pub fn new(params: Lbfgs, x0: &[f64]) -> Self {
+        let n = x0.len();
+        let memory = params.memory.max(1);
+        Self {
+            params,
+            n,
+            memory,
+            x: x0.to_vec(),
+            g: vec![0.0; n],
+            new_x: vec![0.0; n],
+            new_g: vec![0.0; n],
+            q: vec![0.0; n],
+            direction: vec![0.0; n],
+            point: x0.to_vec(),
+            alphas: vec![0.0; memory],
+            s_hist: vec![vec![0.0; n]; memory],
+            y_hist: vec![vec![0.0; n]; memory],
+            rho_hist: vec![0.0; memory],
+            hist_len: 0,
+            hist_head: 0,
+            f: 0.0,
+            evaluations: 0,
+            iterations: 0,
+            iter: 0,
+            converged: false,
+            phase: Phase::Initial,
+        }
+    }
+
+    /// Returns the point awaiting evaluation, or `None` once finished.
+    pub fn pending(&self) -> Option<&[f64]> {
+        match self.phase {
+            Phase::Done => None,
+            _ => Some(&self.point),
+        }
+    }
+
+    /// True once the optimisation has terminated and [`LbfgsDriver::result`]
+    /// is available.
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    /// Supplies the objective value and gradient at the pending point and
+    /// advances to the next pending evaluation (or completion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver is already done or `gradient.len()` differs from
+    /// the problem dimension.
+    pub fn supply(&mut self, value: f64, gradient: &[f64]) {
+        assert_eq!(gradient.len(), self.n, "gradient has wrong dimension");
+        assert!(!self.is_done(), "supply called on a finished driver");
+        match self.phase {
+            Phase::Done => unreachable!(),
+            Phase::Initial => {
+                self.f = value;
+                self.g.copy_from_slice(gradient);
+                self.evaluations = 1;
+                self.begin_iteration();
+            }
+            Phase::Line(mut st) => {
+                self.new_g.copy_from_slice(gradient);
+                st.evals += 1;
+                let slope = dot(&self.new_g, &self.direction);
+                match st.stage {
+                    LineStage::Bracket {
+                        i,
+                        alpha_prev,
+                        f_prev,
+                    } => {
+                        self.step_bracket(st, value, slope, i, alpha_prev, f_prev);
+                    }
+                    LineStage::Zoom { lo, f_lo, hi } => {
+                        self.step_zoom(st, value, slope, lo, f_lo, hi);
+                    }
+                }
+            }
+            Phase::Fallback => {
+                self.evaluations += 1;
+                if value >= self.f {
+                    self.converged = true; // cannot make progress
+                    self.phase = Phase::Done;
+                    return;
+                }
+                self.x.copy_from_slice(&self.point);
+                self.g.copy_from_slice(gradient);
+                self.f = value;
+                self.begin_iteration();
+            }
+        }
+    }
+
+    /// Returns the optimisation result once [`LbfgsDriver::is_done`].
+    pub fn result(&self) -> Option<OptimizeResult> {
+        if !self.is_done() {
+            return None;
+        }
+        Some(OptimizeResult {
+            gradient_norm: norm(&self.g),
+            x: self.x.clone(),
+            value: self.f,
+            iterations: self.iterations,
+            evaluations: self.evaluations,
+            converged: self.converged,
+        })
+    }
+
+    /// Top of the outer iteration: convergence checks, two-loop recursion,
+    /// and kick-off of the line search (mirrors the head of
+    /// `Lbfgs::minimize_with`'s loop body).
+    fn begin_iteration(&mut self) {
+        if self.iter == self.params.max_iterations {
+            self.phase = Phase::Done;
+            return;
+        }
+        self.iter += 1;
+        self.iterations = self.iter;
+        if norm(&self.g) < self.params.gradient_tolerance {
+            self.converged = true;
+            self.phase = Phase::Done;
+            return;
+        }
+
+        // Two-loop recursion for the search direction d = -H·g.
+        let memory = self.memory;
+        self.q.copy_from_slice(&self.g);
+        for k in (0..self.hist_len).rev() {
+            let idx = (self.hist_head + k) % memory;
+            let rho = self.rho_hist[idx];
+            let alpha = rho * dot(&self.s_hist[idx], &self.q);
+            for (qi, yi) in self.q.iter_mut().zip(self.y_hist[idx].iter()) {
+                *qi -= alpha * yi;
+            }
+            self.alphas[k] = alpha;
+        }
+        let gamma = if self.hist_len > 0 {
+            let idx = (self.hist_head + self.hist_len - 1) % memory;
+            let yy = dot(&self.y_hist[idx], &self.y_hist[idx]);
+            if yy > 1e-16 {
+                dot(&self.s_hist[idx], &self.y_hist[idx]) / yy
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        };
+        for qi in self.q.iter_mut() {
+            *qi *= gamma;
+        }
+        for k in 0..self.hist_len {
+            let idx = (self.hist_head + k) % memory;
+            let rho = self.rho_hist[idx];
+            let beta = rho * dot(&self.y_hist[idx], &self.q);
+            let alpha = self.alphas[k];
+            for (qi, si) in self.q.iter_mut().zip(self.s_hist[idx].iter()) {
+                *qi += (alpha - beta) * si;
+            }
+        }
+        for (di, qi) in self.direction.iter_mut().zip(self.q.iter()) {
+            *di = -qi;
+        }
+
+        let initial_step = if self.hist_len == 0 {
+            (1.0 / norm(&self.direction).max(1e-12)).min(1.0)
+        } else {
+            1.0
+        };
+        let d_phi0 = dot(&self.g, &self.direction);
+        if d_phi0 >= 0.0 {
+            // Not a descent direction: the line search would refuse it.
+            self.enter_fallback();
+            return;
+        }
+        let alpha = initial_step.max(1e-12);
+        let st = LineState {
+            f0: self.f,
+            d_phi0,
+            alpha,
+            evals: 0,
+            stage: LineStage::Bracket {
+                i: 0,
+                alpha_prev: 0.0,
+                f_prev: self.f,
+            },
+        };
+        self.request_line_point(st);
+    }
+
+    /// Forms `point = x + α·d` and parks in the line phase.
+    fn request_line_point(&mut self, st: LineState) {
+        for ((p, xi), di) in self
+            .point
+            .iter_mut()
+            .zip(self.x.iter())
+            .zip(self.direction.iter())
+        {
+            *p = xi + st.alpha * di;
+        }
+        self.phase = Phase::Line(st);
+    }
+
+    /// One bracketing step, fed with the evaluation at `st.alpha`.
+    fn step_bracket(
+        &mut self,
+        mut st: LineState,
+        f_alpha: f64,
+        slope_alpha: f64,
+        i: usize,
+        alpha_prev: f64,
+        f_prev: f64,
+    ) {
+        let alpha = st.alpha;
+        if f_alpha > st.f0 + C1 * alpha * st.d_phi0 || (i > 0 && f_alpha >= f_prev) {
+            self.enter_zoom(st, alpha_prev, f_prev, alpha);
+            return;
+        }
+        if slope_alpha.abs() <= -C2 * st.d_phi0 {
+            self.accept_step(alpha, f_alpha, st.evals);
+            return;
+        }
+        if slope_alpha >= 0.0 {
+            self.enter_zoom(st, alpha, f_alpha, alpha_prev);
+            return;
+        }
+        if i + 1 == MAX_BRACKET {
+            // Bracket budget exhausted without an interval: search fails.
+            self.enter_fallback();
+            return;
+        }
+        st.stage = LineStage::Bracket {
+            i: i + 1,
+            alpha_prev: alpha,
+            f_prev: f_alpha,
+        };
+        st.alpha = alpha * 2.0;
+        self.request_line_point(st);
+    }
+
+    /// Starts (or refuses to start) the zoom phase on `(lo, hi)`.
+    fn enter_zoom(&mut self, mut st: LineState, lo: f64, f_lo: f64, hi: f64) {
+        if st.evals >= MAX_EVALS {
+            self.enter_fallback();
+            return;
+        }
+        st.stage = LineStage::Zoom { lo, f_lo, hi };
+        st.alpha = 0.5 * (lo + hi);
+        self.request_line_point(st);
+    }
+
+    /// One zoom step, fed with the evaluation at the midpoint `st.alpha`.
+    fn step_zoom(
+        &mut self,
+        mut st: LineState,
+        f_mid: f64,
+        slope_mid: f64,
+        mut lo: f64,
+        mut f_lo: f64,
+        mut hi: f64,
+    ) {
+        let mid = st.alpha;
+        if f_mid > st.f0 + C1 * mid * st.d_phi0 || f_mid >= f_lo {
+            hi = mid;
+        } else {
+            if slope_mid.abs() <= -C2 * st.d_phi0 {
+                self.accept_step(mid, f_mid, st.evals);
+                return;
+            }
+            if slope_mid * (hi - lo) >= 0.0 {
+                hi = lo;
+            }
+            lo = mid;
+            f_lo = f_mid;
+        }
+        if (hi - lo).abs() < 1e-14 {
+            // Interval collapsed; accept the best point found so far (its
+            // gradient is already in `new_g`).
+            self.accept_step(mid, f_mid, st.evals);
+            return;
+        }
+        if st.evals >= MAX_EVALS {
+            self.enter_fallback();
+            return;
+        }
+        st.stage = LineStage::Zoom { lo, f_lo, hi };
+        st.alpha = 0.5 * (lo + hi);
+        self.request_line_point(st);
+    }
+
+    /// Line search succeeded: curvature-pair update and convergence check
+    /// (the tail of `minimize_with`'s loop body).
+    fn accept_step(&mut self, step: f64, new_f: f64, search_evals: usize) {
+        self.evaluations += search_evals;
+        for ((nx, xi), di) in self
+            .new_x
+            .iter_mut()
+            .zip(self.x.iter())
+            .zip(self.direction.iter())
+        {
+            *nx = xi + step * di;
+        }
+        let mut sy = 0.0;
+        for i in 0..self.n {
+            sy += (self.new_x[i] - self.x[i]) * (self.new_g[i] - self.g[i]);
+        }
+        if sy > 1e-12 {
+            let memory = self.memory;
+            let slot = if self.hist_len == memory {
+                let oldest = self.hist_head;
+                self.hist_head = (self.hist_head + 1) % memory;
+                oldest
+            } else {
+                (self.hist_head + self.hist_len) % memory
+            };
+            let s_buf = &mut self.s_hist[slot];
+            let y_buf = &mut self.y_hist[slot];
+            for i in 0..self.n {
+                s_buf[i] = self.new_x[i] - self.x[i];
+                y_buf[i] = self.new_g[i] - self.g[i];
+            }
+            self.rho_hist[slot] = 1.0 / sy;
+            if self.hist_len < memory {
+                self.hist_len += 1;
+            }
+        }
+
+        let value_change = (self.f - new_f).abs();
+        std::mem::swap(&mut self.x, &mut self.new_x);
+        std::mem::swap(&mut self.g, &mut self.new_g);
+        self.f = new_f;
+        if value_change < self.params.value_tolerance * (1.0 + self.f.abs()) {
+            self.converged = true;
+            self.phase = Phase::Done;
+            return;
+        }
+        self.begin_iteration();
+    }
+
+    /// Line search failed: request the conservative gradient step
+    /// `x − (1e-4 / max(‖g‖, 1))·g` (the evaluations the failed search
+    /// consumed are dropped, mirroring `minimize_with`).
+    fn enter_fallback(&mut self) {
+        let step = 1e-4 / norm(&self.g).max(1.0);
+        for ((p, xi), gi) in self.point.iter_mut().zip(self.x.iter()).zip(self.g.iter()) {
+            *p = xi - step * gi;
+        }
+        self.phase = Phase::Fallback;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{FnObjective, Objective, Optimizer};
+
+    /// Steps a driver to completion using direct objective evaluation.
+    fn run_driver(params: Lbfgs, objective: &dyn Objective, x0: &[f64]) -> OptimizeResult {
+        let mut driver = LbfgsDriver::new(params, x0);
+        let mut gradient = vec![0.0; x0.len()];
+        let mut rounds = 0usize;
+        while let Some(point) = driver.pending() {
+            let point = point.to_vec();
+            let value = objective.value_and_gradient_into(&point, &mut gradient);
+            driver.supply(value, &gradient);
+            rounds += 1;
+            assert!(rounds < 100_000, "driver failed to terminate");
+        }
+        driver.result().unwrap()
+    }
+
+    fn assert_bitwise_eq(a: &OptimizeResult, b: &OptimizeResult) {
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.converged, b.converged);
+        assert_eq!(a.value.to_bits(), b.value.to_bits(), "value differs");
+        assert_eq!(
+            a.gradient_norm.to_bits(),
+            b.gradient_norm.to_bits(),
+            "gradient norm differs"
+        );
+        for (i, (xa, xb)) in a.x.iter().zip(b.x.iter()).enumerate() {
+            assert_eq!(xa.to_bits(), xb.to_bits(), "x[{i}] differs");
+        }
+    }
+
+    fn rosenbrock() -> impl Objective {
+        FnObjective::new(
+            2,
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            |x: &[f64]| {
+                vec![
+                    -2.0 * (1.0 - x[0]) - 400.0 * x[0] * (x[1] - x[0] * x[0]),
+                    200.0 * (x[1] - x[0] * x[0]),
+                ]
+            },
+        )
+    }
+
+    #[test]
+    fn driver_matches_minimize_bitwise() {
+        let obj = rosenbrock();
+        for x0 in [[-1.2, 1.0], [3.0, -5.0], [0.0, 0.0]] {
+            let params = Lbfgs::default();
+            let direct = params.minimize(&obj, &x0);
+            let driven = run_driver(params, &obj, &x0);
+            assert_bitwise_eq(&driven, &direct);
+        }
+    }
+
+    #[test]
+    fn driver_matches_on_trigonometric_objective() {
+        // Similar structure to EnQode's fidelity loss.
+        let obj = FnObjective::new(
+            3,
+            |x: &[f64]| 3.0 - x.iter().map(|v| v.cos()).sum::<f64>(),
+            |x: &[f64]| x.iter().map(|v| v.sin()).collect(),
+        );
+        let params = Lbfgs::default();
+        let direct = params.minimize(&obj, &[0.5, -0.4, 0.3]);
+        let driven = run_driver(params, &obj, &[0.5, -0.4, 0.3]);
+        assert_bitwise_eq(&driven, &direct);
+    }
+
+    #[test]
+    fn driver_matches_under_tight_budgets() {
+        let obj = rosenbrock();
+        for max_iterations in [0usize, 1, 2, 5] {
+            let params = Lbfgs {
+                max_iterations,
+                gradient_tolerance: 1e-20,
+                value_tolerance: 0.0,
+                memory: 3,
+            };
+            let direct = params.clone().minimize(&obj, &[-1.2, 1.0]);
+            let driven = run_driver(params, &obj, &[-1.2, 1.0]);
+            assert_bitwise_eq(&driven, &direct);
+        }
+    }
+
+    #[test]
+    fn driver_converges_immediately_at_minimum() {
+        let obj = FnObjective::new(
+            2,
+            |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>(),
+            |x: &[f64]| x.iter().map(|v| 2.0 * v).collect(),
+        );
+        let params = Lbfgs::default();
+        let direct = params.minimize(&obj, &[0.0, 0.0]);
+        let driven = run_driver(params, &obj, &[0.0, 0.0]);
+        assert_bitwise_eq(&driven, &direct);
+        assert_eq!(driven.iterations, 1);
+    }
+}

@@ -27,12 +27,14 @@
 
 #![warn(missing_docs)]
 
+mod driver;
 mod first_order;
 mod lbfgs;
 mod line_search;
 mod nelder_mead;
 mod objective;
 
+pub use driver::LbfgsDriver;
 pub use first_order::{Adam, GradientDescent};
 pub use lbfgs::{Lbfgs, LbfgsWorkspace};
 pub use nelder_mead::NelderMead;

@@ -57,15 +57,13 @@ impl Default for CacheConfig {
 ///
 /// With `quantum <= 0` the exact f64 bit patterns are used, so only
 /// bit-identical vectors collide.
+///
+/// Callers must reject non-finite values first (the service does, with
+/// [`crate::ServeError::NonFiniteFeature`]): grid rounding maps NaN onto
+/// cell `0` and `±∞` onto `i64::MIN`/`MAX`, aliasing poisoned vectors with
+/// legitimate near-zero or extreme ones.
 pub fn quantize_features(features: &[f64], quantum: f64) -> Vec<i64> {
-    if quantum <= 0.0 {
-        features.iter().map(|f| f.to_bits() as i64).collect()
-    } else {
-        features
-            .iter()
-            .map(|f| (f / quantum).round() as i64)
-            .collect()
-    }
+    enq_simd::quantize_cells(features, quantum)
 }
 
 /// A cache key: model id, registration generation, and quantized feature
@@ -479,6 +477,65 @@ mod tests {
         let exact_a = quantize_features(&[0.1], 0.0);
         let exact_b = quantize_features(&[0.1 + 1e-16], 0.0);
         assert_ne!(exact_a, exact_b);
+    }
+
+    #[test]
+    fn non_finite_values_alias_legitimate_cells() {
+        // This is the hazard that forces the service to reject non-finite
+        // features before touching any cache tier: in quantized mode a NaN
+        // rounds onto the same cell as 0.0 and ±∞ saturate onto the same
+        // cells as the largest finite values.
+        assert_eq!(
+            quantize_features(&[f64::NAN], 1e-6),
+            quantize_features(&[0.0], 1e-6)
+        );
+        assert_eq!(
+            quantize_features(&[f64::INFINITY], 1e-6),
+            quantize_features(&[f64::MAX], 1e-6)
+        );
+        assert_eq!(
+            quantize_features(&[f64::NEG_INFINITY], 1e-6),
+            quantize_features(&[f64::MIN], 1e-6)
+        );
+    }
+
+    #[test]
+    fn negative_zero_follows_mode_semantics() {
+        // -0.0 is finite and accepted. Quantized mode folds it into the
+        // +0.0 cell (they are the same point on the grid); exact mode keys
+        // on bit patterns, so the two zeros stay distinct.
+        assert_eq!(
+            quantize_features(&[-0.0], 1e-6),
+            quantize_features(&[0.0], 1e-6)
+        );
+        assert_ne!(
+            quantize_features(&[-0.0], 0.0),
+            quantize_features(&[0.0], 0.0)
+        );
+
+        let quantized = SolutionCache::new(CacheConfig {
+            capacity: 4,
+            quantum: 1e-6,
+            shards: 1,
+        });
+        let id: Arc<str> = Arc::from("m");
+        quantized.insert_key(quantized.key_for(&id, 1, &[0.0]), dummy_solution(1));
+        assert!(
+            quantized.lookup("m", 1, &[-0.0]).is_some(),
+            "same grid cell"
+        );
+
+        let exact = SolutionCache::new(CacheConfig {
+            capacity: 4,
+            quantum: 0.0,
+            shards: 1,
+        });
+        exact.insert_key(exact.key_for(&id, 1, &[0.0]), dummy_solution(1));
+        assert!(
+            exact.lookup("m", 1, &[-0.0]).is_none(),
+            "distinct bit patterns"
+        );
+        assert!(exact.lookup("m", 1, &[0.0]).is_some());
     }
 
     #[test]

@@ -14,6 +14,21 @@ pub enum ServeError {
     /// The underlying embedding failed (dimension mismatch, zero vector,
     /// untrained pipeline, …).
     Embed(EnqodeError),
+    /// The request carried a non-finite (NaN or infinite) feature value.
+    ///
+    /// Non-finite values are rejected *before* any cache tier is consulted:
+    /// quantization maps them onto legitimate grid cells (NaN rounds to
+    /// cell `0`, `±∞` saturate to `i64::MIN`/`MAX`), so letting them
+    /// through would alias poisoned requests with real near-zero or extreme
+    /// feature vectors — a cached wrong answer, not just a failed request.
+    NonFiniteFeature {
+        /// Index of the first offending value in the rejected vector (the
+        /// raw sample, or the post-PCA feature vector when extraction
+        /// produced the non-finite value).
+        index: usize,
+        /// The offending value (NaN, `+∞`, or `-∞`).
+        value: f64,
+    },
     /// The service is shutting down and no longer accepts requests, or shut
     /// down while this request was queued.
     ShuttingDown,
@@ -53,6 +68,13 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::ModelNotFound(id) => write!(f, "no model registered under id {id:?}"),
             ServeError::Embed(e) => write!(f, "embedding failed: {e}"),
+            ServeError::NonFiniteFeature { index, value } => {
+                write!(
+                    f,
+                    "non-finite feature value {value} at index {index}: \
+                     NaN/infinite features cannot be quantized into a cache key"
+                )
+            }
             ServeError::ShuttingDown => write!(f, "the embedding service is shutting down"),
             ServeError::DeadlineExceeded { waited } => {
                 write!(

@@ -24,7 +24,7 @@ use crate::rebuild::{RebuildController, RebuildSpec, RebuildTicket};
 use crate::registry::{ModelRegistry, DEFAULT_REGISTRY_SHARDS};
 use crate::solution::Solution;
 use crate::traffic::{TrafficAccumulator, TrafficConfig};
-use enqode::{EnqodeConfig, EnqodeError, EnqodePipeline, StreamingFitConfig};
+use enqode::{Embedding, EnqodeConfig, EnqodeError, EnqodePipeline, StreamingFitConfig};
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -339,8 +339,9 @@ impl EmbedService {
     /// # Errors
     ///
     /// [`ServeError::ModelNotFound`] for unknown ids, [`ServeError::Embed`]
-    /// for embedding failures, [`ServeError::ShuttingDown`] once the service
-    /// is being dropped.
+    /// for embedding failures, [`ServeError::NonFiniteFeature`] for NaN or
+    /// infinite feature values (rejected before any cache tier is touched),
+    /// [`ServeError::ShuttingDown`] once the service is being dropped.
     pub fn embed(&self, model_id: &str, raw_sample: &[f64]) -> Result<EmbedResponse, ServeError> {
         self.embed_with_deadline(model_id, raw_sample, None)
     }
@@ -428,7 +429,7 @@ impl EmbedService {
             }
             Err(e) => {
                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                Err(ServeError::Embed(e))
+                Err(e)
             }
         }
     }
@@ -528,9 +529,25 @@ impl Drop for EmbedService {
     }
 }
 
+/// Rejects the first non-finite value in `values` with a typed error.
+///
+/// This must run **before** any cache tier is consulted or filled: the
+/// quantized key maps NaN onto cell `0` and `±∞` onto saturated cells, so a
+/// non-finite vector would alias a legitimate key — a poisoned request could
+/// hit (or insert under) a real request's cache line.
+fn check_finite(values: &[f64]) -> Result<(), ServeError> {
+    match values.iter().position(|v| !v.is_finite()) {
+        Some(index) => Err(ServeError::NonFiniteFeature {
+            index,
+            value: values[index],
+        }),
+        None => Ok(()),
+    }
+}
+
 /// Serves one request synchronously: exact-match memo, then feature
 /// extraction + feature-keyed cache lookup, then fine-tune on miss, filling
-/// both tiers.
+/// both tiers. Non-finite inputs are rejected before either tier is touched.
 fn serve_one(
     model_id: &Arc<str>,
     generation: u64,
@@ -539,7 +556,8 @@ fn serve_one(
     cache: &SolutionCache,
     memo: &SolutionCache,
     traffic: &TrafficAccumulator,
-) -> Result<(Arc<Solution>, SolutionSource), EnqodeError> {
+) -> Result<(Arc<Solution>, SolutionSource), ServeError> {
+    check_finite(raw_sample)?;
     // Tier 1: a literal repeat of a served sample skips feature extraction
     // (the dominant classical cost of a hit) entirely.
     let memo_key = memo.is_enabled().then(|| {
@@ -553,6 +571,7 @@ fn serve_one(
     };
     // Tier 2: quantized feature key — near-duplicates share a solution.
     let features = pipeline.extract_features(raw_sample)?;
+    check_finite(&features)?;
     let mut missed_key = None;
     if cache.is_enabled() {
         let key = cache.key_for(model_id, generation, &features);
@@ -665,6 +684,13 @@ fn process_batch(
             );
             continue;
         };
+        // Non-finite samples are rejected before either cache tier: their
+        // quantized keys alias legitimate cells (NaN → cell 0, ±∞ →
+        // saturated), so they must never hit or insert.
+        if let Err(e) = check_finite(&request.raw_sample) {
+            reply_to(request, Err(e));
+            continue;
+        }
         // Tier 1: exact-match memo — a literal repeat skips feature
         // extraction entirely.
         let memo_key = if memo.is_enabled() {
@@ -684,6 +710,10 @@ fn process_batch(
                 continue;
             }
         };
+        if let Err(e) = check_finite(&features) {
+            reply_to(request, Err(e));
+            continue;
+        }
         // Tier 2: quantized feature cell.
         let key = if cache.is_enabled() {
             let key = cache.key_for(&request.model_id, generation, &features);
@@ -714,11 +744,50 @@ fn process_batch(
         followers.push(Vec::new());
     }
 
-    // Phase 2 (parallel): fine-tune every cold leader. Errors stay
+    // Phase 2 (parallel): fine-tune every cold leader. Jobs that share a
+    // pipeline ride one multi-lane batched transform
+    // ([`EnqodePipeline::embed_features_batch`]) so the Walsh-table sweeps
+    // are amortised across the micro-batch; each pipeline's jobs are split
+    // into per-thread chunks so the fan-out still uses every core. The
+    // batched lanes are bit-identical to per-request calls, and errors stay
     // per-request — one bad sample never cancels its batch mates.
-    let outcomes = enq_parallel::par_map_with_threads(threads, &cold, |_, job| {
-        job.pipeline.embed_features(&job.features)
-    });
+    let mut groups: Vec<(Arc<EnqodePipeline>, Vec<usize>)> = Vec::new();
+    for (idx, job) in cold.iter().enumerate() {
+        match groups
+            .iter_mut()
+            .find(|(p, _)| Arc::ptr_eq(p, &job.pipeline))
+        {
+            Some((_, indices)) => indices.push(idx),
+            None => groups.push((Arc::clone(&job.pipeline), vec![idx])),
+        }
+    }
+    let work: Vec<(Arc<EnqodePipeline>, Vec<usize>)> = groups
+        .into_iter()
+        .flat_map(|(pipeline, indices)| {
+            let chunk = indices.len().div_ceil(threads.get()).max(1);
+            indices
+                .chunks(chunk)
+                .map(|c| (Arc::clone(&pipeline), c.to_vec()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let chunk_outcomes =
+        enq_parallel::par_map_with_threads(threads, &work, |_, (pipeline, indices)| {
+            let features: Vec<Vec<f64>> =
+                indices.iter().map(|&i| cold[i].features.clone()).collect();
+            pipeline.embed_features_batch(&features)
+        });
+    let mut outcomes: Vec<Option<Result<(usize, Embedding), EnqodeError>>> =
+        (0..cold.len()).map(|_| None).collect();
+    for ((_, indices), results) in work.iter().zip(chunk_outcomes) {
+        for (&i, result) in indices.iter().zip(results) {
+            outcomes[i] = Some(result);
+        }
+    }
+    let outcomes: Vec<Result<(usize, Embedding), EnqodeError>> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every cold job receives exactly one outcome"))
+        .collect();
 
     // Phase 3: fill both cache tiers and reply to leaders and their
     // followers (every batch mate's raw key memoises the shared solution).
@@ -879,6 +948,56 @@ mod tests {
         ));
         assert!(service.embed("tiny", dataset.sample(2)).is_ok());
         assert_eq!(service.stats().errors, 3);
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_before_any_cache_tier() {
+        for quantum in [1e-6, 0.0] {
+            let (service, dataset) = service_with_model(ServeConfig {
+                flush_deadline: Duration::ZERO,
+                cache: CacheConfig {
+                    quantum,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let good = dataset.sample(0).to_vec();
+            for bad_value in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                let mut bad = good.clone();
+                bad[3] = bad_value;
+                for result in [
+                    service.embed("tiny", &bad),
+                    service.embed_direct("tiny", &bad),
+                ] {
+                    match result {
+                        Err(ServeError::NonFiniteFeature { index, value }) => {
+                            assert_eq!(index, 3);
+                            assert_eq!(value.to_bits(), bad_value.to_bits());
+                        }
+                        other => panic!("expected NonFiniteFeature, got {other:?}"),
+                    }
+                }
+            }
+            // Poisoned requests never touched either tier: no hit, no
+            // insert, in quantized or exact mode.
+            assert_eq!(service.memo_stats().insertions, 0);
+            assert_eq!(service.cache_stats().insertions, 0);
+            assert_eq!(service.memo_stats().hits, 0);
+            assert_eq!(service.cache_stats().hits, 0);
+            assert_eq!(service.stats().errors, 6);
+
+            // A NaN-bearing repeat of a *cached* sample must still be
+            // rejected — under the old quantized keys it could alias a
+            // legitimate cell and return someone else's solution.
+            service.embed("tiny", &good).unwrap();
+            let mut poisoned = good.clone();
+            poisoned[0] = f64::NAN;
+            assert!(matches!(
+                service.embed("tiny", &poisoned),
+                Err(ServeError::NonFiniteFeature { index: 0, .. })
+            ));
+            assert_eq!(service.cache_stats().hits, 0, "poison never hits");
+        }
     }
 
     #[test]

@@ -1,0 +1,2013 @@
+//! Runtime-dispatched compute backends for the EnQode hot loops.
+//!
+//! The symbolic kernel spends its time in three loop shapes: Walsh–Hadamard
+//! butterflies, a fused sin/cos row sweep, and dense dot products (PCA
+//! projection). This crate provides each of them behind a [`ComputeBackend`]
+//! dispatch — mirroring quant-iron's size-thresholded scalar / parallel /
+//! accelerated operator shape — so the same call site runs portable scalar
+//! code, AVX2+FMA lanes, or NEON lanes depending on what the host CPU
+//! supports at runtime (and so a GPU/OpenCL backend can slot in behind the
+//! same enum later).
+//!
+//! # Bit-identicality contract
+//!
+//! Every operator in this crate produces **bit-identical results on every
+//! backend**, by construction:
+//!
+//! * butterflies and the weighted-row arithmetic ([`weighted_rows`],
+//!   [`weighted_rows_planar`], [`scale_add`]) are element-wise adds,
+//!   subtracts and multiplies — IEEE-754 ops are correctly rounded, so lane
+//!   width cannot change a single bit;
+//! * reductions ([`dot`], [`dot_centered`], the sums of [`weighted_rows`]
+//!   and [`sum_lanes`]) fix one canonical lane-structured summation order
+//!   (four interleaved accumulators, combined pairwise, then a sequential
+//!   tail) that the scalar path implements explicitly and the SIMD paths
+//!   implement natively;
+//! * [`sin_cos_slice`] uses one polynomial kernel (Cody–Waite π/2 range
+//!   reduction + fdlibm min-max polynomials) whose every operation is either
+//!   a correctly-rounded primitive or a fused multiply-add, and `fma` is
+//!   fused on **all** paths (`f64::mul_add` on scalar, `vfmadd` on AVX2), so
+//!   the scalar fallback reproduces the SIMD lanes exactly.
+//!
+//! The upshot: forcing a backend (see below) changes wall-clock time, never
+//! results, and golden-pinned tests hold across machines.
+//!
+//! # Dispatch rules
+//!
+//! [`active`] resolves the backend once per call site:
+//!
+//! 1. a test override installed via [`force_backend`] wins;
+//! 2. otherwise the `ENQ_COMPUTE_BACKEND` environment variable (`scalar`,
+//!    `simd`, or `auto`; read once per process) decides;
+//! 3. otherwise the best instruction set the CPU reports is used
+//!    (AVX2+FMA on x86-64, NEON on aarch64, scalar elsewhere).
+//!
+//! Inputs shorter than a small size threshold always take the scalar lane —
+//! dispatch and lane-setup overhead dominates below it, and bit-identicality
+//! makes the cutover invisible.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which instruction set the dispatched operators run on.
+///
+/// Obtain the active one with [`active`]; pin it for a test or a benchmark
+/// leg with [`force_backend`] or the `ENQ_COMPUTE_BACKEND` environment
+/// variable. All variants produce bit-identical results (see the
+/// [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComputeBackend {
+    /// Portable scalar lanes. Still uses fused multiply-adds (hardware FMA
+    /// where the CPU has it, the correctly-rounded `fma` libm routine
+    /// elsewhere), so it is the reference semantics, not a degraded mode.
+    Scalar,
+    /// 256-bit AVX2 + FMA lanes (x86-64, runtime-detected).
+    Avx2,
+    /// 128-bit NEON lanes (aarch64; baseline on that architecture).
+    Neon,
+}
+
+impl ComputeBackend {
+    /// Short lower-case name (`"scalar"`, `"avx2"`, `"neon"`), used by bench
+    /// output and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ComputeBackend::Scalar => "scalar",
+            ComputeBackend::Avx2 => "avx2",
+            ComputeBackend::Neon => "neon",
+        }
+    }
+}
+
+const FORCE_UNSET: u8 = 0;
+const FORCE_SCALAR: u8 = 1;
+const FORCE_SIMD: u8 = 2;
+
+/// Test/bench override; `FORCE_UNSET` defers to the environment/detection.
+static FORCE: AtomicU8 = AtomicU8::new(FORCE_UNSET);
+
+/// Returns the best backend the host CPU supports, ignoring overrides.
+pub fn detect() -> ComputeBackend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return ComputeBackend::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return ComputeBackend::Neon;
+    }
+    #[allow(unreachable_code)]
+    ComputeBackend::Scalar
+}
+
+fn env_choice() -> Option<ComputeBackend> {
+    static CHOICE: OnceLock<Option<ComputeBackend>> = OnceLock::new();
+    *CHOICE.get_or_init(|| match std::env::var("ENQ_COMPUTE_BACKEND") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(ComputeBackend::Scalar),
+            "simd" => Some(detect()),
+            "auto" | "" => None,
+            other => panic!(
+                "ENQ_COMPUTE_BACKEND={other:?} is not recognised \
+                 (expected \"scalar\", \"simd\", or \"auto\")"
+            ),
+        },
+        Err(_) => None,
+    })
+}
+
+/// Returns the backend every dispatched operator will use right now:
+/// [`force_backend`] override, then `ENQ_COMPUTE_BACKEND`, then [`detect`].
+pub fn active() -> ComputeBackend {
+    match FORCE.load(Ordering::Relaxed) {
+        FORCE_SCALAR => ComputeBackend::Scalar,
+        FORCE_SIMD => detect(),
+        _ => env_choice().unwrap_or_else(detect),
+    }
+}
+
+/// Pins (or with `None` releases) the backend process-wide.
+///
+/// Intended for tests and benchmark legs that compare backends inside one
+/// process. Because all backends are bit-identical, a concurrent test
+/// observing the override still computes correct results — the knob only
+/// moves work between lanes. Forcing [`ComputeBackend::Avx2`]/
+/// [`ComputeBackend::Neon`] on a CPU without that instruction set silently
+/// degrades to the best available set (never to illegal instructions).
+pub fn force_backend(backend: Option<ComputeBackend>) {
+    let v = match backend {
+        None => FORCE_UNSET,
+        Some(ComputeBackend::Scalar) => FORCE_SCALAR,
+        Some(_) => FORCE_SIMD,
+    };
+    FORCE.store(v, Ordering::Relaxed);
+}
+
+/// Inputs shorter than this take the scalar lane on every operator: below
+/// it, dispatch + lane setup costs more than it saves (the quant-iron
+/// size-threshold rule). Bit-identicality makes the cutover unobservable.
+pub const SIMD_MIN_LEN: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Walsh–Hadamard transforms
+// ---------------------------------------------------------------------------
+
+/// In-place unnormalised Walsh–Hadamard transform:
+/// `out[r] = Σ_m in[m]·(−1)^{popcount(r & m)}`.
+///
+/// `data.len()` **must be a power of two** (`≥ 1`); the butterfly schedule
+/// silently reads out of step otherwise. Debug builds assert it.
+#[inline]
+pub fn walsh_hadamard(data: &mut [f64]) {
+    debug_assert!(
+        data.len().is_power_of_two(),
+        "walsh_hadamard needs a power-of-two length, got {}",
+        data.len()
+    );
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        ComputeBackend::Avx2 if data.len() >= SIMD_MIN_LEN => unsafe { avx2::wht(data) },
+        #[cfg(target_arch = "aarch64")]
+        ComputeBackend::Neon if data.len() >= SIMD_MIN_LEN => unsafe { neon::wht(data) },
+        _ => wht_scalar(data),
+    }
+}
+
+/// Batched in-place Walsh–Hadamard transform over `lanes` interleaved
+/// problems.
+///
+/// `data` stores element `r` of problem `b` at `data[r * lanes + b]`
+/// (`data.len() = dim * lanes`, `dim` a power of two). One butterfly-schedule
+/// traversal transforms all `lanes` problems — the loop structure is walked
+/// once instead of `lanes` times, and every butterfly touches `lanes`
+/// contiguous values, so even tiny `dim`s (where the single-problem
+/// transform's low stages cannot fill a vector) run full-width lanes.
+///
+/// Bit-identical to calling [`walsh_hadamard`] on each de-interleaved
+/// problem: butterflies are element-wise adds and subtracts.
+#[inline]
+pub fn walsh_hadamard_batch(data: &mut [f64], lanes: usize) {
+    debug_assert!(lanes > 0, "walsh_hadamard_batch needs at least one lane");
+    debug_assert!(
+        data.len().is_multiple_of(lanes) && (data.len() / lanes).is_power_of_two(),
+        "walsh_hadamard_batch needs lanes × power-of-two elements, got {} / {}",
+        data.len(),
+        lanes
+    );
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        ComputeBackend::Avx2 if data.len() >= SIMD_MIN_LEN => unsafe {
+            avx2::wht_batch(data, lanes)
+        },
+        #[cfg(target_arch = "aarch64")]
+        ComputeBackend::Neon if data.len() >= SIMD_MIN_LEN => unsafe {
+            neon::wht_batch(data, lanes)
+        },
+        _ => wht_batch_scalar(data, lanes),
+    }
+}
+
+fn wht_scalar(data: &mut [f64]) {
+    let n = data.len();
+    let mut h = 1;
+    while h < n {
+        let mut block = 0;
+        while block < n {
+            for i in block..block + h {
+                let a = data[i];
+                let b = data[i + h];
+                data[i] = a + b;
+                data[i + h] = a - b;
+            }
+            block += h * 2;
+        }
+        h *= 2;
+    }
+}
+
+fn wht_batch_scalar(data: &mut [f64], lanes: usize) {
+    let dim = data.len() / lanes;
+    let mut h = 1;
+    while h < dim {
+        let mut block = 0;
+        while block < dim {
+            for i in block..block + h {
+                let (pa, pb) = (i * lanes, (i + h) * lanes);
+                for b in 0..lanes {
+                    let a = data[pa + b];
+                    let c = data[pb + b];
+                    data[pa + b] = a + c;
+                    data[pb + b] = a - c;
+                }
+            }
+            block += h * 2;
+        }
+        h *= 2;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused sin/cos
+// ---------------------------------------------------------------------------
+
+/// Computes `sin(args[i])` and `cos(args[i])` for every element.
+///
+/// One polynomial kernel serves every backend (see the
+/// [module docs](self) for why that makes results bit-identical): the
+/// argument is reduced to `[−π/4, π/4]` with a three-term Cody–Waite π/2
+/// decomposition, the fdlibm min-max polynomials evaluate the kernel sin and
+/// cos, and the quadrant (taken from the low bits of the round-to-nearest
+/// multiple of π/2) selects/negates the outputs with pure bit operations.
+///
+/// Accuracy is ~1–2 ulp for finite arguments up to `|x| ≈ 2^30` — far beyond
+/// the phase magnitudes the symbolic kernel produces. Non-finite arguments
+/// yield unspecified (finite garbage) values, exactly like the surrounding
+/// kernels; callers validate inputs upstream.
+///
+/// # Panics
+///
+/// Panics if the three slices differ in length.
+#[inline]
+pub fn sin_cos_slice(args: &[f64], sin_out: &mut [f64], cos_out: &mut [f64]) {
+    assert_eq!(args.len(), sin_out.len(), "sin slice length mismatch");
+    assert_eq!(args.len(), cos_out.len(), "cos slice length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        ComputeBackend::Avx2 if args.len() >= 4 => unsafe { avx2::sin_cos(args, sin_out, cos_out) },
+        _ => sin_cos_scalar(args, sin_out, cos_out),
+    }
+}
+
+/// `2/π`, the range-reduction multiplier.
+const TWO_OVER_PI: f64 = std::f64::consts::FRAC_2_PI;
+/// `1.5 × 2^52`: adding it forces round-to-nearest-even integer extraction —
+/// the low mantissa bits of `x·2/π + MAGIC` hold the nearest integer mod
+/// 2^52 (valid for |n| < 2^51).
+const MAGIC: f64 = 6_755_399_441_055_744.0;
+/// Three-term Cody–Waite decomposition of π/2 (fdlibm's `pio2_1`, `pio2_2`,
+/// `pio2_2t`): each head term has trailing zero bits so `n × PIO2_k` is
+/// exact for the `n` range we reduce.
+#[allow(clippy::excessive_precision)] // fdlibm digits kept verbatim
+const PIO2_1: f64 = 1.570_796_326_734_125_61e0;
+const PIO2_2: f64 = 6.077_100_506_303_966e-11;
+const PIO2_3: f64 = 2.022_266_248_795_950_6e-21;
+/// fdlibm kernel-sin polynomial coefficients (odd powers over `[−π/4, π/4]`).
+#[allow(clippy::excessive_precision)] // fdlibm digits kept verbatim
+const S: [f64; 6] = [
+    -1.666_666_666_666_663_2e-1,
+    8.333_333_333_322_489e-3,
+    -1.984_126_982_985_795e-4,
+    2.755_731_370_707_007e-6,
+    -2.505_076_025_340_686_4e-8,
+    1.589_690_995_211_55e-10,
+];
+/// fdlibm kernel-cos polynomial coefficients (even powers ≥ 4).
+const C: [f64; 6] = [
+    4.166_666_666_666_66e-2,
+    -1.388_888_888_887_411e-3,
+    2.480_158_728_947_673e-5,
+    -2.755_731_435_139_066_4e-7,
+    2.087_572_321_298_175e-9,
+    -1.135_964_755_778_819_5e-11,
+];
+
+/// The scalar sin/cos kernel — the canonical semantics every SIMD lane
+/// mirrors operation for operation.
+#[inline(always)]
+fn sin_cos_one(x: f64) -> (f64, f64) {
+    // Nearest multiple of π/2 via the 1.5·2^52 trick: the fused product
+    // x·(2/π) + MAGIC rounds once, its low mantissa bits hold n mod 2^52,
+    // and subtracting MAGIC back is exact.
+    let nf = x.mul_add(TWO_OVER_PI, MAGIC);
+    let bits = nf.to_bits();
+    let n = nf - MAGIC;
+    // r = x − n·π/2, one Cody–Waite term at a time, each step fused.
+    let mut r = (-n).mul_add(PIO2_1, x);
+    r = (-n).mul_add(PIO2_2, r);
+    r = (-n).mul_add(PIO2_3, r);
+    let z = r * r;
+    // Kernel sin: r + z·r·P(z).
+    let mut ps = S[5];
+    ps = ps.mul_add(z, S[4]);
+    ps = ps.mul_add(z, S[3]);
+    ps = ps.mul_add(z, S[2]);
+    ps = ps.mul_add(z, S[1]);
+    ps = ps.mul_add(z, S[0]);
+    let s_r = (z * r).mul_add(ps, r);
+    // Kernel cos: 1 − z/2 + z²·Q(z).
+    let mut pc = C[5];
+    pc = pc.mul_add(z, C[4]);
+    pc = pc.mul_add(z, C[3]);
+    pc = pc.mul_add(z, C[2]);
+    pc = pc.mul_add(z, C[1]);
+    pc = pc.mul_add(z, C[0]);
+    let c_r = (z * z).mul_add(pc, (-0.5f64).mul_add(z, 1.0));
+    // Quadrant fixup from n mod 4: odd quadrants swap sin/cos, quadrants
+    // {2,3} negate sin, {1,2} negate cos — all as bit operations so the
+    // SIMD mask path is reproduced exactly.
+    let (s_sel, c_sel) = if bits & 1 == 1 {
+        (c_r, s_r)
+    } else {
+        (s_r, c_r)
+    };
+    let sin_sign = (bits & 2) << 62;
+    let cos_sign = (bits.wrapping_add(1) & 2) << 62;
+    (
+        f64::from_bits(s_sel.to_bits() ^ sin_sign),
+        f64::from_bits(c_sel.to_bits() ^ cos_sign),
+    )
+}
+
+#[inline(always)]
+fn sin_cos_scalar_body(args: &[f64], sin_out: &mut [f64], cos_out: &mut [f64]) {
+    for ((a, s), c) in args.iter().zip(sin_out.iter_mut()).zip(cos_out.iter_mut()) {
+        let (sv, cv) = sin_cos_one(*a);
+        *s = sv;
+        *c = cv;
+    }
+}
+
+/// Scalar dispatch: on x86-64 with FMA, run the same body compiled with the
+/// `fma` target feature so `mul_add` lowers to an inline `vfmadd` instead of
+/// a libm call — identical results, hardware speed.
+fn sin_cos_scalar(args: &[f64], sin_out: &mut [f64], cos_out: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("fma") {
+            // SAFETY: FMA support was just detected.
+            unsafe { x86_scalar_fma::sin_cos(args, sin_out, cos_out) }
+            return;
+        }
+    }
+    sin_cos_scalar_body(args, sin_out, cos_out);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86_scalar_fma {
+    /// # Safety
+    ///
+    /// The CPU must support FMA (caller runtime-detects).
+    #[target_feature(enable = "fma")]
+    pub unsafe fn sin_cos(args: &[f64], sin_out: &mut [f64], cos_out: &mut [f64]) {
+        super::sin_cos_scalar_body(args, sin_out, cos_out);
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support FMA (caller runtime-detects).
+    #[target_feature(enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn fused_weighted_rows(
+        phase: &[f64],
+        base: &[f64],
+        t_re: &[f64],
+        t_im: &[f64],
+        scale: f64,
+        lanes: usize,
+        w_re: &mut [f64],
+        w_im: &mut [f64],
+    ) {
+        super::fused_weighted_rows_body(phase, base, t_re, t_im, scale, lanes, w_re, w_im);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dot products (PCA projection)
+// ---------------------------------------------------------------------------
+
+/// Dot product `Σ a[i]·b[i]` in the canonical lane-structured order: four
+/// interleaved fused accumulators over the 4-aligned prefix, combined as
+/// `(acc0 + acc1) + (acc2 + acc3)`, then a sequential fused tail. Every
+/// backend implements exactly this order, so results are bit-identical
+/// across backends (though different from a naive sequential sum).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        ComputeBackend::Avx2 if a.len() >= SIMD_MIN_LEN => unsafe { avx2::dot(a, b) },
+        _ => dot_scalar(a, b),
+    }
+}
+
+/// Centered dot product `Σ axis[i]·(x[i] − mean[i])` — the PCA projection
+/// inner loop — in the same canonical lane order as [`dot`].
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot_centered(axis: &[f64], x: &[f64], mean: &[f64]) -> f64 {
+    assert_eq!(axis.len(), x.len(), "dot_centered length mismatch");
+    assert_eq!(axis.len(), mean.len(), "dot_centered mean length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        ComputeBackend::Avx2 if axis.len() >= SIMD_MIN_LEN => unsafe {
+            avx2::dot_centered(axis, x, mean)
+        },
+        _ => dot_centered_scalar(axis, x, mean),
+    }
+}
+
+#[inline(always)]
+fn dot_scalar_body(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let quads = a.len() / 4 * 4;
+    let mut i = 0;
+    while i < quads {
+        acc[0] = a[i].mul_add(b[i], acc[0]);
+        acc[1] = a[i + 1].mul_add(b[i + 1], acc[1]);
+        acc[2] = a[i + 2].mul_add(b[i + 2], acc[2]);
+        acc[3] = a[i + 3].mul_add(b[i + 3], acc[3]);
+        i += 4;
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    while i < a.len() {
+        sum = a[i].mul_add(b[i], sum);
+        i += 1;
+    }
+    sum
+}
+
+#[inline(always)]
+fn dot_centered_body(axis: &[f64], x: &[f64], mean: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let quads = axis.len() / 4 * 4;
+    let mut i = 0;
+    while i < quads {
+        acc[0] = axis[i].mul_add(x[i] - mean[i], acc[0]);
+        acc[1] = axis[i + 1].mul_add(x[i + 1] - mean[i + 1], acc[1]);
+        acc[2] = axis[i + 2].mul_add(x[i + 2] - mean[i + 2], acc[2]);
+        acc[3] = axis[i + 3].mul_add(x[i + 3] - mean[i + 3], acc[3]);
+        i += 4;
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    while i < axis.len() {
+        sum = axis[i].mul_add(x[i] - mean[i], sum);
+        i += 1;
+    }
+    sum
+}
+
+fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("fma") {
+            // SAFETY: FMA support was just detected.
+            return unsafe { x86_scalar_fma_dot::dot(a, b) };
+        }
+    }
+    dot_scalar_body(a, b)
+}
+
+fn dot_centered_scalar(axis: &[f64], x: &[f64], mean: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("fma") {
+            // SAFETY: FMA support was just detected.
+            return unsafe { x86_scalar_fma_dot::dot_centered(axis, x, mean) };
+        }
+    }
+    dot_centered_body(axis, x, mean)
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86_scalar_fma_dot {
+    /// # Safety
+    ///
+    /// The CPU must support FMA (caller runtime-detects).
+    #[target_feature(enable = "fma")]
+    pub unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+        super::dot_scalar_body(a, b)
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support FMA (caller runtime-detects).
+    #[target_feature(enable = "fma")]
+    pub unsafe fn dot_centered(axis: &[f64], x: &[f64], mean: &[f64]) -> f64 {
+        super::dot_centered_body(axis, x, mean)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Weighted rows (symbolic overlap kernel)
+// ---------------------------------------------------------------------------
+
+/// Scaled element-wise add `out[i] = k·a[i] + b[i]` with **plain**
+/// (non-fused) operations on every backend — the symbolic kernel's
+/// row-argument sweep `arg_r = φ_r/2 + base_r`. Plain multiplies and adds
+/// are correctly rounded element-wise, so every backend is bit-identical.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn scale_add(a: &[f64], k: f64, b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "scale_add length mismatch");
+    assert_eq!(a.len(), out.len(), "scale_add output length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        ComputeBackend::Avx2 if a.len() >= SIMD_MIN_LEN => unsafe { avx2::scale_add(a, k, b, out) },
+        _ => scale_add_body(a, k, b, out),
+    }
+}
+
+#[inline(always)]
+fn scale_add_body(a: &[f64], k: f64, b: &[f64], out: &mut [f64]) {
+    for ((o, x), y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = k * x + y;
+    }
+}
+
+/// The symbolic kernel's weighted-row sweep: with the conjugated target
+/// stored interleaved (`target[2r] = re_r`, `target[2r + 1] = im_r`) and the
+/// row phases' `sin`/`cos` precomputed, writes
+///
+/// ```text
+/// w_re[r] = scale · (re_r·cos_r − im_r·sin_r)
+/// w_im[r] = scale · (re_r·sin_r + im_r·cos_r)
+/// ```
+///
+/// and returns `(Σ w_re, Σ w_im)` in the canonical lane-structured order of
+/// [`dot`] (four accumulators over the 4-aligned row prefix, combined
+/// `(a₀+a₁)+(a₂+a₃)`, sequential tail). The products are plain element-wise
+/// mul/sub/add — never fused — and the scalar path implements the reduction
+/// order the SIMD lanes produce natively, so every backend is bit-identical.
+/// [`sum_lanes`] applies the same order per batch lane, which is what keeps
+/// batched lanes bit-identical to solo calls.
+///
+/// # Panics
+///
+/// Panics if `target.len() != 2·sin.len()` or any other slice length
+/// disagrees with `sin.len()`.
+pub fn weighted_rows(
+    target: &[f64],
+    sin: &[f64],
+    cos: &[f64],
+    scale: f64,
+    w_re: &mut [f64],
+    w_im: &mut [f64],
+) -> (f64, f64) {
+    let n = sin.len();
+    assert_eq!(target.len(), 2 * n, "weighted_rows target length mismatch");
+    assert_eq!(cos.len(), n, "weighted_rows cos length mismatch");
+    assert_eq!(w_re.len(), n, "weighted_rows w_re length mismatch");
+    assert_eq!(w_im.len(), n, "weighted_rows w_im length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        ComputeBackend::Avx2 if n >= SIMD_MIN_LEN => unsafe {
+            avx2::weighted_rows(target, sin, cos, scale, w_re, w_im)
+        },
+        _ => {
+            weighted_rows_scalar(target, sin, cos, scale, w_re, w_im);
+            sum_pair_body(w_re, w_im)
+        }
+    }
+}
+
+#[inline(always)]
+fn weighted_rows_scalar(
+    target: &[f64],
+    sin: &[f64],
+    cos: &[f64],
+    scale: f64,
+    w_re: &mut [f64],
+    w_im: &mut [f64],
+) {
+    for r in 0..sin.len() {
+        let (tr, ti) = (target[2 * r], target[2 * r + 1]);
+        let (s, c) = (sin[r], cos[r]);
+        w_re[r] = scale * (tr * c - ti * s);
+        w_im[r] = scale * (tr * s + ti * c);
+    }
+}
+
+/// Canonical lane-structured sums of two equal-length slices (the reduction
+/// leg of [`weighted_rows`]).
+#[inline(always)]
+fn sum_pair_body(w_re: &[f64], w_im: &[f64]) -> (f64, f64) {
+    let n = w_re.len();
+    let quads = n / 4 * 4;
+    let mut ar = [0.0f64; 4];
+    let mut ai = [0.0f64; 4];
+    let mut r = 0;
+    while r < quads {
+        ar[0] += w_re[r];
+        ar[1] += w_re[r + 1];
+        ar[2] += w_re[r + 2];
+        ar[3] += w_re[r + 3];
+        ai[0] += w_im[r];
+        ai[1] += w_im[r + 1];
+        ai[2] += w_im[r + 2];
+        ai[3] += w_im[r + 3];
+        r += 4;
+    }
+    let mut sum_re = (ar[0] + ar[1]) + (ar[2] + ar[3]);
+    let mut sum_im = (ai[0] + ai[1]) + (ai[2] + ai[3]);
+    while r < n {
+        sum_re += w_re[r];
+        sum_im += w_im[r];
+        r += 1;
+    }
+    (sum_re, sum_im)
+}
+
+/// Element-wise planar variant of [`weighted_rows`] for the batched kernel:
+/// all six buffers share the `dim × lanes` lane-interleaved layout, the
+/// products are the identical plain mul/sub/add sequence, and no sums are
+/// formed — the batch reduces per lane afterwards with [`sum_lanes`].
+/// Bit-identical across backends for the same reason as [`weighted_rows`].
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn weighted_rows_planar(
+    t_re: &[f64],
+    t_im: &[f64],
+    sin: &[f64],
+    cos: &[f64],
+    scale: f64,
+    w_re: &mut [f64],
+    w_im: &mut [f64],
+) {
+    let n = t_re.len();
+    assert_eq!(t_im.len(), n, "weighted_rows_planar t_im length mismatch");
+    assert_eq!(sin.len(), n, "weighted_rows_planar sin length mismatch");
+    assert_eq!(cos.len(), n, "weighted_rows_planar cos length mismatch");
+    assert_eq!(w_re.len(), n, "weighted_rows_planar w_re length mismatch");
+    assert_eq!(w_im.len(), n, "weighted_rows_planar w_im length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        ComputeBackend::Avx2 if n >= SIMD_MIN_LEN => unsafe {
+            avx2::weighted_rows_planar(t_re, t_im, sin, cos, scale, w_re, w_im)
+        },
+        _ => weighted_rows_planar_body(t_re, t_im, sin, cos, scale, w_re, w_im),
+    }
+}
+
+#[inline(always)]
+fn weighted_rows_planar_body(
+    t_re: &[f64],
+    t_im: &[f64],
+    sin: &[f64],
+    cos: &[f64],
+    scale: f64,
+    w_re: &mut [f64],
+    w_im: &mut [f64],
+) {
+    for i in 0..t_re.len() {
+        w_re[i] = scale * (t_re[i] * cos[i] - t_im[i] * sin[i]);
+        w_im[i] = scale * (t_re[i] * sin[i] + t_im[i] * cos[i]);
+    }
+}
+
+/// Fused batched row sweep over a `dim × lanes` lane-interleaved block: for
+/// every element, `arg = phase/2 + base[row]`, `(sin, cos) = sin_cos(arg)`,
+/// then the weighted-row products of [`weighted_rows_planar`] — with the
+/// arguments and sin/cos living entirely in registers — and finally the
+/// per-lane canonical sums of [`sum_lanes`], accumulated while the products
+/// are still hot. Only `w_re`/`w_im`/`sum_re`/`sum_im` are written, roughly
+/// halving the batch's streamed traffic versus running [`scale_add`],
+/// [`sin_cos_slice`], [`weighted_rows_planar`] and two [`sum_lanes`] passes
+/// separately.
+///
+/// Element-wise and sum-order identical to that composition — same plain
+/// argument arithmetic, same sin/cos polynomial kernel, same plain
+/// products, same canonical lane-structured reduction — hence bit-identical
+/// across backends and to the solo kernels.
+///
+/// # Panics
+///
+/// Panics if `phase.len() != base.len() · lanes` or any other slice length
+/// disagrees with the `dim × lanes` layout.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_weighted_rows(
+    phase: &[f64],
+    base: &[f64],
+    t_re: &[f64],
+    t_im: &[f64],
+    scale: f64,
+    lanes: usize,
+    w_re: &mut [f64],
+    w_im: &mut [f64],
+    sum_re: &mut [f64],
+    sum_im: &mut [f64],
+) {
+    let n = phase.len();
+    assert!(lanes > 0, "fused_weighted_rows needs at least one lane");
+    assert_eq!(
+        base.len() * lanes,
+        n,
+        "fused_weighted_rows base/lanes layout mismatch"
+    );
+    assert_eq!(t_re.len(), n, "fused_weighted_rows t_re length mismatch");
+    assert_eq!(t_im.len(), n, "fused_weighted_rows t_im length mismatch");
+    assert_eq!(w_re.len(), n, "fused_weighted_rows w_re length mismatch");
+    assert_eq!(w_im.len(), n, "fused_weighted_rows w_im length mismatch");
+    assert_eq!(sum_re.len(), lanes, "fused_weighted_rows sum_re mismatch");
+    assert_eq!(sum_im.len(), lanes, "fused_weighted_rows sum_im mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        ComputeBackend::Avx2 if lanes >= 4 && n >= SIMD_MIN_LEN => unsafe {
+            avx2::fused_weighted_rows(
+                phase, base, t_re, t_im, scale, lanes, w_re, w_im, sum_re, sum_im,
+            )
+        },
+        _ => {
+            fused_weighted_rows_scalar(phase, base, t_re, t_im, scale, lanes, w_re, w_im);
+            sum_lanes_body(w_re, lanes, sum_re, 0, lanes);
+            sum_lanes_body(w_im, lanes, sum_im, 0, lanes);
+        }
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn fused_weighted_rows_body(
+    phase: &[f64],
+    base: &[f64],
+    t_re: &[f64],
+    t_im: &[f64],
+    scale: f64,
+    lanes: usize,
+    w_re: &mut [f64],
+    w_im: &mut [f64],
+) {
+    for (r, &bp) in base.iter().enumerate() {
+        let row = r * lanes;
+        for i in row..row + lanes {
+            let (s, c) = sin_cos_one(0.5 * phase[i] + bp);
+            w_re[i] = scale * (t_re[i] * c - t_im[i] * s);
+            w_im[i] = scale * (t_re[i] * s + t_im[i] * c);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fused_weighted_rows_scalar(
+    phase: &[f64],
+    base: &[f64],
+    t_re: &[f64],
+    t_im: &[f64],
+    scale: f64,
+    lanes: usize,
+    w_re: &mut [f64],
+    w_im: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("fma") {
+            // SAFETY: FMA support was just detected.
+            unsafe {
+                x86_scalar_fma::fused_weighted_rows(
+                    phase, base, t_re, t_im, scale, lanes, w_re, w_im,
+                )
+            }
+            return;
+        }
+    }
+    fused_weighted_rows_body(phase, base, t_re, t_im, scale, lanes, w_re, w_im);
+}
+
+/// Per-lane canonical sums over a lane-interleaved batch buffer:
+/// `out[b] = Σ_r data[r·lanes + b]`, every lane reduced in exactly the
+/// canonical lane-structured **row** order of [`weighted_rows`] (four
+/// accumulators over the 4-aligned row prefix, combined `(a₀+a₁)+(a₂+a₃)`,
+/// sequential row tail). That makes a batch lane's sum bit-identical to the
+/// solo kernel's — on every backend.
+///
+/// # Panics
+///
+/// Panics if `data.len() != lanes · out.len()`.
+pub fn sum_lanes(data: &[f64], lanes: usize, out: &mut [f64]) {
+    assert!(lanes > 0, "sum_lanes needs at least one lane");
+    assert_eq!(
+        data.len(),
+        lanes * (data.len() / lanes.max(1)),
+        "sum_lanes layout mismatch"
+    );
+    assert_eq!(out.len(), lanes, "sum_lanes output length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        ComputeBackend::Avx2 if lanes >= 4 && data.len() >= SIMD_MIN_LEN => unsafe {
+            avx2::sum_lanes(data, lanes, out)
+        },
+        _ => sum_lanes_body(data, lanes, out, 0, lanes),
+    }
+}
+
+/// Scalar per-lane reduction for lanes `from..to` (the SIMD path reuses it
+/// for its lane tail).
+#[inline(always)]
+fn sum_lanes_body(data: &[f64], lanes: usize, out: &mut [f64], from: usize, to: usize) {
+    let dim = data.len() / lanes;
+    let quads = dim / 4 * 4;
+    for (b, o) in out.iter_mut().enumerate().take(to).skip(from) {
+        let mut acc = [0.0f64; 4];
+        let mut r = 0;
+        while r < quads {
+            acc[0] += data[r * lanes + b];
+            acc[1] += data[(r + 1) * lanes + b];
+            acc[2] += data[(r + 2) * lanes + b];
+            acc[3] += data[(r + 3) * lanes + b];
+            r += 4;
+        }
+        let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        while r < dim {
+            sum += data[r * lanes + b];
+            r += 1;
+        }
+        *o = sum;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache-key quantization
+// ---------------------------------------------------------------------------
+
+/// Quantizes a feature vector into grid-cell indices — the serve layer's
+/// cache-key body, routed through the backend layer so key hashing shares
+/// the operator table (and its tests) with the kernels.
+///
+/// Semantics are pinned, not vectorised: `round` here is IEEE
+/// round-half-away-from-zero and the `i64` conversion saturates, neither of
+/// which AVX2 expresses in a form worth the lane setup at cache-key widths
+/// (≤ a few hundred features) — so the dispatcher's size threshold always
+/// selects the scalar lane and every backend is trivially bit-identical.
+///
+/// **Non-finite inputs are the caller's bug**: NaN converts to 0 and ±∞
+/// saturate, silently colliding with legitimate cells. The serve layer
+/// rejects non-finite features with a typed error before any key is built.
+pub fn quantize_cells(features: &[f64], quantum: f64) -> Vec<i64> {
+    if quantum <= 0.0 {
+        features.iter().map(|f| f.to_bits() as i64).collect()
+    } else {
+        features
+            .iter()
+            .map(|f| (f / quantum).round() as i64)
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 backend
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2 + FMA lanes. Every function requires `avx2` and `fma` to be
+    //! runtime-detected by the caller; all arithmetic mirrors the scalar
+    //! bodies operation for operation (see the crate docs).
+
+    use super::{C, MAGIC, PIO2_1, PIO2_2, PIO2_3, S, TWO_OVER_PI};
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (caller runtime-detects).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn wht(data: &mut [f64]) {
+        let n = data.len();
+        let ptr = data.as_mut_ptr();
+        // Stages h=1 and h=2 fused in-register: each quad [x0,x1,x2,x3]
+        // becomes [x0+x1, x0−x1, x2+x3, x2−x3], then the h=2 butterfly on
+        // that. The blends select `swap − x` lanes so every subtraction has
+        // the scalar schedule's operand order (a − b), and additions only
+        // commute — both leave results bit-identical to the scalar stages.
+        // The dispatcher guarantees n ≥ 8, so n is a multiple of 4.
+        let mut i = 0;
+        while i < n {
+            let x = _mm256_loadu_pd(ptr.add(i));
+            let sw1 = _mm256_permute_pd::<0b0101>(x);
+            let y = _mm256_blend_pd::<0b1010>(_mm256_add_pd(x, sw1), _mm256_sub_pd(sw1, x));
+            let sw2 = _mm256_permute4x64_pd::<0x4E>(y);
+            let z = _mm256_blend_pd::<0b1100>(_mm256_add_pd(y, sw2), _mm256_sub_pd(sw2, y));
+            _mm256_storeu_pd(ptr.add(i), z);
+            i += 4;
+        }
+        let mut h = 4usize;
+        while h < n {
+            let mut block = 0;
+            while block < n {
+                let mut i = block;
+                while i < block + h {
+                    let pa = ptr.add(i);
+                    let pb = ptr.add(i + h);
+                    let a = _mm256_loadu_pd(pa);
+                    let b = _mm256_loadu_pd(pb);
+                    _mm256_storeu_pd(pa, _mm256_add_pd(a, b));
+                    _mm256_storeu_pd(pb, _mm256_sub_pd(a, b));
+                    i += 4;
+                }
+                block += h * 2;
+            }
+            h *= 2;
+        }
+    }
+
+    /// One batched butterfly: `count` contiguous (a+b, a−b) pairs.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; `pa + count` and `pb + count` must be in bounds.
+    #[target_feature(enable = "avx2")]
+    unsafe fn butterfly_rows(ptr: *mut f64, pa: usize, pb: usize, count: usize) {
+        let quads = count / 4 * 4;
+        let mut b = 0;
+        while b < quads {
+            let qa = ptr.add(pa + b);
+            let qb = ptr.add(pb + b);
+            let a = _mm256_loadu_pd(qa);
+            let c = _mm256_loadu_pd(qb);
+            _mm256_storeu_pd(qa, _mm256_add_pd(a, c));
+            _mm256_storeu_pd(qb, _mm256_sub_pd(a, c));
+            b += 4;
+        }
+        while b < count {
+            let a = *ptr.add(pa + b);
+            let c = *ptr.add(pb + b);
+            *ptr.add(pa + b) = a + c;
+            *ptr.add(pb + b) = a - c;
+            b += 1;
+        }
+    }
+
+    /// Runs the full butterfly schedule over one 8-lane column block. The
+    /// block's working set is one cache line per row (so every stage runs
+    /// out of L1), and stages are fused in triples: rows `i, i+h, …, i+7h`
+    /// are loaded once, the stage-`h`, stage-`2h`, and stage-`4h`
+    /// butterflies run in registers, and the rows are stored once — a third
+    /// of the unfused load/store traffic. Both the lane blocking and the
+    /// stage fusion only reorder independent element-wise butterflies, and
+    /// every butterfly keeps the scalar operand order
+    /// `(lower + upper, lower − upper)`, so results stay bit-identical to
+    /// the scalar schedule.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; columns `b0..b0 + 8` of every row must be in bounds.
+    #[target_feature(enable = "avx2")]
+    unsafe fn wht_batch_cols8(ptr: *mut f64, dim: usize, lanes: usize, b0: usize) {
+        let mut h = 1usize;
+        while h * 4 < dim {
+            let mut block = 0;
+            while block < dim {
+                for i in block..block + h {
+                    let rows: [*mut f64; 8] =
+                        std::array::from_fn(|k| ptr.add((i + k * h) * lanes + b0));
+                    for off in [0usize, 4] {
+                        let r: [__m256d; 8] =
+                            std::array::from_fn(|k| _mm256_loadu_pd(rows[k].add(off)));
+                        // Stage h: pairs at distance h.
+                        let s0 = _mm256_add_pd(r[0], r[1]);
+                        let s1 = _mm256_sub_pd(r[0], r[1]);
+                        let s2 = _mm256_add_pd(r[2], r[3]);
+                        let s3 = _mm256_sub_pd(r[2], r[3]);
+                        let s4 = _mm256_add_pd(r[4], r[5]);
+                        let s5 = _mm256_sub_pd(r[4], r[5]);
+                        let s6 = _mm256_add_pd(r[6], r[7]);
+                        let s7 = _mm256_sub_pd(r[6], r[7]);
+                        // Stage 2h: pairs at distance 2h.
+                        let t0 = _mm256_add_pd(s0, s2);
+                        let t2 = _mm256_sub_pd(s0, s2);
+                        let t1 = _mm256_add_pd(s1, s3);
+                        let t3 = _mm256_sub_pd(s1, s3);
+                        let t4 = _mm256_add_pd(s4, s6);
+                        let t6 = _mm256_sub_pd(s4, s6);
+                        let t5 = _mm256_add_pd(s5, s7);
+                        let t7 = _mm256_sub_pd(s5, s7);
+                        // Stage 4h: pairs at distance 4h.
+                        _mm256_storeu_pd(rows[0].add(off), _mm256_add_pd(t0, t4));
+                        _mm256_storeu_pd(rows[4].add(off), _mm256_sub_pd(t0, t4));
+                        _mm256_storeu_pd(rows[1].add(off), _mm256_add_pd(t1, t5));
+                        _mm256_storeu_pd(rows[5].add(off), _mm256_sub_pd(t1, t5));
+                        _mm256_storeu_pd(rows[2].add(off), _mm256_add_pd(t2, t6));
+                        _mm256_storeu_pd(rows[6].add(off), _mm256_sub_pd(t2, t6));
+                        _mm256_storeu_pd(rows[3].add(off), _mm256_add_pd(t3, t7));
+                        _mm256_storeu_pd(rows[7].add(off), _mm256_sub_pd(t3, t7));
+                    }
+                }
+                block += h * 8;
+            }
+            h *= 8;
+        }
+        if h * 2 < dim {
+            // Two stages left: one pair-fused pass.
+            let mut block = 0;
+            while block < dim {
+                for i in block..block + h {
+                    let q0 = ptr.add(i * lanes + b0);
+                    let q1 = ptr.add((i + h) * lanes + b0);
+                    let q2 = ptr.add((i + 2 * h) * lanes + b0);
+                    let q3 = ptr.add((i + 3 * h) * lanes + b0);
+                    for off in [0usize, 4] {
+                        let a = _mm256_loadu_pd(q0.add(off));
+                        let b = _mm256_loadu_pd(q1.add(off));
+                        let c = _mm256_loadu_pd(q2.add(off));
+                        let d = _mm256_loadu_pd(q3.add(off));
+                        let ab0 = _mm256_add_pd(a, b);
+                        let ab1 = _mm256_sub_pd(a, b);
+                        let cd0 = _mm256_add_pd(c, d);
+                        let cd1 = _mm256_sub_pd(c, d);
+                        _mm256_storeu_pd(q0.add(off), _mm256_add_pd(ab0, cd0));
+                        _mm256_storeu_pd(q1.add(off), _mm256_add_pd(ab1, cd1));
+                        _mm256_storeu_pd(q2.add(off), _mm256_sub_pd(ab0, cd0));
+                        _mm256_storeu_pd(q3.add(off), _mm256_sub_pd(ab1, cd1));
+                    }
+                }
+                block += h * 4;
+            }
+            h *= 4;
+        }
+        if h < dim {
+            // Odd stage count: one unfused pass at the final stride.
+            let mut block = 0;
+            while block < dim {
+                for i in block..block + h {
+                    let qa = ptr.add(i * lanes + b0);
+                    let qb = ptr.add((i + h) * lanes + b0);
+                    for off in [0usize, 4] {
+                        let a = _mm256_loadu_pd(qa.add(off));
+                        let c = _mm256_loadu_pd(qb.add(off));
+                        _mm256_storeu_pd(qa.add(off), _mm256_add_pd(a, c));
+                        _mm256_storeu_pd(qb.add(off), _mm256_sub_pd(a, c));
+                    }
+                }
+                block += h * 2;
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (caller runtime-detects).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn wht_batch(data: &mut [f64], lanes: usize) {
+        let dim = data.len() / lanes;
+        let ptr = data.as_mut_ptr();
+        // Lane-blocked: butterflies never mix columns, so running the whole
+        // stage schedule per 8-lane column block is a pure reordering of
+        // independent element-wise operations (bit-identical) that keeps the
+        // working set L1-resident instead of streaming the full buffer once
+        // per stage.
+        let mut b0 = 0;
+        while b0 + 8 <= lanes {
+            wht_batch_cols8(ptr, dim, lanes, b0);
+            b0 += 8;
+        }
+        if b0 < lanes {
+            let rem = lanes - b0;
+            let mut h = 1usize;
+            while h < dim {
+                let mut block = 0;
+                while block < dim {
+                    for i in block..block + h {
+                        butterfly_rows(ptr, i * lanes + b0, (i + h) * lanes + b0, rem);
+                    }
+                    block += h * 2;
+                }
+                h *= 2;
+            }
+        }
+    }
+
+    /// Four-lane clone of [`super::sin_cos_one`] — same constants, same
+    /// operation order, `vfmadd` for every `mul_add`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA (caller runtime-detects).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn sin_cos4(x: __m256d) -> (__m256d, __m256d) {
+        let magic = _mm256_set1_pd(MAGIC);
+        let nf = _mm256_fmadd_pd(x, _mm256_set1_pd(TWO_OVER_PI), magic);
+        let bits = _mm256_castpd_si256(nf);
+        let n = _mm256_sub_pd(nf, magic);
+        let mut r = _mm256_fnmadd_pd(n, _mm256_set1_pd(PIO2_1), x);
+        r = _mm256_fnmadd_pd(n, _mm256_set1_pd(PIO2_2), r);
+        r = _mm256_fnmadd_pd(n, _mm256_set1_pd(PIO2_3), r);
+        let z = _mm256_mul_pd(r, r);
+        let mut ps = _mm256_set1_pd(S[5]);
+        ps = _mm256_fmadd_pd(ps, z, _mm256_set1_pd(S[4]));
+        ps = _mm256_fmadd_pd(ps, z, _mm256_set1_pd(S[3]));
+        ps = _mm256_fmadd_pd(ps, z, _mm256_set1_pd(S[2]));
+        ps = _mm256_fmadd_pd(ps, z, _mm256_set1_pd(S[1]));
+        ps = _mm256_fmadd_pd(ps, z, _mm256_set1_pd(S[0]));
+        let s_r = _mm256_fmadd_pd(_mm256_mul_pd(z, r), ps, r);
+        let mut pc = _mm256_set1_pd(C[5]);
+        pc = _mm256_fmadd_pd(pc, z, _mm256_set1_pd(C[4]));
+        pc = _mm256_fmadd_pd(pc, z, _mm256_set1_pd(C[3]));
+        pc = _mm256_fmadd_pd(pc, z, _mm256_set1_pd(C[2]));
+        pc = _mm256_fmadd_pd(pc, z, _mm256_set1_pd(C[1]));
+        pc = _mm256_fmadd_pd(pc, z, _mm256_set1_pd(C[0]));
+        let half = _mm256_fnmadd_pd(_mm256_set1_pd(0.5), z, _mm256_set1_pd(1.0));
+        let c_r = _mm256_fmadd_pd(_mm256_mul_pd(z, z), pc, half);
+        // Quadrant fixup, mirroring the scalar bit operations.
+        let one = _mm256_set1_epi64x(1);
+        let two = _mm256_set1_epi64x(2);
+        let swap = _mm256_cmpeq_epi64(_mm256_and_si256(bits, one), one);
+        let swap_pd = _mm256_castsi256_pd(swap);
+        let s_sel = _mm256_blendv_pd(s_r, c_r, swap_pd);
+        let c_sel = _mm256_blendv_pd(c_r, s_r, swap_pd);
+        let sin_sign = _mm256_slli_epi64::<62>(_mm256_and_si256(bits, two));
+        let cos_sign = _mm256_slli_epi64::<62>(_mm256_and_si256(_mm256_add_epi64(bits, one), two));
+        (
+            _mm256_xor_pd(s_sel, _mm256_castsi256_pd(sin_sign)),
+            _mm256_xor_pd(c_sel, _mm256_castsi256_pd(cos_sign)),
+        )
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA (caller runtime-detects). Slice lengths must be
+    /// equal (the dispatcher asserts).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sin_cos(args: &[f64], sin_out: &mut [f64], cos_out: &mut [f64]) {
+        let quads = args.len() / 4 * 4;
+        let mut i = 0;
+        while i < quads {
+            let x = _mm256_loadu_pd(args.as_ptr().add(i));
+            let (s, c) = sin_cos4(x);
+            _mm256_storeu_pd(sin_out.as_mut_ptr().add(i), s);
+            _mm256_storeu_pd(cos_out.as_mut_ptr().add(i), c);
+            i += 4;
+        }
+        while i < args.len() {
+            let (s, c) = super::sin_cos_one(args[i]);
+            sin_out[i] = s;
+            cos_out[i] = c;
+            i += 1;
+        }
+    }
+
+    /// Combines a 4-lane accumulator in the canonical `(l0+l1)+(l2+l3)`
+    /// order.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn reduce_lanes(acc: __m256d) -> f64 {
+        let mut lanes = [0.0f64; 4];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA; slices of equal length (dispatcher asserts).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+        let quads = a.len() / 4 * 4;
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0;
+        while i < quads {
+            let va = _mm256_loadu_pd(a.as_ptr().add(i));
+            let vb = _mm256_loadu_pd(b.as_ptr().add(i));
+            acc = _mm256_fmadd_pd(va, vb, acc);
+            i += 4;
+        }
+        let mut sum = reduce_lanes(acc);
+        while i < a.len() {
+            sum = a[i].mul_add(b[i], sum);
+            i += 1;
+        }
+        sum
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2; slice lengths validated by the dispatcher.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_add(a: &[f64], k: f64, b: &[f64], out: &mut [f64]) {
+        let quads = a.len() / 4 * 4;
+        let vk = _mm256_set1_pd(k);
+        let mut i = 0;
+        while i < quads {
+            let va = _mm256_loadu_pd(a.as_ptr().add(i));
+            let vb = _mm256_loadu_pd(b.as_ptr().add(i));
+            // Plain multiply + add (no fusing), mirroring the scalar body.
+            _mm256_storeu_pd(
+                out.as_mut_ptr().add(i),
+                _mm256_add_pd(_mm256_mul_pd(vk, va), vb),
+            );
+            i += 4;
+        }
+        while i < a.len() {
+            out[i] = k * a[i] + b[i];
+            i += 1;
+        }
+    }
+
+    /// Weighted rows over an interleaved `(re, im)` target. Two quad loads
+    /// plus `unpacklo`/`unpackhi` de-interleave four rows into the lane
+    /// permutation `(0, 2, 1, 3)`; `permute4x64(0xD8)` (its own inverse)
+    /// brings the `sin`/`cos` loads into the same permutation and the
+    /// products back into row order, so the stores and the lane accumulators
+    /// see natural row order — lane `k` of the accumulator sums rows
+    /// `≡ k (mod 4)`, exactly the scalar canon.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; slice lengths validated by the dispatcher.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn weighted_rows(
+        target: &[f64],
+        sin: &[f64],
+        cos: &[f64],
+        scale: f64,
+        w_re: &mut [f64],
+        w_im: &mut [f64],
+    ) -> (f64, f64) {
+        let n = sin.len();
+        let quads = n / 4 * 4;
+        let vscale = _mm256_set1_pd(scale);
+        let mut acc_re = _mm256_setzero_pd();
+        let mut acc_im = _mm256_setzero_pd();
+        let mut r = 0;
+        while r < quads {
+            let lo = _mm256_loadu_pd(target.as_ptr().add(2 * r));
+            let hi = _mm256_loadu_pd(target.as_ptr().add(2 * r + 4));
+            let tr = _mm256_unpacklo_pd(lo, hi);
+            let ti = _mm256_unpackhi_pd(lo, hi);
+            let s = _mm256_permute4x64_pd::<0xD8>(_mm256_loadu_pd(sin.as_ptr().add(r)));
+            let c = _mm256_permute4x64_pd::<0xD8>(_mm256_loadu_pd(cos.as_ptr().add(r)));
+            let re = _mm256_mul_pd(
+                vscale,
+                _mm256_sub_pd(_mm256_mul_pd(tr, c), _mm256_mul_pd(ti, s)),
+            );
+            let im = _mm256_mul_pd(
+                vscale,
+                _mm256_add_pd(_mm256_mul_pd(tr, s), _mm256_mul_pd(ti, c)),
+            );
+            let re_rows = _mm256_permute4x64_pd::<0xD8>(re);
+            let im_rows = _mm256_permute4x64_pd::<0xD8>(im);
+            _mm256_storeu_pd(w_re.as_mut_ptr().add(r), re_rows);
+            _mm256_storeu_pd(w_im.as_mut_ptr().add(r), im_rows);
+            acc_re = _mm256_add_pd(acc_re, re_rows);
+            acc_im = _mm256_add_pd(acc_im, im_rows);
+            r += 4;
+        }
+        let mut sum_re = reduce_lanes(acc_re);
+        let mut sum_im = reduce_lanes(acc_im);
+        while r < n {
+            let (tr, ti) = (target[2 * r], target[2 * r + 1]);
+            let (s, c) = (sin[r], cos[r]);
+            let re = scale * (tr * c - ti * s);
+            let im = scale * (tr * s + ti * c);
+            w_re[r] = re;
+            w_im[r] = im;
+            sum_re += re;
+            sum_im += im;
+            r += 1;
+        }
+        (sum_re, sum_im)
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2; slice lengths validated by the dispatcher.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn weighted_rows_planar(
+        t_re: &[f64],
+        t_im: &[f64],
+        sin: &[f64],
+        cos: &[f64],
+        scale: f64,
+        w_re: &mut [f64],
+        w_im: &mut [f64],
+    ) {
+        let n = t_re.len();
+        let quads = n / 4 * 4;
+        let vscale = _mm256_set1_pd(scale);
+        let mut i = 0;
+        while i < quads {
+            let tr = _mm256_loadu_pd(t_re.as_ptr().add(i));
+            let ti = _mm256_loadu_pd(t_im.as_ptr().add(i));
+            let s = _mm256_loadu_pd(sin.as_ptr().add(i));
+            let c = _mm256_loadu_pd(cos.as_ptr().add(i));
+            let re = _mm256_mul_pd(
+                vscale,
+                _mm256_sub_pd(_mm256_mul_pd(tr, c), _mm256_mul_pd(ti, s)),
+            );
+            let im = _mm256_mul_pd(
+                vscale,
+                _mm256_add_pd(_mm256_mul_pd(tr, s), _mm256_mul_pd(ti, c)),
+            );
+            _mm256_storeu_pd(w_re.as_mut_ptr().add(i), re);
+            _mm256_storeu_pd(w_im.as_mut_ptr().add(i), im);
+            i += 4;
+        }
+        while i < n {
+            w_re[i] = scale * (t_re[i] * cos[i] - t_im[i] * sin[i]);
+            w_im[i] = scale * (t_re[i] * sin[i] + t_im[i] * cos[i]);
+            i += 1;
+        }
+    }
+
+    /// Fused batched row sweep — argument arithmetic, [`sin_cos4`] and the
+    /// weighted-row products per quad, nothing but `w` written back. The
+    /// per-row lane tail uses the scalar kernel compiled in this
+    /// FMA-enabled context, so its `mul_add`s fuse exactly like the scalar
+    /// backend's.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA; layout validated by the dispatcher.
+    /// Widest batch the in-pass sum accumulators cover; wider batches fall
+    /// back to a separate [`sum_lanes`] pass after the row sweep.
+    const FUSED_SUM_MAX_LANES: usize = 64;
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn fused_weighted_rows(
+        phase: &[f64],
+        base: &[f64],
+        t_re: &[f64],
+        t_im: &[f64],
+        scale: f64,
+        lanes: usize,
+        w_re: &mut [f64],
+        w_im: &mut [f64],
+        sum_re: &mut [f64],
+        sum_im: &mut [f64],
+    ) {
+        let dim = base.len();
+        let quads = lanes / 4 * 4;
+        let vhalf = _mm256_set1_pd(0.5);
+        let vscale = _mm256_set1_pd(scale);
+        // Canonical per-lane sums ride along in four row-class accumulators
+        // (`class = row mod 4`, each class summed in ascending row order) —
+        // exactly the canonical reduction `sum_lanes` performs — whenever
+        // the row count is 4-aligned so no sequential row tail is needed.
+        let fuse_sums = dim.is_multiple_of(4) && lanes <= FUSED_SUM_MAX_LANES;
+        let mut acc_re = [0.0f64; 4 * FUSED_SUM_MAX_LANES];
+        let mut acc_im = [0.0f64; 4 * FUSED_SUM_MAX_LANES];
+        for (r, &bp) in base.iter().enumerate() {
+            let row = r * lanes;
+            let class = (r & 3) * lanes;
+            let vb = _mm256_set1_pd(bp);
+            let mut b = 0;
+            while b < quads {
+                let i = row + b;
+                let p = _mm256_loadu_pd(phase.as_ptr().add(i));
+                // Plain multiply + add, matching the scalar argument path.
+                let arg = _mm256_add_pd(_mm256_mul_pd(vhalf, p), vb);
+                let (s, c) = sin_cos4(arg);
+                let tr = _mm256_loadu_pd(t_re.as_ptr().add(i));
+                let ti = _mm256_loadu_pd(t_im.as_ptr().add(i));
+                let re = _mm256_mul_pd(
+                    vscale,
+                    _mm256_sub_pd(_mm256_mul_pd(tr, c), _mm256_mul_pd(ti, s)),
+                );
+                let im = _mm256_mul_pd(
+                    vscale,
+                    _mm256_add_pd(_mm256_mul_pd(tr, s), _mm256_mul_pd(ti, c)),
+                );
+                _mm256_storeu_pd(w_re.as_mut_ptr().add(i), re);
+                _mm256_storeu_pd(w_im.as_mut_ptr().add(i), im);
+                if fuse_sums {
+                    let ar = acc_re.as_mut_ptr().add(class + b);
+                    let ai = acc_im.as_mut_ptr().add(class + b);
+                    _mm256_storeu_pd(ar, _mm256_add_pd(_mm256_loadu_pd(ar), re));
+                    _mm256_storeu_pd(ai, _mm256_add_pd(_mm256_loadu_pd(ai), im));
+                }
+                b += 4;
+            }
+            while b < lanes {
+                let i = row + b;
+                let (s, c) = super::sin_cos_one(0.5 * phase[i] + bp);
+                w_re[i] = scale * (t_re[i] * c - t_im[i] * s);
+                w_im[i] = scale * (t_re[i] * s + t_im[i] * c);
+                if fuse_sums {
+                    acc_re[class + b] += w_re[i];
+                    acc_im[class + b] += w_im[i];
+                }
+                b += 1;
+            }
+        }
+        if fuse_sums {
+            // Combine the classes in the canonical `(a₀+a₁)+(a₂+a₃)` order.
+            for b in 0..lanes {
+                sum_re[b] = (acc_re[b] + acc_re[lanes + b])
+                    + (acc_re[2 * lanes + b] + acc_re[3 * lanes + b]);
+                sum_im[b] = (acc_im[b] + acc_im[lanes + b])
+                    + (acc_im[2 * lanes + b] + acc_im[3 * lanes + b]);
+            }
+        } else {
+            sum_lanes(w_re, lanes, sum_re);
+            sum_lanes(w_im, lanes, sum_im);
+        }
+    }
+
+    /// Per-lane canonical sums, four lanes per vector: accumulator `k` holds
+    /// rows `≡ k (mod 4)` of four adjacent lanes, the pairwise combine
+    /// `(a₀+a₁)+(a₂+a₃)` happens per vector lane, and tail rows are added
+    /// sequentially — the scalar canon, replicated four lanes at a time.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; layout validated by the dispatcher.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sum_lanes(data: &[f64], lanes: usize, out: &mut [f64]) {
+        let dim = data.len() / lanes;
+        let row_quads = dim / 4 * 4;
+        let lane_quads = lanes / 4 * 4;
+        let mut b = 0;
+        while b < lane_quads {
+            let mut acc = [_mm256_setzero_pd(); 4];
+            let mut r = 0;
+            while r < row_quads {
+                for (k, a) in acc.iter_mut().enumerate() {
+                    *a = _mm256_add_pd(*a, _mm256_loadu_pd(data.as_ptr().add((r + k) * lanes + b)));
+                }
+                r += 4;
+            }
+            let mut sums =
+                _mm256_add_pd(_mm256_add_pd(acc[0], acc[1]), _mm256_add_pd(acc[2], acc[3]));
+            while r < dim {
+                sums = _mm256_add_pd(sums, _mm256_loadu_pd(data.as_ptr().add(r * lanes + b)));
+                r += 1;
+            }
+            _mm256_storeu_pd(out.as_mut_ptr().add(b), sums);
+            b += 4;
+        }
+        super::sum_lanes_body(data, lanes, out, b, lanes);
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA; slices of equal length (dispatcher asserts).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_centered(axis: &[f64], x: &[f64], mean: &[f64]) -> f64 {
+        let quads = axis.len() / 4 * 4;
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0;
+        while i < quads {
+            let va = _mm256_loadu_pd(axis.as_ptr().add(i));
+            let vx = _mm256_loadu_pd(x.as_ptr().add(i));
+            let vm = _mm256_loadu_pd(mean.as_ptr().add(i));
+            acc = _mm256_fmadd_pd(va, _mm256_sub_pd(vx, vm), acc);
+            i += 4;
+        }
+        let mut sum = reduce_lanes(acc);
+        while i < axis.len() {
+            sum = axis[i].mul_add(x[i] - mean[i], sum);
+            i += 1;
+        }
+        sum
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON backend
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    //! NEON (128-bit, two f64 lanes) butterflies. aarch64 `f64::mul_add`
+    //! already lowers to an inline `fmadd` (FP is baseline), so the sin/cos
+    //! and dot kernels reuse the scalar bodies; only the pure add/sub
+    //! butterflies — where two lanes still halve the instruction count —
+    //! get NEON paths. Element-wise adds are exact, so results are
+    //! bit-identical to the scalar schedule.
+
+    use std::arch::aarch64::*;
+
+    /// # Safety
+    ///
+    /// NEON is baseline on aarch64; pointer arithmetic stays in bounds by
+    /// the power-of-two length contract.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn wht(data: &mut [f64]) {
+        let n = data.len();
+        let ptr = data.as_mut_ptr();
+        let mut h = 1usize;
+        while h < n && h < 2 {
+            let mut block = 0;
+            while block < n {
+                for i in block..block + h {
+                    let a = data[i];
+                    let b = data[i + h];
+                    data[i] = a + b;
+                    data[i + h] = a - b;
+                }
+                block += h * 2;
+            }
+            h *= 2;
+        }
+        while h < n {
+            let mut block = 0;
+            while block < n {
+                let mut i = block;
+                while i < block + h {
+                    let pa = ptr.add(i);
+                    let pb = ptr.add(i + h);
+                    let a = vld1q_f64(pa);
+                    let b = vld1q_f64(pb);
+                    vst1q_f64(pa, vaddq_f64(a, b));
+                    vst1q_f64(pb, vsubq_f64(a, b));
+                    i += 2;
+                }
+                block += h * 2;
+            }
+            h *= 2;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// NEON is baseline on aarch64; the dispatcher validates the layout.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn wht_batch(data: &mut [f64], lanes: usize) {
+        let dim = data.len() / lanes;
+        let ptr = data.as_mut_ptr();
+        let mut h = 1usize;
+        while h < dim {
+            let mut block = 0;
+            while block < dim {
+                for i in block..block + h {
+                    let (pa, pb) = (i * lanes, (i + h) * lanes);
+                    let pairs = lanes / 2 * 2;
+                    let mut b = 0;
+                    while b < pairs {
+                        let qa = ptr.add(pa + b);
+                        let qb = ptr.add(pb + b);
+                        let a = vld1q_f64(qa);
+                        let c = vld1q_f64(qb);
+                        vst1q_f64(qa, vaddq_f64(a, c));
+                        vst1q_f64(qb, vsubq_f64(a, c));
+                        b += 2;
+                    }
+                    while b < lanes {
+                        let a = *ptr.add(pa + b);
+                        let c = *ptr.add(pb + b);
+                        *ptr.add(pa + b) = a + c;
+                        *ptr.add(pb + b) = a - c;
+                        b += 1;
+                    }
+                }
+                block += h * 2;
+            }
+            h *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn wht_direct(input: &[f64]) -> Vec<f64> {
+        (0..input.len())
+            .map(|r| {
+                input
+                    .iter()
+                    .enumerate()
+                    .map(|(m, v)| {
+                        if (r & m).count_ones() % 2 == 1 {
+                            -v
+                        } else {
+                            *v
+                        }
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wht_matches_direct_sum_on_both_backends() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in 0..8usize {
+            let input: Vec<f64> = (0..1 << bits).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let expect = wht_direct(&input);
+            for backend in [None, Some(ComputeBackend::Scalar), Some(detect())] {
+                force_backend(backend);
+                let mut data = input.clone();
+                walsh_hadamard(&mut data);
+                for (a, b) in data.iter().zip(expect.iter()) {
+                    assert!((a - b).abs() < 1e-9 * (1 << bits) as f64, "{a} vs {b}");
+                }
+            }
+            force_backend(None);
+        }
+    }
+
+    #[test]
+    fn wht_is_bit_identical_across_backends() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for bits in [0usize, 1, 2, 3, 5, 8, 10] {
+            let input: Vec<f64> = (0..1 << bits).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            force_backend(Some(ComputeBackend::Scalar));
+            let mut scalar = input.clone();
+            walsh_hadamard(&mut scalar);
+            force_backend(Some(detect()));
+            let mut simd = input.clone();
+            walsh_hadamard(&mut simd);
+            force_backend(None);
+            assert_eq!(scalar, simd, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn batched_wht_matches_per_lane_singles_bitwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (bits, lanes) in [(3usize, 1usize), (3, 2), (5, 7), (4, 16), (6, 3)] {
+            let dim = 1 << bits;
+            let singles: Vec<Vec<f64>> = (0..lanes)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect())
+                .collect();
+            let mut interleaved = vec![0.0; dim * lanes];
+            for (b, s) in singles.iter().enumerate() {
+                for (r, v) in s.iter().enumerate() {
+                    interleaved[r * lanes + b] = *v;
+                }
+            }
+            for backend in [Some(ComputeBackend::Scalar), Some(detect())] {
+                force_backend(backend);
+                let mut batch = interleaved.clone();
+                walsh_hadamard_batch(&mut batch, lanes);
+                for (b, s) in singles.iter().enumerate() {
+                    let mut single = s.clone();
+                    walsh_hadamard(&mut single);
+                    for (r, v) in single.iter().enumerate() {
+                        assert_eq!(
+                            batch[r * lanes + b].to_bits(),
+                            v.to_bits(),
+                            "lane {b} row {r} (bits={bits}, lanes={lanes})"
+                        );
+                    }
+                }
+            }
+            force_backend(None);
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn wht_rejects_non_power_of_two_lengths_in_debug() {
+        let mut data = vec![0.0; 6];
+        walsh_hadamard(&mut data);
+    }
+
+    #[test]
+    fn sin_cos_is_accurate_and_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut args: Vec<f64> = (0..4099).map(|_| rng.gen_range(-400.0..400.0)).collect();
+        // Near-axis and tiny arguments stress the range reduction.
+        args.extend([
+            0.0,
+            -0.0,
+            1e-300,
+            std::f64::consts::FRAC_PI_2,
+            -std::f64::consts::FRAC_PI_2,
+            std::f64::consts::PI,
+            100.0 * std::f64::consts::PI,
+            1e6,
+        ]);
+        let n = args.len();
+        force_backend(Some(ComputeBackend::Scalar));
+        let (mut s_scalar, mut c_scalar) = (vec![0.0; n], vec![0.0; n]);
+        sin_cos_slice(&args, &mut s_scalar, &mut c_scalar);
+        force_backend(Some(detect()));
+        let (mut s_simd, mut c_simd) = (vec![0.0; n], vec![0.0; n]);
+        sin_cos_slice(&args, &mut s_simd, &mut c_simd);
+        force_backend(None);
+        for i in 0..n {
+            let (s_ref, c_ref) = args[i].sin_cos();
+            assert!(
+                (s_scalar[i] - s_ref).abs() < 1e-16 + 4.0 * f64::EPSILON,
+                "sin({}) = {} vs std {}",
+                args[i],
+                s_scalar[i],
+                s_ref
+            );
+            assert!(
+                (c_scalar[i] - c_ref).abs() < 1e-16 + 4.0 * f64::EPSILON,
+                "cos({}) = {} vs std {}",
+                args[i],
+                c_scalar[i],
+                c_ref
+            );
+            assert_eq!(
+                s_scalar[i].to_bits(),
+                s_simd[i].to_bits(),
+                "arg {}",
+                args[i]
+            );
+            assert_eq!(
+                c_scalar[i].to_bits(),
+                c_simd[i].to_bits(),
+                "arg {}",
+                args[i]
+            );
+            let unit = s_scalar[i] * s_scalar[i] + c_scalar[i] * c_scalar[i];
+            assert!((unit - 1.0).abs() < 8.0 * f64::EPSILON, "norm {unit}");
+        }
+    }
+
+    #[test]
+    fn dot_matches_reference_and_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for len in [0usize, 1, 3, 4, 7, 8, 31, 64, 1000] {
+            let a: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let m: Vec<f64> = (0..len).map(|_| rng.gen_range(-0.5..0.5)).collect();
+            let naive: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+            force_backend(Some(ComputeBackend::Scalar));
+            let (ds, dcs) = (dot(&a, &b), dot_centered(&a, &b, &m));
+            force_backend(Some(detect()));
+            let (dv, dcv) = (dot(&a, &b), dot_centered(&a, &b, &m));
+            force_backend(None);
+            assert_eq!(ds.to_bits(), dv.to_bits(), "len {len}");
+            assert_eq!(dcs.to_bits(), dcv.to_bits(), "len {len}");
+            assert!(
+                (ds - naive).abs() < 1e-12 * (1.0 + naive.abs()),
+                "len {len}"
+            );
+            let naive_centered: f64 = a
+                .iter()
+                .zip(b.iter().zip(m.iter()))
+                .map(|(x, (y, mm))| x * (y - mm))
+                .sum();
+            assert!(
+                (dcs - naive_centered).abs() < 1e-12 * (1.0 + naive_centered.abs()),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_add_matches_reference_and_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for len in [0usize, 1, 3, 4, 7, 8, 31, 256] {
+            let a: Vec<f64> = (0..len).map(|_| rng.gen_range(-9.0..9.0)).collect();
+            let b: Vec<f64> = (0..len).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            force_backend(Some(ComputeBackend::Scalar));
+            let mut scalar = vec![0.0; len];
+            scale_add(&a, 0.5, &b, &mut scalar);
+            force_backend(Some(detect()));
+            let mut simd = vec![0.0; len];
+            scale_add(&a, 0.5, &b, &mut simd);
+            force_backend(None);
+            for i in 0..len {
+                assert_eq!(scalar[i].to_bits(), (0.5 * a[i] + b[i]).to_bits(), "i {i}");
+                assert_eq!(scalar[i].to_bits(), simd[i].to_bits(), "i {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_rows_matches_reference_and_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in [0usize, 1, 3, 4, 7, 8, 13, 64, 256] {
+            let target: Vec<f64> = (0..2 * len).map(|_| rng.gen_range(-1.5..1.5)).collect();
+            let sin: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let cos: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let scale = 0.37;
+            let run = || {
+                let mut w_re = vec![0.0; len];
+                let mut w_im = vec![0.0; len];
+                let sums = weighted_rows(&target, &sin, &cos, scale, &mut w_re, &mut w_im);
+                (w_re, w_im, sums)
+            };
+            force_backend(Some(ComputeBackend::Scalar));
+            let (re_s, im_s, sums_s) = run();
+            force_backend(Some(detect()));
+            let (re_v, im_v, sums_v) = run();
+            force_backend(None);
+            assert_eq!(sums_s.0.to_bits(), sums_v.0.to_bits(), "len {len} sum_re");
+            assert_eq!(sums_s.1.to_bits(), sums_v.1.to_bits(), "len {len} sum_im");
+            let mut naive = (0.0, 0.0);
+            for r in 0..len {
+                let (tr, ti) = (target[2 * r], target[2 * r + 1]);
+                let re = scale * (tr * cos[r] - ti * sin[r]);
+                let im = scale * (tr * sin[r] + ti * cos[r]);
+                assert_eq!(re_s[r].to_bits(), re.to_bits(), "len {len} w_re[{r}]");
+                assert_eq!(im_s[r].to_bits(), im.to_bits(), "len {len} w_im[{r}]");
+                assert_eq!(re_s[r].to_bits(), re_v[r].to_bits(), "len {len} w_re[{r}]");
+                assert_eq!(im_s[r].to_bits(), im_v[r].to_bits(), "len {len} w_im[{r}]");
+                naive.0 += re;
+                naive.1 += im;
+            }
+            assert!((sums_s.0 - naive.0).abs() < 1e-12 * (1.0 + naive.0.abs()));
+            assert!((sums_s.1 - naive.1).abs() < 1e-12 * (1.0 + naive.1.abs()));
+        }
+    }
+
+    #[test]
+    fn planar_rows_and_lane_sums_match_solo_rows_bitwise() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for (dim, lanes) in [(8usize, 1usize), (16, 2), (8, 7), (32, 16), (256, 5)] {
+            let t_re: Vec<f64> = (0..dim * lanes).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let t_im: Vec<f64> = (0..dim * lanes).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let sin: Vec<f64> = (0..dim * lanes).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let cos: Vec<f64> = (0..dim * lanes).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let scale = 0.25;
+            for backend in [Some(ComputeBackend::Scalar), Some(detect())] {
+                force_backend(backend);
+                let mut w_re = vec![0.0; dim * lanes];
+                let mut w_im = vec![0.0; dim * lanes];
+                weighted_rows_planar(&t_re, &t_im, &sin, &cos, scale, &mut w_re, &mut w_im);
+                let mut sums_re = vec![0.0; lanes];
+                let mut sums_im = vec![0.0; lanes];
+                sum_lanes(&w_re, lanes, &mut sums_re);
+                sum_lanes(&w_im, lanes, &mut sums_im);
+                // Every lane must agree bitwise with a solo weighted_rows
+                // call on the de-interleaved slices.
+                for b in 0..lanes {
+                    let solo_t: Vec<f64> = (0..dim)
+                        .flat_map(|r| [t_re[r * lanes + b], t_im[r * lanes + b]])
+                        .collect();
+                    let solo_sin: Vec<f64> = (0..dim).map(|r| sin[r * lanes + b]).collect();
+                    let solo_cos: Vec<f64> = (0..dim).map(|r| cos[r * lanes + b]).collect();
+                    let mut solo_re = vec![0.0; dim];
+                    let mut solo_im = vec![0.0; dim];
+                    let (sum_re, sum_im) = weighted_rows(
+                        &solo_t,
+                        &solo_sin,
+                        &solo_cos,
+                        scale,
+                        &mut solo_re,
+                        &mut solo_im,
+                    );
+                    assert_eq!(sums_re[b].to_bits(), sum_re.to_bits(), "lane {b} sum_re");
+                    assert_eq!(sums_im[b].to_bits(), sum_im.to_bits(), "lane {b} sum_im");
+                    for r in 0..dim {
+                        assert_eq!(
+                            w_re[r * lanes + b].to_bits(),
+                            solo_re[r].to_bits(),
+                            "lane {b} row {r}"
+                        );
+                    }
+                }
+            }
+            force_backend(None);
+        }
+    }
+
+    #[test]
+    fn fused_rows_match_three_pass_composition_bitwise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for (dim, lanes) in [
+            (8usize, 1usize),
+            (16, 2),
+            (8, 7),
+            (32, 16),
+            (256, 5),
+            (6, 5),
+        ] {
+            let n = dim * lanes;
+            let phase: Vec<f64> = (0..n).map(|_| rng.gen_range(-40.0..40.0)).collect();
+            let base: Vec<f64> = (0..dim).map(|_| rng.gen_range(-4.0..4.0)).collect();
+            let t_re: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let t_im: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let scale = 0.0625;
+            // Reference: the unfused three-pass composition under the scalar
+            // backend (args broadcast per row, shared sin/cos, planar rows).
+            force_backend(Some(ComputeBackend::Scalar));
+            let mut args = vec![0.0; n];
+            for r in 0..dim {
+                for b in 0..lanes {
+                    args[r * lanes + b] = 0.5 * phase[r * lanes + b] + base[r];
+                }
+            }
+            let mut sin = vec![0.0; n];
+            let mut cos = vec![0.0; n];
+            sin_cos_slice(&args, &mut sin, &mut cos);
+            let mut ref_re = vec![0.0; n];
+            let mut ref_im = vec![0.0; n];
+            weighted_rows_planar(&t_re, &t_im, &sin, &cos, scale, &mut ref_re, &mut ref_im);
+            let mut ref_sum_re = vec![0.0; lanes];
+            let mut ref_sum_im = vec![0.0; lanes];
+            sum_lanes(&ref_re, lanes, &mut ref_sum_re);
+            sum_lanes(&ref_im, lanes, &mut ref_sum_im);
+            for backend in [Some(ComputeBackend::Scalar), Some(detect())] {
+                force_backend(backend);
+                let mut w_re = vec![f64::NAN; n];
+                let mut w_im = vec![f64::NAN; n];
+                let mut sum_re = vec![f64::NAN; lanes];
+                let mut sum_im = vec![f64::NAN; lanes];
+                fused_weighted_rows(
+                    &phase,
+                    &base,
+                    &t_re,
+                    &t_im,
+                    scale,
+                    lanes,
+                    &mut w_re,
+                    &mut w_im,
+                    &mut sum_re,
+                    &mut sum_im,
+                );
+                for b in 0..lanes {
+                    assert_eq!(
+                        sum_re[b].to_bits(),
+                        ref_sum_re[b].to_bits(),
+                        "{backend:?} lanes={lanes} lane {b} sum_re"
+                    );
+                    assert_eq!(
+                        sum_im[b].to_bits(),
+                        ref_sum_im[b].to_bits(),
+                        "{backend:?} lanes={lanes} lane {b} sum_im"
+                    );
+                }
+                for i in 0..n {
+                    assert_eq!(
+                        w_re[i].to_bits(),
+                        ref_re[i].to_bits(),
+                        "{backend:?} lanes={lanes} idx {i} re"
+                    );
+                    assert_eq!(
+                        w_im[i].to_bits(),
+                        ref_im[i].to_bits(),
+                        "{backend:?} lanes={lanes} idx {i} im"
+                    );
+                }
+            }
+            force_backend(None);
+        }
+    }
+
+    #[test]
+    fn quantize_cells_semantics_are_pinned() {
+        // Grid mode buckets near-equal values together.
+        assert_eq!(
+            quantize_cells(&[0.100_000_1, -0.2], 1e-3),
+            quantize_cells(&[0.100_000_9, -0.2], 1e-3)
+        );
+        // Exact mode keys raw bit patterns; −0.0 and +0.0 differ there but
+        // share a cell in grid mode.
+        assert_ne!(quantize_cells(&[-0.0], 0.0), quantize_cells(&[0.0], 0.0));
+        assert_eq!(quantize_cells(&[-0.0], 1e-3), quantize_cells(&[0.0], 1e-3));
+        // The documented non-finite hazard (callers must reject first): NaN
+        // lands on the zero cell, ±∞ saturate.
+        assert_eq!(quantize_cells(&[f64::NAN], 1e-3), vec![0]);
+        assert_eq!(
+            quantize_cells(&[f64::INFINITY, f64::NEG_INFINITY], 1e-3),
+            vec![i64::MAX, i64::MIN]
+        );
+    }
+
+    #[test]
+    fn detection_and_naming() {
+        let b = detect();
+        assert!(!b.name().is_empty());
+        force_backend(Some(ComputeBackend::Scalar));
+        assert_eq!(active(), ComputeBackend::Scalar);
+        force_backend(None);
+    }
+}
