@@ -291,6 +291,63 @@ impl EnqodeModel {
         Self::train_clusters(normalized?, config, threads, symbolic, start)
     }
 
+    /// Assembles a model from externally supplied **already-trained** parts
+    /// — the decoding half of model persistence (`enq_store`), where the
+    /// clusters come from a durable artifact rather than a fit.
+    ///
+    /// Cluster values are adopted **verbatim**: centroids and parameters
+    /// are *not* renormalised, so a trained model round-trips through
+    /// serialisation bit-for-bit and embeds identically afterwards. Only
+    /// shapes are validated (the artifact's integrity hash guards the
+    /// values themselves against corruption).
+    ///
+    /// The symbolic table is rebuildable from the ansatz shape alone, so
+    /// artifacts never store it; callers reconstruct one per shape (see
+    /// [`SymbolicState::from_ansatz`]) and share the `Arc` across every
+    /// model of that shape, exactly like the training paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::InvalidConfig`] for an invalid ansatz or a
+    /// symbolic table built for a different shape,
+    /// [`EnqodeError::NotTrained`] for an empty cluster set, and
+    /// [`EnqodeError::DimensionMismatch`] when a centroid's length is not
+    /// `2^num_qubits` or a parameter vector's length is not
+    /// `num_qubits × num_layers`.
+    pub fn from_trained_parts(
+        config: EnqodeConfig,
+        symbolic: Arc<SymbolicState>,
+        clusters: Vec<TrainedCluster>,
+        offline_duration: Duration,
+    ) -> Result<Self, EnqodeError> {
+        Self::validate_shared(&config, &symbolic)?;
+        if clusters.is_empty() {
+            return Err(EnqodeError::NotTrained);
+        }
+        let dim = config.ansatz.dimension();
+        let num_parameters = config.ansatz.num_parameters();
+        for cluster in &clusters {
+            if cluster.centroid.len() != dim {
+                return Err(EnqodeError::DimensionMismatch {
+                    expected: dim,
+                    found: cluster.centroid.len(),
+                });
+            }
+            if cluster.parameters.len() != num_parameters {
+                return Err(EnqodeError::DimensionMismatch {
+                    expected: num_parameters,
+                    found: cluster.parameters.len(),
+                });
+            }
+        }
+        Ok(Self {
+            config,
+            symbolic,
+            clusters,
+            offline_duration,
+        })
+    }
+
     /// Validates the ansatz and checks that the shared symbolic table was
     /// built for exactly this shape.
     fn validate_shared(

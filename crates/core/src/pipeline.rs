@@ -239,6 +239,43 @@ impl EnqodePipeline {
         }
     }
 
+    /// Assembles a pipeline from externally supplied **already-trained**
+    /// parts — the decoding half of model persistence (`enq_store`), the
+    /// public sibling of the stream driver's internal exit point.
+    ///
+    /// Class models are adopted verbatim (see
+    /// [`EnqodeModel::from_trained_parts`]); only cross-part shapes are
+    /// validated here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::DimensionMismatch`] when a class model's
+    /// ansatz dimension differs from the feature pipeline's output
+    /// dimension, and [`EnqodeError::InvalidConfig`] for duplicate class
+    /// labels.
+    pub fn from_trained_parts(
+        features: FeaturePipeline,
+        class_models: Vec<ClassModel>,
+    ) -> Result<Self, EnqodeError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for cm in &class_models {
+            let dim = cm.model.config().ansatz.dimension();
+            if dim != features.output_dim() {
+                return Err(EnqodeError::DimensionMismatch {
+                    expected: features.output_dim(),
+                    found: dim,
+                });
+            }
+            if !seen.insert(cm.label) {
+                return Err(EnqodeError::InvalidConfig(format!(
+                    "duplicate class label {} in trained parts",
+                    cm.label
+                )));
+            }
+        }
+        Ok(Self::from_parts(features, class_models))
+    }
+
     /// Returns the fitted feature pipeline.
     pub fn features(&self) -> &FeaturePipeline {
         &self.features

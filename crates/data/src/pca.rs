@@ -43,6 +43,54 @@ impl Pca {
         }
     }
 
+    /// Assembles a model from externally supplied parts, validating shapes
+    /// only — the decoding half of model persistence (`enq_store`).
+    ///
+    /// Values are adopted **verbatim**: nothing is renormalised or
+    /// re-orthogonalised, so a fitted model round-trips through
+    /// serialisation bit-for-bit. Orthonormal components and descending
+    /// variances remain the caller's responsibility (a persisted artifact
+    /// inherits them from the fit that produced it; its integrity hash
+    /// guards against corruption in between).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] for an empty mean or an
+    /// empty component set, and [`DataError::DimensionMismatch`] when a
+    /// component's length differs from the mean's or the variance count
+    /// differs from the component count.
+    pub fn from_raw_parts(
+        mean: Vec<f64>,
+        components: Vec<Vec<f64>>,
+        explained_variance: Vec<f64>,
+    ) -> Result<Self, DataError> {
+        if mean.is_empty() {
+            return Err(DataError::InvalidParameter(
+                "PCA mean must be non-empty".to_string(),
+            ));
+        }
+        if components.is_empty() {
+            return Err(DataError::InvalidParameter(
+                "PCA needs at least one component".to_string(),
+            ));
+        }
+        for c in &components {
+            if c.len() != mean.len() {
+                return Err(DataError::DimensionMismatch {
+                    expected: mean.len(),
+                    found: c.len(),
+                });
+            }
+        }
+        if explained_variance.len() != components.len() {
+            return Err(DataError::DimensionMismatch {
+                expected: components.len(),
+                found: explained_variance.len(),
+            });
+        }
+        Ok(Self::from_parts(mean, components, explained_variance))
+    }
+
     /// Fits a PCA model with exactly `num_components` components.
     ///
     /// # Errors

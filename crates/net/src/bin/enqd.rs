@@ -8,13 +8,22 @@
 //!
 //! ```text
 //! enqd [--addr HOST:PORT] [--model ID] [--data PATH.enqb] [--seed N]
-//!      [--max-pending N] [--max-conns N] [--rate R] [--burst B]
-//!      [--read-timeout-ms N]
+//!      [--model-dir DIR] [--max-pending N] [--max-conns N] [--rate R]
+//!      [--burst B] [--read-timeout-ms N]
 //! ```
 //!
 //! With `--data`, the model is trained from the named `ENQB` binary
 //! dataset; otherwise a small synthetic MNIST-like dataset keeps the
 //! daemon self-contained (smoke tests, demos).
+//!
+//! With `--model-dir`, the daemon is **durable**: on startup it restores
+//! every `ENQM` artifact in the directory and serves them at their
+//! recorded generations — a *warm boot*, no training before readiness,
+//! bit-identical answers to the previous process. If the directory holds
+//! no artifact for `--model`, it trains one (*cold start*) and persists it.
+//! Either way a `ENQD WARMBOOT`/`ENQD COLDBOOT` status line precedes the
+//! readiness line, and every later successful background rebuild rewrites
+//! its model's artifact. See `docs/FORMATS.md` and `docs/OPERATIONS.md`.
 
 use enq_data::{generate_synthetic, Dataset, DatasetKind, SyntheticConfig};
 use enq_net::{AdmissionConfig, EnqdServer, FaultPlan, NetConfig};
@@ -74,6 +83,7 @@ struct Args {
     addr: String,
     model: String,
     data: Option<String>,
+    model_dir: Option<String>,
     seed: u64,
     max_pending: usize,
     max_conns: usize,
@@ -88,6 +98,7 @@ impl Args {
             addr: "127.0.0.1:0".into(),
             model: "default".into(),
             data: None,
+            model_dir: None,
             seed: 7,
             max_pending: 256,
             max_conns: 64,
@@ -105,6 +116,7 @@ impl Args {
                 "--addr" => args.addr = value("--addr")?,
                 "--model" => args.model = value("--model")?,
                 "--data" => args.data = Some(value("--data")?),
+                "--model-dir" => args.model_dir = Some(value("--model-dir")?),
                 "--seed" => {
                     args.seed = value("--seed")?
                         .parse()
@@ -186,6 +198,52 @@ fn demo_dataset(seed: u64) -> Dataset {
     .expect("synthetic dataset generation")
 }
 
+/// Populates the service's registry, durably when `--model-dir` is set.
+///
+/// Without `--model-dir` this is the original flow: train, register, serve.
+/// With it, the store decides: artifacts present → **warm boot** (restore
+/// everything at its recorded generation; zero training before readiness);
+/// no artifact for `--model` → **cold start** (train it, register it, and
+/// persist the whole registry so the *next* boot is warm). Both paths then
+/// enable persist-on-swap so background rebuilds keep the store current.
+/// A corrupt or unreadable artifact fails the boot — never a partial
+/// registry (see [`enq_serve::restore_registry`]).
+///
+/// Status lines (`ENQD WARMBOOT …`/`ENQD COLDBOOT …`) print **before** the
+/// readiness line, so anything scripted against `ENQD LISTENING` still
+/// works unchanged.
+fn boot(args: &Args, service: &EmbedService) -> Result<(), String> {
+    let Some(dir) = &args.model_dir else {
+        let pipeline = train_model(args)?;
+        service.register_model(args.model.clone(), pipeline);
+        return Ok(());
+    };
+    let dir = std::path::Path::new(dir);
+    let restored = enq_serve::restore_registry(service.registry(), dir)
+        .map_err(|e| format!("restoring models from {}: {e}", dir.display()))?;
+    let warm = restored.iter().any(|m| m.model_id == args.model);
+    if warm {
+        let generation = restored.iter().map(|m| m.generation).max().unwrap_or(0);
+        println!(
+            "ENQD WARMBOOT models={} generation={generation}",
+            restored.len()
+        );
+    } else {
+        let pipeline = train_model(args)?;
+        let (_, generation) = service.register_model_tracked(args.model.clone(), pipeline);
+        enq_serve::snapshot_registry(service.registry(), dir)
+            .map_err(|e| format!("persisting models to {}: {e}", dir.display()))?;
+        println!(
+            "ENQD COLDBOOT models={} generation={generation}",
+            service.registry().len()
+        );
+    }
+    service
+        .enable_persistence(dir)
+        .map_err(|e| format!("enabling persistence in {}: {e}", dir.display()))?;
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match Args::parse() {
         Ok(args) => args,
@@ -195,15 +253,11 @@ fn main() -> ExitCode {
         }
     };
     sig::install();
-    let pipeline = match train_model(&args) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("enqd: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     let service = Arc::new(EmbedService::new(ServeConfig::default()));
-    service.register_model(args.model.clone(), pipeline);
+    if let Err(e) = boot(&args, &service) {
+        eprintln!("enqd: {e}");
+        return ExitCode::FAILURE;
+    }
     let config = NetConfig {
         max_connections: args.max_conns,
         max_pending: args.max_pending,

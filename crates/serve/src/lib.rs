@@ -61,6 +61,22 @@
 //! * [`EmbedService::refresh_from_traffic`] — the one-call loop: snapshot
 //!   the traffic shards, retrain clusters + ansatz parameters against the
 //!   model's existing PCA basis in the background, swap.
+//!
+//! ## Durability
+//!
+//! Everything above lives in process memory; `enq_store`'s `ENQM` artifact
+//! makes it survive a restart. [`snapshot_registry`] persists every live
+//! registration (id, generation, pipeline) to a directory of artifacts, and
+//! [`restore_registry`] warm-boots a registry from one — two-phase
+//! (decode everything, then adopt), so a corrupt artifact fails the whole
+//! restore with the registry untouched. Generations are preserved across
+//! the restart and the counter resumes past the restored maximum, keeping
+//! cache keys and rebuild bumps monotonic. With
+//! [`EmbedService::enable_persistence`], every successful background-rebuild
+//! swap also rewrites the model's artifact, so the newest generation is
+//! what the next boot restores. The byte format is specified in
+//! `docs/FORMATS.md`; restored pipelines embed **bit-identically** to the
+//! ones that were persisted.
 
 #![warn(missing_docs)]
 
@@ -70,6 +86,7 @@ mod error;
 mod rebuild;
 mod registry;
 mod service;
+mod snapshot;
 mod solution;
 mod traffic;
 
@@ -78,6 +95,10 @@ pub use error::ServeError;
 pub use rebuild::{RebuildController, RebuildSpec, RebuildStatus, RebuildTicket, StageProgress};
 pub use registry::{ModelRegistry, DEFAULT_REGISTRY_SHARDS};
 pub use service::{EmbedResponse, EmbedService, ServeConfig, ServiceStats, SolutionSource};
+pub use snapshot::{restore_registry, snapshot_registry, RestoredModel};
+// The artifact error type, re-exported so snapshot/restore callers don't
+// need a direct `enq_store` dependency.
+pub use enq_store::StoreError;
 pub use solution::Solution;
 pub use traffic::{
     TrafficAccumulator, TrafficConfig, TrafficCorpus, TrafficShard, TrafficSource, TrafficStats,

@@ -32,6 +32,7 @@ use enq_parallel::CancelToken;
 use enqode::{EnqodeConfig, EnqodeError, EnqodePipeline, StreamDriver, StreamingFitConfig};
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
+use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -238,6 +239,10 @@ pub struct RebuildController {
     registry: Arc<ModelRegistry>,
     active: Mutex<HashMap<String, RebuildTicket>>,
     swap_hook: Option<SwapHook>,
+    /// When set, every successful swap also persists the new pipeline as an
+    /// `ENQM` artifact in this directory (shared with workers via `Arc` so
+    /// enabling persistence affects rebuilds already in flight).
+    store_dir: Arc<Mutex<Option<PathBuf>>>,
 }
 
 impl std::fmt::Debug for RebuildController {
@@ -257,6 +262,7 @@ impl RebuildController {
             registry,
             active: Mutex::new(HashMap::new()),
             swap_hook: None,
+            store_dir: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -276,12 +282,35 @@ impl RebuildController {
             registry,
             active: Mutex::new(HashMap::new()),
             swap_hook: Some(Arc::new(hook)),
+            store_dir: Arc::new(Mutex::new(None)),
         }
     }
 
     /// The registry rebuilt models are swapped into.
     pub fn registry(&self) -> &Arc<ModelRegistry> {
         &self.registry
+    }
+
+    /// Enables artifact persistence: after every successful swap, the new
+    /// pipeline is written to `<dir>/<sanitised id>.enqm` at its assigned
+    /// generation (temp file + atomic rename, see
+    /// [`enq_store::write_model_file`]). Persistence is **best-effort**: the
+    /// swap already published the model, so a write failure never demotes a
+    /// [`RebuildStatus::Succeeded`] — it is surfaced as the detail of the
+    /// rebuild's `persist` [`StageProgress`] entry instead.
+    ///
+    /// Takes effect for rebuilds already in flight. Pass-through from
+    /// [`crate::EmbedService::enable_persistence`].
+    pub fn set_store_dir(&self, dir: Option<PathBuf>) {
+        *self.store_dir.lock().expect("rebuild controller poisoned") = dir;
+    }
+
+    /// The artifact directory persisted into on swap success, if enabled.
+    pub fn store_dir(&self) -> Option<PathBuf> {
+        self.store_dir
+            .lock()
+            .expect("rebuild controller poisoned")
+            .clone()
     }
 
     /// The ticket of `model_id`'s in-flight rebuild, if one is running.
@@ -349,6 +378,7 @@ impl RebuildController {
 
         let registry = Arc::clone(&self.registry);
         let swap_hook = self.swap_hook.clone();
+        let store_dir = Arc::clone(&self.store_dir);
         let worker_ticket = ticket.clone();
         let token = ticket.shared.token.clone();
         let threads = spec.threads.unwrap_or_else(enq_parallel::default_threads);
@@ -369,9 +399,36 @@ impl RebuildController {
                     // the caller asked for no new model to be published.
                     Ok(_) if token.is_cancelled() => RebuildStatus::Cancelled,
                     Ok(pipeline) => {
-                        registry.insert(&*worker_ticket.shared.model_id, Arc::new(pipeline));
+                        let model_id = &*worker_ticket.shared.model_id;
+                        let pipeline = Arc::new(pipeline);
+                        let (_, generation) =
+                            registry.insert_tracked(model_id, Arc::clone(&pipeline));
                         if let Some(hook) = &swap_hook {
-                            hook(&worker_ticket.shared.model_id, kept_feature_basis);
+                            hook(model_id, kept_feature_basis);
+                        }
+                        // Persistence rides behind the swap: the model is
+                        // already serving, so a write failure is reported
+                        // (as the `persist` stage detail), never fatal.
+                        let dir = store_dir
+                            .lock()
+                            .expect("rebuild controller poisoned")
+                            .clone();
+                        if let Some(dir) = dir {
+                            let started = Instant::now();
+                            let path = dir.join(enq_store::artifact_file_name(model_id));
+                            let detail = match enq_store::write_model_file(
+                                &path, model_id, generation, &pipeline,
+                            ) {
+                                Ok(()) => {
+                                    format!("wrote {} at generation {generation}", path.display())
+                                }
+                                Err(e) => format!("persist failed (model still live): {e}"),
+                            };
+                            worker_ticket.push_stage(StageProgress {
+                                stage: "persist",
+                                duration: started.elapsed(),
+                                detail,
+                            });
                         }
                         RebuildStatus::Succeeded
                     }

@@ -79,13 +79,73 @@ impl ModelRegistry {
         model_id: impl Into<String>,
         pipeline: Arc<EnqodePipeline>,
     ) -> Option<Arc<EnqodePipeline>> {
+        self.insert_tracked(model_id, pipeline).0
+    }
+
+    /// Like [`ModelRegistry::insert`], but also returns the **generation**
+    /// assigned to the new registration — callers that persist the model
+    /// (see `enq_store`) record this so a later restore can resume at the
+    /// same generation.
+    pub fn insert_tracked(
+        &self,
+        model_id: impl Into<String>,
+        pipeline: Arc<EnqodePipeline>,
+    ) -> (Option<Arc<EnqodePipeline>>, u64) {
         let model_id = model_id.into();
         let generation = self.generations.fetch_add(1, Ordering::Relaxed) + 1;
+        let old = self
+            .shard_for(&model_id)
+            .write()
+            .expect("registry shard poisoned")
+            .insert(model_id, (pipeline, generation))
+            .map(|(old, _)| old);
+        (old, generation)
+    }
+
+    /// Registers `pipeline` under `model_id` at an **explicit** generation —
+    /// the warm-boot path. The registry's generation counter is raised (via
+    /// `fetch_max`) so it never falls below any restored generation: the next
+    /// [`ModelRegistry::insert`] is guaranteed a strictly larger generation
+    /// than everything restored, preserving the cache-invalidation invariant
+    /// across process restarts.
+    ///
+    /// Returns the previously registered pipeline if one existed.
+    pub fn restore(
+        &self,
+        model_id: impl Into<String>,
+        pipeline: Arc<EnqodePipeline>,
+        generation: u64,
+    ) -> Option<Arc<EnqodePipeline>> {
+        let model_id = model_id.into();
+        self.generations.fetch_max(generation, Ordering::Relaxed);
         self.shard_for(&model_id)
             .write()
             .expect("registry shard poisoned")
             .insert(model_id, (pipeline, generation))
             .map(|(old, _)| old)
+    }
+
+    /// Returns every registration as `(id, pipeline, generation)`, sorted by
+    /// id — the input to a registry-wide persistence pass. Pipelines are
+    /// `Arc` clones; nothing is copied. The snapshot is per-shard consistent
+    /// (each shard read under its lock), not a global atomic view — the
+    /// usual read-mostly tradeoff.
+    pub fn snapshot(&self) -> Vec<(String, Arc<EnqodePipeline>, u64)> {
+        let mut entries: Vec<(String, Arc<EnqodePipeline>, u64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("registry shard poisoned")
+                    .iter()
+                    .map(|(id, (pipeline, generation))| {
+                        (id.clone(), Arc::clone(pipeline), *generation)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        entries
     }
 
     /// Returns a cheap shared handle to the pipeline registered under
@@ -319,6 +379,28 @@ mod tests {
         let (after_failure, generation_after) = registry.get_with_generation("live").unwrap();
         assert!(Arc::ptr_eq(&after_failure, &rebuilt));
         assert_eq!(generation_after, new_generation);
+    }
+
+    #[test]
+    fn restore_preserves_generation_and_raises_the_counter() {
+        let registry = ModelRegistry::with_shards(4);
+        let p = tiny_pipeline(5);
+        // Warm boot: restore two models at their persisted generations.
+        registry.restore("beta", Arc::clone(&p), 9);
+        registry.restore("alpha", Arc::clone(&p), 4);
+        assert_eq!(registry.get_with_generation("beta").unwrap().1, 9);
+        assert_eq!(registry.get_with_generation("alpha").unwrap().1, 4);
+        // The counter resumed past the highest restored generation, so the
+        // next insert can never collide with a restored (id, generation).
+        let (_, fresh) = registry.insert_tracked("gamma", Arc::clone(&p));
+        assert_eq!(fresh, 10);
+        // Snapshot is sorted by id and carries generations verbatim.
+        let snap = registry.snapshot();
+        let summary: Vec<(&str, u64)> = snap
+            .iter()
+            .map(|(id, _, generation)| (id.as_str(), *generation))
+            .collect();
+        assert_eq!(summary, vec![("alpha", 4), ("beta", 9), ("gamma", 10)]);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::traffic::{TrafficAccumulator, TrafficConfig};
 use enqode::{Embedding, EnqodeConfig, EnqodeError, EnqodePipeline, StreamingFitConfig};
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -320,6 +321,48 @@ impl EmbedService {
     /// entries removed.
     pub fn invalidate_model(&self, model_id: &str) -> usize {
         self.cache.invalidate_model(model_id) + self.memo.invalidate_model(model_id)
+    }
+
+    /// Registers (or replaces) a model like
+    /// [`EmbedService::register_model`], additionally returning the
+    /// **generation** assigned to the registration — what a caller records
+    /// when persisting the model as an `ENQM` artifact.
+    pub fn register_model_tracked(
+        &self,
+        model_id: impl Into<String>,
+        pipeline: impl Into<Arc<EnqodePipeline>>,
+    ) -> (Option<Arc<EnqodePipeline>>, u64) {
+        let model_id = model_id.into();
+        let (previous, generation) = self
+            .registry
+            .insert_tracked(model_id.clone(), pipeline.into());
+        if previous.is_some() {
+            self.invalidate_model(&model_id);
+            self.traffic.clear(&model_id);
+        }
+        (previous, generation)
+    }
+
+    /// Enables artifact persistence for background rebuilds: after every
+    /// successful swap, the rebuilt pipeline is written to
+    /// `<dir>/<sanitised id>.enqm` at its new generation (best-effort; see
+    /// [`RebuildController::set_store_dir`]). The directory is created
+    /// eagerly so a misconfigured path fails here, at enable time, rather
+    /// than silently after the first rebuild.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rebuild`] when the directory cannot be created.
+    pub fn enable_persistence(&self, dir: impl Into<PathBuf>) -> Result<(), ServeError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            ServeError::Rebuild(format!(
+                "could not create the model store directory {}: {e}",
+                dir.display()
+            ))
+        })?;
+        self.rebuilds.set_store_dir(Some(dir));
+        Ok(())
     }
 
     /// Returns the shared model registry.

@@ -1,0 +1,139 @@
+//! Registry-wide persistence: snapshot every live registration to `ENQM`
+//! artifacts and restore a directory of artifacts on warm boot.
+//!
+//! Restore is **two-phase**: every artifact in the directory is read and
+//! fully decoded *before* the first registration touches the registry. A
+//! directory containing one corrupt, truncated, or wrong-version file
+//! therefore fails closed — the registry is left exactly as it was, with no
+//! partial adoption — mirroring the fail-closed decoding contract of the
+//! wire protocol and of `enq_store` itself.
+
+use crate::registry::ModelRegistry;
+use enq_store::{artifact_file_name, read_model_file, write_model_file, StoreError};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One model registered (or about to be registered) from an artifact.
+#[derive(Debug, Clone)]
+pub struct RestoredModel {
+    /// The registry id, read from the artifact payload (the file name is
+    /// advisory only).
+    pub model_id: String,
+    /// The registration generation recorded at persist time; the registry
+    /// resumes at least past the maximum of these.
+    pub generation: u64,
+    /// The artifact file the model came from.
+    pub path: PathBuf,
+}
+
+/// Persists every registration in `registry` to `<dir>/<sanitised id>.enqm`
+/// (creating `dir` if needed), each via temp-file + atomic rename.
+///
+/// Returns the persisted manifest, sorted by model id.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on filesystem failures, and
+/// [`StoreError::InvalidValue`] if two distinct model ids sanitise to the
+/// same file name — persisting both would silently drop one, so the whole
+/// snapshot is refused instead.
+pub fn snapshot_registry(
+    registry: &ModelRegistry,
+    dir: &Path,
+) -> Result<Vec<RestoredModel>, StoreError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| StoreError::Io(format!("creating {}: {e}", dir.display())))?;
+    let entries = registry.snapshot();
+    // Detect sanitisation collisions before writing anything.
+    let mut by_file: HashMap<String, &str> = HashMap::with_capacity(entries.len());
+    for (id, _, _) in &entries {
+        let file = artifact_file_name(id);
+        if let Some(other) = by_file.insert(file.clone(), id) {
+            return Err(StoreError::InvalidValue {
+                field: "model_id",
+                found: format!("ids {other:?} and {id:?} both persist as {file:?}; rename one"),
+            });
+        }
+    }
+    let mut manifest = Vec::with_capacity(entries.len());
+    for (id, pipeline, generation) in entries {
+        let path = dir.join(artifact_file_name(&id));
+        write_model_file(&path, &id, generation, &pipeline)?;
+        manifest.push(RestoredModel {
+            model_id: id,
+            generation,
+            path,
+        });
+    }
+    Ok(manifest)
+}
+
+/// Loads every `*.enqm` artifact in `dir` and registers each pipeline at
+/// its recorded generation ([`ModelRegistry::restore`]). An empty or
+/// missing directory restores nothing and is not an error — that is simply
+/// a cold start.
+///
+/// Returns the restored manifest, sorted by model id.
+///
+/// # Errors
+///
+/// Any [`StoreError`] from reading or decoding **any** artifact, plus
+/// [`StoreError::InvalidValue`] when two artifacts claim the same model id.
+/// On error the registry is untouched: all artifacts are decoded before the
+/// first one is registered (two-phase), so a single corrupt file can never
+/// leave a half-restored registry.
+pub fn restore_registry(
+    registry: &ModelRegistry,
+    dir: &Path,
+) -> Result<Vec<RestoredModel>, StoreError> {
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(iter) => iter
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.extension()
+                    .is_some_and(|ext| ext == enq_store::ARTIFACT_EXTENSION)
+            })
+            .collect(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(StoreError::Io(format!("reading {}: {e}", dir.display()))),
+    };
+    paths.sort_unstable();
+
+    // Phase 1: decode everything. Nothing touches the registry yet.
+    let mut decoded = Vec::with_capacity(paths.len());
+    let mut seen: HashMap<String, PathBuf> = HashMap::with_capacity(paths.len());
+    for path in paths {
+        let artifact = read_model_file(&path)?;
+        if let Some(first) = seen.insert(artifact.model_id.clone(), path.clone()) {
+            return Err(StoreError::InvalidValue {
+                field: "model_id",
+                found: format!(
+                    "{} and {} both declare model id {:?}",
+                    first.display(),
+                    path.display(),
+                    artifact.model_id
+                ),
+            });
+        }
+        decoded.push((artifact, path));
+    }
+
+    // Phase 2: adopt. All-or-nothing by construction — no fallible step
+    // remains.
+    let mut manifest = Vec::with_capacity(decoded.len());
+    for (artifact, path) in decoded {
+        registry.restore(
+            artifact.model_id.clone(),
+            Arc::new(artifact.pipeline),
+            artifact.generation,
+        );
+        manifest.push(RestoredModel {
+            model_id: artifact.model_id,
+            generation: artifact.generation,
+            path,
+        });
+    }
+    manifest.sort_unstable_by(|a, b| a.model_id.cmp(&b.model_id));
+    Ok(manifest)
+}

@@ -1,0 +1,325 @@
+//! `ENQM` model artifacts: encode a trained [`EnqodePipeline`] into the
+//! versioned container and decode it back, bit-for-bit.
+//!
+//! The payload stores exactly what a fit produces and an embed consumes —
+//! the PCA basis, per-class configs, trained clusters (centroids + ansatz
+//! parameters) — and **not** the symbolic phase table, which depends only
+//! on the ansatz shape and is rebuilt on load (one shared table per shape,
+//! like the training paths). Every `f64` round-trips through
+//! [`f64::to_le_bytes`], so `embed` on a decoded pipeline is bit-identical
+//! to the pipeline that was encoded.
+
+use crate::codec::{frame_payload, unframe_payload, Cursor, Writer, ARTIFACT_EXTENSION};
+use crate::error::StoreError;
+use enq_data::{FeaturePipeline, Pca};
+use enqode::{
+    AnsatzConfig, ClassModel, EnqodeConfig, EnqodeModel, EnqodePipeline, EntanglerKind,
+    SymbolicState, TrainedCluster,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Wire tags for [`EntanglerKind`] (stable across releases; new kinds
+/// append, existing tags never change meaning).
+const ENTANGLER_CY: u8 = 0;
+const ENTANGLER_CX: u8 = 1;
+const ENTANGLER_CZ: u8 = 2;
+
+fn entangler_tag(kind: EntanglerKind) -> u8 {
+    match kind {
+        EntanglerKind::Cy => ENTANGLER_CY,
+        EntanglerKind::Cx => ENTANGLER_CX,
+        EntanglerKind::Cz => ENTANGLER_CZ,
+    }
+}
+
+fn entangler_from_tag(tag: u8) -> Result<EntanglerKind, StoreError> {
+    match tag {
+        ENTANGLER_CY => Ok(EntanglerKind::Cy),
+        ENTANGLER_CX => Ok(EntanglerKind::Cx),
+        ENTANGLER_CZ => Ok(EntanglerKind::Cz),
+        other => Err(StoreError::InvalidValue {
+            field: "entangler",
+            found: other.to_string(),
+        }),
+    }
+}
+
+/// One decoded model artifact: a trained pipeline plus the identity it was
+/// persisted under.
+#[derive(Debug, Clone)]
+pub struct ModelArtifact {
+    /// The registry id the pipeline was serving under when persisted.
+    pub model_id: String,
+    /// The registry **generation** of that registration. A warm boot
+    /// restores the model at this generation, so cache keys and
+    /// generation-tagged observability line up with the pre-restart
+    /// process.
+    pub generation: u64,
+    /// The reconstructed pipeline; `embed` is bit-identical to the encoded
+    /// one.
+    pub pipeline: EnqodePipeline,
+}
+
+/// Encodes a trained pipeline into a complete `ENQM` file image
+/// (header + payload), ready to be written to disk.
+pub fn encode_model(model_id: &str, generation: u64, pipeline: &EnqodePipeline) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.string(model_id);
+    w.u64(generation);
+
+    // Feature pipeline: output dimension + the PCA basis, verbatim.
+    let features = pipeline.features();
+    let pca = features.pca();
+    w.u32(u32::try_from(features.output_dim()).expect("output_dim fits u32"));
+    w.f64s(pca.mean());
+    w.u32(u32::try_from(pca.components().len()).expect("component count fits u32"));
+    for component in pca.components() {
+        w.f64s(component);
+    }
+    w.f64s(pca.explained_variance());
+
+    // Per-class models: label, config, offline duration, trained clusters.
+    w.u32(u32::try_from(pipeline.class_models().len()).expect("class count fits u32"));
+    for cm in pipeline.class_models() {
+        w.u64(cm.label as u64);
+        let config = cm.model.config();
+        w.u8(u8::try_from(config.ansatz.num_qubits).expect("num_qubits <= 16"));
+        w.u32(u32::try_from(config.ansatz.num_layers).expect("num_layers fits u32"));
+        w.u8(entangler_tag(config.ansatz.entangler));
+        w.f64(config.fidelity_threshold);
+        w.u64(config.max_clusters as u64);
+        w.u64(config.offline_max_iterations as u64);
+        w.u64(config.offline_restarts as u64);
+        w.u64(config.online_max_iterations as u64);
+        w.bool(config.offline_rescue);
+        w.u64(config.seed);
+        let offline = cm.model.offline_duration();
+        w.u64(offline.as_secs());
+        w.u32(offline.subsec_nanos());
+        w.u32(u32::try_from(cm.model.clusters().len()).expect("cluster count fits u32"));
+        for cluster in cm.model.clusters() {
+            w.f64s(&cluster.centroid);
+            w.f64s(&cluster.parameters);
+            w.f64(cluster.fidelity);
+            w.u64(cluster.iterations as u64);
+        }
+    }
+    frame_payload(&w.into_bytes())
+}
+
+/// Decodes a complete `ENQM` file image back into a [`ModelArtifact`].
+///
+/// Fail-closed end to end: the header and integrity hash are validated
+/// before any field is read ([`unframe_payload`]), every field read is
+/// bounds-checked, trailing bytes are rejected, and the decoded parts must
+/// reassemble into a structurally valid pipeline
+/// ([`EnqodePipeline::from_trained_parts`]) — on *any* error, nothing is
+/// returned, so a caller can never adopt a partially decoded model.
+///
+/// # Errors
+///
+/// Every [`StoreError`] variant except `Io`.
+pub fn decode_model(image: &[u8]) -> Result<ModelArtifact, StoreError> {
+    let payload = unframe_payload(image)?;
+    let mut c = Cursor::new(payload);
+
+    let model_id = c.string("model_id")?;
+    let generation = c.u64("generation")?;
+
+    let output_dim = c.u32("output_dim")? as usize;
+    let mean = c.f64s("pca.mean")?;
+    let num_components = c.u32("pca.num_components")? as usize;
+    // Each component is at least a u32 count; cross-check the declared
+    // count against the real component length too.
+    c.check_count(num_components, 4 + mean.len() * 8, "pca.components")?;
+    let mut components = Vec::with_capacity(num_components);
+    for _ in 0..num_components {
+        components.push(c.f64s("pca.component")?);
+    }
+    let explained_variance = c.f64s("pca.explained_variance")?;
+    let pca = Pca::from_raw_parts(mean, components, explained_variance)?;
+    let features = FeaturePipeline::from_pca(pca, output_dim)?;
+
+    let class_count = c.u32("class_count")? as usize;
+    // Minimum encoded class: label + config + duration + cluster count.
+    c.check_count(class_count, 8 + 56 + 12 + 4, "classes")?;
+    // One symbolic table per ansatz *shape*, shared across classes — the
+    // same aliasing the training paths establish.
+    let mut tables: Vec<(AnsatzConfig, Arc<SymbolicState>)> = Vec::new();
+    let mut class_models = Vec::with_capacity(class_count);
+    for _ in 0..class_count {
+        let label = c.u64("class.label")? as usize;
+        let ansatz = AnsatzConfig {
+            num_qubits: c.u8("ansatz.num_qubits")? as usize,
+            num_layers: c.u32("ansatz.num_layers")? as usize,
+            entangler: entangler_from_tag(c.u8("ansatz.entangler")?)?,
+        };
+        let config = EnqodeConfig {
+            ansatz,
+            fidelity_threshold: c.f64("config.fidelity_threshold")?,
+            max_clusters: c.u64("config.max_clusters")? as usize,
+            offline_max_iterations: c.u64("config.offline_max_iterations")? as usize,
+            offline_restarts: c.u64("config.offline_restarts")? as usize,
+            online_max_iterations: c.u64("config.online_max_iterations")? as usize,
+            offline_rescue: c.bool("config.offline_rescue")?,
+            seed: c.u64("config.seed")?,
+        };
+        let offline_duration = Duration::new(
+            c.u64("offline.secs")?,
+            validate_nanos(c.u32("offline.nanos")?)?,
+        );
+        let cluster_count = c.u32("cluster_count")? as usize;
+        // Minimum encoded cluster: two vector counts + fidelity + iterations.
+        c.check_count(cluster_count, 4 + 4 + 8 + 8, "clusters")?;
+        let mut clusters = Vec::with_capacity(cluster_count);
+        for _ in 0..cluster_count {
+            clusters.push(TrainedCluster {
+                centroid: c.f64s("cluster.centroid")?,
+                parameters: c.f64s("cluster.parameters")?,
+                fidelity: c.f64("cluster.fidelity")?,
+                iterations: c.u64("cluster.iterations")? as usize,
+            });
+        }
+        // Validate the shape before building a table for it, so a hostile
+        // ansatz cannot make us allocate a 2^255 table.
+        ansatz.validate()?;
+        let symbolic = match tables.iter().find(|(shape, _)| *shape == ansatz) {
+            Some((_, table)) => Arc::clone(table),
+            None => {
+                let table = Arc::new(SymbolicState::from_ansatz(&ansatz)?);
+                tables.push((ansatz, Arc::clone(&table)));
+                table
+            }
+        };
+        let model = EnqodeModel::from_trained_parts(config, symbolic, clusters, offline_duration)?;
+        class_models.push(ClassModel { label, model });
+    }
+    c.finish()?;
+
+    let pipeline = EnqodePipeline::from_trained_parts(features, class_models)?;
+    Ok(ModelArtifact {
+        model_id,
+        generation,
+        pipeline,
+    })
+}
+
+fn validate_nanos(nanos: u32) -> Result<u32, StoreError> {
+    if nanos >= 1_000_000_000 {
+        return Err(StoreError::InvalidValue {
+            field: "offline.nanos",
+            found: nanos.to_string(),
+        });
+    }
+    Ok(nanos)
+}
+
+/// The canonical on-disk file name for a model id:
+/// `<sanitised id>.enqm`, with every byte outside `[A-Za-z0-9._-]`
+/// replaced by `_` (ids are arbitrary strings; file systems are not).
+///
+/// The file name is **advisory** — the authoritative id is the one inside
+/// the payload. Two distinct ids can sanitise to the same name; callers
+/// persisting a whole registry detect that collision and fail it rather
+/// than silently dropping a model.
+pub fn artifact_file_name(model_id: &str) -> String {
+    let sanitized: String = model_id
+        .chars()
+        .map(|ch| {
+            if ch.is_ascii_alphanumeric() || matches!(ch, '.' | '_' | '-') {
+                ch
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let stem = if sanitized.is_empty() {
+        "model".to_string()
+    } else {
+        sanitized
+    };
+    format!("{stem}.{ARTIFACT_EXTENSION}")
+}
+
+/// Writes a model artifact to `path` **atomically**: the image is written
+/// to a temp file in the same directory, flushed to disk, then renamed
+/// over `path`. A crash mid-write leaves either the old artifact or none —
+/// never a torn file (and a torn file would fail the integrity hash
+/// anyway).
+///
+/// # Errors
+///
+/// [`StoreError::Io`] for any filesystem failure; the temp file is
+/// best-effort removed on error.
+pub fn write_model_file(
+    path: &Path,
+    model_id: &str,
+    generation: u64,
+    pipeline: &EnqodePipeline,
+) -> Result<(), StoreError> {
+    let image = encode_model(model_id, generation, pipeline);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            StoreError::Io(format!("artifact path {} has no file name", path.display()))
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let tmp: PathBuf = path.with_file_name(format!(".{file_name}.{}.tmp", std::process::id()));
+    let write = || -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut file, &image)?;
+        // Flush file contents before the rename publishes the name: the
+        // rename must never point at data still in flight.
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    write().map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        StoreError::Io(format!("writing {}: {e}", path.display()))
+    })
+}
+
+/// Reads and decodes one artifact file.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] for filesystem failures, plus everything
+/// [`decode_model`] returns for a corrupt or hostile file.
+pub fn read_model_file(path: &Path) -> Result<ModelArtifact, StoreError> {
+    let image = std::fs::read(path)
+        .map_err(|e| StoreError::Io(format!("reading {}: {e}", path.display())))?;
+    decode_model(&image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_names_are_sanitised_and_stable() {
+        assert_eq!(artifact_file_name("mnist"), "mnist.enqm");
+        assert_eq!(artifact_file_name("tenant/a b"), "tenant_a_b.enqm");
+        assert_eq!(artifact_file_name(""), "model.enqm");
+        assert_eq!(artifact_file_name("v1.2-rc_3"), "v1.2-rc_3.enqm");
+    }
+
+    #[test]
+    fn entangler_tags_roundtrip_and_reject_unknown() {
+        for kind in [EntanglerKind::Cy, EntanglerKind::Cx, EntanglerKind::Cz] {
+            assert_eq!(entangler_from_tag(entangler_tag(kind)).unwrap(), kind);
+        }
+        assert!(matches!(
+            entangler_from_tag(3),
+            Err(StoreError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn nanos_are_domain_checked() {
+        assert_eq!(validate_nanos(999_999_999).unwrap(), 999_999_999);
+        assert!(validate_nanos(1_000_000_000).is_err());
+    }
+}

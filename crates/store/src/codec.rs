@@ -1,0 +1,423 @@
+//! The `ENQM` container: header layout, integrity hash, and the
+//! fail-closed payload cursor.
+//!
+//! Byte-level spec: `docs/FORMATS.md`. The container is deliberately
+//! boring — a fixed 24-byte header followed by one contiguous,
+//! hash-covered payload — so a reader can validate the whole file from
+//! the header before decoding a single field, and an mmap'd artifact
+//! decodes from one borrowed slice with no seeking.
+
+use crate::error::StoreError;
+
+/// The artifact magic: the first four bytes of every `ENQM` file.
+pub const ENQM_MAGIC: [u8; 4] = *b"ENQM";
+
+/// Highest format version this build writes and reads.
+pub const ENQM_VERSION: u16 = 1;
+
+/// Fixed header length: magic (4) + version (2) + flags (2) +
+/// payload length (8) + payload hash (8).
+pub const ENQM_HEADER_LEN: usize = 24;
+
+/// The canonical file extension for model artifacts.
+pub const ARTIFACT_EXTENSION: &str = "enqm";
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The payload integrity hash: FNV-1a 64 over the raw payload bytes.
+///
+/// The hash detects accidental corruption (torn writes, bit rot, clipped
+/// copies) — it is **not** a cryptographic signature and offers no
+/// protection against a deliberate forger, who could simply rewrite it.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Frames `payload` into a complete artifact file image:
+/// `header ++ payload`.
+pub fn frame_payload(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENQM_HEADER_LEN + payload.len());
+    out.extend_from_slice(&ENQM_MAGIC);
+    out.extend_from_slice(&ENQM_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // reserved flags
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates the header and integrity hash of a complete artifact image
+/// and returns the payload slice.
+///
+/// Every check runs before any payload field is decoded: magic, version,
+/// reserved flags, exact length (`header + declared payload`, nothing
+/// more, nothing less), then the FNV-1a hash over the full payload.
+///
+/// # Errors
+///
+/// [`StoreError::Truncated`] for a file shorter than the header,
+/// [`StoreError::BadMagic`], [`StoreError::UnsupportedVersion`],
+/// [`StoreError::ReservedFlags`], [`StoreError::LengthMismatch`], and
+/// [`StoreError::IntegrityMismatch`].
+pub fn unframe_payload(image: &[u8]) -> Result<&[u8], StoreError> {
+    if image.len() < ENQM_HEADER_LEN {
+        return Err(StoreError::Truncated("header"));
+    }
+    let magic: [u8; 4] = image[0..4].try_into().expect("4 bytes");
+    if magic != ENQM_MAGIC {
+        return Err(StoreError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes(image[4..6].try_into().expect("2 bytes"));
+    if version == 0 || version > ENQM_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: ENQM_VERSION,
+        });
+    }
+    let flags = u16::from_le_bytes(image[6..8].try_into().expect("2 bytes"));
+    if flags != 0 {
+        return Err(StoreError::ReservedFlags { found: flags });
+    }
+    let declared = u64::from_le_bytes(image[8..16].try_into().expect("8 bytes"));
+    let stored = u64::from_le_bytes(image[16..24].try_into().expect("8 bytes"));
+    let actual = (image.len() - ENQM_HEADER_LEN) as u64;
+    if declared != actual {
+        return Err(StoreError::LengthMismatch { declared, actual });
+    }
+    let payload = &image[ENQM_HEADER_LEN..];
+    let computed = fnv1a64(payload);
+    if computed != stored {
+        return Err(StoreError::IntegrityMismatch { stored, computed });
+    }
+    Ok(payload)
+}
+
+/// Fail-closed payload reader, mirroring the wire protocol's cursor: every
+/// read is bounds-checked against the (already hash-validated) payload,
+/// counts are checked against the bytes actually present before any
+/// allocation, and [`Cursor::finish`] rejects trailing bytes.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts a cursor over a payload slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or(StoreError::Truncated(field))?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, field: &'static str) -> Result<u8, StoreError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self, field: &'static str) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, field)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, field: &'static str) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, field)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, field: &'static str) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, field)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `f64` — bit-exact, NaN payloads included.
+    pub fn f64(&mut self, field: &'static str) -> Result<f64, StoreError> {
+        Ok(f64::from_le_bytes(
+            self.take(8, field)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `[u16 len][utf8 bytes]` string.
+    pub fn string(&mut self, field: &'static str) -> Result<String, StoreError> {
+        let len = self.u16(field)? as usize;
+        let bytes = self.take(len, field)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::InvalidUtf8(field))
+    }
+
+    /// Reads a `[u32 count][count × f64]` vector.
+    pub fn f64s(&mut self, field: &'static str) -> Result<Vec<f64>, StoreError> {
+        let count = self.u32(field)? as usize;
+        if count > self.remaining() / 8 {
+            return Err(StoreError::CountOverflow(field));
+        }
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            values.push(self.f64(field)?);
+        }
+        Ok(values)
+    }
+
+    /// Reads a boolean encoded as one byte, rejecting anything but 0 or 1.
+    pub fn bool(&mut self, field: &'static str) -> Result<bool, StoreError> {
+        match self.u8(field)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StoreError::InvalidValue {
+                field,
+                found: other.to_string(),
+            }),
+        }
+    }
+
+    /// Validates that a declared element count can fit in the remaining
+    /// bytes, given a minimum encoded size per element.
+    pub fn check_count(
+        &self,
+        count: usize,
+        min_element_bytes: usize,
+        field: &'static str,
+    ) -> Result<(), StoreError> {
+        if count > self.remaining() / min_element_bytes.max(1) {
+            return Err(StoreError::CountOverflow(field));
+        }
+        Ok(())
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    /// Rejects trailing bytes after a fully decoded payload.
+    pub fn finish(self) -> Result<(), StoreError> {
+        let extra = self.remaining();
+        if extra == 0 {
+            Ok(())
+        } else {
+            Err(StoreError::TrailingBytes { extra })
+        }
+    }
+}
+
+/// Payload writer: the encoding twin of [`Cursor`].
+#[derive(Default)]
+pub struct Writer {
+    bytes: Vec<u8>,
+}
+
+impl Writer {
+    /// Starts an empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64` — bit-exact via [`f64::to_le_bytes`].
+    pub fn f64(&mut self, v: f64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `[u16 len][utf8 bytes]` string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string exceeds 64 KiB (model ids are short; the
+    /// encoder enforces what the decoder's `u16` length can express).
+    pub fn string(&mut self, v: &str) {
+        let len = u16::try_from(v.len()).expect("string fields are capped at 64 KiB");
+        self.u16(len);
+        self.bytes.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends a `[u32 count][count × f64]` vector.
+    pub fn f64s(&mut self, values: &[f64]) {
+        self.u32(u32::try_from(values.len()).expect("vector fields are capped at u32::MAX"));
+        for &v in values {
+            self.f64(v);
+        }
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Finishes the payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn frame_unframe_roundtrip() {
+        let payload = b"some payload bytes".to_vec();
+        let image = frame_payload(&payload);
+        assert_eq!(image.len(), ENQM_HEADER_LEN + payload.len());
+        assert_eq!(unframe_payload(&image).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn header_validation_fails_closed() {
+        let image = frame_payload(b"x");
+        // Too short for a header.
+        assert!(matches!(
+            unframe_payload(&image[..10]),
+            Err(StoreError::Truncated("header"))
+        ));
+        // Wrong magic.
+        let mut bad = image.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            unframe_payload(&bad),
+            Err(StoreError::BadMagic { .. })
+        ));
+        // Future version.
+        let mut bad = image.clone();
+        bad[4..6].copy_from_slice(&99u16.to_le_bytes());
+        assert!(matches!(
+            unframe_payload(&bad),
+            Err(StoreError::UnsupportedVersion { found: 99, .. })
+        ));
+        // Version zero.
+        let mut bad = image.clone();
+        bad[4..6].copy_from_slice(&0u16.to_le_bytes());
+        assert!(matches!(
+            unframe_payload(&bad),
+            Err(StoreError::UnsupportedVersion { found: 0, .. })
+        ));
+        // Reserved flags.
+        let mut bad = image.clone();
+        bad[6] = 1;
+        assert!(matches!(
+            unframe_payload(&bad),
+            Err(StoreError::ReservedFlags { found: 1 })
+        ));
+        // Clipped payload.
+        assert!(matches!(
+            unframe_payload(&image[..image.len() - 1]),
+            Err(StoreError::LengthMismatch { .. })
+        ));
+        // Appended garbage.
+        let mut bad = image.clone();
+        bad.push(0);
+        assert!(matches!(
+            unframe_payload(&bad),
+            Err(StoreError::LengthMismatch { .. })
+        ));
+        // Flipped payload bit.
+        let mut bad = image.clone();
+        *bad.last_mut().unwrap() ^= 0x01;
+        assert!(matches!(
+            unframe_payload(&bad),
+            Err(StoreError::IntegrityMismatch { .. })
+        ));
+        // Flipped stored-hash bit.
+        let mut bad = image;
+        bad[16] ^= 0x01;
+        assert!(matches!(
+            unframe_payload(&bad),
+            Err(StoreError::IntegrityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cursor_roundtrips_and_fails_closed() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(513);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.f64(f64::NAN);
+        w.string("model-id");
+        w.f64s(&[1.5, -0.25]);
+        w.bool(true);
+        let bytes = w.into_bytes();
+
+        let mut c = Cursor::new(&bytes);
+        assert_eq!(c.u8("a").unwrap(), 7);
+        assert_eq!(c.u16("b").unwrap(), 513);
+        assert_eq!(c.u32("c").unwrap(), 70_000);
+        assert_eq!(c.u64("d").unwrap(), 1 << 40);
+        assert!(c.f64("e").unwrap().is_nan());
+        assert_eq!(c.string("f").unwrap(), "model-id");
+        assert_eq!(c.f64s("g").unwrap(), vec![1.5, -0.25]);
+        assert!(c.bool("h").unwrap());
+        c.finish().unwrap();
+
+        // Trailing bytes are rejected.
+        let mut c = Cursor::new(&bytes);
+        c.u8("a").unwrap();
+        assert!(matches!(c.finish(), Err(StoreError::TrailingBytes { .. })));
+
+        // A hostile vector count cannot reserve memory.
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let hostile = w.into_bytes();
+        let mut c = Cursor::new(&hostile);
+        assert!(matches!(c.f64s("v"), Err(StoreError::CountOverflow("v"))));
+
+        // Non-boolean flag bytes are rejected.
+        let mut c = Cursor::new(&[2]);
+        assert!(matches!(
+            c.bool("flag"),
+            Err(StoreError::InvalidValue { field: "flag", .. })
+        ));
+
+        // Reads past the end are truncation errors.
+        let mut c = Cursor::new(&[1, 2]);
+        assert!(matches!(c.u32("x"), Err(StoreError::Truncated("x"))));
+    }
+}

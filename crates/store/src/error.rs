@@ -1,0 +1,183 @@
+//! The model-store error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the `ENQM` artifact codec and file IO.
+///
+/// Decoding is **fail-closed**, mirroring the wire protocol: a truncated
+/// field, trailing bytes, an unknown magic or version, a payload whose
+/// integrity hash does not match, or a structurally invalid model all
+/// surface a typed variant — never a panic, never a partially adopted
+/// model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The file does not start with the `ENQM` magic — not a model
+    /// artifact at all (or one whose first bytes were corrupted).
+    BadMagic {
+        /// The four bytes found where the magic was expected.
+        found: [u8; 4],
+    },
+    /// The artifact declares a format version this build does not decode.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u16,
+        /// The highest version this build supports.
+        supported: u16,
+    },
+    /// The header's reserved flags word was non-zero. Reserved bits are
+    /// written as zero and rejected when set, so a future format revision
+    /// that assigns them cannot be half-read by an old decoder.
+    ReservedFlags {
+        /// The flags word found.
+        found: u16,
+    },
+    /// The named field extends past the end of the available bytes — a
+    /// truncated or clipped artifact.
+    Truncated(&'static str),
+    /// Bytes remain after the payload was fully decoded.
+    TrailingBytes {
+        /// Number of undecoded bytes left over.
+        extra: usize,
+    },
+    /// The file is shorter or longer than `header + declared payload`.
+    LengthMismatch {
+        /// Payload length declared by the header.
+        declared: u64,
+        /// Bytes actually present after the header.
+        actual: u64,
+    },
+    /// A declared element count cannot fit in the bytes actually present —
+    /// a hostile count cannot reserve memory beyond the file's real size.
+    CountOverflow(&'static str),
+    /// A string field held invalid UTF-8.
+    InvalidUtf8(&'static str),
+    /// The FNV-1a integrity hash over the payload does not match the
+    /// header — the payload (or the stored hash) was corrupted in flight
+    /// or at rest.
+    IntegrityMismatch {
+        /// Hash recorded in the header.
+        stored: u64,
+        /// Hash computed over the payload as read.
+        computed: u64,
+    },
+    /// A field decoded but holds a value outside its domain (unknown
+    /// entangler tag, non-boolean flag byte, …).
+    InvalidValue {
+        /// The field at fault.
+        field: &'static str,
+        /// What was found, rendered for the error message.
+        found: String,
+    },
+    /// The decoded parts do not assemble into a valid model (dimension
+    /// mismatches, invalid ansatz, duplicate class labels, …).
+    Model(enqode::EnqodeError),
+    /// The decoded parts do not assemble into a valid feature pipeline.
+    Data(enq_data::DataError),
+    /// Reading or writing the artifact file failed.
+    Io(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadMagic { found } => {
+                write!(f, "not an ENQM artifact: magic bytes {found:02x?}")
+            }
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported ENQM format version {found} (this build reads <= {supported})"
+            ),
+            StoreError::ReservedFlags { found } => {
+                write!(f, "reserved header flags set: {found:#06x}")
+            }
+            StoreError::Truncated(field) => write!(f, "artifact truncated reading {field}"),
+            StoreError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after the payload")
+            }
+            StoreError::LengthMismatch { declared, actual } => write!(
+                f,
+                "header declares a {declared}-byte payload but {actual} byte(s) follow"
+            ),
+            StoreError::CountOverflow(field) => {
+                write!(f, "declared count for {field} exceeds the artifact size")
+            }
+            StoreError::InvalidUtf8(field) => write!(f, "invalid UTF-8 in {field}"),
+            StoreError::IntegrityMismatch { stored, computed } => write!(
+                f,
+                "payload integrity hash mismatch: header records {stored:#018x}, \
+                 payload hashes to {computed:#018x}"
+            ),
+            StoreError::InvalidValue { field, found } => {
+                write!(f, "invalid value for {field}: {found}")
+            }
+            StoreError::Model(e) => write!(f, "decoded parts do not form a valid model: {e}"),
+            StoreError::Data(e) => {
+                write!(f, "decoded parts do not form a valid feature pipeline: {e}")
+            }
+            StoreError::Io(msg) => write!(f, "artifact io error: {msg}"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Model(e) => Some(e),
+            StoreError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<enqode::EnqodeError> for StoreError {
+    fn from(e: enqode::EnqodeError) -> Self {
+        StoreError::Model(e)
+    }
+}
+
+impl From<enq_data::DataError> for StoreError {
+    fn from(e: enq_data::DataError) -> Self {
+        StoreError::Data(e)
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(StoreError::BadMagic { found: *b"ENQB" }
+            .to_string()
+            .contains("magic"));
+        assert!(StoreError::UnsupportedVersion {
+            found: 9,
+            supported: 1
+        }
+        .to_string()
+        .contains("version 9"));
+        assert!(StoreError::IntegrityMismatch {
+            stored: 1,
+            computed: 2
+        }
+        .to_string()
+        .contains("integrity"));
+        assert!(StoreError::Truncated("mean").to_string().contains("mean"));
+        let e: StoreError = enq_data::DataError::EmptyDataset.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StoreError>();
+    }
+}

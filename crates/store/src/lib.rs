@@ -1,0 +1,39 @@
+//! `enq_store` — the durable model store for EnQode pipelines.
+//!
+//! This crate defines the versioned **`ENQM`** artifact container: a
+//! self-describing, integrity-checked file holding everything a trained
+//! [`enqode::EnqodePipeline`] needs to serve — PCA basis, per-class ansatz
+//! configs, trained cluster centroids and parameters — plus the registry
+//! identity (model id and generation) it was persisted under. The headline
+//! property is **bit-exactness**: `embed` on a decoded pipeline produces
+//! output bitwise identical to the pipeline that was encoded, which is what
+//! makes zero-downtime warm boots safe (a restarted `enqd` answers with the
+//! same bytes as the process it replaced).
+//!
+//! Decoding is **fail-closed** in the same spirit as the wire protocol in
+//! `enq_net`: magic, version, reserved flags, declared length, and an
+//! integrity hash over the payload are all validated before any field is
+//! decoded; every field read is bounds-checked; trailing bytes are
+//! rejected. A truncated, bit-flipped, wrong-version, or wrong-magic file
+//! yields a typed [`StoreError`] and nothing else — callers can never adopt
+//! a partially decoded model.
+//!
+//! The byte-level layout is specified in `docs/FORMATS.md`.
+//!
+//! Dependency note: this crate depends only on `enqode` and `enq_data`.
+//! The serving tier (`enq_serve`) layers registry snapshot/restore on top.
+#![warn(missing_docs)]
+
+mod artifact;
+mod codec;
+mod error;
+
+pub use artifact::{
+    artifact_file_name, decode_model, encode_model, read_model_file, write_model_file,
+    ModelArtifact,
+};
+pub use codec::{
+    fnv1a64, frame_payload, unframe_payload, ARTIFACT_EXTENSION, ENQM_HEADER_LEN, ENQM_MAGIC,
+    ENQM_VERSION,
+};
+pub use error::StoreError;

@@ -1,0 +1,93 @@
+//! Documentation-presence checks, mirrored by the CI `docs-presence` step:
+//! every workspace crate must appear in the README crate table, and the
+//! format/operations documents the code references must exist and cover
+//! their headline topics. Run as a test so a missing row fails `cargo test`
+//! locally, not just in CI.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // This test is registered under crates/store; the repo root is two up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+/// Workspace member crate names, parsed from the root manifest's
+/// `members = [...]` list (member `crates/<dir>` → package name from the
+/// member's own manifest).
+fn workspace_crate_names() -> Vec<String> {
+    let root = repo_root();
+    let manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap();
+    let members_start = manifest.find("members").expect("members list");
+    let open = manifest[members_start..].find('[').unwrap() + members_start;
+    let close = manifest[open..].find(']').unwrap() + open;
+    let mut names = Vec::new();
+    for entry in manifest[open + 1..close].split(',') {
+        let entry = entry.trim().trim_matches('"');
+        if entry.is_empty() {
+            continue;
+        }
+        let member_manifest = std::fs::read_to_string(root.join(entry).join("Cargo.toml")).unwrap();
+        let name_line = member_manifest
+            .lines()
+            .find(|l| l.trim_start().starts_with("name"))
+            .unwrap_or_else(|| panic!("{entry}/Cargo.toml has no name"));
+        let name = name_line
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .trim_matches('"');
+        names.push(name.to_string());
+    }
+    assert!(
+        names.len() >= 10,
+        "workspace parse looks broken: only {names:?}"
+    );
+    names
+}
+
+#[test]
+fn every_workspace_crate_is_documented_in_the_readme() {
+    let readme = std::fs::read_to_string(repo_root().join("README.md")).unwrap();
+    let missing: Vec<String> = workspace_crate_names()
+        .into_iter()
+        .filter(|name| !readme.contains(&format!("`{name}`")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "README.md crate table is missing: {missing:?}"
+    );
+}
+
+#[test]
+fn format_and_operations_docs_exist_and_cover_their_topics() {
+    let docs = repo_root().join("docs");
+    let formats = std::fs::read_to_string(docs.join("FORMATS.md")).unwrap();
+    for needle in ["ENQM", "ENQB", "FNV-1a", "little-endian", "fail closed"] {
+        assert!(
+            formats.contains(needle),
+            "FORMATS.md does not mention {needle:?}"
+        );
+    }
+    let operations = std::fs::read_to_string(docs.join("OPERATIONS.md")).unwrap();
+    for needle in [
+        "--model-dir",
+        "ENQ_COMPUTE_BACKEND",
+        "warm boot",
+        "drain",
+        "BENCH_",
+    ] {
+        assert!(
+            operations.contains(needle),
+            "OPERATIONS.md does not mention {needle:?}"
+        );
+    }
+    let protocol = std::fs::read_to_string(docs.join("PROTOCOL.md")).unwrap();
+    assert!(
+        protocol.contains("FORMATS.md"),
+        "PROTOCOL.md should cross-link FORMATS.md"
+    );
+}

@@ -10,9 +10,10 @@ use std::net::TcpStream;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-/// Spawns `enqd` on an ephemeral port and returns the child plus the bound
-/// address parsed from its readiness line.
-fn spawn_enqd(extra_args: &[&str]) -> (Child, String) {
+/// Spawns `enqd` on an ephemeral port and returns the child, the bound
+/// address parsed from its readiness line, and any status lines (e.g.
+/// `ENQD WARMBOOT …`) the daemon printed **before** readiness.
+fn spawn_enqd(extra_args: &[&str]) -> (Child, String, Vec<String>) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_enqd"))
         .arg("--addr")
         .arg("127.0.0.1:0")
@@ -23,20 +24,21 @@ fn spawn_enqd(extra_args: &[&str]) -> (Child, String) {
         .expect("spawning enqd");
     let stdout = child.stdout.take().expect("piped stdout");
     let mut reader = BufReader::new(stdout);
-    let mut ready = String::new();
-    reader
-        .read_line(&mut ready)
-        .expect("reading enqd readiness line");
-    let addr = ready
-        .trim_end()
-        .strip_prefix("ENQD LISTENING ")
-        .unwrap_or_else(|| panic!("unexpected readiness line: {ready:?}"))
-        .to_string();
+    let mut preamble = Vec::new();
+    let addr = loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("reading enqd stdout");
+        assert!(n > 0, "enqd closed stdout before readiness: {preamble:?}");
+        if let Some(addr) = line.trim_end().strip_prefix("ENQD LISTENING ") {
+            break addr.to_string();
+        }
+        preamble.push(line.trim_end().to_string());
+    };
     // Hand the handle back so the drained banner can be read later (the
     // daemon writes nothing between the readiness line and the banner, so
     // dropping the empty buffer loses nothing).
     child.stdout = Some(reader.into_inner());
-    (child, addr)
+    (child, addr, preamble)
 }
 
 /// Waits (bounded) for the child to exit and returns (exit-ok, stdout rest).
@@ -79,7 +81,11 @@ fn default_samples() -> Vec<Vec<f64>> {
 
 #[test]
 fn enqd_serves_embeds_rejects_garbage_and_drains_on_control_frame() {
-    let (child, addr) = spawn_enqd(&[]);
+    let (child, addr, preamble) = spawn_enqd(&[]);
+    assert!(
+        preamble.is_empty(),
+        "no boot status expected without --model-dir: {preamble:?}"
+    );
     let samples = default_samples();
     let mut client = EnqClient::new(addr.clone(), RetryPolicy::default());
 
@@ -143,10 +149,64 @@ fn enqd_serves_embeds_rejects_garbage_and_drains_on_control_frame() {
     );
 }
 
+#[test]
+fn enqd_warm_boot_serves_bit_identical_answers_without_retraining() {
+    let model_dir = std::env::temp_dir().join(format!("enqd_warmboot_{}", std::process::id()));
+    std::fs::remove_dir_all(&model_dir).ok();
+    let dir_arg = model_dir.to_str().unwrap().to_string();
+    let samples = default_samples();
+
+    // First boot: the store is empty, so the daemon trains and persists —
+    // a cold start, and it says so before readiness.
+    let (child, addr, preamble) = spawn_enqd(&["--model-dir", &dir_arg]);
+    assert!(
+        preamble.iter().any(|l| l.starts_with("ENQD COLDBOOT")),
+        "expected a COLDBOOT status line, got {preamble:?}"
+    );
+    let mut client = EnqClient::new(addr, RetryPolicy::default());
+    let before = client.embed("warm", "default", &samples[0], 0).unwrap();
+    client.drain().expect("drain ack");
+    let (ok, _) = wait_for_exit(child);
+    assert!(ok, "first enqd must exit 0");
+    assert!(
+        model_dir.join("default.enqm").is_file(),
+        "cold start must leave an artifact behind"
+    );
+
+    // Second boot, same store: a warm boot — the artifact is restored at
+    // its recorded generation, announced before readiness, and the answer
+    // to the same request is bitwise identical to the first process's.
+    let (child, addr, preamble) = spawn_enqd(&["--model-dir", &dir_arg]);
+    let warm = preamble
+        .iter()
+        .find(|l| l.starts_with("ENQD WARMBOOT"))
+        .unwrap_or_else(|| panic!("expected a WARMBOOT status line, got {preamble:?}"));
+    assert!(
+        warm.contains("models=1") && warm.contains("generation=1"),
+        "unexpected warm-boot summary: {warm:?}"
+    );
+    let mut client = EnqClient::new(addr, RetryPolicy::default());
+    let after = client.embed("warm", "default", &samples[0], 0).unwrap();
+    assert_eq!(after.label, before.label);
+    assert_eq!(
+        after.ideal_fidelity.to_bits(),
+        before.ideal_fidelity.to_bits(),
+        "warm-boot fidelity must be bit-identical"
+    );
+    assert_eq!(after.parameters.len(), before.parameters.len());
+    for (a, b) in after.parameters.iter().zip(&before.parameters) {
+        assert_eq!(a.to_bits(), b.to_bits(), "warm-boot parameters must match");
+    }
+    client.drain().expect("drain ack");
+    let (ok, _) = wait_for_exit(child);
+    assert!(ok, "second enqd must exit 0");
+    std::fs::remove_dir_all(&model_dir).ok();
+}
+
 #[cfg(unix)]
 #[test]
 fn enqd_drains_gracefully_on_sigterm() {
-    let (child, addr) = spawn_enqd(&["--max-pending", "8"]);
+    let (child, addr, _) = spawn_enqd(&["--max-pending", "8"]);
     let samples = default_samples();
     let mut client = EnqClient::new(addr, RetryPolicy::default());
     client.embed("smoke", "default", &samples[1], 0).unwrap();

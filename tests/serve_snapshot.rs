@@ -1,0 +1,204 @@
+//! Registry persistence contract: snapshot → restore is a warm boot.
+//!
+//! Covers the serve-layer half of the durable model store — generation
+//! preservation across restarts, two-phase all-or-nothing restore in the
+//! face of hostile artifacts, and persist-on-swap from the background
+//! rebuild path.
+
+use enq_data::{generate_synthetic, Dataset, DatasetKind, SyntheticConfig, SyntheticSource};
+use enq_serve::{
+    restore_registry, snapshot_registry, EmbedService, ModelRegistry, RebuildSpec, RebuildStatus,
+    ServeConfig, StoreError,
+};
+use enqode::{AnsatzConfig, EnqodeConfig, EnqodePipeline, EntanglerKind, StreamingFitConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("enqm_snap_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn tiny_config(seed: u64) -> EnqodeConfig {
+    EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: 2,
+            num_layers: 2,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.5,
+        max_clusters: 2,
+        offline_max_iterations: 20,
+        offline_restarts: 1,
+        online_max_iterations: 10,
+        offline_rescue: false,
+        seed,
+    }
+}
+
+fn tiny_dataset(seed: u64) -> Dataset {
+    generate_synthetic(
+        DatasetKind::MnistLike,
+        &SyntheticConfig {
+            classes: 2,
+            samples_per_class: 6,
+            seed,
+        },
+    )
+    .unwrap()
+}
+
+fn tiny_pipeline(seed: u64) -> Arc<EnqodePipeline> {
+    Arc::new(EnqodePipeline::build(&tiny_dataset(seed), tiny_config(seed)).unwrap())
+}
+
+#[test]
+fn snapshot_then_restore_preserves_pipelines_and_generations() {
+    let dir = unique_dir("roundtrip");
+    let registry = ModelRegistry::with_shards(4);
+    registry.insert("alpha", tiny_pipeline(1));
+    registry.insert("beta", tiny_pipeline(2));
+    registry.insert("alpha", tiny_pipeline(3)); // replace: alpha is generation 3
+    let manifest = snapshot_registry(&registry, &dir).unwrap();
+    let summary: Vec<(&str, u64)> = manifest
+        .iter()
+        .map(|m| (m.model_id.as_str(), m.generation))
+        .collect();
+    assert_eq!(summary, vec![("alpha", 3), ("beta", 2)]);
+
+    // "Restart": a fresh registry adopts the artifacts at their recorded
+    // generations, and its counter resumes past the restored maximum.
+    let reborn = ModelRegistry::with_shards(2);
+    let restored = restore_registry(&reborn, &dir).unwrap();
+    assert_eq!(restored.len(), 2);
+    assert_eq!(reborn.get_with_generation("alpha").unwrap().1, 3);
+    assert_eq!(reborn.get_with_generation("beta").unwrap().1, 2);
+    let (_, next) = reborn.insert_tracked("gamma", tiny_pipeline(4));
+    assert_eq!(next, 4);
+
+    // The warm-booted pipeline answers bitwise identically.
+    let data = tiny_dataset(3);
+    let before = registry.get("alpha").unwrap();
+    let after = reborn.get("alpha").unwrap();
+    for index in 0..data.len() {
+        let (label_b, emb_b) = before.embed(data.sample(index)).unwrap();
+        let (label_a, emb_a) = after.embed(data.sample(index)).unwrap();
+        assert_eq!(label_b, label_a);
+        assert_eq!(
+            emb_b.ideal_fidelity.to_bits(),
+            emb_a.ideal_fidelity.to_bits()
+        );
+        let bits_b: Vec<u64> = emb_b.parameters.iter().map(|p| p.to_bits()).collect();
+        let bits_a: Vec<u64> = emb_a.parameters.iter().map(|p| p.to_bits()).collect();
+        assert_eq!(bits_b, bits_a);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn one_corrupt_artifact_aborts_the_whole_restore_with_no_partial_adoption() {
+    let dir = unique_dir("hostile");
+    let registry = ModelRegistry::new();
+    registry.insert("good-a", tiny_pipeline(5));
+    registry.insert("good-b", tiny_pipeline(6));
+    snapshot_registry(&registry, &dir).unwrap();
+    // Corrupt one artifact with a single mid-payload bit flip.
+    let victim = dir.join("good-b.enqm");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let target = ModelRegistry::new();
+    target.insert("survivor", tiny_pipeline(7));
+    let err = restore_registry(&target, &dir).unwrap_err();
+    assert!(
+        matches!(err, StoreError::IntegrityMismatch { .. }),
+        "expected an integrity failure, got {err}"
+    );
+    // Two-phase restore: nothing was adopted, the pre-existing model is
+    // untouched, and the generation counter did not move.
+    assert_eq!(target.model_ids(), vec!["survivor"]);
+    assert_eq!(target.get_with_generation("survivor").unwrap().1, 1);
+    let (_, next) = target.insert_tracked("next", tiny_pipeline(8));
+    assert_eq!(next, 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restoring_a_missing_or_empty_directory_is_a_cold_start_not_an_error() {
+    let dir = unique_dir("cold");
+    let registry = ModelRegistry::new();
+    assert!(restore_registry(&registry, &dir).unwrap().is_empty());
+    std::fs::create_dir_all(&dir).unwrap();
+    // Non-artifact files are ignored.
+    std::fs::write(dir.join("README.txt"), b"not a model").unwrap();
+    assert!(restore_registry(&registry, &dir).unwrap().is_empty());
+    assert!(registry.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn colliding_sanitised_file_names_refuse_the_snapshot() {
+    let dir = unique_dir("collide");
+    let registry = ModelRegistry::new();
+    let p = tiny_pipeline(9);
+    registry.insert("tenant/a", Arc::clone(&p));
+    registry.insert("tenant_a", p);
+    let err = snapshot_registry(&registry, &dir).unwrap_err();
+    assert!(matches!(
+        err,
+        StoreError::InvalidValue {
+            field: "model_id",
+            ..
+        }
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn successful_rebuild_persists_the_new_generation_when_enabled() {
+    let dir = unique_dir("swap");
+    let service = EmbedService::new(ServeConfig::default());
+    service.register_model("live", tiny_pipeline(10));
+    service.enable_persistence(&dir).unwrap();
+
+    let source = SyntheticSource::new(
+        DatasetKind::MnistLike,
+        &SyntheticConfig {
+            classes: 2,
+            samples_per_class: 6,
+            seed: 11,
+        },
+    )
+    .unwrap();
+    let stream = StreamingFitConfig {
+        chunk_size: 4,
+        clusters_per_class: 1,
+        passes: 1,
+        polish_passes: 1,
+        ..StreamingFitConfig::default()
+    };
+    let ticket = service
+        .rebuild_controller()
+        .start("live", source, RebuildSpec::new(tiny_config(11), stream))
+        .unwrap();
+    assert_eq!(ticket.wait(), RebuildStatus::Succeeded);
+
+    // The swap persisted an artifact at the registry's current generation,
+    // and reported it as a `persist` progress stage.
+    let stages: Vec<&str> = ticket.progress().iter().map(|s| s.stage).collect();
+    assert_eq!(stages.last(), Some(&"persist"));
+    let (swapped, generation) = service.registry().get_with_generation("live").unwrap();
+    let artifact = enq_store::read_model_file(&dir.join("live.enqm")).unwrap();
+    assert_eq!(artifact.model_id, "live");
+    assert_eq!(artifact.generation, generation);
+    // And the persisted bytes describe exactly the pipeline now serving.
+    let reencoded = enq_store::encode_model("live", generation, &swapped);
+    assert_eq!(
+        reencoded,
+        enq_store::encode_model("live", generation, &artifact.pipeline)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,234 @@
+//! `ENQM` artifact contract tests.
+//!
+//! Two properties anchor the durable model store:
+//!
+//! 1. **Bit-exact round trips** — encode → decode → re-encode reproduces
+//!    the byte image exactly, and a decoded pipeline's `embed` output is
+//!    bitwise identical to the original pipeline's (same parameters, same
+//!    fidelity bits). This is what makes a warm boot indistinguishable from
+//!    the process it replaced.
+//! 2. **Fail-closed decoding** — every truncation and every single-bit
+//!    corruption of a valid artifact yields a typed [`StoreError`], never a
+//!    partially decoded model, mirroring the hostile-input corpus style of
+//!    `tests/net_protocol.rs`.
+
+use enq_data::{generate_synthetic, Dataset, DatasetKind, SyntheticConfig};
+use enq_store::{
+    decode_model, encode_model, read_model_file, write_model_file, StoreError, ENQM_HEADER_LEN,
+};
+use enqode::{AnsatzConfig, EnqodeConfig, EnqodePipeline, EntanglerKind};
+use proptest::prelude::*;
+
+fn dataset(classes: usize, per_class: usize, seed: u64) -> Dataset {
+    generate_synthetic(
+        DatasetKind::MnistLike,
+        &SyntheticConfig {
+            classes,
+            samples_per_class: per_class,
+            seed,
+        },
+    )
+    .unwrap()
+}
+
+fn config(num_qubits: usize, entangler: EntanglerKind, seed: u64) -> EnqodeConfig {
+    EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits,
+            num_layers: 2,
+            entangler,
+        },
+        fidelity_threshold: 0.5,
+        max_clusters: 2,
+        offline_max_iterations: 20,
+        offline_restarts: 1,
+        online_max_iterations: 10,
+        offline_rescue: false,
+        seed,
+    }
+}
+
+fn trained_pipeline(seed: u64) -> (Dataset, EnqodePipeline) {
+    let data = dataset(2, 6, seed);
+    let pipeline = EnqodePipeline::build(&data, config(2, EntanglerKind::Cy, seed)).unwrap();
+    (data, pipeline)
+}
+
+/// Asserts that two pipelines embed every sample of `data` with bitwise
+/// identical results — parameter bits, fidelity bits, label, and cluster.
+fn assert_embeds_bitwise_equal(a: &EnqodePipeline, b: &EnqodePipeline, data: &Dataset) {
+    for index in 0..data.len() {
+        let sample = data.sample(index);
+        let (label_a, emb_a) = a.embed(sample).unwrap();
+        let (label_b, emb_b) = b.embed(sample).unwrap();
+        assert_eq!(label_a, label_b, "sample {index}: label");
+        assert_eq!(
+            emb_a.cluster_index, emb_b.cluster_index,
+            "sample {index}: cluster"
+        );
+        assert_eq!(
+            emb_a.ideal_fidelity.to_bits(),
+            emb_b.ideal_fidelity.to_bits(),
+            "sample {index}: fidelity bits"
+        );
+        let bits_a: Vec<u64> = emb_a.parameters.iter().map(|p| p.to_bits()).collect();
+        let bits_b: Vec<u64> = emb_b.parameters.iter().map(|p| p.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "sample {index}: parameter bits");
+    }
+}
+
+#[test]
+fn round_trip_preserves_identity_and_embeds_bitwise_identically() {
+    let (data, pipeline) = trained_pipeline(11);
+    let image = encode_model("mnist-like", 42, &pipeline);
+    let artifact = decode_model(&image).unwrap();
+    assert_eq!(artifact.model_id, "mnist-like");
+    assert_eq!(artifact.generation, 42);
+    assert_eq!(
+        artifact.pipeline.class_models().len(),
+        pipeline.class_models().len()
+    );
+    assert_embeds_bitwise_equal(&pipeline, &artifact.pipeline, &data);
+
+    // The strongest round-trip statement: re-encoding the decoded pipeline
+    // reproduces the byte image exactly — every field survived bit-for-bit.
+    let image2 = encode_model(&artifact.model_id, artifact.generation, &artifact.pipeline);
+    assert_eq!(image, image2, "encode(decode(x)) != x");
+}
+
+#[test]
+fn decoded_class_models_share_one_symbolic_table_per_shape() {
+    let (_, pipeline) = trained_pipeline(13);
+    let artifact = decode_model(&encode_model("m", 1, &pipeline)).unwrap();
+    let models = artifact.pipeline.class_models();
+    assert!(models.len() >= 2);
+    let first = models[0].model.symbolic_arc();
+    for cm in &models[1..] {
+        assert!(
+            std::sync::Arc::ptr_eq(&first, &cm.model.symbolic_arc()),
+            "same-shape class models must share one symbolic table"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_fails_closed() {
+    let (_, pipeline) = trained_pipeline(17);
+    let image = encode_model("t", 7, &pipeline);
+    for len in 0..image.len() {
+        assert!(
+            decode_model(&image[..len]).is_err(),
+            "prefix of {len}/{} bytes decoded successfully",
+            image.len()
+        );
+    }
+    // And one byte extra is trailing garbage, not a longer payload.
+    let mut longer = image.clone();
+    longer.push(0);
+    assert!(matches!(
+        decode_model(&longer),
+        Err(StoreError::LengthMismatch { .. })
+    ));
+}
+
+#[test]
+fn every_single_bit_flip_fails_closed() {
+    let (_, pipeline) = trained_pipeline(19);
+    let image = encode_model("flip", 3, &pipeline);
+    let mut corrupt = image.clone();
+    for byte in 0..image.len() {
+        for bit in 0..8 {
+            corrupt[byte] ^= 1 << bit;
+            assert!(
+                decode_model(&corrupt).is_err(),
+                "bit {bit} of byte {byte} flipped and the artifact still decoded"
+            );
+            corrupt[byte] ^= 1 << bit; // restore
+        }
+    }
+    assert_eq!(corrupt, image);
+}
+
+#[test]
+fn header_level_rejections_are_typed() {
+    let (_, pipeline) = trained_pipeline(23);
+    let image = encode_model("h", 1, &pipeline);
+
+    let mut wrong_magic = image.clone();
+    wrong_magic[..4].copy_from_slice(b"ENQB");
+    assert!(matches!(
+        decode_model(&wrong_magic),
+        Err(StoreError::BadMagic { .. })
+    ));
+
+    let mut future_version = image.clone();
+    future_version[4..6].copy_from_slice(&99u16.to_le_bytes());
+    assert!(matches!(
+        decode_model(&future_version),
+        Err(StoreError::UnsupportedVersion { found: 99, .. })
+    ));
+
+    let mut flags = image.clone();
+    flags[6] = 1;
+    assert!(matches!(
+        decode_model(&flags),
+        Err(StoreError::ReservedFlags { .. })
+    ));
+
+    assert!(matches!(
+        decode_model(&image[..ENQM_HEADER_LEN - 1]),
+        Err(StoreError::Truncated(_))
+    ));
+}
+
+#[test]
+fn file_round_trip_is_atomic_and_leaves_no_temp_files() {
+    let dir = std::env::temp_dir().join(format!("enqm_file_rt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (data, pipeline) = trained_pipeline(29);
+    let path = dir.join("demo.enqm");
+    write_model_file(&path, "demo", 5, &pipeline).unwrap();
+    // Overwrite in place — the rename path, as a rebuild would exercise it.
+    write_model_file(&path, "demo", 6, &pipeline).unwrap();
+    let artifact = read_model_file(&path).unwrap();
+    assert_eq!(artifact.generation, 6);
+    assert_embeds_bitwise_equal(&pipeline, &artifact.pipeline, &data);
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Round trips hold across qubit counts, entanglers, class counts, and
+    // generations — not just the one demo shape.
+    #[test]
+    fn round_trips_hold_across_model_shapes(
+        num_qubits in 2usize..4,
+        entangler_choice in 0u8..3,
+        classes in 1usize..3,
+        generation in 0u64..u64::MAX,
+        seed in 1u64..1000,
+    ) {
+        let entangler = match entangler_choice {
+            0 => EntanglerKind::Cy,
+            1 => EntanglerKind::Cx,
+            _ => EntanglerKind::Cz,
+        };
+        let data = dataset(classes, 5, seed);
+        let pipeline = EnqodePipeline::build(&data, config(num_qubits, entangler, seed)).unwrap();
+        let image = encode_model("prop", generation, &pipeline);
+        let artifact = decode_model(&image).unwrap();
+        prop_assert_eq!(artifact.generation, generation);
+        let image2 = encode_model("prop", generation, &artifact.pipeline);
+        prop_assert_eq!(image, image2);
+    }
+}
