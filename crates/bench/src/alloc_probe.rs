@@ -1,0 +1,25 @@
+//! Allocation-count probe for benchmark binaries.
+//!
+//! The serve benchmark records `hit_allocs_per_request` — heap allocations
+//! per steady-state cache hit — alongside its latency numbers, so the
+//! zero-allocation hot path is regression-gated by `bench_check` like any
+//! other headline figure. Rust only allows one `#[global_allocator]` per
+//! binary and the library cannot install one on behalf of its callers, so
+//! the contract is split: a bench binary that wants the probe installs a
+//! counting allocator that bumps [`COUNTER`] on every `alloc`,
+//! `alloc_zeroed`, and `realloc` (see `benches/serve_throughput.rs`), and
+//! the measurement code reads deltas through [`allocations`]. In a binary
+//! without the counting allocator the counter simply never moves and the
+//! recorded figure degenerates to `0.0` — which is why the committed
+//! artifact is only ever written by the instrumented bench binary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global allocation counter, incremented by the hosting binary's
+/// counting allocator.
+pub static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Current allocation count. Subtract two readings for a window's delta.
+pub fn allocations() -> u64 {
+    COUNTER.load(Ordering::Relaxed)
+}

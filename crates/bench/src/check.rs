@@ -122,14 +122,50 @@ pub fn default_gates() -> Vec<GateSpec> {
             direction: Direction::AtLeast,
             threshold: Threshold::Fixed(10.0),
         },
+        // The zero-allocation request hot path: the cache-off *single
+        // client* p50 must stay within 7× the bare sequential embed p50 —
+        // one client isolates the machinery cost (queue hop, batcher
+        // wakeup, reply path); with N concurrent clients on one core the
+        // p50 would carry an ≈N× queueing-delay floor that measures load,
+        // not machinery. And a steady-state cache hit must perform exactly
+        // zero heap allocations (measured by the bench binary's counting
+        // allocator).
+        GateSpec {
+            file: "BENCH_serve.json",
+            key: "serve_overhead_p50_ratio",
+            direction: Direction::AtMost,
+            threshold: Threshold::Fixed(7.0),
+        },
+        GateSpec {
+            file: "BENCH_serve.json",
+            key: "hit_allocs_per_request",
+            direction: Direction::AtMost,
+            threshold: Threshold::Fixed(0.0),
+        },
+        // The batch sweep must actually exercise large batches: with the
+        // per-row client raise (clients ≥ max_batch), the high-batch row
+        // forms batches beyond the default 8-client concurrency.
+        GateSpec {
+            file: "BENCH_serve.json",
+            key: "max_largest_batch",
+            direction: Direction::AtLeast,
+            threshold: Threshold::Fixed(9.0),
+        },
         // Model lifecycle: a background rebuild competes for cores but must
-        // never block the serve control plane — p99 compute-path latency
-        // while a rebuild trains on a worker thread stays within 3× idle.
+        // never block the serve control plane. The bound is calibrated for a
+        // single-core box, where the under-rebuild tail has a hard floor of
+        // a couple of scheduler quanta (~8 ms): when the SIMD backends cut
+        // the idle compute-path p99 from ~7.8 ms to ~1.7 ms, that floor
+        // alone became ~5× idle — with *both* absolute tails better than
+        // before. 6× keeps headroom over the floor while still catching the
+        // real regression (a rebuild that blocks the batcher pushes the
+        // ratio into the tens-to-hundreds: the tail becomes the rebuild's
+        // duration, not a scheduling quantum).
         GateSpec {
             file: "BENCH_serve.json",
             key: "rebuild_p99_ratio",
             direction: Direction::AtMost,
-            threshold: Threshold::Fixed(3.0),
+            threshold: Threshold::Fixed(6.0),
         },
         // Streaming fit: clustering quality within 1.05× of full-batch
         // Lloyd, trained on a dataset ≥ 10× the chunk budget.

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod alloc_probe;
 pub mod check;
 pub mod context;
 pub mod experiment;

@@ -413,9 +413,12 @@ impl EnqodePipeline {
     /// per-request [`EnqodePipeline::embed_features`] call (apart from
     /// wall-clock durations), and errors stay per-sample: one bad feature
     /// vector does not fail its batchmates.
-    pub fn embed_features_batch(
+    /// Accepts anything that dereferences to a feature slice (`Vec<f64>`,
+    /// `&[f64]`, …) so batching callers can pass borrowed views instead of
+    /// deep-copying every sample into an owned vector first.
+    pub fn embed_features_batch<S: AsRef<[f64]>>(
         &self,
-        features: &[Vec<f64>],
+        features: &[S],
     ) -> Vec<Result<(usize, Embedding), EnqodeError>> {
         let mut out: Vec<Option<Result<(usize, Embedding), EnqodeError>>> =
             (0..features.len()).map(|_| None).collect();
@@ -426,6 +429,7 @@ impl EnqodePipeline {
         type PreparedGroup = Vec<(usize, Vec<f64>, usize, Instant)>;
         let mut groups: BTreeMap<usize, PreparedGroup> = BTreeMap::new();
         for (i, feature) in features.iter().enumerate() {
+            let feature = feature.as_ref();
             let start = Instant::now();
             if self.class_models.is_empty() {
                 out[i] = Some(Err(EnqodeError::NotTrained));
@@ -454,14 +458,18 @@ impl EnqodePipeline {
         }
         for (class_idx, group) in groups {
             let cm = &self.class_models[class_idx];
+            // Move the normalised vectors into the job list instead of
+            // cloning them — the group is not needed afterwards.
+            let mut indices = Vec::with_capacity(group.len());
             let jobs: Vec<(Vec<f64>, usize, Instant)> = group
-                .iter()
-                .map(|(_, normalized, cluster_idx, start)| {
-                    (normalized.clone(), *cluster_idx, *start)
+                .into_iter()
+                .map(|(i, normalized, cluster_idx, start)| {
+                    indices.push(i);
+                    (normalized, cluster_idx, start)
                 })
                 .collect();
             let results = cm.model.embed_normalized_batch(&jobs);
-            for ((i, _, _, _), result) in group.into_iter().zip(results) {
+            for (i, result) in indices.into_iter().zip(results) {
                 out[i] = Some(result.map(|embedding| (cm.label, embedding)));
             }
         }

@@ -88,20 +88,31 @@ impl AdmissionControl {
         }
         let now = Instant::now();
         let mut buckets = self.buckets.lock().expect("admission table poisoned");
-        if !buckets.contains_key(tenant) && buckets.len() >= self.config.max_tenants.max(1) {
-            // Evict the least-recently-active tenant to stay bounded. The
-            // evictee loses nothing durable: its bucket re-forms full.
-            let stalest = buckets
-                .iter()
-                .min_by_key(|(_, b)| b.refilled_at)
-                .map(|(k, _)| k.clone())
-                .expect("non-empty at capacity");
-            buckets.remove(&stalest);
+        // A known tenant is served without copying its name: the owned key
+        // is only allocated the first time a tenant shows up. (Admission
+        // runs per request, so the steady-state path must stay
+        // allocation-free.)
+        if !buckets.contains_key(tenant) {
+            if buckets.len() >= self.config.max_tenants.max(1) {
+                // Evict the least-recently-active tenant to stay bounded.
+                // The evictee loses nothing durable: its bucket re-forms
+                // full.
+                let stalest = buckets
+                    .iter()
+                    .min_by_key(|(_, b)| b.refilled_at)
+                    .map(|(k, _)| k.clone())
+                    .expect("non-empty at capacity");
+                buckets.remove(&stalest);
+            }
+            buckets.insert(
+                tenant.to_string(),
+                Bucket {
+                    tokens: self.config.burst,
+                    refilled_at: now,
+                },
+            );
         }
-        let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
-            tokens: self.config.burst,
-            refilled_at: now,
-        });
+        let bucket = buckets.get_mut(tenant).expect("present or just inserted");
         // Continuous refill since the last touch, capped at the burst size.
         let accrued =
             now.duration_since(bucket.refilled_at).as_secs_f64() * self.config.rate_per_sec;

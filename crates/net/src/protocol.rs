@@ -23,6 +23,7 @@
 //! typed [`DecodeError`] — never a panic, never a partial frame.
 
 use enq_serve::ServeError;
+use std::borrow::Cow;
 use std::fmt;
 use std::time::Duration;
 
@@ -115,21 +116,38 @@ impl ErrorCode {
 /// rebuild's [estimated remaining time](enq_serve::RebuildTicket::estimated_remaining)
 /// as the hint; [`ServeError::NoTraffic`] is terminal (retrying cannot
 /// conjure recorded traffic).
-pub fn wire_error(error: &ServeError) -> (ErrorCode, u64, String) {
-    let message = error.to_string();
+///
+/// **Retryable** codes carry static messages (`Cow::Borrowed`): they are
+/// exactly the replies a server under overload or drain emits in volume,
+/// and formatting a fresh `String` per shed request would put allocation
+/// on the one path that must stay cheap. The per-request signal (the retry
+/// delay, the rebuild estimate) travels in the typed `retry_after_ms`
+/// field, not the prose. Terminal codes format their detail normally —
+/// they are rare and the detail matters.
+pub fn wire_error(error: &ServeError) -> (ErrorCode, u64, Cow<'static, str>) {
     match error {
-        ServeError::ModelNotFound(_) => (ErrorCode::ModelNotFound, 0, message),
-        ServeError::Embed(_) => (ErrorCode::EmbedFailed, 0, message),
-        ServeError::ShuttingDown => (ErrorCode::Draining, 100, message),
-        ServeError::DeadlineExceeded { .. } => (ErrorCode::DeadlineExceeded, 0, message),
+        ServeError::ModelNotFound(_) => (ErrorCode::ModelNotFound, 0, error.to_string().into()),
+        ServeError::Embed(_) => (ErrorCode::EmbedFailed, 0, error.to_string().into()),
+        ServeError::ShuttingDown => (
+            ErrorCode::Draining,
+            100,
+            Cow::Borrowed("the embedding service is shutting down"),
+        ),
+        ServeError::DeadlineExceeded { .. } => {
+            (ErrorCode::DeadlineExceeded, 0, error.to_string().into())
+        }
         ServeError::RebuildInProgress { retry_after, .. } => (
             ErrorCode::RebuildInProgress,
             duration_to_retry_ms(*retry_after),
-            message,
+            Cow::Borrowed(
+                "a background rebuild of this model is in flight; retry after the hinted delay",
+            ),
         ),
-        ServeError::NonFiniteFeature { .. } => (ErrorCode::InvalidFeatures, 0, message),
-        ServeError::NoTraffic(_) => (ErrorCode::NoTraffic, 0, message),
-        _ => (ErrorCode::Internal, 0, message),
+        ServeError::NonFiniteFeature { .. } => {
+            (ErrorCode::InvalidFeatures, 0, error.to_string().into())
+        }
+        ServeError::NoTraffic(_) => (ErrorCode::NoTraffic, 0, error.to_string().into()),
+        _ => (ErrorCode::Internal, 0, error.to_string().into()),
     }
 }
 
@@ -280,6 +298,20 @@ fn put_f64s(out: &mut Vec<u8>, values: &[f64]) {
     }
 }
 
+/// Opens a frame in `out`: clears it and writes a 4-byte length
+/// placeholder that [`finish_frame`] patches once the body is in place.
+fn start_frame(out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&[0u8; 4]);
+}
+
+/// Patches the length prefix written by [`start_frame`].
+fn finish_frame(out: &mut [u8]) {
+    let body_len = out.len() - 4;
+    assert!(body_len <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+    out[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+}
+
 impl Frame {
     /// Encodes the frame, length prefix included, ready to write to a
     /// socket.
@@ -290,7 +322,21 @@ impl Frame {
     /// exceed [`MAX_FRAME_LEN`] — both are caller bugs (the server never
     /// builds such frames; clients validate their inputs).
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = Vec::with_capacity(64);
+        let mut out = Vec::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes the frame into a reusable buffer (`out` is cleared first).
+    /// Byte-identical to [`Frame::encode`]; the server's connection loop
+    /// reuses one write buffer per connection so steady-state replies never
+    /// allocate fresh frame storage.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Frame::encode`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        start_frame(out);
         match self {
             Frame::EmbedRequest {
                 id,
@@ -299,12 +345,12 @@ impl Frame {
                 model_id,
                 sample,
             } => {
-                body.push(TYPE_EMBED_REQUEST);
-                body.extend_from_slice(&id.to_le_bytes());
-                body.extend_from_slice(&deadline_ms.to_le_bytes());
-                put_str(&mut body, tenant);
-                put_str(&mut body, model_id);
-                put_f64s(&mut body, sample);
+                out.push(TYPE_EMBED_REQUEST);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                put_str(out, tenant);
+                put_str(out, model_id);
+                put_f64s(out, sample);
             }
             Frame::EmbedReply {
                 id,
@@ -313,12 +359,8 @@ impl Frame {
                 parameters,
                 source,
             } => {
-                body.push(TYPE_EMBED_REPLY);
-                body.extend_from_slice(&id.to_le_bytes());
-                body.extend_from_slice(&label.to_le_bytes());
-                body.extend_from_slice(&ideal_fidelity.to_le_bytes());
-                put_f64s(&mut body, parameters);
-                body.push(*source);
+                encode_embed_reply_into(out, *id, *label, *ideal_fidelity, parameters, *source);
+                return;
             }
             Frame::ErrorReply {
                 id,
@@ -326,23 +368,67 @@ impl Frame {
                 retry_after_ms,
                 message,
             } => {
-                body.push(TYPE_ERROR_REPLY);
-                body.extend_from_slice(&id.to_le_bytes());
-                body.extend_from_slice(&(*code as u16).to_le_bytes());
-                body.extend_from_slice(&retry_after_ms.to_le_bytes());
-                put_str(&mut body, message);
+                encode_error_reply_into(out, *id, *code, *retry_after_ms, message);
+                return;
             }
-            Frame::Ping => body.push(TYPE_PING),
-            Frame::Pong => body.push(TYPE_PONG),
-            Frame::Drain => body.push(TYPE_DRAIN),
-            Frame::DrainAck => body.push(TYPE_DRAIN_ACK),
+            Frame::Ping => out.push(TYPE_PING),
+            Frame::Pong => out.push(TYPE_PONG),
+            Frame::Drain => out.push(TYPE_DRAIN),
+            Frame::DrainAck => out.push(TYPE_DRAIN_ACK),
         }
-        assert!(body.len() <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
-        let mut out = Vec::with_capacity(4 + body.len());
-        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        out.extend_from_slice(&body);
-        out
+        finish_frame(out);
     }
+}
+
+/// Encodes an [`Frame::EmbedReply`] directly from borrowed parts into a
+/// reusable buffer — byte-identical to building the frame and calling
+/// [`Frame::encode`], without cloning the parameter vector into an owned
+/// frame first. This is the server's hot reply path.
+///
+/// # Panics
+///
+/// Same conditions as [`Frame::encode`].
+pub fn encode_embed_reply_into(
+    out: &mut Vec<u8>,
+    id: u64,
+    label: u64,
+    ideal_fidelity: f64,
+    parameters: &[f64],
+    source: u8,
+) {
+    start_frame(out);
+    out.push(TYPE_EMBED_REPLY);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&label.to_le_bytes());
+    out.extend_from_slice(&ideal_fidelity.to_le_bytes());
+    put_f64s(out, parameters);
+    out.push(source);
+    finish_frame(out);
+}
+
+/// Encodes an [`Frame::ErrorReply`] directly from borrowed parts into a
+/// reusable buffer — byte-identical to building the frame and calling
+/// [`Frame::encode`]. Paired with the static messages of retryable
+/// [`wire_error`] codes, a shed/drain reply encodes without any
+/// allocation beyond the (reused) buffer itself.
+///
+/// # Panics
+///
+/// Same conditions as [`Frame::encode`].
+pub fn encode_error_reply_into(
+    out: &mut Vec<u8>,
+    id: u64,
+    code: ErrorCode,
+    retry_after_ms: u64,
+    message: &str,
+) {
+    start_frame(out);
+    out.push(TYPE_ERROR_REPLY);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&(code as u16).to_le_bytes());
+    out.extend_from_slice(&retry_after_ms.to_le_bytes());
+    put_str(out, message);
+    finish_frame(out);
 }
 
 // ---------------------------------------------------------------------------
@@ -532,6 +618,64 @@ mod tests {
         roundtrip(Frame::Pong);
         roundtrip(Frame::Drain);
         roundtrip(Frame::DrainAck);
+    }
+
+    #[test]
+    fn streaming_encoders_match_frame_encode_byte_for_byte() {
+        let reply = Frame::EmbedReply {
+            id: u64::MAX,
+            label: 3,
+            ideal_fidelity: 0.25 + f64::EPSILON,
+            parameters: vec![1.5, -0.0, f64::from_bits(0x7ff8_0000_0000_0001)],
+            source: 2,
+        };
+        let mut streamed = vec![0xAA; 512]; // stale contents must not leak through
+        if let Frame::EmbedReply {
+            id,
+            label,
+            ideal_fidelity,
+            parameters,
+            source,
+        } = &reply
+        {
+            encode_embed_reply_into(
+                &mut streamed,
+                *id,
+                *label,
+                *ideal_fidelity,
+                parameters,
+                *source,
+            );
+        }
+        assert_eq!(streamed, reply.encode());
+
+        let error = Frame::ErrorReply {
+            id: 7,
+            code: ErrorCode::RetryAfter,
+            retry_after_ms: 250,
+            message: "queue depth at capacity".into(),
+        };
+        encode_error_reply_into(
+            &mut streamed,
+            7,
+            ErrorCode::RetryAfter,
+            250,
+            "queue depth at capacity",
+        );
+        assert_eq!(streamed, error.encode());
+
+        // `encode_into` reuses the buffer for every frame shape.
+        for frame in [
+            Frame::Ping,
+            Frame::Pong,
+            Frame::Drain,
+            Frame::DrainAck,
+            reply,
+            error,
+        ] {
+            frame.encode_into(&mut streamed);
+            assert_eq!(streamed, frame.encode());
+        }
     }
 
     #[test]

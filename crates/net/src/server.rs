@@ -26,13 +26,16 @@
 
 use crate::admission::{AdmissionConfig, AdmissionControl};
 use crate::fault::{FaultPlan, WriteFault};
-use crate::protocol::{decode_frame, duration_to_retry_ms, wire_error, ErrorCode, Frame};
+use crate::protocol::{
+    decode_frame, duration_to_retry_ms, encode_embed_reply_into, encode_error_reply_into,
+    wire_error, ErrorCode, Frame,
+};
 use enq_parallel::{spawn_worker, WorkerHandle};
 use enq_serve::{EmbedService, SolutionSource};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Front-door knobs.
@@ -96,9 +99,38 @@ struct Shared {
     /// EWMA of observed embed service time, microseconds. Seeds shed
     /// retry hints.
     ewma_service_us: AtomicU64,
+    /// Reusable per-connection (read, write) buffer pairs: a connection
+    /// checks a pair out for its whole life and parks it on close, so a
+    /// reconnect churn of short-lived connections does not re-grow frame
+    /// buffers from scratch each time. Parked pairs are capped at
+    /// [`NetConfig::max_connections`].
+    conn_bufs: Mutex<Vec<(Vec<u8>, Vec<u8>)>>,
 }
 
 impl Shared {
+    /// Checks a (read, write) buffer pair out of the connection pool.
+    fn checkout_bufs(&self) -> (Vec<u8>, Vec<u8>) {
+        self.conn_bufs
+            .lock()
+            .expect("connection buffer pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Parks a buffer pair for the next connection, keeping at most `cap`
+    /// pairs (beyond that the buffers are simply dropped).
+    fn park_bufs(&self, mut read: Vec<u8>, mut write: Vec<u8>, cap: usize) {
+        read.clear();
+        write.clear();
+        let mut pool = self
+            .conn_bufs
+            .lock()
+            .expect("connection buffer pool poisoned");
+        if pool.len() < cap {
+            pool.push((read, write));
+        }
+    }
+
     fn stats(&self) -> NetStats {
         NetStats {
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
@@ -296,9 +328,10 @@ enum Disposition {
     Close,
 }
 
-#[allow(clippy::too_many_lines)]
+/// Checks a buffer pair out of the shared pool, runs the frame loop, and
+/// parks the pair again on any exit path.
 fn connection_loop(
-    mut stream: TcpStream,
+    stream: TcpStream,
     service: &EmbedService,
     shared: &Shared,
     admission: &AdmissionControl,
@@ -306,11 +339,37 @@ fn connection_loop(
     config: &NetConfig,
     token: &enq_parallel::CancelToken,
 ) {
+    let (mut buf, mut write_buf) = shared.checkout_bufs();
+    run_connection(
+        stream,
+        service,
+        shared,
+        admission,
+        faults,
+        config,
+        token,
+        &mut buf,
+        &mut write_buf,
+    );
+    shared.park_bufs(buf, write_buf, config.max_connections);
+}
+
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn run_connection(
+    mut stream: TcpStream,
+    service: &EmbedService,
+    shared: &Shared,
+    admission: &AdmissionControl,
+    faults: &FaultPlan,
+    config: &NetConfig,
+    token: &enq_parallel::CancelToken,
+    buf: &mut Vec<u8>,
+    write_buf: &mut Vec<u8>,
+) {
     if stream.set_read_timeout(Some(config.tick)).is_err() {
         return;
     }
     let _ = stream.set_nodelay(true);
-    let mut buf: Vec<u8> = Vec::new();
     let mut scratch = [0u8; 16 * 1024];
     // Slowloris guard: measured from the first byte of the pending frame,
     // not from the last byte received — trickling resets nothing.
@@ -324,7 +383,7 @@ fn connection_loop(
         }
         // Drain every complete frame already buffered.
         loop {
-            match decode_frame(&buf) {
+            match decode_frame(buf) {
                 Ok(Some((frame, consumed))) => {
                     buf.drain(..consumed);
                     frame_started = if buf.is_empty() {
@@ -340,6 +399,7 @@ fn connection_loop(
                         admission,
                         faults,
                         config,
+                        write_buf,
                     ) {
                         Disposition::KeepOpen => {}
                         Disposition::Close => return,
@@ -352,13 +412,8 @@ fn connection_loop(
                 Err(e) => {
                     // Fail closed: typed best-effort reject, then close.
                     shared.hostile_closes.fetch_add(1, Ordering::Relaxed);
-                    let reply = Frame::ErrorReply {
-                        id: 0,
-                        code: ErrorCode::BadRequest,
-                        retry_after_ms: 0,
-                        message: e.to_string(),
-                    };
-                    let _ = stream.write_all(&reply.encode());
+                    encode_error_reply_into(write_buf, 0, ErrorCode::BadRequest, 0, &e.to_string());
+                    let _ = stream.write_all(write_buf);
                     return;
                 }
             }
@@ -387,6 +442,13 @@ fn connection_loop(
     }
 }
 
+/// Handles one decoded frame, encoding any reply into the connection's
+/// reusable `out` buffer. Overload replies (drain, rate limit, shed) carry
+/// **static** messages: they are exactly the replies emitted in volume
+/// when the server is already struggling, so they must not format fresh
+/// strings per request — the typed `retry_after_ms` field carries the
+/// per-request signal instead.
+#[allow(clippy::too_many_arguments)]
 fn handle_frame(
     frame: Frame,
     stream: &mut TcpStream,
@@ -395,12 +457,17 @@ fn handle_frame(
     admission: &AdmissionControl,
     faults: &FaultPlan,
     config: &NetConfig,
+    out: &mut Vec<u8>,
 ) -> Disposition {
     match frame {
-        Frame::Ping => write_reply(stream, &Frame::Pong, faults),
+        Frame::Ping => {
+            Frame::Pong.encode_into(out);
+            write_reply(stream, out, faults)
+        }
         Frame::Drain => {
             shared.draining.store(true, Ordering::SeqCst);
-            let _ = write_reply(stream, &Frame::DrainAck, faults);
+            Frame::DrainAck.encode_into(out);
+            let _ = write_reply(stream, out, faults);
             Disposition::Close
         }
         Frame::EmbedRequest {
@@ -411,91 +478,86 @@ fn handle_frame(
             sample,
         } => {
             if shared.draining.load(Ordering::SeqCst) {
-                let reply = Frame::ErrorReply {
-                    id,
-                    code: ErrorCode::Draining,
-                    retry_after_ms: 100,
-                    message: "server is draining".into(),
-                };
-                let _ = write_reply(stream, &reply, faults);
+                encode_error_reply_into(out, id, ErrorCode::Draining, 100, "server is draining");
+                let _ = write_reply(stream, out, faults);
                 return Disposition::Close;
             }
             if let Err(wait) = admission.try_admit(&tenant) {
                 shared.rate_limited.fetch_add(1, Ordering::Relaxed);
-                let reply = Frame::ErrorReply {
+                encode_error_reply_into(
+                    out,
                     id,
-                    code: ErrorCode::RateLimited,
-                    retry_after_ms: duration_to_retry_ms(wait).max(1),
-                    message: format!("tenant {tenant:?} is over its admission rate"),
-                };
-                return write_reply(stream, &reply, faults);
+                    ErrorCode::RateLimited,
+                    duration_to_retry_ms(wait).max(1),
+                    "tenant is over its admission rate",
+                );
+                return write_reply(stream, out, faults);
             }
             let depth = service.queue_depth();
             if depth >= config.max_pending.max(1) {
                 shared.shed.fetch_add(1, Ordering::Relaxed);
-                let reply = Frame::ErrorReply {
+                encode_error_reply_into(
+                    out,
                     id,
-                    code: ErrorCode::RetryAfter,
-                    retry_after_ms: shared.shed_retry_hint(depth),
-                    message: format!("queue depth {depth} at capacity"),
-                };
-                return write_reply(stream, &reply, faults);
+                    ErrorCode::RetryAfter,
+                    shared.shed_retry_hint(depth),
+                    "queue depth at capacity",
+                );
+                return write_reply(stream, out, faults);
             }
             let deadline = (deadline_ms > 0)
                 .then(|| Instant::now() + Duration::from_millis(deadline_ms.into()));
             let started = Instant::now();
-            let reply = match service.embed_with_deadline(&model_id, &sample, deadline) {
+            match service.embed_with_deadline(&model_id, &sample, deadline) {
                 Ok(response) => {
                     shared.served.fetch_add(1, Ordering::Relaxed);
                     shared.observe_service_time(started.elapsed());
-                    Frame::EmbedReply {
+                    // Encode straight from the shared solution — the
+                    // parameter vector is never cloned into an owned frame.
+                    encode_embed_reply_into(
+                        out,
                         id,
-                        label: response.label() as u64,
-                        ideal_fidelity: response.embedding().ideal_fidelity,
-                        parameters: response.embedding().parameters.clone(),
-                        source: match response.source {
+                        response.label() as u64,
+                        response.embedding().ideal_fidelity,
+                        &response.embedding().parameters,
+                        match response.source {
                             SolutionSource::Computed => 0,
                             SolutionSource::CacheHit => 1,
                             SolutionSource::BatchDedup => 2,
                         },
-                    }
+                    );
                 }
                 Err(e) => {
                     let (code, retry_after_ms, message) = wire_error(&e);
-                    Frame::ErrorReply {
-                        id,
-                        code,
-                        retry_after_ms,
-                        message,
-                    }
+                    encode_error_reply_into(out, id, code, retry_after_ms, &message);
                 }
-            };
-            write_reply(stream, &reply, faults)
+            }
+            write_reply(stream, out, faults)
         }
         // A client has no business sending server-side frames; treat as
         // hostile and close.
         Frame::EmbedReply { .. } | Frame::ErrorReply { .. } | Frame::Pong | Frame::DrainAck => {
             shared.hostile_closes.fetch_add(1, Ordering::Relaxed);
-            let reply = Frame::ErrorReply {
-                id: 0,
-                code: ErrorCode::BadRequest,
-                retry_after_ms: 0,
-                message: "unexpected server-side frame from client".into(),
-            };
-            let _ = stream.write_all(&reply.encode());
+            encode_error_reply_into(
+                out,
+                0,
+                ErrorCode::BadRequest,
+                0,
+                "unexpected server-side frame from client",
+            );
+            let _ = stream.write_all(out);
             Disposition::Close
         }
     }
 }
 
-/// Writes one reply through the fault layer. Any fault or write failure
-/// closes the connection — a half-written frame can never be recovered by
-/// the peer.
-fn write_reply(stream: &mut TcpStream, frame: &Frame, faults: &FaultPlan) -> Disposition {
-    let bytes = frame.encode();
+/// Writes one already-encoded reply through the fault layer. Any fault or
+/// write failure closes the connection — a half-written frame can never be
+/// recovered by the peer.
+fn write_reply(stream: &mut TcpStream, bytes: &[u8], faults: &FaultPlan) -> Disposition {
     match faults.on_write() {
         WriteFault::None => {
-            if stream.write_all(&bytes).is_ok() {
+            if stream.write_all(bytes).is_ok() {
                 Disposition::KeepOpen
             } else {
                 Disposition::Close

@@ -12,34 +12,58 @@
 //!
 //! The queue is a plain `Mutex<VecDeque> + Condvar` pair: request rates are
 //! bounded by embedding compute (milliseconds per cold sample), so a lock-free
-//! queue would buy nothing measurable here.
+//! queue would buy nothing measurable here. What *does* matter on the hot
+//! path is allocation traffic, so the moving parts are pooled: reply slots
+//! come from a [`SlotPool`], sample buffers ride in
+//! [`PooledBuf`](crate::pool::PooledBuf)s, and the batcher collects into a
+//! reusable batch vector via [`BatchQueue::next_batch_into`]. A steady-state
+//! request touches the allocator zero times between `embed()` and its reply.
 
 use crate::error::ServeError;
+use crate::pool::{PoolStats, PooledBuf};
 use crate::service::EmbedResponse;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 type ReplyCell = Mutex<Option<Result<EmbedResponse, ServeError>>>;
+type SlotInner = Arc<(ReplyCell, Condvar)>;
 
 /// A one-shot reply channel: the batcher fills it, the requesting thread
 /// blocks on it.
+///
+/// Slots checked out of a [`SlotPool`] recycle themselves when their **last**
+/// clone drops; see [`Drop`](ReplySlot::drop) for why only the final holder
+/// may park the slot.
 #[derive(Debug, Clone)]
 pub(crate) struct ReplySlot {
-    inner: Arc<(ReplyCell, Condvar)>,
+    /// `None` only transiently inside `drop`.
+    inner: Option<SlotInner>,
+    /// Pool to return the slot to; `None` for unpooled slots (tests, callers
+    /// without a service).
+    pool: Option<Arc<SlotPool>>,
 }
 
 impl ReplySlot {
+    /// Creates a fresh, unpooled slot (production slots come from a
+    /// [`SlotPool`]; tests use this directly).
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
         Self {
-            inner: Arc::new((Mutex::new(None), Condvar::new())),
+            inner: Some(Arc::new((Mutex::new(None), Condvar::new()))),
+            pool: None,
         }
+    }
+
+    fn cell(&self) -> &(ReplyCell, Condvar) {
+        self.inner.as_ref().expect("live reply slot has a cell")
     }
 
     /// Fills the slot and wakes the waiter. Filling twice is a logic error;
     /// the second value is dropped.
     pub(crate) fn send(&self, result: Result<EmbedResponse, ServeError>) {
-        let (lock, cv) = &*self.inner;
+        let (lock, cv) = self.cell();
         let mut slot = lock.lock().expect("reply slot poisoned");
         if slot.is_none() {
             *slot = Some(result);
@@ -49,7 +73,7 @@ impl ReplySlot {
 
     /// Blocks until the slot is filled and takes the result.
     pub(crate) fn wait(self) -> Result<EmbedResponse, ServeError> {
-        let (lock, cv) = &*self.inner;
+        let (lock, cv) = self.cell();
         let mut slot = lock.lock().expect("reply slot poisoned");
         loop {
             if let Some(result) = slot.take() {
@@ -60,13 +84,96 @@ impl ReplySlot {
     }
 }
 
+impl Drop for ReplySlot {
+    /// Recycles pooled slots, but only from the **last** live holder: while
+    /// another clone exists (the waiter and the queued request share the
+    /// cell), parking the slot would let a fresh request cross-wire with the
+    /// old waiter. `Arc::get_mut` succeeding proves this handle is the sole
+    /// owner, and `PendingRequest::drop` sends its backstop *before* its
+    /// fields drop, so no sender can touch the cell after it is parked. Any
+    /// stale value a backstop left behind is cleared on the next checkout.
+    fn drop(&mut self) {
+        let Some(mut inner) = self.inner.take() else {
+            return;
+        };
+        if let Some(pool) = self.pool.take() {
+            if Arc::get_mut(&mut inner).is_some() {
+                pool.put(inner);
+            }
+        }
+    }
+}
+
+/// A bounded pool of reusable reply slots.
+///
+/// Mirrors [`crate::pool::BufferPool`] but holds `Arc<(Mutex, Condvar)>`
+/// cells: the parked side is capacity-bounded, checkouts clear any stale
+/// backstop value, and [`PoolStats::outstanding`] drains to zero when the
+/// service quiesces.
+#[derive(Debug)]
+pub(crate) struct SlotPool {
+    slots: Mutex<Vec<SlotInner>>,
+    capacity: usize,
+    outstanding: AtomicUsize,
+    created: AtomicU64,
+}
+
+impl SlotPool {
+    pub(crate) fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            slots: Mutex::new(Vec::with_capacity(capacity)),
+            capacity,
+            outstanding: AtomicUsize::new(0),
+            created: AtomicU64::new(0),
+        })
+    }
+
+    /// Checks out a slot with an empty cell, reusing a parked one when
+    /// available.
+    pub(crate) fn checkout(self: &Arc<Self>) -> ReplySlot {
+        let parked = self.slots.lock().expect("slot pool poisoned").pop();
+        let inner = parked.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            Arc::new((Mutex::new(None), Condvar::new()))
+        });
+        // A recycled slot may still hold the previous request's shutdown
+        // backstop; every checkout starts from an empty cell.
+        *inner.0.lock().expect("reply slot poisoned") = None;
+        self.outstanding.fetch_add(1, Ordering::Relaxed);
+        ReplySlot {
+            inner: Some(inner),
+            pool: Some(Arc::clone(self)),
+        }
+    }
+
+    fn put(&self, inner: SlotInner) {
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        let mut slots = self.slots.lock().expect("slot pool poisoned");
+        if slots.len() < self.capacity {
+            slots.push(inner);
+        }
+    }
+
+    /// Current accounting snapshot.
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats {
+            available: self.slots.lock().expect("slot pool poisoned").len(),
+            capacity: self.capacity,
+            outstanding: self.outstanding.load(Ordering::Relaxed),
+            created: self.created.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A queued embedding request.
 #[derive(Debug)]
 pub(crate) struct PendingRequest {
-    /// Model id the request addresses.
+    /// Model id the request addresses — interned via the registry, so queuing
+    /// a request is an `Arc` bump, not a string copy.
     pub model_id: Arc<str>,
-    /// The raw (pre-feature-extraction) sample.
-    pub raw_sample: Vec<f64>,
+    /// The raw (pre-feature-extraction) sample, in a pooled buffer that
+    /// returns to the service's pool when the request is dropped.
+    pub raw_sample: PooledBuf,
     /// When the request entered the queue (latency measurement starts here).
     pub enqueued_at: Instant,
     /// Absolute expiry: a request still queued past this instant is
@@ -88,7 +195,9 @@ impl Drop for PendingRequest {
     /// Liveness backstop: a request dropped before being answered (batcher
     /// panic unwinding a batch, shutdown drain) fails its waiter instead of
     /// leaving the client thread blocked forever. `send` is a no-op for
-    /// requests that were answered normally.
+    /// requests that were answered normally. The send happens before the
+    /// `reply` field itself drops, which is what makes slot recycling safe —
+    /// see [`ReplySlot`]'s `Drop`.
     fn drop(&mut self) {
         self.reply.send(Err(ServeError::ShuttingDown));
     }
@@ -125,27 +234,31 @@ impl BatchQueue {
     }
 
     /// Blocks until at least one request is available, then collects a batch
-    /// of up to `max_batch` requests, waiting at most `flush_deadline` (from
-    /// the moment batch formation starts) for stragglers.
+    /// of up to `max_batch` requests into `batch`, waiting at most
+    /// `flush_deadline` (from the moment batch formation starts) for
+    /// stragglers. `batch` must be empty on entry; the batcher thread passes
+    /// the same vector every iteration so batch collection reuses its
+    /// capacity instead of allocating.
     ///
-    /// Returns `None` only when the queue is shut down **and** drained, so
+    /// Returns `false` only when the queue is shut down **and** drained, so
     /// every accepted request is eventually served.
-    pub(crate) fn next_batch(
+    pub(crate) fn next_batch_into(
         &self,
+        batch: &mut Vec<PendingRequest>,
         max_batch: usize,
         flush_deadline: Duration,
-    ) -> Option<Vec<PendingRequest>> {
+    ) -> bool {
+        debug_assert!(batch.is_empty(), "batch vector is reused, not appended");
         let max_batch = max_batch.max(1);
         let mut state = self.state.lock().expect("batch queue poisoned");
         // Park until there is work or the service is fully done.
         while state.queue.is_empty() {
             if state.shutdown {
-                return None;
+                return false;
             }
             state = self.cv.wait(state).expect("batch queue poisoned");
         }
         let deadline = Instant::now() + flush_deadline;
-        let mut batch = Vec::with_capacity(max_batch.min(state.queue.len()));
         loop {
             while batch.len() < max_batch {
                 match state.queue.pop_front() {
@@ -169,11 +282,26 @@ impl BatchQueue {
                 break;
             }
         }
-        Some(batch)
+        true
+    }
+
+    /// Allocating convenience wrapper around [`BatchQueue::next_batch_into`]:
+    /// returns `None` when the queue is shut down and drained.
+    pub(crate) fn next_batch(
+        &self,
+        max_batch: usize,
+        flush_deadline: Duration,
+    ) -> Option<Vec<PendingRequest>> {
+        let mut batch = Vec::new();
+        if self.next_batch_into(&mut batch, max_batch, flush_deadline) {
+            Some(batch)
+        } else {
+            None
+        }
     }
 
     /// Begins shutdown: new pushes fail, already queued requests still drain
-    /// through [`BatchQueue::next_batch`].
+    /// through [`BatchQueue::next_batch_into`].
     pub(crate) fn shutdown(&self) {
         self.state.lock().expect("batch queue poisoned").shutdown = true;
         self.cv.notify_all();
@@ -194,7 +322,7 @@ mod tests {
     fn request(tag: usize) -> PendingRequest {
         PendingRequest {
             model_id: Arc::from("m"),
-            raw_sample: vec![tag as f64],
+            raw_sample: vec![tag as f64].into(),
             enqueued_at: Instant::now(),
             deadline: None,
             reply: ReplySlot::new(),
@@ -226,11 +354,34 @@ mod tests {
             "a full batch must not wait for the flush deadline"
         );
         // FIFO order.
-        assert_eq!(batch[0].raw_sample, vec![0.0]);
-        assert_eq!(batch[2].raw_sample, vec![2.0]);
+        assert_eq!(*batch[0].raw_sample, vec![0.0]);
+        assert_eq!(*batch[2].raw_sample, vec![2.0]);
         assert_eq!(q.depth(), 2);
         let rest = q.next_batch(3, Duration::ZERO).unwrap();
         assert_eq!(rest.len(), 2);
+    }
+
+    #[test]
+    fn next_batch_into_reuses_the_callers_vector() {
+        let q = BatchQueue::new();
+        for i in 0..4 {
+            q.push(request(i)).unwrap();
+        }
+        let mut batch = Vec::new();
+        assert!(q.next_batch_into(&mut batch, 2, Duration::ZERO));
+        assert_eq!(batch.len(), 2);
+        let ptr = batch.as_ptr();
+        let capacity = batch.capacity();
+        batch.clear();
+        assert!(q.next_batch_into(&mut batch, 2, Duration::ZERO));
+        assert_eq!(batch.len(), 2);
+        assert_eq!(*batch[0].raw_sample, vec![2.0], "FIFO across calls");
+        assert_eq!(batch.as_ptr(), ptr, "no reallocation across batches");
+        assert_eq!(batch.capacity(), capacity);
+        batch.clear();
+        q.shutdown();
+        assert!(!q.next_batch_into(&mut batch, 2, Duration::ZERO));
+        assert!(batch.is_empty());
     }
 
     #[test]
@@ -284,5 +435,59 @@ mod tests {
             handle.join().unwrap(),
             Err(ServeError::ShuttingDown)
         ));
+    }
+
+    #[test]
+    fn slot_pool_recycles_only_after_the_last_holder_drops() {
+        let pool = SlotPool::new(4);
+        let slot = pool.checkout();
+        let clone = slot.clone();
+        assert_eq!(pool.stats().outstanding, 1);
+        drop(slot);
+        assert_eq!(
+            pool.stats().available,
+            0,
+            "a live clone keeps the slot checked out"
+        );
+        assert_eq!(pool.stats().outstanding, 1);
+        drop(clone);
+        let stats = pool.stats();
+        assert_eq!(stats.available, 1, "the final holder parks the slot");
+        assert_eq!(stats.outstanding, 0);
+        assert_eq!(stats.created, 1);
+        // The recycled slot is reused and starts empty even after a backstop
+        // value was left in it.
+        let recycled = pool.checkout();
+        recycled.send(Err(ServeError::ShuttingDown));
+        drop(recycled);
+        let reused = pool.checkout();
+        assert_eq!(pool.stats().created, 1, "no fresh slot was needed");
+        let probe = reused.clone();
+        reused.send(Err(ServeError::ModelNotFound("m".into())));
+        assert!(matches!(
+            probe.wait(),
+            Err(ServeError::ModelNotFound(id)) if id == "m"
+        ));
+    }
+
+    #[test]
+    fn pooled_request_lifecycle_returns_the_slot_through_the_backstop() {
+        let pool = SlotPool::new(4);
+        let slot = pool.checkout();
+        let waiter = slot.clone();
+        let req = PendingRequest {
+            model_id: Arc::from("m"),
+            raw_sample: vec![1.0].into(),
+            enqueued_at: Instant::now(),
+            deadline: None,
+            reply: slot,
+        };
+        // Dropping an unanswered request fires the backstop, then the last
+        // holder (the waiter, consumed by wait) recycles the slot.
+        drop(req);
+        assert!(matches!(waiter.wait(), Err(ServeError::ShuttingDown)));
+        let stats = pool.stats();
+        assert_eq!(stats.outstanding, 0);
+        assert_eq!(stats.available, 1);
     }
 }

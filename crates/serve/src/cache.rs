@@ -79,7 +79,11 @@ pub fn quantize_features(features: &[f64], quantum: f64) -> Vec<i64> {
 pub struct CacheKey {
     model_id: Arc<str>,
     generation: u64,
-    cells: Box<[i64]>,
+    // `Vec`, not `Box<[i64]>`, so a scratch key can be refilled in place
+    // across requests ([`SolutionCache::fill_key`]) without reallocating.
+    // `Vec` and boxed-slice hashing/equality agree (both delegate to the
+    // slice), so key semantics are unchanged.
+    cells: Vec<i64>,
 }
 
 impl CacheKey {
@@ -89,7 +93,19 @@ impl CacheKey {
         Self {
             model_id,
             generation,
-            cells: cells.into_boxed_slice(),
+            cells,
+        }
+    }
+
+    /// A reusable scratch key for [`SolutionCache::fill_key`]: probing with
+    /// a scratch key costs zero allocations once its cell buffer has grown
+    /// to the feature width (the placeholder id is the `""` literal, which
+    /// never collides with a registered model).
+    pub fn scratch() -> Self {
+        Self {
+            model_id: Arc::from(""),
+            generation: 0,
+            cells: Vec::new(),
         }
     }
 
@@ -354,6 +370,23 @@ impl SolutionCache {
         )
     }
 
+    /// Rebuilds `key` in place for a request — the zero-allocation
+    /// counterpart of [`SolutionCache::key_for`]: the model id is a pointer
+    /// clone and the quantized cells overwrite the key's existing buffer.
+    /// Equal to the [`SolutionCache::key_for`] key bit for bit; clone it to
+    /// obtain an owned key for insertion after a miss.
+    pub fn fill_key(
+        &self,
+        key: &mut CacheKey,
+        model_id: &Arc<str>,
+        generation: u64,
+        features: &[f64],
+    ) {
+        key.model_id = Arc::clone(model_id);
+        key.generation = generation;
+        enq_simd::quantize_cells_into(features, self.quantum, &mut key.cells);
+    }
+
     fn shard_for(&self, key: &CacheKey) -> &Mutex<LruMap<CacheKey, Arc<Solution>>> {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
@@ -536,6 +569,26 @@ mod tests {
             "distinct bit patterns"
         );
         assert!(exact.lookup("m", 1, &[0.0]).is_some());
+    }
+
+    #[test]
+    fn fill_key_matches_key_for_and_reuses_its_buffer() {
+        let cache = SolutionCache::new(CacheConfig {
+            capacity: 8,
+            quantum: 1e-3,
+            shards: 2,
+        });
+        let id: Arc<str> = Arc::from("m");
+        let mut scratch = CacheKey::scratch();
+        for (generation, features) in [(1u64, vec![0.1, -0.2]), (2, vec![0.5; 4]), (3, vec![])] {
+            cache.fill_key(&mut scratch, &id, generation, &features);
+            assert_eq!(scratch, cache.key_for(&id, generation, &features));
+        }
+        // A filled scratch key probes and inserts like an owned key.
+        cache.fill_key(&mut scratch, &id, 7, &[0.25]);
+        assert!(cache.lookup_key(&scratch).is_none());
+        cache.insert_key(scratch.clone(), dummy_solution(9));
+        assert_eq!(cache.lookup_key(&scratch).unwrap().label, 9);
     }
 
     #[test]

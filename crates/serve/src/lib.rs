@@ -83,6 +83,7 @@
 mod batcher;
 mod cache;
 mod error;
+mod pool;
 mod rebuild;
 mod registry;
 mod service;
@@ -92,9 +93,12 @@ mod traffic;
 
 pub use cache::{quantize_features, CacheConfig, CacheKey, CacheStats, SolutionCache};
 pub use error::ServeError;
+pub use pool::PoolStats;
 pub use rebuild::{RebuildController, RebuildSpec, RebuildStatus, RebuildTicket, StageProgress};
 pub use registry::{ModelRegistry, DEFAULT_REGISTRY_SHARDS};
-pub use service::{EmbedResponse, EmbedService, ServeConfig, ServiceStats, SolutionSource};
+pub use service::{
+    EmbedResponse, EmbedService, ServeConfig, ServicePoolStats, ServiceStats, SolutionSource,
+};
 pub use snapshot::{restore_registry, snapshot_registry, RestoredModel};
 // The artifact error type, re-exported so snapshot/restore callers don't
 // need a direct `enq_store` dependency.

@@ -1,0 +1,193 @@
+//! Reusable request-buffer pools for the zero-allocation hot path.
+//!
+//! Every [`EmbedService::embed`](crate::EmbedService::embed) call needs an
+//! owned copy of the caller's raw sample (the request outlives the caller's
+//! borrow once it is queued) and a reply slot to block on. Allocating both
+//! per request puts two heap round-trips plus allocator lock traffic on the
+//! hottest path in the system; instead the service checks them out of
+//! bounded pools and recycles them when the request is answered.
+//!
+//! Hygiene is structural, not protocol-based: a checked-out buffer rides
+//! inside the request object and returns to its pool in `Drop`, so every
+//! exit — normal reply, typed error, deadline expiry, batcher panic unwind,
+//! shutdown drain — recycles it without any code path having to remember
+//! to. Pools are bounded on the *parked* side: returning a buffer to a full
+//! pool simply drops it, so a burst can never ratchet idle memory up
+//! permanently. [`PoolStats`] exposes the accounting for tests and
+//! operators ([`EmbedService::pool_stats`](crate::EmbedService::pool_stats)).
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Observability snapshot of one buffer pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Buffers parked in the pool, ready to check out. Never exceeds
+    /// `capacity`.
+    pub available: usize,
+    /// Hard cap on parked buffers; returns beyond it are dropped instead of
+    /// parked, so idle pool memory is bounded.
+    pub capacity: usize,
+    /// Buffers currently checked out (in-flight requests). Returns to zero
+    /// when the service quiesces — a persistent residue is a leak.
+    pub outstanding: usize,
+    /// Fresh buffers ever created — checkouts that found the pool empty.
+    /// Flat under steady-state traffic; growing with concurrency bursts.
+    pub created: u64,
+}
+
+/// A bounded pool of reusable `Vec<f64>` sample buffers.
+#[derive(Debug)]
+pub(crate) struct BufferPool {
+    bufs: Mutex<Vec<Vec<f64>>>,
+    capacity: usize,
+    outstanding: AtomicUsize,
+    created: AtomicU64,
+}
+
+impl BufferPool {
+    /// Creates a pool that parks at most `capacity` idle buffers. The park
+    /// list is pre-reserved so steady-state returns never allocate.
+    pub(crate) fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            bufs: Mutex::new(Vec::with_capacity(capacity)),
+            capacity,
+            outstanding: AtomicUsize::new(0),
+            created: AtomicU64::new(0),
+        })
+    }
+
+    /// Checks out an empty buffer, reusing a parked one when available.
+    pub(crate) fn checkout(self: &Arc<Self>) -> PooledBuf {
+        let parked = self.bufs.lock().expect("buffer pool poisoned").pop();
+        let vec = parked.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            Vec::new()
+        });
+        self.outstanding.fetch_add(1, Ordering::Relaxed);
+        debug_assert!(vec.is_empty(), "parked buffers are cleared on return");
+        PooledBuf {
+            vec,
+            pool: Some(Arc::clone(self)),
+        }
+    }
+
+    fn put(&self, mut vec: Vec<f64>) {
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        vec.clear();
+        let mut bufs = self.bufs.lock().expect("buffer pool poisoned");
+        if bufs.len() < self.capacity {
+            bufs.push(vec);
+        }
+        // Over capacity: drop the buffer — bounded idle memory beats a
+        // perfect recycle rate after a burst.
+    }
+
+    /// Current accounting snapshot.
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats {
+            available: self.bufs.lock().expect("buffer pool poisoned").len(),
+            capacity: self.capacity,
+            outstanding: self.outstanding.load(Ordering::Relaxed),
+            created: self.created.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned `Vec<f64>` checked out of a [`BufferPool`]; derefs to the
+/// vector and returns itself to the pool on drop, whatever path drops it.
+#[derive(Debug)]
+pub(crate) struct PooledBuf {
+    vec: Vec<f64>,
+    /// `None` for detached buffers (tests, callers without a pool): those
+    /// just drop their vector normally.
+    pool: Option<Arc<BufferPool>>,
+}
+
+impl PooledBuf {
+    /// Wraps a plain vector with no pool attached.
+    pub(crate) fn detached(vec: Vec<f64>) -> Self {
+        Self { vec, pool: None }
+    }
+}
+
+impl From<Vec<f64>> for PooledBuf {
+    fn from(vec: Vec<f64>) -> Self {
+        Self::detached(vec)
+    }
+}
+
+impl Deref for PooledBuf {
+    type Target = Vec<f64>;
+    fn deref(&self) -> &Vec<f64> {
+        &self.vec
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<f64> {
+        &mut self.vec
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.put(std::mem::take(&mut self.vec));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_the_returned_allocation() {
+        let pool = BufferPool::new(4);
+        let mut buf = pool.checkout();
+        buf.extend_from_slice(&[1.0, 2.0, 3.0]);
+        let ptr = buf.as_ptr();
+        let grown_capacity = buf.capacity();
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                available: 0,
+                capacity: 4,
+                outstanding: 1,
+                created: 1
+            }
+        );
+        drop(buf);
+        assert_eq!(pool.stats().available, 1);
+        assert_eq!(pool.stats().outstanding, 0);
+        let again = pool.checkout();
+        assert!(again.is_empty(), "returned buffers come back cleared");
+        assert_eq!(again.capacity(), grown_capacity);
+        assert_eq!(again.as_ptr(), ptr, "the allocation itself is reused");
+        assert_eq!(pool.stats().created, 1, "no fresh buffer was needed");
+    }
+
+    #[test]
+    fn parked_buffers_are_capped_at_capacity() {
+        let pool = BufferPool::new(2);
+        let held: Vec<_> = (0..5).map(|_| pool.checkout()).collect();
+        assert_eq!(pool.stats().outstanding, 5);
+        assert_eq!(pool.stats().created, 5);
+        drop(held);
+        let stats = pool.stats();
+        assert_eq!(stats.outstanding, 0, "every drop returns its buffer");
+        assert_eq!(stats.available, 2, "the pool parks at most `capacity`");
+    }
+
+    #[test]
+    fn detached_buffers_have_no_pool() {
+        let pool = BufferPool::new(2);
+        drop(PooledBuf::detached(vec![1.0]));
+        assert_eq!(pool.stats().available, 0);
+        assert_eq!(pool.stats().outstanding, 0);
+        let from: PooledBuf = vec![2.0].into();
+        assert_eq!(*from, vec![2.0]);
+    }
+}

@@ -23,7 +23,11 @@ use std::sync::{Arc, RwLock};
 /// Default number of registry shards.
 pub const DEFAULT_REGISTRY_SHARDS: usize = 16;
 
-type Shard = RwLock<HashMap<String, (Arc<EnqodePipeline>, u64)>>;
+// Keys are interned `Arc<str>`: [`ModelRegistry::resolve`] hands the key's
+// pointer clone to the request path, so per-request id handling (queue
+// entries, cache keys, responses) never copies the id string. `Arc<str>:
+// Borrow<str>` keeps `&str` lookups allocation-free.
+type Shard = RwLock<HashMap<Arc<str>, (Arc<EnqodePipeline>, u64)>>;
 
 /// A sharded, read-mostly map from model id to trained pipeline.
 ///
@@ -91,7 +95,7 @@ impl ModelRegistry {
         model_id: impl Into<String>,
         pipeline: Arc<EnqodePipeline>,
     ) -> (Option<Arc<EnqodePipeline>>, u64) {
-        let model_id = model_id.into();
+        let model_id: Arc<str> = Arc::from(model_id.into());
         let generation = self.generations.fetch_add(1, Ordering::Relaxed) + 1;
         let old = self
             .shard_for(&model_id)
@@ -116,7 +120,7 @@ impl ModelRegistry {
         pipeline: Arc<EnqodePipeline>,
         generation: u64,
     ) -> Option<Arc<EnqodePipeline>> {
-        let model_id = model_id.into();
+        let model_id: Arc<str> = Arc::from(model_id.into());
         self.generations.fetch_max(generation, Ordering::Relaxed);
         self.shard_for(&model_id)
             .write()
@@ -139,7 +143,7 @@ impl ModelRegistry {
                     .expect("registry shard poisoned")
                     .iter()
                     .map(|(id, (pipeline, generation))| {
-                        (id.clone(), Arc::clone(pipeline), *generation)
+                        (id.to_string(), Arc::clone(pipeline), *generation)
                     })
                     .collect::<Vec<_>>()
             })
@@ -164,6 +168,29 @@ impl ModelRegistry {
             .expect("registry shard poisoned")
             .get(model_id)
             .cloned()
+    }
+
+    /// Like [`ModelRegistry::get_with_generation`], additionally returning
+    /// the registry's **interned id** (`Arc<str>`) — a pointer clone of the
+    /// map key. The request path threads this handle through queue entries,
+    /// cache keys and responses so a served request never copies its id
+    /// string; the whole resolve is allocation-free.
+    pub fn resolve(&self, model_id: &str) -> Option<(Arc<str>, Arc<EnqodePipeline>, u64)> {
+        self.shard_for(model_id)
+            .read()
+            .expect("registry shard poisoned")
+            .get_key_value(model_id)
+            .map(|(id, (pipeline, generation))| (Arc::clone(id), Arc::clone(pipeline), *generation))
+    }
+
+    /// Returns just the interned id of a registered model (see
+    /// [`ModelRegistry::resolve`]); `None` for unregistered ids.
+    pub fn resolve_id(&self, model_id: &str) -> Option<Arc<str>> {
+        self.shard_for(model_id)
+            .read()
+            .expect("registry shard poisoned")
+            .get_key_value(model_id)
+            .map(|(id, _)| Arc::clone(id))
     }
 
     /// Removes and returns the pipeline registered under `model_id`.
@@ -239,7 +266,7 @@ impl ModelRegistry {
                 s.read()
                     .expect("registry shard poisoned")
                     .keys()
-                    .cloned()
+                    .map(|k| k.to_string())
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -401,6 +428,23 @@ mod tests {
             .map(|(id, _, generation)| (id.as_str(), *generation))
             .collect();
         assert_eq!(summary, vec![("alpha", 4), ("beta", 9), ("gamma", 10)]);
+    }
+
+    #[test]
+    fn resolve_returns_the_interned_id() {
+        let registry = ModelRegistry::with_shards(4);
+        let p = tiny_pipeline(6);
+        registry.insert("live", Arc::clone(&p));
+        let (id_a, got, generation) = registry.resolve("live").unwrap();
+        assert!(Arc::ptr_eq(&got, &p));
+        assert_eq!(generation, 1);
+        // Every resolve of the same registration hands out the same
+        // interned allocation — the request path never copies the id.
+        let id_b = registry.resolve_id("live").unwrap();
+        assert!(Arc::ptr_eq(&id_a, &id_b));
+        assert_eq!(&*id_a, "live");
+        assert!(registry.resolve("nope").is_none());
+        assert!(registry.resolve_id("nope").is_none());
     }
 
     #[test]

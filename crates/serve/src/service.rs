@@ -6,7 +6,9 @@
 //! 1. **registry** — the request's model id resolves to an
 //!    `Arc<EnqodePipeline>` (pointer clone, no model copy);
 //! 2. **cache** — the request's feature vector is quantized and looked up;
-//!    a hit returns the cached solution without touching the optimiser;
+//!    a hit returns the cached solution without touching the optimiser (a
+//!    literal repeat is answered by the exact-match memo tier on the caller
+//!    thread, before the request even enters the queue);
 //! 3. **batcher** — misses ride a micro-batch that fans out through
 //!    `enq_parallel`, so throughput scales with cores while the flush
 //!    deadline bounds how long a lone request can wait.
@@ -17,14 +19,16 @@
 //! every request computes independently, and the batched results are
 //! bit-identical to calling [`EnqodePipeline::embed`] one request at a time.
 
-use crate::batcher::{BatchQueue, PendingRequest, ReplySlot};
+use crate::batcher::{BatchQueue, PendingRequest, SlotPool};
 use crate::cache::{CacheConfig, CacheKey, CacheStats, SolutionCache};
 use crate::error::ServeError;
+use crate::pool::{BufferPool, PoolStats};
 use crate::rebuild::{RebuildController, RebuildSpec, RebuildTicket};
 use crate::registry::{ModelRegistry, DEFAULT_REGISTRY_SHARDS};
 use crate::solution::Solution;
 use crate::traffic::{TrafficAccumulator, TrafficConfig};
 use enqode::{Embedding, EnqodeConfig, EnqodeError, EnqodePipeline, StreamingFitConfig};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
@@ -96,6 +100,26 @@ pub struct ServeConfig {
     /// label) into the per-model [`TrafficAccumulator`]. Disabled by
     /// default.
     pub traffic: TrafficConfig,
+    /// Upper bound on *parked* buffers in each of the request-side pools
+    /// (sample buffers and reply slots). Steady-state requests recycle
+    /// buffers through these pools instead of allocating; returns beyond
+    /// the cap are dropped, so idle pool memory stays bounded after a
+    /// burst. Size it at or above the expected number of concurrently
+    /// in-flight requests (the network tier's `max_pending` is the natural
+    /// reference point).
+    pub pool_capacity: usize,
+    /// Probe the exact-match memo tier on the **calling thread** before
+    /// enqueueing ([`EmbedService::embed`]): a literal repeat of a served
+    /// sample returns in place — an `Arc` bump, zero allocations — without
+    /// paying the batcher round-trip, which on a loaded single core (two
+    /// condvar hops and the context switches behind them) costs an order of
+    /// magnitude more than the lookup itself. Misses, unknown models, and
+    /// requests whose deadline already expired take the queued path
+    /// unchanged, so batching, dedup, and error accounting are unaffected.
+    /// Disable to force every request through the queue — the allocation
+    /// harness does, to pin the pooled queue path's own zero-allocation
+    /// contract.
+    pub probe_caller_cache: bool,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +131,8 @@ impl Default for ServeConfig {
             registry_shards: DEFAULT_REGISTRY_SHARDS,
             threads: None,
             traffic: TrafficConfig::default(),
+            pool_capacity: 256,
+            probe_caller_cache: true,
         }
     }
 }
@@ -132,6 +158,18 @@ pub struct ServiceStats {
     pub deadline_expired: u64,
     /// Largest micro-batch observed.
     pub largest_batch: u64,
+}
+
+/// Accounting for the service's request-side pools (see
+/// [`EmbedService::pool_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServicePoolStats {
+    /// The raw-sample buffer pool backing [`EmbedService::embed`]'s owned
+    /// copy of the caller's sample.
+    pub samples: PoolStats,
+    /// The reply-slot pool backing the request/reply handshake with the
+    /// batcher.
+    pub slots: PoolStats,
 }
 
 #[derive(Debug, Default)]
@@ -183,6 +221,11 @@ pub struct EmbedService {
     /// Background-rebuild coordinator over the shared registry, wired to
     /// sweep this service's cache tiers after every swap.
     rebuilds: RebuildController,
+    /// Pooled raw-sample buffers: `embed` checks one out instead of
+    /// `to_vec`-ing the caller's sample; the request returns it on drop.
+    sample_pool: Arc<BufferPool>,
+    /// Pooled reply slots for the request/reply handshake with the batcher.
+    slot_pool: Arc<SlotPool>,
     worker: Option<JoinHandle<()>>,
     config: ServeConfig,
 }
@@ -238,7 +281,12 @@ impl EmbedService {
             std::thread::Builder::new()
                 .name("enq-serve-batcher".into())
                 .spawn(move || {
-                    while let Some(batch) = queue.next_batch(max_batch, flush) {
+                    // The batch vector and the workspace live for the whole
+                    // worker: batch collection and per-batch bookkeeping
+                    // reuse their capacity instead of allocating per batch.
+                    let mut batch: Vec<PendingRequest> = Vec::new();
+                    let mut workspace = BatchWorkspace::new();
+                    while queue.next_batch_into(&mut batch, max_batch, flush) {
                         // A panic inside one batch (a bug in an embedding
                         // path, a poisoned lock) must not strand every
                         // current and future request: catch it, fail the
@@ -248,9 +296,20 @@ impl EmbedService {
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 process_batch(
-                                    batch, &registry, &cache, &memo, &traffic, &counters, threads,
+                                    &batch,
+                                    &mut workspace,
+                                    &registry,
+                                    &cache,
+                                    &memo,
+                                    &traffic,
+                                    &counters,
+                                    threads,
                                 )
                             }));
+                        // Dropping the requests recycles their buffers; on
+                        // the panic path the `Drop` backstop also fails any
+                        // unanswered waiters.
+                        batch.clear();
                         if outcome.is_err() {
                             queue.shutdown();
                             while let Some(rest) = queue.next_batch(usize::MAX, Duration::ZERO) {
@@ -270,6 +329,8 @@ impl EmbedService {
             counters,
             traffic,
             rebuilds,
+            sample_pool: BufferPool::new(config.pool_capacity),
+            slot_pool: SlotPool::new(config.pool_capacity),
             worker: Some(worker),
             config,
         }
@@ -377,7 +438,10 @@ impl EmbedService {
 
     /// Embeds one sample through the micro-batched path. Blocks the calling
     /// thread until the result is ready; call from many threads concurrently
-    /// to let the batcher group requests.
+    /// to let the batcher group requests. A literal repeat of a served
+    /// sample is answered on the calling thread without entering the queue
+    /// (see [`ServeConfig::probe_caller_cache`]); everything else rides a
+    /// micro-batch.
     ///
     /// # Errors
     ///
@@ -407,11 +471,61 @@ impl EmbedService {
         deadline: Option<Instant>,
     ) -> Result<EmbedResponse, ServeError> {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let reply = ReplySlot::new();
+        let start = Instant::now();
+        // Caller-thread probe of the exact-match memo tier: the steady-state
+        // repeat is answered here — an `Arc` bump, no allocation, no batcher
+        // round-trip. Requests whose deadline already expired skip the probe
+        // so they keep completing with the batcher's typed `DeadlineExceeded`
+        // (the documented contract), and unknown models fall through so the
+        // `ModelNotFound` reply stays in one place.
+        let mut resolved: Option<Arc<str>> = None;
+        if self.config.probe_caller_cache
+            && self.memo.is_enabled()
+            && deadline.is_none_or(|d| start < d)
+        {
+            if let Some((model_id, _, generation)) = self.registry.resolve(model_id) {
+                // The finiteness reject must stay ahead of every cache tier
+                // (a NaN key would alias a legitimate cell); failing fast
+                // here is observably identical to the batcher's reject.
+                if let Err(e) = check_finite(raw_sample) {
+                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+                let hit = KEY_SCRATCH.with(|scratch| {
+                    let scratch = &mut scratch.borrow_mut();
+                    self.memo
+                        .fill_key(&mut scratch.memo, &model_id, generation, raw_sample);
+                    self.memo.lookup_key(&scratch.memo)
+                });
+                if let Some(solution) = hit {
+                    self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(EmbedResponse {
+                        model_id,
+                        solution,
+                        source: SolutionSource::CacheHit,
+                        batch_size: 1,
+                        latency: start.elapsed(),
+                    });
+                }
+                resolved = Some(model_id);
+            }
+        }
+        // Resolve to the registry's interned id so queuing bumps an `Arc`
+        // instead of copying the string. Unknown ids still travel to the
+        // batcher (allocating a one-off id on this error-only path) so the
+        // `ModelNotFound` reply and its error accounting stay in one place.
+        let model_id = resolved.unwrap_or_else(|| {
+            self.registry
+                .resolve_id(model_id)
+                .unwrap_or_else(|| Arc::from(model_id))
+        });
+        let mut raw = self.sample_pool.checkout();
+        raw.extend_from_slice(raw_sample);
+        let reply = self.slot_pool.checkout();
         self.queue.push(PendingRequest {
-            model_id: Arc::from(model_id),
-            raw_sample: raw_sample.to_vec(),
-            enqueued_at: Instant::now(),
+            model_id,
+            raw_sample: raw,
+            enqueued_at: start,
             deadline,
             reply: reply.clone(),
         })?;
@@ -441,20 +555,25 @@ impl EmbedService {
     ) -> Result<EmbedResponse, ServeError> {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
-        let model_id: Arc<str> = Arc::from(model_id);
-        let Some((pipeline, generation)) = self.registry.get_with_generation(&model_id) else {
+        let Some((model_id, pipeline, generation)) = self.registry.resolve(model_id) else {
             self.counters.errors.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::ModelNotFound(model_id.to_string()));
         };
-        let outcome = serve_one(
-            &model_id,
-            generation,
-            &pipeline,
-            raw_sample,
-            &self.cache,
-            &self.memo,
-            &self.traffic,
-        );
+        // Cache keys are built in a per-thread scratch key (`embed_direct`
+        // may run on any number of caller threads) so a steady-state hit
+        // never allocates.
+        let outcome = KEY_SCRATCH.with(|scratch| {
+            serve_one(
+                &model_id,
+                generation,
+                &pipeline,
+                raw_sample,
+                &self.cache,
+                &self.memo,
+                &self.traffic,
+                &mut scratch.borrow_mut(),
+            )
+        });
         match outcome {
             Ok((solution, source)) => {
                 match source {
@@ -488,6 +607,19 @@ impl EmbedService {
             errors: self.counters.errors.load(Ordering::Relaxed),
             deadline_expired: self.counters.deadline_expired.load(Ordering::Relaxed),
             largest_batch: self.counters.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the accounting of the request-side buffer pools.
+    ///
+    /// `outstanding` drains to zero when no request is in flight (buffers
+    /// ride inside the request and return on drop, whatever path drops it);
+    /// `created` going flat under steady traffic is the observable signature
+    /// of the zero-allocation hot path.
+    pub fn pool_stats(&self) -> ServicePoolStats {
+        ServicePoolStats {
+            samples: self.sample_pool.stats(),
+            slots: self.slot_pool.stats(),
         }
     }
 
@@ -588,9 +720,43 @@ fn check_finite(values: &[f64]) -> Result<(), ServeError> {
     }
 }
 
+/// Reusable scratch keys for the two cache tiers: probes fill these in place
+/// (reusing their cell buffers) and only clone an owned key on the miss path,
+/// so a cache hit never touches the allocator.
+#[derive(Debug)]
+struct KeyScratch {
+    /// Raw-sample-keyed probe key for the exact-match memo tier.
+    memo: CacheKey,
+    /// Quantized-feature probe key for the LRU tier.
+    feat: CacheKey,
+}
+
+impl KeyScratch {
+    fn new() -> Self {
+        Self {
+            memo: CacheKey::scratch(),
+            feat: CacheKey::scratch(),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch for the caller-thread paths —
+    /// [`EmbedService::embed_direct`] and the memo probe at the top of
+    /// [`EmbedService::embed_with_deadline`] — which may run on any number
+    /// of caller threads concurrently. The batcher thread owns its scratch
+    /// directly inside its [`BatchWorkspace`].
+    static KEY_SCRATCH: RefCell<KeyScratch> = RefCell::new(KeyScratch::new());
+}
+
 /// Serves one request synchronously: exact-match memo, then feature
 /// extraction + feature-keyed cache lookup, then fine-tune on miss, filling
 /// both tiers. Non-finite inputs are rejected before either tier is touched.
+///
+/// A memo hit (the steady-state repeat) performs **zero heap allocations**:
+/// the probe key is built in `scratch` and the hit is an `Arc` bump. This is
+/// pinned by the `alloc_hot_path` harness.
+#[allow(clippy::too_many_arguments)]
 fn serve_one(
     model_id: &Arc<str>,
     generation: u64,
@@ -599,42 +765,43 @@ fn serve_one(
     cache: &SolutionCache,
     memo: &SolutionCache,
     traffic: &TrafficAccumulator,
+    scratch: &mut KeyScratch,
 ) -> Result<(Arc<Solution>, SolutionSource), ServeError> {
     check_finite(raw_sample)?;
     // Tier 1: a literal repeat of a served sample skips feature extraction
     // (the dominant classical cost of a hit) entirely.
-    let memo_key = memo.is_enabled().then(|| {
-        let key = memo.key_for(model_id, generation, raw_sample);
-        (memo.lookup_key(&key), key)
-    });
-    let memo_key = match memo_key {
-        Some((Some(hit), _)) => return Ok((hit, SolutionSource::CacheHit)),
-        Some((None, key)) => Some(key),
-        None => None,
+    let have_memo_key = if memo.is_enabled() {
+        memo.fill_key(&mut scratch.memo, model_id, generation, raw_sample);
+        if let Some(hit) = memo.lookup_key(&scratch.memo) {
+            return Ok((hit, SolutionSource::CacheHit));
+        }
+        true
+    } else {
+        false
     };
     // Tier 2: quantized feature key — near-duplicates share a solution.
     let features = pipeline.extract_features(raw_sample)?;
     check_finite(&features)?;
-    let mut missed_key = None;
+    let mut have_missed_key = false;
     if cache.is_enabled() {
-        let key = cache.key_for(model_id, generation, &features);
-        if let Some(hit) = cache.lookup_key(&key) {
-            if let Some(memo_key) = memo_key {
-                memo.insert_key(memo_key, Arc::clone(&hit));
+        cache.fill_key(&mut scratch.feat, model_id, generation, &features);
+        if let Some(hit) = cache.lookup_key(&scratch.feat) {
+            if have_memo_key {
+                memo.insert_key(scratch.memo.clone(), Arc::clone(&hit));
             }
             traffic.record(model_id, &features, hit.label);
             return Ok((hit, SolutionSource::CacheHit));
         }
-        missed_key = Some(key);
+        have_missed_key = true;
     }
     let (label, embedding) = pipeline.embed_features(&features)?;
     traffic.record(model_id, &features, label);
     let solution = Arc::new(Solution { label, embedding });
-    if let Some(key) = missed_key {
-        cache.insert_key(key, Arc::clone(&solution));
+    if have_missed_key {
+        cache.insert_key(scratch.feat.clone(), Arc::clone(&solution));
     }
-    if let Some(key) = memo_key {
-        memo.insert_key(key, Arc::clone(&solution));
+    if have_memo_key {
+        memo.insert_key(scratch.memo.clone(), Arc::clone(&solution));
     }
     Ok((solution, SolutionSource::Computed))
 }
@@ -653,11 +820,59 @@ struct ColdJob {
     memo_key: Option<CacheKey>,
 }
 
+/// Persistent scratch space owned by the batcher thread, reused across
+/// batches so per-batch bookkeeping retains its capacity instead of
+/// re-allocating (the same precedent as the optimiser's
+/// `SymbolicWorkspace`). An all-hit batch — the steady-state shape once the
+/// cache is warm — runs entirely inside this workspace and the scratch keys:
+/// zero heap allocations per request, pinned by the `alloc_hot_path`
+/// harness.
+struct BatchWorkspace {
+    /// Scratch probe keys for the two cache tiers.
+    keys: KeyScratch,
+    /// Cache-missing leaders that need the optimiser.
+    cold: Vec<ColdJob>,
+    /// Per-leader dedup mates (same quantized key in the same batch).
+    followers: Vec<Vec<Follower>>,
+    /// Quantized key → index into `cold` for intra-batch dedup.
+    leader_of: HashMap<CacheKey, usize>,
+    /// Cold jobs grouped by pipeline identity (phase 2 staging).
+    groups: Vec<(Arc<EnqodePipeline>, Vec<usize>)>,
+    /// Per-thread chunks of `groups` handed to the parallel fan-out.
+    work: Vec<(Arc<EnqodePipeline>, Vec<usize>)>,
+}
+
+impl BatchWorkspace {
+    fn new() -> Self {
+        Self {
+            keys: KeyScratch::new(),
+            cold: Vec::new(),
+            followers: Vec::new(),
+            leader_of: HashMap::new(),
+            groups: Vec::new(),
+            work: Vec::new(),
+        }
+    }
+
+    /// Clears every collection while retaining its capacity.
+    fn reset(&mut self) {
+        self.cold.clear();
+        self.followers.clear();
+        self.leader_of.clear();
+        self.groups.clear();
+        self.work.clear();
+    }
+}
+
 /// Processes one micro-batch: resolve + memo-check + feature-extract +
 /// cache-check every request, deduplicate identical keys, fan the cold
-/// leaders out in parallel, then reply to everyone.
+/// leaders out in parallel, then reply to everyone. The caller owns (and
+/// reuses) both the batch vector and the workspace; requests are answered
+/// in place and recycled when the caller clears the batch.
+#[allow(clippy::too_many_arguments)]
 fn process_batch(
-    batch: Vec<PendingRequest>,
+    batch: &[PendingRequest],
+    ws: &mut BatchWorkspace,
     registry: &ModelRegistry,
     cache: &SolutionCache,
     memo: &SolutionCache,
@@ -668,6 +883,7 @@ fn process_batch(
     if batch.is_empty() {
         return;
     }
+    ws.reset();
     let batch_size = batch.len();
     counters.batches.fetch_add(1, Ordering::Relaxed);
     counters
@@ -700,10 +916,9 @@ fn process_batch(
     // Phase 1 (sequential, cheap): resolve models, extract features, check
     // the cache, and group duplicates behind one leader per quantized key.
     // Followers keep their own feature vector so every request that paid
-    // for extraction is recorded into the traffic accumulator.
-    let mut cold: Vec<ColdJob> = Vec::new();
-    let mut followers: Vec<Vec<Follower>> = Vec::new();
-    let mut leader_of: HashMap<CacheKey, usize> = HashMap::new();
+    // for extraction is recorded into the traffic accumulator. Cache probes
+    // go through the workspace's scratch keys; an owned key is only cloned
+    // out on the miss path.
     let dequeued_at = Instant::now();
     for (i, request) in batch.iter().enumerate() {
         // Expired work is dropped *before* compute: a request whose deadline
@@ -735,14 +950,19 @@ fn process_batch(
             continue;
         }
         // Tier 1: exact-match memo — a literal repeat skips feature
-        // extraction entirely.
+        // extraction entirely, and its probe never allocates.
         let memo_key = if memo.is_enabled() {
-            let key = memo.key_for(&request.model_id, generation, &request.raw_sample);
-            if let Some(hit) = memo.lookup_key(&key) {
+            memo.fill_key(
+                &mut ws.keys.memo,
+                &request.model_id,
+                generation,
+                &request.raw_sample,
+            );
+            if let Some(hit) = memo.lookup_key(&ws.keys.memo) {
                 reply_to(request, Ok((hit, SolutionSource::CacheHit)));
                 continue;
             }
-            Some(key)
+            Some(ws.keys.memo.clone())
         } else {
             None
         };
@@ -759,8 +979,8 @@ fn process_batch(
         }
         // Tier 2: quantized feature cell.
         let key = if cache.is_enabled() {
-            let key = cache.key_for(&request.model_id, generation, &features);
-            if let Some(hit) = cache.lookup_key(&key) {
+            cache.fill_key(&mut ws.keys.feat, &request.model_id, generation, &features);
+            if let Some(hit) = cache.lookup_key(&ws.keys.feat) {
                 if let Some(memo_key) = memo_key {
                     memo.insert_key(memo_key, Arc::clone(&hit));
                 }
@@ -768,23 +988,31 @@ fn process_batch(
                 reply_to(request, Ok((hit, SolutionSource::CacheHit)));
                 continue;
             }
-            if let Some(&leader) = leader_of.get(&key) {
-                followers[leader].push((i, memo_key, features));
+            if let Some(&leader) = ws.leader_of.get(&ws.keys.feat) {
+                ws.followers[leader].push((i, memo_key, features));
                 continue;
             }
-            leader_of.insert(key.clone(), cold.len());
+            let key = ws.keys.feat.clone();
+            ws.leader_of.insert(key.clone(), ws.cold.len());
             Some(key)
         } else {
             None
         };
-        cold.push(ColdJob {
+        ws.cold.push(ColdJob {
             request_index: i,
             pipeline,
             features,
             key,
             memo_key,
         });
-        followers.push(Vec::new());
+        ws.followers.push(Vec::new());
+    }
+
+    // Steady-state fast path: a fully warm batch (every request answered
+    // from a cache tier or failed per-request) has nothing to fan out —
+    // skip the grouping and parallel phases entirely.
+    if ws.cold.is_empty() {
+        return;
     }
 
     // Phase 2 (parallel): fine-tune every cold leader. Jobs that share a
@@ -794,35 +1022,36 @@ fn process_batch(
     // into per-thread chunks so the fan-out still uses every core. The
     // batched lanes are bit-identical to per-request calls, and errors stay
     // per-request — one bad sample never cancels its batch mates.
-    let mut groups: Vec<(Arc<EnqodePipeline>, Vec<usize>)> = Vec::new();
-    for (idx, job) in cold.iter().enumerate() {
-        match groups
+    for (idx, job) in ws.cold.iter().enumerate() {
+        match ws
+            .groups
             .iter_mut()
             .find(|(p, _)| Arc::ptr_eq(p, &job.pipeline))
         {
             Some((_, indices)) => indices.push(idx),
-            None => groups.push((Arc::clone(&job.pipeline), vec![idx])),
+            None => ws.groups.push((Arc::clone(&job.pipeline), vec![idx])),
         }
     }
-    let work: Vec<(Arc<EnqodePipeline>, Vec<usize>)> = groups
-        .into_iter()
-        .flat_map(|(pipeline, indices)| {
-            let chunk = indices.len().div_ceil(threads.get()).max(1);
-            indices
-                .chunks(chunk)
-                .map(|c| (Arc::clone(&pipeline), c.to_vec()))
-                .collect::<Vec<_>>()
-        })
-        .collect();
+    for (pipeline, indices) in ws.groups.drain(..) {
+        let chunk = indices.len().div_ceil(threads.get()).max(1);
+        for c in indices.chunks(chunk) {
+            ws.work.push((Arc::clone(&pipeline), c.to_vec()));
+        }
+    }
+    let cold = &ws.cold;
     let chunk_outcomes =
-        enq_parallel::par_map_with_threads(threads, &work, |_, (pipeline, indices)| {
-            let features: Vec<Vec<f64>> =
-                indices.iter().map(|&i| cold[i].features.clone()).collect();
+        enq_parallel::par_map_with_threads(threads, &ws.work, |_, (pipeline, indices)| {
+            // Borrowed feature views: the batched transform reads them in
+            // place instead of deep-copying every sample into the job list.
+            let features: Vec<&[f64]> = indices
+                .iter()
+                .map(|&i| cold[i].features.as_slice())
+                .collect();
             pipeline.embed_features_batch(&features)
         });
     let mut outcomes: Vec<Option<Result<(usize, Embedding), EnqodeError>>> =
-        (0..cold.len()).map(|_| None).collect();
-    for ((_, indices), results) in work.iter().zip(chunk_outcomes) {
+        (0..ws.cold.len()).map(|_| None).collect();
+    for ((_, indices), results) in ws.work.iter().zip(chunk_outcomes) {
         for (&i, result) in indices.iter().zip(results) {
             outcomes[i] = Some(result);
         }
@@ -834,7 +1063,7 @@ fn process_batch(
 
     // Phase 3: fill both cache tiers and reply to leaders and their
     // followers (every batch mate's raw key memoises the shared solution).
-    for ((job, mates), outcome) in cold.iter().zip(followers).zip(outcomes) {
+    for ((job, mates), outcome) in ws.cold.iter().zip(ws.followers.drain(..)).zip(outcomes) {
         match outcome {
             Ok((label, embedding)) => {
                 let solution = Arc::new(Solution { label, embedding });
@@ -1192,6 +1421,41 @@ mod tests {
         assert!(service
             .embed_with_deadline("tiny", sample, Some(far))
             .is_ok());
+    }
+
+    #[test]
+    fn request_pools_recycle_across_requests() {
+        let (service, dataset) = service_with_model(ServeConfig {
+            flush_deadline: Duration::ZERO,
+            ..Default::default()
+        });
+        let sample = dataset.sample(0);
+        for _ in 0..8 {
+            service.embed("tiny", sample).unwrap();
+        }
+        // Quiesce: buffers ride inside the request and return when the
+        // batcher clears its batch, which can trail the reply slightly.
+        let quiesce = |service: &EmbedService| {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let pools = service.pool_stats();
+                if pools.samples.outstanding == 0 && pools.slots.outstanding == 0 {
+                    return pools;
+                }
+                assert!(Instant::now() < deadline, "pools must drain: {pools:?}");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        };
+        let drained = quiesce(&service);
+        assert!(drained.samples.available >= 1, "{drained:?}");
+        assert!(drained.slots.available >= 1, "{drained:?}");
+        // With a parked buffer available, the next request deterministically
+        // reuses it instead of creating a fresh one.
+        service.embed("tiny", sample).unwrap();
+        let after = quiesce(&service);
+        assert_eq!(after.samples.created, drained.samples.created);
+        assert_eq!(after.slots.created, drained.slots.created);
+        assert_eq!(after.samples.capacity, 256, "default pool capacity");
     }
 
     #[test]

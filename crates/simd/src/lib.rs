@@ -888,13 +888,20 @@ fn sum_lanes_body(data: &[f64], lanes: usize, out: &mut [f64], from: usize, to: 
 /// saturate, silently colliding with legitimate cells. The serve layer
 /// rejects non-finite features with a typed error before any key is built.
 pub fn quantize_cells(features: &[f64], quantum: f64) -> Vec<i64> {
+    let mut cells = Vec::new();
+    quantize_cells_into(features, quantum, &mut cells);
+    cells
+}
+
+/// [`quantize_cells`] writing into a caller-owned buffer (cleared first),
+/// so a steady-state cache probe reuses one allocation across requests.
+/// Cell values are bit-identical to [`quantize_cells`].
+pub fn quantize_cells_into(features: &[f64], quantum: f64, out: &mut Vec<i64>) {
+    out.clear();
     if quantum <= 0.0 {
-        features.iter().map(|f| f.to_bits() as i64).collect()
+        out.extend(features.iter().map(|f| f.to_bits() as i64));
     } else {
-        features
-            .iter()
-            .map(|f| (f / quantum).round() as i64)
-            .collect()
+        out.extend(features.iter().map(|f| (f / quantum).round() as i64));
     }
 }
 

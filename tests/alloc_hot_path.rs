@@ -1,0 +1,198 @@
+//! Pins the tentpole claim of the pooled request path: once the service is
+//! warm, a steady-state cache-hit request performs **zero heap
+//! allocations** — through `embed_direct` (thread-local scratch keys),
+//! through `embed`'s caller-thread memo probe (the production default), and
+//! through the full batcher round trip with the probe disabled (interned
+//! model id, pooled sample buffer, pooled reply slot, reused batch vector
+//! and workspace).
+//!
+//! A counting global allocator measures allocation *counts* (not bytes).
+//! The binary runs **without the libtest harness** (`harness = false`),
+//! matching `zero_alloc_optimizer_loop`: the harness's own threads
+//! allocate at unpredictable moments, which would pollute the
+//! process-global counter. The batcher thread is *deliberately* inside the
+//! measured window — the claim covers the whole request path, not just the
+//! caller's half — so the loop quiesces the buffer pools between requests,
+//! making the recycle race (client resubmitting before the batcher has
+//! parked the previous buffers) impossible instead of merely unlikely.
+
+use enq_data::{generate_synthetic, DatasetKind, SyntheticConfig};
+use enq_serve::{EmbedService, ServeConfig, SolutionSource};
+use enqode::{AnsatzConfig, EnqodeConfig, EnqodePipeline, EntanglerKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn tiny_pipeline() -> (Arc<EnqodePipeline>, Vec<f64>) {
+    let dataset = generate_synthetic(
+        DatasetKind::MnistLike,
+        &SyntheticConfig {
+            classes: 2,
+            samples_per_class: 6,
+            seed: 11,
+        },
+    )
+    .unwrap();
+    let config = EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 4,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.8,
+        max_clusters: 2,
+        offline_max_iterations: 40,
+        offline_restarts: 1,
+        online_max_iterations: 15,
+        offline_rescue: false,
+        seed: 11,
+    };
+    let pipeline = Arc::new(EnqodePipeline::build(&dataset, config).unwrap());
+    let sample = dataset.sample(0).to_vec();
+    (pipeline, sample)
+}
+
+/// A service over the shared pipeline. Traffic capture stays at its default
+/// (disabled); zero flush deadline keeps the batched measurement from
+/// spending its time in straggler waits.
+fn service_over(pipeline: &Arc<EnqodePipeline>, probe_caller_cache: bool) -> EmbedService {
+    let service = EmbedService::new(ServeConfig {
+        max_batch_size: 8,
+        flush_deadline: Duration::ZERO,
+        probe_caller_cache,
+        ..Default::default()
+    });
+    service.register_model("m", Arc::clone(pipeline));
+    service
+}
+
+/// Spins until every pooled buffer and reply slot has been returned. The
+/// batcher recycles buffers when it clears the finished batch, which
+/// trails the reply by a beat; waiting it out makes the measured loop's
+/// checkouts deterministic pool pops. Polling itself never allocates
+/// (`pool_stats` returns `Copy` snapshots).
+fn quiesce(service: &EmbedService) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = service.pool_stats();
+        if stats.samples.outstanding == 0 && stats.slots.outstanding == 0 {
+            return;
+        }
+        assert!(Instant::now() < deadline, "pools never quiesced");
+        std::hint::spin_loop();
+    }
+}
+
+fn main() {
+    let (pipeline, sample) = tiny_pipeline();
+    const ROUNDS: usize = 200;
+
+    // --- embed_direct: the synchronous path ------------------------------
+    // First call computes and fills both cache tiers; the repeats warm the
+    // thread-local scratch keys.
+    let service = service_over(&pipeline, true);
+    let first = service.embed_direct("m", &sample).unwrap();
+    assert_eq!(first.source, SolutionSource::Computed);
+    for _ in 0..3 {
+        let warm = service.embed_direct("m", &sample).unwrap();
+        assert_eq!(warm.source, SolutionSource::CacheHit);
+    }
+
+    let before = allocations();
+    for _ in 0..ROUNDS {
+        std::hint::black_box(service.embed_direct("m", &sample).unwrap());
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "embed_direct cache hits allocated {delta} times over {ROUNDS} requests"
+    );
+
+    // --- embed with the caller-thread memo probe (production default) ----
+    // A warm repeat never enters the queue: the probe answers it in place.
+    for _ in 0..4 {
+        let warm = service.embed("m", &sample).unwrap();
+        assert_eq!(warm.source, SolutionSource::CacheHit);
+    }
+    let probed_before = service.pool_stats();
+    let before = allocations();
+    for _ in 0..ROUNDS {
+        std::hint::black_box(service.embed("m", &sample).unwrap());
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "caller-probe cache hits allocated {delta} times over {ROUNDS} requests"
+    );
+    let probed_after = service.pool_stats();
+    assert_eq!(
+        probed_after.samples.created, probed_before.samples.created,
+        "probe-answered hits must not touch the request pools"
+    );
+
+    // --- embed with the probe disabled: the full batcher round trip ------
+    // Warm the queue, the pooled sample buffer and reply slot, the
+    // batcher's reusable batch vector and its workspace scratch keys.
+    let service = service_over(&pipeline, false);
+    let first = service.embed("m", &sample).unwrap();
+    assert_eq!(first.source, SolutionSource::Computed);
+    for _ in 0..4 {
+        let warm = service.embed("m", &sample).unwrap();
+        assert_eq!(warm.source, SolutionSource::CacheHit);
+    }
+    quiesce(&service);
+
+    let before = allocations();
+    for _ in 0..ROUNDS {
+        std::hint::black_box(service.embed("m", &sample).unwrap());
+        quiesce(&service);
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "batched cache hits allocated {delta} times over {ROUNDS} requests"
+    );
+
+    // The pools never grew past what the single client needed.
+    let pools = service.pool_stats();
+    assert!(
+        pools.samples.created <= 4 && pools.slots.created <= 4,
+        "single-client traffic created {} sample buffers / {} slots",
+        pools.samples.created,
+        pools.slots.created
+    );
+    println!("zero-alloc request hot path: ok");
+}

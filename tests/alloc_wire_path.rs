@@ -1,0 +1,170 @@
+//! Pins the wire layer's allocation budget: a steady-state cache-hit
+//! request through a live `enqd` socket costs a **bounded small constant**
+//! of heap allocations end to end.
+//!
+//! The budget is three allocations per request, all in frame decoding
+//! (`decode_frame` builds an owned tenant `String`, model-id `String`, and
+//! sample `Vec<f64>` for the service call); everything after decode is
+//! allocation-free — interned model-id resolve, pooled sample buffer and
+//! reply slot, cache-hit lookup, and a reply encoded into the connection's
+//! reused write buffer. The assertion allows four per request so an
+//! incidental platform allocation (a lazily grown thread-local, an
+//! occasional I/O retry) cannot flake the suite, while still catching any
+//! real per-request regression (a single reintroduced clone costs +1 per
+//! request = +200 over the run).
+//!
+//! Runs without the libtest harness (`harness = false`); the server's own
+//! threads (acceptor, connection, batcher) are deliberately inside the
+//! measured window. The *client* side stays out of the picture by never
+//! allocating during measurement: the request frame is encoded once up
+//! front and replies are read into a fixed stack buffer by hand-parsing
+//! the `[u32 LE len]` framing (client-side `decode_frame` would allocate).
+
+use enq_data::{generate_synthetic, DatasetKind, SyntheticConfig};
+use enq_net::{EnqdServer, FaultPlan, Frame, NetConfig};
+use enq_serve::{EmbedService, ServeConfig};
+use enqode::{AnsatzConfig, EnqodeConfig, EnqodePipeline, EntanglerKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Sends one pre-encoded request and reads the framed reply into `reply`,
+/// returning the frame length. Allocation-free: manual length-header
+/// parsing against a caller-owned buffer.
+fn round_trip(stream: &mut TcpStream, request: &[u8], reply: &mut [u8]) -> usize {
+    stream.write_all(request).expect("request write failed");
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header).expect("reply header");
+    let len = u32::from_le_bytes(header) as usize;
+    assert!(
+        len > 0 && len <= reply.len(),
+        "reply length {len} out of range"
+    );
+    stream.read_exact(&mut reply[..len]).expect("reply body");
+    len
+}
+
+fn main() {
+    let dataset = generate_synthetic(
+        DatasetKind::MnistLike,
+        &SyntheticConfig {
+            classes: 2,
+            samples_per_class: 6,
+            seed: 17,
+        },
+    )
+    .unwrap();
+    let config = EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 4,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.8,
+        max_clusters: 2,
+        offline_max_iterations: 40,
+        offline_restarts: 1,
+        online_max_iterations: 15,
+        offline_rescue: false,
+        seed: 17,
+    };
+    let pipeline = Arc::new(EnqodePipeline::build(&dataset, config).unwrap());
+    let service = Arc::new(EmbedService::new(ServeConfig {
+        max_batch_size: 4,
+        flush_deadline: Duration::ZERO,
+        ..Default::default()
+    }));
+    service.register_model("m", pipeline);
+    let handle = EnqdServer::spawn(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        NetConfig {
+            tick: Duration::from_millis(1),
+            ..NetConfig::default()
+        },
+        FaultPlan::none(),
+    )
+    .unwrap();
+
+    let request = Frame::EmbedRequest {
+        id: 7,
+        deadline_ms: 0,
+        tenant: "t".to_string(),
+        model_id: "m".to_string(),
+        sample: dataset.sample(0).to_vec(),
+    }
+    .encode();
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reply = [0u8; 8192];
+
+    // Warm everything on the measured path: the connection's pooled frame
+    // buffers, the service's sample/slot pools, both cache tiers, and the
+    // batcher's workspace.
+    for _ in 0..20 {
+        let len = round_trip(&mut stream, &request, &mut reply);
+        assert_eq!(reply[0], 0x02, "warm-up must get EmbedReply, len {len}");
+    }
+
+    const ROUNDS: usize = 200;
+    const BUDGET_PER_REQUEST: usize = 4;
+    let before = allocations();
+    for _ in 0..ROUNDS {
+        let len = round_trip(&mut stream, &request, &mut reply);
+        std::hint::black_box(&reply[..len]);
+        assert_eq!(reply[0], 0x02, "steady state must stay EmbedReply");
+        // Source byte is the frame's last byte: 1 = cache hit.
+        assert_eq!(reply[len - 1], 1, "steady state must be a cache hit");
+    }
+    let delta = allocations() - before;
+    assert!(
+        delta <= ROUNDS * BUDGET_PER_REQUEST,
+        "wire path allocated {delta} times over {ROUNDS} requests \
+         (budget {} = {BUDGET_PER_REQUEST}/request; steady state is 3: \
+         decode's tenant + model id + sample)",
+        ROUNDS * BUDGET_PER_REQUEST
+    );
+
+    drop(stream);
+    handle.join();
+    println!(
+        "wire-path allocation budget: ok ({delta} allocations / {ROUNDS} requests \
+         = {:.2} per request)",
+        delta as f64 / ROUNDS as f64
+    );
+}

@@ -112,11 +112,36 @@ fn reference_embedding() -> &'static (u64, Vec<f64>) {
     })
 }
 
+/// Pool hygiene, asserted once a scenario's traffic has stopped: every
+/// checked-out request buffer — including those carried by requests that
+/// failed, were shed, or whose client vanished — must come back to the
+/// pool, and the parked set must respect the configured bound. A buffer
+/// that never returns is a leak that compounds under sustained faults.
+fn assert_pools_quiesced(service: &EmbedService) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let pools = service.pool_stats();
+        if pools.samples.outstanding == 0 && pools.slots.outstanding == 0 {
+            assert!(pools.samples.available <= pools.samples.capacity);
+            assert!(pools.slots.available <= pools.slots.capacity);
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "pool buffers leaked: {} samples, {} slots still outstanding",
+            pools.samples.outstanding,
+            pools.slots.outstanding
+        );
+        std::thread::yield_now();
+    }
+}
+
 /// The survival contract, asserted after every scenario: queue drained,
-/// server still answering, and the follow-up answer bit-identical to the
-/// unfaulted reference.
+/// pools quiesced, server still answering, and the follow-up answer
+/// bit-identical to the unfaulted reference.
 fn assert_still_serving_bit_identical(handle: &ServerHandle, service: &EmbedService) {
     assert_eq!(service.queue_depth(), 0, "batcher queue must be drained");
+    assert_pools_quiesced(service);
     let (ref_label, ref_parameters) = reference_embedding();
     let sample = &shared_pipeline().1[0];
     let mut client = EnqClient::new(handle.addr().to_string(), RetryPolicy::default());
@@ -410,6 +435,54 @@ fn queue_overload_sheds_with_typed_retry_after() {
     assert!(served >= 1, "some of the burst must be admitted");
     assert!(shed >= 1, "a 12-deep burst against max_pending=1 must shed");
     assert_eq!(shed, handle.stats().shed);
+    assert_still_serving_bit_identical(&handle, &service);
+    // The burst must not have inflated the pools: shed requests never reach
+    // the service, so at most the admitted requests plus the follow-up ever
+    // checked out a buffer, and none of them may still be held.
+    let pools = service.pool_stats();
+    assert!(
+        pools.samples.created <= 13,
+        "a 12-client burst must not create more than 13 sample buffers (got {})",
+        pools.samples.created
+    );
+    assert!(
+        pools.slots.created <= 13,
+        "a 12-client burst must not create more than 13 reply slots (got {})",
+        pools.slots.created
+    );
+    handle.join();
+}
+
+/// Requests that fail validation — NaN-poisoned features, wrong-dimension
+/// samples — must come back as typed errors over the wire *and* hand their
+/// pooled buffers back: the error path runs the same return discipline as
+/// the success path.
+#[test]
+fn failed_requests_return_typed_errors_and_their_pooled_buffers() {
+    let (handle, service) = spawn_scenario_server(fast_net_config(), FaultPlan::none());
+    let samples = &shared_pipeline().1;
+    let mut client = EnqClient::new(handle.addr().to_string(), no_retry());
+    for round in 0..4 {
+        let mut poisoned = samples[1].clone();
+        let pos = round % poisoned.len();
+        poisoned[pos] = f64::NAN;
+        match client.embed("t", "m", &poisoned, 0) {
+            Err(ClientError::Server {
+                code: ErrorCode::InvalidFeatures,
+                ..
+            }) => {}
+            other => panic!("poisoned sample must be typed InvalidFeatures, got {other:?}"),
+        }
+        match client.embed("t", "m", &samples[1][..3], 0) {
+            Err(ClientError::Server {
+                code: ErrorCode::EmbedFailed,
+                ..
+            }) => {}
+            other => panic!("truncated sample must be typed EmbedFailed, got {other:?}"),
+        }
+    }
+    assert_eq!(service.stats().errors, 8);
+    assert_pools_quiesced(service.as_ref());
     assert_still_serving_bit_identical(&handle, &service);
     handle.join();
 }

@@ -15,10 +15,12 @@
 //! object (pointer equality), not a recomputation.
 
 use enq_data::{generate_synthetic, Dataset, DatasetKind, SyntheticConfig};
-use enq_serve::{CacheConfig, EmbedService, ServeConfig, SolutionSource};
+use enq_serve::{CacheConfig, EmbedService, ServeConfig, ServeError, SolutionSource};
 use enqode::{AnsatzConfig, Embedding, EnqodeConfig, EnqodePipeline, EntanglerKind};
+use proptest::prelude::*;
 use std::sync::Arc;
-use std::time::Duration;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 fn tiny_pipeline() -> (Arc<EnqodePipeline>, Dataset) {
     let dataset = generate_synthetic(
@@ -203,6 +205,162 @@ fn identical_requests_in_one_batch_are_deduplicated() {
         stats.computed + stats.cache_hits + stats.batch_dedup_hits,
         clients as u64
     );
+}
+
+/// Shared fixture for the property sweep: building the pipeline dominates
+/// each case's cost, and the reference embeddings are deterministic, so
+/// both are computed once and reused across every generated case.
+struct Fixture {
+    pipeline: Arc<EnqodePipeline>,
+    samples: Vec<Vec<f64>>,
+    reference: Vec<(usize, Embedding)>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (pipeline, dataset) = tiny_pipeline();
+        let samples: Vec<Vec<f64>> = (0..10).map(|i| dataset.sample(i).to_vec()).collect();
+        let reference = samples.iter().map(|s| pipeline.embed(s).unwrap()).collect();
+        Fixture {
+            pipeline,
+            samples,
+            reference,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // The pooled request path (reused sample buffers, pooled reply slots,
+    // interned ids, optional caller-thread memo probe) is a memory
+    // optimisation, never a numerical one: under every generated batcher
+    // shape, client count, cache mode, and error interleaving, valid
+    // requests return results bit-identical to the fresh-alloc
+    // `pipeline.embed` reference, invalid requests fail with their typed
+    // error without poisoning anything, and the pools drain back to
+    // quiescence with every buffer accounted for.
+    #[test]
+    fn pooled_request_path_is_bitwise_equivalent_and_leak_free(
+        max_batch in 1usize..12,
+        flush_ms in 0u64..3,
+        clients in 1usize..6,
+        cache_on in 0u8..2,
+        probe in 0u8..2,
+        plan in proptest::collection::vec((0usize..10, 0u8..8), 8..40),
+    ) {
+        let fx = fixture();
+        let service = Arc::new(EmbedService::new(ServeConfig {
+            max_batch_size: max_batch,
+            flush_deadline: Duration::from_millis(flush_ms),
+            cache: CacheConfig {
+                capacity: if cache_on == 1 { 64 } else { 0 },
+                ..Default::default()
+            },
+            probe_caller_cache: probe == 1,
+            ..Default::default()
+        }));
+        service.register_model("m", Arc::clone(&fx.pipeline));
+
+        // Each plan entry is (sample index, request kind). Kinds 0 and 1
+        // are hostile — a NaN-poisoned sample and a truncated sample — and
+        // must fail with their typed error while returning their pooled
+        // buffers; the rest are valid and checked bit for bit.
+        let mut handles = Vec::new();
+        for chunk in plan.chunks(plan.len().div_ceil(clients)) {
+            let service = Arc::clone(&service);
+            let chunk: Vec<(usize, u8)> = chunk.to_vec();
+            handles.push(std::thread::spawn(move || {
+                let fx = fixture();
+                chunk
+                    .into_iter()
+                    .map(|(idx, kind)| {
+                        let base = &fx.samples[idx];
+                        let result = match kind {
+                            0 => {
+                                let mut poisoned = base.clone();
+                                poisoned[idx % base.len()] = f64::NAN;
+                                service.embed("m", &poisoned)
+                            }
+                            1 => service.embed("m", &base[..2]),
+                            _ => service.embed("m", base),
+                        };
+                        (idx, kind, result)
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut invalid = 0u64;
+        for handle in handles {
+            for (idx, kind, result) in handle.join().unwrap() {
+                match kind {
+                    0 => {
+                        invalid += 1;
+                        let poison_pos = idx % fx.samples[idx].len();
+                        match result {
+                            Err(ServeError::NonFiniteFeature { index, value }) => {
+                                prop_assert_eq!(index, poison_pos);
+                                prop_assert!(value.is_nan());
+                            }
+                            other => prop_assert!(
+                                false,
+                                "poisoned sample: expected NonFiniteFeature, got {:?}",
+                                other.map(|r| r.source)
+                            ),
+                        }
+                    }
+                    1 => {
+                        invalid += 1;
+                        prop_assert!(
+                            matches!(result, Err(ServeError::Embed(_))),
+                            "truncated sample must fail in the embedder"
+                        );
+                    }
+                    _ => {
+                        let response = result.unwrap();
+                        prop_assert!(
+                            response.batch_size >= 1 && response.batch_size <= max_batch.max(1)
+                        );
+                        assert_bit_identical(
+                            &fx.reference[idx],
+                            response.label(),
+                            response.embedding(),
+                        );
+                    }
+                }
+            }
+        }
+        let stats = service.stats();
+        prop_assert_eq!(stats.requests, plan.len() as u64);
+        prop_assert_eq!(stats.errors, invalid);
+
+        // Pool hygiene: once no request is in flight, every checked-out
+        // buffer — including those carried by failed requests — must be
+        // back, and the parked set must respect the configured bound.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let pools = service.pool_stats();
+            if pools.samples.outstanding == 0 && pools.slots.outstanding == 0 {
+                break;
+            }
+            prop_assert!(
+                Instant::now() < deadline,
+                "pool buffers leaked after the storm: {} samples, {} slots outstanding",
+                pools.samples.outstanding,
+                pools.slots.outstanding
+            );
+            std::thread::yield_now();
+        }
+        let pools = service.pool_stats();
+        prop_assert!(pools.samples.available <= pools.samples.capacity);
+        prop_assert!(pools.slots.available <= pools.slots.capacity);
+
+        // And the service is still healthy: one more valid request comes
+        // back bit-identical.
+        let response = service.embed("m", &fx.samples[0]).unwrap();
+        assert_bit_identical(&fx.reference[0], response.label(), response.embedding());
+    }
 }
 
 /// Near-duplicate samples within one quantization cell hit; samples in a
