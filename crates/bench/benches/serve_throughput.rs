@@ -16,7 +16,11 @@
 //! * p99 compute-path latency during a background model rebuild ≤ 6× idle
 //!   (the rebuild worker competes for cores, never blocks serving; on a
 //!   single core the under-rebuild tail bottoms out at a couple of
-//!   scheduler quanta, so the bound leaves headroom over that floor).
+//!   scheduler quanta, so the bound leaves headroom over that floor), and
+//! * the ops-autopilot leg: under an hours-compressed traffic drift the
+//!   autopilot must fire unaided, the audited fidelity must recover to at
+//!   least the recorded floor, and the drift-phase serve p99 must stay
+//!   within the same 6× rebuild gate relative to baseline.
 //!
 //! Set `ENQ_SERVE_BENCH_TINY=1` for a smoke run (used by CI to keep the
 //! regeneration path from rotting without paying the full measurement).
@@ -83,6 +87,7 @@ fn main() {
     let overhead_ratio = result.serve_overhead_p50_ratio();
     let hit_allocs = result.hit_allocs_per_request;
     let rebuild_ratio = result.rebuild_p99_ratio();
+    let autopilot_ratio = result.autopilot_p99_ratio();
     if tiny {
         // The smoke run exercises the regeneration path end to end; the
         // latency/throughput thresholds are calibrated for the paper shape
@@ -93,7 +98,7 @@ fn main() {
             "steady-state cache hits must not allocate (got {hit_allocs:.2}/request)"
         );
         println!(
-            "smoke ratios (not gated): batched/sequential {throughput_ratio:.2}x, cold/hot p50 {latency_ratio:.1}x, serve overhead p50 {overhead_ratio:.2}x, rebuild p99 {rebuild_ratio:.2}x"
+            "smoke ratios (not gated): batched/sequential {throughput_ratio:.2}x, cold/hot p50 {latency_ratio:.1}x, serve overhead p50 {overhead_ratio:.2}x, rebuild p99 {rebuild_ratio:.2}x, autopilot p99 {autopilot_ratio:.2}x"
         );
         return;
     }
@@ -125,5 +130,17 @@ fn main() {
     assert!(
         rebuild_ratio <= 6.0,
         "acceptance: p99 under a background rebuild must stay <= 6x idle p99 (got {rebuild_ratio:.2}x)"
+    );
+    assert!(
+        result.autopilot.fidelity_recovered >= result.autopilot.fidelity_threshold,
+        "acceptance: the autopilot refresh must recover audited fidelity above the floor \
+         (got {:.3} < {:.2})",
+        result.autopilot.fidelity_recovered,
+        result.autopilot.fidelity_threshold
+    );
+    assert!(
+        autopilot_ratio <= 6.0,
+        "acceptance: drift-phase serve p99 with the autopilot refresh in flight must stay \
+         <= 6x baseline p99 (got {autopilot_ratio:.2}x)"
     );
 }

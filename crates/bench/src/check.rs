@@ -167,6 +167,23 @@ pub fn default_gates() -> Vec<GateSpec> {
             direction: Direction::AtMost,
             threshold: Threshold::Fixed(6.0),
         },
+        // Ops autopilot: under an hours-compressed traffic drift the
+        // scheduler must fire a traffic-fed refresh unaided and recover
+        // the audited fidelity to at least the floor the leg recorded,
+        // and the drift-phase serve p99 (refresh fitting in the
+        // background) must stay within the same 6× rebuild gate.
+        GateSpec {
+            file: "BENCH_serve.json",
+            key: "autopilot_fidelity_recovered",
+            direction: Direction::AtLeast,
+            threshold: Threshold::FromKey("autopilot_fidelity_threshold"),
+        },
+        GateSpec {
+            file: "BENCH_serve.json",
+            key: "autopilot_p99_ratio",
+            direction: Direction::AtMost,
+            threshold: Threshold::Fixed(6.0),
+        },
         // Streaming fit: clustering quality within 1.05× of full-batch
         // Lloyd, trained on a dataset ≥ 10× the chunk budget.
         GateSpec {

@@ -27,7 +27,10 @@
 
 use crate::report::markdown_table;
 use enq_data::{generate_synthetic, Dataset, DatasetKind, SyntheticConfig};
-use enq_serve::{CacheConfig, EmbedService, ServeConfig};
+use enq_serve::{
+    Autopilot, AutopilotEvent, CacheConfig, EmbedService, FireReason, RefreshPolicy, ServeConfig,
+    TrafficConfig,
+};
 use enqode::{AnsatzConfig, EnqodeConfig, EnqodeError, EnqodePipeline, EntanglerKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -155,6 +158,38 @@ impl RebuildUnderLoad {
     }
 }
 
+/// The ops-autopilot leg: an hours-compressed drift scenario where the
+/// [`Autopilot`] scheduler — not the benchmark — detects audit-fidelity
+/// decay and fires a traffic-fed refresh. Records the fidelity collapse,
+/// the post-swap recovery, and the serve-tail cost of the unattended
+/// rebuild.
+#[derive(Debug, Clone, Copy)]
+pub struct AutopilotLeg {
+    /// The audited mean fidelity the trigger fired on (below the floor).
+    pub fidelity_before: f64,
+    /// The audited mean fidelity on the same drifted traffic after the
+    /// autopilot's refresh swapped (gated `>= fidelity_threshold`).
+    pub fidelity_recovered: f64,
+    /// The policy floor the autopilot defends.
+    pub fidelity_threshold: f64,
+    /// Serve p99 (µs) over the pre-drift baseline traffic.
+    pub baseline_p99_us: f64,
+    /// Serve p99 (µs) over the drift phase, autopilot refresh included.
+    pub drift_p99_us: f64,
+    /// Refreshes the autopilot fired.
+    pub fires: u64,
+    /// Background shard compactions it performed.
+    pub compactions: u64,
+}
+
+impl AutopilotLeg {
+    /// The gated ratio: drift-phase p99 (unattended rebuild in flight)
+    /// over baseline p99 — bounded by the same 6× rebuild gate.
+    pub fn p99_ratio(&self) -> f64 {
+        self.drift_p99_us / self.baseline_p99_us.max(1e-9)
+    }
+}
+
 /// The full serve benchmark result.
 #[derive(Debug, Clone)]
 pub struct ServeBenchResult {
@@ -180,6 +215,9 @@ pub struct ServeBenchResult {
     pub hit_allocs_per_request: f64,
     /// Tail latency with a background model rebuild competing for cores.
     pub rebuild: RebuildUnderLoad,
+    /// The self-driving lifecycle leg: drift detected and repaired by the
+    /// autopilot scheduler, unaided.
+    pub autopilot: AutopilotLeg,
 }
 
 impl ServeBenchResult {
@@ -230,6 +268,12 @@ impl ServeBenchResult {
         self.rebuild.p99_ratio()
     }
 
+    /// Headline ratio: drift-phase serve p99 (autopilot refresh in flight)
+    /// over baseline p99 (gated ≤ 6×, the rebuild gate).
+    pub fn autopilot_p99_ratio(&self) -> f64 {
+        self.autopilot.p99_ratio()
+    }
+
     /// Renders the result as the `BENCH_serve.json` document.
     pub fn to_json(&self) -> String {
         let batched_rows: Vec<String> = self
@@ -263,8 +307,13 @@ impl ServeBenchResult {
              \"hit_allocs_per_request\": {:.2},\n  \
              \"rebuild_under_load\": {{\"rebuild_idle_p99_us\": {:.1}, \
              \"rebuild_under_p99_us\": {:.1}, \"rebuild_outlasted_measurement\": {}}},\n  \
+             \"autopilot\": {{\"autopilot_fidelity_before\": {:.4}, \
+             \"autopilot_fidelity_threshold\": {:.2}, \"autopilot_fidelity_recovered\": {:.4}, \
+             \"autopilot_baseline_p99_us\": {:.1}, \"autopilot_drift_p99_us\": {:.1}, \
+             \"autopilot_fires\": {}, \"autopilot_compactions\": {}}},\n  \
              \"acceptance\": {{\"batched_over_sequential\": {:.2}, \"cold_over_hot_p50\": {:.2}, \
-             \"serve_overhead_p50_ratio\": {:.2}, \"rebuild_p99_ratio\": {:.2}}}\n}}\n",
+             \"serve_overhead_p50_ratio\": {:.2}, \"rebuild_p99_ratio\": {:.2}, \
+             \"autopilot_p99_ratio\": {:.2}}}\n}}\n",
             self.config.num_qubits,
             self.config.num_layers,
             self.cores,
@@ -283,10 +332,18 @@ impl ServeBenchResult {
             self.rebuild.idle.p99_us,
             self.rebuild.under_rebuild.p99_us,
             self.rebuild.rebuild_outlasted_measurement,
+            self.autopilot.fidelity_before,
+            self.autopilot.fidelity_threshold,
+            self.autopilot.fidelity_recovered,
+            self.autopilot.baseline_p99_us,
+            self.autopilot.drift_p99_us,
+            self.autopilot.fires,
+            self.autopilot.compactions,
             self.batched_over_sequential(),
             self.cold_over_hot_p50(),
             self.serve_overhead_p50_ratio(),
             self.rebuild_p99_ratio(),
+            self.autopilot_p99_ratio(),
         )
     }
 
@@ -373,6 +430,17 @@ impl fmt::Display for ServeBenchResult {
             } else {
                 " (rebuild finished early!)"
             },
+        )?;
+        writeln!(
+            f,
+            "autopilot drift recovery: fidelity {:.3} -> {:.3} (floor {:.2}), \
+             drift p99 {:.2}x baseline, {} fire(s), {} compaction(s)",
+            self.autopilot.fidelity_before,
+            self.autopilot.fidelity_recovered,
+            self.autopilot.fidelity_threshold,
+            self.autopilot_p99_ratio(),
+            self.autopilot.fires,
+            self.autopilot.compactions,
         )
     }
 }
@@ -678,6 +746,8 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchResult, EnqodeError> {
         }
     };
 
+    let autopilot = run_autopilot_leg(config.seed)?;
+
     Ok(ServeBenchResult {
         config: config.clone(),
         cores,
@@ -688,6 +758,163 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchResult, EnqodeError> {
         hot,
         hit_allocs_per_request,
         rebuild,
+        autopilot,
+    })
+}
+
+/// Drives the hours-compressed drift scenario of `tests/autopilot_soak.rs`
+/// as a measured benchmark leg: baseline in-distribution traffic, then a
+/// hard distribution shift that the [`Autopilot`] must detect (audit
+/// fidelity below the floor) and repair (traffic-fed refresh) on its own.
+/// Deliberately runs on a small 3-qubit shape: the leg measures lifecycle
+/// behaviour and its serve-tail cost, not embedding compute.
+fn run_autopilot_leg(seed: u64) -> Result<AutopilotLeg, EnqodeError> {
+    const FIDELITY_FLOOR: f64 = 0.55;
+    let dataset = generate_synthetic(
+        DatasetKind::MnistLike,
+        &SyntheticConfig {
+            classes: 2,
+            samples_per_class: 8,
+            seed,
+        },
+    )?;
+    let model_config = EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 4,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.8,
+        max_clusters: 4,
+        offline_max_iterations: 40,
+        offline_restarts: 1,
+        online_max_iterations: 15,
+        offline_rescue: false,
+        seed,
+    };
+    let pipeline = Arc::new(EnqodePipeline::build(&dataset, model_config)?);
+    let service = Arc::new(EmbedService::new(ServeConfig {
+        flush_deadline: Duration::ZERO,
+        traffic: TrafficConfig {
+            enabled: true,
+            buffer_samples: 32,
+            audit_window: 64,
+            ..Default::default()
+        },
+        ..Default::default()
+    }));
+    service.register_model("autopilot", Arc::clone(&pipeline));
+    let policy = RefreshPolicy {
+        min_requests: 48,
+        min_fidelity: FIDELITY_FLOOR,
+        hit_rate_drop: 0.0,
+        audit_samples: 64,
+        hysteresis_polls: 2,
+        cooldown_polls: 5,
+        jitter_polls: 2,
+        poll_interval: Duration::from_millis(4),
+        compact_above_shards: 3,
+        stream: enqode::StreamingFitConfig {
+            chunk_size: 16,
+            clusters_per_class: 8,
+            passes: 2,
+            polish_passes: 1,
+            ..Default::default()
+        },
+        ..RefreshPolicy::default()
+    };
+    let autopilot = Autopilot::spawn(Arc::clone(&service), policy);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA0_70);
+
+    // Baseline: in-distribution traffic, each request distinct (cache
+    // misses, so every one is recorded and fine-tuned).
+    let mut baseline_latencies = Vec::new();
+    for _ in 0..400 {
+        let i = rng.gen_range(0..dataset.len());
+        let sample: Vec<f64> = dataset
+            .sample(i)
+            .iter()
+            .map(|v| v + rng.gen_range(-1e-3..1e-3))
+            .collect();
+        let t = Instant::now();
+        service
+            .embed("autopilot", &sample)
+            .expect("baseline requests are valid");
+        baseline_latencies.push(t.elapsed());
+    }
+
+    // Drift: tight clusters around unseen large-amplitude prototypes, far
+    // from every trained centroid, served until the autopilot's refresh
+    // lands.
+    let raw_dim = dataset.sample(0).len();
+    let prototypes: Vec<Vec<f64>> = (0..3)
+        .map(|_| (0..raw_dim).map(|_| rng.gen_range(-8.0..8.0)).collect())
+        .collect();
+    let drift_sample = |rng: &mut StdRng| -> Vec<f64> {
+        let p = &prototypes[rng.gen_range(0..prototypes.len())];
+        p.iter().map(|v| v + rng.gen_range(-0.02..0.02)).collect()
+    };
+    let mut drift_latencies = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        for _ in 0..60 {
+            let sample = drift_sample(&mut rng);
+            let t = Instant::now();
+            service
+                .embed("autopilot", &sample)
+                .expect("drift requests are valid");
+            drift_latencies.push(t.elapsed());
+        }
+        if autopilot.stats().refresh_successes >= 1 {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(EnqodeError::InvalidConfig(format!(
+                "autopilot never completed a refresh under drift: {:?}",
+                autopilot.stats()
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let fidelity_before = autopilot
+        .drain_events()
+        .iter()
+        .find_map(|e| match e {
+            AutopilotEvent::Fired {
+                reason: FireReason::FidelityDecay { observed, .. },
+                ..
+            } => Some(*observed),
+            _ => None,
+        })
+        .ok_or_else(|| {
+            EnqodeError::InvalidConfig("autopilot fired without a fidelity-decay event".into())
+        })?;
+
+    // Recovery: refill the audit ring with post-swap drifted traffic and
+    // re-audit against the refreshed model.
+    for _ in 0..120 {
+        let sample = drift_sample(&mut rng);
+        service
+            .embed("autopilot", &sample)
+            .expect("recovery requests are valid");
+    }
+    let recovered = service
+        .spot_audit("autopilot", 64)
+        .ok_or_else(|| EnqodeError::InvalidConfig("post-swap audit ring is empty".into()))?;
+
+    let stats = autopilot.stats();
+    let mut baseline = baseline_latencies;
+    let mut drift = drift_latencies;
+    baseline.sort_unstable();
+    drift.sort_unstable();
+    Ok(AutopilotLeg {
+        fidelity_before,
+        fidelity_recovered: recovered.mean_fidelity,
+        fidelity_threshold: FIDELITY_FLOOR,
+        baseline_p99_us: percentile_us(&baseline, 0.99),
+        drift_p99_us: percentile_us(&drift, 0.99),
+        fires: stats.fires,
+        compactions: stats.compactions,
     })
 }
 
@@ -726,6 +953,12 @@ mod tests {
         assert!(result.rebuild.idle.p99_us > 0.0);
         assert!(result.rebuild.under_rebuild.p99_us > 0.0);
         assert!(result.rebuild_p99_ratio() > 0.0);
+        // The autopilot leg fired (on the benchmark's own drift scenario)
+        // and recovered above its recorded floor.
+        assert!(result.autopilot.fires >= 1);
+        assert!(result.autopilot.fidelity_before < result.autopilot.fidelity_threshold);
+        assert!(result.autopilot.fidelity_recovered >= result.autopilot.fidelity_threshold);
+        assert!(result.autopilot_p99_ratio() > 0.0);
         let json = result.to_json();
         assert!(json.contains("\"serve_batched\""));
         assert!(json.contains("\"acceptance\""));
@@ -734,7 +967,11 @@ mod tests {
         assert!(json.contains("\"serve_overhead_p50_ratio\""));
         assert!(json.contains("\"hit_allocs_per_request\""));
         assert!(json.contains("\"max_largest_batch\""));
+        assert!(json.contains("\"autopilot_fidelity_recovered\""));
+        assert!(json.contains("\"autopilot_fidelity_threshold\""));
+        assert!(json.contains("\"autopilot_p99_ratio\""));
         assert!(result.to_string().contains("Serve throughput"));
         assert!(result.to_string().contains("background rebuild"));
+        assert!(result.to_string().contains("autopilot drift recovery"));
     }
 }

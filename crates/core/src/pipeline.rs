@@ -402,6 +402,40 @@ impl EnqodePipeline {
         Ok((cm.label, embedding))
     }
 
+    /// Closed-form upper bound on the fidelity this pipeline can reach for
+    /// an already feature-extracted sample, **without running the
+    /// optimiser**: the squared overlap `⟨x̂, ĉ⟩²` between the normalised
+    /// feature vector and its nearest cluster centroid (centroids are
+    /// L2-normalised at fit time, so the overlap falls out of the nearest
+    /// distance: `⟨x̂, ĉ⟩ = 1 − d²/2`).
+    ///
+    /// The ansatz fine-tunes *towards the centroid*, so this is the ceiling
+    /// on the post-ansatz fidelity — cheap enough (one nearest-cluster
+    /// search, no kernel sweeps) to audit live traffic continuously. A
+    /// falling audit value means traffic has drifted away from every fitted
+    /// centroid and the model wants retraining.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqodeError::NotTrained`] for an empty pipeline, dimension
+    /// errors for bad feature lengths, and data errors for zero vectors.
+    pub fn closed_form_fidelity(&self, features: &[f64]) -> Result<f64, EnqodeError> {
+        if self.class_models.is_empty() {
+            return Err(EnqodeError::NotTrained);
+        }
+        let normalized = self.class_models[0].model.normalize_checked(features)?;
+        let mut best: Option<f64> = None;
+        for cm in &self.class_models {
+            let (_, dist) = cm.model.nearest_cluster_of_normalized(&normalized)?;
+            if best.map(|d| dist < d).unwrap_or(true) {
+                best = Some(dist);
+            }
+        }
+        let dist_sq = best.expect("class_models is non-empty");
+        let overlap = 1.0 - dist_sq / 2.0;
+        Ok((overlap * overlap).clamp(0.0, 1.0))
+    }
+
     /// Embeds a batch of already feature-extracted samples with one fused
     /// kernel sweep per optimisation round — the batched counterpart of
     /// [`EnqodePipeline::embed_features`].

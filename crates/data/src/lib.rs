@@ -70,8 +70,8 @@ pub use pca::Pca;
 pub use prefetch::{drive_chunks, ChunkPrefetcher, IngestMode, DEFAULT_PREFETCH_DEPTH};
 pub use preprocess::{l2_normalize, FeaturePipeline, TransformedSource};
 pub use stream::{
-    for_each_chunk, materialize, write_binary_dataset, BinaryDatasetWriter, BinarySource,
-    CsvSource, InMemorySource, SampleChunk, SampleSource,
+    compact_to_shard, for_each_chunk, materialize, write_binary_dataset, BinaryDatasetWriter,
+    BinarySource, CsvSource, InMemorySource, SampleChunk, SampleSource,
 };
 pub use synthetic::{generate_synthetic, SyntheticConfig, SyntheticSource};
 

@@ -152,6 +152,42 @@ where
     }
 }
 
+/// Streams every sample of one pass into a fresh `ENQB` shard at `path`,
+/// returning the record count — the compaction primitive behind long-lived
+/// traffic accumulators: a ring of many small shards (one per buffer spill)
+/// is rewritten as a single contiguous shard without ever materialising the
+/// corpus in memory.
+///
+/// # Errors
+///
+/// Propagates source errors and [`DataError::Io`] for write failures; a
+/// partially-written shard file is removed on error.
+pub fn compact_to_shard(
+    source: &mut dyn SampleSource,
+    path: impl AsRef<Path>,
+    labeled: bool,
+) -> Result<u64, DataError> {
+    let path = path.as_ref();
+    let outcome = (|| {
+        let mut writer = BinaryDatasetWriter::create(path, source.feature_dim(), labeled)?;
+        let mut chunk = SampleChunk::new();
+        loop {
+            let n = source.next_chunk(1024, &mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            for (sample, &label) in chunk.samples().iter().zip(chunk.labels()) {
+                writer.append(sample, label)?;
+            }
+        }
+        writer.finish()
+    })();
+    if outcome.is_err() {
+        let _ = std::fs::remove_file(path);
+    }
+    outcome
+}
+
 /// Materialises every sample of one pass into a [`Dataset`] (test and
 /// reference-baseline helper — this is exactly the O(N × dim) allocation the
 /// streaming path avoids).

@@ -11,7 +11,7 @@
 //! capacity, refilled at `rate_per_sec`, both measured against a
 //! monotonic clock at admit time (no background refill thread).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -49,12 +49,63 @@ struct Bucket {
     refilled_at: Instant,
 }
 
+/// The bucket map plus a second-chance eviction queue, guarded together
+/// by one mutex.
+///
+/// Eviction must not scan the whole map under the global lock (at
+/// `max_tenants` with tenant churn, an O(n) `min_by_key` scan stalls every
+/// connection thread on every new tenant). Instead each tracked tenant has
+/// exactly one entry in `order`, stamped with its activity time when
+/// enqueued. Eviction pops the front: an entry whose tenant has been
+/// active since it was stamped gets a *second chance* (re-enqueued with
+/// the fresh stamp), otherwise the tenant is evicted. Re-enqueued entries
+/// carry the current stamp, so within one eviction pass (the lock is
+/// held, no activity can intervene) a second encounter always evicts —
+/// the loop pops at most `2n` entries, and each re-enqueue is paid for by
+/// an intervening admit of that tenant, making eviction amortized O(1).
+/// The victim approximates the least-recently-active tenant; like the
+/// exact scan it replaces, eviction is only ever *generous* (the evictee's
+/// bucket re-forms full on its next request).
+#[derive(Debug, Default)]
+struct Table {
+    buckets: HashMap<String, Bucket>,
+    /// One `(tenant, activity stamp when enqueued)` entry per tracked
+    /// tenant: pushed on insert, popped (and possibly re-pushed) only by
+    /// eviction, removed when its tenant is evicted. Invariant:
+    /// `order.len() == buckets.len()`.
+    order: VecDeque<(String, Instant)>,
+}
+
+impl Table {
+    /// Evicts one tenant via the second-chance queue. Must only be called
+    /// when the table is non-empty.
+    fn evict_one(&mut self) {
+        while let Some((tenant, stamp)) = self.order.pop_front() {
+            match self.buckets.get(&tenant) {
+                Some(bucket) if bucket.refilled_at > stamp => {
+                    // Active since enqueued: second chance with the
+                    // current stamp.
+                    let fresh = bucket.refilled_at;
+                    self.order.push_back((tenant, fresh));
+                }
+                Some(_) => {
+                    self.buckets.remove(&tenant);
+                    return;
+                }
+                // Unreachable while the invariant holds, but a stale
+                // entry is harmlessly dropped rather than trusted.
+                None => {}
+            }
+        }
+    }
+}
+
 /// The per-tenant token-bucket table. Interior-mutable and `Sync`: every
 /// connection thread shares one instance.
 #[derive(Debug)]
 pub struct AdmissionControl {
     config: AdmissionConfig,
-    buckets: Mutex<HashMap<String, Bucket>>,
+    table: Mutex<Table>,
 }
 
 impl AdmissionControl {
@@ -67,7 +118,7 @@ impl AdmissionControl {
         };
         Self {
             config,
-            buckets: Mutex::new(HashMap::new()),
+            table: Mutex::new(Table::default()),
         }
     }
 
@@ -87,32 +138,31 @@ impl AdmissionControl {
             return Ok(());
         }
         let now = Instant::now();
-        let mut buckets = self.buckets.lock().expect("admission table poisoned");
+        let mut table = self.table.lock().expect("admission table poisoned");
         // A known tenant is served without copying its name: the owned key
         // is only allocated the first time a tenant shows up. (Admission
         // runs per request, so the steady-state path must stay
         // allocation-free.)
-        if !buckets.contains_key(tenant) {
-            if buckets.len() >= self.config.max_tenants.max(1) {
-                // Evict the least-recently-active tenant to stay bounded.
-                // The evictee loses nothing durable: its bucket re-forms
-                // full.
-                let stalest = buckets
-                    .iter()
-                    .min_by_key(|(_, b)| b.refilled_at)
-                    .map(|(k, _)| k.clone())
-                    .expect("non-empty at capacity");
-                buckets.remove(&stalest);
+        if !table.buckets.contains_key(tenant) {
+            if table.buckets.len() >= self.config.max_tenants.max(1) {
+                // Evict an approximately-least-recently-active tenant to
+                // stay bounded (amortized O(1), see [`Table`]). The
+                // evictee loses nothing durable: its bucket re-forms full.
+                table.evict_one();
             }
-            buckets.insert(
+            table.buckets.insert(
                 tenant.to_string(),
                 Bucket {
                     tokens: self.config.burst,
                     refilled_at: now,
                 },
             );
+            table.order.push_back((tenant.to_string(), now));
         }
-        let bucket = buckets.get_mut(tenant).expect("present or just inserted");
+        let bucket = table
+            .buckets
+            .get_mut(tenant)
+            .expect("present or just inserted");
         // Continuous refill since the last touch, capped at the burst size.
         let accrued =
             now.duration_since(bucket.refilled_at).as_secs_f64() * self.config.rate_per_sec;
@@ -129,7 +179,23 @@ impl AdmissionControl {
 
     /// Number of tenants currently tracked.
     pub fn tracked_tenants(&self) -> usize {
-        self.buckets.lock().expect("admission table poisoned").len()
+        self.table
+            .lock()
+            .expect("admission table poisoned")
+            .buckets
+            .len()
+    }
+
+    /// Length of the internal eviction queue — exposed so tests can assert
+    /// it stays in lock-step with the bucket table and never grows
+    /// unboundedly under churn.
+    #[cfg(test)]
+    fn eviction_queue_len(&self) -> usize {
+        self.table
+            .lock()
+            .expect("admission table poisoned")
+            .order
+            .len()
     }
 }
 
@@ -201,5 +267,50 @@ mod tests {
             ac.try_admit(&format!("tenant-{i}")).unwrap();
         }
         assert!(ac.tracked_tenants() <= 8);
+    }
+
+    /// Heavy tenant churn at capacity: the table and the internal
+    /// eviction queue both stay bounded (the queue tracks the table in
+    /// lock-step — a leak here would grow memory without bound even
+    /// though `tracked_tenants` looks fine), and admit/reject semantics
+    /// are unchanged by eviction pressure — a brand-new tenant always
+    /// gets its full burst, an exhausted *resident* tenant is still
+    /// rejected.
+    #[test]
+    fn eviction_under_churn_is_bounded_and_semantics_preserved() {
+        let ac = AdmissionControl::new(AdmissionConfig {
+            rate_per_sec: 0.001, // effectively no refill during the test
+            burst: 2.0,
+            max_tenants: 8,
+        });
+        // A resident tenant kept hot throughout the churn: touched before
+        // every one-shot admit, so it is always the most-recently-active
+        // tenant and must survive every eviction.
+        ac.try_admit("resident").unwrap();
+        ac.try_admit("resident").unwrap(); // burst exhausted from here on
+        for i in 0..5_000 {
+            // Activity: a rejected admit still counts as a touch.
+            let _ = ac.try_admit("resident");
+            // Every one-shot tenant gets its full burst on arrival,
+            // regardless of how much eviction it causes.
+            ac.try_admit(&format!("churn-{i}")).unwrap();
+            assert!(ac.tracked_tenants() <= 8, "table escaped max_tenants");
+            assert_eq!(
+                ac.eviction_queue_len(),
+                ac.tracked_tenants(),
+                "eviction queue out of lock-step with bucket table"
+            );
+        }
+        // The resident was never evicted: its bucket must still be
+        // exhausted. (Had eviction dropped it, the bucket would have
+        // re-formed full and this admit would succeed.)
+        assert!(
+            ac.try_admit("resident").is_err(),
+            "resident tenant was evicted despite constant activity"
+        );
+        // Per-tenant burst semantics are intact after heavy churn.
+        ac.try_admit("fresh").unwrap();
+        ac.try_admit("fresh").unwrap();
+        assert!(ac.try_admit("fresh").is_err());
     }
 }

@@ -9,7 +9,7 @@
 //! ```text
 //! enqd [--addr HOST:PORT] [--model ID] [--data PATH.enqb] [--seed N]
 //!      [--model-dir DIR] [--max-pending N] [--max-conns N] [--rate R]
-//!      [--burst B] [--read-timeout-ms N]
+//!      [--burst B] [--read-timeout-ms N] [--autopilot]
 //! ```
 //!
 //! With `--data`, the model is trained from the named `ENQB` binary
@@ -24,10 +24,20 @@
 //! Either way a `ENQD WARMBOOT`/`ENQD COLDBOOT` status line precedes the
 //! readiness line, and every later successful background rebuild rewrites
 //! its model's artifact. See `docs/FORMATS.md` and `docs/OPERATIONS.md`.
+//!
+//! With `--autopilot`, traffic capture is enabled and an
+//! [`enq_serve::Autopilot`] scheduler watches the served models, firing
+//! traffic-fed refreshes on audit-fidelity decay or cache-hit-rate drops
+//! (default [`enq_serve::RefreshPolicy`]). Every autopilot action is
+//! reported as an `ENQD AUTOPILOT <ACTION> …` status line, and a final
+//! `ENQD AUTOPILOT STOPPED …` summary prints at drain. See the
+//! "Autopilot" section of `docs/OPERATIONS.md`.
 
 use enq_data::{generate_synthetic, Dataset, DatasetKind, SyntheticConfig};
 use enq_net::{AdmissionConfig, EnqdServer, FaultPlan, NetConfig};
-use enq_serve::{EmbedService, ServeConfig};
+use enq_serve::{
+    Autopilot, AutopilotEvent, EmbedService, RefreshPolicy, ServeConfig, TrafficConfig,
+};
 use enqode::{AnsatzConfig, EnqodeConfig, EnqodePipeline, EntanglerKind};
 use std::io::Write;
 use std::process::ExitCode;
@@ -90,6 +100,7 @@ struct Args {
     rate: f64,
     burst: f64,
     read_timeout_ms: u64,
+    autopilot: bool,
 }
 
 impl Args {
@@ -105,6 +116,7 @@ impl Args {
             rate: 0.0,
             burst: 8.0,
             read_timeout_ms: 2_000,
+            autopilot: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -147,6 +159,7 @@ impl Args {
                         .parse()
                         .map_err(|e| format!("--read-timeout-ms: {e}"))?;
                 }
+                "--autopilot" => args.autopilot = true,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -253,7 +266,20 @@ fn main() -> ExitCode {
         }
     };
     sig::install();
-    let service = Arc::new(EmbedService::new(ServeConfig::default()));
+    // The autopilot needs traffic capture: its signals (spot-audit, refresh
+    // corpus) all come from recorded request features.
+    let serve_config = if args.autopilot {
+        ServeConfig {
+            traffic: TrafficConfig {
+                enabled: true,
+                ..TrafficConfig::default()
+            },
+            ..ServeConfig::default()
+        }
+    } else {
+        ServeConfig::default()
+    };
+    let service = Arc::new(EmbedService::new(serve_config));
     if let Err(e) = boot(&args, &service) {
         eprintln!("enqd: {e}");
         return ExitCode::FAILURE;
@@ -269,6 +295,9 @@ fn main() -> ExitCode {
         },
         ..NetConfig::default()
     };
+    let autopilot = args
+        .autopilot
+        .then(|| Autopilot::spawn(Arc::clone(&service), RefreshPolicy::default()));
     let handle = match EnqdServer::spawn(service, &args.addr, config, FaultPlan::none()) {
         Ok(handle) => handle,
         Err(e) => {
@@ -278,10 +307,16 @@ fn main() -> ExitCode {
     };
     // The readiness line smoke tests and orchestration scripts key on.
     println!("ENQD LISTENING {}", handle.addr());
+    if autopilot.is_some() {
+        println!("ENQD AUTOPILOT ENABLED");
+    }
     let _ = std::io::stdout().flush();
     loop {
         if sig::term_requested() {
             handle.drain();
+        }
+        if let Some(autopilot) = &autopilot {
+            print_autopilot_events(autopilot);
         }
         if handle.is_finished() || handle.is_draining() {
             break;
@@ -289,9 +324,44 @@ fn main() -> ExitCode {
         std::thread::sleep(Duration::from_millis(25));
     }
     let stats = handle.join();
+    if let Some(mut autopilot) = autopilot {
+        autopilot.shutdown();
+        print_autopilot_events(&autopilot);
+        let ap = autopilot.stats();
+        println!(
+            "ENQD AUTOPILOT STOPPED polls={} fires={} successes={} failures={} compactions={}",
+            ap.polls, ap.fires, ap.refresh_successes, ap.refresh_failures, ap.compactions
+        );
+    }
     println!(
         "ENQD DRAINED served={} shed={} rate_limited={} hostile_closes={}",
         stats.served, stats.shed, stats.rate_limited, stats.hostile_closes
     );
     ExitCode::SUCCESS
+}
+
+/// Prints every drained autopilot action as an `ENQD AUTOPILOT` line, the
+/// same machine-greppable shape as the boot and drain lines.
+fn print_autopilot_events(autopilot: &Autopilot) {
+    for event in autopilot.drain_events() {
+        match event {
+            AutopilotEvent::Fired {
+                model_id,
+                reason,
+                fit_threads,
+            } => println!(
+                "ENQD AUTOPILOT FIRED model={model_id} reason=\"{reason}\" fit_threads={fit_threads}"
+            ),
+            AutopilotEvent::RefreshFinished { model_id, status } => {
+                println!("ENQD AUTOPILOT REFRESHED model={model_id} status={status:?}")
+            }
+            AutopilotEvent::RefreshRejected { model_id, error } => {
+                println!("ENQD AUTOPILOT REJECTED model={model_id} error=\"{error}\"")
+            }
+            AutopilotEvent::Compacted { model_id, merged } => {
+                println!("ENQD AUTOPILOT COMPACTED model={model_id} merged={merged}")
+            }
+        }
+    }
+    let _ = std::io::stdout().flush();
 }

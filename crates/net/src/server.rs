@@ -86,6 +86,12 @@ pub struct NetStats {
     pub hostile_closes: u64,
 }
 
+/// Ceiling on a single service-time sample fed into the EWMA,
+/// microseconds. Matches the 10 s upper clamp on
+/// [`Shared::shed_retry_hint`]: a larger sample cannot change any hint the
+/// server will ever emit, but it *can* overflow the smoothing arithmetic.
+const MAX_SERVICE_SAMPLE_US: u64 = 10_000_000;
+
 #[derive(Debug, Default)]
 struct Shared {
     draining: AtomicBool,
@@ -143,14 +149,20 @@ impl Shared {
     }
 
     fn observe_service_time(&self, elapsed: Duration) {
-        let sample = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        // A stalled connection can report an arbitrarily large elapsed
+        // time; beyond the retry-hint clamp ceiling (10 s) the exact value
+        // carries no information, and an unclamped sample would overflow
+        // `old * 4 + sample` and corrupt every subsequent retry hint.
+        let sample = u64::try_from(elapsed.as_micros())
+            .unwrap_or(u64::MAX)
+            .min(MAX_SERVICE_SAMPLE_US);
         // Racy read-modify-write is fine: this is a smoothing hint, not an
         // invariant.
         let old = self.ewma_service_us.load(Ordering::Relaxed);
         let new = if old == 0 {
             sample
         } else {
-            (old * 4 + sample) / 5
+            (old.saturating_mul(4).saturating_add(sample)) / 5
         };
         self.ewma_service_us.store(new, Ordering::Relaxed);
     }
@@ -569,5 +581,51 @@ fn write_reply(stream: &mut TcpStream, bytes: &[u8], faults: &FaultPlan) -> Disp
             let _ = stream.write_all(&bytes[..bytes.len() / 2]);
             Disposition::Close
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression test: a stalled connection reports a pathological elapsed
+    /// duration whose microsecond count saturates to `u64::MAX`. The old
+    /// smoothing code computed `old * 4 + sample`, which wraps (and panics
+    /// in debug builds) on the second such observation, corrupting every
+    /// subsequent retry hint. Samples are now clamped before smoothing.
+    #[test]
+    fn pathological_service_time_cannot_corrupt_retry_hints() {
+        let shared = Shared::default();
+        // ~585k years: `as_micros()` exceeds u64::MAX, so the conversion
+        // saturates exactly as it would for a wedged connection clock.
+        let stalled = Duration::from_secs(u64::MAX / 1_000);
+        shared.observe_service_time(stalled);
+        // Old code: ewma == u64::MAX here, and the next observation wraps.
+        shared.observe_service_time(stalled);
+        let ewma = shared.ewma_service_us.load(Ordering::Relaxed);
+        assert!(
+            ewma <= MAX_SERVICE_SAMPLE_US,
+            "EWMA {ewma} escaped the sample ceiling"
+        );
+        // The hint stays in its documented [1 ms, 10 s] band even at depth.
+        let hint = shared.shed_retry_hint(1_000);
+        assert!(
+            (1..=10_000).contains(&hint),
+            "retry hint {hint} out of band"
+        );
+    }
+
+    /// The EWMA still tracks ordinary samples after a pathological one: a
+    /// burst of fast requests pulls the hint back down instead of being
+    /// dominated by a wrapped/saturated value.
+    #[test]
+    fn ewma_recovers_after_pathological_sample() {
+        let shared = Shared::default();
+        shared.observe_service_time(Duration::from_secs(u64::MAX / 1_000));
+        for _ in 0..200 {
+            shared.observe_service_time(Duration::from_micros(500));
+        }
+        let ewma = shared.ewma_service_us.load(Ordering::Relaxed);
+        assert!(ewma < 1_000, "EWMA {ewma} did not converge back down");
     }
 }

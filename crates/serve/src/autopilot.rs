@@ -1,0 +1,822 @@
+//! Self-driving model lifecycle: the ops autopilot.
+//!
+//! Everything needed to refresh a drifting model already exists in this
+//! crate — traffic capture ([`TrafficAccumulator`]), background rebuild
+//! with atomic swap ([`crate::RebuildController`]), the one-call
+//! [`EmbedService::refresh_from_traffic`] — but something has to *pull the
+//! trigger*. This module is that something: a scheduler thread that watches
+//! the per-model signals the stack already exposes and fires a refresh
+//! when they say the model no longer matches its traffic.
+//!
+//! ## Signals
+//!
+//! 1. **Served-request volume** — [`TrafficStats::recorded`]
+//!    (`crate::TrafficStats`). Used as a *gate*: a refresh only makes sense
+//!    once enough new traffic has accumulated since the last one to retrain
+//!    from ([`RefreshPolicy::min_requests`]).
+//! 2. **Cache-hit-rate drop** — windowed from [`crate::CacheStats`]. A
+//!    shrinking hit rate means traffic stopped revisiting the feature
+//!    cells the cache has answers for: the distribution is moving.
+//! 3. **Audit-fidelity decay** — a closed-form spot-audit
+//!    ([`EmbedService::spot_audit`]) of the most recent traffic window
+//!    against the live centroids: the squared overlap `⟨x̂, ĉ⟩²` is an
+//!    upper bound on the fidelity the ansatz can fine-tune to, and it
+//!    falls exactly when traffic drifts away from every fitted cluster.
+//!
+//! ## No flapping, by construction
+//!
+//! The decision core ([`TriggerState`]) is a deterministic state machine
+//! over abstract poll ticks — no wall clock, no randomness — so its
+//! anti-flap guarantees are testable as hard properties:
+//!
+//! * **hysteresis** — a signal must breach for
+//!   [`RefreshPolicy::hysteresis_polls`] *consecutive* polls; a one-poll
+//!   blip never fires;
+//! * **cooldown + deterministic jitter** — after a refresh finishes, no
+//!   refire for `cooldown_polls + jitter(model_id, seed)` polls. The
+//!   jitter is a pure hash of the model id and policy seed, so a fleet of
+//!   models refreshing off the same drop is de-synchronised without any
+//!   nondeterminism;
+//! * **one in flight** — a model with an active refresh never fires again
+//!   until that refresh reaches a terminal state.
+//!
+//! ## Staying out of serving's way
+//!
+//! Firing is not free: a refresh streams shards and runs the staged fit.
+//! Two mechanisms keep the serve path first-class. **Rebuild admission
+//! control**: when the serve queue is non-empty at fire time, the fit's
+//! worker budget is shrunk to [`RefreshPolicy::contention_fit_threads`]
+//! (one by default) so a refresh competes with live traffic for at most
+//! one core. **Corpus shaping**: [`RefreshPolicy::weighting`] replays the
+//! corpus as recorded or dedups it per quantized feature cell
+//! ([`crate::CorpusWeighting`]). The scheduler also compacts long-lived
+//! shard rings ([`TrafficAccumulator::compact`]) once they exceed
+//! [`RefreshPolicy::compact_above_shards`], bounding replay cost for
+//! models that serve for days.
+
+use crate::error::ServeError;
+use crate::rebuild::{RebuildStatus, RebuildTicket};
+use crate::service::{EmbedService, RefreshOptions};
+use crate::traffic::{CorpusWeighting, TrafficAccumulator, TrafficStats};
+use enq_parallel::{spawn_worker, CancelToken, WorkerHandle};
+use enqode::StreamingFitConfig;
+use std::collections::{HashMap, VecDeque};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Trigger and scheduling knobs of the autopilot (module docs explain the
+/// mechanism each knob tunes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshPolicy {
+    /// New recorded samples required since the last refresh before any
+    /// trigger may fire — the volume gate.
+    pub min_requests: u64,
+    /// Audit-fidelity floor: a spot-audit mean below this breaches.
+    pub min_fidelity: f64,
+    /// Hit-rate drop (absolute, vs the best windowed rate observed since
+    /// the last refresh) that breaches. `<= 0` disables the hit-rate
+    /// trigger.
+    pub hit_rate_drop: f64,
+    /// Cache lookups a poll window must contain before its hit rate is
+    /// considered meaningful.
+    pub min_window_lookups: u64,
+    /// Recent feature vectors spot-audited per poll.
+    pub audit_samples: usize,
+    /// Consecutive breaching polls required before firing.
+    pub hysteresis_polls: u32,
+    /// Polls after a refresh finishes during which no refire may happen.
+    pub cooldown_polls: u64,
+    /// Upper bound of the deterministic per-model jitter added to the
+    /// cooldown (`hash(model_id, seed) % (jitter_polls + 1)` extra polls).
+    pub jitter_polls: u64,
+    /// Seed of the jitter hash — the only randomness-like input, and it is
+    /// explicit so reruns are reproducible.
+    pub seed: u64,
+    /// Wall-clock interval between polls.
+    pub poll_interval: Duration,
+    /// How the refresh corpus weights recorded traffic.
+    pub weighting: CorpusWeighting,
+    /// Compact a model's shard ring once it exceeds this many shards.
+    pub compact_above_shards: u64,
+    /// Streaming-fit shape used by fired refreshes (the `EnqodeConfig`
+    /// itself is taken from the live model, so a refresh trains the same
+    /// ansatz the model already serves).
+    pub stream: StreamingFitConfig,
+    /// Fit worker-thread budget when the serve queue is non-empty at fire
+    /// time (rebuild admission control).
+    pub contention_fit_threads: NonZeroUsize,
+}
+
+impl Default for RefreshPolicy {
+    fn default() -> Self {
+        Self {
+            min_requests: 512,
+            min_fidelity: 0.9,
+            hit_rate_drop: 0.25,
+            min_window_lookups: 64,
+            audit_samples: 256,
+            hysteresis_polls: 2,
+            cooldown_polls: 8,
+            jitter_polls: 2,
+            seed: 0xA070_1207,
+            poll_interval: Duration::from_millis(500),
+            weighting: CorpusWeighting::Popularity,
+            compact_above_shards: 16,
+            stream: StreamingFitConfig::default(),
+            contention_fit_threads: NonZeroUsize::MIN,
+        }
+    }
+}
+
+/// One poll's worth of per-model signals, fed to [`TriggerState::observe`].
+/// Plain data so trigger behaviour is testable without a service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalSnapshot {
+    /// Cumulative recorded samples ([`TrafficStats::recorded`]).
+    pub recorded: u64,
+    /// Hit rate of this poll window, when the window held enough lookups.
+    pub window_hit_rate: Option<f64>,
+    /// Mean closed-form audit fidelity of the recent-traffic window.
+    pub audit_fidelity: Option<f64>,
+}
+
+/// Why a refresh fired.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FireReason {
+    /// The spot-audit mean fell below [`RefreshPolicy::min_fidelity`].
+    FidelityDecay {
+        /// The breaching audit mean.
+        observed: f64,
+        /// The configured floor.
+        floor: f64,
+    },
+    /// The windowed hit rate fell [`RefreshPolicy::hit_rate_drop`] below
+    /// the best rate seen since the last refresh.
+    HitRateDrop {
+        /// The breaching windowed rate.
+        observed: f64,
+        /// The best windowed rate since the last refresh.
+        baseline: f64,
+    },
+}
+
+impl std::fmt::Display for FireReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::FidelityDecay { observed, floor } => {
+                write!(f, "fidelity-decay observed={observed:.4} floor={floor:.4}")
+            }
+            Self::HitRateDrop { observed, baseline } => {
+                write!(
+                    f,
+                    "hit-rate-drop observed={observed:.4} baseline={baseline:.4}"
+                )
+            }
+        }
+    }
+}
+
+/// Deterministic per-model jitter: a pure hash of the model id and policy
+/// seed folded into `0..=max` extra cooldown polls.
+fn deterministic_jitter(model_id: &str, seed: u64, max: u64) -> u64 {
+    if max == 0 {
+        return 0;
+    }
+    // FNV-style byte fold, then a splitmix64 finalizer to spread the seed
+    // and short ids over the whole range.
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for b in model_id.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01B3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    h % (max + 1)
+}
+
+/// The deterministic per-model trigger state machine. Drives on abstract
+/// poll ticks: given the same [`RefreshPolicy`], the same signal trace, and
+/// the same tick sequence, it makes bit-identical fire decisions — no clock
+/// reads, no entropy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerState {
+    /// Extra cooldown polls, fixed at construction from (id, seed).
+    jitter: u64,
+    /// Consecutive breaching polls so far.
+    breach_streak: u32,
+    /// Best windowed hit rate observed since the last refresh.
+    best_hit_rate: Option<f64>,
+    /// `recorded` counter value when the last refresh finished.
+    recorded_at_fire: u64,
+    /// First poll tick at which a fire is allowed again.
+    next_allowed_poll: u64,
+    /// A refresh fired and has not been reported finished.
+    in_flight: bool,
+}
+
+impl TriggerState {
+    /// Creates the state for one model, deriving its deterministic jitter.
+    pub fn new(model_id: &str, policy: &RefreshPolicy) -> Self {
+        Self {
+            jitter: deterministic_jitter(model_id, policy.seed, policy.jitter_polls),
+            breach_streak: 0,
+            best_hit_rate: None,
+            recorded_at_fire: 0,
+            next_allowed_poll: 0,
+            in_flight: false,
+        }
+    }
+
+    /// Whether a fired refresh is still outstanding.
+    pub fn in_flight(&self) -> bool {
+        self.in_flight
+    }
+
+    /// The model's deterministic jitter in polls.
+    pub fn jitter(&self) -> u64 {
+        self.jitter
+    }
+
+    /// Feeds one poll's signals at tick `poll`. Returns the reason exactly
+    /// when a refresh should fire now; the caller must eventually report
+    /// the refresh outcome via [`TriggerState::refresh_finished`] (also on
+    /// a failed start — that is what arms the cooldown).
+    pub fn observe(
+        &mut self,
+        policy: &RefreshPolicy,
+        signal: &SignalSnapshot,
+        poll: u64,
+    ) -> Option<FireReason> {
+        if self.in_flight {
+            return None;
+        }
+        // The hit-rate baseline tracks through cooldowns too: a drop is
+        // always measured against the best window since the last refresh.
+        let mut reason: Option<FireReason> = None;
+        if let Some(rate) = signal.window_hit_rate {
+            if let Some(best) = self.best_hit_rate {
+                if policy.hit_rate_drop > 0.0 && best - rate >= policy.hit_rate_drop {
+                    reason = Some(FireReason::HitRateDrop {
+                        observed: rate,
+                        baseline: best,
+                    });
+                }
+            }
+            let best = self.best_hit_rate.get_or_insert(rate);
+            if rate > *best {
+                *best = rate;
+            }
+        }
+        // Fidelity decay outranks the hit-rate heuristic when both breach.
+        if let Some(fidelity) = signal.audit_fidelity {
+            if fidelity < policy.min_fidelity {
+                reason = Some(FireReason::FidelityDecay {
+                    observed: fidelity,
+                    floor: policy.min_fidelity,
+                });
+            }
+        }
+        let cooled = poll >= self.next_allowed_poll;
+        let enough_traffic =
+            signal.recorded.saturating_sub(self.recorded_at_fire) >= policy.min_requests;
+        if reason.is_none() || !cooled || !enough_traffic {
+            // Gated or healthy polls break the streak: hysteresis demands
+            // *consecutive, actionable* breaches.
+            self.breach_streak = 0;
+            return None;
+        }
+        self.breach_streak += 1;
+        if self.breach_streak < policy.hysteresis_polls.max(1) {
+            return None;
+        }
+        self.breach_streak = 0;
+        self.in_flight = true;
+        reason
+    }
+
+    /// Reports that the fired refresh reached a terminal state (success,
+    /// failure, cancellation, or a start that was rejected) at tick `poll`
+    /// with the model's `recorded` counter at `recorded`. Arms the
+    /// cooldown-plus-jitter window and resets the hit-rate baseline (a
+    /// swap sweeps the caches, so the old baseline is meaningless).
+    pub fn refresh_finished(&mut self, policy: &RefreshPolicy, poll: u64, recorded: u64) {
+        self.in_flight = false;
+        self.breach_streak = 0;
+        self.best_hit_rate = None;
+        self.recorded_at_fire = recorded;
+        self.next_allowed_poll = poll
+            .saturating_add(policy.cooldown_polls.max(1))
+            .saturating_add(self.jitter);
+    }
+}
+
+/// Monotonic autopilot counters (see [`Autopilot::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AutopilotStats {
+    /// Poll loops completed.
+    pub polls: u64,
+    /// Refreshes fired (started successfully).
+    pub fires: u64,
+    /// Fired refreshes that swapped a new model in.
+    pub refresh_successes: u64,
+    /// Fired refreshes that failed, were cancelled, or could not start.
+    pub refresh_failures: u64,
+    /// Shard-ring compactions performed.
+    pub compactions: u64,
+}
+
+/// One observable autopilot action, drained via [`Autopilot::drain_events`]
+/// (the `enqd` daemon turns these into `ENQD AUTOPILOT` status lines).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AutopilotEvent {
+    /// A refresh fired for `model_id`.
+    Fired {
+        /// The model being refreshed.
+        model_id: String,
+        /// The breaching signal.
+        reason: FireReason,
+        /// Fit worker threads granted (admission control may have shrunk
+        /// the budget). `0` means the service default.
+        fit_threads: usize,
+    },
+    /// A fired refresh reached a terminal state.
+    RefreshFinished {
+        /// The refreshed model.
+        model_id: String,
+        /// Terminal status of the rebuild.
+        status: RebuildStatus,
+    },
+    /// A fire could not start a refresh (for example the corpus vanished).
+    RefreshRejected {
+        /// The model whose refresh was rejected.
+        model_id: String,
+        /// The start error, stringified.
+        error: String,
+    },
+    /// A shard ring was compacted.
+    Compacted {
+        /// The model whose ring was compacted.
+        model_id: String,
+        /// Shards merged into one.
+        merged: usize,
+    },
+}
+
+/// Upper bound on buffered, undelivered events; beyond it the oldest event
+/// is dropped (the counters in [`AutopilotStats`] never lose information).
+const EVENT_BUFFER: usize = 256;
+
+#[derive(Debug, Default)]
+struct SharedState {
+    polls: AtomicU64,
+    fires: AtomicU64,
+    refresh_successes: AtomicU64,
+    refresh_failures: AtomicU64,
+    compactions: AtomicU64,
+    events: Mutex<VecDeque<AutopilotEvent>>,
+}
+
+impl SharedState {
+    fn push_event(&self, event: AutopilotEvent) {
+        let mut events = self.events.lock().expect("autopilot events poisoned");
+        if events.len() >= EVENT_BUFFER {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+}
+
+/// Per-model scheduler bookkeeping.
+struct ModelState {
+    trigger: TriggerState,
+    ticket: Option<RebuildTicket>,
+}
+
+/// The running autopilot: a scheduler thread polling one [`EmbedService`].
+/// Dropping it cancels the scheduler and joins the thread; in-flight
+/// refreshes it started keep running to completion under the service's
+/// [`crate::RebuildController`].
+#[derive(Debug)]
+pub struct Autopilot {
+    shared: Arc<SharedState>,
+    policy: RefreshPolicy,
+    worker: Option<WorkerHandle<()>>,
+}
+
+impl Autopilot {
+    /// Spawns the scheduler over `service` with `policy`. The service's
+    /// traffic capture should be enabled — without recorded traffic the
+    /// autopilot has neither signals nor a corpus and will simply idle.
+    pub fn spawn(service: Arc<EmbedService>, policy: RefreshPolicy) -> Self {
+        let shared = Arc::new(SharedState::default());
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let policy = policy.clone();
+            spawn_worker("enq-autopilot", move |token| {
+                run_scheduler(&service, &policy, &shared, &token);
+            })
+        };
+        Self {
+            shared,
+            policy,
+            worker: Some(worker),
+        }
+    }
+
+    /// The policy the scheduler runs.
+    pub fn policy(&self) -> &RefreshPolicy {
+        &self.policy
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> AutopilotStats {
+        AutopilotStats {
+            polls: self.shared.polls.load(Ordering::Relaxed),
+            fires: self.shared.fires.load(Ordering::Relaxed),
+            refresh_successes: self.shared.refresh_successes.load(Ordering::Relaxed),
+            refresh_failures: self.shared.refresh_failures.load(Ordering::Relaxed),
+            compactions: self.shared.compactions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains every buffered event, oldest first.
+    pub fn drain_events(&self) -> Vec<AutopilotEvent> {
+        self.shared
+            .events
+            .lock()
+            .expect("autopilot events poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Whether the scheduler thread is still running.
+    pub fn is_running(&self) -> bool {
+        self.worker.as_ref().is_some_and(|w| !w.is_finished())
+    }
+
+    /// Stops the scheduler and joins its thread. Idempotent; also done on
+    /// drop.
+    pub fn shutdown(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            worker.cancel();
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Autopilot {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Sleeps `interval` in short slices so cancellation is noticed promptly.
+fn interruptible_sleep(interval: Duration, token: &CancelToken) {
+    let slice = Duration::from_millis(10).min(interval.max(Duration::from_millis(1)));
+    let mut remaining = interval;
+    while remaining > Duration::ZERO && !token.is_cancelled() {
+        let step = slice.min(remaining);
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+}
+
+fn run_scheduler(
+    service: &Arc<EmbedService>,
+    policy: &RefreshPolicy,
+    shared: &SharedState,
+    token: &CancelToken,
+) {
+    let mut states: HashMap<String, ModelState> = HashMap::new();
+    let mut poll: u64 = 0;
+    let mut last_cache = service.cache_stats();
+    while !token.is_cancelled() {
+        interruptible_sleep(policy.poll_interval, token);
+        if token.is_cancelled() {
+            break;
+        }
+        poll += 1;
+        shared.polls.fetch_add(1, Ordering::Relaxed);
+        // The cache counters are service-global; the windowed rate is
+        // computed once per poll and shared by every model's trigger (the
+        // common deployment serves one model per daemon).
+        let cache = service.cache_stats();
+        let window_hits = cache.hits.saturating_sub(last_cache.hits);
+        let window_lookups = window_hits + cache.misses.saturating_sub(last_cache.misses);
+        last_cache = cache;
+        let window_hit_rate = (window_lookups >= policy.min_window_lookups.max(1))
+            .then(|| window_hits as f64 / window_lookups as f64);
+
+        for model_id in service.traffic().model_ids() {
+            if token.is_cancelled() {
+                return;
+            }
+            if !service.registry().contains(&model_id) {
+                continue;
+            }
+            let state = states
+                .entry(model_id.clone())
+                .or_insert_with(|| ModelState {
+                    trigger: TriggerState::new(&model_id, policy),
+                    ticket: None,
+                });
+            let stats = service.traffic().stats(&model_id);
+            reap_finished_refresh(policy, shared, state, &model_id, poll, &stats);
+            compact_if_due(policy, shared, service.traffic(), &model_id, &stats);
+            let snapshot = SignalSnapshot {
+                recorded: stats.recorded,
+                window_hit_rate,
+                audit_fidelity: service
+                    .spot_audit(&model_id, policy.audit_samples)
+                    .map(|a| a.mean_fidelity),
+            };
+            if let Some(reason) = state.trigger.observe(policy, &snapshot, poll) {
+                fire_refresh(
+                    policy, shared, service, state, &model_id, poll, &stats, reason,
+                );
+            }
+        }
+    }
+}
+
+/// Folds a finished refresh ticket back into the trigger state (arming the
+/// cooldown) and publishes its outcome.
+fn reap_finished_refresh(
+    policy: &RefreshPolicy,
+    shared: &SharedState,
+    state: &mut ModelState,
+    model_id: &str,
+    poll: u64,
+    stats: &TrafficStats,
+) {
+    let Some(ticket) = &state.ticket else { return };
+    if !ticket.is_finished() {
+        return;
+    }
+    let status = ticket.status();
+    match status {
+        RebuildStatus::Succeeded => {
+            shared.refresh_successes.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {
+            shared.refresh_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    shared.push_event(AutopilotEvent::RefreshFinished {
+        model_id: model_id.to_string(),
+        status,
+    });
+    state.ticket = None;
+    state.trigger.refresh_finished(policy, poll, stats.recorded);
+}
+
+/// Compacts the model's shard ring when it has outgrown the policy bound.
+fn compact_if_due(
+    policy: &RefreshPolicy,
+    shared: &SharedState,
+    traffic: &TrafficAccumulator,
+    model_id: &str,
+    stats: &TrafficStats,
+) {
+    if stats.shards <= policy.compact_above_shards.max(1) {
+        return;
+    }
+    // Best-effort like every traffic-side operation: a failed compaction
+    // leaves the ring unchanged and the next poll retries.
+    if let Ok(merged) = traffic.compact(model_id) {
+        if merged > 1 {
+            shared.compactions.fetch_add(1, Ordering::Relaxed);
+            shared.push_event(AutopilotEvent::Compacted {
+                model_id: model_id.to_string(),
+                merged,
+            });
+        }
+    }
+}
+
+/// Starts the fired refresh with admission control applied, recording the
+/// outcome either way.
+#[allow(clippy::too_many_arguments)]
+fn fire_refresh(
+    policy: &RefreshPolicy,
+    shared: &SharedState,
+    service: &Arc<EmbedService>,
+    state: &mut ModelState,
+    model_id: &str,
+    poll: u64,
+    stats: &TrafficStats,
+    reason: FireReason,
+) {
+    let outcome = start_refresh(policy, service, model_id);
+    match outcome {
+        Ok((ticket, fit_threads)) => {
+            shared.fires.fetch_add(1, Ordering::Relaxed);
+            shared.push_event(AutopilotEvent::Fired {
+                model_id: model_id.to_string(),
+                reason,
+                fit_threads,
+            });
+            state.ticket = Some(ticket);
+        }
+        Err(e) => {
+            // A fire that could not start still pays the cooldown so a
+            // persistent error (say, traffic cleared under us) cannot spin
+            // the scheduler.
+            shared.refresh_failures.fetch_add(1, Ordering::Relaxed);
+            shared.push_event(AutopilotEvent::RefreshRejected {
+                model_id: model_id.to_string(),
+                error: e.to_string(),
+            });
+            state.trigger.refresh_finished(policy, poll, stats.recorded);
+        }
+    }
+}
+
+/// Builds the refresh call: the `EnqodeConfig` comes from the live model
+/// (the refresh trains the ansatz the model already serves), the fit
+/// thread budget shrinks while the serve queue is non-empty.
+fn start_refresh(
+    policy: &RefreshPolicy,
+    service: &Arc<EmbedService>,
+    model_id: &str,
+) -> Result<(RebuildTicket, usize), ServeError> {
+    let pipeline = service
+        .registry()
+        .get(model_id)
+        .ok_or_else(|| ServeError::ModelNotFound(model_id.to_string()))?;
+    let config = pipeline
+        .class_models()
+        .first()
+        .ok_or_else(|| ServeError::Rebuild("model has no trained classes".to_string()))?
+        .model
+        .config()
+        .clone();
+    let contended = service.queue_depth() > 0;
+    let fit_threads = contended.then_some(policy.contention_fit_threads);
+    let options = RefreshOptions {
+        weighting: policy.weighting,
+        fit_threads,
+    };
+    let ticket =
+        service.refresh_from_traffic_with(model_id, config, policy.stream.clone(), &options)?;
+    Ok((ticket, fit_threads.map_or(0, NonZeroUsize::get)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick_policy() -> RefreshPolicy {
+        RefreshPolicy {
+            min_requests: 10,
+            min_fidelity: 0.9,
+            hit_rate_drop: 0.2,
+            hysteresis_polls: 2,
+            cooldown_polls: 4,
+            jitter_polls: 3,
+            seed: 7,
+            ..RefreshPolicy::default()
+        }
+    }
+
+    fn healthy(recorded: u64) -> SignalSnapshot {
+        SignalSnapshot {
+            recorded,
+            window_hit_rate: Some(0.9),
+            audit_fidelity: Some(0.99),
+        }
+    }
+
+    fn decayed(recorded: u64) -> SignalSnapshot {
+        SignalSnapshot {
+            recorded,
+            window_hit_rate: Some(0.9),
+            audit_fidelity: Some(0.5),
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        for max in [0u64, 1, 7, 100] {
+            for id in ["m", "mnist", "a-very-long-model-identifier"] {
+                let a = deterministic_jitter(id, 42, max);
+                let b = deterministic_jitter(id, 42, max);
+                assert_eq!(a, b, "same inputs, same jitter");
+                assert!(a <= max);
+            }
+        }
+        // Different ids de-synchronise (holds for this seed/range choice).
+        assert_ne!(
+            deterministic_jitter("model-a", 42, 1000),
+            deterministic_jitter("model-b", 42, 1000),
+        );
+    }
+
+    #[test]
+    fn hysteresis_blocks_single_poll_blips() {
+        let policy = tick_policy();
+        let mut state = TriggerState::new("m", &policy);
+        assert_eq!(state.observe(&policy, &decayed(100), 1), None, "streak 1");
+        assert_eq!(state.observe(&policy, &healthy(110), 2), None, "blip reset");
+        assert_eq!(
+            state.observe(&policy, &decayed(120), 3),
+            None,
+            "streak 1 again"
+        );
+        assert!(
+            state.observe(&policy, &decayed(130), 4).is_some(),
+            "streak 2 fires"
+        );
+    }
+
+    #[test]
+    fn volume_gate_blocks_quiet_models() {
+        let policy = tick_policy();
+        let mut state = TriggerState::new("m", &policy);
+        for poll in 1..10 {
+            assert_eq!(state.observe(&policy, &decayed(5), poll), None);
+        }
+        assert!(!state.in_flight());
+    }
+
+    #[test]
+    fn cooldown_and_in_flight_serialise_fires() {
+        let policy = tick_policy();
+        let mut state = TriggerState::new("m", &policy);
+        let mut poll = 0;
+        let fire_at = |state: &mut TriggerState, poll: &mut u64| loop {
+            *poll += 1;
+            if state
+                .observe(&policy, &decayed(*poll * 50), *poll)
+                .is_some()
+            {
+                return *poll;
+            }
+            assert!(*poll < 1000, "never fired");
+        };
+        let first = fire_at(&mut state, &mut poll);
+        // In flight: continuous decay cannot re-fire.
+        for _ in 0..20 {
+            poll += 1;
+            assert_eq!(state.observe(&policy, &decayed(poll * 50), poll), None);
+        }
+        state.refresh_finished(&policy, poll, poll * 50);
+        let finished_at = poll;
+        let second = fire_at(&mut state, &mut poll);
+        assert!(second > first);
+        assert!(
+            second >= finished_at + policy.cooldown_polls + state.jitter(),
+            "cooldown+jitter respected: {second} vs {finished_at}"
+        );
+    }
+
+    #[test]
+    fn hit_rate_drop_fires_against_best_baseline() {
+        let policy = tick_policy();
+        let mut state = TriggerState::new("m", &policy);
+        let rate = |r: f64, recorded: u64| SignalSnapshot {
+            recorded,
+            window_hit_rate: Some(r),
+            audit_fidelity: Some(0.99),
+        };
+        assert_eq!(state.observe(&policy, &rate(0.6, 100), 1), None);
+        assert_eq!(
+            state.observe(&policy, &rate(0.8, 200), 2),
+            None,
+            "baseline rises"
+        );
+        // 0.65 is only 0.15 below the 0.8 baseline: no breach.
+        assert_eq!(state.observe(&policy, &rate(0.65, 300), 3), None);
+        assert_eq!(state.observe(&policy, &rate(0.5, 400), 4), None, "streak 1");
+        match state.observe(&policy, &rate(0.5, 500), 5) {
+            Some(FireReason::HitRateDrop { observed, baseline }) => {
+                assert!((observed - 0.5).abs() < 1e-12);
+                assert!((baseline - 0.8).abs() < 1e-12);
+            }
+            other => panic!("expected hit-rate fire, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_buffer_is_bounded() {
+        let shared = SharedState::default();
+        for i in 0..(EVENT_BUFFER + 10) {
+            shared.push_event(AutopilotEvent::Compacted {
+                model_id: format!("m{i}"),
+                merged: 2,
+            });
+        }
+        let events = shared.events.lock().unwrap();
+        assert_eq!(events.len(), EVENT_BUFFER);
+        // Oldest dropped first.
+        assert!(matches!(
+            events.front(),
+            Some(AutopilotEvent::Compacted { model_id, .. }) if model_id == "m10"
+        ));
+    }
+}

@@ -60,7 +60,12 @@
 //!   cancel/error);
 //! * [`EmbedService::refresh_from_traffic`] — the one-call loop: snapshot
 //!   the traffic shards, retrain clusters + ansatz parameters against the
-//!   model's existing PCA basis in the background, swap.
+//!   model's existing PCA basis in the background, swap;
+//! * [`Autopilot`] — closes the loop without an operator: a scheduler
+//!   thread watches per-model signals (traffic volume, cache-hit-rate
+//!   drops, closed-form audit-fidelity decay) and fires
+//!   [`EmbedService::refresh_from_traffic_with`] under a deterministic
+//!   hysteresis/cooldown/jitter policy ([`RefreshPolicy`]).
 //!
 //! ## Durability
 //!
@@ -80,6 +85,7 @@
 
 #![warn(missing_docs)]
 
+mod autopilot;
 mod batcher;
 mod cache;
 mod error;
@@ -91,13 +97,18 @@ mod snapshot;
 mod solution;
 mod traffic;
 
+pub use autopilot::{
+    Autopilot, AutopilotEvent, AutopilotStats, FireReason, RefreshPolicy, SignalSnapshot,
+    TriggerState,
+};
 pub use cache::{quantize_features, CacheConfig, CacheKey, CacheStats, SolutionCache};
 pub use error::ServeError;
 pub use pool::PoolStats;
 pub use rebuild::{RebuildController, RebuildSpec, RebuildStatus, RebuildTicket, StageProgress};
 pub use registry::{ModelRegistry, DEFAULT_REGISTRY_SHARDS};
 pub use service::{
-    EmbedResponse, EmbedService, ServeConfig, ServicePoolStats, ServiceStats, SolutionSource,
+    AuditReport, EmbedResponse, EmbedService, RefreshOptions, ServeConfig, ServicePoolStats,
+    ServiceStats, SolutionSource,
 };
 pub use snapshot::{restore_registry, snapshot_registry, RestoredModel};
 // The artifact error type, re-exported so snapshot/restore callers don't
@@ -105,5 +116,6 @@ pub use snapshot::{restore_registry, snapshot_registry, RestoredModel};
 pub use enq_store::StoreError;
 pub use solution::Solution;
 pub use traffic::{
-    TrafficAccumulator, TrafficConfig, TrafficCorpus, TrafficShard, TrafficSource, TrafficStats,
+    CorpusWeighting, TrafficAccumulator, TrafficConfig, TrafficCorpus, TrafficShard, TrafficSource,
+    TrafficStats,
 };

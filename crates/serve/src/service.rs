@@ -26,7 +26,7 @@ use crate::pool::{BufferPool, PoolStats};
 use crate::rebuild::{RebuildController, RebuildSpec, RebuildTicket};
 use crate::registry::{ModelRegistry, DEFAULT_REGISTRY_SHARDS};
 use crate::solution::Solution;
-use crate::traffic::{TrafficAccumulator, TrafficConfig};
+use crate::traffic::{CorpusWeighting, TrafficAccumulator, TrafficConfig};
 use enqode::{Embedding, EnqodeConfig, EnqodeError, EnqodePipeline, StreamingFitConfig};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -676,11 +676,31 @@ impl EmbedService {
         config: EnqodeConfig,
         stream: StreamingFitConfig,
     ) -> Result<RebuildTicket, ServeError> {
+        self.refresh_from_traffic_with(model_id, config, stream, &RefreshOptions::default())
+    }
+
+    /// [`EmbedService::refresh_from_traffic`] with refresh shaping: how the
+    /// corpus is weighted ([`CorpusWeighting`]) and how many fit-worker
+    /// threads the background rebuild may use. The autopilot uses the
+    /// thread budget as rebuild **admission control** — it shrinks the fit
+    /// fan-out to one thread while the serve queue is non-empty, so a
+    /// refresh competes with live traffic for at most one core.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EmbedService::refresh_from_traffic`].
+    pub fn refresh_from_traffic_with(
+        &self,
+        model_id: &str,
+        config: EnqodeConfig,
+        stream: StreamingFitConfig,
+        options: &RefreshOptions,
+    ) -> Result<RebuildTicket, ServeError> {
         let Some(pipeline) = self.registry.get(model_id) else {
             return Err(ServeError::ModelNotFound(model_id.to_string()));
         };
         let corpus = self.traffic.corpus(model_id)?;
-        let source = corpus.chronological_source()?;
+        let source = corpus.weighted_source(&options.weighting)?;
         let spec = RebuildSpec {
             config,
             stream: StreamingFitConfig {
@@ -688,10 +708,72 @@ impl EmbedService {
                 ..stream
             },
             features: Some(pipeline.features().clone()),
-            threads: self.config.threads,
+            threads: options.fit_threads.or(self.config.threads),
         };
         self.rebuilds.start(model_id, source, spec)
     }
+
+    /// Spot-audits `model_id` against its recent traffic: every feature
+    /// vector in the audit ring (see [`TrafficConfig::audit_window`]) is
+    /// scored with the **closed-form fidelity bound**
+    /// ([`EnqodePipeline::closed_form_fidelity`]) — no optimiser, no disk.
+    /// A falling mean says live traffic has drifted away from the fitted
+    /// centroids; this is the decay signal the autopilot watches.
+    ///
+    /// Returns `None` for unknown models or when no auditable traffic has
+    /// been recorded (vectors that fail to score — wrong dimension after a
+    /// swap, zero vectors — are skipped and counted).
+    pub fn spot_audit(&self, model_id: &str, max_samples: usize) -> Option<AuditReport> {
+        let pipeline = self.registry.get(model_id)?;
+        let recent = self.traffic.recent_features(model_id, max_samples);
+        let mut scored = 0usize;
+        let mut skipped = 0usize;
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        for (features, _) in &recent {
+            match pipeline.closed_form_fidelity(features) {
+                Ok(f) => {
+                    scored += 1;
+                    sum += f;
+                    min = min.min(f);
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        if scored == 0 {
+            return None;
+        }
+        Some(AuditReport {
+            samples: scored,
+            skipped,
+            mean_fidelity: sum / scored as f64,
+            min_fidelity: min,
+        })
+    }
+}
+
+/// Shaping knobs for [`EmbedService::refresh_from_traffic_with`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RefreshOptions {
+    /// How the refresh corpus weights recorded traffic.
+    pub weighting: CorpusWeighting,
+    /// Worker-thread budget for the background fit; `None` uses the
+    /// service's configured thread count.
+    pub fit_threads: Option<NonZeroUsize>,
+}
+
+/// Result of one [`EmbedService::spot_audit`] pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditReport {
+    /// Audit-ring vectors that scored.
+    pub samples: usize,
+    /// Vectors that could not be scored (stale dimension after a
+    /// basis-changing swap, zero vectors).
+    pub skipped: usize,
+    /// Mean closed-form fidelity bound over the scored vectors.
+    pub mean_fidelity: f64,
+    /// Worst scored vector.
+    pub min_fidelity: f64,
 }
 
 impl Drop for EmbedService {

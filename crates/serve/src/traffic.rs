@@ -21,6 +21,7 @@
 //! mismatch increments a counter and drops the sample — the serving path
 //! never fails a request because its training side-channel hiccuped.
 
+use crate::cache::quantize_features;
 use crate::error::ServeError;
 use enq_data::{
     BinaryDatasetWriter, BinarySource, ChainedSource, DataError, SampleChunk, SampleSource,
@@ -47,6 +48,14 @@ pub struct TrafficConfig {
     pub max_shards: usize,
     /// Directory for shard files; `None` uses [`std::env::temp_dir`].
     pub spill_dir: Option<PathBuf>,
+    /// Size of the per-model **audit ring**: the most recent feature
+    /// vectors kept resident (independently of buffer spills) so a
+    /// spot-audit can score live traffic against the model without
+    /// touching disk (see [`TrafficAccumulator::recent_features`]). `0`
+    /// disables the ring. The ring recycles its slots in place, so the
+    /// steady-state cost is a bounded `audit_window × feature_dim × 8`
+    /// bytes per model and no per-record allocation.
+    pub audit_window: usize,
 }
 
 impl Default for TrafficConfig {
@@ -56,6 +65,7 @@ impl Default for TrafficConfig {
             buffer_samples: 4096,
             max_shards: 64,
             spill_dir: None,
+            audit_window: 256,
         }
     }
 }
@@ -89,6 +99,10 @@ pub struct TrafficStats {
     /// Spill attempts that failed (each one also dropped its buffered
     /// vectors, counted in `dropped`).
     pub spill_failures: u64,
+    /// Shard-ring compactions performed ([`TrafficAccumulator::compact`]).
+    pub compactions: u64,
+    /// Feature vectors currently resident in the audit ring.
+    pub audit_samples: u64,
 }
 
 /// One spilled shard file; deleted from disk when the last reference drops.
@@ -128,10 +142,17 @@ struct ModelTraffic {
     dim: usize,
     buffer: Vec<(Vec<f64>, usize)>,
     shards: Vec<Arc<TrafficShard>>,
+    /// Ring of the most recent feature vectors (plus served labels), capped
+    /// at [`TrafficConfig::audit_window`]; slots are overwritten in place
+    /// so a full ring never allocates per record.
+    recent: Vec<(Vec<f64>, usize)>,
+    /// Next write position in `recent` once the ring is full.
+    recent_pos: usize,
     recorded: u64,
     spill_errors: u64,
     rotated_out: u64,
     dropped: u64,
+    compactions: u64,
 }
 
 /// The per-model traffic capture behind the batcher (module docs have the
@@ -270,6 +291,19 @@ impl TrafficAccumulator {
         }
         state.buffer.push((features.to_vec(), label));
         state.recorded += 1;
+        let window = self.config.audit_window;
+        if window > 0 {
+            if state.recent.len() < window {
+                state.recent.push((features.to_vec(), label));
+            } else {
+                let pos = state.recent_pos;
+                let slot = &mut state.recent[pos];
+                slot.0.clear();
+                slot.0.extend_from_slice(features);
+                slot.1 = label;
+                state.recent_pos = (pos + 1) % window;
+            }
+        }
         if state.buffer.len() >= self.config.buffer_samples.max(1) {
             self.spill_locked(model_id, &mut state);
         }
@@ -282,6 +316,71 @@ impl TrafficAccumulator {
             let mut state = state.lock().expect("traffic model poisoned");
             self.spill_locked(model_id, &mut state);
         }
+    }
+
+    /// Clones out up to `max` of the most recent feature vectors recorded
+    /// for `model_id` (with their served labels), newest-last is **not**
+    /// guaranteed — the ring is returned in slot order, which is fine for
+    /// the statistical spot-audit it feeds. Empty for unknown ids or a
+    /// disabled ring ([`TrafficConfig::audit_window`] of 0).
+    pub fn recent_features(&self, model_id: &str, max: usize) -> Vec<(Vec<f64>, usize)> {
+        self.model_state(model_id, false)
+            .map_or_else(Vec::new, |state| {
+                let state = state.lock().expect("traffic model poisoned");
+                state.recent.iter().take(max).cloned().collect()
+            })
+    }
+
+    /// Compacts `model_id`'s shard ring: every on-disk shard is streamed —
+    /// chronologically, via [`ChainedSource`] — into **one** fresh shard
+    /// file ([`enq_data::compact_to_shard`]), which replaces the ring. The
+    /// buffer is flushed first so the compacted shard holds everything
+    /// recorded so far. Old shard files are deleted once the last corpus
+    /// referencing them drops; corpora snapshotted before the compaction
+    /// keep replaying their own shards unchanged.
+    ///
+    /// A long-lived accumulator calls this periodically (the autopilot
+    /// does) so replay cost and file-handle count stay proportional to the
+    /// retained window, not to how long the model has been serving. Like a
+    /// spill, the I/O runs under the per-model lock: recorders of this one
+    /// model stall for the duration, other models are unaffected.
+    ///
+    /// Returns the number of shards merged (0 or 1 means there was nothing
+    /// to compact and the ring is unchanged).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoTraffic`] for unknown ids; [`ServeError::Traffic`]
+    /// when a shard cannot be read or the compacted shard cannot be
+    /// written (the ring is left unchanged — compaction failure never
+    /// loses data).
+    pub fn compact(&self, model_id: &str) -> Result<usize, ServeError> {
+        let state = self
+            .model_state(model_id, false)
+            .ok_or_else(|| ServeError::NoTraffic(model_id.to_string()))?;
+        let mut state = state.lock().expect("traffic model poisoned");
+        self.spill_locked(model_id, &mut state);
+        let merged = state.shards.len();
+        if merged <= 1 {
+            return Ok(merged);
+        }
+        let sources: Vec<Box<dyn SampleSource>> = state
+            .shards
+            .iter()
+            .map(|s| {
+                Ok(
+                    Box::new(BinarySource::open(s.path()).map_err(ServeError::Traffic)?)
+                        as Box<dyn SampleSource>,
+                )
+            })
+            .collect::<Result<_, ServeError>>()?;
+        let mut chained = ChainedSource::new(sources).map_err(ServeError::Traffic)?;
+        let path = self.fresh_shard_path(model_id);
+        let samples =
+            enq_data::compact_to_shard(&mut chained, &path, true).map_err(ServeError::Traffic)?;
+        state.shards = vec![Arc::new(TrafficShard { path, samples })];
+        state.compactions += 1;
+        Ok(merged)
     }
 
     /// Snapshots `model_id`'s accumulated traffic as a replayable
@@ -338,6 +437,8 @@ impl TrafficAccumulator {
                     rotated_out: s.rotated_out,
                     dropped: s.dropped,
                     spill_failures: s.spill_errors,
+                    compactions: s.compactions,
+                    audit_samples: s.recent.len() as u64,
                 }
             })
     }
@@ -415,6 +516,46 @@ impl TrafficCorpus {
         })
     }
 
+    /// Opens the shards weighted per `weighting`:
+    ///
+    /// - [`CorpusWeighting::Popularity`] replays the corpus as recorded
+    ///   (the chronological source) — hot feature cells appear as often as
+    ///   traffic hit them, so the refreshed clusters chase the popular
+    ///   regions.
+    /// - [`CorpusWeighting::Coverage`] deduplicates per quantized feature
+    ///   cell: at most `per_cell_cap` records of any one cell survive, so
+    ///   a refresh sees the *breadth* of the traffic distribution instead
+    ///   of being dominated by a few hot cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Traffic`] when a shard file cannot be opened.
+    pub fn weighted_source(
+        &self,
+        weighting: &CorpusWeighting,
+    ) -> Result<TrafficSource, ServeError> {
+        match *weighting {
+            CorpusWeighting::Popularity => self.chronological_source(),
+            CorpusWeighting::Coverage {
+                per_cell_cap,
+                quantum,
+            } => {
+                let chained =
+                    Box::new(ChainedSource::new(self.open_shards()?).map_err(ServeError::Traffic)?);
+                Ok(TrafficSource {
+                    inner: Box::new(CellCappedSource {
+                        inner: chained,
+                        quantum,
+                        cap: per_cell_cap.max(1),
+                        seen: HashMap::new(),
+                        scratch: SampleChunk::new(),
+                    }),
+                    _shards: self.shards.clone(),
+                })
+            }
+        }
+    }
+
     /// Opens the shards as one **interleaved** source: `block`-record runs
     /// round-robin across shards ([`enq_data::ShardedSource`]), so a
     /// multi-pass fit sees every epoch of traffic mixed instead of oldest
@@ -472,6 +613,80 @@ impl SampleSource for TrafficSource {
     }
 }
 
+/// How a refresh corpus weights the recorded traffic (see
+/// [`TrafficCorpus::weighted_source`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum CorpusWeighting {
+    /// Replay traffic as recorded: popular feature cells dominate the
+    /// refresh in proportion to how often they were served.
+    #[default]
+    Popularity,
+    /// Deduplicate per quantized feature cell: at most `per_cell_cap`
+    /// records of any one cell reach the fit, so rare regions of the
+    /// traffic distribution keep their vote.
+    Coverage {
+        /// Records of one quantized cell that survive (clamped to ≥ 1).
+        per_cell_cap: usize,
+        /// Cell width passed to [`crate::cache::quantize_features`]; `0.0`
+        /// dedups exact bit patterns only.
+        quantum: f64,
+    },
+}
+
+/// Streaming per-cell cap over an inner source: records whose quantized
+/// feature cell has already yielded `cap` records are skipped. `reset`
+/// clears the seen-cell table, so every pass of a multi-pass fit sees the
+/// identical capped stream.
+struct CellCappedSource {
+    inner: Box<dyn SampleSource>,
+    quantum: f64,
+    cap: usize,
+    seen: HashMap<Vec<i64>, usize>,
+    scratch: SampleChunk,
+}
+
+impl SampleSource for CellCappedSource {
+    fn feature_dim(&self) -> usize {
+        self.inner.feature_dim()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        // The cap filters an unknown number of records; claiming the inner
+        // hint would over-promise.
+        None
+    }
+
+    fn reset(&mut self) -> Result<(), DataError> {
+        self.seen.clear();
+        self.inner.reset()
+    }
+
+    fn next_chunk(
+        &mut self,
+        max_samples: usize,
+        chunk: &mut SampleChunk,
+    ) -> Result<usize, DataError> {
+        chunk.clear();
+        while chunk.len() < max_samples {
+            // Pull at most the remaining space: surviving records can then
+            // always be appended without spilling past `max_samples`.
+            let need = max_samples - chunk.len();
+            if self.inner.next_chunk(need, &mut self.scratch)? == 0 {
+                break;
+            }
+            for (sample, &label) in self.scratch.samples().iter().zip(self.scratch.labels()) {
+                let cell = quantize_features(sample, self.quantum);
+                let count = self.seen.entry(cell).or_insert(0);
+                if *count < self.cap {
+                    *count += 1;
+                    chunk.push(sample.clone(), label);
+                }
+            }
+        }
+        Ok(chunk.len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +698,7 @@ mod tests {
             buffer_samples: buffer,
             max_shards,
             spill_dir: None,
+            audit_window: 4,
         })
     }
 
@@ -607,5 +823,104 @@ mod tests {
         traffic.record("other", &[1.0], 1);
         assert_eq!(traffic.stats("other").recorded, 1);
         assert_eq!(traffic.model_ids(), vec!["m", "other"]);
+    }
+
+    #[test]
+    fn audit_ring_keeps_the_most_recent_window() {
+        let traffic = tiny_traffic(2, 64); // audit_window: 4
+        for i in 0..10 {
+            traffic.record("m", &vector(i), i);
+        }
+        let stats = traffic.stats("m");
+        assert_eq!(stats.audit_samples, 4);
+        let recent = traffic.recent_features("m", 16);
+        assert_eq!(recent.len(), 4);
+        // The ring holds exactly the last 4 records (slot order, not
+        // arrival order).
+        let mut labels: Vec<usize> = recent.iter().map(|(_, l)| *l).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![6, 7, 8, 9]);
+        for (features, label) in &recent {
+            assert_eq!(features, &vector(*label));
+        }
+        assert_eq!(traffic.recent_features("m", 2).len(), 2);
+        assert!(traffic.recent_features("unknown", 8).is_empty());
+    }
+
+    #[test]
+    fn compaction_merges_the_ring_and_preserves_replay() {
+        let traffic = tiny_traffic(2, 64);
+        for i in 0..7 {
+            traffic.record("m", &vector(i), i % 2);
+        }
+        let before = traffic.corpus("m").unwrap();
+        assert_eq!(before.num_shards(), 4, "3 spills + the flushed tail");
+        let old_paths = before.shard_paths();
+
+        let merged = traffic.compact("m").unwrap();
+        assert_eq!(merged, 4);
+        let stats = traffic.stats("m");
+        assert_eq!(stats.shards, 1, "ring replaced by one shard");
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.spilled, 7, "no records lost");
+
+        // The compacted corpus replays identically to the pre-compaction
+        // snapshot, chronologically.
+        let after = traffic.corpus("m").unwrap();
+        let replay = |corpus: &TrafficCorpus| {
+            let mut source = corpus.chronological_source().unwrap();
+            materialize(&mut source, "r").unwrap()
+        };
+        let (old, new) = (replay(&before), replay(&after));
+        assert_eq!(old.samples(), new.samples());
+        assert_eq!(old.labels(), new.labels());
+        // Pre-compaction snapshots keep their own files alive; once both
+        // are gone the old shards disappear.
+        drop(before);
+        assert!(old_paths.iter().all(|p| !p.exists()));
+
+        // Compacting a single-shard ring is a no-op.
+        assert_eq!(traffic.compact("m").unwrap(), 1);
+        assert_eq!(traffic.stats("m").compactions, 1);
+        assert!(matches!(
+            traffic.compact("unknown"),
+            Err(ServeError::NoTraffic(_))
+        ));
+    }
+
+    #[test]
+    fn coverage_weighting_caps_records_per_cell() {
+        let traffic = tiny_traffic(3, 64);
+        // 12 records: the same cell 9 times, two rarer cells.
+        for _ in 0..9 {
+            traffic.record("m", &[1.0, 0.0, 0.0], 0);
+        }
+        traffic.record("m", &[0.0, 1.0, 0.0], 1);
+        traffic.record("m", &[0.0, 1.0, 0.0], 1);
+        traffic.record("m", &[0.0, 0.0, 1.0], 2);
+        let corpus = traffic.corpus("m").unwrap();
+
+        // Popularity: the full replay.
+        let mut source = corpus
+            .weighted_source(&CorpusWeighting::Popularity)
+            .unwrap();
+        assert_eq!(materialize(&mut source, "pop").unwrap().len(), 12);
+
+        // Coverage with a cap of 2: the hot cell is capped, rare cells
+        // keep everything.
+        let weighting = CorpusWeighting::Coverage {
+            per_cell_cap: 2,
+            quantum: 1e-6,
+        };
+        let mut source = corpus.weighted_source(&weighting).unwrap();
+        let capped = materialize(&mut source, "cov").unwrap();
+        assert_eq!(capped.len(), 5, "2 + 2 + 1 survive");
+        let ones = capped.labels().iter().filter(|&&l| l == 0).count();
+        assert_eq!(ones, 2, "hot cell capped at 2");
+        // A second pass over the same source is identical (reset clears
+        // the seen-cell table).
+        let mut source = corpus.weighted_source(&weighting).unwrap();
+        let again = materialize(&mut source, "cov2").unwrap();
+        assert_eq!(again.samples(), capped.samples());
     }
 }

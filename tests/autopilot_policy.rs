@@ -1,0 +1,173 @@
+//! Property tests for the autopilot trigger policy ([`TriggerState`]):
+//! the anti-flap guarantees hold for *every* policy and signal trace, not
+//! just the hand-picked unit-test traces.
+//!
+//! Invariants checked:
+//!
+//! 1. **No overlap** — while a fired refresh is in flight, the trigger
+//!    never fires again, whatever the signals do.
+//! 2. **Cooldown** — consecutive fires for one model are separated by at
+//!    least `cooldown_polls + jitter` polls from the previous refresh's
+//!    finish, i.e. at most one fire per cooldown window.
+//! 3. **Determinism** — replaying the same trace against a fresh state
+//!    with the same policy and seed reproduces the fire sequence exactly.
+//! 4. **Hysteresis** — a trace whose breach runs are all shorter than
+//!    `hysteresis_polls` never fires at all.
+
+use enq_serve::{RefreshPolicy, SignalSnapshot, TriggerState};
+use proptest::prelude::*;
+
+/// One poll of a simulated trace: the signal observed, plus how many polls
+/// the refresh would take if the trigger fires here.
+#[derive(Debug, Clone)]
+struct TracePoll {
+    fidelity: f64,
+    hit_rate: Option<f64>,
+    recorded_delta: u64,
+    refresh_polls: u64,
+}
+
+fn trace_poll() -> impl Strategy<Value = TracePoll> {
+    (0.0..1.0f64, 0..3u8, 0.0..1.0f64, 0..64u64, 1..6u64).prop_map(
+        |(fidelity, has_rate, rate, recorded_delta, refresh_polls)| TracePoll {
+            fidelity,
+            // Roughly a third of polls have too few lookups for a rate.
+            hit_rate: (has_rate > 0).then_some(rate),
+            recorded_delta,
+            refresh_polls,
+        },
+    )
+}
+
+fn small_policy() -> impl Strategy<Value = RefreshPolicy> {
+    (
+        1..64u64,
+        1..4u32,
+        1..8u64,
+        0..4u64,
+        0..u64::MAX,
+        0.0..0.5f64,
+    )
+        .prop_map(
+            |(min_requests, hysteresis, cooldown, jitter, seed, drop)| RefreshPolicy {
+                min_requests,
+                min_fidelity: 0.8,
+                hit_rate_drop: drop,
+                hysteresis_polls: hysteresis,
+                cooldown_polls: cooldown,
+                jitter_polls: jitter,
+                seed,
+                ..RefreshPolicy::default()
+            },
+        )
+}
+
+/// Replays `trace` through a fresh [`TriggerState`], modelling each fired
+/// refresh as finishing `refresh_polls` polls later. Returns the sequence
+/// of `(fire_poll, finish_poll)` pairs and asserts the no-overlap
+/// invariant inline (observe must stay silent while in flight).
+fn simulate(model_id: &str, policy: &RefreshPolicy, trace: &[TracePoll]) -> Vec<(u64, u64)> {
+    let mut state = TriggerState::new(model_id, policy);
+    let mut fires = Vec::new();
+    let mut recorded = 0u64;
+    let mut finish_at: Option<u64> = None;
+    for (i, step) in trace.iter().enumerate() {
+        let poll = i as u64 + 1;
+        recorded += step.recorded_delta;
+        if let Some(f) = finish_at {
+            if poll >= f {
+                state.refresh_finished(policy, poll, recorded);
+                finish_at = None;
+            }
+        }
+        let snapshot = SignalSnapshot {
+            recorded,
+            window_hit_rate: step.hit_rate,
+            audit_fidelity: Some(step.fidelity),
+        };
+        let fired = state.observe(policy, &snapshot, poll);
+        if finish_at.is_some() {
+            assert!(
+                fired.is_none(),
+                "fired at poll {poll} while a refresh was in flight"
+            );
+        }
+        if fired.is_some() {
+            let finish = poll + step.refresh_polls;
+            fires.push((poll, finish));
+            finish_at = Some(finish);
+        }
+    }
+    fires
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Invariants 1–3 over arbitrary policies and traces.
+    #[test]
+    fn fires_never_overlap_respect_cooldown_and_replay_identically(
+        policy in small_policy(),
+        trace in proptest::collection::vec(trace_poll(), 1..200),
+    ) {
+        let fires = simulate("proptest-model", &policy, &trace);
+        let jitter = TriggerState::new("proptest-model", &policy).jitter();
+        for pair in fires.windows(2) {
+            let (_, prev_finish) = pair[0];
+            let (next_fire, _) = pair[1];
+            // The refresh finishes at `prev_finish` (observed at the first
+            // poll >= it), so the next fire must clear the armed window.
+            prop_assert!(
+                next_fire >= prev_finish + policy.cooldown_polls + jitter,
+                "fire at {next_fire} inside cooldown window after finish {prev_finish} \
+                 (cooldown {} + jitter {jitter})",
+                policy.cooldown_polls,
+            );
+        }
+        // Determinism: a fresh state over the same trace fires identically.
+        let replay = simulate("proptest-model", &policy, &trace);
+        prop_assert_eq!(fires, replay);
+    }
+
+    // Invariant 4: breach runs shorter than the hysteresis requirement
+    // never fire, wherever they fall in the trace.
+    #[test]
+    fn sub_hysteresis_blips_never_fire(
+        seed in 0..u64::MAX,
+        blips in proptest::collection::vec((1..4u32, 1..10u64), 1..40),
+    ) {
+        let policy = RefreshPolicy {
+            min_requests: 1,
+            min_fidelity: 0.8,
+            hit_rate_drop: 0.0, // isolate the fidelity trigger
+            hysteresis_polls: 4,
+            cooldown_polls: 2,
+            jitter_polls: 2,
+            seed,
+            ..RefreshPolicy::default()
+        };
+        // Breach runs of length 1..4 (< hysteresis_polls = 4), each
+        // terminated by at least one healthy poll.
+        let mut trace = Vec::new();
+        for (run, healthy) in blips {
+            for _ in 0..run {
+                trace.push(TracePoll {
+                    fidelity: 0.1,
+                    hit_rate: None,
+                    recorded_delta: 50,
+                    refresh_polls: 1,
+                });
+            }
+            for _ in 0..healthy {
+                trace.push(TracePoll {
+                    fidelity: 0.99,
+                    hit_rate: None,
+                    recorded_delta: 50,
+                    refresh_polls: 1,
+                });
+            }
+        }
+        let fires = simulate("blippy-model", &policy, &trace);
+        prop_assert!(fires.is_empty(), "sub-hysteresis blips fired: {fires:?}");
+    }
+}

@@ -1,0 +1,271 @@
+//! Hours-compressed drift soak: the autopilot must notice a traffic
+//! distribution shift and recover the model **unaided** — no test code
+//! calls a refresh; the only actor is the [`Autopilot`] scheduler thread.
+//!
+//! Timeline (poll interval shrunk from the production half-second to a few
+//! milliseconds, so "hours" of drift compress into seconds):
+//!
+//! 1. **Baseline** — traffic drawn from the training distribution. The
+//!    spot-audit stays above the fidelity floor and the autopilot must not
+//!    fire once.
+//! 2. **Drift** — traffic switches to three unseen prototypes. The audited
+//!    fidelity collapses below the floor, the trigger arms through its
+//!    hysteresis window, and a traffic-fed refresh fires and swaps.
+//! 3. **Recovery** — post-swap, the same drifted traffic audits back above
+//!    the floor, and the serve-side p99 during the drift/rebuild phase
+//!    stayed within the rebuild gate relative to baseline.
+//!
+//! Along the way the shard ring grows past the compaction bound, so the
+//! background compactor must have merged it at least once.
+//!
+//! `ENQ_SOAK_TINY=1` shrinks the traffic volumes for CI smoke runs; the
+//! assertions are identical.
+
+use enq_serve::{
+    Autopilot, AutopilotEvent, EmbedService, FireReason, RebuildStatus, RefreshPolicy, ServeConfig,
+    TrafficConfig,
+};
+use enqode::{AnsatzConfig, EnqodeConfig, EnqodePipeline, EntanglerKind, StreamingFitConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fidelity floor the autopilot defends. Baseline traffic audits well
+/// above it (the offline fit targets 0.8 per cluster); drifted traffic
+/// audits far below it (near-orthogonal to every trained centroid).
+const FIDELITY_FLOOR: f64 = 0.55;
+
+/// Scale factor: 1 for CI smoke (`ENQ_SOAK_TINY=1`), 4 for the full soak.
+fn scale() -> usize {
+    if std::env::var("ENQ_SOAK_TINY").is_ok_and(|v| v == "1") {
+        1
+    } else {
+        4
+    }
+}
+
+fn soak_config(seed: u64) -> EnqodeConfig {
+    EnqodeConfig {
+        ansatz: AnsatzConfig {
+            num_qubits: 3,
+            num_layers: 4,
+            entangler: EntanglerKind::Cy,
+        },
+        fidelity_threshold: 0.8,
+        max_clusters: 4,
+        offline_max_iterations: 40,
+        offline_restarts: 1,
+        online_max_iterations: 15,
+        offline_rescue: false,
+        seed,
+    }
+}
+
+/// In-distribution traffic: a training sample plus per-request noise small
+/// enough to stay inside its cluster but large enough that every request
+/// is distinct (so it misses the cache and is recorded).
+fn baseline_sample(dataset: &enq_data::Dataset, rng: &mut StdRng) -> Vec<f64> {
+    let i = rng.gen_range(0..dataset.len());
+    dataset
+        .sample(i)
+        .iter()
+        .map(|v| v + rng.gen_range(-1e-3..1e-3))
+        .collect()
+}
+
+/// Drifted traffic: tight clusters around raw-space prototypes the model
+/// never saw. Clustered (so a refresh *can* recover) but far from every
+/// trained centroid (so the audit *must* collapse first).
+fn drift_sample(prototypes: &[Vec<f64>], rng: &mut StdRng) -> Vec<f64> {
+    let p = &prototypes[rng.gen_range(0..prototypes.len())];
+    p.iter().map(|v| v + rng.gen_range(-0.02..0.02)).collect()
+}
+
+fn percentile(latencies: &mut [Duration], p: f64) -> Duration {
+    assert!(!latencies.is_empty());
+    latencies.sort_unstable();
+    let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
+    latencies[idx]
+}
+
+#[test]
+fn autopilot_recovers_from_traffic_drift_unaided() {
+    let scale = scale();
+    let dataset = enq_data::generate_synthetic(
+        enq_data::DatasetKind::MnistLike,
+        &enq_data::SyntheticConfig {
+            classes: 2,
+            samples_per_class: 8,
+            seed: 11,
+        },
+    )
+    .unwrap();
+    let pipeline = Arc::new(EnqodePipeline::build(&dataset, soak_config(11)).unwrap());
+
+    let service = Arc::new(EmbedService::new(ServeConfig {
+        flush_deadline: Duration::ZERO,
+        traffic: TrafficConfig {
+            enabled: true,
+            buffer_samples: 32,
+            audit_window: 64,
+            ..Default::default()
+        },
+        ..Default::default()
+    }));
+    service.register_model("live", Arc::clone(&pipeline));
+
+    let policy = RefreshPolicy {
+        min_requests: 48,
+        min_fidelity: FIDELITY_FLOOR,
+        hit_rate_drop: 0.0, // fidelity is the signal under test
+        audit_samples: 64,
+        hysteresis_polls: 2,
+        cooldown_polls: 5,
+        jitter_polls: 2,
+        seed: 0x50AC,
+        poll_interval: Duration::from_millis(4),
+        compact_above_shards: 3,
+        stream: StreamingFitConfig {
+            chunk_size: 16,
+            // Enough clusters that a refresh can dedicate centroids to the
+            // drifted prototypes while still covering baseline traffic.
+            clusters_per_class: 8,
+            passes: 2,
+            polish_passes: 1,
+            ..Default::default()
+        },
+        contention_fit_threads: NonZeroUsize::MIN,
+        ..RefreshPolicy::default()
+    };
+    let autopilot = Autopilot::spawn(Arc::clone(&service), policy);
+    let mut rng = StdRng::seed_from_u64(0xD21F7);
+
+    // --- Phase 1: baseline ------------------------------------------------
+    let mut baseline_latencies = Vec::new();
+    for _ in 0..150 * scale {
+        let sample = baseline_sample(&dataset, &mut rng);
+        let start = Instant::now();
+        service.embed("live", &sample).unwrap();
+        baseline_latencies.push(start.elapsed());
+    }
+    // Give the scheduler a handful of polls over the healthy window.
+    std::thread::sleep(Duration::from_millis(60));
+    let healthy = service
+        .spot_audit("live", 64)
+        .expect("audit ring populated");
+    assert!(
+        healthy.mean_fidelity > FIDELITY_FLOOR,
+        "baseline traffic audits at {:.3}, already below the floor",
+        healthy.mean_fidelity
+    );
+    assert_eq!(
+        autopilot.stats().fires,
+        0,
+        "autopilot fired on healthy in-distribution traffic"
+    );
+
+    // --- Phase 2: drift ----------------------------------------------------
+    let raw_dim = dataset.sample(0).len();
+    // Large amplitudes so the prototypes' own structure (not the PCA
+    // centering offset) dominates the projected direction.
+    let prototypes: Vec<Vec<f64>> = (0..3)
+        .map(|_| (0..raw_dim).map(|_| rng.gen_range(-8.0..8.0)).collect())
+        .collect();
+    let mut drift_latencies = Vec::new();
+    let soak_deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        for _ in 0..40 * scale {
+            let sample = drift_sample(&prototypes, &mut rng);
+            let start = Instant::now();
+            service.embed("live", &sample).unwrap();
+            drift_latencies.push(start.elapsed());
+        }
+        let stats = autopilot.stats();
+        if stats.refresh_successes >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < soak_deadline,
+            "autopilot never completed a refresh under sustained drift: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // --- Phase 3: recovery --------------------------------------------------
+    let swapped = service.registry().get("live").unwrap();
+    assert!(
+        !Arc::ptr_eq(&pipeline, &swapped),
+        "the registry still serves the pre-drift pipeline"
+    );
+    // Refill the audit ring with post-swap drifted traffic and re-audit.
+    for _ in 0..80 * scale {
+        let sample = drift_sample(&prototypes, &mut rng);
+        service.embed("live", &sample).unwrap();
+    }
+    let recovered = service
+        .spot_audit("live", 64)
+        .expect("audit ring populated");
+    assert!(
+        recovered.mean_fidelity >= FIDELITY_FLOOR,
+        "fidelity did not recover after the autopilot refresh: {:.3} < {FIDELITY_FLOOR}",
+        recovered.mean_fidelity
+    );
+
+    let stats = autopilot.stats();
+    assert!(stats.polls > 0, "scheduler never polled");
+    assert!(stats.fires >= 1, "no refresh fired");
+    assert_eq!(
+        stats.refresh_failures, 0,
+        "a fired refresh failed: {stats:?}"
+    );
+    assert!(
+        stats.compactions >= 1,
+        "shard ring grew past the bound but was never compacted: {stats:?}"
+    );
+    assert!(
+        service.traffic().stats("live").shards <= 1 + service.traffic().stats("live").recorded / 32,
+        "compaction left an unbounded shard ring"
+    );
+
+    // The event stream tells the same story: a fidelity-decay fire (whose
+    // observed audit really was below the floor — the test never has to
+    // race the scheduler to witness the dip) followed by a successful swap.
+    let events = autopilot.drain_events();
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            AutopilotEvent::Fired {
+                model_id,
+                reason: FireReason::FidelityDecay { observed, .. },
+                ..
+            } if model_id == "live" && *observed < FIDELITY_FLOOR
+        )),
+        "no fidelity-decay fire event below the floor: {events:?}"
+    );
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            AutopilotEvent::RefreshFinished {
+                model_id,
+                status: RebuildStatus::Succeeded,
+            } if model_id == "live"
+        )),
+        "no successful refresh event: {events:?}"
+    );
+
+    // Serve p99 during drift + background rebuild stays within the rebuild
+    // gate (6x) relative to baseline, with an absolute floor so a fast
+    // machine's microsecond baseline doesn't turn noise into failure.
+    let p99_baseline = percentile(&mut baseline_latencies, 0.99);
+    let p99_drift = percentile(&mut drift_latencies, 0.99);
+    let gate = (p99_baseline * 6).max(Duration::from_millis(50));
+    assert!(
+        p99_drift <= gate,
+        "serve p99 degraded beyond the rebuild gate during drift: \
+         baseline {p99_baseline:?}, drift {p99_drift:?}, gate {gate:?}"
+    );
+
+    drop(autopilot); // joins the scheduler thread
+}
